@@ -1,0 +1,1076 @@
+//! The program builder and linker.
+
+use crate::program::{DataBlob, Program};
+use crate::support::{round_up, SoftwareSupport};
+use crate::Frame;
+use fac_isa::{
+    AddrMode, AluImmOp, AluOp, BranchCond, FReg, FpCond, FpFmt, FpOp, Insn, LoadOp, MulDivOp,
+    Reg, ShiftOp, StoreOp,
+};
+use std::collections::HashMap;
+
+/// Base address of the text segment.
+pub const TEXT_BASE: u32 = 0x0040_0000;
+/// Base of the heap region used by the in-program bump allocator.
+pub const HEAP_BASE: u32 = 0x2000_0000;
+/// Initial stack pointer with software support (aligned well past the
+/// 256-byte maximum explicit alignment).
+pub const STACK_TOP_ALIGNED: u32 = 0x7fff_c000;
+/// Initial stack pointer without support (GCC's stock 8-byte alignment).
+pub const STACK_TOP_STOCK: u32 = 0x7fff_bff8;
+/// Name of the implicit heap-pointer global used by [`Asm::alloc_fixed`].
+pub const HEAP_PTR_SYMBOL: &str = "__heap";
+
+/// Either register file, for data moved by loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DataReg {
+    Int(Reg),
+    Fp(FReg),
+}
+
+/// Which memory operation a gp-relative slot performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GpMemKind {
+    Load(LoadOp),
+    Store(StoreOp),
+    LoadFp(FpFmt),
+    StoreFp(FpFmt),
+}
+
+/// An instruction that may still contain unresolved references.
+#[derive(Debug, Clone)]
+enum Slot {
+    Ready(Insn),
+    Branch { cond: BranchCond, rs: Reg, rt: Reg, label: String },
+    Bc1 { on_true: bool, label: String },
+    Jump { label: String, link: bool },
+    /// `lui rt, %hi(sym + extra)`
+    LaHi { rt: Reg, sym: String, extra: i32 },
+    /// `ori rt, rt, %lo(sym + extra)`
+    LaLo { rt: Reg, sym: String, extra: i32 },
+    /// gp-relative load/store: `op reg, %gprel(sym + extra)($gp)`
+    GpMem { kind: GpMemKind, reg: DataReg, sym: String, extra: i32 },
+    /// `addiu rt, $gp, %gprel(sym + extra)`
+    GpAddr { rt: Reg, sym: String, extra: i32 },
+}
+
+#[derive(Debug, Clone)]
+struct GlobalItem {
+    name: String,
+    size: u32,
+    natural_align: u32,
+    init: Option<Vec<u8>>,
+    far: bool,
+}
+
+/// Errors produced while linking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinkError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A referenced data symbol was never defined.
+    UndefinedSymbol(String),
+    /// A branch target is out of the signed-16-bit instruction range.
+    BranchOutOfRange(String),
+    /// A gp-relative displacement does not fit in 16 bits.
+    GpDisplacementOutOfRange(String, i64),
+    /// The gp-addressable region overflowed 32 KB.
+    GlobalRegionTooLarge(u64),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::UndefinedLabel(l) => write!(f, "undefined label {l}"),
+            LinkError::UndefinedSymbol(s) => write!(f, "undefined symbol {s}"),
+            LinkError::BranchOutOfRange(l) => write!(f, "branch to {l} out of range"),
+            LinkError::GpDisplacementOutOfRange(s, d) => {
+                write!(f, "gp-relative displacement {d} for {s} out of range")
+            }
+            LinkError::GlobalRegionTooLarge(sz) => {
+                write!(f, "global region of {sz} bytes exceeds gp addressing range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// The assembler/program builder.
+///
+/// Workload kernels are written against this API: emit instructions with
+/// the mnemonic-named methods, declare globals with the `gp_*`/`far_*`
+/// methods, and call [`Asm::link`] to produce a runnable [`Program`]. The
+/// linker applies the [`SoftwareSupport`] policy — global-pointer
+/// alignment, static/dynamic allocation alignment, stack alignment — so the
+/// *same* kernel builds into the "with support" and "without support"
+/// binaries the paper compares.
+///
+/// ```
+/// use fac_asm::{Asm, SoftwareSupport};
+/// use fac_isa::Reg;
+///
+/// let mut a = Asm::new();
+/// a.gp_word("counter", 0);
+/// a.li(Reg::T0, 41);
+/// a.addiu(Reg::T0, Reg::T0, 1);
+/// a.sw_gp(Reg::T0, "counter", 0);
+/// a.halt();
+/// let program = a.link("answer", &SoftwareSupport::on()).unwrap();
+/// assert_eq!(program.text.len(), 3 + 1); // li is one instruction here
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    slots: Vec<Slot>,
+    labels: HashMap<String, usize>,
+    globals: Vec<GlobalItem>,
+    fresh: u32,
+}
+
+impl Asm {
+    /// Creates an empty builder (with the implicit heap-pointer global).
+    pub fn new() -> Asm {
+        let mut asm = Asm::default();
+        asm.globals.push(GlobalItem {
+            name: HEAP_PTR_SYMBOL.to_string(),
+            size: 4,
+            natural_align: 4,
+            init: Some(vec![0; 4]), // patched to the heap base at link time
+            far: false,
+        });
+        asm
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Returns a fresh, unique label with the given prefix.
+    pub fn fresh_label(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}__{}", self.fresh)
+    }
+
+    // ------------------------------------------------------------------
+    // Labels and control flow
+    // ------------------------------------------------------------------
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.slots.len());
+        assert!(prev.is_none(), "label {name} defined twice");
+    }
+
+    fn branch(&mut self, cond: BranchCond, rs: Reg, rt: Reg, label: &str) {
+        self.slots.push(Slot::Branch { cond, rs, rt, label: label.to_string() });
+    }
+
+    /// `beq rs, rt, label`
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.branch(BranchCond::Eq, rs, rt, label);
+    }
+
+    /// `bne rs, rt, label`
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: &str) {
+        self.branch(BranchCond::Ne, rs, rt, label);
+    }
+
+    /// `blez rs, label`
+    pub fn blez(&mut self, rs: Reg, label: &str) {
+        self.branch(BranchCond::Lez, rs, Reg::ZERO, label);
+    }
+
+    /// `bgtz rs, label`
+    pub fn bgtz(&mut self, rs: Reg, label: &str) {
+        self.branch(BranchCond::Gtz, rs, Reg::ZERO, label);
+    }
+
+    /// `bltz rs, label`
+    pub fn bltz(&mut self, rs: Reg, label: &str) {
+        self.branch(BranchCond::Ltz, rs, Reg::ZERO, label);
+    }
+
+    /// `bgez rs, label`
+    pub fn bgez(&mut self, rs: Reg, label: &str) {
+        self.branch(BranchCond::Gez, rs, Reg::ZERO, label);
+    }
+
+    /// `bc1t label` / `bc1f label`
+    pub fn bc1(&mut self, on_true: bool, label: &str) {
+        self.slots.push(Slot::Bc1 { on_true, label: label.to_string() });
+    }
+
+    /// `j label`
+    pub fn j(&mut self, label: &str) {
+        self.slots.push(Slot::Jump { label: label.to_string(), link: false });
+    }
+
+    /// `jal label` — call a function.
+    pub fn call(&mut self, label: &str) {
+        self.slots.push(Slot::Jump { label: label.to_string(), link: true });
+    }
+
+    /// `jr rs`
+    pub fn jr(&mut self, rs: Reg) {
+        self.push(Insn::Jr { rs });
+    }
+
+    /// `jalr rs` (links into `$ra`).
+    pub fn jalr(&mut self, rs: Reg) {
+        self.push(Insn::Jalr { rd: Reg::RA, rs });
+    }
+
+    /// `jr $ra` — return from a function.
+    pub fn ret(&mut self) {
+        self.push(Insn::Jr { rs: Reg::RA });
+    }
+
+    /// `halt` — end the simulation.
+    pub fn halt(&mut self) {
+        self.push(Insn::Halt);
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) {
+        self.push(Insn::Nop);
+    }
+
+    // ------------------------------------------------------------------
+    // Integer ALU
+    // ------------------------------------------------------------------
+
+    fn push(&mut self, insn: Insn) {
+        self.slots.push(Slot::Ready(insn));
+    }
+
+    /// Emits an already-constructed instruction verbatim (used by the text
+    /// front end in [`crate::assemble`]).
+    pub fn emit(&mut self, insn: Insn) {
+        self.push(insn);
+    }
+
+    /// Emits a three-register ALU operation.
+    pub fn op3(&mut self, op: AluOp, rd: Reg, rs: Reg, rt: Reg) {
+        self.push(Insn::Alu { op, rd, rs, rt });
+    }
+
+    /// `addu rd, rs, rt`
+    pub fn addu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::Addu, rd, rs, rt);
+    }
+
+    /// `subu rd, rs, rt`
+    pub fn subu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::Subu, rd, rs, rt);
+    }
+
+    /// `and rd, rs, rt`
+    pub fn and_(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::And, rd, rs, rt);
+    }
+
+    /// `or rd, rs, rt`
+    pub fn or_(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::Or, rd, rs, rt);
+    }
+
+    /// `xor rd, rs, rt`
+    pub fn xor_(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::Xor, rd, rs, rt);
+    }
+
+    /// `nor rd, rs, rt`
+    pub fn nor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::Nor, rd, rs, rt);
+    }
+
+    /// `slt rd, rs, rt`
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::Slt, rd, rs, rt);
+    }
+
+    /// `sltu rd, rs, rt`
+    pub fn sltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.op3(AluOp::Sltu, rd, rs, rt);
+    }
+
+    /// `sllv rd, rt, rs` — shift `rt` left by the amount in `rs`.
+    pub fn sllv(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.op3(AluOp::Sllv, rd, rs, rt);
+    }
+
+    /// `srlv rd, rt, rs`
+    pub fn srlv(&mut self, rd: Reg, rt: Reg, rs: Reg) {
+        self.op3(AluOp::Srlv, rd, rs, rt);
+    }
+
+    /// `addiu rt, rs, imm`
+    pub fn addiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.push(Insn::AluImm { op: AluImmOp::Addiu, rt, rs, imm });
+    }
+
+    /// `andi rt, rs, imm` (zero-extended immediate)
+    pub fn andi(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.push(Insn::AluImm { op: AluImmOp::Andi, rt, rs, imm: imm as i16 });
+    }
+
+    /// `ori rt, rs, imm`
+    pub fn ori(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.push(Insn::AluImm { op: AluImmOp::Ori, rt, rs, imm: imm as i16 });
+    }
+
+    /// `xori rt, rs, imm`
+    pub fn xori(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.push(Insn::AluImm { op: AluImmOp::Xori, rt, rs, imm: imm as i16 });
+    }
+
+    /// `slti rt, rs, imm`
+    pub fn slti(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.push(Insn::AluImm { op: AluImmOp::Slti, rt, rs, imm });
+    }
+
+    /// `sltiu rt, rs, imm`
+    pub fn sltiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.push(Insn::AluImm { op: AluImmOp::Sltiu, rt, rs, imm });
+    }
+
+    /// `sll rd, rt, shamt`
+    pub fn sll(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.push(Insn::Shift { op: ShiftOp::Sll, rd, rt, shamt });
+    }
+
+    /// `srl rd, rt, shamt`
+    pub fn srl(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.push(Insn::Shift { op: ShiftOp::Srl, rd, rt, shamt });
+    }
+
+    /// `sra rd, rt, shamt`
+    pub fn sra(&mut self, rd: Reg, rt: Reg, shamt: u8) {
+        self.push(Insn::Shift { op: ShiftOp::Sra, rd, rt, shamt });
+    }
+
+    /// `lui rt, imm`
+    pub fn lui(&mut self, rt: Reg, imm: u16) {
+        self.push(Insn::Lui { rt, imm });
+    }
+
+    /// `move rd, rs` (pseudo: `addu rd, rs, $zero`)
+    pub fn move_(&mut self, rd: Reg, rs: Reg) {
+        self.addu(rd, rs, Reg::ZERO);
+    }
+
+    /// `li rt, value` — load a 32-bit constant (1–2 instructions).
+    pub fn li(&mut self, rt: Reg, value: i32) {
+        if let Ok(imm) = i16::try_from(value) {
+            self.addiu(rt, Reg::ZERO, imm);
+        } else if value as u32 & 0xffff == 0 {
+            self.lui(rt, (value as u32 >> 16) as u16);
+        } else {
+            self.lui(rt, (value as u32 >> 16) as u16);
+            self.ori(rt, rt, value as u32 as u16);
+        }
+    }
+
+    /// `mult rs, rt`
+    pub fn mult(&mut self, rs: Reg, rt: Reg) {
+        self.push(Insn::MulDiv { op: MulDivOp::Mult, rs, rt });
+    }
+
+    /// `multu rs, rt`
+    pub fn multu(&mut self, rs: Reg, rt: Reg) {
+        self.push(Insn::MulDiv { op: MulDivOp::Multu, rs, rt });
+    }
+
+    /// `div rs, rt`
+    pub fn div_(&mut self, rs: Reg, rt: Reg) {
+        self.push(Insn::MulDiv { op: MulDivOp::Div, rs, rt });
+    }
+
+    /// `divu rs, rt`
+    pub fn divu(&mut self, rs: Reg, rt: Reg) {
+        self.push(Insn::MulDiv { op: MulDivOp::Divu, rs, rt });
+    }
+
+    /// `mflo rd`
+    pub fn mflo(&mut self, rd: Reg) {
+        self.push(Insn::Mflo { rd });
+    }
+
+    /// `mfhi rd`
+    pub fn mfhi(&mut self, rd: Reg) {
+        self.push(Insn::Mfhi { rd });
+    }
+
+    // ------------------------------------------------------------------
+    // Loads and stores
+    // ------------------------------------------------------------------
+
+    /// Emits an integer load with an explicit addressing mode.
+    pub fn load(&mut self, op: LoadOp, rt: Reg, ea: AddrMode) {
+        self.push(Insn::Load { op, rt, ea });
+    }
+
+    /// Emits an integer store with an explicit addressing mode.
+    pub fn store(&mut self, op: StoreOp, rt: Reg, ea: AddrMode) {
+        self.push(Insn::Store { op, rt, ea });
+    }
+
+    /// `lw rt, disp(base)`
+    pub fn lw(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.load(LoadOp::Lw, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `lh rt, disp(base)`
+    pub fn lh(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.load(LoadOp::Lh, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `lhu rt, disp(base)`
+    pub fn lhu(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.load(LoadOp::Lhu, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `lb rt, disp(base)`
+    pub fn lb(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.load(LoadOp::Lb, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `lbu rt, disp(base)`
+    pub fn lbu(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.load(LoadOp::Lbu, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `sw rt, disp(base)`
+    pub fn sw(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.store(StoreOp::Sw, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `sh rt, disp(base)`
+    pub fn sh(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.store(StoreOp::Sh, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `sb rt, disp(base)`
+    pub fn sb(&mut self, rt: Reg, disp: i16, base: Reg) {
+        self.store(StoreOp::Sb, rt, AddrMode::BaseDisp { base, disp });
+    }
+
+    /// `lw rt, (base+index)` — register+register addressing.
+    pub fn lw_x(&mut self, rt: Reg, base: Reg, index: Reg) {
+        self.load(LoadOp::Lw, rt, AddrMode::BaseIndex { base, index });
+    }
+
+    /// `lbu rt, (base+index)`
+    pub fn lbu_x(&mut self, rt: Reg, base: Reg, index: Reg) {
+        self.load(LoadOp::Lbu, rt, AddrMode::BaseIndex { base, index });
+    }
+
+    /// `lhu rt, (base+index)`
+    pub fn lhu_x(&mut self, rt: Reg, base: Reg, index: Reg) {
+        self.load(LoadOp::Lhu, rt, AddrMode::BaseIndex { base, index });
+    }
+
+    /// `sw rt, (base+index)`
+    pub fn sw_x(&mut self, rt: Reg, base: Reg, index: Reg) {
+        self.store(StoreOp::Sw, rt, AddrMode::BaseIndex { base, index });
+    }
+
+    /// `sb rt, (base+index)`
+    pub fn sb_x(&mut self, rt: Reg, base: Reg, index: Reg) {
+        self.store(StoreOp::Sb, rt, AddrMode::BaseIndex { base, index });
+    }
+
+    /// `lw rt, (base)+step` — post-increment load.
+    pub fn lw_pi(&mut self, rt: Reg, base: Reg, step: i16) {
+        self.load(LoadOp::Lw, rt, AddrMode::PostInc { base, step });
+    }
+
+    /// `sw rt, (base)+step` — post-increment store.
+    pub fn sw_pi(&mut self, rt: Reg, base: Reg, step: i16) {
+        self.store(StoreOp::Sw, rt, AddrMode::PostInc { base, step });
+    }
+
+    /// `lbu rt, (base)+step`
+    pub fn lbu_pi(&mut self, rt: Reg, base: Reg, step: i16) {
+        self.load(LoadOp::Lbu, rt, AddrMode::PostInc { base, step });
+    }
+
+    /// `sb rt, (base)+step` — post-increment byte store.
+    pub fn sb_pi(&mut self, rt: Reg, base: Reg, step: i16) {
+        self.store(StoreOp::Sb, rt, AddrMode::PostInc { base, step });
+    }
+
+    /// `l.s ft, disp(base)`
+    pub fn l_s(&mut self, ft: FReg, disp: i16, base: Reg) {
+        self.push(Insn::LoadFp { fmt: FpFmt::S, ft, ea: AddrMode::BaseDisp { base, disp } });
+    }
+
+    /// `l.d ft, disp(base)`
+    pub fn l_d(&mut self, ft: FReg, disp: i16, base: Reg) {
+        self.push(Insn::LoadFp { fmt: FpFmt::D, ft, ea: AddrMode::BaseDisp { base, disp } });
+    }
+
+    /// `s.s ft, disp(base)`
+    pub fn s_s(&mut self, ft: FReg, disp: i16, base: Reg) {
+        self.push(Insn::StoreFp { fmt: FpFmt::S, ft, ea: AddrMode::BaseDisp { base, disp } });
+    }
+
+    /// `s.d ft, disp(base)`
+    pub fn s_d(&mut self, ft: FReg, disp: i16, base: Reg) {
+        self.push(Insn::StoreFp { fmt: FpFmt::D, ft, ea: AddrMode::BaseDisp { base, disp } });
+    }
+
+    /// `l.d ft, (base+index)`
+    pub fn l_d_x(&mut self, ft: FReg, base: Reg, index: Reg) {
+        self.push(Insn::LoadFp { fmt: FpFmt::D, ft, ea: AddrMode::BaseIndex { base, index } });
+    }
+
+    /// `s.d ft, (base+index)`
+    pub fn s_d_x(&mut self, ft: FReg, base: Reg, index: Reg) {
+        self.push(Insn::StoreFp { fmt: FpFmt::D, ft, ea: AddrMode::BaseIndex { base, index } });
+    }
+
+    /// `l.s ft, (base+index)`
+    pub fn l_s_x(&mut self, ft: FReg, base: Reg, index: Reg) {
+        self.push(Insn::LoadFp { fmt: FpFmt::S, ft, ea: AddrMode::BaseIndex { base, index } });
+    }
+
+    /// `l.d ft, (base)+step`
+    pub fn l_d_pi(&mut self, ft: FReg, base: Reg, step: i16) {
+        self.push(Insn::LoadFp { fmt: FpFmt::D, ft, ea: AddrMode::PostInc { base, step } });
+    }
+
+    /// `s.d ft, (base)+step`
+    pub fn s_d_pi(&mut self, ft: FReg, base: Reg, step: i16) {
+        self.push(Insn::StoreFp { fmt: FpFmt::D, ft, ea: AddrMode::PostInc { base, step } });
+    }
+
+    // ------------------------------------------------------------------
+    // gp-relative access and address formation
+    // ------------------------------------------------------------------
+
+    /// `lw rt, %gprel(sym + extra)($gp)`
+    pub fn lw_gp(&mut self, rt: Reg, sym: &str, extra: i32) {
+        self.slots.push(Slot::GpMem {
+            kind: GpMemKind::Load(LoadOp::Lw),
+            reg: DataReg::Int(rt),
+            sym: sym.to_string(),
+            extra,
+        });
+    }
+
+    /// `sw rt, %gprel(sym + extra)($gp)`
+    pub fn sw_gp(&mut self, rt: Reg, sym: &str, extra: i32) {
+        self.slots.push(Slot::GpMem {
+            kind: GpMemKind::Store(StoreOp::Sw),
+            reg: DataReg::Int(rt),
+            sym: sym.to_string(),
+            extra,
+        });
+    }
+
+    /// `l.d ft, %gprel(sym + extra)($gp)`
+    pub fn l_d_gp(&mut self, ft: FReg, sym: &str, extra: i32) {
+        self.slots.push(Slot::GpMem {
+            kind: GpMemKind::LoadFp(FpFmt::D),
+            reg: DataReg::Fp(ft),
+            sym: sym.to_string(),
+            extra,
+        });
+    }
+
+    /// `s.d ft, %gprel(sym + extra)($gp)`
+    pub fn s_d_gp(&mut self, ft: FReg, sym: &str, extra: i32) {
+        self.slots.push(Slot::GpMem {
+            kind: GpMemKind::StoreFp(FpFmt::D),
+            reg: DataReg::Fp(ft),
+            sym: sym.to_string(),
+            extra,
+        });
+    }
+
+    /// `addiu rt, $gp, %gprel(sym + extra)` — take the address of a small
+    /// global.
+    pub fn gp_addr(&mut self, rt: Reg, sym: &str, extra: i32) {
+        self.slots.push(Slot::GpAddr { rt, sym: sym.to_string(), extra });
+    }
+
+    /// `la rt, sym + extra` — load a full 32-bit address (2 instructions).
+    pub fn la(&mut self, rt: Reg, sym: &str, extra: i32) {
+        self.slots.push(Slot::LaHi { rt, sym: sym.to_string(), extra });
+        self.slots.push(Slot::LaLo { rt, sym: sym.to_string(), extra });
+    }
+
+    // ------------------------------------------------------------------
+    // Floating point
+    // ------------------------------------------------------------------
+
+    /// Emits an FP computational operation.
+    pub fn fp(&mut self, op: FpOp, fmt: FpFmt, fd: FReg, fs: FReg, ft: FReg) {
+        self.push(Insn::Fp { op, fmt, fd, fs, ft });
+    }
+
+    /// `add.d fd, fs, ft`
+    pub fn add_d(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.fp(FpOp::Add, FpFmt::D, fd, fs, ft);
+    }
+
+    /// `sub.d fd, fs, ft`
+    pub fn sub_d(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.fp(FpOp::Sub, FpFmt::D, fd, fs, ft);
+    }
+
+    /// `mul.d fd, fs, ft`
+    pub fn mul_d(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.fp(FpOp::Mul, FpFmt::D, fd, fs, ft);
+    }
+
+    /// `div.d fd, fs, ft`
+    pub fn div_d(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.fp(FpOp::Div, FpFmt::D, fd, fs, ft);
+    }
+
+    /// `add.s fd, fs, ft`
+    pub fn add_s(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.fp(FpOp::Add, FpFmt::S, fd, fs, ft);
+    }
+
+    /// `mul.s fd, fs, ft`
+    pub fn mul_s(&mut self, fd: FReg, fs: FReg, ft: FReg) {
+        self.fp(FpOp::Mul, FpFmt::S, fd, fs, ft);
+    }
+
+    /// `mov.d fd, fs`
+    pub fn mov_d(&mut self, fd: FReg, fs: FReg) {
+        self.fp(FpOp::Mov, FpFmt::D, fd, fs, FReg::F0);
+    }
+
+    /// `neg.d fd, fs`
+    pub fn neg_d(&mut self, fd: FReg, fs: FReg) {
+        self.fp(FpOp::Neg, FpFmt::D, fd, fs, FReg::F0);
+    }
+
+    /// `sqrt.d fd, fs`
+    pub fn sqrt_d(&mut self, fd: FReg, fs: FReg) {
+        self.fp(FpOp::Sqrt, FpFmt::D, fd, fs, FReg::F0);
+    }
+
+    /// `abs.d fd, fs`
+    pub fn abs_d(&mut self, fd: FReg, fs: FReg) {
+        self.fp(FpOp::Abs, FpFmt::D, fd, fs, FReg::F0);
+    }
+
+    /// `c.lt.d fs, ft`
+    pub fn c_lt_d(&mut self, fs: FReg, ft: FReg) {
+        self.push(Insn::FpCmp { cond: FpCond::Lt, fmt: FpFmt::D, fs, ft });
+    }
+
+    /// `c.le.d fs, ft`
+    pub fn c_le_d(&mut self, fs: FReg, ft: FReg) {
+        self.push(Insn::FpCmp { cond: FpCond::Le, fmt: FpFmt::D, fs, ft });
+    }
+
+    /// `c.eq.d fs, ft`
+    pub fn c_eq_d(&mut self, fs: FReg, ft: FReg) {
+        self.push(Insn::FpCmp { cond: FpCond::Eq, fmt: FpFmt::D, fs, ft });
+    }
+
+    /// `mtc1 rt, fs` — move integer bits into an FP register.
+    pub fn mtc1(&mut self, rt: Reg, fs: FReg) {
+        self.push(Insn::Mtc1 { rt, fs });
+    }
+
+    /// `mfc1 rt, fs`
+    pub fn mfc1(&mut self, rt: Reg, fs: FReg) {
+        self.push(Insn::Mfc1 { rt, fs });
+    }
+
+    /// `cvt.d.w fd, fs` — integer (bits in `fs`) to double.
+    pub fn cvt_d_w(&mut self, fd: FReg, fs: FReg) {
+        self.push(Insn::CvtFromW { fmt: FpFmt::D, fd, fs });
+    }
+
+    /// `cvt.s.w fd, fs`
+    pub fn cvt_s_w(&mut self, fd: FReg, fs: FReg) {
+        self.push(Insn::CvtFromW { fmt: FpFmt::S, fd, fs });
+    }
+
+    /// `trunc.w.d fd, fs` — double to integer bits in `fd`.
+    pub fn trunc_w_d(&mut self, fd: FReg, fs: FReg) {
+        self.push(Insn::TruncToW { fmt: FpFmt::D, fd, fs });
+    }
+
+    /// Pseudo: load an integer-valued double constant into `fd`
+    /// (li + mtc1 + cvt.d.w; clobbers `$at`).
+    pub fn li_d(&mut self, fd: FReg, value: i32) {
+        self.li(Reg::AT, value);
+        self.mtc1(Reg::AT, fd);
+        self.cvt_d_w(fd, fd);
+    }
+
+    // ------------------------------------------------------------------
+    // Function prologue / epilogue
+    // ------------------------------------------------------------------
+
+    /// Emits the prologue for `frame`: allocates (and, for oversized frames
+    /// under the support policy, explicitly aligns) the stack frame and
+    /// saves `$ra` plus the callee-saved registers.
+    pub fn prologue(&mut self, frame: &Frame) {
+        if let Some(align) = frame.explicit_align() {
+            // §4: sp is explicitly aligned; the caller's sp is kept in the
+            // frame and restored on return. `$k0`/`$at` are codegen-owned.
+            self.move_(Reg::K0, Reg::SP);
+            self.addiu(Reg::SP, Reg::SP, -(frame.size() as i32) as i16);
+            self.addiu(Reg::AT, Reg::ZERO, -(align as i32) as i16);
+            self.and_(Reg::SP, Reg::SP, Reg::AT);
+            self.sw(Reg::K0, frame.old_sp_slot().expect("old sp slot") as i16, Reg::SP);
+        } else {
+            self.addiu(Reg::SP, Reg::SP, -(frame.size() as i32) as i16);
+        }
+        if let Some(ra) = frame.ra_slot() {
+            self.sw(Reg::RA, ra as i16, Reg::SP);
+        }
+        for &(reg, off) in frame.saved() {
+            self.sw(reg, off as i16, Reg::SP);
+        }
+    }
+
+    /// Emits the epilogue for `frame` and returns (`jr $ra`).
+    pub fn epilogue_ret(&mut self, frame: &Frame) {
+        for &(reg, off) in frame.saved() {
+            self.lw(reg, off as i16, Reg::SP);
+        }
+        if let Some(ra) = frame.ra_slot() {
+            self.lw(Reg::RA, ra as i16, Reg::SP);
+        }
+        if frame.explicit_align().is_some() {
+            self.lw(Reg::SP, frame.old_sp_slot().expect("old sp slot") as i16, Reg::SP);
+        } else {
+            self.addiu(Reg::SP, Reg::SP, frame.size() as i16);
+        }
+        self.ret();
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic allocation
+    // ------------------------------------------------------------------
+
+    /// Inline bump-allocation of `size` bytes: `dst` receives the chunk
+    /// address. The chunk size is rounded per the policy's dynamic
+    /// alignment, so consecutive allocations stay 8- or 32-byte aligned —
+    /// the §4 `malloc` alignment change. Clobbers `$k1`.
+    pub fn alloc_fixed(&mut self, dst: Reg, size: u32, policy: &SoftwareSupport) {
+        let rounded = policy.round_alloc_size(size);
+        self.lw_gp(dst, HEAP_PTR_SYMBOL, 0);
+        if let Ok(imm) = i16::try_from(rounded) {
+            self.addiu(Reg::K1, dst, imm);
+        } else {
+            self.li(Reg::K1, rounded as i32);
+            self.addu(Reg::K1, dst, Reg::K1);
+        }
+        self.sw_gp(Reg::K1, HEAP_PTR_SYMBOL, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Data declarations
+    // ------------------------------------------------------------------
+
+    fn add_global(&mut self, item: GlobalItem) {
+        assert!(
+            self.globals.iter().all(|g| g.name != item.name),
+            "global {} defined twice",
+            item.name
+        );
+        self.globals.push(item);
+    }
+
+    /// Declares a small (gp-addressable) word global.
+    pub fn gp_word(&mut self, name: &str, init: u32) {
+        self.add_global(GlobalItem {
+            name: name.to_string(),
+            size: 4,
+            natural_align: 4,
+            init: Some(init.to_le_bytes().to_vec()),
+            far: false,
+        });
+    }
+
+    /// Declares a small double global with the given initial value.
+    pub fn gp_double(&mut self, name: &str, init: f64) {
+        self.add_global(GlobalItem {
+            name: name.to_string(),
+            size: 8,
+            natural_align: 8,
+            init: Some(init.to_bits().to_le_bytes().to_vec()),
+            far: false,
+        });
+    }
+
+    /// Declares a small zero-initialized array in the gp region.
+    pub fn gp_array(&mut self, name: &str, size: u32, natural_align: u32) {
+        self.add_global(GlobalItem {
+            name: name.to_string(),
+            size,
+            natural_align,
+            init: None,
+            far: false,
+        });
+    }
+
+    /// Declares a large zero-initialized array outside the gp region
+    /// (accessed via [`Asm::la`]).
+    pub fn far_array(&mut self, name: &str, size: u32, natural_align: u32) {
+        self.add_global(GlobalItem {
+            name: name.to_string(),
+            size,
+            natural_align,
+            init: None,
+            far: true,
+        });
+    }
+
+    /// Declares initialized word data outside the gp region.
+    pub fn far_words(&mut self, name: &str, words: &[u32]) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.add_global(GlobalItem {
+            name: name.to_string(),
+            size: bytes.len() as u32,
+            natural_align: 4,
+            init: Some(bytes),
+            far: true,
+        });
+    }
+
+    /// Declares initialized byte data outside the gp region.
+    pub fn far_bytes(&mut self, name: &str, bytes: &[u8]) {
+        self.add_global(GlobalItem {
+            name: name.to_string(),
+            size: bytes.len() as u32,
+            natural_align: 1,
+            init: Some(bytes.to_vec()),
+            far: true,
+        });
+    }
+
+    /// Declares initialized double data outside the gp region.
+    pub fn far_doubles(&mut self, name: &str, values: &[f64]) {
+        let bytes: Vec<u8> = values
+            .iter()
+            .flat_map(|v| v.to_bits().to_le_bytes())
+            .collect();
+        self.add_global(GlobalItem {
+            name: name.to_string(),
+            size: bytes.len() as u32,
+            natural_align: 8,
+            init: Some(bytes),
+            far: true,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Linking
+    // ------------------------------------------------------------------
+
+    /// Resolves labels and symbols into a runnable [`Program`], applying
+    /// the layout decisions of the software-support `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LinkError`] for undefined labels/symbols, out-of-range
+    /// branches or gp displacements, or an oversized global region.
+    pub fn link(mut self, name: &str, policy: &SoftwareSupport) -> Result<Program, LinkError> {
+        // Dynamic-allocation alignment: without support the heap starts
+        // only 8-byte aligned (stock allocator); with support it is
+        // 32-byte aligned.
+        let heap_base = if policy.dynamic_align >= 32 {
+            HEAP_BASE
+        } else {
+            HEAP_BASE + 8
+        };
+        if let Some(hp) = self
+            .globals
+            .iter_mut()
+            .find(|g| g.name == HEAP_PTR_SYMBOL)
+        {
+            hp.init = Some(heap_base.to_le_bytes().to_vec());
+        }
+
+        // --- Data layout ---------------------------------------------
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        let mut blobs: Vec<DataBlob> = Vec::new();
+        let static_bytes: u64;
+
+        let place = |items: &[&GlobalItem],
+                         base: u32,
+                         policy: &SoftwareSupport,
+                         symbols: &mut HashMap<String, u32>,
+                         blobs: &mut Vec<DataBlob>|
+         -> u32 {
+            let mut cur = base;
+            for item in items {
+                // Under the §5.4 placement strategy, arrays (gp-region or
+                // far) are aligned to their size; otherwise the §4 static
+                // policy applies.
+                let align = if item.far || policy.large_array_align_max > 0 {
+                    policy.large_array_align(item.size, item.natural_align)
+                } else {
+                    policy.static_align(item.size, item.natural_align)
+                };
+                cur = round_up(cur, align);
+                symbols.insert(item.name.clone(), cur);
+                if let Some(init) = &item.init {
+                    blobs.push(DataBlob { addr: cur, bytes: init.clone() });
+                }
+                cur += item.size.max(1);
+            }
+            cur
+        };
+
+        let gp_items: Vec<&GlobalItem> = self.globals.iter().filter(|g| !g.far).collect();
+        let far_items: Vec<&GlobalItem> = self.globals.iter().filter(|g| g.far).collect();
+
+        let gp: u32;
+        if policy.align_global_pointer {
+            // §4: the global region starts at a power-of-two boundary
+            // larger than the largest offset; all offsets positive.
+            let gp_base = 0x1000_0000;
+            let gp_end = place(&gp_items, gp_base, policy, &mut symbols, &mut blobs);
+            if gp_end - gp_base > 0x7fff {
+                return Err(LinkError::GlobalRegionTooLarge((gp_end - gp_base) as u64));
+            }
+            gp = gp_base;
+            let far_base = round_up(gp_end.max(0x1001_0000), 64);
+            let far_end = place(&far_items, far_base, policy, &mut symbols, &mut blobs);
+            static_bytes = (gp_end - gp_base) as u64 + (far_end - far_base) as u64;
+        } else {
+            // Stock layout: ordinary data first, then the small-data
+            // region wherever the data segment happens to end — so the
+            // global pointer value is arbitrary and unaligned.
+            let far_base = 0x1000_0000;
+            let far_end = place(&far_items, far_base, policy, &mut symbols, &mut blobs);
+            let gp_base = round_up(far_end, 8) + 8;
+            let gp_end = place(&gp_items, gp_base, policy, &mut symbols, &mut blobs);
+            // MIPS convention: $gp points a little inside the region so a
+            // few variables sit at small negative offsets.
+            gp = gp_base + 16;
+            if gp_end.saturating_sub(gp) > 0x7fff {
+                return Err(LinkError::GlobalRegionTooLarge((gp_end - gp_base) as u64));
+            }
+            static_bytes = (gp_end - far_base) as u64;
+        }
+
+        // --- Text resolution ------------------------------------------
+        let resolve_label = |label: &str| -> Result<usize, LinkError> {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| LinkError::UndefinedLabel(label.to_string()))
+        };
+        let resolve_sym = |sym: &str| -> Result<u32, LinkError> {
+            symbols
+                .get(sym)
+                .copied()
+                .ok_or_else(|| LinkError::UndefinedSymbol(sym.to_string()))
+        };
+
+        let mut text = Vec::with_capacity(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let insn = match slot {
+                Slot::Ready(i) => *i,
+                Slot::Branch { cond, rs, rt, label } => {
+                    let dest = resolve_label(label)?;
+                    let off = dest as i64 - (idx as i64 + 1);
+                    let off = i16::try_from(off)
+                        .map_err(|_| LinkError::BranchOutOfRange(label.clone()))?;
+                    Insn::Branch { cond: *cond, rs: *rs, rt: *rt, off }
+                }
+                Slot::Bc1 { on_true, label } => {
+                    let dest = resolve_label(label)?;
+                    let off = dest as i64 - (idx as i64 + 1);
+                    let off = i16::try_from(off)
+                        .map_err(|_| LinkError::BranchOutOfRange(label.clone()))?;
+                    Insn::Bc1 { on_true: *on_true, off }
+                }
+                Slot::Jump { label, link } => {
+                    let dest = resolve_label(label)?;
+                    let target = (TEXT_BASE / 4) + dest as u32;
+                    if *link {
+                        Insn::Jal { target }
+                    } else {
+                        Insn::J { target }
+                    }
+                }
+                Slot::LaHi { rt, sym, extra } => {
+                    let addr = resolve_sym(sym)?.wrapping_add(*extra as u32);
+                    Insn::Lui { rt: *rt, imm: (addr >> 16) as u16 }
+                }
+                Slot::LaLo { rt, sym, extra } => {
+                    let addr = resolve_sym(sym)?.wrapping_add(*extra as u32);
+                    Insn::AluImm {
+                        op: AluImmOp::Ori,
+                        rt: *rt,
+                        rs: *rt,
+                        imm: (addr & 0xffff) as i16,
+                    }
+                }
+                Slot::GpMem { kind, reg, sym, extra } => {
+                    let addr = resolve_sym(sym)?.wrapping_add(*extra as u32);
+                    let disp = addr as i64 - gp as i64;
+                    let disp = i16::try_from(disp).map_err(|_| {
+                        LinkError::GpDisplacementOutOfRange(sym.clone(), disp)
+                    })?;
+                    let ea = AddrMode::BaseDisp { base: Reg::GP, disp };
+                    match (kind, reg) {
+                        (GpMemKind::Load(op), DataReg::Int(rt)) => {
+                            Insn::Load { op: *op, rt: *rt, ea }
+                        }
+                        (GpMemKind::Store(op), DataReg::Int(rt)) => {
+                            Insn::Store { op: *op, rt: *rt, ea }
+                        }
+                        (GpMemKind::LoadFp(fmt), DataReg::Fp(ft)) => {
+                            Insn::LoadFp { fmt: *fmt, ft: *ft, ea }
+                        }
+                        (GpMemKind::StoreFp(fmt), DataReg::Fp(ft)) => {
+                            Insn::StoreFp { fmt: *fmt, ft: *ft, ea }
+                        }
+                        _ => unreachable!("mismatched gp access operands"),
+                    }
+                }
+                Slot::GpAddr { rt, sym, extra } => {
+                    let addr = resolve_sym(sym)?.wrapping_add(*extra as u32);
+                    let disp = addr as i64 - gp as i64;
+                    let disp = i16::try_from(disp).map_err(|_| {
+                        LinkError::GpDisplacementOutOfRange(sym.clone(), disp)
+                    })?;
+                    Insn::AluImm { op: AluImmOp::Addiu, rt: *rt, rs: Reg::GP, imm: disp }
+                }
+            };
+            text.push(insn);
+        }
+
+        let sp = if policy.stack_frame_align > 8 { STACK_TOP_ALIGNED } else { STACK_TOP_STOCK };
+
+        Ok(Program {
+            name: name.to_string(),
+            text_base: TEXT_BASE,
+            text,
+            entry: TEXT_BASE,
+            gp,
+            sp,
+            heap_base,
+            data: blobs,
+            symbols,
+            static_bytes,
+        })
+    }
+}

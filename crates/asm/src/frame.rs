@@ -1,0 +1,300 @@
+//! Stack-frame layout under the §4 software-support policy.
+
+use crate::support::{round_up, SoftwareSupport};
+use fac_isa::Reg;
+use std::collections::HashMap;
+
+/// Declarative description of a function's stack frame.
+///
+/// The compiler support of §4 influences frames in three ways, all modelled
+/// here:
+///
+/// * frame sizes are rounded to the program-wide stack alignment (64 bytes
+///   with support, 8 without);
+/// * frames larger than that explicitly align the stack pointer at entry
+///   (up to 256 bytes), saving the caller's `$sp` in the frame;
+/// * scalar slots are sorted **closest to `$sp`** so their offsets stay
+///   below the stack alignment (without support, arrays come first and
+///   scalars get large offsets — the stock-GCC layout).
+///
+/// ```
+/// use fac_asm::{FrameBuilder, SoftwareSupport};
+/// use fac_isa::Reg;
+///
+/// let frame = FrameBuilder::new(SoftwareSupport::on())
+///     .save_ra()
+///     .save(Reg::S0)
+///     .scalar("i")
+///     .array("buf", 100, 4)
+///     .build();
+/// assert_eq!(frame.size() % 64, 0);
+/// assert!(frame.slot("i") < frame.slot("buf"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameBuilder {
+    policy: SoftwareSupport,
+    save_ra: bool,
+    saved: Vec<Reg>,
+    scalars: Vec<(String, u32)>,
+    arrays: Vec<(String, u32, u32)>,
+}
+
+impl FrameBuilder {
+    /// Starts an empty frame under the given policy.
+    pub fn new(policy: SoftwareSupport) -> FrameBuilder {
+        FrameBuilder {
+            policy,
+            save_ra: false,
+            saved: Vec::new(),
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+        }
+    }
+
+    /// Reserves a slot for the return address (needed by non-leaf
+    /// functions).
+    pub fn save_ra(mut self) -> FrameBuilder {
+        self.save_ra = true;
+        self
+    }
+
+    /// Reserves a save slot for a callee-saved register.
+    pub fn save(mut self, reg: Reg) -> FrameBuilder {
+        self.saved.push(reg);
+        self
+    }
+
+    /// Adds a 4-byte scalar local named `name`.
+    pub fn scalar(self, name: &str) -> FrameBuilder {
+        self.scalar_sized(name, 4)
+    }
+
+    /// Adds a scalar local of `size` bytes (4 or 8).
+    pub fn scalar_sized(mut self, name: &str, size: u32) -> FrameBuilder {
+        assert!(size == 4 || size == 8, "scalars are 4 or 8 bytes");
+        self.scalars.push((name.to_string(), size));
+        self
+    }
+
+    /// Adds a local aggregate (array/struct) of `size` bytes with the given
+    /// natural alignment.
+    pub fn array(mut self, name: &str, size: u32, align: u32) -> FrameBuilder {
+        assert!(align.is_power_of_two(), "array alignment must be a power of two");
+        self.arrays.push((name.to_string(), size, align));
+        self
+    }
+
+    /// Computes the final layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate slot names.
+    pub fn build(self) -> Frame {
+        let mut slots: HashMap<String, u32> = HashMap::new();
+        let mut offset = 0u32;
+
+        let place_scalars = |offset: &mut u32, slots: &mut HashMap<String, u32>| {
+            for (name, size) in &self.scalars {
+                *offset = round_up(*offset, *size);
+                let prev = slots.insert(name.clone(), *offset);
+                assert!(prev.is_none(), "duplicate frame slot {name}");
+                *offset += size;
+            }
+        };
+        let place_arrays = |offset: &mut u32, slots: &mut HashMap<String, u32>| {
+            for (name, size, align) in &self.arrays {
+                // With support, local aggregates get the boosted static
+                // alignment (next pow2 ≤ 32) like globals.
+                let align = self.policy.static_align(*size, *align);
+                *offset = round_up(*offset, align);
+                let prev = slots.insert(name.clone(), *offset);
+                assert!(prev.is_none(), "duplicate frame slot {name}");
+                *offset += self.policy.round_struct_size(*size);
+            }
+        };
+
+        if self.policy.stack_frame_align > 8 {
+            // Software support: scalars nearest the stack pointer.
+            place_scalars(&mut offset, &mut slots);
+            place_arrays(&mut offset, &mut slots);
+        } else {
+            // Stock layout: aggregates first, scalars above them.
+            place_arrays(&mut offset, &mut slots);
+            place_scalars(&mut offset, &mut slots);
+        }
+
+        // Register save area and return address at the top of the frame.
+        let mut saved = Vec::new();
+        for reg in &self.saved {
+            offset = round_up(offset, 4);
+            saved.push((*reg, offset));
+            offset += 4;
+        }
+        let ra_slot = if self.save_ra {
+            offset = round_up(offset, 4);
+            let s = offset;
+            offset += 4;
+            Some(s)
+        } else {
+            None
+        };
+
+        let rounded = self.policy.round_frame_size(offset.max(8));
+        let explicit_align = self.policy.explicit_stack_align(rounded);
+        // The old-sp word (explicitly aligned frames only) lives in the top
+        // word of the frame; grow the frame if the layout already uses it.
+        let size = match explicit_align {
+            Some(_) if offset + 4 > rounded => self.policy.round_frame_size(offset + 4),
+            _ => rounded,
+        };
+        let old_sp_slot = explicit_align.map(|_| size - 4);
+
+        Frame { size, explicit_align, slots, saved, ra_slot, old_sp_slot }
+    }
+}
+
+/// A finalized stack-frame layout. Produced by [`FrameBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct Frame {
+    size: u32,
+    explicit_align: Option<u32>,
+    slots: HashMap<String, u32>,
+    saved: Vec<(Reg, u32)>,
+    ra_slot: Option<u32>,
+    old_sp_slot: Option<u32>,
+}
+
+impl Frame {
+    /// Total frame size in bytes (already rounded to the policy alignment).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Explicit stack alignment for oversized frames, when the policy
+    /// demands one.
+    pub fn explicit_align(&self) -> Option<u32> {
+        self.explicit_align
+    }
+
+    /// Offset (from `$sp`) of a named local slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot does not exist.
+    pub fn slot(&self, name: &str) -> i16 {
+        let off = *self
+            .slots
+            .get(name)
+            .unwrap_or_else(|| panic!("no frame slot named {name}"));
+        i16::try_from(off).expect("frame offset fits in 16 bits")
+    }
+
+    /// Offsets of the callee-saved registers.
+    pub fn saved(&self) -> &[(Reg, u32)] {
+        &self.saved
+    }
+
+    /// Offset of the return-address slot, if reserved.
+    pub fn ra_slot(&self) -> Option<u32> {
+        self.ra_slot
+    }
+
+    /// Offset of the saved caller `$sp`, for explicitly aligned frames.
+    pub fn old_sp_slot(&self) -> Option<u32> {
+        self.old_sp_slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn supported_layout_puts_scalars_first() {
+        let f = FrameBuilder::new(SoftwareSupport::on())
+            .scalar("i")
+            .scalar("j")
+            .array("buf", 40, 4)
+            .build();
+        assert_eq!(f.slot("i"), 0);
+        assert_eq!(f.slot("j"), 4);
+        assert!(f.slot("buf") >= 8);
+        assert_eq!(f.size() % 64, 0);
+    }
+
+    #[test]
+    fn stock_layout_puts_arrays_first() {
+        let f = FrameBuilder::new(SoftwareSupport::off())
+            .scalar("i")
+            .array("buf", 40, 4)
+            .build();
+        assert_eq!(f.slot("buf"), 0);
+        assert_eq!(f.slot("i"), 40);
+        assert_eq!(f.size() % 8, 0);
+    }
+
+    #[test]
+    fn big_frames_get_explicit_alignment_with_support() {
+        let f = FrameBuilder::new(SoftwareSupport::on())
+            .array("big", 300, 8)
+            .build();
+        assert!(f.size() > 64);
+        let align = f.explicit_align().expect("explicit alignment");
+        assert!(align.is_power_of_two() && align <= 256);
+        assert!(f.old_sp_slot().is_some());
+    }
+
+    #[test]
+    fn big_frames_stay_plain_without_support() {
+        let f = FrameBuilder::new(SoftwareSupport::off())
+            .array("big", 300, 8)
+            .build();
+        assert_eq!(f.explicit_align(), None);
+        assert_eq!(f.old_sp_slot(), None);
+    }
+
+    #[test]
+    fn ra_and_saves_have_slots() {
+        let f = FrameBuilder::new(SoftwareSupport::on())
+            .save_ra()
+            .save(Reg::S0)
+            .save(Reg::S1)
+            .scalar("x")
+            .build();
+        assert!(f.ra_slot().is_some());
+        assert_eq!(f.saved().len(), 2);
+        let mut offsets: Vec<u32> = f.saved().iter().map(|&(_, o)| o).collect();
+        offsets.push(f.ra_slot().unwrap());
+        offsets.push(f.slot("x") as u32);
+        let unique: std::collections::HashSet<u32> = offsets.iter().copied().collect();
+        assert_eq!(unique.len(), offsets.len(), "no slot collisions");
+    }
+
+    #[test]
+    fn old_sp_does_not_collide() {
+        let f = FrameBuilder::new(SoftwareSupport::on())
+            .save_ra()
+            .array("big", 124, 4)
+            .build();
+        if let Some(old_sp) = f.old_sp_slot() {
+            assert_ne!(Some(old_sp), f.ra_slot());
+            assert!(old_sp < f.size());
+            assert!(old_sp >= 124);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate frame slot")]
+    fn duplicate_slots_rejected() {
+        let _ = FrameBuilder::new(SoftwareSupport::on())
+            .scalar("x")
+            .scalar("x")
+            .build();
+    }
+
+    #[test]
+    fn minimum_frame_is_nonzero() {
+        let f = FrameBuilder::new(SoftwareSupport::off()).build();
+        assert!(f.size() >= 8);
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # fac-asm — program builder, linker, and the §4 software support
+//!
+//! Workload kernels for the fast-address-calculation evaluation are written
+//! against [`Asm`], an ergonomic extended-MIPS program builder. [`Asm::link`]
+//! resolves labels and data symbols into a runnable [`Program`], applying a
+//! [`SoftwareSupport`] policy — the compiler/linker changes of §4 of the
+//! paper:
+//!
+//! * **global pointer**: aligned to a large power of two with all offsets
+//!   positive (with support) vs. wherever the data segment ends (stock);
+//! * **stack**: frame sizes rounded to a program-wide 64-byte alignment,
+//!   oversized frames explicitly aligned up to 256 bytes, scalars sorted
+//!   nearest the stack pointer ([`FrameBuilder`]);
+//! * **statics**: alignment boosted to the next power of two ≤ 32 bytes;
+//! * **dynamic allocation**: 32-byte aligned chunks ([`Asm::alloc_fixed`]);
+//! * **structures**: sizes rounded to powers of two (≤ 16 bytes overhead).
+//!
+//! ```
+//! use fac_asm::{Asm, SoftwareSupport};
+//! use fac_isa::Reg;
+//!
+//! let mut a = Asm::new();
+//! a.gp_word("x", 7);
+//! a.lw_gp(Reg::T0, "x", 0);
+//! a.halt();
+//!
+//! let with_sw = a.clone().link("demo", &SoftwareSupport::on()).unwrap();
+//! let without = a.link("demo", &SoftwareSupport::off()).unwrap();
+//! // With support the global pointer is aligned to a power of two...
+//! assert_eq!(with_sw.gp % 0x1000_0000, 0);
+//! // ...without, it lands wherever the data segment ends.
+//! assert_ne!(without.gp % 64, 0);
+//! ```
+
+mod asm;
+mod frame;
+mod program;
+mod source;
+mod support;
+
+pub use asm::{
+    Asm, LinkError, HEAP_BASE, HEAP_PTR_SYMBOL, STACK_TOP_ALIGNED, STACK_TOP_STOCK, TEXT_BASE,
+};
+pub use frame::{Frame, FrameBuilder};
+pub use source::{assemble, assemble_and_link, AssembleError};
+pub use program::{DataBlob, Program};
+pub use support::{round_up, SoftwareSupport};

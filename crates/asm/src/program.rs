@@ -1,0 +1,140 @@
+//! Linked program images.
+
+use fac_isa::Insn;
+use fac_mem::Memory;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A chunk of initialized data in the linked image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataBlob {
+    /// Load address.
+    pub addr: u32,
+    /// Raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A fully linked program: resolved instructions plus the memory image and
+/// the register environment (entry PC, `$gp`, `$sp`, heap base) the
+/// simulator needs to start it.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Address of the first instruction.
+    pub text_base: u32,
+    /// The instruction stream (contiguous from `text_base`).
+    pub text: Vec<Insn>,
+    /// Initial program counter.
+    pub entry: u32,
+    /// Initial global-pointer value chosen by the linker.
+    pub gp: u32,
+    /// Initial stack-pointer value.
+    pub sp: u32,
+    /// First free heap address (the in-program allocator starts here).
+    pub heap_base: u32,
+    /// Initialized data to place in memory before execution.
+    pub data: Vec<DataBlob>,
+    /// Symbol table: global variable name → address.
+    pub symbols: HashMap<String, u32>,
+    /// Total bytes of statically allocated data (before heap/stack).
+    pub static_bytes: u64,
+}
+
+impl Program {
+    /// Index into [`Program::text`] for the given PC, if it is in range and
+    /// word-aligned.
+    pub fn insn_index(&self, pc: u32) -> Option<usize> {
+        if pc < self.text_base || pc % 4 != 0 {
+            return None;
+        }
+        let idx = ((pc - self.text_base) / 4) as usize;
+        (idx < self.text.len()).then_some(idx)
+    }
+
+    /// Address of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is unknown.
+    pub fn symbol(&self, name: &str) -> u32 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown symbol {name}"))
+    }
+
+    /// Writes the initialized data segment into `mem`.
+    pub fn load_into(&self, mem: &mut Memory) {
+        for blob in &self.data {
+            mem.write_bytes(blob.addr, &blob.bytes);
+        }
+    }
+
+    /// Human-readable disassembly of the text segment.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (i, insn) in self.text.iter().enumerate() {
+            let _ = writeln!(out, "{:#010x}:  {}", self.text_base + 4 * i as u32, insn);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fac_isa::Insn;
+
+    fn tiny() -> Program {
+        Program {
+            name: "tiny".into(),
+            text_base: 0x0040_0000,
+            text: vec![Insn::Nop, Insn::Halt],
+            entry: 0x0040_0000,
+            gp: 0x1000_0000,
+            sp: 0x7fff_c000,
+            heap_base: 0x2000_0000,
+            data: vec![DataBlob { addr: 0x1000_0000, bytes: vec![1, 2, 3, 4] }],
+            symbols: [("x".to_string(), 0x1000_0000)].into_iter().collect(),
+            static_bytes: 4,
+        }
+    }
+
+    #[test]
+    fn insn_index_bounds() {
+        let p = tiny();
+        assert_eq!(p.insn_index(0x0040_0000), Some(0));
+        assert_eq!(p.insn_index(0x0040_0004), Some(1));
+        assert_eq!(p.insn_index(0x0040_0008), None);
+        assert_eq!(p.insn_index(0x003f_fffc), None);
+        assert_eq!(p.insn_index(0x0040_0001), None);
+    }
+
+    #[test]
+    fn load_into_writes_data() {
+        let p = tiny();
+        let mut mem = Memory::new();
+        p.load_into(&mut mem);
+        assert_eq!(mem.read_u32(0x1000_0000), 0x0403_0201);
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        assert_eq!(tiny().symbol("x"), 0x1000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown symbol")]
+    fn unknown_symbol_panics() {
+        let _ = tiny().symbol("nope");
+    }
+
+    #[test]
+    fn disassembly_lists_every_insn() {
+        let d = tiny().disassemble();
+        assert_eq!(d.lines().count(), 2);
+        assert!(d.contains("nop"));
+        assert!(d.contains("halt"));
+    }
+}

@@ -1,0 +1,383 @@
+//! A text-source front end for the program builder: assemble a whole
+//! program from assembly text with labels, data directives and symbolic
+//! operands, producing an [`Asm`] ready to [`Asm::link`].
+//!
+//! Syntax (one statement per line; `;` or `#` start comments):
+//!
+//! ```text
+//! .gpword   counter 0          ; small global word, initial value
+//! .gpdouble scale 2.5          ; small global double
+//! .gparray  table 256 4        ; small zero array: size, natural align
+//! .fararray buf 4096 4         ; large zero array outside the gp region
+//! .farwords lut 1 2 3 4        ; initialized far words
+//!
+//! main:
+//!     lw   $t0, counter($gp)   ; gp-relative access by symbol
+//!     la   $s0, buf+16         ; full address of a far symbol
+//!     addiu $t0, $t0, 1
+//!     sw   $t0, counter($gp)
+//!     bne  $t0, $zero, main    ; branches/jumps take labels
+//!     halt
+//! ```
+//!
+//! Plain instructions use exactly the disassembler syntax (see
+//! [`fac_isa::parse_insn`]).
+
+use crate::{Asm, SoftwareSupport};
+use fac_isa::{parse_insn, Reg};
+use core::fmt;
+
+/// Error from [`assemble`], with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+fn fail<T>(line: usize, message: impl Into<String>) -> Result<T, AssembleError> {
+    Err(AssembleError { line, message: message.into() })
+}
+
+fn split_sym_offset(tok: &str) -> (&str, i32) {
+    if let Some((s, o)) = tok.split_once('+') {
+        if let Ok(off) = o.trim().parse::<i32>() {
+            return (s.trim(), off);
+        }
+    }
+    if let Some((s, o)) = tok.rsplit_once('-') {
+        if !s.is_empty() {
+            if let Ok(off) = o.trim().parse::<i32>() {
+                return (s.trim(), -off);
+            }
+        }
+    }
+    (tok.trim(), 0)
+}
+
+fn is_symbolic(tok: &str) -> bool {
+    tok.chars()
+        .next()
+        .map(|c| c.is_ascii_alphabetic() || c == '_')
+        .unwrap_or(false)
+        && !tok.starts_with('$')
+}
+
+/// A gp-relative access with a symbolic displacement: `op reg, sym($gp)`.
+fn try_gp_access(a: &mut Asm, mnemonic: &str, ops: &[&str]) -> Result<bool, String> {
+    if ops.len() != 2 {
+        return Ok(false);
+    }
+    let Some(inner) = ops[1].strip_suffix("($gp)") else {
+        return Ok(false);
+    };
+    if !is_symbolic(inner) {
+        return Ok(false); // a numeric gp displacement parses normally
+    }
+    let (sym, extra) = split_sym_offset(inner);
+    match mnemonic {
+        "lw" => a.lw_gp(parse_int_reg(ops[0])?, sym, extra),
+        "sw" => a.sw_gp(parse_int_reg(ops[0])?, sym, extra),
+        "l.d" => a.l_d_gp(parse_fp_reg(ops[0])?, sym, extra),
+        "s.d" => a.s_d_gp(parse_fp_reg(ops[0])?, sym, extra),
+        _ => return Err(format!("{mnemonic} cannot take a symbolic gp operand")),
+    }
+    Ok(true)
+}
+
+fn parse_int_reg(tok: &str) -> Result<Reg, String> {
+    // Reuse the instruction parser by parsing a dummy move.
+    match parse_insn(&format!("addu {tok}, $zero, $zero")) {
+        Ok(fac_isa::Insn::Alu { rd, .. }) => Ok(rd),
+        _ => Err(format!("bad register {tok}")),
+    }
+}
+
+fn parse_fp_reg(tok: &str) -> Result<fac_isa::FReg, String> {
+    match parse_insn(&format!("mov.d {tok}, $f0")) {
+        Ok(fac_isa::Insn::Fp { fd, .. }) => Ok(fd),
+        _ => Err(format!("bad fp register {tok}")),
+    }
+}
+
+/// Assembles a source listing into a ready-to-link [`Asm`].
+///
+/// ```
+/// use fac_asm::{assemble, SoftwareSupport};
+///
+/// let asm = assemble(
+///     r#"
+///     .gpword counter 41
+/// main:
+///     lw    $t0, counter($gp)
+///     addiu $t0, $t0, 1
+///     sw    $t0, counter($gp)
+///     halt
+///     "#,
+/// )
+/// .unwrap();
+/// let program = asm.link("demo", &SoftwareSupport::on()).unwrap();
+/// assert_eq!(program.text.len(), 4);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`AssembleError`] with the offending line for any syntax or
+/// operand problem. (Unresolved labels are reported later, by
+/// [`Asm::link`].)
+pub fn assemble(source: &str) -> Result<Asm, AssembleError> {
+    let mut a = Asm::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split(|c| c == ';' || c == '#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Labels (possibly with a trailing statement).
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if !is_symbolic(label) {
+                return fail(line_no, format!("bad label {label}"));
+            }
+            a.label(label);
+            rest = tail[1..].trim();
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        // Directives.
+        if let Some(directive) = rest.strip_prefix('.') {
+            let toks: Vec<&str> = directive.split_whitespace().collect();
+            let need = |n: usize| -> Result<(), AssembleError> {
+                if toks.len() == n + 1 {
+                    Ok(())
+                } else {
+                    fail(line_no, format!(".{} expects {n} arguments", toks[0]))
+                }
+            };
+            match toks.first().copied() {
+                Some("gpword") => {
+                    need(2)?;
+                    let v = parse_u32(toks[2])
+                        .ok_or_else(|| AssembleError {
+                            line: line_no,
+                            message: format!("bad value {}", toks[2]),
+                        })?;
+                    a.gp_word(toks[1], v);
+                }
+                Some("gpdouble") => {
+                    need(2)?;
+                    let v: f64 = toks[2].parse().map_err(|_| AssembleError {
+                        line: line_no,
+                        message: format!("bad double {}", toks[2]),
+                    })?;
+                    a.gp_double(toks[1], v);
+                }
+                Some("gparray") | Some("fararray") => {
+                    need(3)?;
+                    let size = parse_u32(toks[2]);
+                    let align = parse_u32(toks[3]);
+                    let (Some(size), Some(align)) = (size, align) else {
+                        return fail(line_no, "bad size/align");
+                    };
+                    if toks[0] == "gparray" {
+                        a.gp_array(toks[1], size, align);
+                    } else {
+                        a.far_array(toks[1], size, align);
+                    }
+                }
+                Some("farwords") => {
+                    if toks.len() < 3 {
+                        return fail(line_no, ".farwords expects a name and values");
+                    }
+                    let words: Option<Vec<u32>> = toks[2..].iter().map(|t| parse_u32(t)).collect();
+                    let Some(words) = words else {
+                        return fail(line_no, "bad word value");
+                    };
+                    a.far_words(toks[1], &words);
+                }
+                other => return fail(line_no, format!("unknown directive .{}", other.unwrap_or(""))),
+            }
+            continue;
+        }
+
+        // Instructions with symbolic operands.
+        let (mnemonic, operands) = match rest.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (rest, ""),
+        };
+        let ops: Vec<&str> = if operands.is_empty() {
+            Vec::new()
+        } else {
+            operands.split(',').map(str::trim).collect()
+        };
+
+        match mnemonic {
+            _ if try_gp_access(&mut a, mnemonic, &ops)
+                .map_err(|m| AssembleError { line: line_no, message: m })? => {}
+            "la" if ops.len() == 2 && is_symbolic(ops[1]) => {
+                let (sym, extra) = split_sym_offset(ops[1]);
+                let rt = parse_int_reg(ops[0])
+                    .map_err(|m| AssembleError { line: line_no, message: m })?;
+                a.la(rt, sym, extra);
+            }
+            "li" if ops.len() == 2 => {
+                let rt = parse_int_reg(ops[0])
+                    .map_err(|m| AssembleError { line: line_no, message: m })?;
+                let Some(v) = parse_i32(ops[1]) else {
+                    return fail(line_no, format!("bad immediate {}", ops[1]));
+                };
+                a.li(rt, v);
+            }
+            "beq" | "bne" if ops.len() == 3 && is_symbolic(ops[2]) => {
+                let rs = parse_int_reg(ops[0])
+                    .map_err(|m| AssembleError { line: line_no, message: m })?;
+                let rt = parse_int_reg(ops[1])
+                    .map_err(|m| AssembleError { line: line_no, message: m })?;
+                if mnemonic == "beq" {
+                    a.beq(rs, rt, ops[2]);
+                } else {
+                    a.bne(rs, rt, ops[2]);
+                }
+            }
+            "blez" | "bgtz" | "bltz" | "bgez" if ops.len() == 2 && is_symbolic(ops[1]) => {
+                let rs = parse_int_reg(ops[0])
+                    .map_err(|m| AssembleError { line: line_no, message: m })?;
+                match mnemonic {
+                    "blez" => a.blez(rs, ops[1]),
+                    "bgtz" => a.bgtz(rs, ops[1]),
+                    "bltz" => a.bltz(rs, ops[1]),
+                    _ => a.bgez(rs, ops[1]),
+                }
+            }
+            "bc1t" | "bc1f" if ops.len() == 1 && is_symbolic(ops[0]) => {
+                a.bc1(mnemonic == "bc1t", ops[0]);
+            }
+            "j" | "jal" | "call" if ops.len() == 1 && is_symbolic(ops[0]) => {
+                if mnemonic == "j" {
+                    a.j(ops[0]);
+                } else {
+                    a.call(ops[0]);
+                }
+            }
+            "ret" if ops.is_empty() => a.ret(),
+            _ => {
+                // Everything else is plain disassembler syntax.
+                let insn = parse_insn(rest)
+                    .map_err(|e| AssembleError { line: line_no, message: e.to_string() })?;
+                a.emit(insn);
+            }
+        }
+    }
+    Ok(a)
+}
+
+fn parse_u32(tok: &str) -> Option<u32> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        tok.parse().ok()
+    }
+}
+
+fn parse_i32(tok: &str) -> Option<i32> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok().map(|v| v as i32)
+    } else if let Some(hex) = tok.strip_prefix("-0x") {
+        u32::from_str_radix(hex, 16).ok().map(|v| -(v as i32))
+    } else {
+        tok.parse().ok()
+    }
+}
+
+/// Assembles and links in one step.
+///
+/// # Errors
+///
+/// Returns the assembly error as a string, or the link error.
+pub fn assemble_and_link(
+    source: &str,
+    name: &str,
+    policy: &SoftwareSupport,
+) -> Result<crate::Program, Box<dyn std::error::Error>> {
+    let asm = assemble(source)?;
+    Ok(asm.link(name, policy)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_labels_directives_and_instructions() {
+        let a = assemble(
+            r#"
+            ; a comment-only line
+            .gpword x 7
+            .fararray buf 64 4
+        start:
+            lw $t0, x($gp)
+            la $s0, buf+8
+            addiu $t0, $t0, 1
+            sw $t0, x($gp)
+            bne $t0, $zero, start
+            halt
+            "#,
+        )
+        .unwrap();
+        // la expands to two instructions.
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn label_with_trailing_statement() {
+        let a = assemble("top: nop\n j top\n").unwrap();
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nfrobnicate $t0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+        let e = assemble(".gpword\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = assemble("lh $t0, x($gp)\n").unwrap_err();
+        assert!(e.message.contains("symbolic gp operand"));
+    }
+
+    #[test]
+    fn symbolic_offsets_parse() {
+        assert_eq!(split_sym_offset("buf+16"), ("buf", 16));
+        assert_eq!(split_sym_offset("buf-4"), ("buf", -4));
+        assert_eq!(split_sym_offset("buf"), ("buf", 0));
+    }
+
+    #[test]
+    fn li_handles_wide_constants() {
+        let a = assemble("li $t0, 0x12345678\nhalt\n").unwrap();
+        assert_eq!(a.len(), 3); // lui + ori + halt
+    }
+
+    #[test]
+    fn numeric_gp_displacement_still_parses_as_plain_insn() {
+        let a = assemble("lw $t0, 16($gp)\nhalt\n").unwrap();
+        assert_eq!(a.len(), 2);
+    }
+}

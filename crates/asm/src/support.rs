@@ -1,0 +1,232 @@
+//! The §4 software-support policy: compiler/linker alignment decisions.
+
+/// Compiler and linker support for fast address calculation (paper §4/§5.1).
+///
+/// Fast address calculation needs no software help to be *correct*, but
+/// prediction accuracy improves dramatically when pointers are aligned and
+/// offset constants kept small. This struct captures every knob the paper's
+/// modified GCC 2.6 / GLD 2.3 exposed; [`SoftwareSupport::on`] mirrors the
+/// evaluated configuration, [`SoftwareSupport::off`] the stock toolchain.
+///
+/// ```
+/// use fac_asm::SoftwareSupport;
+///
+/// let sw = SoftwareSupport::on();
+/// assert_eq!(sw.stack_frame_align, 64);
+/// assert_eq!(sw.dynamic_align, 32);
+/// let base = SoftwareSupport::off();
+/// assert_eq!(base.stack_frame_align, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareSupport {
+    /// GLD aligns the global pointer to a power of two larger than the
+    /// largest relocation applied to it and restricts all global-pointer
+    /// relocations to be positive. (Stock linkers leave `$gp` wherever the
+    /// data segment ends and use signed 16-bit offsets around it.)
+    pub align_global_pointer: bool,
+    /// Program-wide stack-pointer alignment: frame sizes are rounded up to
+    /// a multiple of this. The paper uses 64 with support, 8 without (GCC's
+    /// default stack alignment).
+    pub stack_frame_align: u32,
+    /// Frames larger than `stack_frame_align` explicitly align the stack
+    /// pointer (AND with the negated power-of-two frame size) up to this
+    /// bound — 256 bytes in the evaluation. Equal to `stack_frame_align`
+    /// when the feature is off.
+    pub max_explicit_stack_align: u32,
+    /// Static (global) variables are placed with an alignment equal to the
+    /// next power of two ≥ their size, capped at this many bytes (32 in the
+    /// evaluation). `0` disables the boost (natural alignment only).
+    pub static_align_max: u32,
+    /// Alignment of `malloc`/`alloca` allocations — 32 with support, 8
+    /// (typical allocator default) without.
+    pub dynamic_align: u32,
+    /// Structure sizes are rounded up to the next power of two, with the
+    /// overhead capped at this many bytes (16 in the evaluation). `0`
+    /// disables rounding.
+    pub struct_round_max_overhead: u32,
+    /// Prefer zero-offset addressing by strength-reducing array subscripts
+    /// (the paper's modified strength-reduction / address-cost tuning that
+    /// makes register+register addressing look expensive).
+    pub prefer_strength_reduction: bool,
+    /// The §5.4 remedy the paper proposes but does not evaluate ("a
+    /// strategy for placement of large alignments should eliminate many
+    /// array index failures... aligning a single large array to its size
+    /// would eliminate nearly all mispredictions"): align large out-of-gp
+    /// arrays to the next power of two ≥ their size, capped at this many
+    /// bytes. `0` disables (the evaluated configuration).
+    pub large_array_align_max: u32,
+}
+
+impl SoftwareSupport {
+    /// The full §5.1 software-support configuration.
+    pub fn on() -> SoftwareSupport {
+        SoftwareSupport {
+            align_global_pointer: true,
+            stack_frame_align: 64,
+            max_explicit_stack_align: 256,
+            static_align_max: 32,
+            dynamic_align: 32,
+            struct_round_max_overhead: 16,
+            prefer_strength_reduction: true,
+            large_array_align_max: 0,
+        }
+    }
+
+    /// §4 support plus the §5.4 large-array placement strategy the paper
+    /// sketches as future work.
+    pub fn on_with_array_alignment() -> SoftwareSupport {
+        SoftwareSupport { large_array_align_max: 1 << 20, ..SoftwareSupport::on() }
+    }
+
+    /// The stock toolchain: natural alignments only.
+    pub fn off() -> SoftwareSupport {
+        SoftwareSupport {
+            align_global_pointer: false,
+            stack_frame_align: 8,
+            max_explicit_stack_align: 8,
+            static_align_max: 0,
+            dynamic_align: 8,
+            struct_round_max_overhead: 0,
+            prefer_strength_reduction: true,
+            large_array_align_max: 0,
+        }
+    }
+
+    /// Alignment for a large (out-of-gp) array under the §5.4 placement
+    /// strategy: the next power of two ≥ the array size, capped.
+    pub fn large_array_align(&self, size: u32, natural: u32) -> u32 {
+        if self.large_array_align_max == 0 {
+            return self.static_align(size, natural);
+        }
+        size.next_power_of_two()
+            .clamp(natural.max(1), self.large_array_align_max)
+    }
+
+    /// Alignment to apply to a static variable of `size` bytes under this
+    /// policy, given its natural alignment.
+    pub fn static_align(&self, size: u32, natural: u32) -> u32 {
+        let natural = natural.max(1);
+        if self.static_align_max == 0 {
+            return natural;
+        }
+        size.next_power_of_two()
+            .clamp(natural, self.static_align_max.max(natural))
+    }
+
+    /// Rounds a structure size per the struct-rounding policy: up to the
+    /// next power of two unless the added padding exceeds the cap.
+    pub fn round_struct_size(&self, size: u32) -> u32 {
+        if self.struct_round_max_overhead == 0 || size == 0 {
+            return size;
+        }
+        let rounded = size.next_power_of_two();
+        if rounded - size <= self.struct_round_max_overhead {
+            rounded
+        } else {
+            size
+        }
+    }
+
+    /// Rounds a stack frame size to the program-wide stack alignment.
+    pub fn round_frame_size(&self, size: u32) -> u32 {
+        round_up(size, self.stack_frame_align)
+    }
+
+    /// The explicit stack alignment used for a frame of `rounded` bytes:
+    /// the power of two ≥ the frame size, capped — or `None` when the
+    /// program-wide alignment already suffices.
+    pub fn explicit_stack_align(&self, rounded: u32) -> Option<u32> {
+        if self.max_explicit_stack_align <= self.stack_frame_align
+            || rounded <= self.stack_frame_align
+        {
+            return None;
+        }
+        Some(
+            rounded
+                .next_power_of_two()
+                .min(self.max_explicit_stack_align),
+        )
+    }
+
+    /// Rounds a dynamic allocation size so consecutive allocations stay
+    /// aligned to [`SoftwareSupport::dynamic_align`].
+    pub fn round_alloc_size(&self, size: u32) -> u32 {
+        round_up(size.max(1), self.dynamic_align)
+    }
+}
+
+/// Rounds `value` up to a multiple of `to` (a power of two).
+pub fn round_up(value: u32, to: u32) -> u32 {
+    debug_assert!(to.is_power_of_two());
+    (value + to - 1) & !(to - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_alignment_policy() {
+        let sw = SoftwareSupport::on();
+        assert_eq!(sw.static_align(4, 4), 4);
+        assert_eq!(sw.static_align(5, 4), 8);
+        assert_eq!(sw.static_align(24, 4), 32);
+        assert_eq!(sw.static_align(1000, 4), 32); // capped
+        let off = SoftwareSupport::off();
+        assert_eq!(off.static_align(1000, 4), 4); // natural only
+        assert_eq!(off.static_align(8, 8), 8);
+    }
+
+    #[test]
+    fn struct_rounding_capped() {
+        let sw = SoftwareSupport::on();
+        assert_eq!(sw.round_struct_size(12), 16); // +4 ≤ 16
+        assert_eq!(sw.round_struct_size(20), 32); // +12 ≤ 16
+        assert_eq!(sw.round_struct_size(40), 40); // +24 > 16: unchanged
+        assert_eq!(sw.round_struct_size(0), 0);
+        assert_eq!(SoftwareSupport::off().round_struct_size(12), 12);
+    }
+
+    #[test]
+    fn frame_rounding() {
+        let sw = SoftwareSupport::on();
+        assert_eq!(sw.round_frame_size(1), 64);
+        assert_eq!(sw.round_frame_size(64), 64);
+        assert_eq!(sw.round_frame_size(65), 128);
+        assert_eq!(SoftwareSupport::off().round_frame_size(20), 24);
+    }
+
+    #[test]
+    fn explicit_alignment_only_for_big_frames() {
+        let sw = SoftwareSupport::on();
+        assert_eq!(sw.explicit_stack_align(64), None);
+        assert_eq!(sw.explicit_stack_align(128), Some(128));
+        assert_eq!(sw.explicit_stack_align(192), Some(256));
+        assert_eq!(sw.explicit_stack_align(1024), Some(256)); // capped
+        assert_eq!(SoftwareSupport::off().explicit_stack_align(1024), None);
+    }
+
+    #[test]
+    fn large_array_alignment_strategy() {
+        let sw = SoftwareSupport::on();
+        assert_eq!(sw.large_array_align(5000, 8), 32, "falls back to static policy");
+        let strat = SoftwareSupport::on_with_array_alignment();
+        assert_eq!(strat.large_array_align(5000, 8), 8192);
+        assert_eq!(strat.large_array_align(16, 8), 16);
+        assert_eq!(strat.large_array_align(1 << 24, 8), 1 << 20, "capped");
+    }
+
+    #[test]
+    fn alloc_size_rounding() {
+        assert_eq!(SoftwareSupport::on().round_alloc_size(1), 32);
+        assert_eq!(SoftwareSupport::on().round_alloc_size(33), 64);
+        assert_eq!(SoftwareSupport::off().round_alloc_size(12), 16);
+    }
+
+    #[test]
+    fn round_up_is_identity_on_multiples() {
+        assert_eq!(round_up(0, 8), 0);
+        assert_eq!(round_up(64, 64), 64);
+        assert_eq!(round_up(65, 64), 128);
+    }
+}

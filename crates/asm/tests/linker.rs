@@ -1,0 +1,270 @@
+//! Integration tests for the linker: symbol resolution, layout policies,
+//! and error paths.
+
+use fac_asm::{Asm, FrameBuilder, LinkError, SoftwareSupport, HEAP_PTR_SYMBOL, TEXT_BASE};
+use fac_isa::{AddrMode, Insn, Reg};
+
+fn on() -> SoftwareSupport {
+    SoftwareSupport::on()
+}
+
+fn off() -> SoftwareSupport {
+    SoftwareSupport::off()
+}
+
+#[test]
+fn gp_relative_loads_resolve_to_gp_base() {
+    let mut a = Asm::new();
+    a.gp_word("x", 7);
+    a.lw_gp(Reg::T0, "x", 0);
+    a.halt();
+    let p = a.link("t", &on()).unwrap();
+    let Insn::Load { ea: AddrMode::BaseDisp { base, disp }, .. } = p.text[0] else {
+        panic!("expected a gp-relative load, got {}", p.text[0]);
+    };
+    assert_eq!(base, Reg::GP);
+    assert_eq!(p.gp.wrapping_add(disp as i32 as u32), p.symbol("x"));
+}
+
+#[test]
+fn with_support_gp_offsets_are_positive() {
+    let mut a = Asm::new();
+    for i in 0..40 {
+        a.gp_word(&format!("v{i}"), i);
+    }
+    a.halt();
+    let p = a.link("t", &on()).unwrap();
+    for i in 0..40 {
+        let addr = p.symbol(&format!("v{i}"));
+        assert!(addr >= p.gp, "v{i} below gp");
+        assert!(addr - p.gp <= 0x7fff, "v{i} out of range");
+    }
+}
+
+#[test]
+fn without_support_some_gp_offsets_are_negative() {
+    let mut a = Asm::new();
+    a.gp_word("early", 1); // placed right after __heap, before gp+16
+    a.halt();
+    let p = a.link("t", &off()).unwrap();
+    assert!(p.symbol(HEAP_PTR_SYMBOL) < p.gp, "heap pointer sits below gp");
+}
+
+#[test]
+fn la_expands_to_lui_ori() {
+    let mut a = Asm::new();
+    a.far_array("big", 1024, 4);
+    a.la(Reg::S0, "big", 12);
+    a.halt();
+    let p = a.link("t", &on()).unwrap();
+    let addr = p.symbol("big") + 12;
+    assert!(matches!(p.text[0], Insn::Lui { rt: Reg::S0, imm } if imm as u32 == addr >> 16));
+    assert!(matches!(
+        p.text[1],
+        Insn::AluImm { op: fac_isa::AluImmOp::Ori, rt: Reg::S0, rs: Reg::S0, imm }
+            if imm as u16 as u32 == (addr & 0xffff)
+    ));
+}
+
+#[test]
+fn jumps_and_branches_resolve() {
+    let mut a = Asm::new();
+    a.label("top");
+    a.nop();
+    a.j("exit");
+    a.nop();
+    a.label("exit");
+    a.beq(Reg::ZERO, Reg::ZERO, "top");
+    a.halt();
+    let p = a.link("t", &on()).unwrap();
+    let Insn::J { target } = p.text[1] else { panic!("expected j") };
+    assert_eq!(target << 2, TEXT_BASE + 3 * 4);
+    let Insn::Branch { off, .. } = p.text[3] else { panic!("expected beq") };
+    assert_eq!(off, -4); // back to index 0 from index 4
+}
+
+#[test]
+fn undefined_label_is_an_error() {
+    let mut a = Asm::new();
+    a.j("nowhere");
+    assert_eq!(
+        a.link("t", &on()).unwrap_err(),
+        LinkError::UndefinedLabel("nowhere".into())
+    );
+}
+
+#[test]
+fn undefined_symbol_is_an_error() {
+    let mut a = Asm::new();
+    a.lw_gp(Reg::T0, "ghost", 0);
+    let err = a.link("t", &on()).unwrap_err();
+    assert_eq!(err, LinkError::UndefinedSymbol("ghost".into()));
+    assert!(err.to_string().contains("ghost"));
+}
+
+#[test]
+fn oversized_global_region_is_an_error() {
+    let mut a = Asm::new();
+    a.gp_array("huge", 40_000, 4);
+    a.halt();
+    assert!(matches!(
+        a.link("t", &on()).unwrap_err(),
+        LinkError::GlobalRegionTooLarge(_)
+    ));
+}
+
+#[test]
+fn static_alignment_policy_applies() {
+    let mut a = Asm::new();
+    a.gp_array("pad", 4, 4);
+    a.gp_array("arr24", 24, 4); // next pow2 = 32 with support
+    a.halt();
+    let with = a.clone().link("t", &on()).unwrap();
+    let without = a.link("t", &off()).unwrap();
+    assert_eq!(with.symbol("arr24") % 32, 0, "boosted alignment with support");
+    assert_eq!(without.symbol("arr24") % 4, 0);
+}
+
+#[test]
+fn heap_pointer_initialized_per_policy() {
+    let mut a = Asm::new();
+    a.halt();
+    let with = a.clone().link("t", &on()).unwrap();
+    let without = a.link("t", &off()).unwrap();
+    assert_eq!(with.heap_base % 32, 0);
+    assert_eq!(without.heap_base % 32, 8, "stock heap is only 8-byte aligned");
+    // The __heap global's initial value must equal the heap base.
+    let blob = with
+        .data
+        .iter()
+        .find(|b| b.addr == with.symbol(HEAP_PTR_SYMBOL))
+        .expect("heap pointer blob");
+    assert_eq!(u32::from_le_bytes(blob.bytes[..4].try_into().unwrap()), with.heap_base);
+}
+
+#[test]
+fn prologue_epilogue_roundtrip_preserves_sp() {
+    use fac_sim::{ArchState, Machine, MachineConfig};
+    for sw in [on(), off()] {
+        // A frame large enough to trigger explicit alignment with support.
+        let frame = FrameBuilder::new(sw).save_ra().array("big", 200, 8).build();
+        let mut a = Asm::new();
+        a.gp_word("out", 0);
+        a.call("f");
+        a.sw_gp(Reg::SP, "out", 0);
+        a.halt();
+        a.label("f");
+        a.prologue(&frame);
+        a.sw(Reg::ZERO, frame.slot("big"), Reg::SP);
+        a.epilogue_ret(&frame);
+        let p = a.link("t", &sw).unwrap();
+        let initial_sp = ArchState::new(&p).regs[Reg::SP.index()];
+        let r = Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+        assert_eq!(
+            r.final_state.mem.read_u32(p.symbol("out")),
+            initial_sp,
+            "sp restored after an aligned frame (support={})",
+            sw.stack_frame_align > 8
+        );
+    }
+}
+
+#[test]
+fn disassembly_of_linked_program_is_complete() {
+    let mut a = Asm::new();
+    a.gp_word("x", 0);
+    a.lw_gp(Reg::T0, "x", 0);
+    a.addiu(Reg::T0, Reg::T0, 1);
+    a.sw_gp(Reg::T0, "x", 0);
+    a.halt();
+    let p = a.link("t", &on()).unwrap();
+    let d = p.disassemble();
+    assert_eq!(d.lines().count(), p.text.len());
+    assert!(d.contains("lw"));
+    assert!(d.contains("halt"));
+}
+
+#[test]
+fn all_instructions_in_linked_programs_encode() {
+    // Cross-crate property: everything the builder emits round-trips
+    // through the binary encoding.
+    let mut a = Asm::new();
+    a.gp_word("x", 0);
+    a.gp_double("d", 1.5);
+    a.far_array("arr", 256, 4);
+    a.la(Reg::S0, "arr", 0);
+    a.lw_gp(Reg::T0, "x", 0);
+    a.l_d_gp(fac_isa::FReg::F2, "d", 0);
+    a.lw_x(Reg::T1, Reg::S0, Reg::T0);
+    a.sw_pi(Reg::T1, Reg::S0, 4);
+    a.li_d(fac_isa::FReg::F4, 3);
+    a.mul_d(fac_isa::FReg::F6, fac_isa::FReg::F2, fac_isa::FReg::F4);
+    a.halt();
+    let p = a.link("t", &on()).unwrap();
+    for insn in &p.text {
+        let word = fac_isa::encode(insn);
+        assert_eq!(fac_isa::decode(word).as_ref(), Ok(insn));
+    }
+}
+
+#[test]
+fn assembled_text_matches_builder_output() {
+    // The same program written through the text front end and through the
+    // builder API must link to identical instruction streams.
+    let source = r#"
+        .gpword total 0
+        .fararray data 64 4
+    entry:
+        la    $s0, data
+        li    $t0, 16
+    loop:
+        lw    $t1, ($s0)+4
+        lw    $t2, total($gp)
+        addu  $t2, $t2, $t1
+        sw    $t2, total($gp)
+        addiu $t0, $t0, -1
+        bgtz  $t0, loop
+        halt
+    "#;
+    let from_text = fac_asm::assemble(source)
+        .unwrap()
+        .link("t", &on())
+        .unwrap();
+
+    let mut b = Asm::new();
+    b.gp_word("total", 0);
+    b.far_array("data", 64, 4);
+    b.label("entry");
+    b.la(Reg::S0, "data", 0);
+    b.li(Reg::T0, 16);
+    b.label("loop");
+    b.lw_pi(Reg::T1, Reg::S0, 4);
+    b.lw_gp(Reg::T2, "total", 0);
+    b.addu(Reg::T2, Reg::T2, Reg::T1);
+    b.sw_gp(Reg::T2, "total", 0);
+    b.addiu(Reg::T0, Reg::T0, -1);
+    b.bgtz(Reg::T0, "loop");
+    b.halt();
+    let from_builder = b.link("t", &on()).unwrap();
+
+    assert_eq!(from_text.text, from_builder.text);
+    assert_eq!(from_text.gp, from_builder.gp);
+    assert_eq!(from_text.symbol("total"), from_builder.symbol("total"));
+}
+
+#[test]
+fn assembled_program_runs_correctly() {
+    use fac_sim::{Machine, MachineConfig};
+    let source = r#"
+        .gpword out 0
+        li   $t0, 6
+        li   $t1, 7
+        mult $t0, $t1
+        mflo $t2
+        sw   $t2, out($gp)
+        halt
+    "#;
+    let p = fac_asm::assemble_and_link(source, "t", &on()).unwrap();
+    let r = Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+    assert_eq!(r.final_state.mem.read_u32(p.symbol("out")), 42);
+}

@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks for the cache model and store buffer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fac_mem::{Cache, CacheConfig, Memory, StoreBuffer};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mem");
+
+    group.bench_function("cache_hit_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::direct_mapped(16 * 1024, 32));
+        // warm one block
+        cache.access(0x1000, false);
+        b.iter(|| cache.access(black_box(0x1000), false))
+    });
+
+    group.bench_function("cache_conflict_stream", |b| {
+        let mut cache = Cache::new(CacheConfig::direct_mapped(16 * 1024, 32));
+        let mut toggle = 0u32;
+        b.iter(|| {
+            toggle ^= 16 * 1024;
+            cache.access(black_box(0x1000 ^ toggle), false)
+        })
+    });
+
+    group.bench_function("cache_4way_hit", |b| {
+        let mut cache = Cache::new(CacheConfig::set_associative(16 * 1024, 32, 4));
+        cache.access(0x1000, false);
+        b.iter(|| cache.access(black_box(0x1000), false))
+    });
+
+    group.bench_function("memory_read_u32", |b| {
+        let mut mem = Memory::new();
+        mem.write_u32(0x2000_0000, 42);
+        b.iter(|| mem.read_u32(black_box(0x2000_0000)))
+    });
+
+    group.bench_function("store_buffer_cycle", |b| {
+        let mut sb = StoreBuffer::new(16);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 1;
+            sb.push(black_box(cycle as u32 * 4), 4, cycle);
+            sb.retire()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

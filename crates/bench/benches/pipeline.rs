@@ -1,0 +1,35 @@
+//! Criterion end-to-end benchmarks: whole-pipeline simulation throughput on
+//! smoke-sized kernels, with and without fast address calculation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fac_asm::SoftwareSupport;
+use fac_sim::{Machine, MachineConfig};
+use fac_workloads::{find, Scale};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    for name in ["compress", "tomcatv"] {
+        let wl = find(name).expect("known workload");
+        let plain = wl.build(&SoftwareSupport::off(), Scale::Smoke);
+        let tuned = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+
+        group.bench_function(format!("{name}_baseline"), |b| {
+            let m = Machine::new(MachineConfig::paper_baseline());
+            b.iter(|| m.run(&plain).unwrap().stats.cycles)
+        });
+        group.bench_function(format!("{name}_fac"), |b| {
+            let m = Machine::new(MachineConfig::paper_baseline().with_fac());
+            b.iter(|| m.run(&plain).unwrap().stats.cycles)
+        });
+        group.bench_function(format!("{name}_fac_sw"), |b| {
+            let m = Machine::new(MachineConfig::paper_baseline().with_fac());
+            b.iter(|| m.run(&tuned).unwrap().stats.cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

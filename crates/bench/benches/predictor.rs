@@ -1,0 +1,43 @@
+//! Criterion microbenchmarks for the prediction circuit: how cheap is the
+//! carry-free path relative to a full 32-bit add, and what does the
+//! verification logic cost per access?
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fac_core::{AddrFields, IndexCompose, Offset, Predictor, PredictorConfig};
+
+fn bench_predictor(c: &mut Criterion) {
+    let fields = AddrFields::for_direct_mapped(16 * 1024, 32);
+    let p = Predictor::new(fields, PredictorConfig::default());
+    let p_xor = Predictor::new(
+        fields,
+        PredictorConfig { compose: IndexCompose::Xor, ..PredictorConfig::default() },
+    );
+    let p_ortag = Predictor::new(
+        fields,
+        PredictorConfig { full_tag_add: false, ..PredictorConfig::default() },
+    );
+
+    let mut group = c.benchmark_group("predictor");
+    group.bench_function("predict_const_hit", |b| {
+        b.iter(|| p.predict(black_box(0x1000_0000), black_box(Offset::Const(0x84))))
+    });
+    group.bench_function("predict_const_miss", |b| {
+        b.iter(|| p.predict(black_box(0x7fff_5b84), black_box(Offset::Const(0x16c))))
+    });
+    group.bench_function("predict_reg_reg", |b| {
+        b.iter(|| p.predict(black_box(0x1000_0000), black_box(Offset::Reg(0x1234))))
+    });
+    group.bench_function("predict_xor_compose", |b| {
+        b.iter(|| p_xor.predict(black_box(0x7fff_5b84), black_box(Offset::Const(0x66))))
+    });
+    group.bench_function("predict_carry_free_tag", |b| {
+        b.iter(|| p_ortag.predict(black_box(0x7fff_5b84), black_box(Offset::Const(0x66))))
+    });
+    group.bench_function("full_add_reference", |b| {
+        b.iter(|| black_box(0x7fff_5b84u32).wrapping_add(black_box(0x16c)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

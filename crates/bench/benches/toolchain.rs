@@ -1,0 +1,33 @@
+//! Criterion benchmarks for the toolchain: instruction encode/decode,
+//! text parsing, and whole-kernel build+link times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fac_asm::SoftwareSupport;
+use fac_isa::{decode, encode, parse_insn, AddrMode, Insn, LoadOp, Reg};
+use fac_workloads::{find, Scale};
+
+fn bench_toolchain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolchain");
+
+    let insn = Insn::Load {
+        op: LoadOp::Lw,
+        rt: Reg::T3,
+        ea: AddrMode::BaseIndex { base: Reg::S0, index: Reg::T2 },
+    };
+    group.bench_function("encode", |b| b.iter(|| encode(black_box(&insn))));
+    let word = encode(&insn);
+    group.bench_function("decode", |b| b.iter(|| decode(black_box(word)).unwrap()));
+    group.bench_function("disassemble", |b| b.iter(|| black_box(&insn).to_string()));
+    group.bench_function("parse_insn", |b| {
+        b.iter(|| parse_insn(black_box("lw      $t3, ($s0+$t2)")).unwrap())
+    });
+
+    let wl = find("compress").expect("workload");
+    group.bench_function("build_link_compress_smoke", |b| {
+        b.iter(|| wl.build(&SoftwareSupport::on(), Scale::Smoke).text.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_toolchain);
+criterion_main!(benches);

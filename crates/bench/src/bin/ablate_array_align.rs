@@ -1,0 +1,4 @@
+//! Runs the §5.4 large-array alignment extension study.
+fn main() {
+    fac_bench::experiments::ablate_array_align(fac_bench::scale_from_args());
+}

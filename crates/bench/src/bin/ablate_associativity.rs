@@ -1,0 +1,4 @@
+//! Runs the ablate_associativity experiment.
+fn main() {
+    fac_bench::experiments::ablate_associativity(fac_bench::scale_from_args());
+}

@@ -1,0 +1,4 @@
+//! Runs the MSHR-count ablation.
+fn main() {
+    fac_bench::experiments::ablate_mshr(fac_bench::scale_from_args());
+}

@@ -1,0 +1,24 @@
+//! Runs every experiment in paper order.
+use fac_bench::experiments as ex;
+
+fn main() {
+    let scale = fac_bench::scale_from_args();
+    ex::fig2(scale);
+    ex::table1(scale);
+    ex::table2();
+    ex::fig3(scale);
+    ex::table3(scale);
+    ex::table4(scale);
+    ex::table5();
+    ex::fig6(scale);
+    ex::table6(scale);
+    ex::ablate_or_xor(scale);
+    ex::ablate_full_tag(scale);
+    ex::ablate_store_spec(scale);
+    ex::ablate_store_buffer(scale);
+    ex::ablate_mshr(scale);
+    ex::ablate_array_align(scale);
+    ex::ablate_associativity(scale);
+    ex::compare_ltb(scale);
+    ex::compare_pipelines(scale);
+}

@@ -1,0 +1,4 @@
+//! Runs the compare_ltb experiment.
+fn main() {
+    fac_bench::experiments::compare_ltb(fac_bench::scale_from_args());
+}

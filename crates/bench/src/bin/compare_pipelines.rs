@@ -1,0 +1,4 @@
+//! Runs the compare_pipelines experiment.
+fn main() {
+    fac_bench::experiments::compare_pipelines(fac_bench::scale_from_args());
+}

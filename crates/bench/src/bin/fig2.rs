@@ -1,0 +1,4 @@
+//! Regenerates fig2 of the paper's evaluation.
+fn main() {
+    fac_bench::experiments::fig2(fac_bench::scale_from_args());
+}

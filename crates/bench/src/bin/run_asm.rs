@@ -1,0 +1,67 @@
+//! CLI: assemble a `.s` file (the `fac-asm` text syntax) and run it.
+//!
+//! ```sh
+//! cargo run --release -p fac-bench --bin run_asm -- examples/programs/dotprod.s --fac
+//! ```
+
+use fac_asm::{assemble_and_link, SoftwareSupport};
+use fac_sim::{render_diagram, Machine, MachineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: run_asm <file.s> [--fac] [--no-sw] [--trace] [--disasm]");
+        std::process::exit(2);
+    };
+    let flag = |f: &str| args.iter().any(|a| a == f);
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let sw = if flag("--no-sw") { SoftwareSupport::off() } else { SoftwareSupport::on() };
+    let program = match assemble_and_link(&source, path, &sw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if flag("--disasm") {
+        print!("{}", program.disassemble());
+    }
+    let mut cfg = MachineConfig::paper_baseline();
+    if flag("--fac") {
+        cfg = cfg.with_fac();
+    }
+    let machine = Machine::new(cfg).with_max_insts(1_000_000_000);
+    if flag("--trace") {
+        let (report, trace) = machine.run_traced(&program).expect("runs");
+        println!("{}", render_diagram(&trace[trace.len().saturating_sub(24)..]));
+        print_summary(&report);
+    } else {
+        let report = machine.run(&program).expect("runs");
+        print_summary(&report);
+    }
+}
+
+fn print_summary(r: &fac_sim::SimReport) {
+    println!(
+        "{}: {} instructions, {} cycles (IPC {:.2}), {} loads / {} stores",
+        r.program,
+        r.stats.insts,
+        r.stats.cycles,
+        r.ipc(),
+        r.stats.loads,
+        r.stats.stores
+    );
+    if r.stats.pred_loads.attempts() > 0 {
+        println!(
+            "  address prediction: {:.2}% of loads failed, {:.2}% bandwidth overhead",
+            r.stats.pred_loads.fail_rate_all() * 100.0,
+            r.stats.bandwidth_overhead() * 100.0
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! CLI: run one workload on a chosen machine configuration and print its
+//! full statistics report.
+//!
+//! ```sh
+//! cargo run --release -p fac-bench --bin run_workload -- compress --fac --sw
+//! cargo run --release -p fac-bench --bin run_workload -- tomcatv --ltb 512 --smoke
+//! ```
+
+use fac_asm::SoftwareSupport;
+use fac_core::PredictorConfig;
+use fac_sim::{Machine, MachineConfig, RefClass};
+use fac_workloads::{find, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("");
+    let Some(wl) = find(name) else {
+        eprintln!("usage: run_workload <name> [--fac] [--ltb N] [--agi] [--sw] [--smoke]");
+        eprintln!("       [--block N] [--no-rr] [--no-store-spec] [--one-cycle] [--perfect]");
+        eprintln!(
+            "names: {}",
+            fac_workloads::suite()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        std::process::exit(2);
+    };
+    let flag = |f: &str| args.iter().any(|a| a == f);
+    let value = |f: &str| {
+        args.iter()
+            .position(|a| a == f)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u32>().ok())
+    };
+
+    let sw = if flag("--sw") { SoftwareSupport::on() } else { SoftwareSupport::off() };
+    let scale = if flag("--smoke") { Scale::Smoke } else { Scale::Paper };
+    let mut cfg = MachineConfig::paper_baseline();
+    if let Some(block) = value("--block") {
+        cfg = cfg.with_block_size(block);
+    }
+    if flag("--fac") {
+        let pred = PredictorConfig {
+            speculate_reg_reg: !flag("--no-rr"),
+            speculate_stores: !flag("--no-store-spec"),
+            ..PredictorConfig::default()
+        };
+        cfg = cfg.with_fac_config(pred);
+    }
+    if let Some(entries) = value("--ltb") {
+        cfg = cfg.with_ltb(entries);
+    }
+    if flag("--agi") {
+        cfg = cfg.with_agi_pipeline();
+    }
+    if flag("--one-cycle") {
+        cfg = cfg.with_one_cycle_loads();
+    }
+    if flag("--perfect") {
+        cfg = cfg.with_perfect_dcache();
+    }
+    cfg = cfg.with_tlb();
+
+    let program = wl.build(&sw, scale);
+    let r = Machine::new(cfg).run(&program).expect("run");
+    let s = &r.stats;
+
+    println!("{} ({}, sw support {})", wl.name, if wl.fp { "fp" } else { "int" }, flag("--sw"));
+    println!("  instructions      {:>12}", s.insts);
+    println!("  cycles            {:>12}   (IPC {:.3})", s.cycles, s.ipc());
+    println!("  loads / stores    {:>12} / {}", s.loads, s.stores);
+    for class in RefClass::ALL {
+        println!(
+            "    {:7} loads   {:>12}   ({:.1}%)",
+            class.label(),
+            s.loads_by_class[class.index()],
+            s.load_class_fraction(class) * 100.0
+        );
+    }
+    println!("  i-cache           {}", s.icache);
+    println!("  d-cache           {}", s.dcache);
+    if let Some(t) = s.tlb {
+        println!("  d-tlb             {} accesses, {:.3}% miss", t.accesses, t.miss_ratio() * 100.0);
+    }
+    println!("  branches          {:>12}   ({} mispredicted)", s.branches, s.branch_mispredicts);
+    if s.pred_loads.attempts() + s.pred_stores.attempts() > 0 {
+        println!(
+            "  pred loads        {:>12} attempted, {} failed ({:.2}%)",
+            s.pred_loads.attempts(),
+            s.pred_loads.fails(),
+            s.pred_loads.fail_rate_all() * 100.0
+        );
+        println!(
+            "  pred stores       {:>12} attempted, {} failed ({:.2}%)",
+            s.pred_stores.attempts(),
+            s.pred_stores.fails(),
+            s.pred_stores.fail_rate_all() * 100.0
+        );
+        println!(
+            "  fail causes       overflow={} gen-carry={} large-neg={} neg-reg={} tag={}",
+            s.fail_causes[0], s.fail_causes[1], s.fail_causes[2], s.fail_causes[3], s.fail_causes[4]
+        );
+        println!("  bandwidth overhead {:>10.2}%", s.bandwidth_overhead() * 100.0);
+    }
+    if let Some(l) = s.ltb {
+        println!(
+            "  ltb               {} predictions, {:.1}% accurate",
+            l.predictions,
+            l.accuracy() * 100.0
+        );
+    }
+    println!("  sb full stalls    {:>12}", s.store_buffer_stalls);
+    println!("  memory footprint  {:>12} KB", s.mem_footprint / 1024);
+}

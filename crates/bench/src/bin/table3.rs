@@ -1,0 +1,4 @@
+//! Regenerates table3 of the paper's evaluation.
+fn main() {
+    fac_bench::experiments::table3(fac_bench::scale_from_args());
+}

@@ -1,0 +1,4 @@
+//! Prints the Table 5 baseline machine model.
+fn main() {
+    fac_bench::experiments::table5();
+}

@@ -1,0 +1,4 @@
+//! Regenerates table6 of the paper's evaluation.
+fn main() {
+    fac_bench::experiments::table6(fac_bench::scale_from_args());
+}

@@ -1,0 +1,547 @@
+//! The experiment implementations, one function per paper table/figure.
+
+use crate::{build_suite, pct, pct_change, profile, rule, run, weighted_mean};
+use fac_core::{IndexCompose, PredictorConfig};
+use fac_sim::{MachineConfig, RefClass};
+use fac_workloads::Scale;
+
+/// Figure 2: IPC with 2-cycle loads (baseline), 1-cycle loads, perfect
+/// cache, and 1-cycle + perfect.
+pub fn fig2(scale: Scale) {
+    println!("\n== Figure 2: Impact of Load Latency on IPC ==");
+    println!(
+        "{:10} {:>9} {:>13} {:>13} {:>15}",
+        "program", "baseline", "1-cyc loads", "perfect $", "1-cyc+perfect"
+    );
+    rule(64);
+    let benches = build_suite(scale);
+    let configs = [
+        MachineConfig::paper_baseline(),
+        MachineConfig::paper_baseline().with_one_cycle_loads(),
+        MachineConfig::paper_baseline().with_perfect_dcache(),
+        MachineConfig::paper_baseline().with_one_cycle_loads().with_perfect_dcache(),
+    ];
+    let mut rows: Vec<(bool, [f64; 4], u64)> = Vec::new();
+    for b in &benches {
+        let mut ipc = [0.0; 4];
+        let mut weight = 0;
+        for (i, cfg) in configs.iter().enumerate() {
+            let r = run(&b.plain, *cfg);
+            ipc[i] = r.stats.ipc();
+            if i == 0 {
+                weight = r.stats.cycles;
+            }
+        }
+        println!(
+            "{:10} {:>9.2} {:>13.2} {:>13.2} {:>15.2}",
+            b.workload.name, ipc[0], ipc[1], ipc[2], ipc[3]
+        );
+        rows.push((b.workload.fp, ipc, weight));
+    }
+    rule(64);
+    for (label, fp) in [("Int-Avg", false), ("FP-Avg", true)] {
+        let group: Vec<&(bool, [f64; 4], u64)> = rows.iter().filter(|r| r.0 == fp).collect();
+        let weights: Vec<u64> = group.iter().map(|r| r.2).collect();
+        let avg: Vec<f64> = (0..4)
+            .map(|i| {
+                let vals: Vec<f64> = group.iter().map(|r| r.1[i]).collect();
+                weighted_mean(&vals, &weights)
+            })
+            .collect();
+        println!(
+            "{:10} {:>9.2} {:>13.2} {:>13.2} {:>15.2}",
+            label, avg[0], avg[1], avg[2], avg[3]
+        );
+    }
+}
+
+/// Table 1: program reference behavior (without software support).
+pub fn table1(scale: Scale) {
+    println!("\n== Table 1: Program Reference Behavior ==");
+    println!(
+        "{:10} {:>8} {:>9} {:>7} {:>7} | {:>7} {:>7} {:>8}",
+        "program", "insts", "refs", "%loads", "%store", "%global", "%stack", "%general"
+    );
+    rule(76);
+    for b in &build_suite(scale) {
+        let p = profile(&b.plain, 32, PredictorConfig::default());
+        let refs = p.refs();
+        println!(
+            "{:10} {:>8} {:>9} {:>7} {:>7} | {:>7} {:>7} {:>8}",
+            b.workload.name,
+            p.insts,
+            refs,
+            pct(p.loads as f64 / refs.max(1) as f64),
+            pct(p.stores as f64 / refs.max(1) as f64),
+            pct(p.loads_by_class[0] as f64 / p.loads.max(1) as f64),
+            pct(p.loads_by_class[1] as f64 / p.loads.max(1) as f64),
+            pct(p.loads_by_class[2] as f64 / p.loads.max(1) as f64),
+        );
+    }
+}
+
+/// Figure 3: cumulative load-offset size distributions for gcc, sc, doduc
+/// and spice.
+pub fn fig3(scale: Scale) {
+    println!("\n== Figure 3: Load Offset Cumulative Distributions ==");
+    let names = ["gcc", "sc", "doduc", "spice"];
+    let benches = build_suite(scale);
+    for class in RefClass::ALL {
+        println!("\n-- {} pointer offsets (cumulative % by bits) --", class.label());
+        print!("{:8}", "bits");
+        for bits in 0..=15 {
+            print!("{bits:>6}");
+        }
+        println!("{:>6} {:>6}", ">15", "neg");
+        for name in names {
+            let b = benches.iter().find(|b| b.workload.name == name).expect("known program");
+            let p = profile(&b.plain, 32, PredictorConfig::default());
+            let h = &p.load_offsets[class.index()];
+            print!("{name:8}");
+            for bits in 0..=15u32 {
+                print!("{:>6.1}", h.cumulative_at(bits) * 100.0);
+            }
+            let total = h.total().max(1) as f64;
+            println!(
+                "{:>6.1} {:>6.1}",
+                (h.more as f64 / total) * 100.0,
+                h.neg_fraction() * 100.0
+            );
+        }
+    }
+}
+
+/// Table 2: the benchmark programs and their inputs (our scaled analogue
+/// of the paper's table).
+pub fn table2() {
+    println!("\n== Table 2: Benchmark Programs and Inputs (scaled) ==");
+    println!("{:10} {:>4}  {}", "program", "kind", "input / model");
+    rule(86);
+    for wl in fac_workloads::suite() {
+        println!(
+            "{:10} {:>4}  {}",
+            wl.name,
+            if wl.fp { "fp" } else { "int" },
+            wl.description
+        );
+    }
+}
+
+/// Table 3: program statistics without software support, including the
+/// prediction failure rates for 16- and 32-byte blocks.
+pub fn table3(scale: Scale) {
+    println!("\n== Table 3: Program Statistics Without Software Support ==");
+    println!(
+        "{:10} {:>9} {:>10} {:>9} {:>8} {:>6} {:>6} {:>8} | {:>6} {:>6} {:>6} {:>6}",
+        "program", "insts", "cycles", "loads", "stores", "i$m%", "d$m%", "mem(KB)",
+        "L16%", "S16%", "L32%", "S32%"
+    );
+    rule(110);
+    for b in &build_suite(scale) {
+        let r = run(&b.plain, MachineConfig::paper_baseline());
+        let p16 = profile(&b.plain, 16, PredictorConfig::default());
+        let p32 = profile(&b.plain, 32, PredictorConfig::default());
+        println!(
+            "{:10} {:>9} {:>10} {:>9} {:>8} {:>6} {:>6} {:>8} | {:>6} {:>6} {:>6} {:>6}",
+            b.workload.name,
+            r.stats.insts,
+            r.stats.cycles,
+            r.stats.loads,
+            r.stats.stores,
+            pct(r.stats.icache.miss_ratio()),
+            pct(r.stats.dcache.miss_ratio()),
+            r.stats.mem_footprint / 1024,
+            pct(p16.pred_loads.fail_rate_all()),
+            pct(p16.pred_stores.fail_rate_all()),
+            pct(p32.pred_loads.fail_rate_all()),
+            pct(p32.pred_stores.fail_rate_all()),
+        );
+    }
+}
+
+/// Table 4: program statistics with software support — percentage changes
+/// against the unoptimized build, and failure rates All / No-R+R.
+pub fn table4(scale: Scale) {
+    println!("\n== Table 4: Program Statistics With Software Support (32-byte blocks) ==");
+    println!(
+        "{:10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} {:>6}",
+        "program", "insts%", "cycle%", "loads%", "store%", "di$m", "dd$m", "mem%",
+        "L-all", "L-nRR", "S-all", "S-nRR"
+    );
+    rule(108);
+    for b in &build_suite(scale) {
+        let base = run(&b.plain, MachineConfig::paper_baseline());
+        let opt = run(&b.tuned, MachineConfig::paper_baseline());
+        let p = profile(&b.tuned, 32, PredictorConfig::default());
+        println!(
+            "{:10} {:>7} {:>7} {:>7} {:>7} {:>7.2} {:>7.2} {:>7} | {:>6} {:>6} {:>6} {:>6}",
+            b.workload.name,
+            pct_change(opt.stats.insts as f64, base.stats.insts as f64),
+            pct_change(opt.stats.cycles as f64, base.stats.cycles as f64),
+            pct_change(opt.stats.loads as f64, base.stats.loads as f64),
+            pct_change(opt.stats.stores as f64, base.stats.stores as f64),
+            (opt.stats.icache.miss_ratio() - base.stats.icache.miss_ratio()) * 100.0,
+            (opt.stats.dcache.miss_ratio() - base.stats.dcache.miss_ratio()) * 100.0,
+            pct_change(opt.stats.mem_footprint as f64, base.stats.mem_footprint as f64),
+            pct(p.pred_loads.fail_rate_all()),
+            pct(p.pred_loads.fail_rate_no_rr()),
+            pct(p.pred_stores.fail_rate_all()),
+            pct(p.pred_stores.fail_rate_no_rr()),
+        );
+    }
+}
+
+/// Table 5: the baseline machine model.
+pub fn table5() {
+    println!("\n== Table 5: Baseline Simulation Model ==");
+    let c = MachineConfig::paper_baseline();
+    println!("fetch width            {} instructions (any contiguous, one I-cache block)", c.fetch_width);
+    println!(
+        "i-cache                {}k direct-mapped, {}B blocks, {}-cycle miss",
+        c.icache.size_bytes / 1024,
+        c.icache.block_bytes,
+        c.miss_latency
+    );
+    println!("branch predictor       {}-entry direct-mapped BTB, 2-bit counters, {}-cycle mispredict", c.btb_entries, c.branch_mispredict_penalty);
+    println!("issue                  in-order, {} ops/cycle, out-of-order completion", c.issue_width);
+    println!(
+        "mem issue              up to {} loads or {} store per cycle",
+        c.max_loads_per_cycle, c.max_stores_per_cycle
+    );
+    println!(
+        "functional units       {} int ALU, {} ld/st, {} FP add, {} int mul/div, {} FP mul/div",
+        c.fu.int_alu_units, c.fu.load_store_units, c.fu.fp_add_units, c.fu.int_mul_units, c.fu.fp_mul_units
+    );
+    println!(
+        "latencies (tot/issue)  ALU {}/{}, ld/st 2/1, int mul {}/{}, int div {}/{}, FP add {}/{}, FP mul {}/{}, FP div {}/{}",
+        c.fu.int_alu.latency, c.fu.int_alu.interval,
+        c.fu.int_mul.latency, c.fu.int_mul.interval,
+        c.fu.int_div.latency, c.fu.int_div.interval,
+        c.fu.fp_add.latency, c.fu.fp_add.interval,
+        c.fu.fp_mul.latency, c.fu.fp_mul.interval,
+        c.fu.fp_div.latency, c.fu.fp_div.interval,
+    );
+    println!(
+        "d-cache                {}k direct-mapped write-back write-allocate, {}B blocks, {}-cycle miss, {} read ports / {} write port, non-blocking",
+        c.dcache.size_bytes / 1024,
+        c.dcache.block_bytes,
+        c.miss_latency,
+        c.dcache_read_ports,
+        c.dcache_write_ports
+    );
+    println!("store buffer           {} entries, non-merging", c.store_buffer_entries);
+}
+
+/// Figure 6: speedups over the baseline, with and without software support,
+/// for 16- and 32-byte blocks, with and without reg+reg speculation.
+pub fn fig6(scale: Scale) {
+    println!("\n== Figure 6: Speedups over baseline (same block size) ==");
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9}",
+        "program", "HW,16", "HW+SW,16", "HW,32", "HW+SW,32", "HW32,nRR", "HWSW32,nRR"
+    );
+    rule(78);
+    let benches = build_suite(scale);
+    let mut rows: Vec<(bool, [f64; 6], u64)> = Vec::new();
+    for b in &benches {
+        let mut vals = [0.0f64; 6];
+        let mut weight = 0u64;
+        for (i, (block, tuned, rr)) in [
+            (16u32, false, true),
+            (16, true, true),
+            (32, false, true),
+            (32, true, true),
+            (32, false, false),
+            (32, true, false),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let base = run(&b.plain, MachineConfig::paper_baseline().with_block_size(*block));
+            let pred = PredictorConfig { speculate_reg_reg: *rr, ..PredictorConfig::default() };
+            let cfg = MachineConfig::paper_baseline()
+                .with_block_size(*block)
+                .with_fac_config(pred);
+            let fac = run(if *tuned { &b.tuned } else { &b.plain }, cfg);
+            vals[i] = base.stats.cycles as f64 / fac.stats.cycles as f64;
+            if *block == 32 && !*tuned && *rr {
+                weight = base.stats.cycles;
+            }
+        }
+        println!(
+            "{:10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>9.3} {:>9.3}",
+            b.workload.name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+        );
+        rows.push((b.workload.fp, vals, weight));
+    }
+    rule(78);
+    for (label, fp) in [("Int-Avg", false), ("FP-Avg", true)] {
+        let group: Vec<&(bool, [f64; 6], u64)> = rows.iter().filter(|r| r.0 == fp).collect();
+        let weights: Vec<u64> = group.iter().map(|r| r.2).collect();
+        let avg: Vec<f64> = (0..6)
+            .map(|i| {
+                let vals: Vec<f64> = group.iter().map(|r| r.1[i]).collect();
+                weighted_mean(&vals, &weights)
+            })
+            .collect();
+        println!(
+            "{:10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>9.3} {:>9.3}",
+            label, avg[0], avg[1], avg[2], avg[3], avg[4], avg[5]
+        );
+    }
+}
+
+/// Table 6: memory bandwidth overhead — failed speculative accesses as a
+/// percentage of total references.
+pub fn table6(scale: Scale) {
+    println!("\n== Table 6: Memory Bandwidth Overhead (failed speculative accesses, % of refs) ==");
+    println!(
+        "{:10} {:>9} {:>9} | {:>9} {:>9}",
+        "program", "HW,R+R", "SW,R+R", "HW,noRR", "SW,noRR"
+    );
+    rule(56);
+    for b in &build_suite(scale) {
+        let mut vals = [0.0f64; 4];
+        for (i, (tuned, rr)) in
+            [(false, true), (true, true), (false, false), (true, false)].iter().enumerate()
+        {
+            let pred = PredictorConfig { speculate_reg_reg: *rr, ..PredictorConfig::default() };
+            let cfg = MachineConfig::paper_baseline().with_fac_config(pred);
+            let r = run(if *tuned { &b.tuned } else { &b.plain }, cfg);
+            vals[i] = r.stats.bandwidth_overhead();
+        }
+        println!(
+            "{:10} {:>9} {:>9} | {:>9} {:>9}",
+            b.workload.name,
+            pct(vals[0]),
+            pct(vals[1]),
+            pct(vals[2]),
+            pct(vals[3])
+        );
+    }
+}
+
+/// Ablation: OR vs XOR carry-free composition (paper footnote 1).
+pub fn ablate_or_xor(scale: Scale) {
+    println!("\n== Ablation: OR vs XOR index composition ==");
+    println!("{:10} {:>10} {:>10}", "program", "OR fail%", "XOR fail%");
+    rule(34);
+    for b in &build_suite(scale) {
+        let or = profile(&b.plain, 32, PredictorConfig::default());
+        let xor = profile(
+            &b.plain,
+            32,
+            PredictorConfig { compose: IndexCompose::Xor, ..PredictorConfig::default() },
+        );
+        println!(
+            "{:10} {:>10} {:>10}",
+            b.workload.name,
+            pct(or.pred_loads.fail_rate_all()),
+            pct(xor.pred_loads.fail_rate_all())
+        );
+    }
+}
+
+/// Ablation: full tag adder vs carry-free tag (§3.1).
+pub fn ablate_full_tag(scale: Scale) {
+    println!("\n== Ablation: full tag addition vs carry-free tag ==");
+    println!("{:10} {:>12} {:>12}", "program", "full-tag f%", "or-tag f%");
+    rule(38);
+    for b in &build_suite(scale) {
+        let full = profile(&b.tuned, 32, PredictorConfig::default());
+        let ortag = profile(
+            &b.tuned,
+            32,
+            PredictorConfig { full_tag_add: false, ..PredictorConfig::default() },
+        );
+        println!(
+            "{:10} {:>12} {:>12}",
+            b.workload.name,
+            pct(full.pred_loads.fail_rate_all()),
+            pct(ortag.pred_loads.fail_rate_all())
+        );
+    }
+}
+
+/// Ablation: store speculation on/off (§3.1's store discussion).
+pub fn ablate_store_spec(scale: Scale) {
+    println!("\n== Ablation: store speculation on/off (speedup over baseline) ==");
+    println!("{:10} {:>10} {:>10}", "program", "spec", "no-spec");
+    rule(34);
+    for b in &build_suite(scale) {
+        let base = run(&b.tuned, MachineConfig::paper_baseline());
+        let on = run(&b.tuned, MachineConfig::paper_baseline().with_fac());
+        let off_cfg = MachineConfig::paper_baseline().with_fac_config(PredictorConfig {
+            speculate_stores: false,
+            ..PredictorConfig::default()
+        });
+        let off = run(&b.tuned, off_cfg);
+        println!(
+            "{:10} {:>10.3} {:>10.3}",
+            b.workload.name,
+            base.stats.cycles as f64 / on.stats.cycles as f64,
+            base.stats.cycles as f64 / off.stats.cycles as f64
+        );
+    }
+}
+
+/// Related work (§6): fast address calculation vs a load target buffer
+/// (Golden & Mudge). FAC predicts from the operands, the LTB from the load
+/// PC — and needs a real table to do it.
+pub fn compare_ltb(scale: Scale) {
+    println!("\n== Related work: FAC vs load target buffer (speedup over baseline) ==");
+    println!(
+        "{:10} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "program", "FAC", "LTB-512", "LTB-4096", "ltb-acc%", "ltb-cover%"
+    );
+    rule(60);
+    let mut rows: Vec<(bool, [f64; 3], u64)> = Vec::new();
+    for b in &build_suite(scale) {
+        let base = run(&b.tuned, MachineConfig::paper_baseline());
+        let fac = run(&b.tuned, MachineConfig::paper_baseline().with_fac());
+        let ltb_s = run(&b.tuned, MachineConfig::paper_baseline().with_ltb(512));
+        let ltb_l = run(&b.tuned, MachineConfig::paper_baseline().with_ltb(4096));
+        let s = ltb_l.stats.ltb.expect("ltb stats");
+        let cover = s.predictions as f64 / (s.predictions + s.no_prediction).max(1) as f64;
+        let vals = [
+            base.stats.cycles as f64 / fac.stats.cycles as f64,
+            base.stats.cycles as f64 / ltb_s.stats.cycles as f64,
+            base.stats.cycles as f64 / ltb_l.stats.cycles as f64,
+        ];
+        println!(
+            "{:10} {:>8.3} {:>8.3} {:>8.3} {:>9.1} {:>10.1}",
+            b.workload.name,
+            vals[0],
+            vals[1],
+            vals[2],
+            s.accuracy() * 100.0,
+            cover * 100.0
+        );
+        rows.push((b.workload.fp, vals, base.stats.cycles));
+    }
+    rule(60);
+    for (label, fp) in [("Int-Avg", false), ("FP-Avg", true)] {
+        let group: Vec<_> = rows.iter().filter(|r| r.0 == fp).collect();
+        let weights: Vec<u64> = group.iter().map(|r| r.2).collect();
+        let avg: Vec<f64> = (0..3)
+            .map(|i| weighted_mean(&group.iter().map(|r| r.1[i]).collect::<Vec<_>>(), &weights))
+            .collect();
+        println!("{:10} {:>8.3} {:>8.3} {:>8.3}", label, avg[0], avg[1], avg[2]);
+    }
+}
+
+/// Related work (§6): LUI vs AGI pipeline organizations (Golden & Mudge),
+/// each compared with fast address calculation on the LUI pipe.
+pub fn compare_pipelines(scale: Scale) {
+    println!("\n== Related work: pipeline organizations (cycles, lower is better) ==");
+    println!(
+        "{:10} {:>10} {:>10} {:>10} {:>11}",
+        "program", "LUI", "AGI", "LUI+FAC", "AGI-vs-LUI"
+    );
+    rule(56);
+    for b in &build_suite(scale) {
+        let lui = run(&b.plain, MachineConfig::paper_baseline());
+        let agi = run(&b.plain, MachineConfig::paper_baseline().with_agi_pipeline());
+        let fac = run(&b.plain, MachineConfig::paper_baseline().with_fac());
+        println!(
+            "{:10} {:>10} {:>10} {:>10} {:>10.3}x",
+            b.workload.name,
+            lui.stats.cycles,
+            agi.stats.cycles,
+            fac.stats.cycles,
+            lui.stats.cycles as f64 / agi.stats.cycles as f64
+        );
+    }
+}
+
+/// Ablation: data-cache associativity. Associativity shrinks the set index
+/// (fewer bits to compose carry-free), shifting which accesses fail.
+pub fn ablate_associativity(scale: Scale) {
+    println!("\n== Ablation: D-cache associativity (profile failure rates, 32B blocks) ==");
+    println!("{:10} {:>8} {:>8} {:>8}", "program", "1-way", "2-way", "4-way");
+    rule(40);
+    for b in &build_suite(scale) {
+        let mut row = Vec::new();
+        for ways in [1u32, 2, 4] {
+            let fields = fac_core::AddrFields::for_set_associative(16 * 1024, 32, ways);
+            let rep = fac_sim::profile_predictions(
+                &b.plain,
+                fields,
+                PredictorConfig::default(),
+                crate::MAX_INSTS,
+            )
+            .expect("profile");
+            row.push(rep.pred_loads.fail_rate_all());
+        }
+        println!(
+            "{:10} {:>8} {:>8} {:>8}",
+            b.workload.name,
+            pct(row[0]),
+            pct(row[1]),
+            pct(row[2])
+        );
+    }
+}
+
+/// Extension (§5.4 footnote 3): the large-array placement strategy the
+/// paper proposes to eliminate array-index failures.
+pub fn ablate_array_align(scale: Scale) {
+    use fac_asm::SoftwareSupport;
+    println!("\n== Extension: §5.4 large-array alignment (load failure %, profile) ==");
+    println!("{:10} {:>8} {:>10} {:>10}", "program", "no sw", "sw (§4)", "sw+arrays");
+    rule(42);
+    for wl in fac_workloads::suite() {
+        let mut row = Vec::new();
+        for sw in [
+            SoftwareSupport::off(),
+            SoftwareSupport::on(),
+            SoftwareSupport::on_with_array_alignment(),
+        ] {
+            let p = wl.build(&sw, scale);
+            let rep = profile(&p, 32, PredictorConfig::default());
+            row.push(rep.pred_loads.fail_rate_all());
+        }
+        println!(
+            "{:10} {:>8} {:>10} {:>10}",
+            wl.name,
+            pct(row[0]),
+            pct(row[1]),
+            pct(row[2])
+        );
+    }
+}
+
+/// Ablation: miss-status-holding-register count (non-blocking depth).
+pub fn ablate_mshr(scale: Scale) {
+    println!("\n== Ablation: MSHR count (cycles, FAC machine) ==");
+    println!("{:10} {:>10} {:>10} {:>10}", "program", "mshr=1", "mshr=8", "mshr=32");
+    rule(44);
+    for b in &build_suite(scale) {
+        let mut row = Vec::new();
+        for mshrs in [1u32, 8, 32] {
+            let mut cfg = MachineConfig::paper_baseline().with_fac();
+            cfg.mshr_entries = mshrs;
+            row.push(run(&b.tuned, cfg).stats.cycles);
+        }
+        println!("{:10} {:>10} {:>10} {:>10}", b.workload.name, row[0], row[1], row[2]);
+    }
+}
+
+/// Ablation: store-buffer depth sensitivity.
+pub fn ablate_store_buffer(scale: Scale) {
+    println!("\n== Ablation: store buffer depth (cycles, FAC machine) ==");
+    println!("{:10} {:>10} {:>10} {:>10} {:>10}", "program", "sb=2", "sb=4", "sb=16", "sb=64");
+    rule(56);
+    for b in &build_suite(scale) {
+        let mut row = Vec::new();
+        for depth in [2usize, 4, 16, 64] {
+            let mut cfg = MachineConfig::paper_baseline().with_fac();
+            cfg.store_buffer_entries = depth;
+            row.push(run(&b.tuned, cfg).stats.cycles);
+        }
+        println!(
+            "{:10} {:>10} {:>10} {:>10} {:>10}",
+            b.workload.name, row[0], row[1], row[2], row[3]
+        );
+    }
+}

@@ -1,0 +1,144 @@
+#![warn(missing_docs)]
+
+//! # fac-bench — the evaluation harness
+//!
+//! One binary per table/figure of the paper, built on the shared runners in
+//! this library:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig2` | Figure 2 — IPC under load-latency what-ifs |
+//! | `table1` | Table 1 — program reference behavior |
+//! | `fig3` | Figure 3 — load offset cumulative distributions |
+//! | `table3` | Table 3 — program statistics without software support |
+//! | `table4` | Table 4 — program statistics with software support |
+//! | `table5` | Table 5 — the baseline simulation model |
+//! | `fig6` | Figure 6 — speedups (hw / hw+sw × block size × reg+reg) |
+//! | `table6` | Table 6 — cache-bandwidth overhead of misspeculation |
+//! | `ablate_*` | design-choice ablations called out in DESIGN.md |
+//! | `all_experiments` | everything above, in order |
+//!
+//! Run with `cargo run --release -p fac-bench --bin <name>`.
+
+use fac_asm::{Program, SoftwareSupport};
+use fac_core::{AddrFields, PredictorConfig};
+use fac_sim::{profile_predictions, Machine, MachineConfig, ProfileReport, SimReport};
+use fac_workloads::{suite, Scale, Workload};
+
+/// Instruction budget per simulation (well above any Paper-scale kernel).
+pub const MAX_INSTS: u64 = 400_000_000;
+
+/// A built program plus its workload metadata.
+pub struct Bench {
+    /// Workload descriptor.
+    pub workload: Workload,
+    /// Linked without software support.
+    pub plain: Program,
+    /// Linked with the §4 software support.
+    pub tuned: Program,
+}
+
+/// Builds the whole suite at the given scale, under both software policies.
+pub fn build_suite(scale: Scale) -> Vec<Bench> {
+    suite()
+        .into_iter()
+        .map(|workload| Bench {
+            plain: workload.build(&SoftwareSupport::off(), scale),
+            tuned: workload.build(&SoftwareSupport::on(), scale),
+            workload,
+        })
+        .collect()
+}
+
+/// Runs a program on a machine configuration.
+pub fn run(program: &Program, cfg: MachineConfig) -> SimReport {
+    Machine::new(cfg)
+        .with_max_insts(MAX_INSTS)
+        .run(program)
+        .unwrap_or_else(|e| panic!("{}: {e}", program.name))
+}
+
+/// Profiles every reference of a program against the prediction circuit
+/// with the given data-cache block size (§5.3 methodology).
+pub fn profile(program: &Program, block_bytes: u32, config: PredictorConfig) -> ProfileReport {
+    profile_predictions(
+        program,
+        AddrFields::for_direct_mapped(16 * 1024, block_bytes),
+        config,
+        MAX_INSTS,
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", program.name))
+}
+
+/// Weighted average of per-program `values`, weighted by `weights`
+/// (the paper weights its averages by program run-time in cycles).
+pub fn weighted_mean(values: &[f64], weights: &[u64]) -> f64 {
+    let wsum: u64 = weights.iter().sum();
+    if wsum == 0 {
+        return 0.0;
+    }
+    values
+        .iter()
+        .zip(weights)
+        .map(|(v, &w)| v * w as f64)
+        .sum::<f64>()
+        / wsum as f64
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+/// Formats a signed percentage change.
+pub fn pct_change(new: f64, old: f64) -> String {
+    if old == 0.0 {
+        return "-".to_string();
+    }
+    format!("{:+.1}", (new - old) / old * 100.0)
+}
+
+/// Prints a rule line of the given width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Scale selection from argv: `--smoke` uses the tiny configuration.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mean_behaves() {
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[1, 1]), 2.0);
+        assert_eq!(weighted_mean(&[1.0, 3.0], &[3, 1]), 1.5);
+        assert_eq!(weighted_mean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.1234), "12.3");
+        assert_eq!(pct_change(1.1, 1.0), "+10.0");
+        assert_eq!(pct_change(1.0, 0.0), "-");
+    }
+
+    #[test]
+    fn smoke_suite_builds_and_runs() {
+        let benches = build_suite(Scale::Smoke);
+        assert_eq!(benches.len(), 19);
+        let b = &benches[0];
+        let r = run(&b.plain, MachineConfig::paper_baseline());
+        assert!(r.stats.cycles > 0);
+        let p = profile(&b.tuned, 32, PredictorConfig::default());
+        assert!(p.refs() > 0);
+    }
+}
+pub mod experiments;

@@ -1,0 +1,173 @@
+//! Gate-level critical-path model for the §3.1 timing argument.
+//!
+//! The paper's case for fast address calculation rests on a circuit claim:
+//! the prediction mechanism adds **one OR-gate delay** before cache access
+//! can commence, while a conventional address generation stage needs a full
+//! 32-bit add before the set index exists. This module makes that claim
+//! checkable: it estimates critical-path depth (in equivalent 2-input gate
+//! delays) for ripple-carry and carry-lookahead adders, for the carry-free
+//! index composition, and for the decoupled verification network of
+//! Figure 4.
+//!
+//! The numbers are textbook logic-depth estimates, not a technology
+//! library; their purpose is the *relative* comparison the paper makes.
+
+/// Critical-path depth in equivalent 2-input gate delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GateDelays(pub u32);
+
+impl core::fmt::Display for GateDelays {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} gate delays", self.0)
+    }
+}
+
+/// Depth of a balanced tree of 2-input gates over `n` inputs.
+fn tree_depth(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+/// Critical path of an `n`-bit ripple-carry adder: one full adder is ~2
+/// gate delays of carry path (majority + propagate), plus sum formation.
+pub fn ripple_adder_depth(bits: u32) -> GateDelays {
+    if bits == 0 {
+        return GateDelays(0);
+    }
+    GateDelays(2 * bits + 1)
+}
+
+/// Critical path of an `n`-bit carry-lookahead adder built from 4-bit
+/// groups: generate/propagate (1), log₄ levels of group lookahead (2 gate
+/// delays each, up and down the tree), final sum XOR (1).
+pub fn cla_adder_depth(bits: u32) -> GateDelays {
+    if bits == 0 {
+        return GateDelays(0);
+    }
+    let groups = bits.div_ceil(4).max(1);
+    let levels = if groups <= 1 { 1 } else { tree_depth(groups) };
+    GateDelays(1 + 4 * levels + 1)
+}
+
+/// Depth added *before the cache row decode can begin* by the fast-address-
+/// calculation index path: the single OR (or XOR) of the base and offset
+/// index bits — one gate, exactly as the paper claims.
+pub fn fac_index_depth() -> GateDelays {
+    GateDelays(1)
+}
+
+/// Depth of the block-offset full adder (`bits` = B, 4–5 in the paper):
+/// a small ripple adder is fine because the result is needed *late* (at the
+/// column multiplexor), not before row decode.
+pub fn fac_block_offset_depth(block_offset_bits: u32) -> GateDelays {
+    ripple_adder_depth(block_offset_bits)
+}
+
+/// Depth of the verification network of Figure 4: the carry out of the
+/// block-offset adder (condition 1), the AND-OR reduction over the index
+/// bits for generated carries (condition 2), the inverted-offset zero check
+/// (condition 3), a sign bit (condition 4), and the final 4-input OR.
+pub fn fac_verify_depth(block_offset_bits: u32, index_bits: u32) -> GateDelays {
+    let overflow = ripple_adder_depth(block_offset_bits).0;
+    let gen_carry = 1 + tree_depth(index_bits); // AND per bit, OR-tree
+    let large_neg = 1 + tree_depth(index_bits); // NOT per bit (folded), OR-tree
+    let neg_reg = 1;
+    let combine = tree_depth(4);
+    GateDelays(overflow.max(gen_carry).max(large_neg).max(neg_reg) + combine)
+}
+
+/// The comparison the paper makes in §3.1, bundled: how much address-path
+/// delay precedes cache row decode under each scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalPathReport {
+    /// Full 32-bit ripple-carry address add (a naive AGEN stage).
+    pub full_ripple: GateDelays,
+    /// Full 32-bit carry-lookahead address add (a realistic AGEN stage).
+    pub full_cla: GateDelays,
+    /// Fast address calculation's pre-decode addition: one OR.
+    pub fac_pre_decode: GateDelays,
+    /// FAC's block-offset adder (needed late, at column select).
+    pub fac_block_offset: GateDelays,
+    /// FAC's verification network (fully decoupled from the access).
+    pub fac_verify: GateDelays,
+}
+
+impl CriticalPathReport {
+    /// Builds the report for a cache with `2^B`-byte blocks and `2^I` sets.
+    pub fn for_geometry(block_offset_bits: u32, index_bits: u32) -> CriticalPathReport {
+        CriticalPathReport {
+            full_ripple: ripple_adder_depth(32),
+            full_cla: cla_adder_depth(32),
+            fac_pre_decode: fac_index_depth(),
+            fac_block_offset: fac_block_offset_depth(block_offset_bits),
+            fac_verify: fac_verify_depth(block_offset_bits, index_bits),
+        }
+    }
+
+    /// Gate delays removed from the pre-decode path versus a CLA AGEN.
+    pub fn pre_decode_savings(&self) -> u32 {
+        self.full_cla.0.saturating_sub(self.fac_pre_decode.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_depth_is_ceil_log2() {
+        assert_eq!(tree_depth(1), 0);
+        assert_eq!(tree_depth(2), 1);
+        assert_eq!(tree_depth(3), 2);
+        assert_eq!(tree_depth(4), 2);
+        assert_eq!(tree_depth(9), 4);
+    }
+
+    #[test]
+    fn adders_scale_as_expected() {
+        assert!(ripple_adder_depth(32) > ripple_adder_depth(5));
+        assert!(cla_adder_depth(32) < ripple_adder_depth(32));
+        assert_eq!(ripple_adder_depth(0), GateDelays(0));
+        assert_eq!(cla_adder_depth(0), GateDelays(0));
+    }
+
+    #[test]
+    fn fac_pre_decode_is_one_gate() {
+        // The paper's claim, literally.
+        assert_eq!(fac_index_depth(), GateDelays(1));
+    }
+
+    #[test]
+    fn block_offset_adder_is_small() {
+        // "For most cache designs, a 4- or 5-bit adder should suffice...
+        // on the order of the cache row decoders."
+        let bo = fac_block_offset_depth(5);
+        assert!(bo < cla_adder_depth(32));
+        assert!(bo.0 <= 11);
+    }
+
+    #[test]
+    fn verification_is_shallower_than_full_addition() {
+        // "Since the verification circuit is very simple, we do not expect
+        // it to impact the processor cycle time."
+        let v = fac_verify_depth(5, 9);
+        assert!(v < ripple_adder_depth(32));
+        assert!(v <= cla_adder_depth(32));
+    }
+
+    #[test]
+    fn report_for_table5_geometry() {
+        let r = CriticalPathReport::for_geometry(5, 9);
+        assert_eq!(r.fac_pre_decode, GateDelays(1));
+        assert!(r.pre_decode_savings() >= 8, "savings {}", r.pre_decode_savings());
+        assert!(r.fac_verify <= r.full_cla);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(GateDelays(3).to_string(), "3 gate delays");
+    }
+}

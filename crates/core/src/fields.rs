@@ -1,0 +1,219 @@
+//! Address field geometry: tag / set index / block offset.
+
+use core::fmt;
+
+/// Partition of a 32-bit effective address into *block offset*, *set index*
+/// and *tag* fields for a particular cache geometry.
+///
+/// Using the paper's notation (Figure 4): `2^B` is the block size in bytes
+/// and `2^S` is the size of a cache *set* in bytes, so the block offset is
+/// bits `B-1:0`, the set index is bits `S-1:B` and the tag is bits `31:S`.
+/// The fast-address-calculation circuit performs `B` bits of full addition
+/// (the block offset), carry-free OR composition on the set index, and —
+/// in the default design — full addition on the tag.
+///
+/// ```
+/// use fac_core::AddrFields;
+///
+/// // 16 KB direct-mapped cache with 16-byte blocks (the Figure 5 geometry).
+/// let f = AddrFields::for_direct_mapped(16 * 1024, 16);
+/// assert_eq!(f.block_offset_bits(), 4);
+/// assert_eq!(f.index_bits(), 10);
+/// assert_eq!(f.block_offset(0x7fff5bea), 0xa);
+/// assert_eq!(f.index(0x7fff5bea), 0x1be);
+/// assert_eq!(f.tag(0x7fff5bea), 0x1fffd);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrFields {
+    block_offset_bits: u32,
+    index_bits: u32,
+}
+
+impl AddrFields {
+    /// Creates a field split from raw bit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block offset and index together exceed 32 bits, or if
+    /// the block offset is zero (the circuit needs at least one bit of full
+    /// addition).
+    pub fn new(block_offset_bits: u32, index_bits: u32) -> AddrFields {
+        assert!(block_offset_bits >= 1, "block offset must be at least one bit");
+        assert!(
+            block_offset_bits + index_bits <= 32,
+            "block offset ({block_offset_bits}) + index ({index_bits}) exceed 32 bits"
+        );
+        AddrFields { block_offset_bits, index_bits }
+    }
+
+    /// Field split for a direct-mapped cache of `cache_bytes` total capacity
+    /// and `block_bytes` per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is not a power of two or `block_bytes` does not
+    /// divide `cache_bytes`.
+    pub fn for_direct_mapped(cache_bytes: u32, block_bytes: u32) -> AddrFields {
+        AddrFields::for_set_associative(cache_bytes, block_bytes, 1)
+    }
+
+    /// Field split for a set-associative cache. The set index shrinks as
+    /// associativity grows (only `cache_bytes / ways / block_bytes` sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes are not powers of two or inconsistent.
+    pub fn for_set_associative(cache_bytes: u32, block_bytes: u32, ways: u32) -> AddrFields {
+        assert!(cache_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(ways.is_power_of_two() && ways >= 1, "ways must be a power of two");
+        let sets = cache_bytes / block_bytes / ways;
+        assert!(sets >= 1, "cache must have at least one set");
+        AddrFields::new(block_bytes.trailing_zeros(), sets.trailing_zeros())
+    }
+
+    /// Number of block-offset bits (`B`).
+    pub fn block_offset_bits(self) -> u32 {
+        self.block_offset_bits
+    }
+
+    /// Number of set-index bits (`S - B`).
+    pub fn index_bits(self) -> u32 {
+        self.index_bits
+    }
+
+    /// Number of tag bits (`32 - S`).
+    pub fn tag_bits(self) -> u32 {
+        32 - self.block_offset_bits - self.index_bits
+    }
+
+    /// Mask covering the block-offset field (right-aligned).
+    pub fn block_offset_mask(self) -> u32 {
+        mask(self.block_offset_bits)
+    }
+
+    /// Mask covering the index field (right-aligned).
+    pub fn index_mask(self) -> u32 {
+        mask(self.index_bits)
+    }
+
+    /// Mask covering the tag field (right-aligned).
+    pub fn tag_mask(self) -> u32 {
+        mask(self.tag_bits())
+    }
+
+    /// Extracts the block offset of `addr`.
+    pub fn block_offset(self, addr: u32) -> u32 {
+        addr & self.block_offset_mask()
+    }
+
+    /// Extracts the set index of `addr` (right-aligned).
+    pub fn index(self, addr: u32) -> u32 {
+        (addr >> self.block_offset_bits) & self.index_mask()
+    }
+
+    /// Extracts the tag of `addr` (right-aligned).
+    pub fn tag(self, addr: u32) -> u32 {
+        if self.tag_bits() == 0 {
+            0
+        } else {
+            (addr >> (self.block_offset_bits + self.index_bits)) & self.tag_mask()
+        }
+    }
+
+    /// Reassembles an address from its fields. Inverse of the extractors.
+    pub fn compose(self, tag: u32, index: u32, block_offset: u32) -> u32 {
+        debug_assert_eq!(block_offset & !self.block_offset_mask(), 0);
+        debug_assert_eq!(index & !self.index_mask(), 0);
+        ((tag & self.tag_mask()) << (self.block_offset_bits + self.index_bits))
+            | (index << self.block_offset_bits)
+            | block_offset
+    }
+}
+
+impl fmt::Display for AddrFields {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tag[31:{}] index[{}:{}] offset[{}:0]",
+            self.block_offset_bits + self.index_bits,
+            self.block_offset_bits + self.index_bits - 1,
+            self.block_offset_bits,
+            self.block_offset_bits - 1,
+        )
+    }
+}
+
+fn mask(bits: u32) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_16k_32b() {
+        // The Table 5 baseline: 16 KB direct-mapped, 32-byte blocks.
+        let f = AddrFields::for_direct_mapped(16 * 1024, 32);
+        assert_eq!(f.block_offset_bits(), 5);
+        assert_eq!(f.index_bits(), 9);
+        assert_eq!(f.tag_bits(), 18);
+    }
+
+    #[test]
+    fn set_associative_shrinks_index() {
+        let dm = AddrFields::for_direct_mapped(16 * 1024, 32);
+        let sa = AddrFields::for_set_associative(16 * 1024, 32, 4);
+        assert_eq!(sa.index_bits(), dm.index_bits() - 2);
+    }
+
+    #[test]
+    fn extract_compose_roundtrip() {
+        let f = AddrFields::for_direct_mapped(16 * 1024, 16);
+        for addr in [0u32, 0x7fff5b84, 0xdeadbeef, u32::MAX, 0x1000, 0xac] {
+            assert_eq!(f.compose(f.tag(addr), f.index(addr), f.block_offset(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn masks_cover_word() {
+        let f = AddrFields::for_direct_mapped(16 * 1024, 32);
+        assert_eq!(
+            f.block_offset_mask().count_ones() + f.index_mask().count_ones()
+                + f.tag_mask().count_ones(),
+            32
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let f = AddrFields::for_direct_mapped(16 * 1024, 16);
+        assert_eq!(f.to_string(), "tag[31:14] index[13:4] offset[3:0]");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_cache() {
+        let _ = AddrFields::for_direct_mapped(3000, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn rejects_zero_block_offset() {
+        let _ = AddrFields::new(0, 8);
+    }
+
+    #[test]
+    fn figure5_field_values() {
+        // Figure 5 uses a 16 KB direct-mapped cache with 16-byte blocks.
+        let f = AddrFields::for_direct_mapped(16 * 1024, 16);
+        let sp = 0x7fff5b84u32;
+        assert_eq!(f.block_offset(sp), 0x4);
+        assert_eq!(f.index(sp), 0x1b8);
+    }
+}

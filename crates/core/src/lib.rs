@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # fac-core — fast address calculation
+//!
+//! Bit-accurate model of the *fast address calculation* mechanism from
+//! Austin, Pnevmatikatos & Sohi, **"Streamlining Data Cache Access with Fast
+//! Address Calculation"**, ISCA 1995.
+//!
+//! On-chip caches need the *set index* portion of the effective address
+//! early in the access cycle and the *block offset* and *tag* portions late.
+//! The mechanism exploits this: it produces the set index with a single
+//! carry-free OR of base and offset (one gate delay), computes the block
+//! offset with a small full adder in parallel with the data/tag array read,
+//! and verifies the prediction with a circuit that is completely decoupled
+//! from the cache access critical path. When the prediction is wrong the
+//! access re-executes in the next cycle with the real address, so loads that
+//! predict correctly complete in **one** cycle instead of two.
+//!
+//! The predictor fails in exactly four ways (§3 of the paper):
+//!
+//! 1. a carry (or borrow) propagates out of the block offset,
+//! 2. a carry is generated inside the set index,
+//! 3. a negative constant offset is too large in magnitude, or
+//! 4. a register-supplied offset is negative.
+//!
+//! ```
+//! use fac_core::{AddrFields, Offset, Predictor, PredictorConfig};
+//!
+//! // The paper's Figure 5 geometry: 16 KB direct-mapped, 16-byte blocks.
+//! let p = Predictor::new(
+//!     AddrFields::for_direct_mapped(16 * 1024, 16),
+//!     PredictorConfig::default(),
+//! );
+//!
+//! // A pointer dereference predicts correctly...
+//! assert!(p.predict(0xac, Offset::Const(0)).is_correct());
+//! // ...a large stack-frame offset does not.
+//! assert!(!p.predict(0x7fff_5b84, Offset::Const(0x16c)).is_correct());
+//! ```
+//!
+//! The companion crates build the rest of the paper's infrastructure on top
+//! of this one: `fac-sim` integrates the predictor into a 4-way superscalar
+//! pipeline, `fac-asm` implements the compiler/linker alignment support of
+//! §4, and `fac-bench` regenerates the paper's tables and figures.
+
+mod circuit;
+mod fields;
+mod ltb;
+mod predictor;
+
+pub use circuit::{
+    cla_adder_depth, fac_block_offset_depth, fac_index_depth, fac_verify_depth,
+    ripple_adder_depth, CriticalPathReport, GateDelays,
+};
+pub use fields::AddrFields;
+pub use ltb::{Ltb, LtbStats};
+pub use predictor::{
+    FailureCause, FailureSignals, IndexCompose, Offset, Prediction, Predictor, PredictorConfig,
+};

@@ -1,0 +1,186 @@
+//! Load target buffer — the related-work comparator (§6, Golden & Mudge).
+//!
+//! Where fast address calculation predicts from the *operands* of the
+//! effective-address computation, an LTB predicts from the *PC* of the load:
+//! a table indexed by instruction address remembers the last effective
+//! address (plus its stride) and guesses the next one. It needs a real
+//! table (the cost the paper argues against) and is less accurate, because
+//! it only works for loads whose address stream is stable or strided.
+
+/// One LTB entry: last address and last stride for a load PC.
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    tag: u32,
+    last_addr: u32,
+    stride: i32,
+    /// 2-bit confidence; predictions are made at ≥ 2.
+    confidence: u8,
+}
+
+/// Statistics for an LTB.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LtbStats {
+    /// Lookups that produced a prediction.
+    pub predictions: u64,
+    /// Predictions that matched the true effective address.
+    pub correct: u64,
+    /// Lookups that declined to predict (cold, low confidence).
+    pub no_prediction: u64,
+}
+
+impl LtbStats {
+    /// Accuracy over issued predictions.
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// A direct-mapped load target buffer with stride prediction and 2-bit
+/// confidence counters.
+///
+/// ```
+/// use fac_core::Ltb;
+///
+/// let mut ltb = Ltb::new(64);
+/// // A strided load: the stride locks in once it repeats with confidence.
+/// assert_eq!(ltb.predict(0x400100), None);
+/// for i in 0..4 {
+///     ltb.update(0x400100, 0x1000 + i * 4, None);
+/// }
+/// assert_eq!(ltb.predict(0x400100), Some(0x1010));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ltb {
+    entries: Vec<Entry>,
+    stats: LtbStats,
+}
+
+impl Ltb {
+    /// Creates an empty LTB with `entries` slots (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive power of two.
+    pub fn new(entries: u32) -> Ltb {
+        assert!(entries.is_power_of_two(), "LTB size must be a power of two");
+        Ltb { entries: vec![Entry::default(); entries as usize], stats: LtbStats::default() }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &LtbStats {
+        &self.stats
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Predicted effective address for the load at `pc`, if the entry is
+    /// confident. Records prediction statistics.
+    pub fn predict(&mut self, pc: u32) -> Option<u32> {
+        let e = &self.entries[self.index(pc)];
+        if e.valid && e.tag == pc && e.confidence >= 2 {
+            self.stats.predictions += 1;
+            Some(e.last_addr.wrapping_add(e.stride as u32))
+        } else {
+            self.stats.no_prediction += 1;
+            None
+        }
+    }
+
+    /// Trains the entry with the resolved effective address. `issued` is
+    /// the prediction [`Ltb::predict`] returned for this access (if it was
+    /// consulted), so accuracy counts only real predictions.
+    pub fn update(&mut self, pc: u32, actual: u32, issued: Option<u32>) {
+        if issued == Some(actual) {
+            self.stats.correct += 1;
+        }
+        let idx = self.index(pc);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != pc {
+            *e = Entry { valid: true, tag: pc, last_addr: actual, stride: 0, confidence: 0 };
+            return;
+        }
+        let new_stride = actual.wrapping_sub(e.last_addr) as i32;
+        if new_stride == e.stride {
+            e.confidence = (e.confidence + 1).min(3);
+        } else {
+            e.confidence = e.confidence.saturating_sub(1);
+            e.stride = new_stride;
+        }
+        e.last_addr = actual;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_declines() {
+        let mut ltb = Ltb::new(16);
+        assert_eq!(ltb.predict(0x1000), None);
+        assert_eq!(ltb.stats().no_prediction, 1);
+    }
+
+    #[test]
+    fn constant_address_locks_quickly() {
+        let mut ltb = Ltb::new(16);
+        for _ in 0..3 {
+            ltb.update(0x1000, 0x2000, None);
+        }
+        assert_eq!(ltb.predict(0x1000), Some(0x2000));
+    }
+
+    #[test]
+    fn stride_prediction() {
+        let mut ltb = Ltb::new(16);
+        for i in 0..4u32 {
+            ltb.update(0x1000, 0x8000 + i * 16, None);
+        }
+        assert_eq!(ltb.predict(0x1000), Some(0x8040));
+    }
+
+    #[test]
+    fn irregular_stream_stays_quiet() {
+        let mut ltb = Ltb::new(16);
+        for &a in &[0x1000u32, 0x5230, 0x2914, 0x8fc4, 0x1204] {
+            ltb.update(0x1000, a, None);
+        }
+        assert_eq!(ltb.predict(0x1000), None, "confidence must stay low");
+    }
+
+    #[test]
+    fn aliasing_replaces() {
+        let mut ltb = Ltb::new(4);
+        for _ in 0..3 {
+            ltb.update(0x1000, 0x2000, None);
+        }
+        // 0x1010 maps to the same slot (4 entries).
+        ltb.update(0x1010, 0x3000, None);
+        assert_eq!(ltb.predict(0x1000), None, "evicted by the alias");
+    }
+
+    #[test]
+    fn accuracy_accounting() {
+        let mut ltb = Ltb::new(16);
+        for i in 0..10u32 {
+            let issued = ltb.predict(0x1000);
+            ltb.update(0x1000, 0x2000 + i * 4, issued);
+        }
+        let s = ltb.stats();
+        assert!(s.predictions > 0);
+        assert!(s.accuracy() > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_rejected() {
+        let _ = Ltb::new(48);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the fast-address-calculation circuit.
+//!
+//! These check the invariants the paper's design rests on:
+//!
+//! * **soundness** — if no failure signal fires, the speculatively accessed
+//!   address equals the true effective address (for every geometry and
+//!   configuration);
+//! * **genuineness of the carry signals** — `overflow`/`gen_carry` almost
+//!   always indicate a genuinely wrong address (the hardware replays either
+//!   way, but the signals should not be vacuous);
+//! * **OR ≈ XOR** (paper footnote 1) — the two carry-free compositions only
+//!   differ when the prediction fails.
+
+use fac_core::{AddrFields, IndexCompose, Offset, Predictor, PredictorConfig};
+use proptest::prelude::*;
+
+fn arb_fields() -> impl Strategy<Value = AddrFields> {
+    // Block offset 2..=6 bits (4..64-byte blocks), index 4..=12 bits.
+    (2u32..=6, 4u32..=12).prop_map(|(b, i)| AddrFields::new(b, i))
+}
+
+fn arb_offset() -> impl Strategy<Value = Offset> {
+    prop_oneof![
+        any::<i16>().prop_map(Offset::Const),
+        // Small constants dominate real programs; bias toward them too.
+        (-64i16..=64).prop_map(Offset::Const),
+        any::<u32>().prop_map(Offset::Reg),
+        (0u32..4096).prop_map(Offset::Reg),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = PredictorConfig> {
+    (any::<bool>(), any::<bool>()).prop_map(|(full_tag_add, xor)| PredictorConfig {
+        full_tag_add,
+        compose: if xor { IndexCompose::Xor } else { IndexCompose::Or },
+        ..PredictorConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Soundness: no failure signal ⇒ the speculative address is the true
+    /// effective address. This is the invariant that makes the speculative
+    /// cache access safe to consume.
+    #[test]
+    fn no_signal_implies_correct_address(
+        fields in arb_fields(),
+        config in arb_config(),
+        base in any::<u32>(),
+        offset in arb_offset(),
+    ) {
+        let p = Predictor::new(fields, config);
+        let pr = p.predict(base, offset);
+        if pr.is_correct() {
+            prop_assert_eq!(
+                pr.predicted, pr.actual,
+                "fields {} cfg {:?} base {:#x} ofs {:?}", fields, config, base, offset
+            );
+        }
+    }
+
+    /// The pure-carry signals are genuine for non-negative offsets: when
+    /// only `overflow`/`gen_carry` fire (no conservative signal), the
+    /// predicted address really is wrong, except for the known wrap-around
+    /// corner where the generated carry re-enters through the modulo.
+    #[test]
+    fn carry_signals_rarely_spurious(
+        fields in arb_fields(),
+        base in any::<u32>(),
+        ofs in 0i16..=i16::MAX,
+    ) {
+        let p = Predictor::new(fields, PredictorConfig::default());
+        let pr = p.predict(base, Offset::Const(ofs));
+        let s = pr.signals;
+        if (s.overflow || s.gen_carry) && !s.large_neg_const && !s.neg_index_reg {
+            // A spurious signal requires the index overlap plus carry-in to
+            // sum to exactly 2^index_bits (wrap). Anything else must be a
+            // genuine mismatch.
+            let idx_bits = fields.index_bits();
+            let overlap = fields.index(base) & fields.index(ofs as i32 as u32);
+            let wrap = overlap != 0
+                && (fields.index(base) as u64 + fields.index(ofs as i32 as u32) as u64
+                    + s.overflow as u64)
+                    >> idx_bits
+                    != 0;
+            if !wrap {
+                prop_assert_ne!(pr.predicted, pr.actual);
+            }
+        }
+    }
+
+    /// Footnote 1: OR and XOR composition agree whenever prediction
+    /// succeeds (they only differ when the access replays anyway).
+    #[test]
+    fn or_equals_xor_on_success(
+        fields in arb_fields(),
+        base in any::<u32>(),
+        offset in arb_offset(),
+    ) {
+        let or_p = Predictor::new(fields, PredictorConfig::default());
+        let xor_p = Predictor::new(
+            fields,
+            PredictorConfig { compose: IndexCompose::Xor, ..PredictorConfig::default() },
+        );
+        let a = or_p.predict(base, offset);
+        let b = xor_p.predict(base, offset);
+        prop_assert_eq!(a.signals, b.signals);
+        if a.is_correct() {
+            prop_assert_eq!(a.predicted, b.predicted);
+        }
+    }
+
+    /// Negative register offsets always fail; zero offsets always succeed.
+    #[test]
+    fn boundary_offsets(fields in arb_fields(), base in any::<u32>(), v in any::<u32>()) {
+        let p = Predictor::new(fields, PredictorConfig::default());
+        prop_assert!(p.predict(base, Offset::Const(0)).is_correct());
+        if (v as i32) < 0 {
+            prop_assert!(!p.predict(base, Offset::Reg(v)).is_correct());
+        }
+    }
+
+    /// Sufficient alignment guarantees success: if the base is aligned to
+    /// 2^(B+I) (so its index and block-offset bits are zero) and the offset
+    /// is a non-negative constant smaller than 2^(B+I), carry-free addition
+    /// always succeeds. This is the property the software support of §4
+    /// engineers for the global pointer.
+    #[test]
+    fn aligned_base_with_small_offset_succeeds(
+        fields in arb_fields(),
+        base_hi in any::<u32>(),
+        ofs in 0i16..=i16::MAX,
+    ) {
+        let span = fields.block_offset_bits() + fields.index_bits();
+        let base = if span >= 32 { 0 } else { base_hi << span };
+        let p = Predictor::new(fields, PredictorConfig::default());
+        if span < 32 && (ofs as u32) < (1u32 << span.min(31)) {
+            let pr = p.predict(base, Offset::Const(ofs));
+            prop_assert!(pr.is_correct(), "{}", pr.signals);
+            prop_assert_eq!(pr.predicted, base + ofs as u32);
+        }
+    }
+
+    /// Same-block accesses always predict correctly, regardless of sign:
+    /// if base and base+offset share a cache block, every signal stays low.
+    #[test]
+    fn same_block_always_succeeds(
+        fields in arb_fields(),
+        base in any::<u32>(),
+        ofs in -64i16..=64,
+    ) {
+        let p = Predictor::new(fields, PredictorConfig::default());
+        let actual = base.wrapping_add(ofs as i32 as u32);
+        let block = |a: u32| a >> fields.block_offset_bits();
+        if block(actual) == block(base) {
+            let pr = p.predict(base, Offset::Const(ofs));
+            prop_assert!(pr.is_correct(), "{} base {:#x} ofs {}", pr.signals, base, ofs);
+        }
+    }
+}

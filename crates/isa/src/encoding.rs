@@ -1,0 +1,717 @@
+//! Binary instruction encoding.
+//!
+//! The encoding is MIPS-I-shaped (6-bit primary opcode, `rs`/`rt`/`rd`
+//! fields) with three extensions for the paper's addressing modes:
+//!
+//! * opcode `0x1C` (`LSX`) carries register+register loads/stores with the
+//!   access kind in the `funct` field and the data register in `rd`;
+//! * a block of dedicated opcodes carries post-increment/decrement accesses
+//!   with the post-update step in the immediate field.
+//!
+//! Every [`Insn`] round-trips: `decode(encode(i)) == Ok(i)` (checked by unit
+//! and property tests).
+
+use crate::insn::{AluImmOp, AluOp, MulDivOp, ShiftOp};
+use crate::{AddrMode, BranchCond, FReg, FpCond, FpFmt, FpOp, Insn, LoadOp, Reg, StoreOp};
+use core::fmt;
+
+/// Error returned by [`decode`] for words that do not encode an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Field packers.
+fn r(op: u32, rs: u32, rt: u32, rd: u32, shamt: u32, funct: u32) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | (rd << 11) | (shamt << 6) | funct
+}
+fn i(op: u32, rs: u32, rt: u32, imm: u16) -> u32 {
+    (op << 26) | (rs << 21) | (rt << 16) | imm as u32
+}
+
+// Field extractors.
+fn f_op(w: u32) -> u32 {
+    w >> 26
+}
+fn f_rs(w: u32) -> u32 {
+    (w >> 21) & 0x1f
+}
+fn f_rt(w: u32) -> u32 {
+    (w >> 16) & 0x1f
+}
+fn f_rd(w: u32) -> u32 {
+    (w >> 11) & 0x1f
+}
+fn f_shamt(w: u32) -> u32 {
+    (w >> 6) & 0x1f
+}
+fn f_funct(w: u32) -> u32 {
+    w & 0x3f
+}
+fn f_imm(w: u32) -> i16 {
+    (w & 0xffff) as u16 as i16
+}
+
+const OP_REGIMM: u32 = 0x01;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLEZ: u32 = 0x06;
+const OP_BGTZ: u32 = 0x07;
+const OP_COP1: u32 = 0x11;
+const OP_LSX: u32 = 0x1c;
+
+/// `funct` codes inside the `LSX` (register+register) opcode, and the
+/// per-kind post-increment opcode, for each load/store kind.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LsKind {
+    L(LoadOp),
+    S(StoreOp),
+    Lf(FpFmt),
+    Sf(FpFmt),
+}
+
+impl LsKind {
+    fn lsx_funct(self) -> u32 {
+        match self {
+            LsKind::L(LoadOp::Lb) => 0x00,
+            LsKind::L(LoadOp::Lbu) => 0x01,
+            LsKind::L(LoadOp::Lh) => 0x02,
+            LsKind::L(LoadOp::Lhu) => 0x03,
+            LsKind::L(LoadOp::Lw) => 0x04,
+            LsKind::S(StoreOp::Sb) => 0x05,
+            LsKind::S(StoreOp::Sh) => 0x06,
+            LsKind::S(StoreOp::Sw) => 0x07,
+            LsKind::Lf(FpFmt::S) => 0x08,
+            LsKind::Lf(FpFmt::D) => 0x09,
+            LsKind::Sf(FpFmt::S) => 0x0a,
+            LsKind::Sf(FpFmt::D) => 0x0b,
+        }
+    }
+
+    fn from_lsx_funct(funct: u32) -> Option<LsKind> {
+        Some(match funct {
+            0x00 => LsKind::L(LoadOp::Lb),
+            0x01 => LsKind::L(LoadOp::Lbu),
+            0x02 => LsKind::L(LoadOp::Lh),
+            0x03 => LsKind::L(LoadOp::Lhu),
+            0x04 => LsKind::L(LoadOp::Lw),
+            0x05 => LsKind::S(StoreOp::Sb),
+            0x06 => LsKind::S(StoreOp::Sh),
+            0x07 => LsKind::S(StoreOp::Sw),
+            0x08 => LsKind::Lf(FpFmt::S),
+            0x09 => LsKind::Lf(FpFmt::D),
+            0x0a => LsKind::Sf(FpFmt::S),
+            0x0b => LsKind::Sf(FpFmt::D),
+            _ => return None,
+        })
+    }
+
+    fn disp_op(self) -> u32 {
+        match self {
+            LsKind::L(LoadOp::Lb) => 0x20,
+            LsKind::L(LoadOp::Lh) => 0x21,
+            LsKind::L(LoadOp::Lw) => 0x23,
+            LsKind::L(LoadOp::Lbu) => 0x24,
+            LsKind::L(LoadOp::Lhu) => 0x25,
+            LsKind::S(StoreOp::Sb) => 0x28,
+            LsKind::S(StoreOp::Sh) => 0x29,
+            LsKind::S(StoreOp::Sw) => 0x2b,
+            LsKind::Lf(FpFmt::S) => 0x31,
+            LsKind::Lf(FpFmt::D) => 0x35,
+            LsKind::Sf(FpFmt::S) => 0x39,
+            LsKind::Sf(FpFmt::D) => 0x3d,
+        }
+    }
+
+    fn from_disp_op(op: u32) -> Option<LsKind> {
+        Some(match op {
+            0x20 => LsKind::L(LoadOp::Lb),
+            0x21 => LsKind::L(LoadOp::Lh),
+            0x23 => LsKind::L(LoadOp::Lw),
+            0x24 => LsKind::L(LoadOp::Lbu),
+            0x25 => LsKind::L(LoadOp::Lhu),
+            0x28 => LsKind::S(StoreOp::Sb),
+            0x29 => LsKind::S(StoreOp::Sh),
+            0x2b => LsKind::S(StoreOp::Sw),
+            0x31 => LsKind::Lf(FpFmt::S),
+            0x35 => LsKind::Lf(FpFmt::D),
+            0x39 => LsKind::Sf(FpFmt::S),
+            0x3d => LsKind::Sf(FpFmt::D),
+            _ => return None,
+        })
+    }
+
+    fn postinc_op(self) -> u32 {
+        match self {
+            LsKind::L(LoadOp::Lb) => 0x22,
+            LsKind::L(LoadOp::Lbu) => 0x26,
+            LsKind::L(LoadOp::Lh) => 0x27,
+            LsKind::L(LoadOp::Lhu) => 0x2a,
+            LsKind::L(LoadOp::Lw) => 0x2c,
+            LsKind::S(StoreOp::Sb) => 0x2d,
+            LsKind::S(StoreOp::Sh) => 0x2e,
+            LsKind::S(StoreOp::Sw) => 0x2f,
+            LsKind::Lf(FpFmt::S) => 0x32,
+            LsKind::Lf(FpFmt::D) => 0x36,
+            LsKind::Sf(FpFmt::S) => 0x3a,
+            LsKind::Sf(FpFmt::D) => 0x3e,
+        }
+    }
+
+    fn from_postinc_op(op: u32) -> Option<LsKind> {
+        Some(match op {
+            0x22 => LsKind::L(LoadOp::Lb),
+            0x26 => LsKind::L(LoadOp::Lbu),
+            0x27 => LsKind::L(LoadOp::Lh),
+            0x2a => LsKind::L(LoadOp::Lhu),
+            0x2c => LsKind::L(LoadOp::Lw),
+            0x2d => LsKind::S(StoreOp::Sb),
+            0x2e => LsKind::S(StoreOp::Sh),
+            0x2f => LsKind::S(StoreOp::Sw),
+            0x32 => LsKind::Lf(FpFmt::S),
+            0x36 => LsKind::Lf(FpFmt::D),
+            0x3a => LsKind::Sf(FpFmt::S),
+            0x3e => LsKind::Sf(FpFmt::D),
+            _ => return None,
+        })
+    }
+
+    fn build(self, data_reg: u32, ea: AddrMode) -> Insn {
+        match self {
+            LsKind::L(op) => Insn::Load { op, rt: Reg::new(data_reg as u8), ea },
+            LsKind::S(op) => Insn::Store { op, rt: Reg::new(data_reg as u8), ea },
+            LsKind::Lf(fmt) => Insn::LoadFp { fmt, ft: FReg::new(data_reg as u8), ea },
+            LsKind::Sf(fmt) => Insn::StoreFp { fmt, ft: FReg::new(data_reg as u8), ea },
+        }
+    }
+}
+
+fn ls_kind(insn: &Insn) -> Option<(LsKind, u32, AddrMode)> {
+    Some(match *insn {
+        Insn::Load { op, rt, ea } => (LsKind::L(op), rt.index() as u32, ea),
+        Insn::Store { op, rt, ea } => (LsKind::S(op), rt.index() as u32, ea),
+        Insn::LoadFp { fmt, ft, ea } => (LsKind::Lf(fmt), ft.index() as u32, ea),
+        Insn::StoreFp { fmt, ft, ea } => (LsKind::Sf(fmt), ft.index() as u32, ea),
+        _ => return None,
+    })
+}
+
+fn alu_funct(op: AluOp) -> u32 {
+    match op {
+        AluOp::Sllv => 0x04,
+        AluOp::Srlv => 0x06,
+        AluOp::Srav => 0x07,
+        AluOp::Add => 0x20,
+        AluOp::Addu => 0x21,
+        AluOp::Sub => 0x22,
+        AluOp::Subu => 0x23,
+        AluOp::And => 0x24,
+        AluOp::Or => 0x25,
+        AluOp::Xor => 0x26,
+        AluOp::Nor => 0x27,
+        AluOp::Slt => 0x2a,
+        AluOp::Sltu => 0x2b,
+    }
+}
+
+fn alu_from_funct(funct: u32) -> Option<AluOp> {
+    Some(match funct {
+        0x04 => AluOp::Sllv,
+        0x06 => AluOp::Srlv,
+        0x07 => AluOp::Srav,
+        0x20 => AluOp::Add,
+        0x21 => AluOp::Addu,
+        0x22 => AluOp::Sub,
+        0x23 => AluOp::Subu,
+        0x24 => AluOp::And,
+        0x25 => AluOp::Or,
+        0x26 => AluOp::Xor,
+        0x27 => AluOp::Nor,
+        0x2a => AluOp::Slt,
+        0x2b => AluOp::Sltu,
+        _ => return None,
+    })
+}
+
+fn fp_funct(op: FpOp) -> u32 {
+    match op {
+        FpOp::Add => 0x00,
+        FpOp::Sub => 0x01,
+        FpOp::Mul => 0x02,
+        FpOp::Div => 0x03,
+        FpOp::Sqrt => 0x04,
+        FpOp::Abs => 0x05,
+        FpOp::Mov => 0x06,
+        FpOp::Neg => 0x07,
+    }
+}
+
+fn fmt_field(fmt: FpFmt) -> u32 {
+    match fmt {
+        FpFmt::S => 0x10,
+        FpFmt::D => 0x11,
+    }
+}
+
+fn fmt_from_field(field: u32) -> Option<FpFmt> {
+    match field {
+        0x10 => Some(FpFmt::S),
+        0x11 => Some(FpFmt::D),
+        _ => None,
+    }
+}
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// ```
+/// use fac_isa::{encode, decode, Insn, Reg, AddrMode, LoadOp};
+/// let insn = Insn::Load {
+///     op: LoadOp::Lw,
+///     rt: Reg::T0,
+///     ea: AddrMode::BaseIndex { base: Reg::S0, index: Reg::S1 },
+/// };
+/// assert_eq!(decode(encode(&insn)).unwrap(), insn);
+/// ```
+pub fn encode(insn: &Insn) -> u32 {
+    match *insn {
+        Insn::Nop => 0,
+        Insn::Alu { op, rd, rs, rt } => r(
+            0,
+            rs.index() as u32,
+            rt.index() as u32,
+            rd.index() as u32,
+            0,
+            alu_funct(op),
+        ),
+        Insn::AluImm { op, rt, rs, imm } => {
+            let opc = match op {
+                AluImmOp::Addi => 0x08,
+                AluImmOp::Addiu => 0x09,
+                AluImmOp::Slti => 0x0a,
+                AluImmOp::Sltiu => 0x0b,
+                AluImmOp::Andi => 0x0c,
+                AluImmOp::Ori => 0x0d,
+                AluImmOp::Xori => 0x0e,
+            };
+            i(opc, rs.index() as u32, rt.index() as u32, imm as u16)
+        }
+        Insn::Shift { op, rd, rt, shamt } => {
+            let funct = match op {
+                ShiftOp::Sll => 0x00,
+                ShiftOp::Srl => 0x02,
+                ShiftOp::Sra => 0x03,
+            };
+            r(0, 0, rt.index() as u32, rd.index() as u32, shamt as u32, funct)
+        }
+        Insn::Lui { rt, imm } => i(0x0f, 0, rt.index() as u32, imm),
+        Insn::MulDiv { op, rs, rt } => {
+            let funct = match op {
+                MulDivOp::Mult => 0x18,
+                MulDivOp::Multu => 0x19,
+                MulDivOp::Div => 0x1a,
+                MulDivOp::Divu => 0x1b,
+            };
+            r(0, rs.index() as u32, rt.index() as u32, 0, 0, funct)
+        }
+        Insn::Mfhi { rd } => r(0, 0, 0, rd.index() as u32, 0, 0x10),
+        Insn::Mflo { rd } => r(0, 0, 0, rd.index() as u32, 0, 0x12),
+        Insn::Load { .. } | Insn::Store { .. } | Insn::LoadFp { .. } | Insn::StoreFp { .. } => {
+            let (kind, data, ea) = ls_kind(insn).expect("memory instruction");
+            match ea {
+                AddrMode::BaseDisp { base, disp } => {
+                    i(kind.disp_op(), base.index() as u32, data, disp as u16)
+                }
+                AddrMode::BaseIndex { base, index } => r(
+                    OP_LSX,
+                    base.index() as u32,
+                    index.index() as u32,
+                    data,
+                    0,
+                    kind.lsx_funct(),
+                ),
+                AddrMode::PostInc { base, step } => {
+                    i(kind.postinc_op(), base.index() as u32, data, step as u16)
+                }
+            }
+        }
+        Insn::Fp { op, fmt, fd, fs, ft } => r(
+            OP_COP1,
+            fmt_field(fmt),
+            ft.index() as u32,
+            fs.index() as u32,
+            fd.index() as u32,
+            fp_funct(op),
+        ),
+        Insn::FpCmp { cond, fmt, fs, ft } => {
+            let funct = match cond {
+                FpCond::Eq => 0x32,
+                FpCond::Lt => 0x3c,
+                FpCond::Le => 0x3e,
+            };
+            r(OP_COP1, fmt_field(fmt), ft.index() as u32, fs.index() as u32, 0, funct)
+        }
+        Insn::Bc1 { on_true, off } => {
+            i(OP_COP1, 0x08, on_true as u32, off as u16)
+        }
+        Insn::Mtc1 { rt, fs } => r(OP_COP1, 0x04, rt.index() as u32, fs.index() as u32, 0, 0),
+        Insn::Mfc1 { rt, fs } => r(OP_COP1, 0x00, rt.index() as u32, fs.index() as u32, 0, 0),
+        Insn::CvtFromW { fmt, fd, fs } => {
+            let funct = match fmt {
+                FpFmt::S => 0x20,
+                FpFmt::D => 0x21,
+            };
+            r(OP_COP1, 0x14, 0, fs.index() as u32, fd.index() as u32, funct)
+        }
+        Insn::TruncToW { fmt, fd, fs } => r(
+            OP_COP1,
+            fmt_field(fmt),
+            0,
+            fs.index() as u32,
+            fd.index() as u32,
+            0x0d,
+        ),
+        Insn::Branch { cond, rs, rt, off } => match cond {
+            BranchCond::Eq => i(OP_BEQ, rs.index() as u32, rt.index() as u32, off as u16),
+            BranchCond::Ne => i(OP_BNE, rs.index() as u32, rt.index() as u32, off as u16),
+            BranchCond::Lez => i(OP_BLEZ, rs.index() as u32, 0, off as u16),
+            BranchCond::Gtz => i(OP_BGTZ, rs.index() as u32, 0, off as u16),
+            BranchCond::Ltz => i(OP_REGIMM, rs.index() as u32, 0, off as u16),
+            BranchCond::Gez => i(OP_REGIMM, rs.index() as u32, 1, off as u16),
+        },
+        Insn::J { target } => (OP_J << 26) | (target & 0x03ff_ffff),
+        Insn::Jal { target } => (OP_JAL << 26) | (target & 0x03ff_ffff),
+        Insn::Jr { rs } => r(0, rs.index() as u32, 0, 0, 0, 0x08),
+        Insn::Jalr { rd, rs } => r(0, rs.index() as u32, 0, rd.index() as u32, 0, 0x09),
+        Insn::Halt => r(0, 0, 0, 0, 0, 0x3f),
+    }
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the word does not correspond to any
+/// instruction in the extended-MIPS encoding.
+pub fn decode(word: u32) -> Result<Insn, DecodeError> {
+    let err = DecodeError { word };
+    let (op, rs, rt, rd, shamt, funct) =
+        (f_op(word), f_rs(word), f_rt(word), f_rd(word), f_shamt(word), f_funct(word));
+    let insn = match op {
+        0x00 => {
+            if word == 0 {
+                Insn::Nop
+            } else if let Some(alu) = alu_from_funct(funct) {
+                Insn::Alu {
+                    op: alu,
+                    rd: Reg::new(rd as u8),
+                    rs: Reg::new(rs as u8),
+                    rt: Reg::new(rt as u8),
+                }
+            } else {
+                match funct {
+                    0x00 => Insn::Shift {
+                        op: ShiftOp::Sll,
+                        rd: Reg::new(rd as u8),
+                        rt: Reg::new(rt as u8),
+                        shamt: shamt as u8,
+                    },
+                    0x02 => Insn::Shift {
+                        op: ShiftOp::Srl,
+                        rd: Reg::new(rd as u8),
+                        rt: Reg::new(rt as u8),
+                        shamt: shamt as u8,
+                    },
+                    0x03 => Insn::Shift {
+                        op: ShiftOp::Sra,
+                        rd: Reg::new(rd as u8),
+                        rt: Reg::new(rt as u8),
+                        shamt: shamt as u8,
+                    },
+                    0x08 => Insn::Jr { rs: Reg::new(rs as u8) },
+                    0x09 => Insn::Jalr { rd: Reg::new(rd as u8), rs: Reg::new(rs as u8) },
+                    0x10 => Insn::Mfhi { rd: Reg::new(rd as u8) },
+                    0x12 => Insn::Mflo { rd: Reg::new(rd as u8) },
+                    0x18 => Insn::MulDiv {
+                        op: MulDivOp::Mult,
+                        rs: Reg::new(rs as u8),
+                        rt: Reg::new(rt as u8),
+                    },
+                    0x19 => Insn::MulDiv {
+                        op: MulDivOp::Multu,
+                        rs: Reg::new(rs as u8),
+                        rt: Reg::new(rt as u8),
+                    },
+                    0x1a => Insn::MulDiv {
+                        op: MulDivOp::Div,
+                        rs: Reg::new(rs as u8),
+                        rt: Reg::new(rt as u8),
+                    },
+                    0x1b => Insn::MulDiv {
+                        op: MulDivOp::Divu,
+                        rs: Reg::new(rs as u8),
+                        rt: Reg::new(rt as u8),
+                    },
+                    0x3f => Insn::Halt,
+                    _ => return Err(err),
+                }
+            }
+        }
+        OP_REGIMM => {
+            let cond = match rt {
+                0 => BranchCond::Ltz,
+                1 => BranchCond::Gez,
+                _ => return Err(err),
+            };
+            Insn::Branch { cond, rs: Reg::new(rs as u8), rt: Reg::ZERO, off: f_imm(word) }
+        }
+        OP_J => Insn::J { target: word & 0x03ff_ffff },
+        OP_JAL => Insn::Jal { target: word & 0x03ff_ffff },
+        OP_BEQ | OP_BNE => Insn::Branch {
+            cond: if op == OP_BEQ { BranchCond::Eq } else { BranchCond::Ne },
+            rs: Reg::new(rs as u8),
+            rt: Reg::new(rt as u8),
+            off: f_imm(word),
+        },
+        OP_BLEZ | OP_BGTZ => Insn::Branch {
+            cond: if op == OP_BLEZ { BranchCond::Lez } else { BranchCond::Gtz },
+            rs: Reg::new(rs as u8),
+            rt: Reg::ZERO,
+            off: f_imm(word),
+        },
+        0x08..=0x0e => {
+            let aop = match op {
+                0x08 => AluImmOp::Addi,
+                0x09 => AluImmOp::Addiu,
+                0x0a => AluImmOp::Slti,
+                0x0b => AluImmOp::Sltiu,
+                0x0c => AluImmOp::Andi,
+                0x0d => AluImmOp::Ori,
+                _ => AluImmOp::Xori,
+            };
+            Insn::AluImm {
+                op: aop,
+                rt: Reg::new(rt as u8),
+                rs: Reg::new(rs as u8),
+                imm: f_imm(word),
+            }
+        }
+        0x0f => Insn::Lui { rt: Reg::new(rt as u8), imm: (word & 0xffff) as u16 },
+        OP_COP1 => match rs {
+            0x00 => Insn::Mfc1 { rt: Reg::new(rt as u8), fs: FReg::new(rd as u8) },
+            0x04 => Insn::Mtc1 { rt: Reg::new(rt as u8), fs: FReg::new(rd as u8) },
+            0x08 => Insn::Bc1 { on_true: rt == 1, off: f_imm(word) },
+            0x14 => {
+                let fmt = match funct {
+                    0x20 => FpFmt::S,
+                    0x21 => FpFmt::D,
+                    _ => return Err(err),
+                };
+                Insn::CvtFromW { fmt, fd: FReg::new(shamt as u8), fs: FReg::new(rd as u8) }
+            }
+            _ => {
+                let fmt = fmt_from_field(rs).ok_or(err)?;
+                match funct {
+                    0x00..=0x07 => {
+                        let fop = match funct {
+                            0x00 => FpOp::Add,
+                            0x01 => FpOp::Sub,
+                            0x02 => FpOp::Mul,
+                            0x03 => FpOp::Div,
+                            0x04 => FpOp::Sqrt,
+                            0x05 => FpOp::Abs,
+                            0x06 => FpOp::Mov,
+                            _ => FpOp::Neg,
+                        };
+                        Insn::Fp {
+                            op: fop,
+                            fmt,
+                            fd: FReg::new(shamt as u8),
+                            fs: FReg::new(rd as u8),
+                            ft: FReg::new(rt as u8),
+                        }
+                    }
+                    0x0d => Insn::TruncToW { fmt, fd: FReg::new(shamt as u8), fs: FReg::new(rd as u8) },
+                    0x32 => Insn::FpCmp { cond: FpCond::Eq, fmt, fs: FReg::new(rd as u8), ft: FReg::new(rt as u8) },
+                    0x3c => Insn::FpCmp { cond: FpCond::Lt, fmt, fs: FReg::new(rd as u8), ft: FReg::new(rt as u8) },
+                    0x3e => Insn::FpCmp { cond: FpCond::Le, fmt, fs: FReg::new(rd as u8), ft: FReg::new(rt as u8) },
+                    _ => return Err(err),
+                }
+            }
+        },
+        OP_LSX => {
+            let kind = LsKind::from_lsx_funct(funct).ok_or(err)?;
+            kind.build(
+                rd,
+                AddrMode::BaseIndex { base: Reg::new(rs as u8), index: Reg::new(rt as u8) },
+            )
+        }
+        _ => {
+            if let Some(kind) = LsKind::from_disp_op(op) {
+                kind.build(rt, AddrMode::BaseDisp { base: Reg::new(rs as u8), disp: f_imm(word) })
+            } else if let Some(kind) = LsKind::from_postinc_op(op) {
+                kind.build(rt, AddrMode::PostInc { base: Reg::new(rs as u8), step: f_imm(word) })
+            } else {
+                return Err(err);
+            }
+        }
+    };
+    Ok(insn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluImmOp, AluOp, MulDivOp, ShiftOp};
+
+    fn roundtrip(insn: Insn) {
+        let word = encode(&insn);
+        assert_eq!(decode(word), Ok(insn), "word {word:#010x}");
+    }
+
+    #[test]
+    fn roundtrip_alu() {
+        for op in [
+            AluOp::Add,
+            AluOp::Addu,
+            AluOp::Sub,
+            AluOp::Subu,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Nor,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Sllv,
+            AluOp::Srlv,
+            AluOp::Srav,
+        ] {
+            roundtrip(Insn::Alu { op, rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 });
+        }
+    }
+
+    #[test]
+    fn roundtrip_alu_imm_and_shift() {
+        for op in [
+            AluImmOp::Addi,
+            AluImmOp::Addiu,
+            AluImmOp::Slti,
+            AluImmOp::Sltiu,
+            AluImmOp::Andi,
+            AluImmOp::Ori,
+            AluImmOp::Xori,
+        ] {
+            roundtrip(Insn::AluImm { op, rt: Reg::T0, rs: Reg::T1, imm: -42 });
+        }
+        for op in [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra] {
+            roundtrip(Insn::Shift { op, rd: Reg::T2, rt: Reg::T3, shamt: 31 });
+        }
+        roundtrip(Insn::Lui { rt: Reg::T4, imm: 0xdead });
+    }
+
+    #[test]
+    fn roundtrip_muldiv_hilo() {
+        for op in [MulDivOp::Mult, MulDivOp::Multu, MulDivOp::Div, MulDivOp::Divu] {
+            roundtrip(Insn::MulDiv { op, rs: Reg::S0, rt: Reg::S1 });
+        }
+        roundtrip(Insn::Mfhi { rd: Reg::V0 });
+        roundtrip(Insn::Mflo { rd: Reg::V1 });
+    }
+
+    #[test]
+    fn roundtrip_all_load_store_kinds_all_modes() {
+        let modes = [
+            AddrMode::BaseDisp { base: Reg::SP, disp: -128 },
+            AddrMode::BaseIndex { base: Reg::S0, index: Reg::T7 },
+            AddrMode::PostInc { base: Reg::S2, step: -8 },
+        ];
+        for ea in modes {
+            for op in [LoadOp::Lb, LoadOp::Lbu, LoadOp::Lh, LoadOp::Lhu, LoadOp::Lw] {
+                roundtrip(Insn::Load { op, rt: Reg::T5, ea });
+            }
+            for op in [StoreOp::Sb, StoreOp::Sh, StoreOp::Sw] {
+                roundtrip(Insn::Store { op, rt: Reg::T6, ea });
+            }
+            for fmt in [FpFmt::S, FpFmt::D] {
+                roundtrip(Insn::LoadFp { fmt, ft: FReg::F4, ea });
+                roundtrip(Insn::StoreFp { fmt, ft: FReg::F6, ea });
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_fp() {
+        for op in [
+            FpOp::Add,
+            FpOp::Sub,
+            FpOp::Mul,
+            FpOp::Div,
+            FpOp::Abs,
+            FpOp::Neg,
+            FpOp::Mov,
+            FpOp::Sqrt,
+        ] {
+            for fmt in [FpFmt::S, FpFmt::D] {
+                roundtrip(Insn::Fp { op, fmt, fd: FReg::F0, fs: FReg::F2, ft: FReg::F4 });
+            }
+        }
+        for cond in [FpCond::Eq, FpCond::Lt, FpCond::Le] {
+            roundtrip(Insn::FpCmp { cond, fmt: FpFmt::D, fs: FReg::F8, ft: FReg::F10 });
+        }
+        roundtrip(Insn::Bc1 { on_true: true, off: -7 });
+        roundtrip(Insn::Bc1 { on_true: false, off: 3 });
+        roundtrip(Insn::Mtc1 { rt: Reg::T0, fs: FReg::F12 });
+        roundtrip(Insn::Mfc1 { rt: Reg::T1, fs: FReg::F14 });
+        roundtrip(Insn::CvtFromW { fmt: FpFmt::D, fd: FReg::F2, fs: FReg::F4 });
+        roundtrip(Insn::TruncToW { fmt: FpFmt::S, fd: FReg::F6, fs: FReg::F8 });
+    }
+
+    #[test]
+    fn roundtrip_control() {
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lez,
+            BranchCond::Gtz,
+            BranchCond::Ltz,
+            BranchCond::Gez,
+        ] {
+            let rt = if cond.uses_rt() { Reg::T1 } else { Reg::ZERO };
+            roundtrip(Insn::Branch { cond, rs: Reg::T0, rt, off: -100 });
+        }
+        roundtrip(Insn::J { target: 0x12345 });
+        roundtrip(Insn::Jal { target: 0x3ffffff });
+        roundtrip(Insn::Jr { rs: Reg::RA });
+        roundtrip(Insn::Jalr { rd: Reg::RA, rs: Reg::T9 });
+        roundtrip(Insn::Nop);
+        roundtrip(Insn::Halt);
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // Unused primary opcode.
+        assert!(decode(0x10 << 26).is_err());
+        // R-type with unused funct.
+        assert!(decode(0x3e).is_err());
+        // COP1 with bad sub-op.
+        assert!(decode((0x11 << 26) | (0x1f << 21)).is_err());
+        // LSX with bad funct.
+        assert!(decode((0x1c << 26) | 0x3f).is_err());
+    }
+
+    #[test]
+    fn decode_error_display() {
+        let e = decode(0x10 << 26).unwrap_err();
+        assert_eq!(e.to_string(), "invalid instruction word 0x40000000");
+    }
+}

@@ -1,0 +1,701 @@
+//! Instruction definitions and the disassembler.
+
+use crate::{FReg, Reg};
+use core::fmt;
+
+/// Addressing mode of a load or store.
+///
+/// The paper's extended MIPS (§5.1) supports register+constant addressing
+/// (the MIPS-I baseline), register+register addressing and
+/// post-increment/decrement. The fast-address-calculation predictor treats
+/// the two offset sources differently: constant offsets can have their set
+/// index inverted when negative, register offsets arrive too late and any
+/// negative register offset forces a misprediction (§3, failure condition 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// `disp(base)` — effective address is `base + sign_extend(disp)`.
+    BaseDisp {
+        /// Base register.
+        base: Reg,
+        /// Signed 16-bit displacement.
+        disp: i16,
+    },
+    /// `(base+index)` — effective address is `base + index`.
+    BaseIndex {
+        /// Base register.
+        base: Reg,
+        /// Index register supplying the offset.
+        index: Reg,
+    },
+    /// `(base)+step` — effective address is `base`; afterwards
+    /// `base += sign_extend(step)`. A negative `step` is post-decrement.
+    PostInc {
+        /// Base register, updated after the access.
+        base: Reg,
+        /// Signed post-update amount in bytes.
+        step: i16,
+    },
+}
+
+impl AddrMode {
+    /// The base register of the access (always present).
+    pub fn base(self) -> Reg {
+        match self {
+            AddrMode::BaseDisp { base, .. }
+            | AddrMode::BaseIndex { base, .. }
+            | AddrMode::PostInc { base, .. } => base,
+        }
+    }
+
+    /// `true` when the offset comes from a register (register+register mode).
+    pub fn is_reg_reg(self) -> bool {
+        matches!(self, AddrMode::BaseIndex { .. })
+    }
+}
+
+impl fmt::Display for AddrMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AddrMode::BaseDisp { base, disp } => write!(f, "{disp}({base})"),
+            AddrMode::BaseIndex { base, index } => write!(f, "({base}+{index})"),
+            AddrMode::PostInc { base, step } => write!(f, "({base})+{step}"),
+        }
+    }
+}
+
+/// Three-register ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Signed add (no trap semantics in this model).
+    Add,
+    /// Unsigned (wrapping) add.
+    Addu,
+    /// Signed subtract.
+    Sub,
+    /// Unsigned (wrapping) subtract.
+    Subu,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise NOR.
+    Nor,
+    /// Set on signed less-than.
+    Slt,
+    /// Set on unsigned less-than.
+    Sltu,
+    /// Shift left logical by register (`rs` holds the amount).
+    Sllv,
+    /// Shift right logical by register.
+    Srlv,
+    /// Shift right arithmetic by register.
+    Srav,
+}
+
+impl AluOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Addu => "addu",
+            AluOp::Sub => "sub",
+            AluOp::Subu => "subu",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Nor => "nor",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Sllv => "sllv",
+            AluOp::Srlv => "srlv",
+            AluOp::Srav => "srav",
+        }
+    }
+}
+
+/// Immediate ALU operations. Arithmetic ops sign-extend the immediate,
+/// logical ops zero-extend it; the raw 16 bits are stored either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// Add sign-extended immediate.
+    Addi,
+    /// Add sign-extended immediate (wrapping).
+    Addiu,
+    /// Set on signed less-than immediate.
+    Slti,
+    /// Set on unsigned less-than immediate.
+    Sltiu,
+    /// AND zero-extended immediate.
+    Andi,
+    /// OR zero-extended immediate.
+    Ori,
+    /// XOR zero-extended immediate.
+    Xori,
+}
+
+impl AluImmOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluImmOp::Addi => "addi",
+            AluImmOp::Addiu => "addiu",
+            AluImmOp::Slti => "slti",
+            AluImmOp::Sltiu => "sltiu",
+            AluImmOp::Andi => "andi",
+            AluImmOp::Ori => "ori",
+            AluImmOp::Xori => "xori",
+        }
+    }
+
+    /// `true` when the immediate is sign-extended before use.
+    pub fn sign_extends(self) -> bool {
+        matches!(
+            self,
+            AluImmOp::Addi | AluImmOp::Addiu | AluImmOp::Slti | AluImmOp::Sltiu
+        )
+    }
+}
+
+/// Constant-amount shifts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+}
+
+impl ShiftOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Sll => "sll",
+            ShiftOp::Srl => "srl",
+            ShiftOp::Sra => "sra",
+        }
+    }
+}
+
+/// Multiply/divide operations targeting the HI/LO pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// Signed multiply into HI/LO.
+    Mult,
+    /// Unsigned multiply into HI/LO.
+    Multu,
+    /// Signed divide (LO=quotient, HI=remainder).
+    Div,
+    /// Unsigned divide.
+    Divu,
+}
+
+impl MulDivOp {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulDivOp::Mult => "mult",
+            MulDivOp::Multu => "multu",
+            MulDivOp::Div => "div",
+            MulDivOp::Divu => "divu",
+        }
+    }
+}
+
+/// Integer load widths/signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    /// Load byte, sign-extended.
+    Lb,
+    /// Load byte, zero-extended.
+    Lbu,
+    /// Load halfword, sign-extended.
+    Lh,
+    /// Load halfword, zero-extended.
+    Lhu,
+    /// Load word.
+    Lw,
+}
+
+impl LoadOp {
+    /// Access size in bytes.
+    pub fn size(self) -> u32 {
+        match self {
+            LoadOp::Lb | LoadOp::Lbu => 1,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lw => 4,
+        }
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LoadOp::Lb => "lb",
+            LoadOp::Lbu => "lbu",
+            LoadOp::Lh => "lh",
+            LoadOp::Lhu => "lhu",
+            LoadOp::Lw => "lw",
+        }
+    }
+}
+
+/// Integer store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// Store byte.
+    Sb,
+    /// Store halfword.
+    Sh,
+    /// Store word.
+    Sw,
+}
+
+impl StoreOp {
+    /// Access size in bytes.
+    pub fn size(self) -> u32 {
+        match self {
+            StoreOp::Sb => 1,
+            StoreOp::Sh => 2,
+            StoreOp::Sw => 4,
+        }
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            StoreOp::Sb => "sb",
+            StoreOp::Sh => "sh",
+            StoreOp::Sw => "sw",
+        }
+    }
+}
+
+/// Floating-point operand format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpFmt {
+    /// Single precision (32-bit).
+    S,
+    /// Double precision (64-bit).
+    D,
+}
+
+impl FpFmt {
+    /// Access size in bytes for loads/stores of this format.
+    pub fn size(self) -> u32 {
+        match self {
+            FpFmt::S => 4,
+            FpFmt::D => 8,
+        }
+    }
+
+    /// Format suffix used in mnemonics (`.s` / `.d`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FpFmt::S => "s",
+            FpFmt::D => "d",
+        }
+    }
+}
+
+/// Floating-point computational operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Absolute value (unary; `ft` ignored).
+    Abs,
+    /// Negate (unary).
+    Neg,
+    /// Register move (unary).
+    Mov,
+    /// Square root (unary).
+    Sqrt,
+}
+
+impl FpOp {
+    /// Assembler mnemonic stem (format suffix appended separately).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "add",
+            FpOp::Sub => "sub",
+            FpOp::Mul => "mul",
+            FpOp::Div => "div",
+            FpOp::Abs => "abs",
+            FpOp::Neg => "neg",
+            FpOp::Mov => "mov",
+            FpOp::Sqrt => "sqrt",
+        }
+    }
+
+    /// `true` for single-operand operations.
+    pub fn is_unary(self) -> bool {
+        matches!(self, FpOp::Abs | FpOp::Neg | FpOp::Mov | FpOp::Sqrt)
+    }
+}
+
+/// Floating-point comparison conditions (set the FP condition flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCond {
+    /// Equal.
+    Eq,
+    /// Less-than.
+    Lt,
+    /// Less-than-or-equal.
+    Le,
+}
+
+impl FpCond {
+    /// Assembler mnemonic stem.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpCond::Eq => "c.eq",
+            FpCond::Lt => "c.lt",
+            FpCond::Le => "c.le",
+        }
+    }
+}
+
+/// Integer branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `rs == rt`
+    Eq,
+    /// `rs != rt`
+    Ne,
+    /// `rs <= 0` (rt unused)
+    Lez,
+    /// `rs > 0` (rt unused)
+    Gtz,
+    /// `rs < 0` (rt unused)
+    Ltz,
+    /// `rs >= 0` (rt unused)
+    Gez,
+}
+
+impl BranchCond {
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lez => "blez",
+            BranchCond::Gtz => "bgtz",
+            BranchCond::Ltz => "bltz",
+            BranchCond::Gez => "bgez",
+        }
+    }
+
+    /// `true` when the condition compares two registers.
+    pub fn uses_rt(self) -> bool {
+        matches!(self, BranchCond::Eq | BranchCond::Ne)
+    }
+}
+
+/// A single extended-MIPS instruction.
+///
+/// Branch offsets are in *instructions* relative to the instruction after
+/// the branch (there are no delay slots, §5.1); jump targets are absolute
+/// instruction indices. Both are resolved by the linker in `fac-asm`.
+///
+/// Field names follow the MIPS convention (`rd` destination, `rs`/`rt`
+/// sources, `fd`/`fs`/`ft` their FP counterparts, `imm`/`off`/`shamt`
+/// immediates) and are not documented individually.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// No operation.
+    Nop,
+    /// Three-register ALU operation: `rd = rs op rt`.
+    Alu { op: AluOp, rd: Reg, rs: Reg, rt: Reg },
+    /// Immediate ALU operation: `rt = rs op imm`.
+    AluImm { op: AluImmOp, rt: Reg, rs: Reg, imm: i16 },
+    /// Constant shift: `rd = rt op shamt`.
+    Shift { op: ShiftOp, rd: Reg, rt: Reg, shamt: u8 },
+    /// Load upper immediate: `rt = imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+    /// Multiply/divide into HI/LO.
+    MulDiv { op: MulDivOp, rs: Reg, rt: Reg },
+    /// Move from HI: `rd = HI`.
+    Mfhi { rd: Reg },
+    /// Move from LO: `rd = LO`.
+    Mflo { rd: Reg },
+    /// Integer load.
+    Load { op: LoadOp, rt: Reg, ea: AddrMode },
+    /// Integer store.
+    Store { op: StoreOp, rt: Reg, ea: AddrMode },
+    /// Floating-point load (`l.s` / `l.d`).
+    LoadFp { fmt: FpFmt, ft: FReg, ea: AddrMode },
+    /// Floating-point store (`s.s` / `s.d`).
+    StoreFp { fmt: FpFmt, ft: FReg, ea: AddrMode },
+    /// Floating-point computation: `fd = fs op ft` (unary ops ignore `ft`).
+    Fp { op: FpOp, fmt: FpFmt, fd: FReg, fs: FReg, ft: FReg },
+    /// Floating-point compare; sets the FP condition flag.
+    FpCmp { cond: FpCond, fmt: FpFmt, fs: FReg, ft: FReg },
+    /// Branch on FP condition flag true (`bc1t`) or false (`bc1f`).
+    Bc1 { on_true: bool, off: i16 },
+    /// Move integer register to FP register (bit pattern).
+    Mtc1 { rt: Reg, fs: FReg },
+    /// Move FP register to integer register (bit pattern).
+    Mfc1 { rt: Reg, fs: FReg },
+    /// Convert word (integer bits in `fs`) to floating point.
+    CvtFromW { fmt: FpFmt, fd: FReg, fs: FReg },
+    /// Truncate floating point to word (integer bits in `fd`).
+    TruncToW { fmt: FpFmt, fd: FReg, fs: FReg },
+    /// Conditional branch; offset in instructions from the next instruction.
+    Branch { cond: BranchCond, rs: Reg, rt: Reg, off: i16 },
+    /// Unconditional jump to absolute instruction index.
+    J { target: u32 },
+    /// Jump and link (`$ra = return address`).
+    Jal { target: u32 },
+    /// Jump register.
+    Jr { rs: Reg },
+    /// Jump and link register.
+    Jalr { rd: Reg, rs: Reg },
+    /// Stop simulation.
+    Halt,
+}
+
+impl Insn {
+    /// `true` for loads and stores (instructions that reference data memory).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Insn::Load { .. } | Insn::Store { .. } | Insn::LoadFp { .. } | Insn::StoreFp { .. }
+        )
+    }
+
+    /// `true` for loads (integer or FP).
+    pub fn is_load(&self) -> bool {
+        matches!(self, Insn::Load { .. } | Insn::LoadFp { .. })
+    }
+
+    /// `true` for stores (integer or FP).
+    pub fn is_store(&self) -> bool {
+        matches!(self, Insn::Store { .. } | Insn::StoreFp { .. })
+    }
+
+    /// The addressing mode, for loads and stores.
+    pub fn addr_mode(&self) -> Option<AddrMode> {
+        match *self {
+            Insn::Load { ea, .. }
+            | Insn::Store { ea, .. }
+            | Insn::LoadFp { ea, .. }
+            | Insn::StoreFp { ea, .. } => Some(ea),
+            _ => None,
+        }
+    }
+
+    /// `true` for control-transfer instructions.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Insn::Branch { .. }
+                | Insn::Bc1 { .. }
+                | Insn::J { .. }
+                | Insn::Jal { .. }
+                | Insn::Jr { .. }
+                | Insn::Jalr { .. }
+        )
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn pad(f: &mut fmt::Formatter<'_>, m: &str) -> fmt::Result {
+            write!(f, "{m:<7} ")
+        }
+        match *self {
+            Insn::Nop => f.write_str("nop"),
+            Insn::Alu { op, rd, rs, rt } => {
+                pad(f, op.mnemonic())?;
+                write!(f, "{rd}, {rs}, {rt}")
+            }
+            Insn::AluImm { op, rt, rs, imm } => {
+                pad(f, op.mnemonic())?;
+                if op.sign_extends() {
+                    write!(f, "{rt}, {rs}, {imm}")
+                } else {
+                    write!(f, "{rt}, {rs}, {:#x}", imm as u16)
+                }
+            }
+            Insn::Shift { op, rd, rt, shamt } => {
+                pad(f, op.mnemonic())?;
+                write!(f, "{rd}, {rt}, {shamt}")
+            }
+            Insn::Lui { rt, imm } => {
+                pad(f, "lui")?;
+                write!(f, "{rt}, {imm:#x}")
+            }
+            Insn::MulDiv { op, rs, rt } => {
+                pad(f, op.mnemonic())?;
+                write!(f, "{rs}, {rt}")
+            }
+            Insn::Mfhi { rd } => {
+                pad(f, "mfhi")?;
+                write!(f, "{rd}")
+            }
+            Insn::Mflo { rd } => {
+                pad(f, "mflo")?;
+                write!(f, "{rd}")
+            }
+            Insn::Load { op, rt, ea } => {
+                pad(f, op.mnemonic())?;
+                write!(f, "{rt}, {ea}")
+            }
+            Insn::Store { op, rt, ea } => {
+                pad(f, op.mnemonic())?;
+                write!(f, "{rt}, {ea}")
+            }
+            Insn::LoadFp { fmt, ft, ea } => {
+                pad(f, &format!("l.{}", fmt.suffix()))?;
+                write!(f, "{ft}, {ea}")
+            }
+            Insn::StoreFp { fmt, ft, ea } => {
+                pad(f, &format!("s.{}", fmt.suffix()))?;
+                write!(f, "{ft}, {ea}")
+            }
+            Insn::Fp { op, fmt, fd, fs, ft } => {
+                pad(f, &format!("{}.{}", op.mnemonic(), fmt.suffix()))?;
+                if op.is_unary() {
+                    write!(f, "{fd}, {fs}")
+                } else {
+                    write!(f, "{fd}, {fs}, {ft}")
+                }
+            }
+            Insn::FpCmp { cond, fmt, fs, ft } => {
+                pad(f, &format!("{}.{}", cond.mnemonic(), fmt.suffix()))?;
+                write!(f, "{fs}, {ft}")
+            }
+            Insn::Bc1 { on_true, off } => {
+                pad(f, if on_true { "bc1t" } else { "bc1f" })?;
+                write!(f, "{off}")
+            }
+            Insn::Mtc1 { rt, fs } => {
+                pad(f, "mtc1")?;
+                write!(f, "{rt}, {fs}")
+            }
+            Insn::Mfc1 { rt, fs } => {
+                pad(f, "mfc1")?;
+                write!(f, "{rt}, {fs}")
+            }
+            Insn::CvtFromW { fmt, fd, fs } => {
+                pad(f, &format!("cvt.{}.w", fmt.suffix()))?;
+                write!(f, "{fd}, {fs}")
+            }
+            Insn::TruncToW { fmt, fd, fs } => {
+                pad(f, &format!("trunc.w.{}", fmt.suffix()))?;
+                write!(f, "{fd}, {fs}")
+            }
+            Insn::Branch { cond, rs, rt, off } => {
+                pad(f, cond.mnemonic())?;
+                if cond.uses_rt() {
+                    write!(f, "{rs}, {rt}, {off}")
+                } else {
+                    write!(f, "{rs}, {off}")
+                }
+            }
+            Insn::J { target } => {
+                pad(f, "j")?;
+                write!(f, "{target:#x}")
+            }
+            Insn::Jal { target } => {
+                pad(f, "jal")?;
+                write!(f, "{target:#x}")
+            }
+            Insn::Jr { rs } => {
+                pad(f, "jr")?;
+                write!(f, "{rs}")
+            }
+            Insn::Jalr { rd, rs } => {
+                pad(f, "jalr")?;
+                write!(f, "{rd}, {rs}")
+            }
+            Insn::Halt => f.write_str("halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_mode_base_and_reg_reg() {
+        let bd = AddrMode::BaseDisp { base: Reg::SP, disp: -8 };
+        let bi = AddrMode::BaseIndex { base: Reg::T0, index: Reg::T1 };
+        let pi = AddrMode::PostInc { base: Reg::S0, step: 4 };
+        assert_eq!(bd.base(), Reg::SP);
+        assert_eq!(bi.base(), Reg::T0);
+        assert_eq!(pi.base(), Reg::S0);
+        assert!(bi.is_reg_reg());
+        assert!(!bd.is_reg_reg());
+        assert!(!pi.is_reg_reg());
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let lw = Insn::Load {
+            op: LoadOp::Lw,
+            rt: Reg::T0,
+            ea: AddrMode::BaseDisp { base: Reg::GP, disp: 0 },
+        };
+        let sw = Insn::Store {
+            op: StoreOp::Sw,
+            rt: Reg::T0,
+            ea: AddrMode::BaseDisp { base: Reg::SP, disp: 4 },
+        };
+        assert!(lw.is_mem() && lw.is_load() && !lw.is_store());
+        assert!(sw.is_mem() && sw.is_store() && !sw.is_load());
+        assert!(!Insn::Nop.is_mem());
+        assert!(Insn::J { target: 0 }.is_control());
+        assert!(!lw.is_control());
+        assert_eq!(sw.addr_mode().unwrap().base(), Reg::SP);
+        assert_eq!(Insn::Halt.addr_mode(), None);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(LoadOp::Lb.size(), 1);
+        assert_eq!(LoadOp::Lhu.size(), 2);
+        assert_eq!(LoadOp::Lw.size(), 4);
+        assert_eq!(StoreOp::Sb.size(), 1);
+        assert_eq!(StoreOp::Sw.size(), 4);
+        assert_eq!(FpFmt::S.size(), 4);
+        assert_eq!(FpFmt::D.size(), 8);
+    }
+
+    #[test]
+    fn disassembly_smoke() {
+        let i = Insn::Alu { op: AluOp::Addu, rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 };
+        assert_eq!(i.to_string(), "addu    $v0, $a0, $a1");
+        let i = Insn::Load {
+            op: LoadOp::Lw,
+            rt: Reg::T3,
+            ea: AddrMode::BaseIndex { base: Reg::S0, index: Reg::T2 },
+        };
+        assert_eq!(i.to_string(), "lw      $t3, ($s0+$t2)");
+        let i = Insn::LoadFp {
+            fmt: FpFmt::D,
+            ft: FReg::F4,
+            ea: AddrMode::PostInc { base: Reg::S1, step: 8 },
+        };
+        assert_eq!(i.to_string(), "l.d     $f4, ($s1)+8");
+        let i = Insn::Branch { cond: BranchCond::Ne, rs: Reg::T0, rt: Reg::ZERO, off: -3 };
+        assert_eq!(i.to_string(), "bne     $t0, $zero, -3");
+    }
+
+    #[test]
+    fn unary_fp_display_omits_ft() {
+        let i = Insn::Fp { op: FpOp::Neg, fmt: FpFmt::D, fd: FReg::F2, fs: FReg::F4, ft: FReg::F0 };
+        assert_eq!(i.to_string(), "neg.d   $f2, $f4");
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # fac-isa — the extended-MIPS instruction set
+//!
+//! Instruction-set architecture used throughout the fast-address-calculation
+//! reproduction. It is functionally the MIPS-I ISA with the extensions the
+//! paper describes (§5.1):
+//!
+//! * **register+register addressing** for loads and stores (base supplied by
+//!   a register, offset supplied by a second *index* register),
+//! * **post-increment / post-decrement** addressing,
+//! * **no architected delay slots** (branches take effect immediately).
+//!
+//! The crate provides the register file naming ([`Reg`], [`FReg`]), the
+//! instruction enum ([`Insn`]), addressing modes ([`AddrMode`]), a binary
+//! encoder/decoder ([`encode`]/[`decode`]) and a disassembler (the
+//! [`core::fmt::Display`] impl on [`Insn`]).
+//!
+//! ```
+//! use fac_isa::{Insn, Reg, AddrMode, LoadOp};
+//!
+//! let load = Insn::Load {
+//!     op: LoadOp::Lw,
+//!     rt: Reg::V0,
+//!     ea: AddrMode::BaseDisp { base: Reg::SP, disp: 16 },
+//! };
+//! assert_eq!(load.to_string(), "lw      $v0, 16($sp)");
+//! let word = fac_isa::encode(&load);
+//! assert_eq!(fac_isa::decode(word).unwrap(), load);
+//! ```
+
+mod encoding;
+mod insn;
+mod parse;
+mod reg;
+
+pub use encoding::{decode, encode, DecodeError};
+pub use insn::{
+    AddrMode, AluImmOp, AluOp, BranchCond, FpCond, FpFmt, FpOp, Insn, LoadOp, MulDivOp, ShiftOp,
+    StoreOp,
+};
+pub use parse::{parse_insn, ParseInsnError};
+pub use reg::{FReg, Reg};
+
+/// Number of architected integer registers.
+pub const NUM_REGS: usize = 32;
+/// Number of architected floating-point registers.
+pub const NUM_FREGS: usize = 32;

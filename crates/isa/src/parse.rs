@@ -1,0 +1,490 @@
+//! Text-form instruction parsing — the inverse of the disassembler.
+//!
+//! Accepts exactly the syntax [`Insn`]'s `Display` implementation produces
+//! (plus liberal whitespace), so `parse_insn(insn.to_string()) == insn` for
+//! every instruction; checked by property tests.
+
+use crate::insn::{AluImmOp, AluOp, MulDivOp, ShiftOp};
+use crate::{AddrMode, BranchCond, FReg, FpCond, FpFmt, FpOp, Insn, LoadOp, Reg, StoreOp};
+use core::fmt;
+
+/// Error from [`parse_insn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseInsnError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseInsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseInsnError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseInsnError> {
+    Err(ParseInsnError { message: message.into() })
+}
+
+const REG_NAMES: [&str; 32] = [
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3", "$t4",
+    "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7", "$t8", "$t9",
+    "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+];
+
+fn parse_reg(tok: &str) -> Result<Reg, ParseInsnError> {
+    if let Some(i) = REG_NAMES.iter().position(|&n| n == tok) {
+        return Ok(Reg::new(i as u8));
+    }
+    // Also accept numeric form `$12`.
+    if let Some(num) = tok.strip_prefix('$') {
+        if let Ok(i) = num.parse::<u8>() {
+            if i < 32 {
+                return Ok(Reg::new(i));
+            }
+        }
+    }
+    err(format!("unknown register {tok}"))
+}
+
+fn parse_freg(tok: &str) -> Result<FReg, ParseInsnError> {
+    if let Some(num) = tok.strip_prefix("$f") {
+        if let Ok(i) = num.parse::<u8>() {
+            if i < 32 {
+                return Ok(FReg::new(i));
+            }
+        }
+    }
+    err(format!("unknown fp register {tok}"))
+}
+
+fn parse_int(tok: &str) -> Result<i64, ParseInsnError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(format!("bad integer {tok}")),
+    }
+}
+
+fn parse_i16(tok: &str) -> Result<i16, ParseInsnError> {
+    let v = parse_int(tok)?;
+    // Accept both signed and raw-u16 spellings (andi prints hex).
+    if (-32768..=65535).contains(&v) {
+        Ok(v as u16 as i16)
+    } else {
+        err(format!("immediate {tok} out of 16-bit range"))
+    }
+}
+
+/// Parses an effective-address operand: `disp(base)`, `(base+index)` or
+/// `(base)+step`.
+fn parse_ea(tok: &str) -> Result<AddrMode, ParseInsnError> {
+    if let Some(open) = tok.find('(') {
+        let close = match tok.find(')') {
+            Some(c) if c > open => c,
+            _ => return err(format!("unbalanced parens in {tok}")),
+        };
+        let before = &tok[..open];
+        let inside = &tok[open + 1..close];
+        let after = &tok[close + 1..];
+        if !after.is_empty() {
+            // `(base)+step`
+            if !before.is_empty() {
+                return err(format!("unexpected prefix in {tok}"));
+            }
+            let step = after
+                .strip_prefix('+')
+                .ok_or_else(|| ParseInsnError { message: format!("expected + in {tok}") })?;
+            return Ok(AddrMode::PostInc { base: parse_reg(inside)?, step: parse_i16(step)? });
+        }
+        if let Some((b, i)) = inside.split_once('+') {
+            if !before.is_empty() {
+                return err(format!("unexpected displacement on reg+reg in {tok}"));
+            }
+            return Ok(AddrMode::BaseIndex { base: parse_reg(b)?, index: parse_reg(i)? });
+        }
+        let disp = if before.is_empty() { 0 } else { parse_i16(before)? };
+        return Ok(AddrMode::BaseDisp { base: parse_reg(inside)?, disp });
+    }
+    err(format!("no effective address in {tok}"))
+}
+
+/// Parses one instruction in the disassembler's syntax.
+///
+/// ```
+/// use fac_isa::{parse_insn, Insn, Reg, AddrMode, LoadOp};
+///
+/// let insn = parse_insn("lw $v0, 16($sp)").unwrap();
+/// assert_eq!(
+///     insn,
+///     Insn::Load { op: LoadOp::Lw, rt: Reg::V0, ea: AddrMode::BaseDisp { base: Reg::SP, disp: 16 } },
+/// );
+/// assert_eq!(parse_insn(&insn.to_string()).unwrap(), insn);
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ParseInsnError`] for unknown mnemonics, malformed operands, or
+/// out-of-range immediates.
+pub fn parse_insn(text: &str) -> Result<Insn, ParseInsnError> {
+    let text = text.trim();
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), ParseInsnError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            err(format!("{mnemonic}: expected {n} operands, got {}", ops.len()))
+        }
+    };
+
+    // Three-register ALU ops.
+    let alu = |op: AluOp| -> Result<Insn, ParseInsnError> {
+        want(3)?;
+        Ok(Insn::Alu { op, rd: parse_reg(ops[0])?, rs: parse_reg(ops[1])?, rt: parse_reg(ops[2])? })
+    };
+    let alu_imm = |op: AluImmOp| -> Result<Insn, ParseInsnError> {
+        want(3)?;
+        Ok(Insn::AluImm {
+            op,
+            rt: parse_reg(ops[0])?,
+            rs: parse_reg(ops[1])?,
+            imm: parse_i16(ops[2])?,
+        })
+    };
+    let shift = |op: ShiftOp| -> Result<Insn, ParseInsnError> {
+        want(3)?;
+        let shamt = parse_int(ops[2])?;
+        if !(0..32).contains(&shamt) {
+            return err("shift amount out of range");
+        }
+        Ok(Insn::Shift { op, rd: parse_reg(ops[0])?, rt: parse_reg(ops[1])?, shamt: shamt as u8 })
+    };
+    let muldiv = |op: MulDivOp| -> Result<Insn, ParseInsnError> {
+        want(2)?;
+        Ok(Insn::MulDiv { op, rs: parse_reg(ops[0])?, rt: parse_reg(ops[1])? })
+    };
+    let load = |op: LoadOp| -> Result<Insn, ParseInsnError> {
+        want(2)?;
+        Ok(Insn::Load { op, rt: parse_reg(ops[0])?, ea: parse_ea(ops[1])? })
+    };
+    let store = |op: StoreOp| -> Result<Insn, ParseInsnError> {
+        want(2)?;
+        Ok(Insn::Store { op, rt: parse_reg(ops[0])?, ea: parse_ea(ops[1])? })
+    };
+    let load_fp = |fmt: FpFmt| -> Result<Insn, ParseInsnError> {
+        want(2)?;
+        Ok(Insn::LoadFp { fmt, ft: parse_freg(ops[0])?, ea: parse_ea(ops[1])? })
+    };
+    let store_fp = |fmt: FpFmt| -> Result<Insn, ParseInsnError> {
+        want(2)?;
+        Ok(Insn::StoreFp { fmt, ft: parse_freg(ops[0])?, ea: parse_ea(ops[1])? })
+    };
+    let branch2 = |cond: BranchCond| -> Result<Insn, ParseInsnError> {
+        want(3)?;
+        Ok(Insn::Branch {
+            cond,
+            rs: parse_reg(ops[0])?,
+            rt: parse_reg(ops[1])?,
+            off: parse_i16(ops[2])?,
+        })
+    };
+    let branch1 = |cond: BranchCond| -> Result<Insn, ParseInsnError> {
+        want(2)?;
+        Ok(Insn::Branch { cond, rs: parse_reg(ops[0])?, rt: Reg::ZERO, off: parse_i16(ops[1])? })
+    };
+
+    // FP mnemonics carry a format suffix.
+    if let Some((stem, suffix)) = mnemonic.rsplit_once('.') {
+        let fmt = match suffix {
+            "s" => Some(FpFmt::S),
+            "d" => Some(FpFmt::D),
+            _ => None,
+        };
+        if let Some(fmt) = fmt {
+            match stem {
+                "l" => return load_fp(fmt),
+                "s" => return store_fp(fmt),
+                "add" | "sub" | "mul" | "div" => {
+                    want(3)?;
+                    let op = match stem {
+                        "add" => FpOp::Add,
+                        "sub" => FpOp::Sub,
+                        "mul" => FpOp::Mul,
+                        _ => FpOp::Div,
+                    };
+                    return Ok(Insn::Fp {
+                        op,
+                        fmt,
+                        fd: parse_freg(ops[0])?,
+                        fs: parse_freg(ops[1])?,
+                        ft: parse_freg(ops[2])?,
+                    });
+                }
+                "abs" | "neg" | "mov" | "sqrt" => {
+                    want(2)?;
+                    let op = match stem {
+                        "abs" => FpOp::Abs,
+                        "neg" => FpOp::Neg,
+                        "mov" => FpOp::Mov,
+                        _ => FpOp::Sqrt,
+                    };
+                    return Ok(Insn::Fp {
+                        op,
+                        fmt,
+                        fd: parse_freg(ops[0])?,
+                        fs: parse_freg(ops[1])?,
+                        ft: FReg::new(0),
+                    });
+                }
+                "c.eq" | "c.lt" | "c.le" => {
+                    want(2)?;
+                    let cond = match stem {
+                        "c.eq" => FpCond::Eq,
+                        "c.lt" => FpCond::Lt,
+                        _ => FpCond::Le,
+                    };
+                    return Ok(Insn::FpCmp {
+                        cond,
+                        fmt,
+                        fs: parse_freg(ops[0])?,
+                        ft: parse_freg(ops[1])?,
+                    });
+                }
+                "cvt.s" | "cvt.d" if suffix == "w" => unreachable!(),
+                _ => {}
+            }
+        }
+        // Conversions: cvt.<fmt>.w and trunc.w.<fmt>.
+        if mnemonic == "cvt.s.w" || mnemonic == "cvt.d.w" {
+            want(2)?;
+            let fmt = if mnemonic.contains(".s.") { FpFmt::S } else { FpFmt::D };
+            return Ok(Insn::CvtFromW { fmt, fd: parse_freg(ops[0])?, fs: parse_freg(ops[1])? });
+        }
+        if mnemonic == "trunc.w.s" || mnemonic == "trunc.w.d" {
+            want(2)?;
+            let fmt = if mnemonic.ends_with(".s") { FpFmt::S } else { FpFmt::D };
+            return Ok(Insn::TruncToW { fmt, fd: parse_freg(ops[0])?, fs: parse_freg(ops[1])? });
+        }
+    }
+
+    match mnemonic {
+        "nop" => {
+            want(0)?;
+            Ok(Insn::Nop)
+        }
+        "halt" => {
+            want(0)?;
+            Ok(Insn::Halt)
+        }
+        "add" => alu(AluOp::Add),
+        "addu" => alu(AluOp::Addu),
+        "sub" => alu(AluOp::Sub),
+        "subu" => alu(AluOp::Subu),
+        "and" => alu(AluOp::And),
+        "or" => alu(AluOp::Or),
+        "xor" => alu(AluOp::Xor),
+        "nor" => alu(AluOp::Nor),
+        "slt" => alu(AluOp::Slt),
+        "sltu" => alu(AluOp::Sltu),
+        "sllv" => alu(AluOp::Sllv),
+        "srlv" => alu(AluOp::Srlv),
+        "srav" => alu(AluOp::Srav),
+        "addi" => alu_imm(AluImmOp::Addi),
+        "addiu" => alu_imm(AluImmOp::Addiu),
+        "slti" => alu_imm(AluImmOp::Slti),
+        "sltiu" => alu_imm(AluImmOp::Sltiu),
+        "andi" => alu_imm(AluImmOp::Andi),
+        "ori" => alu_imm(AluImmOp::Ori),
+        "xori" => alu_imm(AluImmOp::Xori),
+        "sll" => shift(ShiftOp::Sll),
+        "srl" => shift(ShiftOp::Srl),
+        "sra" => shift(ShiftOp::Sra),
+        "lui" => {
+            want(2)?;
+            let imm = parse_int(ops[1])?;
+            if !(0..=0xffff).contains(&imm) {
+                return err("lui immediate out of range");
+            }
+            Ok(Insn::Lui { rt: parse_reg(ops[0])?, imm: imm as u16 })
+        }
+        "mult" => muldiv(MulDivOp::Mult),
+        "multu" => muldiv(MulDivOp::Multu),
+        "div" => muldiv(MulDivOp::Div),
+        "divu" => muldiv(MulDivOp::Divu),
+        "mfhi" => {
+            want(1)?;
+            Ok(Insn::Mfhi { rd: parse_reg(ops[0])? })
+        }
+        "mflo" => {
+            want(1)?;
+            Ok(Insn::Mflo { rd: parse_reg(ops[0])? })
+        }
+        "lb" => load(LoadOp::Lb),
+        "lbu" => load(LoadOp::Lbu),
+        "lh" => load(LoadOp::Lh),
+        "lhu" => load(LoadOp::Lhu),
+        "lw" => load(LoadOp::Lw),
+        "sb" => store(StoreOp::Sb),
+        "sh" => store(StoreOp::Sh),
+        "sw" => store(StoreOp::Sw),
+        "bc1t" | "bc1f" => {
+            want(1)?;
+            Ok(Insn::Bc1 { on_true: mnemonic == "bc1t", off: parse_i16(ops[0])? })
+        }
+        "mtc1" => {
+            want(2)?;
+            Ok(Insn::Mtc1 { rt: parse_reg(ops[0])?, fs: parse_freg(ops[1])? })
+        }
+        "mfc1" => {
+            want(2)?;
+            Ok(Insn::Mfc1 { rt: parse_reg(ops[0])?, fs: parse_freg(ops[1])? })
+        }
+        "beq" => branch2(BranchCond::Eq),
+        "bne" => branch2(BranchCond::Ne),
+        "blez" => branch1(BranchCond::Lez),
+        "bgtz" => branch1(BranchCond::Gtz),
+        "bltz" => branch1(BranchCond::Ltz),
+        "bgez" => branch1(BranchCond::Gez),
+        "j" | "jal" => {
+            want(1)?;
+            let target = parse_int(ops[0])?;
+            if !(0..=0x03ff_ffff).contains(&target) {
+                return err("jump target out of range");
+            }
+            if mnemonic == "j" {
+                Ok(Insn::J { target: target as u32 })
+            } else {
+                Ok(Insn::Jal { target: target as u32 })
+            }
+        }
+        "jr" => {
+            want(1)?;
+            Ok(Insn::Jr { rs: parse_reg(ops[0])? })
+        }
+        "jalr" => {
+            want(2)?;
+            Ok(Insn::Jalr { rd: parse_reg(ops[0])?, rs: parse_reg(ops[1])? })
+        }
+        _ => err(format!("unknown mnemonic {mnemonic}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_forms() {
+        assert_eq!(
+            parse_insn("addu $v0, $a0, $a1").unwrap(),
+            Insn::Alu { op: AluOp::Addu, rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 }
+        );
+        assert_eq!(
+            parse_insn("addiu $t0, $t1, -42").unwrap(),
+            Insn::AluImm { op: AluImmOp::Addiu, rt: Reg::T0, rs: Reg::T1, imm: -42 }
+        );
+        assert_eq!(parse_insn("nop").unwrap(), Insn::Nop);
+        assert_eq!(parse_insn("halt").unwrap(), Insn::Halt);
+        assert_eq!(parse_insn("jr $ra").unwrap(), Insn::Jr { rs: Reg::RA });
+    }
+
+    #[test]
+    fn parses_all_addressing_modes() {
+        assert_eq!(
+            parse_insn("lw $t3, -8($sp)").unwrap(),
+            Insn::Load {
+                op: LoadOp::Lw,
+                rt: Reg::T3,
+                ea: AddrMode::BaseDisp { base: Reg::SP, disp: -8 }
+            }
+        );
+        assert_eq!(
+            parse_insn("lw $t3, ($s0+$t2)").unwrap(),
+            Insn::Load {
+                op: LoadOp::Lw,
+                rt: Reg::T3,
+                ea: AddrMode::BaseIndex { base: Reg::S0, index: Reg::T2 }
+            }
+        );
+        assert_eq!(
+            parse_insn("sw $t3, ($s1)+4").unwrap(),
+            Insn::Store {
+                op: StoreOp::Sw,
+                rt: Reg::T3,
+                ea: AddrMode::PostInc { base: Reg::S1, step: 4 }
+            }
+        );
+    }
+
+    #[test]
+    fn parses_fp() {
+        assert_eq!(
+            parse_insn("mul.d $f6, $f2, $f4").unwrap(),
+            Insn::Fp { op: FpOp::Mul, fmt: FpFmt::D, fd: FReg::F6, fs: FReg::F2, ft: FReg::F4 }
+        );
+        assert_eq!(
+            parse_insn("c.lt.d $f2, $f4").unwrap(),
+            Insn::FpCmp { cond: FpCond::Lt, fmt: FpFmt::D, fs: FReg::F2, ft: FReg::F4 }
+        );
+        assert_eq!(
+            parse_insn("cvt.d.w $f2, $f4").unwrap(),
+            Insn::CvtFromW { fmt: FpFmt::D, fd: FReg::F2, fs: FReg::F4 }
+        );
+        assert_eq!(parse_insn("bc1t -7").unwrap(), Insn::Bc1 { on_true: true, off: -7 });
+    }
+
+    #[test]
+    fn hex_immediates() {
+        assert_eq!(
+            parse_insn("andi $t0, $t1, 0xfff").unwrap(),
+            Insn::AluImm { op: AluImmOp::Andi, rt: Reg::T0, rs: Reg::T1, imm: 0xfff }
+        );
+        assert_eq!(
+            parse_insn("lui $t4, 0xdead").unwrap(),
+            Insn::Lui { rt: Reg::T4, imm: 0xdead }
+        );
+        assert_eq!(
+            parse_insn("j 0x12345").unwrap(),
+            Insn::J { target: 0x12345 }
+        );
+    }
+
+    #[test]
+    fn numeric_register_form() {
+        assert_eq!(
+            parse_insn("addu $2, $4, $5").unwrap(),
+            Insn::Alu { op: AluOp::Addu, rd: Reg::V0, rs: Reg::A0, rt: Reg::A1 }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_insn("").is_err());
+        assert!(parse_insn("frobnicate $t0").is_err());
+        assert!(parse_insn("addu $t0, $t1").is_err());
+        assert!(parse_insn("lw $t0, 4[$sp]").is_err());
+        assert!(parse_insn("addiu $t0, $t1, 99999").is_err());
+        assert!(parse_insn("sll $t0, $t1, 37").is_err());
+        assert!(parse_insn("addu $t0, $t1, $zz").is_err());
+        assert!(parse_insn("lui $t0, 0x10000").is_err());
+        let e = parse_insn("frob $t0").unwrap_err();
+        assert!(e.to_string().contains("frob"));
+    }
+}

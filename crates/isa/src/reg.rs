@@ -1,0 +1,231 @@
+//! Integer and floating-point register names.
+
+use core::fmt;
+
+/// An architected integer register, `$0` through `$31`.
+///
+/// The MIPS software conventions the paper relies on are encoded here:
+/// [`Reg::GP`] (r28) is the immutable *global pointer*, [`Reg::SP`] (r29) the
+/// stack pointer and [`Reg::FP`] (r30) the frame pointer. The simulator
+/// classifies memory references as *global*, *stack* or *general* pointer
+/// accesses by looking at which of these supplies the base (paper §2).
+///
+/// ```
+/// use fac_isa::Reg;
+/// assert_eq!(Reg::GP.index(), 28);
+/// assert_eq!(Reg::SP.to_string(), "$sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// First function result register.
+    pub const V0: Reg = Reg(2);
+    /// Second function result register.
+    pub const V1: Reg = Reg(3);
+    /// First argument register.
+    pub const A0: Reg = Reg(4);
+    /// Second argument register.
+    pub const A1: Reg = Reg(5);
+    /// Third argument register.
+    pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries `$t0`–`$t7` (r8–r15).
+    pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary.
+    pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary.
+    pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary.
+    pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary.
+    pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary.
+    pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary.
+    pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved registers `$s0`–`$s7` (r16–r23).
+    pub const S0: Reg = Reg(16);
+    /// Callee-saved register.
+    pub const S1: Reg = Reg(17);
+    /// Callee-saved register.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register.
+    pub const S7: Reg = Reg(23);
+    /// More caller-saved temporaries (r24, r25).
+    pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary.
+    pub const T9: Reg = Reg(25);
+    /// Reserved for kernel (r26, r27); unused by generated code.
+    pub const K0: Reg = Reg(26);
+    /// Reserved for codegen (allocator scratch).
+    pub const K1: Reg = Reg(27);
+    /// Global pointer — base register for *global pointer addressing*.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer — base register for *stack pointer addressing*.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer (also classified as a stack access base).
+    pub const FP: Reg = Reg(30);
+    /// Return address register.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its architectural index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "integer register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The architectural index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// `true` for the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// ABI names indexed by register number.
+const REG_NAMES: [&str; 32] = [
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3", "$t0", "$t1", "$t2", "$t3", "$t4",
+    "$t5", "$t6", "$t7", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7", "$t8", "$t9",
+    "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(REG_NAMES[self.index()])
+    }
+}
+
+/// An architected floating-point register, `$f0` through `$f31`.
+///
+/// Each register holds a full double; single-precision operations use the
+/// low half, mirroring how the evaluation treats FP state (FP values never
+/// participate in address calculation, so the FP register model can stay
+/// simple).
+///
+/// ```
+/// use fac_isa::FReg;
+/// assert_eq!(FReg::new(12).to_string(), "$f12");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// FP result register.
+    pub const F0: FReg = FReg(0);
+    /// Scratch FP register used by generated code.
+    pub const F2: FReg = FReg(2);
+    /// Scratch FP register.
+    pub const F4: FReg = FReg(4);
+    /// Scratch FP register.
+    pub const F6: FReg = FReg(6);
+    /// Scratch FP register.
+    pub const F8: FReg = FReg(8);
+    /// Scratch FP register.
+    pub const F10: FReg = FReg(10);
+    /// First FP argument register.
+    pub const F12: FReg = FReg(12);
+    /// Scratch FP register.
+    pub const F14: FReg = FReg(14);
+    /// Scratch FP register.
+    pub const F16: FReg = FReg(16);
+    /// Scratch FP register.
+    pub const F18: FReg = FReg(18);
+    /// Scratch FP register.
+    pub const F20: FReg = FReg(20);
+    /// Scratch FP register.
+    pub const F22: FReg = FReg(22);
+
+    /// Creates an FP register from its architectural index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> FReg {
+        assert!(index < 32, "fp register index {index} out of range");
+        FReg(index)
+    }
+
+    /// The architectural index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_indices_follow_mips_convention() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::V0.index(), 2);
+        assert_eq!(Reg::A0.index(), 4);
+        assert_eq!(Reg::T0.index(), 8);
+        assert_eq!(Reg::S0.index(), 16);
+        assert_eq!(Reg::GP.index(), 28);
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::FP.index(), 30);
+        assert_eq!(Reg::RA.index(), 31);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::AT.is_zero());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::new(0).to_string(), "$zero");
+        assert_eq!(Reg::new(28).to_string(), "$gp");
+        assert_eq!(FReg::new(0).to_string(), "$f0");
+        assert_eq!(FReg::new(31).to_string(), "$f31");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_register_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_freg_panics() {
+        let _ = FReg::new(32);
+    }
+
+    #[test]
+    fn ordering_matches_indices() {
+        assert!(Reg::ZERO < Reg::RA);
+        assert!(FReg::F0 < FReg::F12);
+    }
+}

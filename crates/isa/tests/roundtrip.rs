@@ -1,0 +1,175 @@
+//! Property tests: every instruction round-trips through the binary
+//! encoding, and decoding is total over the image of `encode`.
+
+use fac_isa::{
+    decode, encode, AddrMode, AluImmOp, AluOp, BranchCond, FReg, FpCond, FpFmt, FpOp, Insn,
+    LoadOp, MulDivOp, Reg, ShiftOp, StoreOp,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+fn arb_addr_mode() -> impl Strategy<Value = AddrMode> {
+    prop_oneof![
+        (arb_reg(), any::<i16>()).prop_map(|(base, disp)| AddrMode::BaseDisp { base, disp }),
+        (arb_reg(), arb_reg()).prop_map(|(base, index)| AddrMode::BaseIndex { base, index }),
+        (arb_reg(), any::<i16>()).prop_map(|(base, step)| AddrMode::PostInc { base, step }),
+    ]
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let alu_op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Addu),
+        Just(AluOp::Sub),
+        Just(AluOp::Subu),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Nor),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Sllv),
+        Just(AluOp::Srlv),
+        Just(AluOp::Srav),
+    ];
+    let alu_imm_op = prop_oneof![
+        Just(AluImmOp::Addi),
+        Just(AluImmOp::Addiu),
+        Just(AluImmOp::Slti),
+        Just(AluImmOp::Sltiu),
+        Just(AluImmOp::Andi),
+        Just(AluImmOp::Ori),
+        Just(AluImmOp::Xori),
+    ];
+    let shift_op = prop_oneof![Just(ShiftOp::Sll), Just(ShiftOp::Srl), Just(ShiftOp::Sra)];
+    let muldiv_op = prop_oneof![
+        Just(MulDivOp::Mult),
+        Just(MulDivOp::Multu),
+        Just(MulDivOp::Div),
+        Just(MulDivOp::Divu),
+    ];
+    let load_op = prop_oneof![
+        Just(LoadOp::Lb),
+        Just(LoadOp::Lbu),
+        Just(LoadOp::Lh),
+        Just(LoadOp::Lhu),
+        Just(LoadOp::Lw),
+    ];
+    let store_op = prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw)];
+    let fp_fmt = prop_oneof![Just(FpFmt::S), Just(FpFmt::D)];
+    let fp_op = prop_oneof![
+        Just(FpOp::Add),
+        Just(FpOp::Sub),
+        Just(FpOp::Mul),
+        Just(FpOp::Div),
+        Just(FpOp::Abs),
+        Just(FpOp::Neg),
+        Just(FpOp::Mov),
+        Just(FpOp::Sqrt),
+    ];
+    let fp_cond = prop_oneof![Just(FpCond::Eq), Just(FpCond::Lt), Just(FpCond::Le)];
+    let branch_cond = prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lez),
+        Just(BranchCond::Gtz),
+        Just(BranchCond::Ltz),
+        Just(BranchCond::Gez),
+    ];
+
+    prop_oneof![
+        Just(Insn::Nop),
+        Just(Insn::Halt),
+        (alu_op, arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs, rt)| Insn::Alu { op, rd, rs, rt }),
+        (alu_imm_op, arb_reg(), arb_reg(), any::<i16>())
+            .prop_map(|(op, rt, rs, imm)| Insn::AluImm { op, rt, rs, imm }),
+        (shift_op, arb_reg(), arb_reg(), 0u8..32)
+            .prop_map(|(op, rd, rt, shamt)| Insn::Shift { op, rd, rt, shamt }),
+        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Insn::Lui { rt, imm }),
+        (muldiv_op, arb_reg(), arb_reg()).prop_map(|(op, rs, rt)| Insn::MulDiv { op, rs, rt }),
+        arb_reg().prop_map(|rd| Insn::Mfhi { rd }),
+        arb_reg().prop_map(|rd| Insn::Mflo { rd }),
+        (load_op, arb_reg(), arb_addr_mode()).prop_map(|(op, rt, ea)| Insn::Load { op, rt, ea }),
+        (store_op, arb_reg(), arb_addr_mode())
+            .prop_map(|(op, rt, ea)| Insn::Store { op, rt, ea }),
+        (fp_fmt.clone(), arb_freg(), arb_addr_mode())
+            .prop_map(|(fmt, ft, ea)| Insn::LoadFp { fmt, ft, ea }),
+        (fp_fmt.clone(), arb_freg(), arb_addr_mode())
+            .prop_map(|(fmt, ft, ea)| Insn::StoreFp { fmt, ft, ea }),
+        (fp_op, fp_fmt.clone(), arb_freg(), arb_freg(), arb_freg())
+            .prop_map(|(op, fmt, fd, fs, ft)| Insn::Fp { op, fmt, fd, fs, ft }),
+        (fp_cond, fp_fmt.clone(), arb_freg(), arb_freg())
+            .prop_map(|(cond, fmt, fs, ft)| Insn::FpCmp { cond, fmt, fs, ft }),
+        (any::<bool>(), any::<i16>()).prop_map(|(on_true, off)| Insn::Bc1 { on_true, off }),
+        (arb_reg(), arb_freg()).prop_map(|(rt, fs)| Insn::Mtc1 { rt, fs }),
+        (arb_reg(), arb_freg()).prop_map(|(rt, fs)| Insn::Mfc1 { rt, fs }),
+        (fp_fmt.clone(), arb_freg(), arb_freg())
+            .prop_map(|(fmt, fd, fs)| Insn::CvtFromW { fmt, fd, fs }),
+        (fp_fmt, arb_freg(), arb_freg()).prop_map(|(fmt, fd, fs)| Insn::TruncToW { fmt, fd, fs }),
+        (branch_cond, arb_reg(), arb_reg(), any::<i16>()).prop_map(|(cond, rs, rt, off)| {
+            let rt = if cond.uses_rt() { rt } else { Reg::ZERO };
+            Insn::Branch { cond, rs, rt, off }
+        }),
+        (0u32..0x0400_0000).prop_map(|target| Insn::J { target }),
+        (0u32..0x0400_0000).prop_map(|target| Insn::Jal { target }),
+        arb_reg().prop_map(|rs| Insn::Jr { rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Insn::Jalr { rd, rs }),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity.
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        // `sll $zero, $zero, 0` shares the all-zero word with `nop` by design.
+        let canonical = match insn {
+            Insn::Shift { op: ShiftOp::Sll, rd, rt, shamt }
+                if rd == Reg::ZERO && rt == Reg::ZERO && shamt == 0 => Insn::Nop,
+            other => other,
+        };
+        prop_assert_eq!(decode(encode(&insn)).unwrap(), canonical);
+    }
+
+    /// Disassembly never panics and is never empty.
+    #[test]
+    fn disassembly_total(insn in arb_insn()) {
+        prop_assert!(!insn.to_string().is_empty());
+    }
+
+    /// Decoding arbitrary words either fails cleanly or yields an
+    /// instruction that re-encodes to a decodable word (decode is stable).
+    #[test]
+    fn decode_is_stable(word in any::<u32>()) {
+        if let Ok(insn) = decode(word) {
+            let reencoded = encode(&insn);
+            prop_assert_eq!(decode(reencoded).unwrap(), insn);
+        }
+    }
+}
+
+proptest! {
+    /// The text form also round-trips: parse(display(insn)) == insn,
+    /// modulo the operands the text form does not carry (a unary FP op's
+    /// unused `ft` field reads back as `$f0`).
+    #[test]
+    fn display_parse_roundtrip(insn in arb_insn()) {
+        let canonical = match insn {
+            Insn::Fp { op, fmt, fd, fs, .. } if op.is_unary() => {
+                Insn::Fp { op, fmt, fd, fs, ft: FReg::new(0) }
+            }
+            other => other,
+        };
+        let text = insn.to_string();
+        let parsed = fac_isa::parse_insn(&text)
+            .unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        prop_assert_eq!(parsed, canonical);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # fac-mem — the memory subsystem
+//!
+//! Building blocks for the data memory hierarchy of the ISCA '95
+//! fast-address-calculation evaluation:
+//!
+//! * [`Memory`] — a sparse, paged 32-bit byte-addressable memory holding the
+//!   simulated program's data (little-endian, like the MIPS target the paper
+//!   compiles for);
+//! * [`Cache`] — a parameterized tag-array model of a write-back,
+//!   write-allocate cache (direct-mapped or set-associative) with hit/miss
+//!   and writeback statistics;
+//! * [`StoreBuffer`] — the 16-entry non-merging store buffer of Table 5;
+//! * [`Tlb`] — the 64-entry fully-associative data TLB used for the §5.4
+//!   virtual-memory sanity check.
+//!
+//! ```
+//! use fac_mem::{Cache, CacheConfig, Memory};
+//!
+//! let mut mem = Memory::new();
+//! mem.write_u32(0x1000_0000, 0xdead_beef);
+//! assert_eq!(mem.read_u32(0x1000_0000), 0xdead_beef);
+//!
+//! let mut dcache = Cache::new(CacheConfig::direct_mapped(16 * 1024, 32));
+//! assert!(!dcache.access(0x1000_0000, false).hit); // cold miss
+//! assert!(dcache.access(0x1000_0004, false).hit);  // same block
+//! ```
+
+mod cache;
+mod memory;
+mod store_buffer;
+mod tlb;
+
+pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
+pub use memory::Memory;
+pub use store_buffer::{StoreBuffer, StoreEntry};
+pub use tlb::{Tlb, TlbStats};

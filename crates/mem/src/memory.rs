@@ -1,0 +1,213 @@
+//! Sparse paged byte-addressable memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse 32-bit byte-addressable little-endian memory.
+///
+/// Pages (4 KB) are allocated on first touch, which also gives a cheap
+/// *memory usage* metric — the paper reports total memory size per program
+/// (Table 3) and the change caused by the alignment optimizations (Table 4),
+/// so [`Memory::footprint`] counts touched pages.
+///
+/// Reads of untouched memory return zero, like freshly mapped pages.
+///
+/// ```
+/// use fac_mem::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u16(0x7fff_5b84, 0xabcd);
+/// assert_eq!(m.read_u16(0x7fff_5b84), 0xabcd);
+/// assert_eq!(m.read_u8(0x7fff_5b84), 0xcd); // little-endian
+/// assert_eq!(m.read_u32(0x0), 0);           // untouched ⇒ zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Total bytes of touched memory (page granularity).
+    pub fn footprint(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Number of distinct pages touched.
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_BITS)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.page(addr)
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let idx = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[idx] = value;
+    }
+
+    /// Reads a little-endian halfword. The address may be unaligned.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [b0, b1] = value.to_le_bytes();
+        self.write_u8(addr, b0);
+        self.write_u8(addr.wrapping_add(1), b1);
+    }
+
+    /// Reads a little-endian word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u32));
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads a little-endian doubleword.
+    pub fn read_u64(&self, addr: u32) -> u64 {
+        let lo = self.read_u32(addr) as u64;
+        let hi = self.read_u32(addr.wrapping_add(4)) as u64;
+        lo | (hi << 32)
+    }
+
+    /// Writes a little-endian doubleword.
+    pub fn write_u64(&mut self, addr: u32, value: u64) {
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
+    }
+
+    /// Reads an IEEE-754 single.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an IEEE-754 single.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Reads an IEEE-754 double.
+    pub fn read_f64(&self, addr: u32) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an IEEE-754 double.
+    pub fn write_f64(&mut self, addr: u32, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_before_first_touch() {
+        let m = Memory::new();
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u8(u32::MAX), 0);
+        assert_eq!(m.footprint(), 0);
+    }
+
+    #[test]
+    fn widths_roundtrip() {
+        let mut m = Memory::new();
+        m.write_u8(0x100, 0xab);
+        m.write_u16(0x200, 0xcdef);
+        m.write_u32(0x300, 0x0123_4567);
+        m.write_u64(0x400, 0x89ab_cdef_0123_4567);
+        assert_eq!(m.read_u8(0x100), 0xab);
+        assert_eq!(m.read_u16(0x200), 0xcdef);
+        assert_eq!(m.read_u32(0x300), 0x0123_4567);
+        assert_eq!(m.read_u64(0x400), 0x89ab_cdef_0123_4567);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x10, 0x0102_0304);
+        assert_eq!(m.read_u8(0x10), 0x04);
+        assert_eq!(m.read_u8(0x13), 0x01);
+        assert_eq!(m.read_u16(0x12), 0x0102);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = 0x1fff; // last byte of a page
+        m.write_u32(addr, 0xaabb_ccdd);
+        assert_eq!(m.read_u32(addr), 0xaabb_ccdd);
+        assert_eq!(m.pages_touched(), 2);
+    }
+
+    #[test]
+    fn floats_roundtrip() {
+        let mut m = Memory::new();
+        m.write_f32(0x20, 3.25);
+        m.write_f64(0x28, -1.5e300);
+        assert_eq!(m.read_f32(0x20), 3.25);
+        assert_eq!(m.read_f64(0x28), -1.5e300);
+    }
+
+    #[test]
+    fn footprint_counts_pages_once() {
+        let mut m = Memory::new();
+        m.write_u8(0x1000, 1);
+        m.write_u8(0x1fff, 2);
+        assert_eq!(m.footprint(), 4096);
+        m.write_u8(0x2000, 3);
+        assert_eq!(m.footprint(), 8192);
+    }
+
+    #[test]
+    fn bulk_bytes() {
+        let mut m = Memory::new();
+        m.write_bytes(0x500, b"hello, cache");
+        assert_eq!(m.read_bytes(0x500, 12), b"hello, cache");
+    }
+}

@@ -1,0 +1,201 @@
+//! The non-merging store buffer (Table 5: 16 entries).
+
+use std::collections::VecDeque;
+
+/// One buffered store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreEntry {
+    /// Effective address of the store.
+    pub addr: u32,
+    /// Access size in bytes.
+    pub size: u32,
+    /// Cycle at which the store entered the buffer.
+    pub entered: u64,
+}
+
+/// A bounded, FIFO, **non-merging** store buffer.
+///
+/// Stores are serviced in two cycles (§5.5): the first cycle probes the
+/// tags, then the buffered data retires to the data cache during cycles in
+/// which the cache is otherwise unused. If a store executes while the
+/// buffer is full, the pipeline stalls and the oldest entry is forced out.
+/// The timing simulator owns the retire policy; this type owns capacity and
+/// ordering, plus occupancy statistics.
+///
+/// ```
+/// use fac_mem::StoreBuffer;
+///
+/// let mut sb = StoreBuffer::new(2);
+/// assert!(sb.push(0x100, 4, 10).is_none());
+/// assert!(sb.push(0x104, 4, 11).is_none());
+/// // Full: pushing returns the displaced oldest entry (a stall).
+/// let displaced = sb.push(0x108, 4, 12).unwrap();
+/// assert_eq!(displaced.addr, 0x100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: VecDeque<StoreEntry>,
+    capacity: usize,
+    full_stalls: u64,
+    total_pushed: u64,
+}
+
+impl StoreBuffer {
+    /// Creates an empty buffer with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> StoreBuffer {
+        assert!(capacity > 0, "store buffer capacity must be positive");
+        StoreBuffer {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            full_stalls: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no stores are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when at capacity (the next push stalls the pipeline).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Number of pushes that found the buffer full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls
+    }
+
+    /// Total stores pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Enqueues a store. If the buffer is full, the oldest entry is
+    /// force-retired and returned — the caller must account for the stall.
+    pub fn push(&mut self, addr: u32, size: u32, cycle: u64) -> Option<StoreEntry> {
+        self.total_pushed += 1;
+        let displaced = if self.is_full() {
+            self.full_stalls += 1;
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back(StoreEntry { addr, size, entered: cycle });
+        displaced
+    }
+
+    /// Retires (dequeues) the oldest store, if any.
+    pub fn retire(&mut self) -> Option<StoreEntry> {
+        self.entries.pop_front()
+    }
+
+    /// The oldest store without removing it.
+    pub fn peek(&self) -> Option<&StoreEntry> {
+        self.entries.front()
+    }
+
+    /// Updates the address of the most recent entry — used when a
+    /// misspeculated store re-executes and its buffered address must be
+    /// corrected (§3.1: "the store buffer entry can simply be reclaimed or
+    /// invalidated if the effective address is incorrect").
+    pub fn fix_newest_addr(&mut self, addr: u32) {
+        if let Some(e) = self.entries.back_mut() {
+            e.addr = addr;
+        }
+    }
+
+    /// Any buffered store overlapping the byte range `[addr, addr+size)`.
+    pub fn overlaps(&self, addr: u32, size: u32) -> bool {
+        self.entries
+            .iter()
+            .any(|e| addr < e.addr.wrapping_add(e.size) && e.addr < addr.wrapping_add(size))
+    }
+
+    /// Drops all entries (e.g. at simulation end).
+    pub fn drain(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(1, 4, 0);
+        sb.push(2, 4, 1);
+        sb.push(3, 4, 2);
+        assert_eq!(sb.retire().unwrap().addr, 1);
+        assert_eq!(sb.retire().unwrap().addr, 2);
+        assert_eq!(sb.retire().unwrap().addr, 3);
+        assert!(sb.retire().is_none());
+    }
+
+    #[test]
+    fn full_push_displaces_oldest_and_counts_stall() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(1, 4, 0);
+        sb.push(2, 4, 0);
+        let d = sb.push(3, 4, 0).unwrap();
+        assert_eq!(d.addr, 1);
+        assert_eq!(sb.full_stalls(), 1);
+        assert_eq!(sb.len(), 2);
+        assert_eq!(sb.peek().unwrap().addr, 2);
+    }
+
+    #[test]
+    fn fix_newest_addr_targets_last_entry() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(0x10, 4, 0);
+        sb.push(0x20, 4, 0);
+        sb.fix_newest_addr(0x24);
+        assert_eq!(sb.retire().unwrap().addr, 0x10);
+        assert_eq!(sb.retire().unwrap().addr, 0x24);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(0x100, 4, 0);
+        assert!(sb.overlaps(0x102, 1));
+        assert!(sb.overlaps(0xfe, 4));
+        assert!(!sb.overlaps(0x104, 4));
+        assert!(!sb.overlaps(0xfc, 4));
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(1, 1, 0);
+        sb.push(2, 1, 0);
+        assert_eq!(sb.drain(), 2);
+        assert!(sb.is_empty());
+        assert_eq!(sb.total_pushed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = StoreBuffer::new(0);
+    }
+}

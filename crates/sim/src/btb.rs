@@ -1,0 +1,134 @@
+//! Branch target buffer with 2-bit saturating counters (Table 5).
+
+/// One BTB entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    tag: u32,
+    target: u32,
+    /// 2-bit saturating counter; ≥ 2 predicts taken.
+    counter: u8,
+}
+
+/// Direct-mapped branch target buffer.
+///
+/// Fetch consults the BTB with the branch PC; a hit with a taken-predicting
+/// counter supplies the target so the redirect costs no bubble. A wrong
+/// direction or wrong target costs the misprediction penalty.
+///
+/// ```
+/// use fac_sim::Btb;
+///
+/// let mut btb = Btb::new(64);
+/// assert_eq!(btb.predict(0x400000), None); // cold
+/// btb.update(0x400000, true, 0x400100);
+/// btb.update(0x400000, true, 0x400100);
+/// assert_eq!(btb.predict(0x400000), Some(0x400100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Entry>,
+}
+
+impl Btb {
+    /// Creates an empty BTB with `entries` slots (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive power of two.
+    pub fn new(entries: u32) -> Btb {
+        assert!(entries.is_power_of_two(), "BTB size must be a power of two");
+        Btb { entries: vec![Entry::default(); entries as usize] }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    /// Predicted target for the branch at `pc`, or `None` for a
+    /// predicted-not-taken / unknown branch.
+    pub fn predict(&self, pc: u32) -> Option<u32> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.tag == pc && e.counter >= 2).then_some(e.target)
+    }
+
+    /// Trains the BTB with the resolved outcome.
+    pub fn update(&mut self, pc: u32, taken: bool, target: u32) {
+        let idx = self.index(pc);
+        let e = &mut self.entries[idx];
+        if !e.valid || e.tag != pc {
+            if taken {
+                *e = Entry { valid: true, tag: pc, target, counter: 2 };
+            }
+            return;
+        }
+        if taken {
+            e.counter = (e.counter + 1).min(3);
+            e.target = target;
+        } else {
+            e.counter = e.counter.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_predicts_not_taken() {
+        let btb = Btb::new(16);
+        assert_eq!(btb.predict(0x1000), None);
+    }
+
+    #[test]
+    fn two_takens_required() {
+        let mut btb = Btb::new(16);
+        btb.update(0x1000, true, 0x2000);
+        assert_eq!(btb.predict(0x1000), Some(0x2000), "allocates at taken strength");
+        btb.update(0x1000, false, 0);
+        assert_eq!(btb.predict(0x1000), None);
+        btb.update(0x1000, true, 0x2000);
+        assert_eq!(btb.predict(0x1000), Some(0x2000));
+    }
+
+    #[test]
+    fn hysteresis() {
+        let mut btb = Btb::new(16);
+        for _ in 0..3 {
+            btb.update(0x1000, true, 0x2000);
+        }
+        btb.update(0x1000, false, 0);
+        // Still predicts taken after one not-taken (counter 3 → 2).
+        assert_eq!(btb.predict(0x1000), Some(0x2000));
+        btb.update(0x1000, false, 0);
+        assert_eq!(btb.predict(0x1000), None);
+    }
+
+    #[test]
+    fn indirect_target_update() {
+        let mut btb = Btb::new(16);
+        btb.update(0x1000, true, 0x2000);
+        btb.update(0x1000, true, 0x3000);
+        assert_eq!(btb.predict(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn conflict_eviction_only_on_taken() {
+        let mut btb = Btb::new(4);
+        btb.update(0x1000, true, 0x2000);
+        btb.update(0x1000, true, 0x2000);
+        // 0x1010 maps to the same slot (4 entries, word-indexed).
+        btb.update(0x1010, false, 0);
+        assert_eq!(btb.predict(0x1000), Some(0x2000), "not-taken does not evict");
+        btb.update(0x1010, true, 0x4000);
+        assert_eq!(btb.predict(0x1010), Some(0x4000));
+        assert_eq!(btb.predict(0x1000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_size_rejected() {
+        let _ = Btb::new(100);
+    }
+}

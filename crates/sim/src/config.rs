@@ -1,0 +1,295 @@
+//! Machine configuration (the paper's Table 5 plus FAC options).
+
+use fac_core::PredictorConfig;
+use fac_mem::CacheConfig;
+
+/// Load-latency experiment modes (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadLatencyMode {
+    /// Normal 5-stage pipeline: address generation in EX, cache in MEM —
+    /// 2-cycle loads.
+    #[default]
+    Normal,
+    /// What-if: every load completes its cache access in EX (1-cycle
+    /// loads). Used only for the Figure 2 potential study.
+    OneCycle,
+}
+
+/// Latency (total) and issue interval (cycles before the unit can accept
+/// another operation) of one functional-unit class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuTiming {
+    /// Result latency in cycles.
+    pub latency: u64,
+    /// Issue interval (1 = fully pipelined).
+    pub interval: u64,
+}
+
+/// Functional-unit pool configuration (Table 5).
+///
+/// Table 5's latency column is partially garbled in surviving copies of the
+/// paper ("integer ALU-/, load/store-2/, integer MULT-3/, …"); the standard
+/// readings used here are: ALU 1/1, load/store 2/1, integer MULT 3/1,
+/// integer DIV 20/20, FP add 2/1, FP MULT 4/1, FP DIV 12/12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Number of integer ALUs (branches execute here too).
+    pub int_alu_units: u32,
+    /// Number of load/store units (address generation + cache port).
+    pub load_store_units: u32,
+    /// Number of FP adders.
+    pub fp_add_units: u32,
+    /// Integer multiply/divide units (shared).
+    pub int_mul_units: u32,
+    /// FP multiply/divide units (shared).
+    pub fp_mul_units: u32,
+    /// Integer ALU timing.
+    pub int_alu: FuTiming,
+    /// Integer multiply timing.
+    pub int_mul: FuTiming,
+    /// Integer divide timing.
+    pub int_div: FuTiming,
+    /// FP add/sub/compare/convert timing.
+    pub fp_add: FuTiming,
+    /// FP multiply timing.
+    pub fp_mul: FuTiming,
+    /// FP divide / square-root timing.
+    pub fp_div: FuTiming,
+}
+
+impl Default for FuConfig {
+    fn default() -> FuConfig {
+        FuConfig {
+            int_alu_units: 4,
+            load_store_units: 2,
+            fp_add_units: 2,
+            int_mul_units: 1,
+            fp_mul_units: 1,
+            int_alu: FuTiming { latency: 1, interval: 1 },
+            int_mul: FuTiming { latency: 3, interval: 1 },
+            int_div: FuTiming { latency: 20, interval: 20 },
+            fp_add: FuTiming { latency: 2, interval: 1 },
+            fp_mul: FuTiming { latency: 4, interval: 1 },
+            fp_div: FuTiming { latency: 12, interval: 12 },
+        }
+    }
+}
+
+/// Pipeline organization (§6's Golden & Mudge comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineOrg {
+    /// The traditional 5-stage "load-use interlock" pipeline: ALU ops
+    /// execute in EX, loads compute addresses in EX and access the cache
+    /// in MEM (the paper's baseline).
+    #[default]
+    Lui,
+    /// The "address generation interlock" organization (Jouppi's
+    /// MultiTitan, the R8000/TFP): a dedicated address-generation stage,
+    /// with ALU execution pushed down next to cache access. Removes the
+    /// load-use hazard, introduces an address-use hazard and one extra
+    /// cycle of branch-resolution delay.
+    Agi,
+}
+
+/// Fast-address-calculation pipeline support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FacConfig {
+    /// The prediction circuit configuration (geometry comes from the data
+    /// cache).
+    pub predictor: PredictorConfig,
+}
+
+impl Default for FacConfig {
+    fn default() -> FacConfig {
+        FacConfig { predictor: PredictorConfig::default() }
+    }
+}
+
+/// Full machine configuration. [`MachineConfig::paper_baseline`] reproduces
+/// Table 5; the builder-style `with_*` methods derive the evaluated
+/// variants.
+///
+/// ```
+/// use fac_sim::MachineConfig;
+///
+/// let base = MachineConfig::paper_baseline();
+/// assert_eq!(base.issue_width, 4);
+/// assert_eq!(base.dcache.size_bytes, 16 * 1024);
+/// let fac = base.with_fac();
+/// assert!(fac.fac.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Instructions fetched per cycle (any 4 contiguous).
+    pub fetch_width: u32,
+    /// In-order issue width.
+    pub issue_width: u32,
+    /// Maximum loads issued per cycle.
+    pub max_loads_per_cycle: u32,
+    /// Maximum stores issued per cycle.
+    pub max_stores_per_cycle: u32,
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// Data cache geometry.
+    pub dcache: CacheConfig,
+    /// Miss latency (cycles) for both caches.
+    pub miss_latency: u64,
+    /// Data-cache read ports (Table 5: dual-ported via replication).
+    pub dcache_read_ports: u32,
+    /// Data-cache write ports (used by store-buffer retirement).
+    pub dcache_write_ports: u32,
+    /// Branch-target-buffer entries (direct-mapped, 2-bit counters).
+    pub btb_entries: u32,
+    /// Extra fetch penalty on a branch misprediction.
+    pub branch_mispredict_penalty: u64,
+    /// Store-buffer capacity (non-merging).
+    pub store_buffer_entries: usize,
+    /// Miss status holding registers of the non-blocking D-cache (Table 5:
+    /// "non-blocking interface, 1 outstanding miss per register" — we model
+    /// a bounded MSHR file with fill merging).
+    pub mshr_entries: u32,
+    /// Functional units.
+    pub fu: FuConfig,
+    /// Fast address calculation; `None` = the baseline pipeline.
+    pub fac: Option<FacConfig>,
+    /// Load-target-buffer address prediction (the §6 related-work
+    /// comparator); entries of a direct-mapped stride-predicting LTB.
+    /// Ignored when `fac` is set.
+    pub ltb_entries: Option<u32>,
+    /// Pipeline organization: load-use interlock (baseline) or address
+    /// generation interlock.
+    pub pipeline_org: PipelineOrg,
+    /// Load-latency what-if mode (Figure 2).
+    pub load_latency: LoadLatencyMode,
+    /// Perfect data cache (0-cycle misses, Figure 2).
+    pub perfect_dcache: bool,
+    /// Model a data TLB (64-entry fully associative, 4 KB pages) for the
+    /// §5.4 virtual-memory check.
+    pub model_tlb: bool,
+}
+
+impl MachineConfig {
+    /// The Table 5 baseline: 4-way in-order superscalar, 16 KB
+    /// direct-mapped I/D caches with 32-byte blocks, 6-cycle miss latency,
+    /// 16-entry store buffer, no fast address calculation.
+    pub fn paper_baseline() -> MachineConfig {
+        MachineConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            max_loads_per_cycle: 2,
+            max_stores_per_cycle: 1,
+            icache: CacheConfig::direct_mapped(16 * 1024, 32),
+            dcache: CacheConfig::direct_mapped(16 * 1024, 32),
+            miss_latency: 6,
+            dcache_read_ports: 2,
+            dcache_write_ports: 1,
+            btb_entries: 2048,
+            branch_mispredict_penalty: 2,
+            store_buffer_entries: 16,
+            mshr_entries: 8,
+            fu: FuConfig::default(),
+            fac: None,
+            ltb_entries: None,
+            pipeline_org: PipelineOrg::Lui,
+            load_latency: LoadLatencyMode::Normal,
+            perfect_dcache: false,
+            model_tlb: false,
+        }
+    }
+
+    /// Enables fast address calculation with the default circuit.
+    pub fn with_fac(mut self) -> MachineConfig {
+        self.fac = Some(FacConfig::default());
+        self
+    }
+
+    /// Enables fast address calculation with a specific circuit config.
+    pub fn with_fac_config(mut self, predictor: PredictorConfig) -> MachineConfig {
+        self.fac = Some(FacConfig { predictor });
+        self
+    }
+
+    /// Changes the D-cache block size (the paper evaluates 16 and 32).
+    pub fn with_block_size(mut self, block_bytes: u32) -> MachineConfig {
+        self.dcache.block_bytes = block_bytes;
+        self
+    }
+
+    /// Figure 2 what-if: 1-cycle loads.
+    pub fn with_one_cycle_loads(mut self) -> MachineConfig {
+        self.load_latency = LoadLatencyMode::OneCycle;
+        self
+    }
+
+    /// Figure 2 what-if: perfect (never-miss-penalty) data cache.
+    pub fn with_perfect_dcache(mut self) -> MachineConfig {
+        self.perfect_dcache = true;
+        self
+    }
+
+    /// Enables the data-TLB model.
+    pub fn with_tlb(mut self) -> MachineConfig {
+        self.model_tlb = true;
+        self
+    }
+
+    /// Enables load-target-buffer address prediction instead of FAC.
+    pub fn with_ltb(mut self, entries: u32) -> MachineConfig {
+        self.ltb_entries = Some(entries);
+        self
+    }
+
+    /// Switches to the address-generation-interlock pipeline organization.
+    pub fn with_agi_pipeline(mut self) -> MachineConfig {
+        self.pipeline_org = PipelineOrg::Agi;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table5() {
+        let c = MachineConfig::paper_baseline();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.icache.size_bytes, 16 * 1024);
+        assert_eq!(c.icache.block_bytes, 32);
+        assert_eq!(c.dcache.size_bytes, 16 * 1024);
+        assert_eq!(c.miss_latency, 6);
+        assert_eq!(c.store_buffer_entries, 16);
+        assert_eq!(c.fu.int_alu_units, 4);
+        assert_eq!(c.fu.load_store_units, 2);
+        assert_eq!(c.fu.fp_add_units, 2);
+        assert!(c.fac.is_none());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MachineConfig::paper_baseline()
+            .with_fac()
+            .with_block_size(16)
+            .with_tlb();
+        assert!(c.fac.is_some());
+        assert_eq!(c.dcache.block_bytes, 16);
+        assert!(c.model_tlb);
+        assert_eq!(c.icache.block_bytes, 32, "icache untouched");
+    }
+
+    #[test]
+    fn what_if_modes() {
+        let c = MachineConfig::paper_baseline()
+            .with_one_cycle_loads()
+            .with_perfect_dcache();
+        assert_eq!(c.load_latency, LoadLatencyMode::OneCycle);
+        assert!(c.perfect_dcache);
+    }
+}

@@ -1,0 +1,794 @@
+//! Functional execution of the extended-MIPS ISA.
+
+use fac_asm::Program;
+use fac_core::Offset;
+use fac_isa::{
+    AddrMode, AluImmOp, AluOp, BranchCond, FpCond, FpFmt, FpOp, Insn, LoadOp, MulDivOp, Reg,
+    ShiftOp, StoreOp,
+};
+use fac_mem::Memory;
+
+/// Scoreboard index space: integer registers 0–31, FP registers 32–63,
+/// HI 64, LO 65, FP condition flag 66.
+pub const SB_HI: u8 = 64;
+/// LO scoreboard index.
+pub const SB_LO: u8 = 65;
+/// FP condition flag scoreboard index.
+pub const SB_FCC: u8 = 66;
+/// Total scoreboard registers.
+pub const SB_REGS: usize = 67;
+
+/// A tiny fixed-capacity register list (no heap allocation on the
+/// simulator's hot path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegList {
+    regs: [u8; 4],
+    len: u8,
+}
+
+impl RegList {
+    /// Appends a scoreboard index; ignores the hard-wired zero register.
+    pub fn push(&mut self, idx: u8) {
+        if idx == 0 {
+            return; // $zero is always ready and never written
+        }
+        assert!((self.len as usize) < self.regs.len(), "RegList overflow");
+        self.regs[self.len as usize] = idx;
+        self.len += 1;
+    }
+
+    /// Iterates over the indices.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        self.regs[..self.len as usize].iter().copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+fn fp_idx(f: fac_isa::FReg) -> u8 {
+    32 + f.index() as u8
+}
+
+/// Source scoreboard registers of `insn`.
+pub fn src_regs(insn: &Insn) -> RegList {
+    let mut l = RegList::default();
+    let ea_srcs = |l: &mut RegList, ea: AddrMode| match ea {
+        AddrMode::BaseDisp { base, .. } => l.push(base.index() as u8),
+        AddrMode::BaseIndex { base, index } => {
+            l.push(base.index() as u8);
+            l.push(index.index() as u8);
+        }
+        AddrMode::PostInc { base, .. } => l.push(base.index() as u8),
+    };
+    match *insn {
+        Insn::Nop | Insn::Halt | Insn::J { .. } | Insn::Lui { .. } => {}
+        Insn::Alu { rs, rt, .. } => {
+            l.push(rs.index() as u8);
+            l.push(rt.index() as u8);
+        }
+        Insn::AluImm { rs, .. } => l.push(rs.index() as u8),
+        Insn::Shift { rt, .. } => l.push(rt.index() as u8),
+        Insn::MulDiv { rs, rt, .. } => {
+            l.push(rs.index() as u8);
+            l.push(rt.index() as u8);
+        }
+        Insn::Mfhi { .. } => l.push(SB_HI),
+        Insn::Mflo { .. } => l.push(SB_LO),
+        Insn::Load { ea, .. } => ea_srcs(&mut l, ea),
+        Insn::Store { rt, ea, .. } => {
+            l.push(rt.index() as u8);
+            ea_srcs(&mut l, ea);
+        }
+        Insn::LoadFp { ea, .. } => ea_srcs(&mut l, ea),
+        Insn::StoreFp { ft, ea, .. } => {
+            l.push(fp_idx(ft));
+            ea_srcs(&mut l, ea);
+        }
+        Insn::Fp { op, fs, ft, .. } => {
+            l.push(fp_idx(fs));
+            if !op.is_unary() {
+                l.push(fp_idx(ft));
+            }
+        }
+        Insn::FpCmp { fs, ft, .. } => {
+            l.push(fp_idx(fs));
+            l.push(fp_idx(ft));
+        }
+        Insn::Bc1 { .. } => l.push(SB_FCC),
+        Insn::Mtc1 { rt, .. } => l.push(rt.index() as u8),
+        Insn::Mfc1 { fs, .. } => l.push(fp_idx(fs)),
+        Insn::CvtFromW { fs, .. } | Insn::TruncToW { fs, .. } => l.push(fp_idx(fs)),
+        Insn::Branch { cond, rs, rt, .. } => {
+            l.push(rs.index() as u8);
+            if cond.uses_rt() {
+                l.push(rt.index() as u8);
+            }
+        }
+        Insn::Jal { .. } => {}
+        Insn::Jr { rs } | Insn::Jalr { rs, .. } => l.push(rs.index() as u8),
+    }
+    l
+}
+
+/// Destination scoreboard registers of `insn`.
+pub fn dst_regs(insn: &Insn) -> RegList {
+    let mut l = RegList::default();
+    match *insn {
+        Insn::Nop
+        | Insn::Halt
+        | Insn::J { .. }
+        | Insn::Jr { .. }
+        | Insn::Branch { .. }
+        | Insn::Bc1 { .. } => {}
+        Insn::Alu { rd, .. } | Insn::Shift { rd, .. } => l.push(rd.index() as u8),
+        Insn::AluImm { rt, .. } | Insn::Lui { rt, .. } => l.push(rt.index() as u8),
+        Insn::MulDiv { .. } => {
+            l.push(SB_HI);
+            l.push(SB_LO);
+        }
+        Insn::Mfhi { rd } | Insn::Mflo { rd } => l.push(rd.index() as u8),
+        Insn::Load { rt, ea, .. } => {
+            l.push(rt.index() as u8);
+            if let AddrMode::PostInc { base, .. } = ea {
+                l.push(base.index() as u8);
+            }
+        }
+        Insn::Store { ea, .. } | Insn::StoreFp { ea, .. } => {
+            if let AddrMode::PostInc { base, .. } = ea {
+                l.push(base.index() as u8);
+            }
+        }
+        Insn::LoadFp { ft, ea, .. } => {
+            l.push(fp_idx(ft));
+            if let AddrMode::PostInc { base, .. } = ea {
+                l.push(base.index() as u8);
+            }
+        }
+        Insn::Fp { fd, .. } => l.push(fp_idx(fd)),
+        Insn::FpCmp { .. } => l.push(SB_FCC),
+        Insn::Mtc1 { fs, .. } => l.push(fp_idx(fs)),
+        Insn::Mfc1 { rt, .. } => l.push(rt.index() as u8),
+        Insn::CvtFromW { fd, .. } | Insn::TruncToW { fd, .. } => l.push(fp_idx(fd)),
+        Insn::Jal { .. } => l.push(Reg::RA.index() as u8),
+        Insn::Jalr { rd, .. } => l.push(rd.index() as u8),
+    }
+    l
+}
+
+/// One executed memory reference, with everything the FAC predictor and the
+/// statistics classifier need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// True effective address.
+    pub addr: u32,
+    /// Base register value at execution time.
+    pub base_value: u32,
+    /// Base register (for global/stack/general classification).
+    pub base_reg: Reg,
+    /// Offset operand, as the prediction circuit sees it.
+    pub offset: Offset,
+    /// `true` for stores.
+    pub is_store: bool,
+    /// Access size in bytes.
+    pub size: u32,
+}
+
+impl MemRef {
+    /// `true` when the access uses register+register addressing.
+    pub fn is_reg_reg(&self) -> bool {
+        matches!(self.offset, Offset::Reg(_))
+    }
+}
+
+/// The architectural outcome of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Executed {
+    /// PC of the instruction.
+    pub pc: u32,
+    /// The instruction itself.
+    pub insn: Insn,
+    /// `Some(target)` when control transferred (taken branch/jump).
+    pub taken: Option<u32>,
+    /// Memory reference, for loads and stores.
+    pub mem: Option<MemRef>,
+}
+
+/// Errors from functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// PC left the text segment.
+    BadPc(u32),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BadPc(pc) => write!(f, "program counter {pc:#010x} outside text"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Architectural state of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: u32,
+    /// Integer register file (`regs[0]` stays zero).
+    pub regs: [u32; 32],
+    /// FP register file, raw bits (doubles occupy the whole register).
+    pub fregs: [u64; 32],
+    /// HI register (multiply/divide).
+    pub hi: u32,
+    /// LO register.
+    pub lo: u32,
+    /// FP condition flag.
+    pub fcc: bool,
+    /// Data memory.
+    pub mem: Memory,
+    /// Set by `halt`.
+    pub halted: bool,
+}
+
+impl ArchState {
+    /// Creates the initial state for `program`: data segment loaded, `$gp`
+    /// and `$sp` set, PC at the entry point.
+    pub fn new(program: &Program) -> ArchState {
+        let mut mem = Memory::new();
+        program.load_into(&mut mem);
+        let mut regs = [0u32; 32];
+        regs[Reg::GP.index()] = program.gp;
+        regs[Reg::SP.index()] = program.sp;
+        ArchState {
+            pc: program.entry,
+            regs,
+            fregs: [0; 32],
+            hi: 0,
+            lo: 0,
+            fcc: false,
+            mem,
+            halted: false,
+        }
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn fd(&self, f: fac_isa::FReg) -> f64 {
+        f64::from_bits(self.fregs[f.index()])
+    }
+
+    fn fs32(&self, f: fac_isa::FReg) -> f32 {
+        f32::from_bits(self.fregs[f.index()] as u32)
+    }
+
+    fn set_fd(&mut self, f: fac_isa::FReg, v: f64) {
+        self.fregs[f.index()] = v.to_bits();
+    }
+
+    fn set_fs32(&mut self, f: fac_isa::FReg, v: f32) {
+        self.fregs[f.index()] = v.to_bits() as u64;
+    }
+
+    /// Resolves an addressing mode: returns (address, base value, base reg,
+    /// offset operand, post-update).
+    fn resolve(&self, ea: AddrMode) -> (u32, u32, Reg, Offset, Option<(Reg, u32)>) {
+        match ea {
+            AddrMode::BaseDisp { base, disp } => {
+                let b = self.reg(base);
+                (b.wrapping_add(disp as i32 as u32), b, base, Offset::Const(disp), None)
+            }
+            AddrMode::BaseIndex { base, index } => {
+                let b = self.reg(base);
+                let i = self.reg(index);
+                (b.wrapping_add(i), b, base, Offset::Reg(i), None)
+            }
+            AddrMode::PostInc { base, step } => {
+                let b = self.reg(base);
+                (b, b, base, Offset::Const(0), Some((base, b.wrapping_add(step as i32 as u32))))
+            }
+        }
+    }
+
+    /// Executes one instruction, updating architectural state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadPc`] if the PC leaves the text segment.
+    pub fn step(&mut self, program: &Program) -> Result<Executed, ExecError> {
+        let idx = program.insn_index(self.pc).ok_or(ExecError::BadPc(self.pc))?;
+        let insn = program.text[idx];
+        let pc = self.pc;
+        let next_pc = pc.wrapping_add(4);
+        let mut taken = None;
+        let mut mem_ref = None;
+
+        match insn {
+            Insn::Nop => {}
+            Insn::Halt => self.halted = true,
+            Insn::Alu { op, rd, rs, rt } => {
+                let a = self.reg(rs);
+                let b = self.reg(rt);
+                let v = match op {
+                    AluOp::Add | AluOp::Addu => a.wrapping_add(b),
+                    AluOp::Sub | AluOp::Subu => a.wrapping_sub(b),
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Nor => !(a | b),
+                    AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+                    AluOp::Sltu => (a < b) as u32,
+                    AluOp::Sllv => b.wrapping_shl(a & 31),
+                    AluOp::Srlv => b.wrapping_shr(a & 31),
+                    AluOp::Srav => ((b as i32).wrapping_shr(a & 31)) as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Insn::AluImm { op, rt, rs, imm } => {
+                let a = self.reg(rs);
+                let se = imm as i32 as u32;
+                let ze = imm as u16 as u32;
+                let v = match op {
+                    AluImmOp::Addi | AluImmOp::Addiu => a.wrapping_add(se),
+                    AluImmOp::Slti => ((a as i32) < (imm as i32)) as u32,
+                    AluImmOp::Sltiu => (a < se) as u32,
+                    AluImmOp::Andi => a & ze,
+                    AluImmOp::Ori => a | ze,
+                    AluImmOp::Xori => a ^ ze,
+                };
+                self.set_reg(rt, v);
+            }
+            Insn::Shift { op, rd, rt, shamt } => {
+                let b = self.reg(rt);
+                let v = match op {
+                    ShiftOp::Sll => b.wrapping_shl(shamt as u32),
+                    ShiftOp::Srl => b.wrapping_shr(shamt as u32),
+                    ShiftOp::Sra => ((b as i32).wrapping_shr(shamt as u32)) as u32,
+                };
+                self.set_reg(rd, v);
+            }
+            Insn::Lui { rt, imm } => self.set_reg(rt, (imm as u32) << 16),
+            Insn::MulDiv { op, rs, rt } => {
+                let a = self.reg(rs);
+                let b = self.reg(rt);
+                match op {
+                    MulDivOp::Mult => {
+                        let p = (a as i32 as i64).wrapping_mul(b as i32 as i64) as u64;
+                        self.lo = p as u32;
+                        self.hi = (p >> 32) as u32;
+                    }
+                    MulDivOp::Multu => {
+                        let p = (a as u64).wrapping_mul(b as u64);
+                        self.lo = p as u32;
+                        self.hi = (p >> 32) as u32;
+                    }
+                    MulDivOp::Div => {
+                        if b == 0 {
+                            self.lo = 0;
+                            self.hi = 0;
+                        } else {
+                            self.lo = (a as i32).wrapping_div(b as i32) as u32;
+                            self.hi = (a as i32).wrapping_rem(b as i32) as u32;
+                        }
+                    }
+                    MulDivOp::Divu => {
+                        if b == 0 {
+                            self.lo = 0;
+                            self.hi = 0;
+                        } else {
+                            self.lo = a / b;
+                            self.hi = a % b;
+                        }
+                    }
+                }
+            }
+            Insn::Mfhi { rd } => self.set_reg(rd, self.hi),
+            Insn::Mflo { rd } => self.set_reg(rd, self.lo),
+            Insn::Load { op, rt, ea } => {
+                let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                let v = match op {
+                    LoadOp::Lb => self.mem.read_u8(addr) as i8 as i32 as u32,
+                    LoadOp::Lbu => self.mem.read_u8(addr) as u32,
+                    LoadOp::Lh => self.mem.read_u16(addr) as i16 as i32 as u32,
+                    LoadOp::Lhu => self.mem.read_u16(addr) as u32,
+                    LoadOp::Lw => self.mem.read_u32(addr),
+                };
+                self.set_reg(rt, v);
+                if let Some((b, nv)) = post {
+                    self.set_reg(b, nv);
+                }
+                mem_ref = Some(MemRef {
+                    addr,
+                    base_value,
+                    base_reg,
+                    offset,
+                    is_store: false,
+                    size: op.size(),
+                });
+            }
+            Insn::Store { op, rt, ea } => {
+                let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                let v = self.reg(rt);
+                match op {
+                    StoreOp::Sb => self.mem.write_u8(addr, v as u8),
+                    StoreOp::Sh => self.mem.write_u16(addr, v as u16),
+                    StoreOp::Sw => self.mem.write_u32(addr, v),
+                }
+                if let Some((b, nv)) = post {
+                    self.set_reg(b, nv);
+                }
+                mem_ref = Some(MemRef {
+                    addr,
+                    base_value,
+                    base_reg,
+                    offset,
+                    is_store: true,
+                    size: op.size(),
+                });
+            }
+            Insn::LoadFp { fmt, ft, ea } => {
+                let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                match fmt {
+                    FpFmt::S => self.fregs[ft.index()] = self.mem.read_u32(addr) as u64,
+                    FpFmt::D => self.fregs[ft.index()] = self.mem.read_u64(addr),
+                }
+                if let Some((b, nv)) = post {
+                    self.set_reg(b, nv);
+                }
+                mem_ref = Some(MemRef {
+                    addr,
+                    base_value,
+                    base_reg,
+                    offset,
+                    is_store: false,
+                    size: fmt.size(),
+                });
+            }
+            Insn::StoreFp { fmt, ft, ea } => {
+                let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                match fmt {
+                    FpFmt::S => {
+                        let bits = self.fregs[ft.index()] as u32;
+                        self.mem.write_u32(addr, bits);
+                    }
+                    FpFmt::D => self.mem.write_u64(addr, self.fregs[ft.index()]),
+                }
+                if let Some((b, nv)) = post {
+                    self.set_reg(b, nv);
+                }
+                mem_ref = Some(MemRef {
+                    addr,
+                    base_value,
+                    base_reg,
+                    offset,
+                    is_store: true,
+                    size: fmt.size(),
+                });
+            }
+            Insn::Fp { op, fmt, fd, fs, ft } => match fmt {
+                FpFmt::D => {
+                    let a = self.fd(fs);
+                    let b = self.fd(ft);
+                    let v = match op {
+                        FpOp::Add => a + b,
+                        FpOp::Sub => a - b,
+                        FpOp::Mul => a * b,
+                        FpOp::Div => a / b,
+                        FpOp::Abs => a.abs(),
+                        FpOp::Neg => -a,
+                        FpOp::Mov => a,
+                        FpOp::Sqrt => a.sqrt(),
+                    };
+                    self.set_fd(fd, v);
+                }
+                FpFmt::S => {
+                    let a = self.fs32(fs);
+                    let b = self.fs32(ft);
+                    let v = match op {
+                        FpOp::Add => a + b,
+                        FpOp::Sub => a - b,
+                        FpOp::Mul => a * b,
+                        FpOp::Div => a / b,
+                        FpOp::Abs => a.abs(),
+                        FpOp::Neg => -a,
+                        FpOp::Mov => a,
+                        FpOp::Sqrt => a.sqrt(),
+                    };
+                    self.set_fs32(fd, v);
+                }
+            },
+            Insn::FpCmp { cond, fmt, fs, ft } => {
+                let (a, b) = match fmt {
+                    FpFmt::D => (self.fd(fs), self.fd(ft)),
+                    FpFmt::S => (self.fs32(fs) as f64, self.fs32(ft) as f64),
+                };
+                self.fcc = match cond {
+                    FpCond::Eq => a == b,
+                    FpCond::Lt => a < b,
+                    FpCond::Le => a <= b,
+                };
+            }
+            Insn::Bc1 { on_true, off } => {
+                if self.fcc == on_true {
+                    taken = Some(next_pc.wrapping_add((off as i32 as u32) << 2));
+                }
+            }
+            Insn::Mtc1 { rt, fs } => self.fregs[fs.index()] = self.reg(rt) as u64,
+            Insn::Mfc1 { rt, fs } => {
+                let bits = self.fregs[fs.index()] as u32;
+                self.set_reg(rt, bits);
+            }
+            Insn::CvtFromW { fmt, fd, fs } => {
+                let w = self.fregs[fs.index()] as u32 as i32;
+                match fmt {
+                    FpFmt::D => self.set_fd(fd, w as f64),
+                    FpFmt::S => self.set_fs32(fd, w as f32),
+                }
+            }
+            Insn::TruncToW { fmt, fd, fs } => {
+                let v = match fmt {
+                    FpFmt::D => self.fd(fs),
+                    FpFmt::S => self.fs32(fs) as f64,
+                };
+                self.fregs[fd.index()] = (v as i32) as u32 as u64;
+            }
+            Insn::Branch { cond, rs, rt, off } => {
+                let a = self.reg(rs);
+                let b = self.reg(rt);
+                let t = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lez => (a as i32) <= 0,
+                    BranchCond::Gtz => (a as i32) > 0,
+                    BranchCond::Ltz => (a as i32) < 0,
+                    BranchCond::Gez => (a as i32) >= 0,
+                };
+                if t {
+                    taken = Some(next_pc.wrapping_add((off as i32 as u32) << 2));
+                }
+            }
+            Insn::J { target } => taken = Some(target << 2),
+            Insn::Jal { target } => {
+                self.set_reg(Reg::RA, next_pc);
+                taken = Some(target << 2);
+            }
+            Insn::Jr { rs } => taken = Some(self.reg(rs)),
+            Insn::Jalr { rd, rs } => {
+                let t = self.reg(rs);
+                self.set_reg(rd, next_pc);
+                taken = Some(t);
+            }
+        }
+
+        self.pc = taken.unwrap_or(next_pc);
+        Ok(Executed { pc, insn, taken, mem: mem_ref })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fac_asm::{Asm, SoftwareSupport};
+
+    fn run(build: impl FnOnce(&mut Asm)) -> ArchState {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.halt();
+        let p = a.link("t", &SoftwareSupport::on()).unwrap();
+        let mut st = ArchState::new(&p);
+        for _ in 0..100_000 {
+            if st.halted {
+                break;
+            }
+            st.step(&p).unwrap();
+        }
+        assert!(st.halted, "program did not halt");
+        st
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let st = run(|a| {
+            a.li(Reg::T0, 40);
+            a.addiu(Reg::T1, Reg::T0, 2);
+            a.subu(Reg::T2, Reg::T1, Reg::T0);
+            a.sll(Reg::T3, Reg::T1, 4);
+        });
+        assert_eq!(st.regs[Reg::T1.index()], 42);
+        assert_eq!(st.regs[Reg::T2.index()], 2);
+        assert_eq!(st.regs[Reg::T3.index()], 42 << 4);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let st = run(|a| {
+            a.li(Reg::ZERO, 99);
+            a.addiu(Reg::T0, Reg::ZERO, 5);
+        });
+        assert_eq!(st.regs[0], 0);
+        assert_eq!(st.regs[Reg::T0.index()], 5);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_postinc() {
+        let st = run(|a| {
+            a.gp_array("buf", 64, 4);
+            a.gp_addr(Reg::S0, "buf", 0);
+            a.li(Reg::T0, 0x1234);
+            a.sw_pi(Reg::T0, Reg::S0, 4);
+            a.li(Reg::T1, 0x5678);
+            a.sw_pi(Reg::T1, Reg::S0, 4);
+            a.gp_addr(Reg::S1, "buf", 0);
+            a.lw(Reg::T2, 0, Reg::S1);
+            a.lw(Reg::T3, 4, Reg::S1);
+        });
+        assert_eq!(st.regs[Reg::T2.index()], 0x1234);
+        assert_eq!(st.regs[Reg::T3.index()], 0x5678);
+    }
+
+    #[test]
+    fn reg_reg_addressing() {
+        let st = run(|a| {
+            a.gp_array("tbl", 32, 4);
+            a.gp_addr(Reg::S0, "tbl", 0);
+            a.li(Reg::T0, 7);
+            a.sw(Reg::T0, 12, Reg::S0);
+            a.li(Reg::T1, 12);
+            a.lw_x(Reg::T2, Reg::S0, Reg::T1);
+        });
+        assert_eq!(st.regs[Reg::T2.index()], 7);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=10.
+        let st = run(|a| {
+            a.li(Reg::T0, 10);
+            a.li(Reg::T1, 0);
+            a.label("loop");
+            a.addu(Reg::T1, Reg::T1, Reg::T0);
+            a.addiu(Reg::T0, Reg::T0, -1);
+            a.bgtz(Reg::T0, "loop");
+        });
+        assert_eq!(st.regs[Reg::T1.index()], 55);
+    }
+
+    #[test]
+    fn calls_and_returns() {
+        let st = run(|a| {
+            a.li(Reg::A0, 5);
+            a.call("double");
+            a.move_(Reg::S0, Reg::V0);
+            a.j("done");
+            a.label("double");
+            a.addu(Reg::V0, Reg::A0, Reg::A0);
+            a.ret();
+            a.label("done");
+        });
+        assert_eq!(st.regs[Reg::S0.index()], 10);
+    }
+
+    #[test]
+    fn muldiv() {
+        let st = run(|a| {
+            a.li(Reg::T0, -6);
+            a.li(Reg::T1, 7);
+            a.mult(Reg::T0, Reg::T1);
+            a.mflo(Reg::T2);
+            a.li(Reg::T3, 43);
+            a.li(Reg::T4, 5);
+            a.div_(Reg::T3, Reg::T4);
+            a.mflo(Reg::T5);
+            a.mfhi(Reg::T6);
+        });
+        assert_eq!(st.regs[Reg::T2.index()] as i32, -42);
+        assert_eq!(st.regs[Reg::T5.index()], 8);
+        assert_eq!(st.regs[Reg::T6.index()], 3);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        use fac_isa::FReg;
+        let st = run(|a| {
+            a.li_d(FReg::F2, 6);
+            a.li_d(FReg::F4, 7);
+            a.mul_d(FReg::F6, FReg::F2, FReg::F4);
+            a.gp_double("out", 0.0);
+            a.s_d_gp(FReg::F6, "out", 0);
+            a.c_lt_d(FReg::F2, FReg::F4);
+            a.li(Reg::T0, 0);
+            let yes = "fp_yes".to_string();
+            a.bc1(true, &yes);
+            a.j("fp_done");
+            a.label(&yes);
+            a.li(Reg::T0, 1);
+            a.label("fp_done");
+        });
+        assert_eq!(st.regs[Reg::T0.index()], 1);
+        assert_eq!(f64::from_bits(st.fregs[6]), 42.0);
+    }
+
+    #[test]
+    fn sign_extension_of_subword_loads() {
+        let st = run(|a| {
+            a.gp_array("b", 8, 4);
+            a.gp_addr(Reg::S0, "b", 0);
+            a.li(Reg::T0, 0xff);
+            a.sb(Reg::T0, 0, Reg::S0);
+            a.lb(Reg::T1, 0, Reg::S0);
+            a.lbu(Reg::T2, 0, Reg::S0);
+        });
+        assert_eq!(st.regs[Reg::T1.index()] as i32, -1);
+        assert_eq!(st.regs[Reg::T2.index()], 0xff);
+    }
+
+    #[test]
+    fn heap_allocation_is_aligned_per_policy() {
+        let mut a = Asm::new();
+        let sw = SoftwareSupport::on();
+        a.alloc_fixed(Reg::S0, 12, &sw);
+        a.alloc_fixed(Reg::S1, 12, &sw);
+        a.halt();
+        let p = a.link("t", &sw).unwrap();
+        let mut st = ArchState::new(&p);
+        while !st.halted {
+            st.step(&p).unwrap();
+        }
+        assert_eq!(st.regs[Reg::S0.index()] % 32, 0);
+        assert_eq!(st.regs[Reg::S1.index()] % 32, 0);
+        assert_eq!(st.regs[Reg::S1.index()] - st.regs[Reg::S0.index()], 32);
+    }
+
+    #[test]
+    fn reglist_skips_zero() {
+        let mut l = RegList::default();
+        l.push(0);
+        assert!(l.is_empty());
+        l.push(5);
+        l.push(SB_FCC);
+        assert_eq!(l.len(), 2);
+        let v: Vec<u8> = l.iter().collect();
+        assert_eq!(v, vec![5, SB_FCC]);
+    }
+
+    #[test]
+    fn src_dst_lists() {
+        use fac_isa::{AddrMode, LoadOp};
+        let lw = Insn::Load {
+            op: LoadOp::Lw,
+            rt: Reg::T0,
+            ea: AddrMode::PostInc { base: Reg::S0, step: 4 },
+        };
+        let srcs: Vec<u8> = src_regs(&lw).iter().collect();
+        let dsts: Vec<u8> = dst_regs(&lw).iter().collect();
+        assert_eq!(srcs, vec![Reg::S0.index() as u8]);
+        assert!(dsts.contains(&(Reg::T0.index() as u8)));
+        assert!(dsts.contains(&(Reg::S0.index() as u8)), "post-inc writes the base");
+    }
+
+    #[test]
+    fn bad_pc_is_an_error() {
+        let mut a = Asm::new();
+        a.nop(); // falls off the end without halt
+        let p = a.link("t", &SoftwareSupport::on()).unwrap();
+        let mut st = ArchState::new(&p);
+        st.step(&p).unwrap();
+        assert_eq!(st.step(&p), Err(ExecError::BadPc(p.text_base + 4)));
+    }
+}

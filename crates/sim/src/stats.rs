@@ -1,0 +1,335 @@
+//! Simulation statistics: everything the paper's tables and figures report.
+
+use fac_core::FailureCause;
+use fac_isa::Reg;
+use fac_mem::{CacheStats, TlbStats};
+
+/// The paper's three reference classes (§2.1): which register supplies the
+/// base of the effective-address computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefClass {
+    /// Base is the global pointer (`$gp`).
+    Global,
+    /// Base is the stack pointer or frame pointer.
+    Stack,
+    /// Everything else — pointer and array dereferences.
+    General,
+}
+
+impl RefClass {
+    /// Classifies an access by its base register.
+    pub fn of(base: Reg) -> RefClass {
+        if base == Reg::GP {
+            RefClass::Global
+        } else if base == Reg::SP || base == Reg::FP {
+            RefClass::Stack
+        } else {
+            RefClass::General
+        }
+    }
+
+    /// Index for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RefClass::Global => 0,
+            RefClass::Stack => 1,
+            RefClass::General => 2,
+        }
+    }
+
+    /// All classes, in index order.
+    pub const ALL: [RefClass; 3] = [RefClass::Global, RefClass::Stack, RefClass::General];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RefClass::Global => "global",
+            RefClass::Stack => "stack",
+            RefClass::General => "general",
+        }
+    }
+}
+
+/// Cumulative distribution of load offset sizes (Figure 3): one bucket for
+/// negative offsets and one per significant-bit count 0 (zero offset)
+/// through 15, plus "more" (≥ 16 bits).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffsetHistogram {
+    /// Negative offsets.
+    pub neg: u64,
+    /// `by_bits[n]` counts non-negative offsets needing exactly `n`
+    /// significant bits (`by_bits[0]` is the zero offset).
+    pub by_bits: [u64; 16],
+    /// Offsets needing 16 or more bits (register offsets can be large).
+    pub more: u64,
+}
+
+impl OffsetHistogram {
+    /// Records one offset value.
+    pub fn record(&mut self, offset: i32) {
+        if offset < 0 {
+            self.neg += 1;
+        } else {
+            let bits = 32 - (offset as u32).leading_zeros();
+            if bits >= 16 {
+                self.more += 1;
+            } else {
+                self.by_bits[bits as usize] += 1;
+            }
+        }
+    }
+
+    /// Total recorded offsets.
+    pub fn total(&self) -> u64 {
+        self.neg + self.more + self.by_bits.iter().sum::<u64>()
+    }
+
+    /// Cumulative fraction of offsets representable in ≤ `bits` bits
+    /// (counting negatives as never representable, matching the figure's
+    /// separate "Neg" bucket).
+    pub fn cumulative_at(&self, bits: u32) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.by_bits[..=(bits.min(15) as usize)].iter().sum();
+        covered as f64 / total as f64
+    }
+
+    /// Fraction of negative offsets.
+    pub fn neg_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.neg as f64 / total as f64
+        }
+    }
+}
+
+/// Prediction counters for one access kind (loads or stores), split by
+/// addressing mode so the "No R+R" views of Tables 4 and 6 can be derived.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredCounters {
+    /// Speculated accesses using register+constant (or post-inc) addressing.
+    pub attempts_const: u64,
+    /// Mispredictions among `attempts_const`.
+    pub fails_const: u64,
+    /// Speculated accesses using register+register addressing.
+    pub attempts_rr: u64,
+    /// Mispredictions among `attempts_rr`.
+    pub fails_rr: u64,
+    /// Accesses not speculated at all (policy: reg+reg or store
+    /// speculation disabled, or pipeline blocked the slot).
+    pub not_speculated: u64,
+}
+
+impl PredCounters {
+    /// Total speculated accesses.
+    pub fn attempts(&self) -> u64 {
+        self.attempts_const + self.attempts_rr
+    }
+
+    /// Total mispredictions.
+    pub fn fails(&self) -> u64 {
+        self.fails_const + self.fails_rr
+    }
+
+    /// Failure rate over **all** accesses of this kind (the paper's
+    /// "percent failed predictions" treats unspeculated accesses as
+    /// non-failures — they simply take the normal path).
+    pub fn fail_rate_all(&self) -> f64 {
+        let denom = self.attempts() + self.not_speculated;
+        if denom == 0 {
+            0.0
+        } else {
+            self.fails() as f64 / denom as f64
+        }
+    }
+
+    /// Failure rate excluding register+register accesses (Table 4's
+    /// "No R+R" column).
+    pub fn fail_rate_no_rr(&self) -> f64 {
+        if self.attempts_const == 0 {
+            0.0
+        } else {
+            self.fails_const as f64 / self.attempts_const as f64
+        }
+    }
+}
+
+/// Everything measured during one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Committed instructions.
+    pub insts: u64,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Loads by reference class.
+    pub loads_by_class: [u64; 3],
+    /// Stores by reference class.
+    pub stores_by_class: [u64; 3],
+    /// Loads using register+register addressing.
+    pub loads_reg_reg: u64,
+    /// Load offset distribution per reference class (Figure 3).
+    pub load_offsets: [OffsetHistogram; 3],
+    /// Conditional + unconditional control transfers executed.
+    pub branches: u64,
+    /// Branch mispredictions (direction or target).
+    pub branch_mispredicts: u64,
+    /// Prediction counters for loads.
+    pub pred_loads: PredCounters,
+    /// Prediction counters for stores.
+    pub pred_stores: PredCounters,
+    /// Misprediction causes (paper §3's four conditions + tag overlap).
+    pub fail_causes: [u64; 5],
+    /// Extra data-cache accesses caused by misspeculation (Table 6).
+    pub extra_accesses: u64,
+    /// Cycles lost to store-buffer-full stalls.
+    pub store_buffer_stalls: u64,
+    /// Instruction cache statistics.
+    pub icache: CacheStats,
+    /// Data cache statistics.
+    pub dcache: CacheStats,
+    /// Data TLB statistics (when modelled).
+    pub tlb: Option<TlbStats>,
+    /// Load-target-buffer statistics (when the LTB comparator is enabled).
+    pub ltb: Option<fac_core::LtbStats>,
+    /// Bytes of memory touched (page granularity) — the "memory usage"
+    /// column of Tables 3 and 4.
+    pub mem_footprint: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total memory references.
+    pub fn refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Fraction of loads in a reference class.
+    pub fn load_class_fraction(&self, class: RefClass) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.loads_by_class[class.index()] as f64 / self.loads as f64
+        }
+    }
+
+    /// Extra cache bandwidth from misspeculation, as a fraction of total
+    /// references (Table 6).
+    pub fn bandwidth_overhead(&self) -> f64 {
+        if self.refs() == 0 {
+            0.0
+        } else {
+            self.extra_accesses as f64 / self.refs() as f64
+        }
+    }
+
+    /// Records a misprediction cause.
+    pub fn record_cause(&mut self, cause: FailureCause) {
+        let idx = match cause {
+            FailureCause::Overflow => 0,
+            FailureCause::GenCarry => 1,
+            FailureCause::LargeNegConst => 2,
+            FailureCause::NegIndexReg => 3,
+            FailureCause::TagOverlap => 4,
+        };
+        self.fail_causes[idx] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_base_register() {
+        assert_eq!(RefClass::of(Reg::GP), RefClass::Global);
+        assert_eq!(RefClass::of(Reg::SP), RefClass::Stack);
+        assert_eq!(RefClass::of(Reg::FP), RefClass::Stack);
+        assert_eq!(RefClass::of(Reg::T0), RefClass::General);
+        assert_eq!(RefClass::of(Reg::ZERO), RefClass::General);
+    }
+
+    #[test]
+    fn offset_histogram_buckets() {
+        let mut h = OffsetHistogram::default();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(255);
+        h.record(-4);
+        h.record(70000);
+        assert_eq!(h.by_bits[0], 1); // zero
+        assert_eq!(h.by_bits[1], 1); // 1
+        assert_eq!(h.by_bits[2], 2); // 2, 3
+        assert_eq!(h.by_bits[8], 1); // 255
+        assert_eq!(h.neg, 1);
+        assert_eq!(h.more, 1);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn cumulative_distribution() {
+        let mut h = OffsetHistogram::default();
+        for v in [0, 0, 4, 100] {
+            h.record(v);
+        }
+        assert!((h.cumulative_at(0) - 0.5).abs() < 1e-12);
+        assert!((h.cumulative_at(3) - 0.75).abs() < 1e-12);
+        assert!((h.cumulative_at(15) - 1.0).abs() < 1e-12);
+        assert_eq!(h.neg_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pred_counter_rates() {
+        let p = PredCounters {
+            attempts_const: 80,
+            fails_const: 8,
+            attempts_rr: 20,
+            fails_rr: 10,
+            not_speculated: 0,
+        };
+        assert!((p.fail_rate_all() - 0.18).abs() < 1e-12);
+        assert!((p.fail_rate_no_rr() - 0.10).abs() < 1e-12);
+        assert_eq!(PredCounters::default().fail_rate_all(), 0.0);
+    }
+
+    #[test]
+    fn ipc_and_overhead() {
+        let s = SimStats {
+            insts: 400,
+            cycles: 200,
+            loads: 80,
+            stores: 20,
+            extra_accesses: 10,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+        assert!((s.bandwidth_overhead() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cause_recording() {
+        let mut s = SimStats::default();
+        s.record_cause(FailureCause::Overflow);
+        s.record_cause(FailureCause::NegIndexReg);
+        s.record_cause(FailureCause::NegIndexReg);
+        assert_eq!(s.fail_causes[0], 1);
+        assert_eq!(s.fail_causes[3], 2);
+    }
+}

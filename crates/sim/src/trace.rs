@@ -1,0 +1,154 @@
+//! Pipeline tracing and Figure-1-style diagrams.
+//!
+//! [`crate::Machine::run_traced`] records the fetch/issue/complete cycle of
+//! every committed instruction; [`render_diagram`] draws a textual pipeline
+//! chart like the paper's Figure 1, making the load-use stall — and its
+//! disappearance under fast address calculation — visible directly.
+
+use crate::pipeline::IssueInfo;
+use fac_isa::Insn;
+use std::fmt::Write as _;
+
+/// One traced instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracedInsn {
+    /// Instruction address.
+    pub pc: u32,
+    /// The instruction.
+    pub insn: Insn,
+    /// Its pipeline timing.
+    pub timing: IssueInfo,
+}
+
+/// Renders a Figure-1-style pipeline diagram for a slice of traced
+/// instructions. Stage letters: `F` fetch, `D` decode/wait, `X` execute
+/// (issue), `M` memory access (loads/stores taking a MEM cycle), `W`
+/// result write-back. Dots mark cycles spent waiting between decode and
+/// issue — the hazard bubbles.
+///
+/// ```
+/// use fac_asm::{Asm, SoftwareSupport};
+/// use fac_isa::Reg;
+/// use fac_sim::{render_diagram, Machine, MachineConfig};
+///
+/// let mut a = Asm::new();
+/// a.gp_word("x", 1);
+/// a.lw_gp(Reg::T0, "x", 0);
+/// a.addiu(Reg::T1, Reg::T0, 1);
+/// a.halt();
+/// let p = a.link("demo", &SoftwareSupport::on()).unwrap();
+/// let (_, trace) = Machine::new(MachineConfig::paper_baseline())
+///     .run_traced(&p)
+///     .unwrap();
+/// let chart = render_diagram(&trace);
+/// assert!(chart.contains("lw"));
+/// ```
+pub fn render_diagram(trace: &[TracedInsn]) -> String {
+    let Some(first) = trace.first() else {
+        return String::new();
+    };
+    let base = first.timing.fetch;
+    let end = trace.iter().map(|t| t.timing.complete).max().unwrap_or(base);
+    let width = ((end - base) as usize + 2).min(70);
+
+    let mut out = String::new();
+    let _ = write!(out, "{:32}", "cycle");
+    for i in 0..width {
+        let _ = write!(out, "{:>2}", (i as u64 + base) % 100);
+    }
+    out.push('\n');
+
+    for t in trace {
+        let f = (t.timing.fetch - base) as usize;
+        let x = (t.timing.issue - base) as usize;
+        let w = (t.timing.complete - base) as usize;
+        let mut row = vec!["  "; width];
+        let put = |row: &mut Vec<&str>, i: usize, s: &'static str| {
+            if i < row.len() {
+                row[i] = s;
+            }
+        };
+        put(&mut row, f, " F");
+        if f + 1 < x {
+            put(&mut row, f + 1, " D");
+            for slot in row.iter_mut().take(x).skip(f + 2) {
+                *slot = " .";
+            }
+        }
+        put(&mut row, x, " X");
+        if t.insn.is_mem() {
+            // The cache access occupies EX (1-cycle FAC hit) or MEM.
+            if w > x + 1 {
+                put(&mut row, x + 1, " M");
+            }
+        }
+        if w > x {
+            put(&mut row, w, " W");
+        }
+        let _ = writeln!(out, "{:32}{}", t.insn.to_string(), row.join(""));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Machine, MachineConfig};
+    use fac_asm::{Asm, SoftwareSupport};
+    use fac_isa::Reg;
+
+    fn figure1_program() -> fac_asm::Program {
+        // The paper's Figure 1 sequence: add, dependent load, dependent sub.
+        let mut a = Asm::new();
+        a.gp_array("data", 64, 4);
+        a.gp_addr(Reg::T0, "data", 0); // rx
+        a.li(Reg::T1, 1);
+        a.li(Reg::T2, 2);
+        a.addu(Reg::T0, Reg::T0, Reg::ZERO); // add rx,ry,rz
+        a.lw(Reg::T3, 4, Reg::T0); // load rw,4(rx)
+        a.subu(Reg::T4, Reg::T1, Reg::T3); // sub ra,rb,rw
+        a.halt();
+        a.link("fig1", &SoftwareSupport::on()).unwrap()
+    }
+
+    #[test]
+    fn figure1_stall_appears_and_disappears() {
+        let p = figure1_program();
+        // Perfect cache: Figure 1 assumes the access hits.
+        let (_, base) = Machine::new(MachineConfig::paper_baseline().with_perfect_dcache())
+            .run_traced(&p)
+            .unwrap();
+        let (_, fac) = Machine::new(
+            MachineConfig::paper_baseline().with_perfect_dcache().with_fac(),
+        )
+        .run_traced(&p)
+        .unwrap();
+        // Find the load and the dependent sub in both traces.
+        let dep_gap = |tr: &[TracedInsn]| {
+            let lw = tr.iter().find(|t| t.insn.is_load() && matches!(t.insn, fac_isa::Insn::Load { ea: fac_isa::AddrMode::BaseDisp { disp: 4, .. }, .. })).unwrap();
+            let sub = tr
+                .iter()
+                .find(|t| matches!(t.insn, fac_isa::Insn::Alu { op: fac_isa::AluOp::Subu, .. }))
+                .unwrap();
+            sub.timing.issue - lw.timing.issue
+        };
+        assert_eq!(dep_gap(&base), 2, "baseline pays the load-use bubble");
+        assert_eq!(dep_gap(&fac), 1, "fast address calculation removes it");
+    }
+
+    #[test]
+    fn diagram_renders_rows_per_instruction() {
+        let p = figure1_program();
+        let (_, tr) = Machine::new(MachineConfig::paper_baseline()).run_traced(&p).unwrap();
+        let chart = render_diagram(&tr);
+        assert_eq!(chart.lines().count(), tr.len() + 1);
+        assert!(chart.contains(" F"));
+        assert!(chart.contains(" X"));
+        assert!(chart.contains(" W"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert_eq!(render_diagram(&[]), "");
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests: the functional executor agrees with host arithmetic,
+//! and the timing model never changes architectural results.
+
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::{AluOp, Reg};
+use fac_sim::{ArchState, Machine, MachineConfig};
+use proptest::prelude::*;
+
+fn run_to_halt(p: &Program) -> ArchState {
+    let mut st = ArchState::new(p);
+    for _ in 0..1_000_000 {
+        if st.halted {
+            return st;
+        }
+        st.step(p).expect("in-bounds execution");
+    }
+    panic!("program did not halt");
+}
+
+fn alu_program(op: AluOp, a: i32, b: i32) -> Program {
+    let mut asm = Asm::new();
+    asm.li(Reg::T0, a);
+    asm.li(Reg::T1, b);
+    asm.op3(op, Reg::V0, Reg::T0, Reg::T1);
+    asm.halt();
+    asm.link("alu", &SoftwareSupport::on()).unwrap()
+}
+
+fn host_alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add | AluOp::Addu => a.wrapping_add(b),
+        AluOp::Sub | AluOp::Subu => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Nor => !(a | b),
+        AluOp::Slt => (((a as i32) < (b as i32)) as u32),
+        AluOp::Sltu => ((a < b) as u32),
+        AluOp::Sllv => b.wrapping_shl(a & 31),
+        AluOp::Srlv => b.wrapping_shr(a & 31),
+        AluOp::Srav => ((b as i32).wrapping_shr(a & 31)) as u32,
+    }
+}
+
+proptest! {
+    #[test]
+    fn alu_semantics_match_host(
+        op in prop_oneof![
+            Just(AluOp::Addu), Just(AluOp::Subu), Just(AluOp::And), Just(AluOp::Or),
+            Just(AluOp::Xor), Just(AluOp::Nor), Just(AluOp::Slt), Just(AluOp::Sltu),
+            Just(AluOp::Sllv), Just(AluOp::Srlv), Just(AluOp::Srav),
+        ],
+        a in any::<i32>(),
+        b in any::<i32>(),
+    ) {
+        let st = run_to_halt(&alu_program(op, a, b));
+        prop_assert_eq!(
+            st.regs[Reg::V0.index()],
+            host_alu(op, a as u32, b as u32),
+            "{:?} {} {}", op, a, b
+        );
+    }
+
+    #[test]
+    fn muldiv_semantics_match_host(a in any::<i32>(), b in any::<i32>()) {
+        let mut asm = Asm::new();
+        asm.li(Reg::T0, a);
+        asm.li(Reg::T1, b);
+        asm.mult(Reg::T0, Reg::T1);
+        asm.mflo(Reg::V0);
+        asm.mfhi(Reg::V1);
+        asm.divu(Reg::T0, Reg::T1);
+        asm.mflo(Reg::A0);
+        asm.mfhi(Reg::A1);
+        asm.halt();
+        let p = asm.link("md", &SoftwareSupport::on()).unwrap();
+        let st = run_to_halt(&p);
+        let prod = (a as i64).wrapping_mul(b as i64) as u64;
+        prop_assert_eq!(st.regs[Reg::V0.index()], prod as u32);
+        prop_assert_eq!(st.regs[Reg::V1.index()], (prod >> 32) as u32);
+        let (au, bu) = (a as u32, b as u32);
+        if bu != 0 {
+            prop_assert_eq!(st.regs[Reg::A0.index()], au / bu);
+            prop_assert_eq!(st.regs[Reg::A1.index()], au % bu);
+        } else {
+            prop_assert_eq!(st.regs[Reg::A0.index()], 0);
+        }
+    }
+
+    #[test]
+    fn memory_roundtrip_all_widths(addr_off in 0u32..2000, v in any::<u32>()) {
+        let mut asm = Asm::new();
+        asm.far_array("buf", 2048 + 8, 8);
+        asm.la(Reg::S0, "buf", addr_off as i32);
+        asm.li(Reg::T0, v as i32);
+        asm.sw(Reg::T0, 0, Reg::S0);
+        asm.lw(Reg::V0, 0, Reg::S0);
+        asm.lb(Reg::V1, 0, Reg::S0);
+        asm.lbu(Reg::A0, 0, Reg::S0);
+        asm.lhu(Reg::A1, 0, Reg::S0);
+        asm.halt();
+        let p = asm.link("mem", &SoftwareSupport::on()).unwrap();
+        let st = run_to_halt(&p);
+        prop_assert_eq!(st.regs[Reg::V0.index()], v);
+        prop_assert_eq!(st.regs[Reg::V1.index()], v as u8 as i8 as i32 as u32);
+        prop_assert_eq!(st.regs[Reg::A0.index()], v as u8 as u32);
+        prop_assert_eq!(st.regs[Reg::A1.index()], v as u16 as u32);
+    }
+
+    #[test]
+    fn fp_double_arithmetic_matches_host(x in -1000i32..1000, y in 1i32..1000) {
+        use fac_isa::FReg;
+        let mut asm = Asm::new();
+        asm.gp_double("out", 0.0);
+        asm.li_d(FReg::F2, x);
+        asm.li_d(FReg::F4, y);
+        asm.div_d(FReg::F6, FReg::F2, FReg::F4);
+        asm.mul_d(FReg::F6, FReg::F6, FReg::F6);
+        asm.sqrt_d(FReg::F8, FReg::F6);
+        asm.s_d_gp(FReg::F8, "out", 0);
+        asm.halt();
+        let p = asm.link("fp", &SoftwareSupport::on()).unwrap();
+        let st = run_to_halt(&p);
+        let expected = ((x as f64 / y as f64) * (x as f64 / y as f64)).sqrt();
+        prop_assert_eq!(st.mem.read_f64(p.symbol("out")), expected);
+    }
+
+    /// The invariant underneath the entire evaluation: timing configuration
+    /// never changes architectural results.
+    #[test]
+    fn timing_is_observationally_pure(
+        seed in any::<u16>(),
+        fac in any::<bool>(),
+        block16 in any::<bool>(),
+    ) {
+        // A small data-dependent program derived from the seed.
+        let mut asm = Asm::new();
+        asm.gp_array("buf", 256, 4);
+        asm.gp_addr(Reg::S0, "buf", 0);
+        asm.li(Reg::T0, seed as i32 | 1);
+        asm.li(Reg::S1, 50);
+        asm.label("loop");
+        asm.andi(Reg::T1, Reg::T0, 0xfc);
+        asm.sw_x(Reg::T0, Reg::S0, Reg::T1);
+        asm.lw_x(Reg::T2, Reg::S0, Reg::T1);
+        asm.addu(Reg::T0, Reg::T0, Reg::T2);
+        asm.addiu(Reg::T0, Reg::T0, 13);
+        asm.addiu(Reg::S1, Reg::S1, -1);
+        asm.bgtz(Reg::S1, "loop");
+        asm.halt();
+        let p = asm.link("rand", &SoftwareSupport::on()).unwrap();
+
+        let reference = run_to_halt(&p).regs[Reg::T0.index()];
+        let mut cfg = MachineConfig::paper_baseline();
+        if fac { cfg = cfg.with_fac(); }
+        if block16 { cfg = cfg.with_block_size(16); }
+        let r = Machine::new(cfg).run(&p).unwrap();
+        prop_assert_eq!(r.final_state.regs[Reg::T0.index()], reference);
+    }
+}

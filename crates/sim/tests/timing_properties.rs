@@ -1,0 +1,120 @@
+//! Property tests over the timing model itself: per-instruction timings
+//! from `run_traced` must satisfy the pipeline's structural invariants on
+//! arbitrary generated programs.
+
+use fac_asm::{Asm, SoftwareSupport};
+use fac_isa::Reg;
+use fac_sim::{Machine, MachineConfig, TracedInsn};
+use proptest::prelude::*;
+
+/// Generates a small random-but-terminating program: straight-line blocks
+/// of ALU/memory ops with a counted loop around them.
+fn arb_program() -> impl Strategy<Value = (Vec<u8>, u8)> {
+    (proptest::collection::vec(any::<u8>(), 4..40), 1u8..6)
+}
+
+fn build(ops: &[u8], iters: u8) -> fac_asm::Program {
+    let mut a = Asm::new();
+    a.gp_array("buf", 512, 4);
+    a.gp_addr(Reg::S0, "buf", 0);
+    a.li(Reg::S1, iters as i32);
+    a.label("loop");
+    for (i, &op) in ops.iter().enumerate() {
+        let r = Reg::new(8 + (i % 8) as u8);
+        let disp = ((op as i16) % 64) * 4;
+        match op % 7 {
+            0 => a.addiu(r, Reg::S0, (op as i16) % 100),
+            1 => a.lw(r, disp.abs(), Reg::S0),
+            2 => a.sw(Reg::S1, disp.abs(), Reg::S0),
+            3 => a.sll(r, Reg::S1, op % 31),
+            4 => a.lbu(r, disp.abs() / 2, Reg::S0),
+            5 => a.xor_(r, Reg::S1, Reg::S0),
+            _ => a.addu(r, Reg::S1, Reg::S1),
+        }
+    }
+    a.addiu(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, "loop");
+    a.halt();
+    a.link("prop", &SoftwareSupport::on()).unwrap()
+}
+
+fn check_invariants(trace: &[TracedInsn], issue_width: u64) -> Result<(), TestCaseError> {
+    let mut prev_issue = 0u64;
+    let mut per_cycle = std::collections::HashMap::new();
+    for (i, t) in trace.iter().enumerate() {
+        let ti = t.timing;
+        // The pipe has two stages before execute.
+        prop_assert!(ti.issue >= ti.fetch + 2, "insn {i}: issue {} < fetch {} + 2", ti.issue, ti.fetch);
+        // Results appear after issue.
+        prop_assert!(ti.complete > ti.issue, "insn {i}: complete {} <= issue {}", ti.complete, ti.issue);
+        // In-order issue.
+        prop_assert!(ti.issue >= prev_issue, "insn {i}: issue went backwards");
+        prev_issue = ti.issue;
+        // Issue width respected.
+        let n = per_cycle.entry(ti.issue).or_insert(0u64);
+        *n += 1;
+        prop_assert!(*n <= issue_width, "insn {i}: more than {issue_width} issued at {}", ti.issue);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Structural invariants hold for every machine configuration.
+    #[test]
+    fn trace_invariants_hold((ops, iters) in arb_program(), fac in any::<bool>(), agi in any::<bool>()) {
+        let p = build(&ops, iters);
+        let mut cfg = MachineConfig::paper_baseline();
+        if fac { cfg = cfg.with_fac(); }
+        if agi { cfg = cfg.with_agi_pipeline(); }
+        let (report, trace) = Machine::new(cfg).run_traced(&p).unwrap();
+        check_invariants(&trace, cfg.issue_width as u64)?;
+        // The cycle count covers every completion.
+        let last = trace.iter().map(|t| t.timing.complete).max().unwrap();
+        prop_assert!(report.stats.cycles as u64 >= last);
+        prop_assert_eq!(report.stats.insts as usize, trace.len());
+    }
+
+    /// FAC stays within a small margin of the baseline even on adversarial
+    /// access patterns (the paper conditions its no-degradation claim on
+    /// "sufficient data cache bandwidth" — replays can steal a few cycles),
+    /// and the 1-cycle-load oracle bounds FAC from below.
+    #[test]
+    fn fac_bounded_by_oracle((ops, iters) in arb_program()) {
+        let p = build(&ops, iters);
+        let base = Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+        let fac = Machine::new(MachineConfig::paper_baseline().with_fac()).run(&p).unwrap();
+        let oracle = Machine::new(MachineConfig::paper_baseline().with_one_cycle_loads())
+            .run(&p)
+            .unwrap();
+        prop_assert!(
+            fac.stats.cycles as f64 <= base.stats.cycles as f64 * 1.05 + 8.0,
+            "fac {} vs base {}",
+            fac.stats.cycles,
+            base.stats.cycles
+        );
+        prop_assert!(fac.stats.cycles + 2 >= oracle.stats.cycles);
+    }
+
+    /// Loads per cycle never exceed the configured maximum (checked through
+    /// the statistics identity, which counts every load exactly once).
+    #[test]
+    fn memory_issue_limits_respected((ops, iters) in arb_program()) {
+        let p = build(&ops, iters);
+        let cfg = MachineConfig::paper_baseline().with_fac();
+        let (_, trace) = Machine::new(cfg).run_traced(&p).unwrap();
+        let mut loads_per_cycle = std::collections::HashMap::new();
+        let mut stores_per_cycle = std::collections::HashMap::new();
+        for t in &trace {
+            if t.insn.is_load() {
+                *loads_per_cycle.entry(t.timing.issue).or_insert(0u32) += 1;
+            }
+            if t.insn.is_store() {
+                *stores_per_cycle.entry(t.timing.issue).or_insert(0u32) += 1;
+            }
+        }
+        prop_assert!(loads_per_cycle.values().all(|&n| n <= cfg.max_loads_per_cycle));
+        prop_assert!(stores_per_cycle.values().all(|&n| n <= cfg.max_stores_per_cycle));
+    }
+}

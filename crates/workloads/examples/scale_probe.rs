@@ -1,0 +1,27 @@
+//! Quick probe: dynamic instruction counts and sim speed at Paper scale.
+use fac_asm::SoftwareSupport;
+use fac_sim::{Machine, MachineConfig};
+use fac_workloads::{suite, Scale};
+
+fn main() {
+    let sw = SoftwareSupport::on();
+    for wl in suite() {
+        let t0 = std::time::Instant::now();
+        let p = wl.build(&sw, Scale::Paper);
+        let r = Machine::new(MachineConfig::paper_baseline().with_fac())
+            .run(&p)
+            .unwrap();
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "{:10} insts={:>10} cycles={:>10} ipc={:.2} loads={:>9} dmiss={:.3} failL={:.3} {:>5.2}s",
+            wl.name,
+            r.stats.insts,
+            r.stats.cycles,
+            r.stats.ipc(),
+            r.stats.loads,
+            r.stats.dcache.miss_ratio(),
+            r.stats.pred_loads.fail_rate_all(),
+            dt
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Probe: prediction failure rates with software support OFF (Table 3 view).
+use fac_asm::SoftwareSupport;
+use fac_sim::{Machine, MachineConfig};
+use fac_workloads::{suite, Scale};
+
+fn main() {
+    for wl in suite() {
+        let p_off = wl.build(&SoftwareSupport::off(), Scale::Paper);
+        let p_on = wl.build(&SoftwareSupport::on(), Scale::Paper);
+        let cfg = MachineConfig::paper_baseline().with_fac();
+        let off = Machine::new(cfg).run(&p_off).unwrap();
+        let on = Machine::new(cfg).run(&p_on).unwrap();
+        println!(
+            "{:10} failL off={:>5.1}% on={:>5.1}%  failS off={:>5.1}% on={:>5.1}%  glob/stk/gen={:.2}/{:.2}/{:.2}",
+            wl.name,
+            off.stats.pred_loads.fail_rate_all() * 100.0,
+            on.stats.pred_loads.fail_rate_all() * 100.0,
+            off.stats.pred_stores.fail_rate_all() * 100.0,
+            on.stats.pred_stores.fail_rate_all() * 100.0,
+            off.stats.load_class_fraction(fac_sim::RefClass::Global),
+            off.stats.load_class_fraction(fac_sim::RefClass::Stack),
+            off.stats.load_class_fraction(fac_sim::RefClass::General),
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! `alvinn` — back-propagation neural-network training (single precision).
+//!
+//! Reference behavior modelled: dense dot-product sweeps over weight
+//! matrices and activation vectors with zero-offset post-increment single-
+//! precision loads — the access pattern behind alvinn's near-perfect
+//! prediction rate in the paper — plus the weight-update pass of
+//! back-propagation.
+
+use crate::common::{gp_filler, random_doubles, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+
+const INPUTS: u32 = 128;
+const HIDDEN: u32 = 32;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let epochs = scale.pick(1, 11);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xa1f1, 600);
+    let w1: Vec<f64> = random_doubles(0xA1, (INPUTS * HIDDEN) as usize);
+    let inp: Vec<f64> = random_doubles(0xA2, INPUTS as usize);
+    let to_f32_words = |v: &[f64]| -> Vec<u32> { v.iter().map(|&x| (x as f32).to_bits()).collect() };
+    a.far_words("w1", &to_f32_words(&w1));
+    a.far_words("input", &to_f32_words(&inp));
+    a.far_array("hidden", HIDDEN * 4, 4);
+    a.far_array("delta", HIDDEN * 4, 4);
+    a.gp_word("checksum", 0);
+    a.gp_word("epoch_count", 0);
+
+    a.li(Reg::S7, epochs as i32);
+    a.label("epoch");
+    // Forward: hidden[j] = Σ_i input[i] * w1[j][i]  (both streams walk
+    // sequentially with zero offsets).
+    a.la(Reg::S0, "w1", 0);
+    a.la(Reg::S2, "hidden", 0);
+    a.li(Reg::S3, HIDDEN as i32);
+    a.label("hid_loop");
+    a.la(Reg::S1, "input", 0);
+    a.li(Reg::T0, INPUTS as i32);
+    a.li_d(FReg::F4, 0); // accumulator (double internally is fine)
+    a.cvt_s_w(FReg::F4, FReg::F4);
+    a.label("dot_loop");
+    a.l_s_x(FReg::F0, Reg::S1, Reg::ZERO);
+    a.addiu(Reg::S1, Reg::S1, 4);
+    a.l_s_x(FReg::F2, Reg::S0, Reg::ZERO);
+    a.addiu(Reg::S0, Reg::S0, 4);
+    a.mul_s(FReg::F0, FReg::F0, FReg::F2);
+    a.add_s(FReg::F4, FReg::F4, FReg::F0);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "dot_loop");
+    a.s_s(FReg::F4, 0, Reg::S2); // hidden[j]
+    a.addiu(Reg::S2, Reg::S2, 4);
+    a.addiu(Reg::S3, Reg::S3, -1);
+    a.bgtz(Reg::S3, "hid_loop");
+
+    // Backward-ish: delta[j] = hidden[j] * 0.5; w1[j][i] += delta[j] *
+    // input[i] * lr — the weight-update sweep.
+    a.la(Reg::S2, "hidden", 0);
+    a.la(Reg::S4, "delta", 0);
+    a.li(Reg::S3, HIDDEN as i32);
+    // learning rate 1/1024 in single precision
+    a.li(Reg::AT, 1);
+    a.mtc1(Reg::AT, FReg::F6);
+    a.cvt_s_w(FReg::F6, FReg::F6);
+    a.li(Reg::AT, 1024);
+    a.mtc1(Reg::AT, FReg::F8);
+    a.cvt_s_w(FReg::F8, FReg::F8);
+    a.fp(fac_isa::FpOp::Div, fac_isa::FpFmt::S, FReg::F10, FReg::F6, FReg::F8);
+    a.label("delta_loop");
+    a.l_s(FReg::F0, 0, Reg::S2);
+    a.addiu(Reg::S2, Reg::S2, 4);
+    a.mul_s(FReg::F0, FReg::F0, FReg::F0); // square
+    a.mul_s(FReg::F0, FReg::F0, FReg::F10); // damp by the learning rate
+    a.s_s(FReg::F0, 0, Reg::S4);
+    a.addiu(Reg::S4, Reg::S4, 4);
+    a.addiu(Reg::S3, Reg::S3, -1);
+    a.bgtz(Reg::S3, "delta_loop");
+
+    a.la(Reg::S0, "w1", 0);
+    a.la(Reg::S4, "delta", 0);
+    a.li(Reg::S3, HIDDEN as i32);
+    a.label("upd_hid");
+    a.l_s(FReg::F2, 0, Reg::S4);
+    a.addiu(Reg::S4, Reg::S4, 4);
+    a.la(Reg::S1, "input", 0);
+    a.li(Reg::T0, INPUTS as i32);
+    a.label("upd_loop");
+    a.l_s(FReg::F0, 0, Reg::S1);
+    a.addiu(Reg::S1, Reg::S1, 4);
+    a.l_s(FReg::F4, 0, Reg::S0);
+    a.mul_s(FReg::F0, FReg::F0, FReg::F2);
+    a.add_s(FReg::F4, FReg::F4, FReg::F0);
+    a.s_s(FReg::F4, 0, Reg::S0);
+    a.addiu(Reg::S0, Reg::S0, 4);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "upd_loop");
+    a.addiu(Reg::S3, Reg::S3, -1);
+    a.bgtz(Reg::S3, "upd_hid");
+
+    a.lw_gp(Reg::T1, "epoch_count", 0);
+    a.addiu(Reg::T1, Reg::T1, 1);
+    a.sw_gp(Reg::T1, "epoch_count", 0);
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "epoch");
+
+    // Checksum: integer fold of the hidden activations' bit patterns.
+    a.la(Reg::S2, "hidden", 0);
+    a.li(Reg::T0, HIDDEN as i32);
+    a.li(Reg::V1, 0);
+    a.label("fold");
+    a.lw_pi(Reg::T1, Reg::S2, 4);
+    a.xor_(Reg::V1, Reg::V1, Reg::T1);
+    a.sll(Reg::T2, Reg::V1, 1);
+    a.srl(Reg::T3, Reg::V1, 31);
+    a.or_(Reg::V1, Reg::T2, Reg::T3);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("alvinn", sw).expect("alvinn links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

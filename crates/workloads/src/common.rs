@@ -1,0 +1,135 @@
+//! Shared helpers for the workload kernels.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Problem-size selector. `Paper` sizes target roughly a million dynamic
+/// instructions per kernel — large enough for stable cache and predictor
+/// behavior, small enough that the whole evaluation grid runs in minutes.
+/// (The paper's inputs run tens to hundreds of millions of instructions;
+/// all reported metrics are ratios, which survive the scaling — see
+/// DESIGN.md §3.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny configuration for unit tests.
+    Smoke,
+    /// Evaluation configuration used by the benchmark harness.
+    Paper,
+}
+
+impl Scale {
+    /// Picks a size by scale.
+    pub fn pick(self, smoke: u32, paper: u32) -> u32 {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Deterministic per-kernel RNG (data generation must not vary between the
+/// with- and without-support builds, or the comparison is meaningless).
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// `n` pseudo-random words in `[0, bound)`.
+pub fn random_words(seed: u64, n: usize, bound: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+/// `n` pseudo-random bytes drawn from a small printable alphabet (text-like
+/// data for the string kernels).
+pub fn random_text(seed: u64, n: usize) -> Vec<u8> {
+    let mut r = rng(seed);
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz      \n";
+    (0..n).map(|_| ALPHA[r.gen_range(0..ALPHA.len())]).collect()
+}
+
+/// `n` pseudo-random doubles in `(-1, 1)`.
+pub fn random_doubles(seed: u64, n: usize) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(-1.0..1.0)).collect()
+}
+
+/// Declares filler variables in the gp-addressable region so the kernel's
+/// own globals land at realistic offsets. Real programs keep kilobytes of
+/// small data in the `$gp` region, which is why the paper's Figure 3 shows
+/// global-pointer offsets that are "typically quite large, being that they
+/// are partial addresses" — and why unaligned global pointers mispredict so
+/// often without the §4 linker support. Call before declaring the kernel's
+/// gp globals.
+pub fn gp_filler(a: &mut fac_asm::Asm, seed: u64, bytes: u32) {
+    let mut r = rng(seed);
+    let sizes = [4u32, 4, 8, 4, 12, 16, 4, 24, 40, 8, 64, 4];
+    let mut total = 0;
+    let mut i = 0;
+    while total < bytes {
+        let size = sizes[r.gen_range(0..sizes.len())];
+        a.gp_array(&format!("__gp_filler_{seed:x}_{i}"), size, 4);
+        total += size;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::Scale;
+    use fac_asm::{Program, SoftwareSupport};
+    use fac_sim::{Machine, MachineConfig};
+
+    /// Smoke-checks one kernel: it must halt on every machine/software
+    /// configuration, perform memory references, and produce the same
+    /// architectural checksum everywhere (the timing machinery must never
+    /// change results; neither may the alignment policies).
+    pub fn check_kernel(build: fn(&SoftwareSupport, Scale) -> Program) {
+        let mut sums = Vec::new();
+        for sw in [SoftwareSupport::on(), SoftwareSupport::off()] {
+            let p = build(&sw, Scale::Smoke);
+            let cs_addr = p.symbol("checksum");
+            for cfg in [
+                MachineConfig::paper_baseline(),
+                MachineConfig::paper_baseline().with_fac(),
+                MachineConfig::paper_baseline().with_fac().with_block_size(16),
+            ] {
+                let r = Machine::new(cfg)
+                    .with_max_insts(80_000_000)
+                    .run(&p)
+                    .expect("kernel must halt");
+                assert!(r.stats.refs() > 0, "kernel must reference memory");
+                assert!(r.stats.cycles > 0);
+                sums.push(r.final_state.mem.read_u32(cs_addr));
+            }
+        }
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "checksum must be configuration-independent: {sums:?}"
+        );
+        assert_ne!(sums[0], 0, "checksum should be non-trivial");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Smoke.pick(2, 100), 2);
+        assert_eq!(Scale::Paper.pick(2, 100), 100);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_words(1, 8, 100), random_words(1, 8, 100));
+        assert_eq!(random_text(2, 32), random_text(2, 32));
+        assert_eq!(random_doubles(3, 4), random_doubles(3, 4));
+        assert_ne!(random_words(1, 8, 100), random_words(2, 8, 100));
+    }
+
+    #[test]
+    fn text_is_printable() {
+        assert!(random_text(7, 256).iter().all(|&b| b == b'\n' || (b' '..=b'z').contains(&b)));
+    }
+}

@@ -1,0 +1,98 @@
+//! `compress` — LZW-style dictionary compression.
+//!
+//! Reference behavior modelled (paper Tables 1/3): byte-stream input read
+//! with zero-offset post-increment loads, a heap-allocated hash table probed
+//! with small constant offsets off computed pointers (general-pointer
+//! dominated), and global counters updated through `$gp`.
+
+use crate::common::{gp_filler, random_text, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+const TABLE_SLOTS: u32 = 4096;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(600, 150_000);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xc0f1, 1700);
+    a.far_bytes("input", &random_text(0xC0, n as usize));
+    a.gp_word("checksum", 0);
+    a.gp_word("out_count", 0);
+    a.gp_word("in_count", 0);
+
+    // Hash table: TABLE_SLOTS entries of {key: u32, code: u32}.
+    a.alloc_fixed(Reg::S2, TABLE_SLOTS * 8, sw);
+
+    // S0 = input cursor, S1 = input end, S3 = prefix code, S4 = checksum,
+    // S5 = next dictionary code.
+    a.la(Reg::S0, "input", 0);
+    a.la(Reg::S1, "input", n as i32);
+    a.lbu_pi(Reg::S3, Reg::S0, 1);
+    a.li(Reg::S4, 0);
+    a.li(Reg::S5, 256);
+
+    a.label("loop");
+    a.beq(Reg::S0, Reg::S1, "done");
+    a.lbu_pi(Reg::T0, Reg::S0, 1); // next byte (zero-offset general load)
+    // key = prefix << 8 | byte; hash = (key ^ key >> 6) & mask
+    a.sll(Reg::T1, Reg::S3, 8);
+    a.or_(Reg::T1, Reg::T1, Reg::T0);
+    a.srl(Reg::T2, Reg::T1, 6);
+    a.xor_(Reg::T2, Reg::T2, Reg::T1);
+    a.andi(Reg::T2, Reg::T2, (TABLE_SLOTS - 1) as u16);
+    a.label("probe");
+    a.sll(Reg::T3, Reg::T2, 3);
+    a.addu(Reg::T3, Reg::S2, Reg::T3); // entry pointer
+    a.lw(Reg::T4, 0, Reg::T3); // entry.key
+    a.beq(Reg::T4, Reg::T1, "hit");
+    a.beq(Reg::T4, Reg::ZERO, "insert");
+    a.addiu(Reg::T2, Reg::T2, 1); // linear reprobe
+    a.andi(Reg::T2, Reg::T2, (TABLE_SLOTS - 1) as u16);
+    a.j("probe");
+
+    a.label("hit");
+    a.lw(Reg::S3, 4, Reg::T3); // prefix = entry.code
+    a.lw_gp(Reg::T5, "in_count", 0);
+    a.addiu(Reg::T5, Reg::T5, 1);
+    a.sw_gp(Reg::T5, "in_count", 0);
+    a.j("loop");
+
+    a.label("insert");
+    a.sw(Reg::T1, 0, Reg::T3); // entry.key = key
+    a.sw(Reg::S5, 4, Reg::T3); // entry.code = next code
+    a.addiu(Reg::S5, Reg::S5, 1);
+    a.addu(Reg::S4, Reg::S4, Reg::S3); // checksum += emitted prefix
+    a.lw_gp(Reg::T5, "out_count", 0);
+    a.addiu(Reg::T5, Reg::T5, 1);
+    a.sw_gp(Reg::T5, "out_count", 0);
+    a.move_(Reg::S3, Reg::T0); // restart with the raw byte
+    // Dictionary full (the classic compress CLEAR): wipe the table and
+    // restart the code space before the probe loops can saturate.
+    a.li(Reg::T5, 256 + (3 * TABLE_SLOTS / 4) as i32);
+    a.bne(Reg::S5, Reg::T5, "loop");
+    a.li(Reg::S5, 256);
+    a.move_(Reg::T6, Reg::S2);
+    a.li(Reg::T7, TABLE_SLOTS as i32);
+    a.label("clear");
+    a.sw(Reg::ZERO, 0, Reg::T6);
+    a.sw(Reg::ZERO, 4, Reg::T6);
+    a.addiu(Reg::T6, Reg::T6, 8);
+    a.addiu(Reg::T7, Reg::T7, -1);
+    a.bgtz(Reg::T7, "clear");
+    a.j("loop");
+
+    a.label("done");
+    a.addu(Reg::S4, Reg::S4, Reg::S3);
+    a.sw_gp(Reg::S4, "checksum", 0);
+    a.halt();
+    a.link("compress", sw).expect("compress links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

@@ -1,0 +1,123 @@
+//! `doduc` — Monte-Carlo nuclear-reactor kernel (scalar double precision).
+//!
+//! Reference behavior modelled: a long sequence of small FORTRAN-style
+//! routines, each with a stack frame full of double-precision locals
+//! (stack-pointer addressing at small-to-moderate offsets) and scalar FP
+//! arithmetic with data-dependent branching.
+
+use crate::common::{gp_filler, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let iters = scale.pick(40, 26_000);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xd0f1, 2800);
+    a.gp_word("checksum", 0);
+    a.gp_double("accum", 0.0);
+    a.gp_word("branch_hits", 0);
+
+    let eval_frame = FrameBuilder::new(*sw)
+        .save_ra()
+        .scalar_sized("x", 8)
+        .scalar_sized("x2", 8)
+        .scalar_sized("poly", 8)
+        .scalar_sized("tmp", 8)
+        .build();
+    let inner_frame = FrameBuilder::new(*sw)
+        .scalar_sized("y", 8)
+        .scalar_sized("y2", 8)
+        .build();
+
+    a.j("start");
+
+    // eval(f12 = x) -> f0: polynomial with a nested call, locals spilled to
+    // the frame (doduc's scalar-FP-on-stack signature).
+    a.label("eval");
+    a.prologue(&eval_frame);
+    a.s_d(FReg::F12, eval_frame.slot("x"), Reg::SP);
+    a.mul_d(FReg::F2, FReg::F12, FReg::F12);
+    a.s_d(FReg::F2, eval_frame.slot("x2"), Reg::SP);
+    // poly = x2*0.25 + x*0.5 + 1  (constants synthesized, then spilled)
+    a.li_d(FReg::F4, 4);
+    a.li_d(FReg::F6, 1);
+    a.div_d(FReg::F4, FReg::F6, FReg::F4); // 0.25
+    a.l_d(FReg::F2, eval_frame.slot("x2"), Reg::SP);
+    a.mul_d(FReg::F2, FReg::F2, FReg::F4);
+    a.s_d(FReg::F2, eval_frame.slot("poly"), Reg::SP);
+    a.l_d(FReg::F8, eval_frame.slot("x"), Reg::SP);
+    a.li_d(FReg::F10, 2);
+    a.div_d(FReg::F8, FReg::F8, FReg::F10);
+    a.l_d(FReg::F2, eval_frame.slot("poly"), Reg::SP);
+    a.add_d(FReg::F2, FReg::F2, FReg::F8);
+    a.add_d(FReg::F2, FReg::F2, FReg::F6);
+    a.s_d(FReg::F2, eval_frame.slot("tmp"), Reg::SP);
+    a.l_d(FReg::F12, eval_frame.slot("tmp"), Reg::SP);
+    a.call("damp");
+    a.l_d(FReg::F2, eval_frame.slot("tmp"), Reg::SP);
+    a.add_d(FReg::F0, FReg::F0, FReg::F2);
+    a.epilogue_ret(&eval_frame);
+
+    // damp(f12 = y) -> f0 = y / (1 + |y|): a leaf with its own frame.
+    a.label("damp");
+    a.prologue(&inner_frame);
+    a.s_d(FReg::F12, inner_frame.slot("y"), Reg::SP);
+    a.abs_d(FReg::F0, FReg::F12);
+    a.li_d(FReg::F2, 1);
+    a.add_d(FReg::F0, FReg::F0, FReg::F2);
+    a.s_d(FReg::F0, inner_frame.slot("y2"), Reg::SP);
+    a.l_d(FReg::F4, inner_frame.slot("y"), Reg::SP);
+    a.l_d(FReg::F6, inner_frame.slot("y2"), Reg::SP);
+    a.div_d(FReg::F0, FReg::F4, FReg::F6);
+    a.epilogue_ret(&inner_frame);
+
+    a.label("start");
+    // LCG in S0 drives the "random" samples.
+    a.li(Reg::S0, 12345);
+    a.li(Reg::S6, iters as i32);
+    a.li_d(FReg::F20, 0); // running sum
+    a.label("main_loop");
+    // S0 = S0 * 1103515245 + 12345 (integer multiply in the FP mix)
+    a.li(Reg::T0, 1103515245);
+    a.mult(Reg::S0, Reg::T0);
+    a.mflo(Reg::S0);
+    a.addiu(Reg::S0, Reg::S0, 12345);
+    // x = (S0 >> 16 & 0x7fff) / 32768 - 0.5-ish
+    a.srl(Reg::T1, Reg::S0, 16);
+    a.andi(Reg::T1, Reg::T1, 0x7fff);
+    a.addiu(Reg::T1, Reg::T1, -16384);
+    a.mtc1(Reg::T1, FReg::F12);
+    a.cvt_d_w(FReg::F12, FReg::F12);
+    a.li_d(FReg::F14, 16384);
+    a.div_d(FReg::F12, FReg::F12, FReg::F14);
+    a.call("eval");
+    a.add_d(FReg::F20, FReg::F20, FReg::F0);
+    // data-dependent branch: count positive samples
+    a.li_d(FReg::F16, 0);
+    a.c_lt_d(FReg::F16, FReg::F0);
+    a.bc1(false, "not_positive");
+    a.lw_gp(Reg::T2, "branch_hits", 0);
+    a.addiu(Reg::T2, Reg::T2, 1);
+    a.sw_gp(Reg::T2, "branch_hits", 0);
+    a.label("not_positive");
+    a.addiu(Reg::S6, Reg::S6, -1);
+    a.bgtz(Reg::S6, "main_loop");
+
+    a.s_d_gp(FReg::F20, "accum", 0);
+    a.lw_gp(Reg::V1, "branch_hits", 0);
+    a.sll(Reg::T0, Reg::V1, 9);
+    a.xor_(Reg::V1, Reg::V1, Reg::T0);
+    a.addiu(Reg::V1, Reg::V1, 17);
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("doduc", sw).expect("doduc links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

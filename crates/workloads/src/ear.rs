@@ -1,0 +1,104 @@
+//! `ear` — cochlea model built on FFT-style butterfly passes.
+//!
+//! Reference behavior modelled: iterative radix-2 butterfly sweeps over an
+//! interleaved complex double array — strided pointer arithmetic where the
+//! butterfly partner is reached through a register+register access (large
+//! indices) and the twiddle rotation is scalar FP.
+
+use crate::common::{gp_filler, random_doubles, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let log2n = scale.pick(4, 10);
+    let n = 1u32 << log2n; // complex points
+    let passes = scale.pick(2, 8);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xeaf1, 1300);
+    a.far_doubles("signal", &random_doubles(0xEA2, (2 * n) as usize));
+    a.gp_word("checksum", 0);
+    a.gp_word("butterflies", 0);
+
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    // Stages: span = 1, 2, 4, ... n/2 (in complex elements).
+    a.li(Reg::S0, 1); // span
+    a.label("stage");
+    a.li(Reg::T0, n as i32);
+    a.slt(Reg::T1, Reg::S0, Reg::T0);
+    a.beq(Reg::T1, Reg::ZERO, "stage_done");
+    // group stride = span*2 complex = span*32 bytes; partner offset =
+    // span*16 bytes.
+    a.sll(Reg::S1, Reg::S0, 4); // partner byte offset
+    a.li(Reg::S2, 0); // group base (complex index * 16)
+    a.label("group");
+    a.li(Reg::T0, (n * 16) as i32);
+    a.slt(Reg::T1, Reg::S2, Reg::T0);
+    a.beq(Reg::T1, Reg::ZERO, "stage_next");
+    a.li(Reg::S3, 0); // k within group (bytes)
+    a.label("bfly");
+    a.slt(Reg::T1, Reg::S3, Reg::S1);
+    a.beq(Reg::T1, Reg::ZERO, "group_next");
+    // element address = signal + group + k; partner = + span*16
+    a.la(Reg::T2, "signal", 0);
+    a.addu(Reg::T2, Reg::T2, Reg::S2);
+    a.addu(Reg::T2, Reg::T2, Reg::S3);
+    a.l_d(FReg::F0, 0, Reg::T2); // a.re
+    a.l_d(FReg::F2, 8, Reg::T2); // a.im
+    a.l_d_x(FReg::F4, Reg::T2, Reg::S1); // b.re via reg+reg
+    a.addiu(Reg::T3, Reg::S1, 8);
+    a.l_d_x(FReg::F6, Reg::T2, Reg::T3); // b.im via reg+reg
+    // butterfly (twiddle ≈ (1, 0) plus a damped cross term to keep values
+    // bounded): a' = a + b; b' = (a - b) * 0.5
+    a.add_d(FReg::F8, FReg::F0, FReg::F4);
+    a.add_d(FReg::F10, FReg::F2, FReg::F6);
+    a.sub_d(FReg::F12, FReg::F0, FReg::F4);
+    a.sub_d(FReg::F14, FReg::F2, FReg::F6);
+    a.li_d(FReg::F16, 2);
+    a.div_d(FReg::F12, FReg::F12, FReg::F16);
+    a.div_d(FReg::F14, FReg::F14, FReg::F16);
+    a.s_d(FReg::F8, 0, Reg::T2);
+    a.s_d(FReg::F10, 8, Reg::T2);
+    a.s_d_x(FReg::F12, Reg::T2, Reg::S1);
+    a.s_d_x(FReg::F14, Reg::T2, Reg::T3);
+    a.lw_gp(Reg::T4, "butterflies", 0);
+    a.addiu(Reg::T4, Reg::T4, 1);
+    a.sw_gp(Reg::T4, "butterflies", 0);
+    a.addiu(Reg::S3, Reg::S3, 16);
+    a.j("bfly");
+    a.label("group_next");
+    a.sll(Reg::T5, Reg::S0, 5); // group stride in bytes
+    a.addu(Reg::S2, Reg::S2, Reg::T5);
+    a.j("group");
+    a.label("stage_next");
+    a.sll(Reg::S0, Reg::S0, 1);
+    a.j("stage");
+    a.label("stage_done");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum: fold the low word of every double.
+    a.la(Reg::S0, "signal", 0);
+    a.li(Reg::T0, (2 * n) as i32);
+    a.li(Reg::V1, 0);
+    a.label("fold");
+    a.lw_pi(Reg::T1, Reg::S0, 8);
+    a.xor_(Reg::V1, Reg::V1, Reg::T1);
+    a.sll(Reg::T2, Reg::V1, 1);
+    a.srl(Reg::T3, Reg::V1, 31);
+    a.or_(Reg::V1, Reg::T2, Reg::T3);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("ear", sw).expect("ear links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

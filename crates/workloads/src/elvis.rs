@@ -1,0 +1,112 @@
+//! `elvis` — batch text editing over a byte buffer.
+//!
+//! Reference behavior modelled: vi-style global substitution — sequential
+//! byte scans and buffer copies dominated by zero-offset post-increment
+//! loads and stores. The paper notes elvis has one of the lowest
+//! misprediction rates even without software support, precisely because of
+//! this zero-offset dominance.
+
+use crate::common::{gp_filler, random_text, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(600, 45_000);
+    let passes = scale.pick(2, 7);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xe1f1, 900);
+    let mut text = random_text(0xE1, n as usize);
+    // Sprinkle the pattern through the text so substitutions happen.
+    for i in (0..text.len().saturating_sub(8)).step_by(97) {
+        text[i..i + 3].copy_from_slice(b"for");
+    }
+    a.far_bytes("buffer", &text);
+    a.far_array("scratch", n, 1);
+    a.gp_word("checksum", 0);
+    a.gp_word("subst_count", 0);
+
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    // Substitution scan: replace "for" with "FOR" (equal length, classic
+    // in-place edit).
+    a.la(Reg::S0, "buffer", 0);
+    a.la(Reg::S1, "buffer", n as i32 - 3);
+    a.label("scan");
+    a.sltu(Reg::T9, Reg::S0, Reg::S1);
+    a.beq(Reg::T9, Reg::ZERO, "copy_phase");
+    a.lbu_pi(Reg::T0, Reg::S0, 1);
+    a.li(Reg::T3, b'f' as i32);
+    a.bne(Reg::T0, Reg::T3, "scan");
+    a.lbu(Reg::T1, 0, Reg::S0); // next char, small offset
+    a.li(Reg::T3, b'o' as i32);
+    a.bne(Reg::T1, Reg::T3, "scan");
+    a.lbu(Reg::T2, 1, Reg::S0);
+    a.li(Reg::T3, b'r' as i32);
+    a.bne(Reg::T2, Reg::T3, "scan");
+    // Match: overwrite in place (uppercase), bump the counter.
+    a.li(Reg::T3, b'F' as i32);
+    a.sb(Reg::T3, -1, Reg::S0);
+    a.li(Reg::T3, b'O' as i32);
+    a.sb(Reg::T3, 0, Reg::S0);
+    a.li(Reg::T3, b'R' as i32);
+    a.sb(Reg::T3, 1, Reg::S0);
+    a.lw_gp(Reg::T4, "subst_count", 0);
+    a.addiu(Reg::T4, Reg::T4, 1);
+    a.sw_gp(Reg::T4, "subst_count", 0);
+    a.j("scan");
+
+    // Copy phase: write the (undone) buffer out to scratch, byte by byte —
+    // the editor's screen/update path.
+    a.label("copy_phase");
+    a.la(Reg::S0, "buffer", 0);
+    a.la(Reg::S2, "scratch", 0);
+    a.li(Reg::T0, n as i32);
+    a.label("copy");
+    a.lbu_pi(Reg::T1, Reg::S0, 1);
+    a.sb_x(Reg::T1, Reg::S2, Reg::ZERO); // reg+reg with zero index
+    a.addiu(Reg::S2, Reg::S2, 1);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "copy");
+    // Undo the substitutions (swap back) so every pass does work.
+    a.la(Reg::S0, "buffer", 0);
+    a.la(Reg::S1, "buffer", n as i32);
+    a.label("undo");
+    a.lbu_pi(Reg::T0, Reg::S0, 1);
+    a.li(Reg::T3, b'F' as i32);
+    a.bne(Reg::T0, Reg::T3, "undo_next");
+    a.li(Reg::T3, b'f' as i32);
+    a.sb(Reg::T3, -1, Reg::S0);
+    a.li(Reg::T3, b'o' as i32);
+    a.sb(Reg::T3, 0, Reg::S0);
+    a.li(Reg::T3, b'r' as i32);
+    a.sb(Reg::T3, 1, Reg::S0);
+    a.label("undo_next");
+    a.bne(Reg::S0, Reg::S1, "undo");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum: rolling sum of the scratch copy.
+    a.la(Reg::S2, "scratch", 0);
+    a.li(Reg::T0, n as i32);
+    a.li(Reg::V1, 0);
+    a.label("fold");
+    a.lbu_pi(Reg::T1, Reg::S2, 1);
+    a.sll(Reg::T2, Reg::V1, 1);
+    a.addu(Reg::V1, Reg::T2, Reg::T1);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.lw_gp(Reg::T3, "subst_count", 0);
+    a.addu(Reg::V1, Reg::V1, Reg::T3);
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("elvis", sw).expect("elvis links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

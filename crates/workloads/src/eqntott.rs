@@ -1,0 +1,106 @@
+//! `eqntott` — bit-vector term comparison and sorting.
+//!
+//! Reference behavior modelled: an insertion sort over 128-bit terms whose
+//! comparison function is a real call (stack frames, `$ra` save), with the
+//! word-wise compare using zero-offset post-increment loads and term moves
+//! using small constant offsets — the PLA term canonicalization at
+//! eqntott's core.
+
+use crate::common::{gp_filler, random_words, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+const TERM_WORDS: u32 = 4;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(12, 420);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xe0f1, 2300);
+    let words = random_words(0xE0, (n * TERM_WORDS) as usize, u32::MAX);
+    a.far_words("terms", &words);
+    a.gp_word("checksum", 0);
+    a.gp_word("cmp_count", 0);
+
+    let cmp_frame = FrameBuilder::new(*sw).save(Reg::S6).save(Reg::S7).build();
+
+    // Insertion sort: for i in 1..n, slide terms[i] down while cmp < 0.
+    a.la(Reg::S0, "terms", 0); // base
+    a.li(Reg::S1, 1); // i
+    a.label("outer");
+    a.li(Reg::T0, 0);
+    a.slt(Reg::T0, Reg::S1, Reg::ZERO); // placeholder to keep mix realistic
+    a.li(Reg::T1, n as i32);
+    a.slt(Reg::T2, Reg::S1, Reg::T1);
+    a.beq(Reg::T2, Reg::ZERO, "sorted");
+    // j = i
+    a.move_(Reg::S2, Reg::S1);
+    a.label("inner");
+    a.blez(Reg::S2, "next_i");
+    // a0 = &terms[j-1], a1 = &terms[j]
+    a.addiu(Reg::T3, Reg::S2, -1);
+    a.sll(Reg::T3, Reg::T3, 4); // 16 bytes per term
+    a.addu(Reg::A0, Reg::S0, Reg::T3);
+    a.addiu(Reg::A1, Reg::A0, 16);
+    a.call("term_cmp");
+    a.blez(Reg::V0, "next_i"); // already ordered
+    // swap terms[j-1] and terms[j] word by word (small constant offsets)
+    for w in 0..TERM_WORDS as i16 {
+        a.lw(Reg::T4, w * 4, Reg::A0);
+        a.lw(Reg::T5, w * 4, Reg::A1);
+        a.sw(Reg::T5, w * 4, Reg::A0);
+        a.sw(Reg::T4, w * 4, Reg::A1);
+    }
+    a.addiu(Reg::S2, Reg::S2, -1);
+    a.j("inner");
+    a.label("next_i");
+    a.addiu(Reg::S1, Reg::S1, 1);
+    a.j("outer");
+
+    // Checksum: first word of every term, order-sensitive.
+    a.label("sorted");
+    a.la(Reg::S0, "terms", 0);
+    a.li(Reg::T0, n as i32);
+    a.li(Reg::V1, 0);
+    a.label("sumloop");
+    a.lw_pi(Reg::T1, Reg::S0, 16);
+    a.sll(Reg::V1, Reg::V1, 1);
+    a.addu(Reg::V1, Reg::V1, Reg::T1);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "sumloop");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+
+    // int term_cmp(a0, a1): word-wise unsigned compare, returns -1/0/1.
+    a.label("term_cmp");
+    a.prologue(&cmp_frame);
+    a.lw_gp(Reg::S6, "cmp_count", 0);
+    a.addiu(Reg::S6, Reg::S6, 1);
+    a.sw_gp(Reg::S6, "cmp_count", 0);
+    a.move_(Reg::S6, Reg::A0);
+    a.move_(Reg::S7, Reg::A1);
+    a.li(Reg::T8, TERM_WORDS as i32);
+    a.label("cmp_loop");
+    a.lw_pi(Reg::T6, Reg::S6, 4); // zero-offset post-inc loads
+    a.lw_pi(Reg::T7, Reg::S7, 4);
+    a.bne(Reg::T6, Reg::T7, "cmp_diff");
+    a.addiu(Reg::T8, Reg::T8, -1);
+    a.bgtz(Reg::T8, "cmp_loop");
+    a.li(Reg::V0, 0);
+    a.epilogue_ret(&cmp_frame);
+    a.label("cmp_diff");
+    a.sltu(Reg::V0, Reg::T7, Reg::T6);
+    a.sll(Reg::V0, Reg::V0, 1);
+    a.addiu(Reg::V0, Reg::V0, -1); // a>b → 1 (slide down), a<b → -1
+    a.epilogue_ret(&cmp_frame);
+
+    a.link("eqntott", sw).expect("eqntott links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

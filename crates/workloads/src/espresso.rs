@@ -1,0 +1,98 @@
+//! `espresso` — boolean cube (bitset) operations.
+//!
+//! Reference behavior modelled: dynamic allocation of cube bit-vectors
+//! through `malloc` (so the §4 allocation alignment matters), word-wise
+//! set intersection/union sweeps dominated by zero-offset post-increment
+//! loads — the paper notes that zero was espresso's most common offset.
+
+use crate::common::{gp_filler, random_words, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+const CUBE_WORDS: u32 = 8;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let m = scale.pick(8, 190);
+    let passes = scale.pick(2, 40);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xe5f1, 1100);
+    a.far_words("seed_data", &random_words(0xE5, (m * CUBE_WORDS) as usize, u32::MAX));
+    // Cover: an array of cube pointers.
+    a.far_array("cover", m * 4, 4);
+    a.gp_word("checksum", 0);
+    a.gp_word("distance_sum", 0);
+
+    // Allocate the cubes and copy the seed data in.
+    a.la(Reg::S0, "cover", 0);
+    a.la(Reg::S1, "seed_data", 0);
+    a.li(Reg::S2, m as i32);
+    a.label("alloc_loop");
+    a.alloc_fixed(Reg::T0, CUBE_WORDS * 4, sw);
+    a.sw_pi(Reg::T0, Reg::S0, 4);
+    a.li(Reg::T1, CUBE_WORDS as i32);
+    a.label("copy_loop");
+    a.lw_pi(Reg::T2, Reg::S1, 4);
+    a.sw_pi(Reg::T2, Reg::T0, 4);
+    a.addiu(Reg::T1, Reg::T1, -1);
+    a.bgtz(Reg::T1, "copy_loop");
+    a.addiu(Reg::S2, Reg::S2, -1);
+    a.bgtz(Reg::S2, "alloc_loop");
+
+    // Passes: for each adjacent pair of cubes, compute the intersection
+    // "distance" (words with any overlap) and fold the union into an
+    // accumulator cube (the first one).
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    a.la(Reg::S0, "cover", 0);
+    a.lw(Reg::S3, 0, Reg::S0); // accumulator cube = cover[0]
+    a.li(Reg::S2, (m - 1) as i32);
+    a.label("pair_loop");
+    a.lw_pi(Reg::T0, Reg::S0, 4); // cube a (pointer load, zero offset)
+    a.lw(Reg::T1, 0, Reg::S0); // cube b
+    a.move_(Reg::T9, Reg::S3); // accumulator cursor
+    a.li(Reg::T2, CUBE_WORDS as i32);
+    a.li(Reg::T8, 0); // distance
+    a.label("word_loop");
+    a.lw_pi(Reg::T3, Reg::T0, 4);
+    a.lw_pi(Reg::T4, Reg::T1, 4);
+    a.and_(Reg::T5, Reg::T3, Reg::T4);
+    a.or_(Reg::T6, Reg::T3, Reg::T4);
+    a.lw(Reg::T7, 0, Reg::T9);
+    a.or_(Reg::T7, Reg::T7, Reg::T6);
+    a.sw_pi(Reg::T7, Reg::T9, 4);
+    a.beq(Reg::T5, Reg::ZERO, "no_overlap");
+    a.addiu(Reg::T8, Reg::T8, 1);
+    a.label("no_overlap");
+    a.addiu(Reg::T2, Reg::T2, -1);
+    a.bgtz(Reg::T2, "word_loop");
+    a.lw_gp(Reg::T5, "distance_sum", 0);
+    a.addu(Reg::T5, Reg::T5, Reg::T8);
+    a.sw_gp(Reg::T5, "distance_sum", 0);
+    a.addiu(Reg::S2, Reg::S2, -1);
+    a.bgtz(Reg::S2, "pair_loop");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum: XOR of the accumulator cube plus the distance counter.
+    a.li(Reg::V1, 0);
+    a.li(Reg::T2, CUBE_WORDS as i32);
+    a.label("sum_loop");
+    a.lw_pi(Reg::T3, Reg::S3, 4);
+    a.xor_(Reg::V1, Reg::V1, Reg::T3);
+    a.addiu(Reg::T2, Reg::T2, -1);
+    a.bgtz(Reg::T2, "sum_loop");
+    a.lw_gp(Reg::T5, "distance_sum", 0);
+    a.addu(Reg::V1, Reg::V1, Reg::T5);
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("espresso", sw).expect("espresso links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

@@ -1,0 +1,131 @@
+//! `gcc` — tree construction and traversal over a custom obstack.
+//!
+//! Reference behavior modelled: GCC builds its RTL/tree IR in *obstacks*,
+//! domain-specific bump allocators that ignore `malloc`'s alignment — the
+//! paper singles these out as a main source of poorly aligned pointers that
+//! software support cannot fix (§5.4). The kernel allocates 20-byte tree
+//! nodes from a raw obstack (no rounding, under every policy), inserts into
+//! a binary search tree, and walks it recursively with real stack frames.
+
+use crate::common::{gp_filler, random_words, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+/// Node layout: key @0, left @4, right @8, tag @12, extra @16 — 20 bytes,
+/// deliberately not a power of two.
+const NODE_SIZE: i16 = 20;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(24, 2600);
+    let walks = scale.pick(2, 14);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x6cf1, 3100);
+    let keys = random_words(0x6CC, n as usize, 1 << 30);
+    a.far_words("keys", &keys);
+    a.gp_word("checksum", 0);
+    a.gp_word("obstack_ptr", 0);
+    a.gp_word("node_count", 0);
+    a.gp_word("root", 0);
+
+    let walk_frame = FrameBuilder::new(*sw)
+        .save_ra()
+        .save(Reg::S4)
+        .scalar("tmp")
+        .array("alloca_buf", 24, 4) // gcc's alloca habit
+        .build();
+
+    // Seed the obstack from the program heap (one big malloc'd region).
+    a.alloc_fixed(Reg::T0, n * 24 + 64, sw);
+    a.sw_gp(Reg::T0, "obstack_ptr", 0);
+
+    // Insert all keys.
+    a.la(Reg::S0, "keys", 0);
+    a.li(Reg::S1, n as i32);
+    a.label("insert_loop");
+    a.lw_pi(Reg::A0, Reg::S0, 4);
+    a.call("tree_insert");
+    a.addiu(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, "insert_loop");
+
+    // Repeated recursive in-order walks.
+    a.li(Reg::S5, walks as i32);
+    a.label("walk_loop");
+    a.lw_gp(Reg::A0, "root", 0);
+    a.call("tree_walk");
+    a.addiu(Reg::S5, Reg::S5, -1);
+    a.bgtz(Reg::S5, "walk_loop");
+    a.halt();
+
+    // tree_insert(a0 = key): iterative BST insert using obstack nodes.
+    a.label("tree_insert");
+    // new node from the obstack: no alignment rounding whatsoever.
+    a.lw_gp(Reg::T0, "obstack_ptr", 0);
+    a.addiu(Reg::T1, Reg::T0, NODE_SIZE);
+    a.sw_gp(Reg::T1, "obstack_ptr", 0);
+    a.sw(Reg::A0, 0, Reg::T0); // key
+    a.sw(Reg::ZERO, 4, Reg::T0); // left
+    a.sw(Reg::ZERO, 8, Reg::T0); // right
+    a.sw(Reg::A0, 12, Reg::T0); // tag
+    a.sw(Reg::ZERO, 16, Reg::T0); // extra
+    a.lw_gp(Reg::T2, "node_count", 0);
+    a.addiu(Reg::T2, Reg::T2, 1);
+    a.sw_gp(Reg::T2, "node_count", 0);
+    a.lw_gp(Reg::T3, "root", 0);
+    a.bne(Reg::T3, Reg::ZERO, "descend");
+    a.sw_gp(Reg::T0, "root", 0);
+    a.ret();
+    a.label("descend");
+    a.lw(Reg::T4, 0, Reg::T3); // node.key
+    a.sltu(Reg::T5, Reg::A0, Reg::T4);
+    a.beq(Reg::T5, Reg::ZERO, "go_right");
+    a.lw(Reg::T6, 4, Reg::T3); // node.left
+    a.bne(Reg::T6, Reg::ZERO, "left_full");
+    a.sw(Reg::T0, 4, Reg::T3);
+    a.ret();
+    a.label("left_full");
+    a.move_(Reg::T3, Reg::T6);
+    a.j("descend");
+    a.label("go_right");
+    a.lw(Reg::T6, 8, Reg::T3);
+    a.bne(Reg::T6, Reg::ZERO, "right_full");
+    a.sw(Reg::T0, 8, Reg::T3);
+    a.ret();
+    a.label("right_full");
+    a.move_(Reg::T3, Reg::T6);
+    a.j("descend");
+
+    // tree_walk(a0 = node): recursive in-order traversal; accumulates the
+    // checksum and scribbles in an alloca'd scratch buffer.
+    a.label("tree_walk");
+    a.beq(Reg::A0, Reg::ZERO, "walk_null");
+    a.prologue(&walk_frame);
+    a.move_(Reg::S4, Reg::A0);
+    a.sw(Reg::A0, walk_frame.slot("tmp"), Reg::SP);
+    a.lw(Reg::T0, 0, Reg::S4); // key
+    a.sw(Reg::T0, walk_frame.slot("alloca_buf"), Reg::SP);
+    a.lw(Reg::A0, 4, Reg::S4); // left child
+    a.call("tree_walk");
+    a.lw(Reg::T0, walk_frame.slot("alloca_buf"), Reg::SP);
+    a.lw_gp(Reg::T1, "checksum", 0);
+    a.xor_(Reg::T1, Reg::T1, Reg::T0);
+    a.sll(Reg::T2, Reg::T1, 1);
+    a.srl(Reg::T1, Reg::T1, 31);
+    a.or_(Reg::T1, Reg::T1, Reg::T2); // rotate to make order matter
+    a.sw_gp(Reg::T1, "checksum", 0);
+    a.lw(Reg::A0, 8, Reg::S4); // right child
+    a.call("tree_walk");
+    a.epilogue_ret(&walk_frame);
+    a.label("walk_null");
+    a.ret();
+
+    a.link("gcc", sw).expect("gcc links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

@@ -1,0 +1,118 @@
+//! `grep` — Boyer–Moore–Horspool text search.
+//!
+//! Reference behavior modelled: the skip-table lookup is a register+register
+//! access into a small, aligned 256-byte table (the paper credits grep's
+//! standout FAC gain to exactly these accesses, which succeed thanks to the
+//! block-offset full adder), while text probes are register+register
+//! accesses with large indices that rarely predict.
+
+use crate::common::{gp_filler, random_text, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(800, 55_000);
+    let passes = scale.pick(2, 9);
+    let patterns: &[&[u8]] = &[b"needle", b"architec", b"cache"];
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x62f1, 700);
+    let mut text = random_text(0x62E9, n as usize);
+    for (k, i) in (0..text.len().saturating_sub(16)).step_by(513).enumerate() {
+        let p = patterns[k % patterns.len()];
+        text[i..i + p.len()].copy_from_slice(p);
+    }
+    a.far_bytes("text", &text);
+    // Pattern bytes, concatenated; offsets/lengths known at build time.
+    let mut pat_blob = Vec::new();
+    let mut pat_meta = Vec::new();
+    for p in patterns {
+        pat_meta.push((pat_blob.len() as i32, p.len() as i32));
+        pat_blob.extend_from_slice(p);
+    }
+    a.far_bytes("patterns", &pat_blob);
+    a.gp_array("skip_table", 256, 4);
+    a.gp_word("checksum", 0);
+    a.gp_word("match_count", 0);
+
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    for (pi, &(pofs, plen)) in pat_meta.iter().enumerate() {
+        let build_skip = format!("build_skip_{pi}");
+        let scan = format!("scan_{pi}");
+        let advance = format!("advance_{pi}");
+        let try_match = format!("try_{pi}");
+        let matched = format!("matched_{pi}");
+        let next = format!("next_{pi}");
+        let fill = format!("fill_{pi}");
+
+        // skip[c] = plen for all c; then skip[pat[i]] = plen-1-i.
+        a.label(&build_skip);
+        a.gp_addr(Reg::S0, "skip_table", 0);
+        a.li(Reg::T0, 256);
+        a.li(Reg::T1, plen);
+        a.label(&fill);
+        a.sb_pi(Reg::T1, Reg::S0, 1);
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bgtz(Reg::T0, &fill);
+        a.la(Reg::S0, "patterns", pofs);
+        for i in 0..plen - 1 {
+            a.lbu(Reg::T2, i as i16, Reg::S0);
+            a.gp_addr(Reg::T3, "skip_table", 0);
+            a.addu(Reg::T3, Reg::T3, Reg::T2);
+            a.li(Reg::T4, plen - 1 - i);
+            a.sb(Reg::T4, 0, Reg::T3);
+        }
+
+        // BMH scan: S1 = position index, S2 = text base, S3 = limit.
+        a.la(Reg::S2, "text", 0);
+        a.li(Reg::S1, plen - 1);
+        a.li(Reg::S3, n as i32);
+        a.gp_addr(Reg::S4, "skip_table", 0);
+        a.la(Reg::S5, "patterns", pofs);
+        a.label(&scan);
+        a.slt(Reg::T9, Reg::S1, Reg::S3);
+        a.beq(Reg::T9, Reg::ZERO, &next);
+        a.lbu_x(Reg::T0, Reg::S2, Reg::S1); // text probe: large reg+reg index
+        a.lbu(Reg::T5, (plen - 1) as i16, Reg::S5); // last pattern byte
+        a.bne(Reg::T0, Reg::T5, &advance);
+        a.j(&try_match);
+        a.label(&advance);
+        a.lbu_x(Reg::T1, Reg::S4, Reg::T0); // skip-table: small reg+reg index
+        a.addu(Reg::S1, Reg::S1, Reg::T1);
+        a.j(&scan);
+        // Verify the candidate backwards with small constant offsets.
+        a.label(&try_match);
+        a.addiu(Reg::T6, Reg::S1, (1 - plen) as i16);
+        a.addu(Reg::T6, Reg::S2, Reg::T6); // window start pointer
+        for i in 0..plen - 1 {
+            a.lbu(Reg::T7, i as i16, Reg::T6);
+            a.lbu(Reg::T8, i as i16, Reg::S5);
+            a.bne(Reg::T7, Reg::T8, &advance);
+        }
+        a.label(&matched);
+        a.lw_gp(Reg::T2, "match_count", 0);
+        a.addiu(Reg::T2, Reg::T2, 1);
+        a.sw_gp(Reg::T2, "match_count", 0);
+        a.addiu(Reg::S1, Reg::S1, plen as i16);
+        a.j(&scan);
+        a.label(&next);
+    }
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    a.lw_gp(Reg::T0, "match_count", 0);
+    a.sll(Reg::T1, Reg::T0, 7);
+    a.addu(Reg::T0, Reg::T0, Reg::T1);
+    a.sw_gp(Reg::T0, "checksum", 0);
+    a.halt();
+    a.link("grep", sw).expect("grep links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

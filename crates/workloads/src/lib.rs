@@ -1,0 +1,129 @@
+#![warn(missing_docs)]
+
+//! # fac-workloads — the 19-benchmark evaluation suite
+//!
+//! One kernel per program of the paper's evaluation (§5.2: fifteen SPEC92
+//! codes plus Elvis, Grep, Perl and YACR-2). Each kernel is written against
+//! the [`fac_asm::Asm`] builder and reproduces the *reference behavior* the
+//! paper measures for that program — the mix of global-/stack-/general-
+//! pointer addressing (Table 1), the offset-size distribution (Figure 3),
+//! the use of register+register addressing, and allocator behavior — rather
+//! than the program's full semantics. That is the property fast address
+//! calculation is sensitive to; see `DESIGN.md` §3 for the substitution
+//! argument.
+//!
+//! Every kernel takes the [`SoftwareSupport`] policy, so the *same* kernel
+//! links into the "with support" and "without support" binaries the paper
+//! compares, and a [`Scale`] so tests can run a short configuration.
+//!
+//! ```
+//! use fac_workloads::{suite, Scale};
+//! use fac_asm::SoftwareSupport;
+//!
+//! let wl = fac_workloads::find("compress").unwrap();
+//! let program = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+//! assert_eq!(program.name, "compress");
+//! assert_eq!(suite().len(), 19);
+//! ```
+
+use fac_asm::{Program, SoftwareSupport};
+
+mod common;
+
+mod alvinn;
+mod compress;
+mod doduc;
+mod ear;
+mod elvis;
+mod eqntott;
+mod espresso;
+mod gcc;
+mod grep;
+mod mdljdp2;
+mod mdljsp2;
+mod ora;
+mod perl;
+mod sc;
+mod spice;
+mod su2cor;
+mod tomcatv;
+mod xlisp;
+mod yacr2;
+
+pub use common::Scale;
+
+/// A benchmark kernel in the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Program name (matches the paper's Table 2).
+    pub name: &'static str,
+    /// `true` for the floating-point half of the suite.
+    pub fp: bool,
+    /// What the kernel models and the input it runs (our Table 2 analogue).
+    pub description: &'static str,
+    builder: fn(&SoftwareSupport, Scale) -> Program,
+}
+
+impl Workload {
+    /// Builds and links the kernel under the given policy and scale.
+    pub fn build(&self, sw: &SoftwareSupport, scale: Scale) -> Program {
+        (self.builder)(sw, scale)
+    }
+}
+
+/// The full suite, in the paper's order (integer codes first).
+pub fn suite() -> Vec<Workload> {
+    vec![
+        Workload { name: "compress", fp: false, description: "LZW dictionary compression over 150 KB of text, 4096-slot hash table", builder: compress::build },
+        Workload { name: "eqntott", fp: false, description: "insertion sort of 420 128-bit PLA terms via a compare callee", builder: eqntott::build },
+        Workload { name: "espresso", fp: false, description: "cube bitset intersect/union sweeps, 190 malloc-allocated cubes", builder: espresso::build },
+        Workload { name: "gcc", fp: false, description: "BST build + recursive walks over a 2600-node obstack-allocated tree", builder: gcc::build },
+        Workload { name: "sc", fp: false, description: "spreadsheet recalculation over a 72x72 cell-struct grid, 12 passes", builder: sc::build },
+        Workload { name: "xlisp", fp: false, description: "cons-cell list build/sum/free cycles, 230 cells x 130 passes", builder: xlisp::build },
+        Workload { name: "elvis", fp: false, description: "batch text substitution and buffer copies over 45 KB, 7 passes", builder: elvis::build },
+        Workload { name: "grep", fp: false, description: "Boyer-Moore-Horspool search, 3 patterns over 55 KB, 9 passes", builder: grep::build },
+        Workload { name: "perl", fp: false, description: "string hashing and interning, 11000 lookups over 700 symbols", builder: perl::build },
+        Workload { name: "yacr2", fp: false, description: "channel-density scan + greedy track assignment, 760 columns", builder: yacr2::build },
+        Workload { name: "alvinn", fp: true, description: "128-32 MLP forward + weight-update sweeps, 11 epochs (f32)", builder: alvinn::build },
+        Workload { name: "doduc", fp: true, description: "Monte-Carlo polynomial sampling with FP stack frames, 26000 iters", builder: doduc::build },
+        Workload { name: "ear", fp: true, description: "radix-2 butterfly passes over 1024 complex doubles, 8 passes", builder: ear::build },
+        Workload { name: "mdljdp2", fp: true, description: "O(P^2) pairwise forces, 110 particle structs (f64), 5 steps", builder: mdljdp2::build },
+        Workload { name: "mdljsp2", fp: true, description: "neighbor-list forces, 150 particles / 20000 pairs (f32)", builder: mdljsp2::build },
+        Workload { name: "ora", fp: true, description: "ray-sphere tracing, 13000 rays through oversized FP frames", builder: ora::build },
+        Workload { name: "spice", fp: true, description: "CSR sparse matrix-vector solve, n=640, 28 relaxation passes", builder: spice::build },
+        Workload { name: "su2cor", fp: true, description: "4-D lattice neighbor sweeps, 6^4 sites, 26 passes", builder: su2cor::build },
+        Workload { name: "tomcatv", fp: true, description: "2-D stencil + reg+reg residual pass over 96x96 double grids", builder: tomcatv::build },
+    ]
+}
+
+/// Looks up a kernel by name.
+pub fn find(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_nineteen_members() {
+        let s = suite();
+        assert_eq!(s.len(), 19);
+        assert_eq!(s.iter().filter(|w| !w.fp).count(), 10);
+        assert_eq!(s.iter().filter(|w| w.fp).count(), 9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = suite().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+    }
+
+    #[test]
+    fn find_works() {
+        assert!(find("tomcatv").is_some());
+        assert!(find("nope").is_none());
+    }
+}

@@ -1,0 +1,116 @@
+//! `mdljdp2` — molecular dynamics, double precision (pairwise forces).
+//!
+//! Reference behavior modelled: an O(P²) pairwise force loop over an array
+//! of particle structures (48 bytes raw, rounded to 64 under the §4
+//! policy): position reads and force accumulations at structure-field
+//! offsets 0–40 off two walking particle pointers, with divides and a
+//! square root in the cut-off branch.
+
+use crate::common::{gp_filler, random_doubles, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let p = scale.pick(8, 110);
+    let steps = scale.pick(1, 5);
+    // Particle: x@0 y@8 z@16 fx@24 fy@32 fz@40 — 48 bytes raw.
+    let psize = sw.round_struct_size(48);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x3df1, 1000);
+    let coords = random_doubles(0x3D2, (p * 3) as usize);
+
+    // Build the particle array image with the policy-dependent stride.
+    let mut blob = vec![0u8; (p * psize) as usize];
+    for i in 0..p as usize {
+        for d in 0..3 {
+            let v = coords[i * 3 + d] * 4.0;
+            blob[i * psize as usize + d * 8..i * psize as usize + d * 8 + 8]
+                .copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    a.far_bytes("particles", &blob);
+    a.gp_word("checksum", 0);
+    a.gp_word("interactions", 0);
+    a.gp_double("potential", 0.0);
+
+    a.li(Reg::S7, steps as i32);
+    a.label("step");
+    a.la(Reg::S0, "particles", 0); // particle i
+    a.li(Reg::S1, 0); // i index
+    a.label("outer");
+    a.addiu(Reg::S2, Reg::S1, 1); // j = i + 1
+    a.addiu(Reg::S3, Reg::S0, psize as i16); // particle j pointer
+    a.label("inner");
+    a.li(Reg::T0, p as i32);
+    a.slt(Reg::T1, Reg::S2, Reg::T0);
+    a.beq(Reg::T1, Reg::ZERO, "inner_done");
+    // dx/dy/dz from structure fields.
+    a.l_d(FReg::F0, 0, Reg::S0);
+    a.l_d(FReg::F2, 0, Reg::S3);
+    a.sub_d(FReg::F0, FReg::F0, FReg::F2);
+    a.l_d(FReg::F4, 8, Reg::S0);
+    a.l_d(FReg::F6, 8, Reg::S3);
+    a.sub_d(FReg::F4, FReg::F4, FReg::F6);
+    a.l_d(FReg::F8, 16, Reg::S0);
+    a.l_d(FReg::F10, 16, Reg::S3);
+    a.sub_d(FReg::F8, FReg::F8, FReg::F10);
+    // r2 = dx² + dy² + dz²
+    a.mul_d(FReg::F0, FReg::F0, FReg::F0);
+    a.mul_d(FReg::F4, FReg::F4, FReg::F4);
+    a.mul_d(FReg::F8, FReg::F8, FReg::F8);
+    a.add_d(FReg::F0, FReg::F0, FReg::F4);
+    a.add_d(FReg::F0, FReg::F0, FReg::F8);
+    // cut-off: r2 < 9?
+    a.li_d(FReg::F12, 9);
+    a.c_lt_d(FReg::F0, FReg::F12);
+    a.bc1(false, "skip_pair");
+    // force magnitude ≈ 1/(r2 + 1) and a sqrt for the potential.
+    a.li_d(FReg::F14, 1);
+    a.add_d(FReg::F16, FReg::F0, FReg::F14);
+    a.div_d(FReg::F16, FReg::F14, FReg::F16);
+    a.sqrt_d(FReg::F18, FReg::F0);
+    a.l_d_gp(FReg::F20, "potential", 0);
+    a.add_d(FReg::F20, FReg::F20, FReg::F18);
+    a.s_d_gp(FReg::F20, "potential", 0);
+    // fx_i += f, fx_j -= f (fields at 24/32/40).
+    for field in [24i16, 32, 40] {
+        a.l_d(FReg::F2, field, Reg::S0);
+        a.add_d(FReg::F2, FReg::F2, FReg::F16);
+        a.s_d(FReg::F2, field, Reg::S0);
+        a.l_d(FReg::F4, field, Reg::S3);
+        a.sub_d(FReg::F4, FReg::F4, FReg::F16);
+        a.s_d(FReg::F4, field, Reg::S3);
+    }
+    a.lw_gp(Reg::T2, "interactions", 0);
+    a.addiu(Reg::T2, Reg::T2, 1);
+    a.sw_gp(Reg::T2, "interactions", 0);
+    a.label("skip_pair");
+    a.addiu(Reg::S2, Reg::S2, 1);
+    a.addiu(Reg::S3, Reg::S3, psize as i16);
+    a.j("inner");
+    a.label("inner_done");
+    a.addiu(Reg::S1, Reg::S1, 1);
+    a.addiu(Reg::S0, Reg::S0, psize as i16);
+    a.li(Reg::T0, (p - 1) as i32);
+    a.slt(Reg::T1, Reg::S1, Reg::T0);
+    a.bgtz(Reg::T1, "outer");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "step");
+
+    a.lw_gp(Reg::V1, "interactions", 0);
+    a.sll(Reg::T0, Reg::V1, 11);
+    a.xor_(Reg::V1, Reg::V1, Reg::T0);
+    a.addiu(Reg::V1, Reg::V1, 3);
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("mdljdp2", sw).expect("mdljdp2 links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

@@ -1,0 +1,115 @@
+//! `mdljsp2` — molecular dynamics, single precision, neighbor lists.
+//!
+//! Reference behavior modelled: force evaluation driven by a precomputed
+//! neighbor list — indices stream in with post-increment loads, particle
+//! addresses are *computed* (index × structure size), and field accesses
+//! are register+register with large indices, the addressing style the
+//! paper's array-index failure analysis calls out.
+
+use crate::common::{gp_filler, random_doubles, rng, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::{FpFmt, FpOp, FReg, Reg};
+use rand::Rng;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let p = scale.pick(12, 150);
+    let pairs = scale.pick(30, 20_000);
+    let steps = scale.pick(1, 2);
+    // Particle (f32): x@0 y@4 z@8 fx@12 fy@16 fz@20 — 24 bytes raw.
+    let psize = sw.round_struct_size(24);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x35f1, 1200);
+    let coords = random_doubles(0x35B2, (p * 3) as usize);
+    let mut blob = vec![0u8; (p * psize) as usize];
+    for i in 0..p as usize {
+        for d in 0..3 {
+            let v = (coords[i * 3 + d] * 3.0) as f32;
+            blob[i * psize as usize + d * 4..i * psize as usize + d * 4 + 4]
+                .copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    a.far_bytes("particles", &blob);
+    let mut r = rng(0x35B3);
+    // Neighbor list as pre-scaled byte offsets (the strength-reduced form).
+    let list: Vec<u32> = (0..pairs * 2).map(|_| r.gen_range(0..p) * psize).collect();
+    a.far_words("neighbors", &list);
+    a.gp_word("checksum", 0);
+    a.gp_word("force_evals", 0);
+
+    a.li(Reg::S7, steps as i32);
+    a.label("step");
+    a.la(Reg::S0, "neighbors", 0);
+    a.li(Reg::S1, pairs as i32);
+    a.la(Reg::S2, "particles", 0);
+    a.label("pair_loop");
+    a.lw_pi(Reg::T0, Reg::S0, 4); // byte offset of particle i
+    a.lw_pi(Reg::T1, Reg::S0, 4); // byte offset of particle j
+    // dx/dy/dz: register+register accesses with large indices (the
+    // pattern the paper's array-index failure analysis calls out).
+    a.l_s_x(FReg::F0, Reg::S2, Reg::T0); // i.x
+    a.l_s_x(FReg::F2, Reg::S2, Reg::T1); // j.x
+    a.fp(FpOp::Sub, FpFmt::S, FReg::F0, FReg::F0, FReg::F2);
+    a.addiu(Reg::T2, Reg::T0, 4);
+    a.addiu(Reg::T3, Reg::T1, 4);
+    a.l_s_x(FReg::F4, Reg::S2, Reg::T2); // i.y
+    a.l_s_x(FReg::F6, Reg::S2, Reg::T3); // j.y
+    a.fp(FpOp::Sub, FpFmt::S, FReg::F4, FReg::F4, FReg::F6);
+    a.addiu(Reg::T2, Reg::T0, 8);
+    a.addiu(Reg::T3, Reg::T1, 8);
+    a.l_s_x(FReg::F8, Reg::S2, Reg::T2); // i.z
+    a.l_s_x(FReg::F10, Reg::S2, Reg::T3); // j.z
+    a.fp(FpOp::Sub, FpFmt::S, FReg::F8, FReg::F8, FReg::F10);
+    // r2 and a damped force term.
+    a.mul_s(FReg::F0, FReg::F0, FReg::F0);
+    a.mul_s(FReg::F4, FReg::F4, FReg::F4);
+    a.mul_s(FReg::F8, FReg::F8, FReg::F8);
+    a.add_s(FReg::F0, FReg::F0, FReg::F4);
+    a.add_s(FReg::F0, FReg::F0, FReg::F8);
+    a.li(Reg::AT, 1);
+    a.mtc1(Reg::AT, FReg::F12);
+    a.cvt_s_w(FReg::F12, FReg::F12);
+    a.add_s(FReg::F14, FReg::F0, FReg::F12);
+    a.fp(FpOp::Div, FpFmt::S, FReg::F14, FReg::F12, FReg::F14); // 1/(r2+1)
+    // Accumulate into i.fx and j.fx (computed pointers, small offsets).
+    a.addu(Reg::T4, Reg::S2, Reg::T0);
+    a.l_s(FReg::F16, 12, Reg::T4);
+    a.add_s(FReg::F16, FReg::F16, FReg::F14);
+    a.s_s(FReg::F16, 12, Reg::T4);
+    a.addu(Reg::T5, Reg::S2, Reg::T1);
+    a.l_s(FReg::F18, 12, Reg::T5);
+    a.fp(FpOp::Sub, FpFmt::S, FReg::F18, FReg::F18, FReg::F14);
+    a.s_s(FReg::F18, 12, Reg::T5);
+    a.lw_gp(Reg::T6, "force_evals", 0);
+    a.addiu(Reg::T6, Reg::T6, 1);
+    a.sw_gp(Reg::T6, "force_evals", 0);
+    a.addiu(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, "pair_loop");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "step");
+
+    // Checksum: fold the fx bit patterns.
+    a.la(Reg::S2, "particles", 0);
+    a.li(Reg::T0, p as i32);
+    a.li(Reg::V1, 1);
+    a.label("fold");
+    a.lw(Reg::T1, 12, Reg::S2);
+    a.xor_(Reg::V1, Reg::V1, Reg::T1);
+    a.sll(Reg::T2, Reg::V1, 1);
+    a.srl(Reg::T3, Reg::V1, 31);
+    a.or_(Reg::V1, Reg::T2, Reg::T3);
+    a.addiu(Reg::S2, Reg::S2, psize as i16);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("mdljsp2", sw).expect("mdljsp2 links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

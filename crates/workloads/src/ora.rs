@@ -1,0 +1,153 @@
+//! `ora` — optical ray tracing (scalar double precision, stack-heavy).
+//!
+//! Reference behavior modelled: each ray is traced through a call chain
+//! whose frames hold many double-precision locals — close to half of ora's
+//! loads are stack-pointer relative in the paper — with a quadratic
+//! discriminant (sqrt, divides) and data-dependent hit/miss branching.
+//! The trace frame is large enough to trigger the §4 explicit stack
+//! alignment for oversized frames.
+
+use crate::common::{gp_filler, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let rays = scale.pick(30, 13_000);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x2f1, 2400);
+    a.gp_word("checksum", 0);
+    a.gp_word("hits", 0);
+    a.gp_double("energy", 0.0);
+
+    // trace(): 12 double locals + spill space → > 64-byte frame.
+    let trace_frame = {
+        let mut fb = FrameBuilder::new(*sw).save_ra().save(Reg::S4);
+        for name in [
+            "ox", "oy", "oz", "dx", "dy", "dz", "b", "c", "disc", "root", "t", "shade_in",
+        ] {
+            fb = fb.scalar_sized(name, 8);
+        }
+        fb.build()
+    };
+    let shade_frame = FrameBuilder::new(*sw)
+        .scalar_sized("n", 8)
+        .scalar_sized("l", 8)
+        .build();
+
+    a.j("start");
+
+    // trace(f12 = ox, f14 = dx-ish): quadratic ray/sphere test with every
+    // intermediate spilled to the frame.
+    a.label("trace");
+    a.prologue(&trace_frame);
+    a.s_d(FReg::F12, trace_frame.slot("ox"), Reg::SP);
+    a.s_d(FReg::F14, trace_frame.slot("dx"), Reg::SP);
+    // oy/oz/dy/dz derived so the frame slots all see traffic.
+    a.li_d(FReg::F2, 2);
+    a.div_d(FReg::F4, FReg::F12, FReg::F2);
+    a.s_d(FReg::F4, trace_frame.slot("oy"), Reg::SP);
+    a.div_d(FReg::F6, FReg::F14, FReg::F2);
+    a.s_d(FReg::F6, trace_frame.slot("dy"), Reg::SP);
+    a.add_d(FReg::F8, FReg::F4, FReg::F6);
+    a.s_d(FReg::F8, trace_frame.slot("oz"), Reg::SP);
+    a.sub_d(FReg::F10, FReg::F4, FReg::F6);
+    a.s_d(FReg::F10, trace_frame.slot("dz"), Reg::SP);
+    // b = o·d, c = o·o - 1
+    a.l_d(FReg::F0, trace_frame.slot("ox"), Reg::SP);
+    a.l_d(FReg::F2, trace_frame.slot("dx"), Reg::SP);
+    a.mul_d(FReg::F16, FReg::F0, FReg::F2);
+    a.l_d(FReg::F4, trace_frame.slot("oy"), Reg::SP);
+    a.l_d(FReg::F6, trace_frame.slot("dy"), Reg::SP);
+    a.mul_d(FReg::F18, FReg::F4, FReg::F6);
+    a.add_d(FReg::F16, FReg::F16, FReg::F18);
+    a.s_d(FReg::F16, trace_frame.slot("b"), Reg::SP);
+    a.mul_d(FReg::F20, FReg::F0, FReg::F0);
+    a.mul_d(FReg::F22, FReg::F4, FReg::F4);
+    a.add_d(FReg::F20, FReg::F20, FReg::F22);
+    a.li_d(FReg::F2, 1);
+    a.sub_d(FReg::F20, FReg::F20, FReg::F2);
+    a.s_d(FReg::F20, trace_frame.slot("c"), Reg::SP);
+    // disc = b*b - c
+    a.l_d(FReg::F16, trace_frame.slot("b"), Reg::SP);
+    a.mul_d(FReg::F0, FReg::F16, FReg::F16);
+    a.l_d(FReg::F20, trace_frame.slot("c"), Reg::SP);
+    a.sub_d(FReg::F0, FReg::F0, FReg::F20);
+    a.s_d(FReg::F0, trace_frame.slot("disc"), Reg::SP);
+    a.li_d(FReg::F2, 0);
+    a.c_lt_d(FReg::F0, FReg::F2);
+    a.bc1(true, "miss");
+    // hit: root = sqrt(disc); t = -b + root; shade(t)
+    a.sqrt_d(FReg::F4, FReg::F0);
+    a.s_d(FReg::F4, trace_frame.slot("root"), Reg::SP);
+    a.l_d(FReg::F16, trace_frame.slot("b"), Reg::SP);
+    a.sub_d(FReg::F6, FReg::F4, FReg::F16);
+    a.s_d(FReg::F6, trace_frame.slot("t"), Reg::SP);
+    a.s_d(FReg::F6, trace_frame.slot("shade_in"), Reg::SP);
+    a.l_d(FReg::F12, trace_frame.slot("shade_in"), Reg::SP);
+    a.call("shade");
+    a.lw_gp(Reg::T0, "hits", 0);
+    a.addiu(Reg::T0, Reg::T0, 1);
+    a.sw_gp(Reg::T0, "hits", 0);
+    a.epilogue_ret(&trace_frame);
+    a.label("miss");
+    a.li_d(FReg::F0, 0);
+    a.epilogue_ret(&trace_frame);
+
+    // shade(f12 = t) -> f0 = t / (1 + t²), through the frame.
+    a.label("shade");
+    a.prologue(&shade_frame);
+    a.s_d(FReg::F12, shade_frame.slot("n"), Reg::SP);
+    a.mul_d(FReg::F0, FReg::F12, FReg::F12);
+    a.li_d(FReg::F2, 1);
+    a.add_d(FReg::F0, FReg::F0, FReg::F2);
+    a.s_d(FReg::F0, shade_frame.slot("l"), Reg::SP);
+    a.l_d(FReg::F4, shade_frame.slot("n"), Reg::SP);
+    a.l_d(FReg::F6, shade_frame.slot("l"), Reg::SP);
+    a.div_d(FReg::F0, FReg::F4, FReg::F6);
+    a.l_d_gp(FReg::F8, "energy", 0);
+    a.add_d(FReg::F8, FReg::F8, FReg::F0);
+    a.s_d_gp(FReg::F8, "energy", 0);
+    a.epilogue_ret(&shade_frame);
+
+    a.label("start");
+    a.li(Reg::S0, 99991); // LCG state
+    a.li(Reg::S6, rays as i32);
+    a.label("ray_loop");
+    a.li(Reg::T0, 1103515245);
+    a.mult(Reg::S0, Reg::T0);
+    a.mflo(Reg::S0);
+    a.addiu(Reg::S0, Reg::S0, 12345);
+    a.srl(Reg::T1, Reg::S0, 18);
+    a.andi(Reg::T1, Reg::T1, 0x3fff);
+    a.addiu(Reg::T1, Reg::T1, -8192);
+    a.mtc1(Reg::T1, FReg::F12);
+    a.cvt_d_w(FReg::F12, FReg::F12);
+    a.li_d(FReg::F14, 8192);
+    a.div_d(FReg::F12, FReg::F12, FReg::F14); // ox ∈ (-1, 1)
+    a.srl(Reg::T2, Reg::S0, 4);
+    a.andi(Reg::T2, Reg::T2, 0x3fff);
+    a.addiu(Reg::T2, Reg::T2, -8192);
+    a.mtc1(Reg::T2, FReg::F16);
+    a.cvt_d_w(FReg::F16, FReg::F16);
+    a.div_d(FReg::F14, FReg::F16, FReg::F14); // dx ∈ (-1, 1)
+    a.call("trace");
+    a.addiu(Reg::S6, Reg::S6, -1);
+    a.bgtz(Reg::S6, "ray_loop");
+
+    a.lw_gp(Reg::V1, "hits", 0);
+    a.sll(Reg::T0, Reg::V1, 13);
+    a.xor_(Reg::V1, Reg::V1, Reg::T0);
+    a.addiu(Reg::V1, Reg::V1, 7);
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("ora", sw).expect("ora links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

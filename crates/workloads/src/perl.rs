@@ -1,0 +1,159 @@
+//! `perl` — string hashing, symbol-table interning and an interpreter
+//! stack.
+//!
+//! Reference behavior modelled: byte-wise string hashing (zero-offset
+//! loads), chained hash buckets of `malloc`'d entries (pointer chasing at
+//! small structure offsets), and push/pop traffic on an interpreter value
+//! stack — with a real function call per interned string.
+
+use crate::common::{gp_filler, rng, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::Reg;
+use rand::Rng;
+
+const BUCKETS: u32 = 256;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let lookups = scale.pick(24, 11_000);
+    let distinct = scale.pick(6, 700);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x9ef1, 2100);
+
+    // String pool: `distinct` strings of 4–12 chars; the lookup sequence
+    // references them with a skewed reuse pattern.
+    let mut r = rng(0x9E71);
+    let mut blob = Vec::new();
+    let mut meta = Vec::new(); // (offset, len)
+    for _ in 0..distinct {
+        let len = r.gen_range(4..=12);
+        meta.push((blob.len() as u32, len as u32));
+        for _ in 0..len {
+            blob.push(b'a' + r.gen_range(0..26) as u8);
+        }
+    }
+    let seq: Vec<u32> = (0..lookups)
+        .map(|_| {
+            let d = r.gen_range(0..distinct);
+            (d * d / distinct.max(1)) % distinct // skew toward high indices
+        })
+        .collect();
+    let seq_words: Vec<u32> = seq
+        .iter()
+        .map(|&i| {
+            let (o, l) = meta[i as usize];
+            (o << 8) | l
+        })
+        .collect();
+    a.far_bytes("strings", &blob);
+    a.far_words("sequence", &seq_words);
+    a.far_array("buckets", BUCKETS * 4, 4);
+    a.far_array("vstack", 8192, 4);
+    a.gp_word("checksum", 0);
+    a.gp_word("interned", 0);
+
+    let intern_frame = FrameBuilder::new(*sw)
+        .save_ra()
+        .save(Reg::S4)
+        .save(Reg::S5)
+        .scalar("hash")
+        .build();
+
+    a.j("start");
+
+    // intern(a0 = str ptr, a1 = len) -> v0 = entry pointer.
+    // Entry layout: next @0, hash @4, len @8, str @12 (16 bytes).
+    a.label("intern");
+    a.prologue(&intern_frame);
+    a.move_(Reg::S4, Reg::A0);
+    a.move_(Reg::S5, Reg::A1);
+    // hash = fold bytes (zero-offset post-increment loads)
+    a.li(Reg::V0, 5381);
+    a.move_(Reg::T0, Reg::A0);
+    a.move_(Reg::T1, Reg::A1);
+    a.label("hash_loop");
+    a.lbu_pi(Reg::T2, Reg::T0, 1);
+    a.sll(Reg::T3, Reg::V0, 5);
+    a.addu(Reg::V0, Reg::V0, Reg::T3);
+    a.xor_(Reg::V0, Reg::V0, Reg::T2);
+    a.addiu(Reg::T1, Reg::T1, -1);
+    a.bgtz(Reg::T1, "hash_loop");
+    a.sw(Reg::V0, intern_frame.slot("hash"), Reg::SP);
+    // bucket chain walk
+    a.andi(Reg::T4, Reg::V0, (BUCKETS - 1) as u16);
+    a.sll(Reg::T4, Reg::T4, 2);
+    a.la(Reg::T5, "buckets", 0);
+    a.addu(Reg::S6, Reg::T5, Reg::T4); // bucket slot address
+    a.lw(Reg::T6, 0, Reg::S6);
+    a.label("chain");
+    a.beq(Reg::T6, Reg::ZERO, "miss");
+    a.lw(Reg::T7, 4, Reg::T6); // entry.hash
+    a.lw(Reg::T8, intern_frame.slot("hash"), Reg::SP);
+    a.bne(Reg::T7, Reg::T8, "chain_next");
+    a.lw(Reg::T7, 8, Reg::T6); // entry.len
+    a.beq(Reg::T7, Reg::S5, "hit");
+    a.label("chain_next");
+    a.lw(Reg::T6, 0, Reg::T6); // entry.next
+    a.j("chain");
+    a.label("miss");
+    a.alloc_fixed(Reg::V0, 16, sw);
+    a.lw(Reg::T7, 0, Reg::S6);
+    a.sw(Reg::T7, 0, Reg::V0); // next = old head
+    a.lw(Reg::T8, intern_frame.slot("hash"), Reg::SP);
+    a.sw(Reg::T8, 4, Reg::V0);
+    a.sw(Reg::S5, 8, Reg::V0);
+    a.sw(Reg::S4, 12, Reg::V0);
+    a.sw(Reg::V0, 0, Reg::S6); // bucket head = entry
+    a.lw_gp(Reg::T9, "interned", 0);
+    a.addiu(Reg::T9, Reg::T9, 1);
+    a.sw_gp(Reg::T9, "interned", 0);
+    a.epilogue_ret(&intern_frame);
+    a.label("hit");
+    a.move_(Reg::V0, Reg::T6);
+    a.epilogue_ret(&intern_frame);
+
+    a.label("start");
+    a.la(Reg::S0, "sequence", 0);
+    a.li(Reg::S1, lookups as i32);
+    a.la(Reg::S2, "vstack", 0); // interpreter stack pointer (upward)
+    a.li(Reg::S3, 0); // stack depth
+    a.label("main_loop");
+    a.lw_pi(Reg::T0, Reg::S0, 4); // packed (offset << 8 | len)
+    a.andi(Reg::A1, Reg::T0, 0xff);
+    a.srl(Reg::A0, Reg::T0, 8);
+    a.la(Reg::T1, "strings", 0);
+    a.addu(Reg::A0, Reg::T1, Reg::A0);
+    a.call("intern");
+    // push the entry's hash on the value stack
+    a.lw(Reg::T2, 4, Reg::V0);
+    a.sw_pi(Reg::T2, Reg::S2, 4);
+    a.addiu(Reg::S3, Reg::S3, 1);
+    // every 8 pushes, pop 6 and fold into the checksum
+    a.andi(Reg::T3, Reg::S3, 7);
+    a.bne(Reg::T3, Reg::ZERO, "no_fold");
+    a.li(Reg::T4, 6);
+    a.label("pop_loop");
+    a.addiu(Reg::S2, Reg::S2, -4);
+    a.lw(Reg::T5, 0, Reg::S2);
+    a.lw_gp(Reg::T6, "checksum", 0);
+    a.xor_(Reg::T6, Reg::T6, Reg::T5);
+    a.sll(Reg::T7, Reg::T6, 3);
+    a.addu(Reg::T6, Reg::T6, Reg::T7);
+    a.sw_gp(Reg::T6, "checksum", 0);
+    a.addiu(Reg::T4, Reg::T4, -1);
+    a.bgtz(Reg::T4, "pop_loop");
+    a.addiu(Reg::S3, Reg::S3, -6);
+    a.label("no_fold");
+    a.addiu(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, "main_loop");
+    a.halt();
+    a.link("perl", sw).expect("perl links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

@@ -1,0 +1,125 @@
+//! `sc` — spreadsheet cell-grid recalculation.
+//!
+//! Reference behavior modelled: a 2-D grid of cell *structures* walked in
+//! row-major order, each recalculation reading neighbour cells (small
+//! structure-field offsets off walking pointers, plus a cross-row access
+//! through a computed pointer) and updating per-column totals held in the
+//! gp-addressable region. Structure sizes feel the §4 rounding policy
+//! (20 → 32 bytes with support).
+
+use crate::common::{gp_filler, random_words, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let (rows, cols) = (scale.pick(6, 72), scale.pick(6, 72));
+    let passes = scale.pick(2, 12);
+    // Cell: value @0, coeff @4, acc @8, flags @12, note @16 — 20 bytes raw.
+    let cell = sw.round_struct_size(20);
+    let row_bytes = cols * cell;
+
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x5cf1, 1900);
+    a.far_array("grid", rows * row_bytes, 4);
+    a.far_words("coeffs", &random_words(0x5C, (rows * cols) as usize, 97));
+    a.gp_array("col_totals", cols * 4, 4);
+    a.gp_word("checksum", 0);
+    a.gp_word("recalcs", 0);
+
+    // Initialize the grid: value = coeff, walking pointers.
+    a.la(Reg::S0, "grid", 0);
+    a.la(Reg::S1, "coeffs", 0);
+    a.li(Reg::T0, (rows * cols) as i32);
+    a.label("init");
+    a.lw_pi(Reg::T1, Reg::S1, 4);
+    a.sw(Reg::T1, 0, Reg::S0); // value
+    a.sw(Reg::T1, 4, Reg::S0); // coeff
+    a.sw(Reg::ZERO, 8, Reg::S0); // acc
+    a.sw(Reg::ZERO, 12, Reg::S0); // flags
+    a.addiu(Reg::S0, Reg::S0, cell as i16);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "init");
+
+    // Recalculation passes over the interior. The recalc keeps its row
+    // bookkeeping in a stack frame (spreadsheet evaluators spill plenty of
+    // state), giving sc its stack-pointer reference stream.
+    let frame = FrameBuilder::new(*sw)
+        .scalar("row")
+        .scalar("col_base")
+        .scalar("pass_no")
+        .build();
+    a.prologue(&frame);
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    a.li(Reg::S2, 1); // row = 1..rows
+    a.label("row_loop");
+    a.sw(Reg::S2, frame.slot("row"), Reg::SP);
+    a.sw(Reg::S7, frame.slot("pass_no"), Reg::SP);
+    // cell pointer = grid + row*row_bytes + cell (column 1)
+    a.li(Reg::T0, row_bytes as i32);
+    a.mult(Reg::S2, Reg::T0);
+    a.mflo(Reg::T1);
+    a.la(Reg::T2, "grid", cell as i32);
+    a.addu(Reg::S3, Reg::T2, Reg::T1);
+    a.li(Reg::S4, 1); // col
+    a.label("col_loop");
+    a.lw(Reg::T3, 0, Reg::S3); // this.value
+    a.lw(Reg::T4, (cell as i16).wrapping_neg(), Reg::S3); // left.value (negative offset)
+    // up.value through a computed pointer (row stride too large for carry-free)
+    a.li(Reg::T5, row_bytes as i32);
+    a.subu(Reg::T6, Reg::S3, Reg::T5);
+    a.lw(Reg::T6, 0, Reg::T6);
+    a.lw(Reg::T7, 4, Reg::S3); // this.coeff
+    a.addu(Reg::T3, Reg::T3, Reg::T4);
+    a.addu(Reg::T3, Reg::T3, Reg::T6);
+    a.addu(Reg::T3, Reg::T3, Reg::T7);
+    a.sw(Reg::T3, 8, Reg::S3); // this.acc
+    a.sw(Reg::T3, 0, Reg::S3); // this.value
+    // col_totals[col] += value (gp-region array via computed address)
+    a.sll(Reg::T8, Reg::S4, 2);
+    a.gp_addr(Reg::T9, "col_totals", 0);
+    a.addu(Reg::T9, Reg::T9, Reg::T8);
+    a.lw(Reg::T8, 0, Reg::T9);
+    a.addu(Reg::T8, Reg::T8, Reg::T3);
+    a.sw(Reg::T8, 0, Reg::T9);
+    a.lw_gp(Reg::T8, "recalcs", 0);
+    a.addiu(Reg::T8, Reg::T8, 1);
+    a.sw_gp(Reg::T8, "recalcs", 0);
+    a.addiu(Reg::S3, Reg::S3, cell as i16);
+    a.addiu(Reg::S4, Reg::S4, 1);
+    a.li(Reg::T0, cols as i32);
+    a.slt(Reg::T1, Reg::S4, Reg::T0);
+    a.bgtz(Reg::T1, "col_loop");
+    a.lw(Reg::S2, frame.slot("row"), Reg::SP);
+    a.addiu(Reg::S2, Reg::S2, 1);
+    a.li(Reg::T0, rows as i32);
+    a.slt(Reg::T1, Reg::S2, Reg::T0);
+    a.bgtz(Reg::T1, "row_loop");
+    a.lw(Reg::S7, frame.slot("pass_no"), Reg::SP);
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum: fold the column totals.
+    a.gp_addr(Reg::S0, "col_totals", 0);
+    a.li(Reg::T0, cols as i32);
+    a.li(Reg::V1, 0);
+    a.label("fold");
+    a.lw_pi(Reg::T1, Reg::S0, 4);
+    a.xor_(Reg::V1, Reg::V1, Reg::T1);
+    a.sll(Reg::T2, Reg::V1, 3);
+    a.addu(Reg::V1, Reg::V1, Reg::T2);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("sc", sw).expect("sc links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

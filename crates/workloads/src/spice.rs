@@ -1,0 +1,116 @@
+//! `spice` — sparse-matrix circuit solve (CSR sweep).
+//!
+//! Reference behavior modelled: sparse matrix–vector products where the
+//! column-index and value streams walk with post-increment loads but the
+//! gather `x[col]` is a register+register access with a large index — the
+//! paper names spice as the benchmark whose register+register addressing
+//! and large index offsets keep its misprediction rate high even with
+//! software support.
+
+use crate::common::{gp_filler, random_doubles, rng, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+use rand::Rng;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(12, 640);
+    let per_row = scale.pick(3, 6);
+    let passes = scale.pick(2, 28);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x59f1, 2000);
+    let mut r = rng(0x591C);
+
+    // CSR structure: row_ptr entries count, col_idx pre-scaled to byte
+    // offsets (×8 for doubles), values random.
+    let mut row_ptr = vec![0u32];
+    let mut col_idx = Vec::new();
+    for _ in 0..n {
+        for _ in 0..per_row {
+            col_idx.push(r.gen_range(0..n) * 8);
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    a.far_words("row_ptr", &row_ptr);
+    a.far_words("col_idx", &col_idx);
+    a.far_doubles("values", &random_doubles(0x59D, col_idx.len()));
+    a.far_doubles("x", &random_doubles(0x59E, n as usize));
+    a.far_array("y", n * 8, 8);
+    a.gp_word("checksum", 0);
+    a.gp_word("nnz_visited", 0);
+
+    // Row bookkeeping lives in a stack frame (the solver's local state),
+    // providing spice's stack-pointer reference stream.
+    let frame = FrameBuilder::new(*sw)
+        .scalar("rows_left")
+        .scalar_sized("row_sum", 8)
+        .build();
+    a.prologue(&frame);
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    a.la(Reg::S0, "col_idx", 0);
+    a.la(Reg::S1, "values", 0);
+    a.la(Reg::S2, "x", 0);
+    a.la(Reg::S3, "y", 0);
+    a.li(Reg::S4, n as i32); // rows remaining
+    a.li(Reg::T9, 0); // visited count (folded into gp at row end)
+    a.label("row_loop");
+    a.sw(Reg::S4, frame.slot("rows_left"), Reg::SP);
+    a.li_d(FReg::F4, 0); // row accumulator
+    a.li(Reg::S5, per_row as i32);
+    a.label("nnz_loop");
+    a.lw_pi(Reg::T0, Reg::S0, 4); // column byte offset (zero-offset load)
+    a.l_d_pi(FReg::F0, Reg::S1, 8); // matrix value
+    a.l_d_x(FReg::F2, Reg::S2, Reg::T0); // x[col]: large reg+reg gather
+    a.mul_d(FReg::F0, FReg::F0, FReg::F2);
+    a.add_d(FReg::F4, FReg::F4, FReg::F0);
+    a.addiu(Reg::T9, Reg::T9, 1);
+    a.addiu(Reg::S5, Reg::S5, -1);
+    a.bgtz(Reg::S5, "nnz_loop");
+    a.s_d(FReg::F4, frame.slot("row_sum"), Reg::SP);
+    a.l_d(FReg::F4, frame.slot("row_sum"), Reg::SP);
+    a.s_d_pi(FReg::F4, Reg::S3, 8); // y[row]
+    a.lw_gp(Reg::T1, "nnz_visited", 0);
+    a.addu(Reg::T1, Reg::T1, Reg::T9);
+    a.sw_gp(Reg::T1, "nnz_visited", 0);
+    a.li(Reg::T9, 0);
+    a.lw(Reg::S4, frame.slot("rows_left"), Reg::SP);
+    a.addiu(Reg::S4, Reg::S4, -1);
+    a.bgtz(Reg::S4, "row_loop");
+    // Feed y back into x (damped) so every pass differs: x[i] = y[i]/2.
+    a.la(Reg::S2, "x", 0);
+    a.la(Reg::S3, "y", 0);
+    a.li(Reg::T0, n as i32);
+    a.li_d(FReg::F6, 2);
+    a.label("feedback");
+    a.l_d_pi(FReg::F0, Reg::S3, 8);
+    a.div_d(FReg::F0, FReg::F0, FReg::F6);
+    a.s_d_pi(FReg::F0, Reg::S2, 8);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "feedback");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum: fold bit patterns of y.
+    a.la(Reg::S3, "y", 0);
+    a.li(Reg::T0, n as i32);
+    a.li(Reg::V1, 5);
+    a.label("fold");
+    a.lw_pi(Reg::T1, Reg::S3, 4);
+    a.lw_pi(Reg::T2, Reg::S3, 4);
+    a.xor_(Reg::V1, Reg::V1, Reg::T1);
+    a.addu(Reg::V1, Reg::V1, Reg::T2);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("spice", sw).expect("spice links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

@@ -1,0 +1,104 @@
+//! `su2cor` — quark-gluon lattice sweep (4-D nearest neighbors).
+//!
+//! Reference behavior modelled: site updates reading four forward
+//! neighbors whose strides grow geometrically with the dimension — the
+//! small-dimension neighbors are reached with *large constant offsets*
+//! (the Figure 3 tail of large offsets for the FORTRAN codes) and the
+//! largest dimension through a computed pointer.
+
+use crate::common::{gp_filler, random_doubles, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let l = scale.pick(3, 6); // lattice side
+    let passes = scale.pick(1, 26);
+    let sites = l * l * l * l;
+    let site_bytes = 8u32; // one double per site
+    // Strides in bytes for the four dimensions.
+    let s0 = site_bytes;
+    let s1 = s0 * l;
+    let s2 = s1 * l;
+    let s3 = s2 * l;
+
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x52f1, 1400);
+    a.far_doubles("lattice", &random_doubles(0x52C0, sites as usize));
+    a.far_array("staple", sites * 8, 8);
+    a.gp_word("checksum", 0);
+    a.gp_word("site_updates", 0);
+
+    // Interior sweep: sites 0 .. sites - l³ - l² - l - 1 so every forward
+    // neighbor stays in bounds.
+    let interior = sites - l * l * l - l * l - l - 1;
+
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    a.la(Reg::S0, "lattice", 0);
+    a.la(Reg::S1, "staple", 0);
+    a.li(Reg::S2, interior as i32);
+    a.label("site_loop");
+    a.l_d(FReg::F0, 0, Reg::S0); // site value
+    // Dimension 0/1/2 neighbors: constant displacements, growing large.
+    a.l_d(FReg::F2, s0 as i16, Reg::S0);
+    a.l_d(FReg::F4, s1 as i16, Reg::S0);
+    a.l_d(FReg::F6, s2 as i16, Reg::S0);
+    // Dimension 3: stride exceeds the useful immediate range for big
+    // lattices — computed pointer, as a compiler without strength
+    // reduction would emit.
+    a.li(Reg::T0, s3 as i32);
+    a.addu(Reg::T1, Reg::S0, Reg::T0);
+    a.l_d(FReg::F8, 0, Reg::T1);
+    // staple = v + (n0 + n1 + n2 + n3) / 4
+    a.add_d(FReg::F2, FReg::F2, FReg::F4);
+    a.add_d(FReg::F2, FReg::F2, FReg::F6);
+    a.add_d(FReg::F2, FReg::F2, FReg::F8);
+    a.li_d(FReg::F10, 4);
+    a.div_d(FReg::F2, FReg::F2, FReg::F10);
+    a.add_d(FReg::F0, FReg::F0, FReg::F2);
+    a.s_d_pi(FReg::F0, Reg::S1, 8);
+    a.addiu(Reg::S0, Reg::S0, site_bytes as i16);
+    a.lw_gp(Reg::T2, "site_updates", 0);
+    a.addiu(Reg::T2, Reg::T2, 1);
+    a.sw_gp(Reg::T2, "site_updates", 0);
+    a.addiu(Reg::S2, Reg::S2, -1);
+    a.bgtz(Reg::S2, "site_loop");
+    // Write the staples back (damped) so passes interact.
+    a.la(Reg::S0, "lattice", 0);
+    a.la(Reg::S1, "staple", 0);
+    a.li(Reg::S2, interior as i32);
+    a.li_d(FReg::F10, 2);
+    a.label("write_back");
+    a.l_d_pi(FReg::F0, Reg::S1, 8);
+    a.div_d(FReg::F0, FReg::F0, FReg::F10);
+    a.s_d_pi(FReg::F0, Reg::S0, 8);
+    a.addiu(Reg::S2, Reg::S2, -1);
+    a.bgtz(Reg::S2, "write_back");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum over the lattice bit patterns.
+    a.la(Reg::S0, "lattice", 0);
+    a.li(Reg::T0, sites as i32);
+    a.li(Reg::V1, 11);
+    a.label("fold");
+    a.lw_pi(Reg::T1, Reg::S0, 8);
+    a.xor_(Reg::V1, Reg::V1, Reg::T1);
+    a.sll(Reg::T2, Reg::V1, 1);
+    a.srl(Reg::T3, Reg::V1, 31);
+    a.or_(Reg::V1, Reg::T2, Reg::T3);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("su2cor", sw).expect("su2cor links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

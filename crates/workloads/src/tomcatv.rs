@@ -1,0 +1,116 @@
+//! `tomcatv` — 2-D vectorized mesh generation (stencil sweeps).
+//!
+//! Reference behavior modelled: interior sweeps over N×N double grids where
+//! the east/west neighbors ride small constant offsets off a walking
+//! pointer but the north/south neighbors need the full row stride — large
+//! constant offsets the carry-free adder cannot absorb, plus a
+//! register+register residual pass (the paper singles out tomcatv for
+//! ineffective strength reduction and large index offsets).
+
+use crate::common::{gp_filler, random_doubles, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::{FReg, Reg};
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(8, 96); // grid side
+    let passes = scale.pick(2, 6);
+    let row = n * 8; // row stride in bytes
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x70f1, 800);
+    a.far_doubles("xg", &random_doubles(0x70CA, (n * n) as usize));
+    a.far_doubles("yg", &random_doubles(0x70CB, (n * n) as usize));
+    a.far_array("rx", n * n * 8, 8);
+    a.gp_word("checksum", 0);
+    a.gp_word("residual_bits", 0);
+
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    // Stencil: rx[i][j] = (x[i][j-1] + x[i][j+1] + x[i-1][j] + x[i+1][j])/4
+    //                      - x[i][j] + y[i][j]/8
+    a.li(Reg::S2, 1); // i
+    a.label("row_loop");
+    // walking pointers for row i
+    a.li(Reg::T0, row as i32);
+    a.mult(Reg::S2, Reg::T0);
+    a.mflo(Reg::T1);
+    a.la(Reg::T2, "xg", 8);
+    a.addu(Reg::S0, Reg::T2, Reg::T1); // &x[i][1]
+    a.la(Reg::T2, "yg", 8);
+    a.addu(Reg::S3, Reg::T2, Reg::T1); // &y[i][1]
+    a.la(Reg::T2, "rx", 8);
+    a.addu(Reg::S4, Reg::T2, Reg::T1); // &rx[i][1]
+    a.li(Reg::S5, (n - 2) as i32); // j count
+    a.label("col_loop");
+    a.l_d(FReg::F0, -8, Reg::S0); // west (small negative offset)
+    a.l_d(FReg::F2, 8, Reg::S0); // east
+    a.l_d(FReg::F4, (row as i16).wrapping_neg(), Reg::S0); // north: big offset
+    a.l_d(FReg::F6, row as i16, Reg::S0); // south: big offset
+    a.add_d(FReg::F0, FReg::F0, FReg::F2);
+    a.add_d(FReg::F0, FReg::F0, FReg::F4);
+    a.add_d(FReg::F0, FReg::F0, FReg::F6);
+    a.li_d(FReg::F8, 4);
+    a.div_d(FReg::F0, FReg::F0, FReg::F8);
+    a.l_d(FReg::F10, 0, Reg::S0); // center
+    a.sub_d(FReg::F0, FReg::F0, FReg::F10);
+    a.l_d(FReg::F12, 0, Reg::S3); // y
+    a.li_d(FReg::F14, 8);
+    a.div_d(FReg::F12, FReg::F12, FReg::F14);
+    a.add_d(FReg::F0, FReg::F0, FReg::F12);
+    a.s_d(FReg::F0, 0, Reg::S4);
+    a.addiu(Reg::S0, Reg::S0, 8);
+    a.addiu(Reg::S3, Reg::S3, 8);
+    a.addiu(Reg::S4, Reg::S4, 8);
+    a.addiu(Reg::S5, Reg::S5, -1);
+    a.bgtz(Reg::S5, "col_loop");
+    a.addiu(Reg::S2, Reg::S2, 1);
+    a.li(Reg::T0, (n - 1) as i32);
+    a.slt(Reg::T1, Reg::S2, Reg::T0);
+    a.bgtz(Reg::T1, "row_loop");
+
+    // Residual pass: x += rx/2, using register+register indexing (the
+    // form GCC emits when strength reduction fails).
+    a.la(Reg::S0, "xg", 0);
+    a.la(Reg::S4, "rx", 0);
+    a.li(Reg::S5, 0); // byte index
+    a.li(Reg::T9, (n * n * 8) as i32);
+    a.li_d(FReg::F8, 2);
+    a.label("resid_loop");
+    a.l_d_x(FReg::F0, Reg::S4, Reg::S5); // rx[k] via reg+reg
+    a.div_d(FReg::F0, FReg::F0, FReg::F8);
+    a.l_d_x(FReg::F2, Reg::S0, Reg::S5); // x[k] via reg+reg
+    a.add_d(FReg::F2, FReg::F2, FReg::F0);
+    a.s_d_x(FReg::F2, Reg::S0, Reg::S5);
+    a.addiu(Reg::S5, Reg::S5, 8);
+    a.slt(Reg::T1, Reg::S5, Reg::T9);
+    a.bgtz(Reg::T1, "resid_loop");
+    a.lw_gp(Reg::T2, "residual_bits", 0);
+    a.addiu(Reg::T2, Reg::T2, 1);
+    a.sw_gp(Reg::T2, "residual_bits", 0);
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum over the x grid bit patterns.
+    a.la(Reg::S0, "xg", 0);
+    a.li(Reg::T0, (n * n) as i32);
+    a.li(Reg::V1, 23);
+    a.label("fold");
+    a.lw_pi(Reg::T1, Reg::S0, 8);
+    a.xor_(Reg::V1, Reg::V1, Reg::T1);
+    a.sll(Reg::T2, Reg::V1, 1);
+    a.srl(Reg::T3, Reg::V1, 31);
+    a.or_(Reg::V1, Reg::T2, Reg::T3);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fold");
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("tomcatv", sw).expect("tomcatv links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

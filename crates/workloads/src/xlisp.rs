@@ -1,0 +1,107 @@
+//! `xlisp` — cons-cell allocation, list traversal and a free-list sweep.
+//!
+//! Reference behavior modelled: a lisp interpreter's heap of tiny cons
+//! cells (8 bytes — so the §4 `malloc` alignment change from 8 to 32 bytes
+//! has a large effect on both prediction accuracy and memory usage, cf. the
+//! paper's +21% memory for Xlisp), recursive list walks (stack frames), and
+//! car/cdr chasing with offsets 0 and 4.
+
+use crate::common::{gp_filler, random_words, Scale};
+use fac_asm::{Asm, FrameBuilder, Program, SoftwareSupport};
+use fac_isa::Reg;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let n = scale.pick(20, 230); // list length
+    let passes = scale.pick(2, 130);
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0x71f1, 2600);
+    a.far_words("values", &random_words(0x715, n as usize, 1 << 20));
+    a.gp_word("checksum", 0);
+    a.gp_word("free_list", 0);
+    a.gp_word("cells_live", 0);
+
+    let sum_frame = FrameBuilder::new(*sw).save_ra().save(Reg::S4).build();
+
+    // cons(a0=car, a1=cdr) -> v0: pops the free list, else allocates.
+    a.j("start");
+    a.label("cons");
+    a.lw_gp(Reg::V0, "free_list", 0);
+    a.beq(Reg::V0, Reg::ZERO, "cons_fresh");
+    a.lw(Reg::T8, 4, Reg::V0); // next free
+    a.sw_gp(Reg::T8, "free_list", 0);
+    a.j("cons_fill");
+    a.label("cons_fresh");
+    a.alloc_fixed(Reg::V0, 8, sw);
+    a.label("cons_fill");
+    a.sw(Reg::A0, 0, Reg::V0); // car
+    a.sw(Reg::A1, 4, Reg::V0); // cdr
+    a.lw_gp(Reg::T8, "cells_live", 0);
+    a.addiu(Reg::T8, Reg::T8, 1);
+    a.sw_gp(Reg::T8, "cells_live", 0);
+    a.ret();
+
+    // sum_list(a0=list) -> v0: recursive car sum.
+    a.label("sum_list");
+    a.bne(Reg::A0, Reg::ZERO, "sum_rec");
+    a.li(Reg::V0, 0);
+    a.ret();
+    a.label("sum_rec");
+    a.prologue(&sum_frame);
+    a.move_(Reg::S4, Reg::A0);
+    a.lw(Reg::A0, 4, Reg::S4); // cdr
+    a.call("sum_list");
+    a.lw(Reg::T0, 0, Reg::S4); // car
+    a.addu(Reg::V0, Reg::V0, Reg::T0);
+    a.epilogue_ret(&sum_frame);
+
+    // free_all(a0=list): push every cell onto the free list.
+    a.label("free_all");
+    a.label("free_loop");
+    a.beq(Reg::A0, Reg::ZERO, "free_done");
+    a.lw(Reg::T0, 4, Reg::A0); // next
+    a.lw_gp(Reg::T1, "free_list", 0);
+    a.sw(Reg::T1, 4, Reg::A0);
+    a.sw_gp(Reg::A0, "free_list", 0);
+    a.move_(Reg::A0, Reg::T0);
+    a.j("free_loop");
+    a.label("free_done");
+    a.ret();
+
+    a.label("start");
+    a.li(Reg::S7, passes as i32);
+    a.li(Reg::S6, 0); // rolling checksum
+    a.label("pass");
+    // Build the list from the value table (cons in reverse).
+    a.la(Reg::S0, "values", 0);
+    a.li(Reg::S1, n as i32);
+    a.li(Reg::S2, 0); // list head
+    a.label("build");
+    a.lw_pi(Reg::A0, Reg::S0, 4);
+    a.move_(Reg::A1, Reg::S2);
+    a.call("cons");
+    a.move_(Reg::S2, Reg::V0);
+    a.addiu(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, "build");
+    // Sum it recursively, mix into the checksum, then recycle the cells.
+    a.move_(Reg::A0, Reg::S2);
+    a.call("sum_list");
+    a.xor_(Reg::S6, Reg::S6, Reg::V0);
+    a.sll(Reg::T0, Reg::S6, 5);
+    a.addu(Reg::S6, Reg::S6, Reg::T0);
+    a.move_(Reg::A0, Reg::S2);
+    a.call("free_all");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+    a.sw_gp(Reg::S6, "checksum", 0);
+    a.halt();
+    a.link("xlisp", sw).expect("xlisp links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

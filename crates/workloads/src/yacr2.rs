@@ -1,0 +1,140 @@
+//! `yacr2` — VLSI channel routing.
+//!
+//! Reference behavior modelled: column-by-column scans over parallel
+//! terminal arrays (register+register indexed reads), greedy track
+//! assignment over arrays of net structures (small structure offsets), and
+//! per-track occupancy arrays updated with computed addresses.
+
+use crate::common::{gp_filler, rng, Scale};
+use fac_asm::{Asm, Program, SoftwareSupport};
+use fac_isa::Reg;
+use rand::Rng;
+
+/// Builds the kernel.
+pub fn build(sw: &SoftwareSupport, scale: Scale) -> Program {
+    let cols = scale.pick(16, 760);
+    let nets = scale.pick(6, 380);
+    let tracks = scale.pick(4, 28);
+    let passes = scale.pick(2, 12);
+    // Net: start @0, end @4, track @8 — 12 bytes → 16 with support.
+    let net_size = sw.round_struct_size(12);
+
+    let mut a = Asm::new();
+    gp_filler(&mut a, 0xacf1, 1500);
+    let mut r = rng(0xAC52);
+    // Each net spans [start, end) columns.
+    let mut net_words = Vec::new();
+    for _ in 0..nets {
+        let s = r.gen_range(0..cols.saturating_sub(2));
+        let e = r.gen_range(s + 1..cols);
+        net_words.push((s, e));
+    }
+    let mut blob = Vec::new();
+    for &(s, e) in &net_words {
+        blob.push(s);
+        blob.push(e);
+        blob.push(0);
+        if net_size == 16 {
+            blob.push(0);
+        }
+    }
+    a.far_words("net_array", &blob);
+    // top[c]/bot[c]: net ids pinned at each column.
+    let top: Vec<u32> = (0..cols).map(|_| r.gen_range(0..nets)).collect();
+    let bot: Vec<u32> = (0..cols).map(|_| r.gen_range(0..nets)).collect();
+    a.far_words("top", &top);
+    a.far_words("bot", &bot);
+    a.far_array("track_end", tracks * 4, 4); // last used column per track
+    a.gp_word("checksum", 0);
+    a.gp_word("assigned", 0);
+    a.gp_word("density", 0);
+
+    a.li(Reg::S7, passes as i32);
+    a.label("pass");
+    // Phase 1: channel density — for each column, compare top/bot pins
+    // (reg+reg indexed loads).
+    a.la(Reg::S0, "top", 0);
+    a.la(Reg::S1, "bot", 0);
+    a.li(Reg::S2, 0); // column index
+    a.li(Reg::T9, 0); // local density accumulator
+    a.label("density_loop");
+    a.sll(Reg::T0, Reg::S2, 2);
+    a.lw_x(Reg::T1, Reg::S0, Reg::T0);
+    a.lw_x(Reg::T2, Reg::S1, Reg::T0);
+    a.sltu(Reg::T3, Reg::T1, Reg::T2);
+    a.addu(Reg::T9, Reg::T9, Reg::T3);
+    a.addiu(Reg::S2, Reg::S2, 1);
+    a.li(Reg::T4, cols as i32);
+    a.slt(Reg::T5, Reg::S2, Reg::T4);
+    a.bgtz(Reg::T5, "density_loop");
+    a.lw_gp(Reg::T6, "density", 0);
+    a.addu(Reg::T6, Reg::T6, Reg::T9);
+    a.sw_gp(Reg::T6, "density", 0);
+
+    // Phase 2: greedy left-edge track assignment.
+    // Reset track_end.
+    a.la(Reg::S3, "track_end", 0);
+    a.li(Reg::T0, tracks as i32);
+    a.label("reset_tracks");
+    a.li(Reg::T1, -1);
+    a.sw_pi(Reg::T1, Reg::S3, 4);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "reset_tracks");
+    a.la(Reg::S3, "net_array", 0);
+    a.li(Reg::S4, nets as i32);
+    a.label("net_loop");
+    a.lw(Reg::T0, 0, Reg::S3); // net.start
+    a.lw(Reg::T1, 4, Reg::S3); // net.end
+    // scan tracks for one whose last end < start
+    a.la(Reg::T2, "track_end", 0);
+    a.li(Reg::T3, tracks as i32);
+    a.li(Reg::T8, 0); // chosen track id
+    a.label("track_scan");
+    a.lw(Reg::T4, 0, Reg::T2);
+    a.slt(Reg::T5, Reg::T4, Reg::T0);
+    a.bgtz(Reg::T5, "track_found");
+    a.addiu(Reg::T2, Reg::T2, 4);
+    a.addiu(Reg::T8, Reg::T8, 1);
+    a.addiu(Reg::T3, Reg::T3, -1);
+    a.bgtz(Reg::T3, "track_scan");
+    // no track free: leave unassigned
+    a.li(Reg::T8, -1);
+    a.j("net_done");
+    a.label("track_found");
+    a.sw(Reg::T1, 0, Reg::T2); // track_end[t] = net.end
+    a.lw_gp(Reg::T6, "assigned", 0);
+    a.addiu(Reg::T6, Reg::T6, 1);
+    a.sw_gp(Reg::T6, "assigned", 0);
+    a.label("net_done");
+    a.sw(Reg::T8, 8, Reg::S3); // net.track
+    a.addiu(Reg::S3, Reg::S3, net_size as i16);
+    a.addiu(Reg::S4, Reg::S4, -1);
+    a.bgtz(Reg::S4, "net_loop");
+    a.addiu(Reg::S7, Reg::S7, -1);
+    a.bgtz(Reg::S7, "pass");
+
+    // Checksum: fold assigned tracks and density.
+    a.la(Reg::S3, "net_array", 0);
+    a.li(Reg::S4, nets as i32);
+    a.li(Reg::V1, 0);
+    a.label("fold");
+    a.lw(Reg::T0, 8, Reg::S3);
+    a.sll(Reg::T1, Reg::V1, 1);
+    a.addu(Reg::V1, Reg::T1, Reg::T0);
+    a.addiu(Reg::S3, Reg::S3, net_size as i16);
+    a.addiu(Reg::S4, Reg::S4, -1);
+    a.bgtz(Reg::S4, "fold");
+    a.lw_gp(Reg::T2, "density", 0);
+    a.xor_(Reg::V1, Reg::V1, Reg::T2);
+    a.sw_gp(Reg::V1, "checksum", 0);
+    a.halt();
+    a.link("yacr2", sw).expect("yacr2 links")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn kernel_is_sound() {
+        crate::common::testutil::check_kernel(super::build);
+    }
+}

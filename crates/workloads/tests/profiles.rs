@@ -1,0 +1,162 @@
+//! Per-kernel reference-behavior checks: each kernel must exhibit the
+//! addressing profile DESIGN.md §4 assigns it (the property the whole
+//! substitution argument rests on).
+
+use fac_asm::SoftwareSupport;
+use fac_core::{AddrFields, PredictorConfig};
+use fac_sim::{profile_predictions, ProfileReport, RefClass};
+use fac_workloads::{find, Scale};
+
+fn profile(name: &str) -> ProfileReport {
+    let wl = find(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    let p = wl.build(&SoftwareSupport::off(), Scale::Smoke);
+    profile_predictions(
+        &p,
+        AddrFields::for_direct_mapped(16 * 1024, 32),
+        PredictorConfig::default(),
+        100_000_000,
+    )
+    .expect("profiles")
+}
+
+fn class_fraction(p: &ProfileReport, class: RefClass) -> f64 {
+    p.loads_by_class[class.index()] as f64 / p.loads.max(1) as f64
+}
+
+fn zero_offset_fraction(p: &ProfileReport) -> f64 {
+    let h = &p.load_offsets[RefClass::General.index()];
+    if h.total() == 0 {
+        0.0
+    } else {
+        h.by_bits[0] as f64 / h.total() as f64
+    }
+}
+
+fn rr_fraction(p: &ProfileReport) -> f64 {
+    (p.pred_loads.attempts_rr + p.pred_stores.attempts_rr) as f64 / p.refs().max(1) as f64
+}
+
+#[test]
+fn compress_is_general_heavy_with_global_counters() {
+    let p = profile("compress");
+    assert!(class_fraction(&p, RefClass::General) > 0.7);
+    assert!(class_fraction(&p, RefClass::Global) > 0.05);
+}
+
+#[test]
+fn espresso_and_elvis_are_zero_offset_dominated() {
+    // The paper: zero was the most common offset for espresso; elvis has
+    // one of the lowest failure rates because of zero-offset dominance.
+    for name in ["espresso", "elvis", "alvinn"] {
+        let p = profile(name);
+        assert!(
+            zero_offset_fraction(&p) > 0.4,
+            "{name}: zero-offset fraction {:.2}",
+            zero_offset_fraction(&p)
+        );
+    }
+}
+
+#[test]
+fn fortran_scalar_codes_are_stack_heavy() {
+    for name in ["doduc", "ora"] {
+        let p = profile(name);
+        assert!(
+            class_fraction(&p, RefClass::Stack) > 0.5,
+            "{name}: stack fraction {:.2}",
+            class_fraction(&p, RefClass::Stack)
+        );
+    }
+}
+
+#[test]
+fn xlisp_has_the_largest_global_fraction() {
+    let p = profile("xlisp");
+    assert!(class_fraction(&p, RefClass::Global) > 0.2);
+}
+
+#[test]
+fn reg_reg_shows_up_where_the_paper_says() {
+    // grep (table lookups), spice (gathers), tomcatv (failed strength
+    // reduction), mdljsp2 (neighbor lists) use register+register
+    // addressing; compress and doduc do not.
+    for name in ["grep", "spice", "tomcatv", "mdljsp2"] {
+        let p = profile(name);
+        assert!(rr_fraction(&p) > 0.1, "{name}: r+r fraction {:.2}", rr_fraction(&p));
+    }
+    for name in ["compress", "doduc", "ora"] {
+        let p = profile(name);
+        assert!(rr_fraction(&p) < 0.05, "{name}: r+r fraction {:.2}", rr_fraction(&p));
+    }
+}
+
+#[test]
+fn loads_outnumber_stores_everywhere_except_ora() {
+    for wl in fac_workloads::suite() {
+        let p = profile(wl.name);
+        if wl.name == "ora" {
+            continue; // ora's frame spills store-heavy, like the original's 56/44 split
+        }
+        // Smoke scale lets initialization stores weigh more than at paper
+        // scale, so allow a 15% margin.
+        assert!(
+            p.loads as f64 >= p.stores as f64 * 0.85,
+            "{}: loads {} < stores {}",
+            wl.name,
+            p.loads,
+            p.stores
+        );
+    }
+}
+
+#[test]
+fn global_offsets_are_large_everywhere() {
+    // The gp-region filler gives every program the paper's "global offsets
+    // are partial addresses" property.
+    for name in ["compress", "gcc", "sc", "doduc", "spice"] {
+        let p = profile(name);
+        let h = &p.load_offsets[RefClass::Global.index()];
+        if h.total() == 0 {
+            continue;
+        }
+        assert!(
+            h.cumulative_at(7) < 0.5,
+            "{name}: most global offsets should need > 7 bits"
+        );
+    }
+}
+
+#[test]
+fn gcc_keeps_failing_with_software_support() {
+    // The obstack allocator defeats the §4 alignment support (paper §5.4).
+    let wl = find("gcc").unwrap();
+    let tuned = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+    let rep = profile_predictions(
+        &tuned,
+        AddrFields::for_direct_mapped(16 * 1024, 32),
+        PredictorConfig::default(),
+        100_000_000,
+    )
+    .unwrap();
+    assert!(
+        rep.pred_loads.fail_rate_all() > 0.01,
+        "gcc should retain obstack-driven failures, got {:.3}",
+        rep.pred_loads.fail_rate_all()
+    );
+}
+
+#[test]
+fn suite_wide_reference_mix_matches_table1() {
+    // Aggregate sanity: across the suite, loads are 40–100% of references
+    // and general addressing dominates.
+    let mut general_dominant = 0;
+    for wl in fac_workloads::suite() {
+        let p = profile(wl.name);
+        let load_frac = p.loads as f64 / p.refs() as f64;
+        assert!((0.4..=1.0).contains(&load_frac), "{}: load fraction {load_frac:.2}", wl.name);
+        if class_fraction(&p, RefClass::General) > 0.5 {
+            general_dominant += 1;
+        }
+    }
+    assert!(general_dominant >= 14, "general addressing dominates the suite");
+}

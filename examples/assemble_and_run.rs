@@ -1,0 +1,31 @@
+//! Assemble a textual program (examples/programs/dotprod.s) and run it on
+//! the baseline and FAC machines.
+//!
+//! ```sh
+//! cargo run --release --example assemble_and_run
+//! ```
+
+use fac::asm::{assemble_and_link, SoftwareSupport};
+use fac::sim::{Machine, MachineConfig};
+
+const SOURCE: &str = include_str!("programs/dotprod.s");
+
+fn main() {
+    let program = assemble_and_link(SOURCE, "dotprod", &SoftwareSupport::on())
+        .expect("assembles and links");
+    println!("assembled {} instructions\n", program.text.len());
+    println!("{}", program.disassemble());
+
+    for (label, cfg) in [
+        ("baseline", MachineConfig::paper_baseline()),
+        ("with FAC", MachineConfig::paper_baseline().with_fac()),
+    ] {
+        let r = Machine::new(cfg).run(&program).expect("runs");
+        println!(
+            "{label:9} {:>6} cycles (IPC {:.2})  checksum = {}",
+            r.stats.cycles,
+            r.ipc(),
+            r.final_state.mem.read_u32(program.symbol("checksum")),
+        );
+    }
+}

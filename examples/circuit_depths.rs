@@ -1,0 +1,29 @@
+//! The §3.1 critical-path argument in numbers: gate-level depth of the
+//! address paths before the cache row decode can begin.
+//!
+//! ```sh
+//! cargo run --release --example circuit_depths
+//! ```
+
+use fac::core::CriticalPathReport;
+
+fn main() {
+    println!("{:28} {:>14} {:>14} {:>12} {:>12} {:>10}", "cache geometry", "ripple AGEN", "CLA AGEN", "FAC index", "FAC blk-ofs", "FAC verify");
+    println!("{}", "-".repeat(96));
+    for (cache_kb, block) in [(16u32, 16u32), (16, 32), (64, 32), (8, 16)] {
+        let b = block.trailing_zeros();
+        let i = (cache_kb * 1024 / block).trailing_zeros();
+        let r = CriticalPathReport::for_geometry(b, i);
+        println!(
+            "{:>4} KB, {:>2} B blocks        {:>14} {:>14} {:>12} {:>12} {:>10}",
+            cache_kb, block, r.full_ripple.0, r.full_cla.0, r.fac_pre_decode.0,
+            r.fac_block_offset.0, r.fac_verify.0,
+        );
+    }
+    println!();
+    let r = CriticalPathReport::for_geometry(5, 9);
+    println!("Table 5 geometry: the set index is ready after {} vs {}", r.fac_pre_decode, r.full_cla);
+    println!("({} gate delays shaved off the pre-decode path — the paper's single-OR claim);", r.pre_decode_savings());
+    println!("the block-offset adder ({}) finishes before column select and the", r.fac_block_offset);
+    println!("verification network ({}) is decoupled from the access entirely.", r.fac_verify);
+}

@@ -1,0 +1,59 @@
+//! Design-space exploration: the same workload across machine variants —
+//! baseline, FAC, an LTB instead of FAC, the AGI pipeline organization,
+//! a smaller cache, fewer MSHRs.
+//!
+//! ```sh
+//! cargo run --release --example custom_machine [-- <workload>]
+//! ```
+
+use fac::asm::SoftwareSupport;
+use fac::sim::{Machine, MachineConfig};
+use fac::workloads::{find, Scale};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let Some(wl) = find(&name) else {
+        eprintln!("unknown workload {name}");
+        std::process::exit(2);
+    };
+    let program = wl.build(&SoftwareSupport::on(), Scale::Paper);
+
+    let mut small_cache = MachineConfig::paper_baseline().with_fac();
+    small_cache.dcache.size_bytes = 4 * 1024;
+    let mut one_mshr = MachineConfig::paper_baseline().with_fac();
+    one_mshr.mshr_entries = 1;
+    let mut assoc = MachineConfig::paper_baseline().with_fac();
+    assoc.dcache.ways = 4;
+
+    let variants: Vec<(&str, MachineConfig)> = vec![
+        ("baseline (Table 5)", MachineConfig::paper_baseline()),
+        ("fast address calculation", MachineConfig::paper_baseline().with_fac()),
+        ("load target buffer, 512", MachineConfig::paper_baseline().with_ltb(512)),
+        ("AGI pipeline organization", MachineConfig::paper_baseline().with_agi_pipeline()),
+        ("AGI + FAC", MachineConfig::paper_baseline().with_agi_pipeline().with_fac()),
+        ("FAC, 4 KB D-cache", small_cache),
+        ("FAC, single MSHR", one_mshr),
+        ("FAC, 4-way D-cache", assoc),
+        ("1-cycle-load oracle", MachineConfig::paper_baseline().with_one_cycle_loads()),
+    ];
+
+    println!("workload: {name} ({} scale)\n", "paper");
+    println!("{:28} {:>10} {:>7} {:>8} {:>8}", "machine", "cycles", "IPC", "d$miss%", "failL%");
+    println!("{}", "-".repeat(66));
+    let mut base_cycles = 0u64;
+    for (label, cfg) in variants {
+        let r = Machine::new(cfg).run(&program).expect("run");
+        if base_cycles == 0 {
+            base_cycles = r.stats.cycles;
+        }
+        println!(
+            "{:28} {:>10} {:>7.2} {:>8.2} {:>8.2}   ({:.3}x)",
+            label,
+            r.stats.cycles,
+            r.ipc(),
+            r.stats.dcache.miss_ratio() * 100.0,
+            r.stats.pred_loads.fail_rate_all() * 100.0,
+            base_cycles as f64 / r.stats.cycles as f64,
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Anatomy of the prediction circuit: walks through the paper's Figure 5
+//! examples and one case per failure condition, printing the address fields
+//! and the verification signals.
+//!
+//! ```sh
+//! cargo run --release --example predictor_anatomy
+//! ```
+
+use fac::core::{AddrFields, Offset, Predictor, PredictorConfig};
+
+fn show(p: &Predictor, what: &str, base: u32, offset: Offset) {
+    let f = p.fields();
+    let pr = p.predict(base, offset);
+    let verdict = if pr.is_correct() { "PREDICTED" } else { "MISPREDICT" };
+    println!("{what}");
+    println!("  base      {base:#010x}   offset {offset:?}");
+    println!(
+        "  actual    {:#010x}   tag={:#x} index={:#x} blk={:#x}",
+        pr.actual,
+        f.tag(pr.actual),
+        f.index(pr.actual),
+        f.block_offset(pr.actual)
+    );
+    println!(
+        "  predicted {:#010x}   tag={:#x} index={:#x} blk={:#x}",
+        pr.predicted,
+        f.tag(pr.predicted),
+        f.index(pr.predicted),
+        f.block_offset(pr.predicted)
+    );
+    println!("  signals   {}   => {verdict}\n", pr.signals);
+}
+
+fn main() {
+    // Figure 5's geometry: 16 KB direct-mapped cache, 16-byte blocks.
+    let p = Predictor::new(
+        AddrFields::for_direct_mapped(16 * 1024, 16),
+        PredictorConfig::default(),
+    );
+    println!("address split: {}\n", p.fields());
+
+    println!("--- the four Figure 5 examples ---\n");
+    show(&p, "(a) pointer dereference, zero offset", 0xac, Offset::Const(0));
+    show(&p, "(b) aligned global pointer + large positive offset", 0x1000_0000, Offset::Const(0x984));
+    show(&p, "(c) stack access, offset absorbed by the block-offset adder", 0x7fff_5b84, Offset::Const(0x66));
+    show(&p, "(d) stack access, carry escapes into the set index", 0x7fff_5b84, Offset::Const(0x16c));
+
+    println!("--- one case per failure condition ---\n");
+    show(&p, "condition 1: carry out of the block offset", 0x7fff_5b8c, Offset::Const(8));
+    show(&p, "condition 2: carry generated in the set index", 0x1010, Offset::Const(0x10));
+    show(&p, "condition 3: large negative constant", 0x7fff_5b84, Offset::Const(-300));
+    show(&p, "condition 4: negative register offset", 0x1000_0000, Offset::Reg(-4i32 as u32));
+
+    println!("--- and the cases software support engineers for ---\n");
+    show(&p, "small negative offset inside one block (inverted index trick)", 0x7fff_5b8c, Offset::Const(-8));
+    show(&p, "64-byte-aligned stack pointer, scalar slot", 0x7fff_bf40, Offset::Const(12));
+    show(&p, "32-byte-aligned malloc chunk, struct field", 0x2000_0120, Offset::Const(20));
+}

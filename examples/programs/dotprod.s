@@ -1,0 +1,36 @@
+; dot product of two 64-element vectors, with a gp-resident accumulator.
+; assembled by examples/assemble_and_run.rs
+
+.gpword  checksum 0
+.gpword  n 64
+.fararray vec_a 256 4
+.fararray vec_b 256 4
+
+init:
+    la   $s0, vec_a
+    la   $s1, vec_b
+    lw   $t0, n($gp)
+    li   $t1, 3
+fill:
+    sw   $t1, ($s0)+4          ; post-increment stores
+    sw   $t1, ($s1)+4
+    addiu $t1, $t1, 5
+    addiu $t0, $t0, -1
+    bgtz $t0, fill
+
+dot:
+    la   $s0, vec_a
+    la   $s1, vec_b
+    lw   $t0, n($gp)
+    li   $v0, 0
+loop:
+    lw   $t2, ($s0)+4          ; a[i]
+    lw   $t3, ($s1)+4          ; b[i]
+    mult $t2, $t3
+    mflo $t4
+    addu $v0, $v0, $t4
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+
+    sw   $v0, checksum($gp)
+    halt

@@ -1,0 +1,41 @@
+//! Tour of the 19-benchmark suite: run every kernel (smoke scale unless
+//! `--paper` is given) on the baseline and FAC pipelines and print a
+//! one-line summary each.
+//!
+//! ```sh
+//! cargo run --release --example suite_tour [-- --paper]
+//! ```
+
+use fac::asm::SoftwareSupport;
+use fac::sim::{Machine, MachineConfig};
+use fac::workloads::{suite, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Smoke
+    };
+    let sw = SoftwareSupport::on();
+    println!(
+        "{:10} {:>5} {:>10} {:>9} {:>7} {:>7} {:>8} {:>8}",
+        "program", "kind", "insts", "refs", "d$miss%", "failL%", "IPC", "speedup"
+    );
+    println!("{}", "-".repeat(72));
+    for wl in suite() {
+        let p = wl.build(&sw, scale);
+        let base = Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+        let fac = Machine::new(MachineConfig::paper_baseline().with_fac()).run(&p).unwrap();
+        println!(
+            "{:10} {:>5} {:>10} {:>9} {:>7.2} {:>7.2} {:>8.2} {:>7.3}x",
+            wl.name,
+            if wl.fp { "fp" } else { "int" },
+            fac.stats.insts,
+            fac.stats.refs(),
+            fac.stats.dcache.miss_ratio() * 100.0,
+            fac.stats.pred_loads.fail_rate_all() * 100.0,
+            fac.ipc(),
+            base.stats.cycles as f64 / fac.stats.cycles as f64,
+        );
+    }
+}

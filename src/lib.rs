@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # fac — fast address calculation, end to end
+//!
+//! Umbrella crate for the reproduction of Austin, Pnevmatikatos & Sohi,
+//! **"Streamlining Data Cache Access with Fast Address Calculation"**
+//! (ISCA 1995). It re-exports the workspace crates under one roof so
+//! examples and downstream users need a single dependency:
+//!
+//! * [`core`] — the prediction circuit itself ([`fac_core`]);
+//! * [`isa`] — the extended-MIPS instruction set ([`fac_isa`]);
+//! * [`mem`] — caches, memory, store buffer, TLB ([`fac_mem`]);
+//! * [`asm`] — program builder + linker with the §4 alignment support
+//!   ([`fac_asm`]);
+//! * [`sim`] — the 4-way superscalar timing simulator ([`fac_sim`]);
+//! * [`workloads`] — the 19 benchmark kernels ([`fac_workloads`]).
+//!
+//! ```
+//! use fac::core::{AddrFields, Offset, Predictor, PredictorConfig};
+//!
+//! let p = Predictor::new(
+//!     AddrFields::for_direct_mapped(16 * 1024, 32),
+//!     PredictorConfig::default(),
+//! );
+//! assert!(p.predict(0x7fff_5b84, Offset::Const(0x66)).is_correct());
+//! ```
+
+pub use fac_asm as asm;
+pub use fac_core as core;
+pub use fac_isa as isa;
+pub use fac_mem as mem;
+pub use fac_sim as sim;
+pub use fac_workloads as workloads;

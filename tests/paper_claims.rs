@@ -1,0 +1,140 @@
+//! The paper's qualitative claims, asserted as tests (on smoke-scaled
+//! workloads; the `fac-bench` binaries check the full-scale numbers).
+
+use fac::asm::SoftwareSupport;
+use fac::core::{AddrFields, IndexCompose, Offset, Predictor, PredictorConfig};
+use fac::sim::{Machine, MachineConfig};
+use fac::workloads::{find, suite, Scale};
+
+fn cycles(p: &fac::asm::Program, cfg: MachineConfig) -> u64 {
+    Machine::new(cfg)
+        .with_max_insts(100_000_000)
+        .run(p)
+        .unwrap()
+        .stats
+        .cycles
+}
+
+/// §1/Figure 2: the extra address-calculation cycle is a real bottleneck —
+/// 1-cycle loads beat the baseline for every integer program.
+#[test]
+fn one_cycle_loads_always_help_integer_codes() {
+    for wl in suite().into_iter().filter(|w| !w.fp) {
+        let p = wl.build(&SoftwareSupport::off(), Scale::Smoke);
+        let base = cycles(&p, MachineConfig::paper_baseline());
+        let one = cycles(&p, MachineConfig::paper_baseline().with_one_cycle_loads());
+        assert!(one < base, "{}: {} !< {}", wl.name, one, base);
+    }
+}
+
+/// §5.5: FAC with correct predictions approaches the 1-cycle-load bound.
+#[test]
+fn fac_is_bounded_by_one_cycle_loads() {
+    for wl in suite() {
+        let p = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+        let one = cycles(&p, MachineConfig::paper_baseline().with_one_cycle_loads());
+        let fac = cycles(&p, MachineConfig::paper_baseline().with_fac());
+        // FAC can never beat the 1-cycle-load oracle (modulo replay
+        // bandwidth effects, which only slow it down).
+        assert!(fac + 2 >= one, "{}: fac {} beat the oracle {}", wl.name, fac, one);
+    }
+}
+
+/// §5.5: "fast address calculation consistently outperforms a perfect
+/// cache with 2-cycle loads" for integer codes (with software support).
+#[test]
+fn fac_beats_perfect_cache_for_most_integer_codes() {
+    let mut wins = 0;
+    let mut total = 0;
+    for wl in suite().into_iter().filter(|w| !w.fp) {
+        let tuned = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+        let plain = wl.build(&SoftwareSupport::off(), Scale::Smoke);
+        let base = cycles(&plain, MachineConfig::paper_baseline());
+        let fac = cycles(&tuned, MachineConfig::paper_baseline().with_fac());
+        let perfect = cycles(&plain, MachineConfig::paper_baseline().with_perfect_dcache());
+        let fac_speedup = base as f64 / fac as f64;
+        let perfect_speedup = base as f64 / perfect as f64;
+        total += 1;
+        if fac_speedup >= perfect_speedup {
+            wins += 1;
+        }
+    }
+    assert!(wins * 2 > total, "fac won only {wins}/{total} against a perfect cache");
+}
+
+/// §3: the worked examples of Figure 5, exactly as printed in the paper.
+#[test]
+fn figure5_examples() {
+    let p = Predictor::new(
+        AddrFields::for_direct_mapped(16 * 1024, 16),
+        PredictorConfig::default(),
+    );
+    let a = p.predict(0xac, Offset::Const(0));
+    assert!(a.is_correct() && a.predicted == 0xac);
+    let b = p.predict(0x1000_0000, Offset::Const(0x984));
+    assert!(b.is_correct() && b.predicted == 0x1000_0984);
+    let c = p.predict(0x7fff_5b84, Offset::Const(0x66));
+    assert!(c.is_correct() && c.predicted == 0x7fff_5bea);
+    let d = p.predict(0x7fff_5b84, Offset::Const(0x16c));
+    assert!(!d.is_correct());
+    assert_eq!(d.actual, 0x7fff_5cf0);
+    assert!(d.signals.overflow && d.signals.gen_carry);
+}
+
+/// Footnote 1: OR suffices in place of XOR — identical success behavior on
+/// real reference streams.
+#[test]
+fn or_vs_xor_identical_success_on_workloads() {
+    use fac::sim::profile_predictions;
+    let fields = AddrFields::for_direct_mapped(16 * 1024, 32);
+    for wl in [find("compress").unwrap(), find("tomcatv").unwrap()] {
+        let p = wl.build(&SoftwareSupport::off(), Scale::Smoke);
+        let or = profile_predictions(&p, fields, PredictorConfig::default(), 100_000_000)
+            .unwrap();
+        let xor = profile_predictions(
+            &p,
+            fields,
+            PredictorConfig { compose: IndexCompose::Xor, ..PredictorConfig::default() },
+            100_000_000,
+        )
+        .unwrap();
+        assert_eq!(or.pred_loads.fails(), xor.pred_loads.fails(), "{}", wl.name);
+        assert_eq!(or.pred_stores.fails(), xor.pred_stores.fails(), "{}", wl.name);
+    }
+}
+
+/// §5.5/Table 6: turning off register+register speculation cuts bandwidth
+/// overhead and barely moves performance (grep excepted).
+#[test]
+fn disabling_reg_reg_speculation_cuts_bandwidth() {
+    let spice = find("spice").unwrap().build(&SoftwareSupport::on(), Scale::Smoke);
+    let with_rr = Machine::new(MachineConfig::paper_baseline().with_fac())
+        .run(&spice)
+        .unwrap();
+    let no_rr_cfg = MachineConfig::paper_baseline().with_fac_config(PredictorConfig {
+        speculate_reg_reg: false,
+        ..PredictorConfig::default()
+    });
+    let no_rr = Machine::new(no_rr_cfg).run(&spice).unwrap();
+    assert!(no_rr.stats.bandwidth_overhead() <= with_rr.stats.bandwidth_overhead());
+}
+
+/// §5.5: grep is the showcase for register+register speculation.
+#[test]
+fn grep_needs_reg_reg_speculation() {
+    let grep = find("grep").unwrap().build(&SoftwareSupport::on(), Scale::Smoke);
+    let base = cycles(&grep, MachineConfig::paper_baseline());
+    let with_rr = cycles(&grep, MachineConfig::paper_baseline().with_fac());
+    let no_rr = cycles(
+        &grep,
+        MachineConfig::paper_baseline().with_fac_config(PredictorConfig {
+            speculate_reg_reg: false,
+            ..PredictorConfig::default()
+        }),
+    );
+    assert!(with_rr < base);
+    assert!(
+        with_rr < no_rr,
+        "grep with r+r spec ({with_rr}) should beat no-r+r ({no_rr})"
+    );
+}

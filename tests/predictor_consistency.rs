@@ -1,0 +1,80 @@
+//! Cross-validation: the pipeline's prediction counters must be consistent
+//! with the machine-independent profiler — they observe the same circuit on
+//! the same reference stream, differing only in which accesses get a
+//! speculation slot.
+
+use fac::asm::SoftwareSupport;
+use fac::core::{AddrFields, PredictorConfig};
+use fac::sim::{profile_predictions, Machine, MachineConfig};
+use fac::workloads::{suite, Scale};
+
+#[test]
+fn pipeline_counters_agree_with_profiler() {
+    let fields = AddrFields::for_direct_mapped(16 * 1024, 32);
+    for wl in suite() {
+        for sw in [SoftwareSupport::on(), SoftwareSupport::off()] {
+            let p = wl.build(&sw, Scale::Smoke);
+            let prof = profile_predictions(&p, fields, PredictorConfig::default(), 100_000_000)
+                .unwrap();
+            let run = Machine::new(MachineConfig::paper_baseline().with_fac())
+                .with_max_insts(100_000_000)
+                .run(&p)
+                .unwrap();
+            let (mp, ms) = (&run.stats.pred_loads, &run.stats.pred_stores);
+            let (pp, ps) = (&prof.pred_loads, &prof.pred_stores);
+
+            // Same reference stream.
+            assert_eq!(run.stats.loads, prof.loads, "{}", wl.name);
+            assert_eq!(run.stats.stores, prof.stores, "{}", wl.name);
+            // The pipeline speculates a subset of what the profiler scores.
+            assert!(mp.fails() <= pp.fails(), "{}", wl.name);
+            assert!(ms.fails() <= ps.fails(), "{}", wl.name);
+            // Whatever failed in the profile but not in the pipeline must
+            // be an access the pipeline never speculated.
+            assert!(
+                pp.fails() - mp.fails() <= mp.not_speculated,
+                "{}: {} profile fails vs {} pipeline fails, {} unspeculated",
+                wl.name,
+                pp.fails(),
+                mp.fails(),
+                mp.not_speculated
+            );
+            // Register+register accounting matches exactly on attempts made.
+            assert!(mp.attempts_rr <= pp.attempts_rr, "{}", wl.name);
+        }
+    }
+}
+
+#[test]
+fn disabling_speculation_universes_are_nested() {
+    // no-store-spec ⊂ default; no-rr ⊂ default: fewer attempts, never more
+    // failures.
+    for wl in suite().into_iter().take(6) {
+        let p = wl.build(&SoftwareSupport::off(), Scale::Smoke);
+        let full = Machine::new(MachineConfig::paper_baseline().with_fac())
+            .run(&p)
+            .unwrap();
+        let no_rr = Machine::new(MachineConfig::paper_baseline().with_fac_config(
+            PredictorConfig { speculate_reg_reg: false, ..PredictorConfig::default() },
+        ))
+        .run(&p)
+        .unwrap();
+        let no_st = Machine::new(MachineConfig::paper_baseline().with_fac_config(
+            PredictorConfig { speculate_stores: false, ..PredictorConfig::default() },
+        ))
+        .run(&p)
+        .unwrap();
+        assert_eq!(no_rr.stats.pred_loads.attempts_rr, 0, "{}", wl.name);
+        assert_eq!(no_st.stats.pred_stores.attempts(), 0, "{}", wl.name);
+        assert!(
+            no_rr.stats.extra_accesses <= full.stats.extra_accesses,
+            "{}",
+            wl.name
+        );
+        assert!(
+            no_st.stats.extra_accesses <= full.stats.extra_accesses,
+            "{}",
+            wl.name
+        );
+    }
+}
