@@ -45,7 +45,7 @@ impl Program {
     /// Index into [`Program::text`] for the given PC, if it is in range and
     /// word-aligned.
     pub fn insn_index(&self, pc: u32) -> Option<usize> {
-        if pc < self.text_base || pc % 4 != 0 {
+        if pc < self.text_base || !pc.is_multiple_of(4) {
             return None;
         }
         let idx = ((pc - self.text_base) / 4) as usize;

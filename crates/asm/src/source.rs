@@ -138,7 +138,7 @@ pub fn assemble(source: &str) -> Result<Asm, AssembleError> {
     let mut a = Asm::new();
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx + 1;
-        let line = raw.split(|c| c == ';' || c == '#').next().unwrap_or("").trim();
+        let line = raw.split([';', '#']).next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }

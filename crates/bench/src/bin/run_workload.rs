@@ -7,7 +7,7 @@
 //! ```
 
 use fac_asm::SoftwareSupport;
-use fac_core::PredictorConfig;
+use fac_core::{FaultPlan, PredictorConfig};
 use fac_sim::{Machine, MachineConfig, RefClass};
 use fac_workloads::{find, Scale};
 
@@ -17,6 +17,11 @@ fn main() {
     let Some(wl) = find(name) else {
         eprintln!("usage: run_workload <name> [--fac] [--ltb N] [--agi] [--sw] [--smoke]");
         eprintln!("       [--block N] [--no-rr] [--no-store-spec] [--one-cycle] [--perfect]");
+        eprintln!("       [--fault-plan <plan>] [--checks]");
+        eprintln!(
+            "fault plans: always-wrong, random-flip[:per1024], flip-index-bit:<bit>,"
+        );
+        eprintln!("             suppress-signals, silent-wrong  (each optionally @<seed>)");
         eprintln!(
             "names: {}",
             fac_workloads::suite()
@@ -61,10 +66,29 @@ fn main() {
     if flag("--perfect") {
         cfg = cfg.with_perfect_dcache();
     }
+    if let Some(i) = args.iter().position(|a| a == "--fault-plan") {
+        let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+        match FaultPlan::parse(spec) {
+            Ok(plan) => cfg = cfg.with_fault_plan(plan),
+            Err(e) => {
+                eprintln!("--fault-plan: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if flag("--checks") {
+        cfg = cfg.with_checks();
+    }
     cfg = cfg.with_tlb();
 
     let program = wl.build(&sw, scale);
-    let r = Machine::new(cfg).run(&program).expect("run");
+    let r = match Machine::new(cfg).run(&program) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{}: {e}", wl.name);
+            std::process::exit(1);
+        }
+    };
     let s = &r.stats;
 
     println!("{} ({}, sw support {})", wl.name, if wl.fp { "fp" } else { "int" }, flag("--sw"));
@@ -103,6 +127,13 @@ fn main() {
             s.fail_causes[0], s.fail_causes[1], s.fail_causes[2], s.fail_causes[3], s.fail_causes[4]
         );
         println!("  bandwidth overhead {:>10.2}%", s.bandwidth_overhead() * 100.0);
+        if let Some(plan) = cfg.fault_plan {
+            println!(
+                "  fault plan        {plan}: {} bad speculations caught only by \
+                 the decoupled verify compare",
+                s.verify_catches
+            );
+        }
     }
     if let Some(l) = s.ltb {
         println!(

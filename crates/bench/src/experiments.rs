@@ -115,7 +115,7 @@ pub fn fig3(scale: Scale) {
 /// of the paper's table).
 pub fn table2() {
     println!("\n== Table 2: Benchmark Programs and Inputs (scaled) ==");
-    println!("{:10} {:>4}  {}", "program", "kind", "input / model");
+    println!("{:10} {:>4}  input / model", "program", "kind");
     rule(86);
     for wl in fac_workloads::suite() {
         println!(

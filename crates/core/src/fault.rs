@@ -1,0 +1,486 @@
+//! Fault injection for the prediction circuit.
+//!
+//! The paper's safety argument (§3, Figure 4) is that the *decoupled
+//! verification circuit* — full adder plus the four failure signals — makes
+//! speculative cache access harmless: a bad speculation is always detected
+//! and replayed with the true effective address, so architectural state can
+//! never observe a mispredicted address. A reproduction should not merely
+//! trust that argument; it should attack it. This module provides the
+//! attacker: a [`FaultyPredictor`] that wraps the real [`Predictor`] and
+//! corrupts its output on demand, behind the same interface.
+//!
+//! Every fault model is constructed so that a *correct* verification path
+//! keeps architectural results bit-identical to an unfaulted run while only
+//! costing cycles. The fault-injection harness in the simulator asserts
+//! exactly that, for every workload and every plan.
+
+use crate::{FailureSignals, Offset, Prediction, Predictor};
+
+/// What the injected fault does to each speculated prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Corrupt *every* speculated access: the predicted address is wrong by
+    /// one set-index bit. Failure signals are left as computed, so accesses
+    /// that would have replayed anyway still do; the rest must be caught by
+    /// the decoupled address compare.
+    AlwaysWrong,
+    /// Corrupt roughly `wrong_per_1024` out of every 1024 speculated
+    /// accesses, flipping a randomly chosen set-index bit of the predicted
+    /// address (seeded, deterministic).
+    RandomFlip {
+        /// Corruption rate numerator (out of 1024).
+        wrong_per_1024: u16,
+    },
+    /// Stuck-at fault in the OR-merge: the given bit of the set-index field
+    /// of every speculated prediction reads back inverted.
+    FlipIndexBit {
+        /// Bit position *within the index field* (wraps modulo the field
+        /// width, so plans stay valid across geometries).
+        bit: u32,
+    },
+    /// The failure signals are masked to zero exactly when the predicted
+    /// address is wrong — the alarm is cut in precisely the cases where it
+    /// matters. Signals on coincidentally-correct predictions are kept, so
+    /// a sound backstop makes this plan cost no extra cycles at all.
+    SuppressSignals,
+    /// Worst case: the predicted address is wrong *and* every failure
+    /// signal is masked. Only the decoupled full-adder compare stands
+    /// between this and architectural corruption.
+    SilentWrong,
+}
+
+/// A named, seeded fault-injection campaign: which corruption to apply and
+/// the RNG seed for the randomized kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// The corruption applied to each speculated prediction.
+    pub kind: FaultKind,
+    /// Seed for the randomized kinds (ignored by deterministic ones).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the default seed.
+    pub fn new(kind: FaultKind) -> FaultPlan {
+        FaultPlan { kind, seed: 0xfac }
+    }
+
+    /// Same plan, different RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// The built-in campaign the fault-injection harness runs: one plan per
+    /// fault kind, plus a second stuck-bit position.
+    pub fn builtin() -> Vec<FaultPlan> {
+        vec![
+            FaultPlan::new(FaultKind::AlwaysWrong),
+            FaultPlan::new(FaultKind::RandomFlip { wrong_per_1024: 256 }),
+            FaultPlan::new(FaultKind::FlipIndexBit { bit: 0 }),
+            FaultPlan::new(FaultKind::FlipIndexBit { bit: 3 }),
+            FaultPlan::new(FaultKind::SuppressSignals),
+            FaultPlan::new(FaultKind::SilentWrong),
+        ]
+    }
+
+    /// Parses the `--fault-plan` command-line syntax:
+    /// `always-wrong`, `random-flip[:rate]`, `flip-index-bit:<bit>`,
+    /// `suppress-signals`, `silent-wrong`, each optionally followed by
+    /// `@<seed>`.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let (spec, seed) = match text.split_once('@') {
+            Some((spec, seed)) => {
+                let seed = seed
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad fault-plan seed {seed:?}"))?;
+                (spec, Some(seed))
+            }
+            None => (text, None),
+        };
+        let (name, arg) = match spec.split_once(':') {
+            Some((name, arg)) => (name, Some(arg)),
+            None => (spec, None),
+        };
+        let kind = match (name, arg) {
+            ("always-wrong", None) => FaultKind::AlwaysWrong,
+            ("random-flip", None) => FaultKind::RandomFlip { wrong_per_1024: 256 },
+            ("random-flip", Some(rate)) => FaultKind::RandomFlip {
+                wrong_per_1024: rate
+                    .parse()
+                    .map_err(|_| format!("bad random-flip rate {rate:?}"))?,
+            },
+            ("flip-index-bit", Some(bit)) => FaultKind::FlipIndexBit {
+                bit: bit.parse().map_err(|_| format!("bad index bit {bit:?}"))?,
+            },
+            ("flip-index-bit", None) => {
+                return Err("flip-index-bit needs a bit: flip-index-bit:<bit>".into())
+            }
+            ("suppress-signals", None) => FaultKind::SuppressSignals,
+            ("silent-wrong", None) => FaultKind::SilentWrong,
+            _ => {
+                return Err(format!(
+                    "unknown fault plan {text:?} (expected always-wrong, \
+                     random-flip[:rate], flip-index-bit:<bit>, suppress-signals \
+                     or silent-wrong, optionally @<seed>)"
+                ))
+            }
+        };
+        let mut plan = FaultPlan::new(kind);
+        if let Some(seed) = seed {
+            plan = plan.with_seed(seed);
+        }
+        Ok(plan)
+    }
+
+    /// Whether this plan ever corrupts the predicted address (as opposed to
+    /// only masking signals). Plans that do are guaranteed to produce
+    /// verification catches on any workload that speculates successfully.
+    pub fn corrupts_address(&self) -> bool {
+        !matches!(self.kind, FaultKind::SuppressSignals)
+    }
+}
+
+impl core::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.kind {
+            FaultKind::AlwaysWrong => write!(f, "always-wrong")?,
+            FaultKind::RandomFlip { wrong_per_1024 } => {
+                write!(f, "random-flip:{wrong_per_1024}")?
+            }
+            FaultKind::FlipIndexBit { bit } => write!(f, "flip-index-bit:{bit}")?,
+            FaultKind::SuppressSignals => write!(f, "suppress-signals")?,
+            FaultKind::SilentWrong => write!(f, "silent-wrong")?,
+        }
+        if self.seed != 0xfac {
+            write!(f, "@{}", self.seed)?;
+        }
+        Ok(())
+    }
+}
+
+/// A [`Predictor`] with an injected hardware fault.
+///
+/// Presents the same interface as the exact predictor (`should_speculate`,
+/// `predict`, `fields`) but corrupts the [`Prediction`] it returns according
+/// to its [`FaultPlan`]. Corruption never touches `Prediction::actual` —
+/// that models the *verification* path's full adder, which faults in the
+/// prediction circuit cannot reach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultyPredictor {
+    inner: Predictor,
+    plan: FaultPlan,
+    rng_state: u64,
+}
+
+impl FaultyPredictor {
+    /// Wraps `inner` with the fault described by `plan`.
+    pub fn new(inner: Predictor, plan: FaultPlan) -> FaultyPredictor {
+        FaultyPredictor { inner, plan, rng_state: splitmix(plan.seed ^ 0x5eed_f417) }
+    }
+
+    /// The active fault plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// The wrapped (exact) predictor.
+    pub fn inner(&self) -> &Predictor {
+        &self.inner
+    }
+
+    /// The wrapped predictor's address-field geometry.
+    pub fn fields(&self) -> crate::AddrFields {
+        self.inner.fields()
+    }
+
+    /// Same speculation policy as the wrapped predictor: faults corrupt
+    /// outcomes, not the decision to speculate.
+    pub fn should_speculate(&self, offset: Offset, is_store: bool) -> bool {
+        self.inner.should_speculate(offset, is_store)
+    }
+
+    fn next_random(&mut self) -> u64 {
+        self.rng_state = splitmix(self.rng_state);
+        self.rng_state
+    }
+
+    /// A non-zero XOR mask confined (geometry permitting) to the set-index
+    /// field, so the corruption lands in the OR-merged bits the paper's
+    /// circuit predicts carry-free.
+    fn index_bit_mask(&self, bit: u32) -> u32 {
+        let f = self.inner.fields();
+        let width = f.index_bits().max(1);
+        1u32 << (f.block_offset_bits() + bit % width)
+    }
+
+    /// Runs the wrapped circuit, then applies the fault plan.
+    pub fn predict(&mut self, base: u32, offset: Offset) -> Prediction {
+        let exact = self.inner.predict(base, offset);
+        match self.plan.kind {
+            FaultKind::AlwaysWrong => Prediction {
+                predicted: exact.actual ^ self.index_bit_mask(0),
+                ..exact
+            },
+            FaultKind::RandomFlip { wrong_per_1024 } => {
+                let roll = self.next_random();
+                if (roll & 0x3ff) < wrong_per_1024 as u64 {
+                    let bit = (roll >> 10) as u32;
+                    Prediction {
+                        predicted: exact.actual ^ self.index_bit_mask(bit),
+                        ..exact
+                    }
+                } else {
+                    exact
+                }
+            }
+            FaultKind::FlipIndexBit { bit } => Prediction {
+                predicted: exact.predicted ^ self.index_bit_mask(bit),
+                ..exact
+            },
+            FaultKind::SuppressSignals => {
+                if exact.predicted != exact.actual {
+                    Prediction { signals: FailureSignals::default(), ..exact }
+                } else {
+                    exact
+                }
+            }
+            FaultKind::SilentWrong => Prediction {
+                predicted: exact.actual ^ self.index_bit_mask(0),
+                signals: FailureSignals::default(),
+                ..exact
+            },
+        }
+    }
+}
+
+/// Either the exact circuit or a faulted one, behind one dispatch point so
+/// the pipeline is oblivious to whether it is under attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyPredictor {
+    /// The real circuit.
+    Exact(Predictor),
+    /// The circuit with an injected fault.
+    Faulty(FaultyPredictor),
+}
+
+impl AnyPredictor {
+    /// Wraps `predictor`, faulted iff a plan is given.
+    pub fn new(predictor: Predictor, plan: Option<FaultPlan>) -> AnyPredictor {
+        match plan {
+            None => AnyPredictor::Exact(predictor),
+            Some(plan) => AnyPredictor::Faulty(FaultyPredictor::new(predictor, plan)),
+        }
+    }
+
+    /// The address-field geometry of the underlying circuit.
+    pub fn fields(&self) -> crate::AddrFields {
+        match self {
+            AnyPredictor::Exact(p) => p.fields(),
+            AnyPredictor::Faulty(p) => p.fields(),
+        }
+    }
+
+    /// Speculation policy of the underlying circuit (fault-independent).
+    pub fn should_speculate(&self, offset: Offset, is_store: bool) -> bool {
+        match self {
+            AnyPredictor::Exact(p) => p.should_speculate(offset, is_store),
+            AnyPredictor::Faulty(p) => p.should_speculate(offset, is_store),
+        }
+    }
+
+    /// `&mut` because faulted predictors advance an RNG; the exact circuit
+    /// is pure combinational logic and ignores it.
+    pub fn predict(&mut self, base: u32, offset: Offset) -> Prediction {
+        match self {
+            AnyPredictor::Exact(p) => p.predict(base, offset),
+            AnyPredictor::Faulty(p) => p.predict(base, offset),
+        }
+    }
+}
+
+fn splitmix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddrFields, PredictorConfig};
+
+    fn predictor() -> Predictor {
+        Predictor::new(AddrFields::for_direct_mapped(16 * 1024, 16), PredictorConfig::default())
+    }
+
+    fn cases() -> Vec<(u32, Offset)> {
+        vec![
+            (0xac, Offset::Const(0)),
+            (0x1000_0000, Offset::Const(0x984)),
+            (0x7fff_5b84, Offset::Const(0x66)),
+            (0x7fff_5b84, Offset::Const(0x16c)),
+            (0x7fff_5b84, Offset::Const(-300)),
+            (0x1000, Offset::Reg((-4i32) as u32)),
+            (0x4000_0000, Offset::Reg(0xc)),
+        ]
+    }
+
+    #[test]
+    fn faults_never_touch_the_actual_address() {
+        for plan in FaultPlan::builtin() {
+            let mut fp = FaultyPredictor::new(predictor(), plan);
+            for (base, ofs) in cases() {
+                let exact = predictor().predict(base, ofs);
+                let faulted = fp.predict(base, ofs);
+                assert_eq!(faulted.actual, exact.actual, "plan {plan}: actual corrupted");
+            }
+        }
+    }
+
+    #[test]
+    fn always_wrong_is_always_wrong() {
+        let mut fp = FaultyPredictor::new(predictor(), FaultPlan::new(FaultKind::AlwaysWrong));
+        for (base, ofs) in cases() {
+            let pr = fp.predict(base, ofs);
+            assert_ne!(pr.predicted, pr.actual);
+        }
+    }
+
+    #[test]
+    fn always_wrong_preserves_signals() {
+        let mut fp = FaultyPredictor::new(predictor(), FaultPlan::new(FaultKind::AlwaysWrong));
+        for (base, ofs) in cases() {
+            assert_eq!(fp.predict(base, ofs).signals, predictor().predict(base, ofs).signals);
+        }
+    }
+
+    #[test]
+    fn flip_index_bit_flips_exactly_one_index_bit() {
+        let p = predictor();
+        for bit in [0u32, 3, 9, 31] {
+            let plan = FaultPlan::new(FaultKind::FlipIndexBit { bit });
+            let mut fp = FaultyPredictor::new(p, plan);
+            for (base, ofs) in cases() {
+                let exact = p.predict(base, ofs);
+                let faulted = fp.predict(base, ofs);
+                let diff = exact.predicted ^ faulted.predicted;
+                assert_eq!(diff.count_ones(), 1, "plan {plan}");
+                let f = p.fields();
+                let lo = f.block_offset_bits();
+                let bitpos = diff.trailing_zeros();
+                assert!(
+                    (lo..lo + f.index_bits()).contains(&bitpos),
+                    "plan {plan}: corrupted bit {bitpos} outside index field"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_flip_is_deterministic_per_seed_and_hits_the_rate() {
+        let plan = FaultPlan::new(FaultKind::RandomFlip { wrong_per_1024: 256 });
+        let mut a = FaultyPredictor::new(predictor(), plan);
+        let mut b = FaultyPredictor::new(predictor(), plan);
+        let mut corrupted = 0u32;
+        let total = 4096u32;
+        for i in 0..total {
+            let base = 0x1000_0000 + i * 16;
+            let pa = a.predict(base, Offset::Const(4));
+            let pb = b.predict(base, Offset::Const(4));
+            assert_eq!(pa, pb, "same seed, same stream");
+            if pa.predicted != pa.actual {
+                corrupted += 1;
+            }
+        }
+        // ~25% rate; allow generous slack.
+        assert!((total / 8..total / 2).contains(&corrupted), "corrupted {corrupted}/{total}");
+
+        let mut c = FaultyPredictor::new(predictor(), plan.with_seed(1));
+        let pattern = |fp: &mut FaultyPredictor| -> Vec<bool> {
+            (0..total)
+                .map(|i| {
+                    let pr = fp.predict(0x1000_0000 + i * 16, Offset::Const(4));
+                    pr.predicted != pr.actual
+                })
+                .collect()
+        };
+        let mut b2 = FaultyPredictor::new(predictor(), plan);
+        assert_ne!(
+            pattern(&mut c),
+            pattern(&mut b2),
+            "different seed should corrupt different accesses"
+        );
+    }
+
+    #[test]
+    fn suppress_signals_only_hides_real_failures() {
+        let plan = FaultPlan::new(FaultKind::SuppressSignals);
+        let mut fp = FaultyPredictor::new(predictor(), plan);
+        for (base, ofs) in cases() {
+            let exact = predictor().predict(base, ofs);
+            let faulted = fp.predict(base, ofs);
+            assert_eq!(faulted.predicted, exact.predicted);
+            if exact.predicted != exact.actual {
+                assert!(!faulted.signals.any(), "alarm should be cut when it matters");
+            } else {
+                assert_eq!(faulted.signals, exact.signals, "correct predictions untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn silent_wrong_is_wrong_and_silent() {
+        let mut fp = FaultyPredictor::new(predictor(), FaultPlan::new(FaultKind::SilentWrong));
+        for (base, ofs) in cases() {
+            let pr = fp.predict(base, ofs);
+            assert_ne!(pr.predicted, pr.actual);
+            assert!(!pr.signals.any());
+            assert!(pr.is_correct(), "the circuit claims success — the backstop must not");
+        }
+    }
+
+    #[test]
+    fn any_predictor_exact_matches_plain() {
+        let mut any = AnyPredictor::new(predictor(), None);
+        for (base, ofs) in cases() {
+            assert_eq!(any.predict(base, ofs), predictor().predict(base, ofs));
+        }
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for text in [
+            "always-wrong",
+            "random-flip:256",
+            "random-flip:64",
+            "flip-index-bit:0",
+            "flip-index-bit:7",
+            "suppress-signals",
+            "silent-wrong",
+            "always-wrong@99",
+            "random-flip:512@7",
+        ] {
+            let plan = FaultPlan::parse(text).unwrap();
+            let shown = plan.to_string();
+            assert_eq!(FaultPlan::parse(&shown).unwrap(), plan, "{text} -> {shown}");
+        }
+        assert_eq!(FaultPlan::parse("random-flip").unwrap().kind, FaultKind::RandomFlip {
+            wrong_per_1024: 256
+        });
+        assert!(FaultPlan::parse("flip-index-bit").is_err());
+        assert!(FaultPlan::parse("nonsense").is_err());
+        assert!(FaultPlan::parse("always-wrong@notanumber").is_err());
+    }
+
+    #[test]
+    fn builtin_plans_are_distinct() {
+        let plans = FaultPlan::builtin();
+        for (i, a) in plans.iter().enumerate() {
+            for b in &plans[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -44,6 +44,7 @@
 //! §4, and `fac-bench` regenerates the paper's tables and figures.
 
 mod circuit;
+mod fault;
 mod fields;
 mod ltb;
 mod predictor;
@@ -52,6 +53,7 @@ pub use circuit::{
     cla_adder_depth, fac_block_offset_depth, fac_index_depth, fac_verify_depth,
     ripple_adder_depth, CriticalPathReport, GateDelays,
 };
+pub use fault::{AnyPredictor, FaultKind, FaultPlan, FaultyPredictor};
 pub use fields::AddrFields;
 pub use ltb::{Ltb, LtbStats};
 pub use predictor::{

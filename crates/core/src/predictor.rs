@@ -451,9 +451,11 @@ mod tests {
 
     #[test]
     fn policy_gates_reg_reg_and_stores() {
-        let mut cfg = PredictorConfig::default();
-        cfg.speculate_reg_reg = false;
-        cfg.speculate_stores = false;
+        let cfg = PredictorConfig {
+            speculate_reg_reg: false,
+            speculate_stores: false,
+            ..PredictorConfig::default()
+        };
         let p = Predictor::new(AddrFields::for_direct_mapped(16 * 1024, 32), cfg);
         assert!(!p.should_speculate(Offset::Reg(4), false));
         assert!(!p.should_speculate(Offset::Const(4), true));

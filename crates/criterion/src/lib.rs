@@ -1,0 +1,129 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `sample_size`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery. Results
+//! print one line per benchmark: median ns/iter over the collected samples.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, name, sample_size: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        run_one(&id.into(), samples, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    /// `None` inherits the parent `Criterion`'s sample size.
+    sample_size: Option<usize>,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&format!("{}/{}", self.name, id.into()), samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher { samples: Vec::with_capacity(samples.max(1)), budget: samples };
+    f(&mut bencher);
+    let mut per_iter: Vec<f64> = bencher.samples;
+    if per_iter.is_empty() {
+        println!("  {id}: no samples");
+        return;
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!("  {id}: {median:.1} ns/iter ({} samples)", per_iter.len());
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs and times
+/// the workload.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up briefly, then size the batch so one sample costs ~1ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(5) {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        let batch = ((1_000_000.0 / per_iter.max(0.5)) as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.budget.max(1) {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+/// Bundles benchmark fns into a callable group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -201,10 +201,8 @@ impl Cache {
             .find(|l| l.valid && l.tag == tag)
         {
             line.stamp = tick;
-            if write {
-                if self.config.write_back {
-                    line.dirty = true;
-                }
+            if write && self.config.write_back {
+                line.dirty = true;
             }
             return AccessResult { hit: true, writeback: false };
         }

@@ -44,6 +44,13 @@ impl Memory {
         self.pages.len()
     }
 
+    /// `true` when the page containing `addr` has been touched (written or
+    /// loaded from a program image). Reads of unmapped pages return zero;
+    /// strict execution modes use this to trap them instead.
+    pub fn is_mapped(&self, addr: u32) -> bool {
+        self.pages.contains_key(&(addr >> PAGE_BITS))
+    }
+
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
         self.pages.get(&(addr >> PAGE_BITS)).map(|p| &**p)
     }

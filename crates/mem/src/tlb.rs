@@ -82,7 +82,7 @@ impl Tlb {
     pub fn access(&mut self, vaddr: u32) -> bool {
         self.stats.accesses += 1;
         let vpn = vaddr >> self.page_bits;
-        if self.entries.iter().any(|e| *e == Some(vpn)) {
+        if self.entries.contains(&Some(vpn)) {
             return true;
         }
         self.stats.misses += 1;

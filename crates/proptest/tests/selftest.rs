@@ -1,0 +1,79 @@
+//! The shim tests itself with its own macros: generation stays in range,
+//! `prop_oneof!` unions clone, helper fns can early-return via `?`, and a
+//! failing property actually fails the test.
+
+use proptest::prelude::*;
+
+fn check_small(x: u32) -> Result<(), TestCaseError> {
+    prop_assert!(x < 100, "helper saw {}", x);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tuples_ranges_vecs_and_any(
+        (a, b) in (0u32..100, 10i16..=20),
+        v in proptest::collection::vec(any::<u8>(), 1..8),
+        flag in any::<bool>(),
+        wide in any::<i32>(),
+    ) {
+        prop_assert!(a < 100);
+        prop_assert!((10..=20).contains(&b));
+        prop_assert!(!v.is_empty() && v.len() < 8);
+        prop_assert_eq!(flag, flag);
+        prop_assert_eq!(wide, wide, "identity {}", wide);
+        check_small(a)?;
+    }
+
+    #[test]
+    fn oneof_unions_are_cloneable(x in arb_small().clone(), y in arb_small()) {
+        prop_assert!([1u8, 2, 5, 6].contains(&x));
+        prop_assert!([1u8, 2, 5, 6].contains(&y));
+        prop_assert_ne!(0u8, 1u8);
+    }
+
+    #[test]
+    fn mapped_strategies(r in (0u8..32).prop_map(|v| v * 2)) {
+        prop_assert!(r % 2 == 0 && r < 64);
+    }
+}
+
+fn arb_small() -> proptest::strategy::Union<u8> {
+    prop_oneof![Just(1u8), Just(2u8), 5u8..7]
+}
+
+// A property that must fail: defined *without* `#[test]` so we can invoke it
+// under `catch_unwind` and assert it panics with the case report.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    fn deliberately_failing(x in 0u32..10) {
+        prop_assert!(x > 100, "x was {}", x);
+    }
+}
+
+#[test]
+fn failing_property_panics_with_report() {
+    let err = std::panic::catch_unwind(deliberately_failing)
+        .expect_err("property should have failed");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("deliberately_failing"), "unexpected panic payload: {msg}");
+}
+
+#[test]
+fn generation_is_deterministic_per_name() {
+    use proptest::strategy::Strategy;
+    use proptest::test_runner::TestRng;
+    let strat = (0u32..1000, any::<i16>());
+    let mut a = TestRng::for_test("stable");
+    let mut b = TestRng::for_test("stable");
+    for _ in 0..32 {
+        assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+    }
+}

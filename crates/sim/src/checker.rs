@@ -1,0 +1,456 @@
+//! Per-cycle invariant checking for the timing model.
+//!
+//! The timing pipeline is a scoreboard over the dynamic instruction stream:
+//! easy to get subtly wrong in ways that still produce a plausible cycle
+//! count. The [`InvariantChecker`] cross-checks every committed instruction
+//! and the finished run against structural facts that must hold for *any*
+//! configuration — issue discipline, port budgets, and conservation laws
+//! over the prediction statistics. It runs in every debug build and, in
+//! release, under [`MachineConfig::with_checks`]; a violation surfaces as
+//! [`crate::SimError::Invariant`] instead of silently skewing results.
+//!
+//! [`MachineConfig::with_checks`]: crate::MachineConfig::with_checks
+
+use crate::config::MachineConfig;
+use crate::exec::Executed;
+use crate::pipeline::{IssueInfo, Pipeline};
+use crate::stats::SimStats;
+use fac_core::Offset;
+
+/// A broken timing-model invariant, with the values that broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// An instruction issued before its fetch group cleared decode
+    /// (issue < fetch + 2 in the 5-stage pipe).
+    IssueBeforeDecode {
+        /// PC of the instruction.
+        pc: u32,
+        /// Its fetch cycle.
+        fetch: u64,
+        /// Its issue cycle.
+        issue: u64,
+    },
+    /// An instruction completed no later than it issued.
+    CompletionNotAfterIssue {
+        /// PC of the instruction.
+        pc: u32,
+        /// Its issue cycle.
+        issue: u64,
+        /// Its completion cycle.
+        complete: u64,
+    },
+    /// In-order issue went backwards in time.
+    IssueWentBackwards {
+        /// PC of the instruction.
+        pc: u32,
+        /// Issue cycle of the previous instruction.
+        prev: u64,
+        /// This instruction's (earlier) issue cycle.
+        issue: u64,
+    },
+    /// More instructions issued in one cycle than the configured width.
+    IssueWidthExceeded {
+        /// The overfull cycle.
+        cycle: u64,
+        /// Instructions issued in it.
+        issued: u32,
+        /// The configured issue width.
+        width: u32,
+    },
+    /// More loads issued in one cycle than the configured limit.
+    LoadLimitExceeded {
+        /// The overfull cycle.
+        cycle: u64,
+        /// Loads issued in it.
+        loads: u32,
+        /// The configured per-cycle load limit.
+        limit: u32,
+    },
+    /// More stores issued in one cycle than the configured limit.
+    StoreLimitExceeded {
+        /// The overfull cycle.
+        cycle: u64,
+        /// Stores issued in it.
+        stores: u32,
+        /// The configured per-cycle store limit.
+        limit: u32,
+    },
+    /// A memory reference's architectural address disagrees with the
+    /// full-adder sum of base and offset — the replay path (and the
+    /// functional executor behind it) must always use the true address,
+    /// whatever the prediction circuit produced.
+    AddressNotFullAdder {
+        /// PC of the access.
+        pc: u32,
+        /// The address the access used.
+        addr: u32,
+        /// `base + offset` through the full adder.
+        full_adder: u32,
+    },
+    /// A cycle booked more data-cache reads than the pipeline can legally
+    /// generate.
+    ReadPortsOversubscribed {
+        /// The overfull cycle.
+        cycle: u64,
+        /// Reads booked in it.
+        reads: u32,
+        /// The sound ceiling (see [`InvariantChecker::check_finish`]).
+        ceiling: u32,
+    },
+    /// A cycle booked more data-cache writes than the store buffer can
+    /// legally retire.
+    WritePortsOversubscribed {
+        /// The overfull cycle.
+        cycle: u64,
+        /// Writes booked in it.
+        writes: u32,
+        /// The sound ceiling.
+        ceiling: u32,
+    },
+    /// A conservation law over the finished run's statistics failed.
+    StatsConservation {
+        /// Which law, e.g. `"pred_loads.attempts + not_speculated == loads"`.
+        law: &'static str,
+        /// Left-hand side.
+        left: u64,
+        /// Right-hand side.
+        right: u64,
+    },
+    /// LTB statistics were recorded without an LTB configured, or an
+    /// enabled LTB recorded none.
+    LtbStatsMismatch {
+        /// Whether the configuration enables the LTB.
+        configured: bool,
+        /// Whether the run recorded LTB statistics.
+        recorded: bool,
+    },
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use InvariantViolation::*;
+        match self {
+            IssueBeforeDecode { pc, fetch, issue } => write!(
+                f,
+                "pc {pc:#010x} issued at {issue} before clearing decode (fetched {fetch})"
+            ),
+            CompletionNotAfterIssue { pc, issue, complete } => write!(
+                f,
+                "pc {pc:#010x} completed at {complete}, not after its issue at {issue}"
+            ),
+            IssueWentBackwards { pc, prev, issue } => write!(
+                f,
+                "pc {pc:#010x} issued at {issue}, before the previous instruction at {prev}"
+            ),
+            IssueWidthExceeded { cycle, issued, width } => {
+                write!(f, "cycle {cycle} issued {issued} instructions (width {width})")
+            }
+            LoadLimitExceeded { cycle, loads, limit } => {
+                write!(f, "cycle {cycle} issued {loads} loads (limit {limit})")
+            }
+            StoreLimitExceeded { cycle, stores, limit } => {
+                write!(f, "cycle {cycle} issued {stores} stores (limit {limit})")
+            }
+            AddressNotFullAdder { pc, addr, full_adder } => write!(
+                f,
+                "pc {pc:#010x} accessed {addr:#010x}, but base+offset is {full_adder:#010x}"
+            ),
+            ReadPortsOversubscribed { cycle, reads, ceiling } => {
+                write!(f, "cycle {cycle} booked {reads} d-cache reads (ceiling {ceiling})")
+            }
+            WritePortsOversubscribed { cycle, writes, ceiling } => {
+                write!(f, "cycle {cycle} booked {writes} d-cache writes (ceiling {ceiling})")
+            }
+            StatsConservation { law, left, right } => {
+                write!(f, "stats conservation broken: {law} ({left} != {right})")
+            }
+            LtbStatsMismatch { configured, recorded } => write!(
+                f,
+                "ltb configured={configured} but stats recorded={recorded}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// Cross-checks the timing pipeline instruction by instruction, then audits
+/// the finished run. See the module docs for what is checked and when the
+/// checker is active.
+#[derive(Debug, Clone)]
+pub struct InvariantChecker {
+    cfg: MachineConfig,
+    last_issue: u64,
+    issued_now: u32,
+    loads_now: u32,
+    stores_now: u32,
+    seen_any: bool,
+}
+
+impl InvariantChecker {
+    /// A checker for one run of a machine with configuration `cfg`.
+    pub fn new(cfg: &MachineConfig) -> InvariantChecker {
+        InvariantChecker {
+            cfg: *cfg,
+            last_issue: 0,
+            issued_now: 0,
+            loads_now: 0,
+            stores_now: 0,
+            seen_any: false,
+        }
+    }
+
+    /// Checks one committed instruction against its pipeline timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant.
+    pub fn check_insn(
+        &mut self,
+        ex: &Executed,
+        info: &IssueInfo,
+    ) -> Result<(), InvariantViolation> {
+        let pc = ex.pc;
+        if info.issue < info.fetch + 2 {
+            return Err(InvariantViolation::IssueBeforeDecode {
+                pc,
+                fetch: info.fetch,
+                issue: info.issue,
+            });
+        }
+        if info.complete <= info.issue {
+            return Err(InvariantViolation::CompletionNotAfterIssue {
+                pc,
+                issue: info.issue,
+                complete: info.complete,
+            });
+        }
+        if self.seen_any && info.issue < self.last_issue {
+            return Err(InvariantViolation::IssueWentBackwards {
+                pc,
+                prev: self.last_issue,
+                issue: info.issue,
+            });
+        }
+        if !self.seen_any || info.issue != self.last_issue {
+            self.last_issue = info.issue;
+            self.issued_now = 0;
+            self.loads_now = 0;
+            self.stores_now = 0;
+            self.seen_any = true;
+        }
+        self.issued_now += 1;
+        if self.issued_now > self.cfg.issue_width {
+            return Err(InvariantViolation::IssueWidthExceeded {
+                cycle: info.issue,
+                issued: self.issued_now,
+                width: self.cfg.issue_width,
+            });
+        }
+        if let Some(mref) = &ex.mem {
+            if mref.is_store {
+                self.stores_now += 1;
+                if self.stores_now > self.cfg.max_stores_per_cycle {
+                    return Err(InvariantViolation::StoreLimitExceeded {
+                        cycle: info.issue,
+                        stores: self.stores_now,
+                        limit: self.cfg.max_stores_per_cycle,
+                    });
+                }
+            } else {
+                self.loads_now += 1;
+                if self.loads_now > self.cfg.max_loads_per_cycle {
+                    return Err(InvariantViolation::LoadLimitExceeded {
+                        cycle: info.issue,
+                        loads: self.loads_now,
+                        limit: self.cfg.max_loads_per_cycle,
+                    });
+                }
+            }
+            // Whatever the prediction circuit guessed (and whatever fault
+            // corrupted it), the committed access — in particular every
+            // replayed one — must use the full-adder address.
+            let full_adder = mref.base_value.wrapping_add(match mref.offset {
+                Offset::Const(d) => d as i32 as u32,
+                Offset::Reg(v) => v,
+            });
+            if mref.addr != full_adder {
+                return Err(InvariantViolation::AddressNotFullAdder {
+                    pc,
+                    addr: mref.addr,
+                    full_adder,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Audits the finished run: conservation laws over the prediction
+    /// statistics and the data-cache port bookings still live in the
+    /// pipeline's port ring.
+    ///
+    /// The port ceilings have deliberate slack over the configured port
+    /// counts: an access issued at `c` may book a read at `c` (speculative)
+    /// and another at `c+1` (replay), so a cycle can legally receive up to
+    /// `2 * max_loads_per_cycle` reads; a full store buffer forcibly
+    /// retires one extra write per admitted store on top of the
+    /// `dcache_write_ports` the drain respects.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant.
+    pub fn check_finish(
+        &self,
+        stats: &SimStats,
+        pipe: &Pipeline,
+    ) -> Result<(), InvariantViolation> {
+        let law = |law, left, right| {
+            if left == right {
+                Ok(())
+            } else {
+                Err(InvariantViolation::StatsConservation { law, left, right })
+            }
+        };
+        let pl = &stats.pred_loads;
+        let ps = &stats.pred_stores;
+        law("pred_loads.attempts + not_speculated == loads", pl.attempts() + pl.not_speculated, stats.loads)?;
+        law(
+            "pred_stores.attempts + not_speculated == stores",
+            ps.attempts() + ps.not_speculated,
+            stats.stores,
+        )?;
+        law("extra_accesses == total prediction fails", stats.extra_accesses, pl.fails() + ps.fails())?;
+        if self.cfg.fac.is_some() {
+            law(
+                "fail_causes + verify_catches == total prediction fails",
+                stats.fail_causes.iter().sum::<u64>() + stats.verify_catches,
+                pl.fails() + ps.fails(),
+            )?;
+        }
+        if self.cfg.fault_plan.is_none() {
+            // The exact circuit's failure signals are conservative: no
+            // signal means the prediction is correct, so the decoupled
+            // compare must never be the thing that catches a failure.
+            law("verify_catches == 0 without fault injection", stats.verify_catches, 0)?;
+        }
+        let ltb_configured = self.cfg.fac.is_none() && self.cfg.ltb_entries.is_some();
+        if ltb_configured != stats.ltb.is_some() {
+            return Err(InvariantViolation::LtbStatsMismatch {
+                configured: ltb_configured,
+                recorded: stats.ltb.is_some(),
+            });
+        }
+        let read_ceiling = 2 * self.cfg.max_loads_per_cycle;
+        let write_ceiling = self.cfg.dcache_write_ports + self.cfg.max_stores_per_cycle;
+        for (cycle, reads, writes) in pipe.port_usage() {
+            if reads > read_ceiling {
+                return Err(InvariantViolation::ReadPortsOversubscribed {
+                    cycle,
+                    reads,
+                    ceiling: read_ceiling,
+                });
+            }
+            if writes > write_ceiling {
+                return Err(InvariantViolation::WritePortsOversubscribed {
+                    cycle,
+                    writes,
+                    ceiling: write_ceiling,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fac_isa::Insn;
+
+    fn nop_at(pc: u32) -> Executed {
+        Executed { pc, insn: Insn::Nop, taken: None, mem: None }
+    }
+
+    #[test]
+    fn accepts_a_legal_schedule() {
+        let cfg = MachineConfig::paper_baseline();
+        let mut chk = InvariantChecker::new(&cfg);
+        for i in 0..8u64 {
+            let info = IssueInfo {
+                fetch: i / 4,
+                issue: i / 4 + 2,
+                complete: i / 4 + 3,
+                replayed: false,
+            };
+            chk.check_insn(&nop_at(0x1000 + 4 * i as u32), &info).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_issue_before_decode() {
+        let cfg = MachineConfig::paper_baseline();
+        let mut chk = InvariantChecker::new(&cfg);
+        let info = IssueInfo { fetch: 5, issue: 6, complete: 7, replayed: false };
+        assert!(matches!(
+            chk.check_insn(&nop_at(0), &info),
+            Err(InvariantViolation::IssueBeforeDecode { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_backwards_issue() {
+        let cfg = MachineConfig::paper_baseline();
+        let mut chk = InvariantChecker::new(&cfg);
+        let ok = IssueInfo { fetch: 3, issue: 5, complete: 6, replayed: false };
+        chk.check_insn(&nop_at(0), &ok).unwrap();
+        let bad = IssueInfo { fetch: 2, issue: 4, complete: 5, replayed: false };
+        assert!(matches!(
+            chk.check_insn(&nop_at(4), &bad),
+            Err(InvariantViolation::IssueWentBackwards { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overwide_issue() {
+        let cfg = MachineConfig::paper_baseline();
+        let mut chk = InvariantChecker::new(&cfg);
+        let info = IssueInfo { fetch: 0, issue: 2, complete: 3, replayed: false };
+        for i in 0..cfg.issue_width {
+            chk.check_insn(&nop_at(4 * i), &info).unwrap();
+        }
+        assert!(matches!(
+            chk.check_insn(&nop_at(0x100), &info),
+            Err(InvariantViolation::IssueWidthExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_full_adder_address() {
+        use crate::exec::MemRef;
+        use fac_isa::{AddrMode, LoadOp, Reg};
+        let cfg = MachineConfig::paper_baseline();
+        let mut chk = InvariantChecker::new(&cfg);
+        let ex = Executed {
+            pc: 0x40,
+            insn: Insn::Load {
+                op: LoadOp::Lw,
+                rt: Reg::T0,
+                ea: AddrMode::BaseDisp { base: Reg::S0, disp: 8 },
+            },
+            taken: None,
+            mem: Some(MemRef {
+                addr: 0x1010, // should be 0x1008
+                base_value: 0x1000,
+                base_reg: Reg::S0,
+                offset: Offset::Const(8),
+                is_store: false,
+                size: 4,
+            }),
+        };
+        let info = IssueInfo { fetch: 0, issue: 2, complete: 4, replayed: true };
+        assert!(matches!(
+            chk.check_insn(&ex, &info),
+            Err(InvariantViolation::AddressNotFullAdder { .. })
+        ));
+    }
+}

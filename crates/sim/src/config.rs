@@ -1,7 +1,67 @@
 //! Machine configuration (the paper's Table 5 plus FAC options).
 
-use fac_core::PredictorConfig;
+use fac_core::{FaultPlan, PredictorConfig};
 use fac_mem::CacheConfig;
+
+/// A machine configuration the simulator cannot honour. Produced by
+/// [`MachineConfig::validate`], which [`crate::Machine::run`] calls before
+/// building any hardware structures — so a bad config surfaces as a typed
+/// error instead of a panic deep inside the cache or predictor geometry
+/// asserts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A cache parameter that must be a power of two is not.
+    NotPowerOfTwo {
+        /// Which parameter (e.g. `"dcache.size_bytes"`).
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// A parameter that must be nonzero is zero.
+    Zero {
+        /// Which parameter.
+        what: &'static str,
+    },
+    /// The cache block is a single byte, leaving no block-offset bit for
+    /// the fast-address-calculation adder.
+    BlockTooSmall {
+        /// Which cache.
+        what: &'static str,
+    },
+    /// `block_bytes * ways` exceeds the cache size, i.e. fewer than one set.
+    NoSets {
+        /// Which cache.
+        what: &'static str,
+    },
+    /// A fault plan was configured but FAC is off: there is no prediction
+    /// circuit to corrupt, so the plan would silently do nothing.
+    FaultPlanWithoutFac,
+    /// An LTB was requested with zero entries.
+    EmptyLtb,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::Zero { what } => write!(f, "{what} must be nonzero"),
+            ConfigError::BlockTooSmall { what } => {
+                write!(f, "{what} blocks must be at least 2 bytes (need a block-offset bit)")
+            }
+            ConfigError::NoSets { what } => {
+                write!(f, "{what}: block_bytes * ways exceeds the cache size (no sets)")
+            }
+            ConfigError::FaultPlanWithoutFac => {
+                write!(f, "a fault plan needs fast address calculation enabled (no circuit to corrupt)")
+            }
+            ConfigError::EmptyLtb => write!(f, "ltb_entries must be nonzero when the LTB is enabled"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Load-latency experiment modes (Figure 2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,18 +152,13 @@ pub enum PipelineOrg {
 }
 
 /// Fast-address-calculation pipeline support.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FacConfig {
     /// The prediction circuit configuration (geometry comes from the data
     /// cache).
     pub predictor: PredictorConfig,
 }
 
-impl Default for FacConfig {
-    fn default() -> FacConfig {
-        FacConfig { predictor: PredictorConfig::default() }
-    }
-}
 
 /// Full machine configuration. [`MachineConfig::paper_baseline`] reproduces
 /// Table 5; the builder-style `with_*` methods derive the evaluated
@@ -166,6 +221,16 @@ pub struct MachineConfig {
     /// Model a data TLB (64-entry fully associative, 4 KB pages) for the
     /// §5.4 virtual-memory check.
     pub model_tlb: bool,
+    /// Inject a fault into the prediction circuit (requires `fac`): the
+    /// verification-path robustness harness. `None` = the exact circuit.
+    pub fault_plan: Option<FaultPlan>,
+    /// Run the per-cycle invariant checker even in release builds (debug
+    /// builds always check). Violations surface as
+    /// [`crate::SimError::Invariant`].
+    pub checks: bool,
+    /// Trap misaligned and never-mapped data accesses as typed
+    /// [`crate::ExecError`]s instead of the lenient byte-wise semantics.
+    pub strict_mem: bool,
 }
 
 impl MachineConfig {
@@ -194,6 +259,9 @@ impl MachineConfig {
             load_latency: LoadLatencyMode::Normal,
             perfect_dcache: false,
             model_tlb: false,
+            fault_plan: None,
+            checks: false,
+            strict_mem: false,
         }
     }
 
@@ -244,6 +312,86 @@ impl MachineConfig {
         self.pipeline_org = PipelineOrg::Agi;
         self
     }
+
+    /// Injects `plan` into the prediction circuit. Only meaningful together
+    /// with [`MachineConfig::with_fac`]; [`MachineConfig::validate`] rejects
+    /// the combination without it.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> MachineConfig {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables the per-cycle invariant checker in release builds too.
+    pub fn with_checks(mut self) -> MachineConfig {
+        self.checks = true;
+        self
+    }
+
+    /// Enables strict data-memory semantics (trap misaligned / never-mapped
+    /// accesses).
+    pub fn with_strict_memory(mut self) -> MachineConfig {
+        self.strict_mem = true;
+        self
+    }
+
+    /// Checks that the configuration describes a machine the simulator can
+    /// actually build — cache geometries with at least one set and one
+    /// block-offset bit, nonzero widths and unit counts, and a fault plan
+    /// only where there is a circuit to corrupt.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn cache(what: [&'static str; 3], c: &CacheConfig) -> Result<(), ConfigError> {
+            let [size, block, ways] = what;
+            for (what, v) in [(size, c.size_bytes), (block, c.block_bytes), (ways, c.ways)] {
+                if v == 0 {
+                    return Err(ConfigError::Zero { what });
+                }
+                if !v.is_power_of_two() {
+                    return Err(ConfigError::NotPowerOfTwo { what, value: v });
+                }
+            }
+            if c.block_bytes < 2 {
+                return Err(ConfigError::BlockTooSmall { what: size });
+            }
+            if c.block_bytes.saturating_mul(c.ways) > c.size_bytes {
+                return Err(ConfigError::NoSets { what: size });
+            }
+            Ok(())
+        }
+        cache(["icache.size_bytes", "icache.block_bytes", "icache.ways"], &self.icache)?;
+        cache(["dcache.size_bytes", "dcache.block_bytes", "dcache.ways"], &self.dcache)?;
+        for (what, v) in [
+            ("fetch_width", self.fetch_width),
+            ("issue_width", self.issue_width),
+            ("max_loads_per_cycle", self.max_loads_per_cycle),
+            ("max_stores_per_cycle", self.max_stores_per_cycle),
+            ("dcache_read_ports", self.dcache_read_ports),
+            ("dcache_write_ports", self.dcache_write_ports),
+            ("mshr_entries", self.mshr_entries),
+            ("fu.int_alu_units", self.fu.int_alu_units),
+            ("fu.load_store_units", self.fu.load_store_units),
+            ("fu.fp_add_units", self.fu.fp_add_units),
+            ("fu.int_mul_units", self.fu.int_mul_units),
+            ("fu.fp_mul_units", self.fu.fp_mul_units),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::Zero { what });
+            }
+        }
+        if self.store_buffer_entries == 0 {
+            return Err(ConfigError::Zero { what: "store_buffer_entries" });
+        }
+        if self.fault_plan.is_some() && self.fac.is_none() {
+            return Err(ConfigError::FaultPlanWithoutFac);
+        }
+        if self.ltb_entries == Some(0) {
+            return Err(ConfigError::EmptyLtb);
+        }
+        Ok(())
+    }
 }
 
 impl Default for MachineConfig {
@@ -291,5 +439,72 @@ mod tests {
             .with_perfect_dcache();
         assert_eq!(c.load_latency, LoadLatencyMode::OneCycle);
         assert!(c.perfect_dcache);
+    }
+
+    #[test]
+    fn baseline_and_variants_validate() {
+        for c in [
+            MachineConfig::paper_baseline(),
+            MachineConfig::paper_baseline().with_fac(),
+            MachineConfig::paper_baseline().with_fac().with_block_size(16),
+            MachineConfig::paper_baseline().with_ltb(512),
+            MachineConfig::paper_baseline()
+                .with_fac()
+                .with_fault_plan(FaultPlan::new(fac_core::FaultKind::AlwaysWrong))
+                .with_checks()
+                .with_strict_memory(),
+        ] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        let mut c = MachineConfig::paper_baseline();
+        c.dcache.size_bytes = 3000;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::NotPowerOfTwo { what: "dcache.size_bytes", value: 3000 })
+        );
+
+        let mut c = MachineConfig::paper_baseline();
+        c.icache.ways = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero { what: "icache.ways" }));
+
+        let mut c = MachineConfig::paper_baseline();
+        c.dcache.block_bytes = 1;
+        assert_eq!(c.validate(), Err(ConfigError::BlockTooSmall { what: "dcache.size_bytes" }));
+
+        let mut c = MachineConfig::paper_baseline();
+        c.dcache.block_bytes = 32 * 1024;
+        assert_eq!(c.validate(), Err(ConfigError::NoSets { what: "dcache.size_bytes" }));
+
+        let mut c = MachineConfig::paper_baseline();
+        c.issue_width = 0;
+        assert_eq!(c.validate(), Err(ConfigError::Zero { what: "issue_width" }));
+    }
+
+    #[test]
+    fn validate_rejects_orphan_fault_plan_and_empty_ltb() {
+        let c = MachineConfig::paper_baseline()
+            .with_fault_plan(FaultPlan::new(fac_core::FaultKind::SilentWrong));
+        assert_eq!(c.validate(), Err(ConfigError::FaultPlanWithoutFac));
+
+        let c = MachineConfig::paper_baseline().with_ltb(0);
+        assert_eq!(c.validate(), Err(ConfigError::EmptyLtb));
+    }
+
+    #[test]
+    fn config_errors_display() {
+        for (err, needle) in [
+            (ConfigError::NotPowerOfTwo { what: "x", value: 7 }, "power of two"),
+            (ConfigError::Zero { what: "x" }, "nonzero"),
+            (ConfigError::BlockTooSmall { what: "x" }, "block-offset"),
+            (ConfigError::NoSets { what: "x" }, "no sets"),
+            (ConfigError::FaultPlanWithoutFac, "no circuit"),
+            (ConfigError::EmptyLtb, "ltb_entries"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 }

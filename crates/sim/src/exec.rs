@@ -206,12 +206,37 @@ pub struct Executed {
 pub enum ExecError {
     /// PC left the text segment.
     BadPc(u32),
+    /// A data access was not naturally aligned (strict-memory mode only —
+    /// the lenient default composes any access from byte operations).
+    Misaligned {
+        /// PC of the faulting load/store.
+        pc: u32,
+        /// The effective address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// A load touched memory never written or loaded by the program
+    /// (strict-memory mode only — the lenient default reads zeros).
+    Unmapped {
+        /// PC of the faulting load.
+        pc: u32,
+        /// The effective address.
+        addr: u32,
+    },
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::BadPc(pc) => write!(f, "program counter {pc:#010x} outside text"),
+            ExecError::Misaligned { pc, addr, size } => write!(
+                f,
+                "misaligned {size}-byte access to {addr:#010x} at pc {pc:#010x}"
+            ),
+            ExecError::Unmapped { pc, addr } => {
+                write!(f, "load from unmapped memory {addr:#010x} at pc {pc:#010x}")
+            }
         }
     }
 }
@@ -237,6 +262,9 @@ pub struct ArchState {
     pub mem: Memory,
     /// Set by `halt`.
     pub halted: bool,
+    /// Strict data-memory semantics: trap misaligned accesses and loads
+    /// from never-mapped pages instead of the lenient byte-wise default.
+    pub strict_mem: bool,
 }
 
 impl ArchState {
@@ -257,7 +285,24 @@ impl ArchState {
             fcc: false,
             mem,
             halted: false,
+            strict_mem: false,
         }
+    }
+
+    /// Checks a data access against the strict-memory rules: natural
+    /// alignment, and (for loads) that the page has been mapped by the
+    /// program image or an earlier store. A no-op in the lenient default.
+    fn check_mem(&self, pc: u32, addr: u32, size: u32, is_store: bool) -> Result<(), ExecError> {
+        if !self.strict_mem {
+            return Ok(());
+        }
+        if size > 1 && !addr.is_multiple_of(size) {
+            return Err(ExecError::Misaligned { pc, addr, size });
+        }
+        if !is_store && !self.mem.is_mapped(addr) {
+            return Err(ExecError::Unmapped { pc, addr });
+        }
+        Ok(())
     }
 
     fn reg(&self, r: Reg) -> u32 {
@@ -388,13 +433,8 @@ impl ArchState {
                         }
                     }
                     MulDivOp::Divu => {
-                        if b == 0 {
-                            self.lo = 0;
-                            self.hi = 0;
-                        } else {
-                            self.lo = a / b;
-                            self.hi = a % b;
-                        }
+                        self.lo = a.checked_div(b).unwrap_or(0);
+                        self.hi = a.checked_rem(b).unwrap_or(0);
                     }
                 }
             }
@@ -402,6 +442,7 @@ impl ArchState {
             Insn::Mflo { rd } => self.set_reg(rd, self.lo),
             Insn::Load { op, rt, ea } => {
                 let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                self.check_mem(pc, addr, op.size(), false)?;
                 let v = match op {
                     LoadOp::Lb => self.mem.read_u8(addr) as i8 as i32 as u32,
                     LoadOp::Lbu => self.mem.read_u8(addr) as u32,
@@ -424,6 +465,7 @@ impl ArchState {
             }
             Insn::Store { op, rt, ea } => {
                 let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                self.check_mem(pc, addr, op.size(), true)?;
                 let v = self.reg(rt);
                 match op {
                     StoreOp::Sb => self.mem.write_u8(addr, v as u8),
@@ -444,6 +486,7 @@ impl ArchState {
             }
             Insn::LoadFp { fmt, ft, ea } => {
                 let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                self.check_mem(pc, addr, fmt.size(), false)?;
                 match fmt {
                     FpFmt::S => self.fregs[ft.index()] = self.mem.read_u32(addr) as u64,
                     FpFmt::D => self.fregs[ft.index()] = self.mem.read_u64(addr),
@@ -462,6 +505,7 @@ impl ArchState {
             }
             Insn::StoreFp { fmt, ft, ea } => {
                 let (addr, base_value, base_reg, offset, post) = self.resolve(ea);
+                self.check_mem(pc, addr, fmt.size(), true)?;
                 match fmt {
                     FpFmt::S => {
                         let bits = self.fregs[ft.index()] as u32;

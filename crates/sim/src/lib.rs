@@ -36,6 +36,7 @@
 //! ```
 
 mod btb;
+mod checker;
 mod config;
 mod exec;
 mod machine;
@@ -45,7 +46,10 @@ mod stats;
 mod trace;
 
 pub use btb::Btb;
-pub use config::{FacConfig, FuConfig, FuTiming, LoadLatencyMode, MachineConfig, PipelineOrg};
+pub use checker::{InvariantChecker, InvariantViolation};
+pub use config::{
+    ConfigError, FacConfig, FuConfig, FuTiming, LoadLatencyMode, MachineConfig, PipelineOrg,
+};
 pub use exec::{dst_regs, src_regs, ArchState, ExecError, Executed, MemRef, RegList};
 pub use machine::{Machine, SimError, SimReport};
 pub use pipeline::{IssueInfo, Pipeline};

@@ -1,6 +1,7 @@
 //! Top-level simulation driver.
 
-use crate::config::MachineConfig;
+use crate::checker::{InvariantChecker, InvariantViolation};
+use crate::config::{ConfigError, MachineConfig};
 use crate::exec::{ArchState, ExecError};
 use crate::pipeline::Pipeline;
 use crate::stats::{RefClass, SimStats};
@@ -26,12 +27,19 @@ impl SimReport {
 }
 
 /// Errors from a simulation run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Functional execution failed.
     Exec(ExecError),
     /// The instruction budget was exhausted before `halt`.
     Runaway(u64),
+    /// The machine configuration cannot be honoured
+    /// ([`MachineConfig::validate`] failed).
+    InvalidConfig(ConfigError),
+    /// The timing model broke one of its own invariants (detected by the
+    /// [`InvariantChecker`], active in debug builds and under
+    /// [`MachineConfig::with_checks`]).
+    Invariant(InvariantViolation),
 }
 
 impl std::fmt::Display for SimError {
@@ -39,6 +47,8 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Exec(e) => write!(f, "execution error: {e}"),
             SimError::Runaway(n) => write!(f, "no halt within {n} instructions"),
+            SimError::InvalidConfig(e) => write!(f, "invalid machine configuration: {e}"),
+            SimError::Invariant(v) => write!(f, "timing invariant violated: {v}"),
         }
     }
 }
@@ -48,6 +58,18 @@ impl std::error::Error for SimError {}
 impl From<ExecError> for SimError {
     fn from(e: ExecError) -> SimError {
         SimError::Exec(e)
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> SimError {
+        SimError::InvalidConfig(e)
+    }
+}
+
+impl From<InvariantViolation> for SimError {
+    fn from(v: InvariantViolation) -> SimError {
+        SimError::Invariant(v)
     }
 }
 
@@ -117,16 +139,27 @@ impl Machine {
         self
     }
 
+    /// Whether this run carries the invariant checker: always in debug
+    /// builds, opt-in via [`MachineConfig::with_checks`] elsewhere.
+    fn checker(&self) -> Option<InvariantChecker> {
+        (self.config.checks || cfg!(debug_assertions)).then(|| InvariantChecker::new(&self.config))
+    }
+
     /// Runs `program` to completion.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] if the program leaves its text segment or does
-    /// not halt within the instruction budget.
+    /// Returns [`SimError`] if the configuration is invalid, the program
+    /// leaves its text segment or does not halt within the instruction
+    /// budget, a strict-memory trap fires, or (with checking enabled) the
+    /// timing model breaks one of its invariants.
     pub fn run(&self, program: &Program) -> Result<SimReport, SimError> {
+        self.config.validate()?;
         let mut state = ArchState::new(program);
+        state.strict_mem = self.config.strict_mem;
         let mut pipe = Pipeline::new(self.config);
         let mut stats = SimStats::default();
+        let mut checker = self.checker();
 
         while !state.halted {
             if stats.insts >= self.max_insts {
@@ -135,11 +168,19 @@ impl Machine {
             let ex = state.step(program)?;
             stats.insts += 1;
             record_ref(&mut stats, &ex);
-            pipe.advance(&ex, &mut stats);
+            if let Some(chk) = &mut checker {
+                let info = pipe.advance_traced(&ex, &mut stats);
+                chk.check_insn(&ex, &info)?;
+            } else {
+                pipe.advance(&ex, &mut stats);
+            }
         }
 
         stats.cycles = pipe.finish(&mut stats);
         stats.mem_footprint = state.mem.footprint();
+        if let Some(chk) = &checker {
+            chk.check_finish(&stats, &pipe)?;
+        }
         Ok(SimReport { program: program.name.clone(), stats, final_state: state })
     }
 
@@ -154,9 +195,12 @@ impl Machine {
         &self,
         program: &Program,
     ) -> Result<(SimReport, Vec<crate::TracedInsn>), SimError> {
+        self.config.validate()?;
         let mut state = ArchState::new(program);
+        state.strict_mem = self.config.strict_mem;
         let mut pipe = Pipeline::new(self.config);
         let mut stats = SimStats::default();
+        let mut checker = self.checker();
         let mut trace = Vec::new();
 
         while !state.halted {
@@ -167,11 +211,17 @@ impl Machine {
             stats.insts += 1;
             record_ref(&mut stats, &ex);
             let timing = pipe.advance_traced(&ex, &mut stats);
+            if let Some(chk) = &mut checker {
+                chk.check_insn(&ex, &timing)?;
+            }
             trace.push(crate::TracedInsn { pc: ex.pc, insn: ex.insn, timing });
         }
 
         stats.cycles = pipe.finish(&mut stats);
         stats.mem_footprint = state.mem.footprint();
+        if let Some(chk) = &checker {
+            chk.check_finish(&stats, &pipe)?;
+        }
         Ok((SimReport { program: program.name.clone(), stats, final_state: state }, trace))
     }
 }
@@ -266,6 +316,58 @@ mod tests {
             .run(&p)
             .unwrap_err();
         assert!(matches!(err, SimError::Runaway(1000)));
+    }
+
+    #[test]
+    fn strict_memory_traps_misaligned_access() {
+        let mut a = Asm::new();
+        a.gp_array("buf", 16, 4);
+        a.gp_addr(Reg::S0, "buf", 0);
+        a.addiu(Reg::S0, Reg::S0, 2);
+        a.lw(Reg::T0, 0, Reg::S0);
+        a.halt();
+        let p = a.link("mis", &SoftwareSupport::on()).unwrap();
+
+        // Lenient (default): unaligned loads are modelled as-is.
+        Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+
+        let err = Machine::new(MachineConfig::paper_baseline().with_strict_memory())
+            .run(&p)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Exec(ExecError::Misaligned { size: 4, .. })),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn strict_memory_traps_unmapped_load() {
+        let mut a = Asm::new();
+        a.li(Reg::S0, 0x4bad_0000u32 as i32);
+        a.lw(Reg::T0, 0, Reg::S0);
+        a.halt();
+        let p = a.link("wild", &SoftwareSupport::on()).unwrap();
+
+        // Lenient: untouched memory reads as zero.
+        let r = Machine::new(MachineConfig::paper_baseline()).run(&p).unwrap();
+        assert_eq!(r.final_state.regs[Reg::T0.index()], 0);
+
+        let err = Machine::new(MachineConfig::paper_baseline().with_strict_memory())
+            .run(&p)
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::Exec(ExecError::Unmapped { addr: 0x4bad_0000, .. })),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let p = sum_program(&SoftwareSupport::on());
+        let mut cfg = MachineConfig::paper_baseline();
+        cfg.dcache.size_bytes = 12345;
+        let err = Machine::new(cfg).run(&p).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "got {err}");
     }
 
     #[test]

@@ -48,23 +48,22 @@ impl ProfileReport {
 ///
 /// # Errors
 ///
-/// Returns the functional-execution error if the program misbehaves.
-///
-/// # Panics
-///
-/// Panics if the program does not halt within `max_insts`.
+/// Returns [`crate::SimError::Exec`] if the program misbehaves and
+/// [`crate::SimError::Runaway`] if it does not halt within `max_insts`.
 pub fn profile_predictions(
     program: &Program,
     fields: AddrFields,
     config: PredictorConfig,
     max_insts: u64,
-) -> Result<ProfileReport, crate::ExecError> {
+) -> Result<ProfileReport, crate::SimError> {
     let predictor = Predictor::new(fields, config);
     let mut state = ArchState::new(program);
     let mut rep = ProfileReport::default();
 
     while !state.halted {
-        assert!(rep.insts < max_insts, "program did not halt within {max_insts} instructions");
+        if rep.insts >= max_insts {
+            return Err(crate::SimError::Runaway(max_insts));
+        }
         let ex = state.step(program)?;
         rep.insts += 1;
         let Some(mref) = ex.mem else { continue };

@@ -187,6 +187,12 @@ pub struct SimStats {
     pub pred_stores: PredCounters,
     /// Misprediction causes (paper §3's four conditions + tag overlap).
     pub fail_causes: [u64; 5],
+    /// Bad speculations caught **only** by the decoupled verification
+    /// compare — the failure signals claimed success but the full-adder
+    /// address differed. Always zero for the exact circuit (the signals are
+    /// conservative); nonzero under fault injection, where it counts the
+    /// corrupted predictions the backstop intercepted.
+    pub verify_catches: u64,
     /// Extra data-cache accesses caused by misspeculation (Table 6).
     pub extra_accesses: u64,
     /// Cycles lost to store-buffer-full stalls.

@@ -34,8 +34,8 @@ fn host_alu(op: AluOp, a: u32, b: u32) -> u32 {
         AluOp::Or => a | b,
         AluOp::Xor => a ^ b,
         AluOp::Nor => !(a | b),
-        AluOp::Slt => (((a as i32) < (b as i32)) as u32),
-        AluOp::Sltu => ((a < b) as u32),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
         AluOp::Sllv => b.wrapping_shl(a & 31),
         AluOp::Srlv => b.wrapping_shr(a & 31),
         AluOp::Srav => ((b as i32).wrapping_shr(a & 31)) as u32,
@@ -79,11 +79,9 @@ proptest! {
         prop_assert_eq!(st.regs[Reg::V0.index()], prod as u32);
         prop_assert_eq!(st.regs[Reg::V1.index()], (prod >> 32) as u32);
         let (au, bu) = (a as u32, b as u32);
+        prop_assert_eq!(st.regs[Reg::A0.index()], au.checked_div(bu).unwrap_or(0));
         if bu != 0 {
-            prop_assert_eq!(st.regs[Reg::A0.index()], au / bu);
             prop_assert_eq!(st.regs[Reg::A1.index()], au % bu);
-        } else {
-            prop_assert_eq!(st.regs[Reg::A0.index()], 0);
         }
     }
 

@@ -1,0 +1,58 @@
+//! Regression: `RegList::push` asserts on overflow (capacity 4). Prove the
+//! assert is unreachable from `src_regs`/`dst_regs` for every *encodable*
+//! instruction — i.e. a hostile program image can crash the simulator only
+//! with a typed error, never a panic in the scoreboard bookkeeping.
+
+use fac_isa::{decode, encode};
+use fac_sim::{dst_regs, src_regs};
+
+/// Sweeps every combination of the shape-selecting bits of the encoding
+/// (major opcode + function/format fields) with several register-field
+/// patterns. Register numbers never change *how many* pushes an opcode
+/// performs (only `$zero` is skipped), so covering every decodable shape
+/// covers every reachable push count.
+#[test]
+fn no_encodable_insn_overflows_the_reg_lists() {
+    // Register-field patterns: all zeros, all ones, and two mixed patterns
+    // (so base == index aliasing and hi/lo fields are both exercised).
+    let mids: [u32; 4] = [0x0000, 0xffff, 0xa5a5, 0x5a5a];
+    let mut decoded = 0u64;
+    for hi in 0u32..256 {
+        for lo in 0u32..4096 {
+            for mid in mids {
+                let word = (hi << 24) | (mid << 8) | lo;
+                let Ok(insn) = decode(word) else { continue };
+                decoded += 1;
+                let s = src_regs(&insn);
+                let d = dst_regs(&insn);
+                assert!(s.len() <= 3, "{insn:?}: {} sources", s.len());
+                assert!(d.len() <= 2, "{insn:?}: {} destinations", d.len());
+            }
+        }
+    }
+    assert!(decoded > 1000, "sweep decoded only {decoded} instructions");
+}
+
+/// Deterministic pseudo-random sweep over full 32-bit words, so bit
+/// positions outside the structured sweep above get exercised too.
+#[test]
+fn random_words_never_overflow_the_reg_lists() {
+    let mut state = 0x5eed_cafe_f00d_u64;
+    let mut decoded = 0u64;
+    for _ in 0..2_000_000 {
+        state = state
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        let word = (state >> 16) as u32;
+        let Ok(insn) = decode(word) else { continue };
+        decoded += 1;
+        // Round-trip: whatever decodes must re-encode to something that
+        // decodes to the same instruction (the set of encodable insns).
+        let canon = decode(encode(&insn)).expect("canonical form decodes");
+        let _ = (src_regs(&canon), dst_regs(&canon));
+        let s = src_regs(&insn);
+        let d = dst_regs(&insn);
+        assert!(s.len() + d.len() <= 5, "{insn:?}");
+    }
+    assert!(decoded > 0, "random sweep never hit a valid encoding");
+}

@@ -72,7 +72,7 @@ proptest! {
         check_invariants(&trace, cfg.issue_width as u64)?;
         // The cycle count covers every completion.
         let last = trace.iter().map(|t| t.timing.complete).max().unwrap();
-        prop_assert!(report.stats.cycles as u64 >= last);
+        prop_assert!(report.stats.cycles >= last);
         prop_assert_eq!(report.stats.insts as usize, trace.len());
     }
 

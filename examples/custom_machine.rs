@@ -37,7 +37,7 @@ fn main() {
         ("1-cycle-load oracle", MachineConfig::paper_baseline().with_one_cycle_loads()),
     ];
 
-    println!("workload: {name} ({} scale)\n", "paper");
+    println!("workload: {name} (paper scale)\n");
     println!("{:28} {:>10} {:>7} {:>8} {:>8}", "machine", "cycles", "IPC", "d$miss%", "failL%");
     println!("{}", "-".repeat(66));
     let mut base_cycles = 0u64;

@@ -1,0 +1,176 @@
+//! The fault-injection harness — the paper's §3 safety argument, attacked.
+//!
+//! The verification circuit (full adder + failure signals, decoupled from
+//! the speculative access) is supposed to make fast address calculation
+//! *harmless*: any bad speculation is caught and replayed with the true
+//! effective address. These tests wire a [`FaultPlan`] into the predictor
+//! and prove that claim end to end, for every workload and every built-in
+//! plan: architectural results stay bit-identical to the unfaulted run, and
+//! faults only ever cost cycles.
+
+use fac::asm::SoftwareSupport;
+use fac::core::{FaultKind, FaultPlan};
+use fac::sim::{Machine, MachineConfig, SimReport};
+use fac::workloads::{suite, Scale};
+
+fn run(cfg: MachineConfig, p: &fac::asm::Program) -> SimReport {
+    Machine::new(cfg)
+        .with_max_insts(100_000_000)
+        .run(p)
+        .unwrap_or_else(|e| panic!("{}: {e}", p.name))
+}
+
+/// The headline matrix: every workload × every built-in fault plan, checked
+/// against the unfaulted FAC run of the same binary.
+#[test]
+fn faults_never_reach_architectural_state() {
+    let mut catches_by_plan = vec![0u64; FaultPlan::builtin().len()];
+
+    for wl in suite() {
+        let p = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+        let checksum = p.symbol("checksum");
+        let base = run(MachineConfig::paper_baseline().with_fac(), &p);
+        assert_eq!(
+            base.stats.verify_catches, 0,
+            "{}: the exact circuit's failure signals are conservative — the \
+             decoupled compare should never be the only thing that fires",
+            wl.name
+        );
+
+        for (i, plan) in FaultPlan::builtin().into_iter().enumerate() {
+            let cfg = MachineConfig::paper_baseline().with_fac().with_fault_plan(plan);
+            let faulted = run(cfg, &p);
+
+            // Architectural state is bit-identical: the fault was confined
+            // to the prediction path and verification replayed every bad
+            // speculation with the full-adder address.
+            assert_eq!(
+                faulted.final_state.regs, base.final_state.regs,
+                "{} under {plan}: integer state corrupted",
+                wl.name
+            );
+            assert_eq!(
+                faulted.final_state.fregs, base.final_state.fregs,
+                "{} under {plan}: fp state corrupted",
+                wl.name
+            );
+            assert_eq!(
+                faulted.final_state.mem.read_u32(checksum),
+                base.final_state.mem.read_u32(checksum),
+                "{} under {plan}: memory checksum corrupted",
+                wl.name
+            );
+
+            // The fault is invisible functionally…
+            assert_eq!(faulted.stats.insts, base.stats.insts, "{} under {plan}", wl.name);
+            assert_eq!(faulted.stats.loads, base.stats.loads, "{} under {plan}", wl.name);
+            assert_eq!(faulted.stats.stores, base.stats.stores, "{} under {plan}", wl.name);
+
+            // …and can only cost time, never save it.
+            assert!(
+                faulted.stats.cycles >= base.stats.cycles,
+                "{} under {plan}: {} cycles vs unfaulted {}",
+                wl.name,
+                faulted.stats.cycles,
+                base.stats.cycles
+            );
+
+            catches_by_plan[i] += faulted.stats.verify_catches;
+        }
+    }
+
+    // Every address-corrupting plan must have been caught by the decoupled
+    // compare somewhere in the suite — otherwise the harness isn't actually
+    // exercising the backstop.
+    for (plan, catches) in FaultPlan::builtin().into_iter().zip(catches_by_plan) {
+        if plan.corrupts_address() {
+            assert!(catches > 0, "{plan}: no verification catches across the whole suite");
+        }
+    }
+}
+
+/// Cutting the alarm wires (but not corrupting the address) costs nothing:
+/// the suppressed signals were only ever attached to predictions that were
+/// wrong anyway, and the decoupled compare replays those regardless.
+#[test]
+fn suppressed_signals_cost_no_cycles() {
+    let plan = FaultPlan::new(FaultKind::SuppressSignals);
+    for wl in suite() {
+        let p = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+        let base = run(MachineConfig::paper_baseline().with_fac(), &p);
+        let faulted =
+            run(MachineConfig::paper_baseline().with_fac().with_fault_plan(plan), &p);
+        assert_eq!(
+            faulted.stats.cycles, base.stats.cycles,
+            "{}: a sound backstop makes signal suppression timing-neutral",
+            wl.name
+        );
+        assert_eq!(
+            faulted.stats.verify_catches, faulted.stats.extra_accesses,
+            "{}: every replay is now credited to the decoupled compare",
+            wl.name
+        );
+    }
+}
+
+/// The worst case — wrong address, silent alarm — on the most
+/// speculation-heavy configuration, with the invariant checker forced on.
+#[test]
+fn silent_wrong_is_caught_with_checks_enabled() {
+    let plan = FaultPlan::new(FaultKind::SilentWrong);
+    for wl in suite() {
+        let p = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+        let base = run(MachineConfig::paper_baseline().with_fac(), &p);
+        let cfg = MachineConfig::paper_baseline()
+            .with_fac()
+            .with_fault_plan(plan)
+            .with_checks();
+        let faulted = run(cfg, &p);
+        assert_eq!(faulted.final_state.regs, base.final_state.regs, "{}", wl.name);
+        // Every attempted speculation is now a silent wrong answer; all of
+        // them must fail, and every failure must be a decoupled-compare
+        // catch (no failure signal ever fires).
+        let attempts =
+            faulted.stats.pred_loads.attempts() + faulted.stats.pred_stores.attempts();
+        assert!(attempts > 0, "{}: the harness must actually speculate", wl.name);
+        assert_eq!(faulted.stats.extra_accesses, attempts, "{}", wl.name);
+        assert_eq!(
+            faulted.stats.verify_catches, attempts,
+            "{}: every silent wrong speculation is caught by the compare",
+            wl.name
+        );
+    }
+}
+
+/// Fault plans are rejected on configurations without FAC: there is no
+/// prediction circuit to fault.
+#[test]
+fn fault_plan_requires_fac() {
+    let p = suite()[0].build(&SoftwareSupport::on(), Scale::Smoke);
+    let cfg = MachineConfig::paper_baseline()
+        .with_fault_plan(FaultPlan::new(FaultKind::AlwaysWrong));
+    let err = Machine::new(cfg).run(&p).unwrap_err();
+    assert!(
+        matches!(err, fac::sim::SimError::InvalidConfig(_)),
+        "expected InvalidConfig, got {err}"
+    );
+}
+
+/// Determinism: the same seeded plan gives the same cycle count twice.
+#[test]
+fn seeded_faults_are_deterministic() {
+    let wl = fac::workloads::find("compress").unwrap();
+    let p = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+    let plan = FaultPlan::new(FaultKind::RandomFlip { wrong_per_1024: 256 }).with_seed(42);
+    let cfg = MachineConfig::paper_baseline().with_fac().with_fault_plan(plan);
+    let a = run(cfg, &p);
+    let b = run(cfg, &p);
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.verify_catches, b.stats.verify_catches);
+    // A different seed corrupts a different subset of accesses.
+    let c = run(
+        MachineConfig::paper_baseline().with_fac().with_fault_plan(plan.with_seed(7)),
+        &p,
+    );
+    assert_eq!(c.final_state.regs, a.final_state.regs, "seed must not change results");
+}
