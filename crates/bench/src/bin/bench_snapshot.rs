@@ -1,0 +1,55 @@
+//! Emits a machine-readable benchmark snapshot of the paper-baseline
+//! workload sweep: every workload run on the baseline machine and on the
+//! fast-address-calculation machine (both with §4 software support), with
+//! cycles, IPC, speedup and prediction quality per program.
+//!
+//! ```sh
+//! cargo run --release -p fac-bench --bin bench_snapshot -- --json BENCH_pr2.json
+//! ```
+
+use fac_bench::{build_suite, run, scale_from_args, weighted_mean};
+use fac_sim::obs::Json;
+use fac_sim::{MachineConfig, SimError};
+
+fn sweep() -> Result<Json, SimError> {
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut weights = Vec::new();
+    for b in &build_suite(scale_from_args()) {
+        let base = run(&b.tuned, MachineConfig::paper_baseline())?;
+        let fac = run(&b.tuned, MachineConfig::paper_baseline().with_fac())?;
+        let speedup = base.stats.cycles as f64 / fac.stats.cycles as f64;
+        println!(
+            "{:10} {:>10} -> {:>10} cycles  ({:.3}x, load fail {:.2}%)",
+            b.workload.name,
+            base.stats.cycles,
+            fac.stats.cycles,
+            speedup,
+            fac.stats.pred_loads.fail_rate_all() * 100.0
+        );
+        let mut j = Json::obj();
+        j.set("program", Json::Str(b.workload.name.to_string()));
+        j.set("kind", Json::Str(if b.workload.fp { "fp" } else { "int" }.to_string()));
+        j.set("cycles.baseline", Json::U64(base.stats.cycles));
+        j.set("cycles.fac", Json::U64(fac.stats.cycles));
+        j.set("ipc.baseline", Json::F64(base.stats.ipc()));
+        j.set("ipc.fac", Json::F64(fac.stats.ipc()));
+        j.set("speedup", Json::F64(speedup));
+        j.set("load_fail_rate", Json::F64(fac.stats.pred_loads.fail_rate_all()));
+        j.set("store_fail_rate", Json::F64(fac.stats.pred_stores.fail_rate_all()));
+        j.set("bandwidth_overhead", Json::F64(fac.stats.bandwidth_overhead()));
+        rows.push(j);
+        speedups.push(speedup);
+        weights.push(base.stats.cycles);
+    }
+    let mut doc = Json::obj();
+    doc.set("benchmark", Json::Str("paper_baseline_sweep".to_string()));
+    doc.set("config", Json::Str("paper_baseline vs paper_baseline+fac, sw support on".to_string()));
+    doc.set("rows", Json::Arr(rows));
+    doc.set("speedup.weighted_mean", Json::F64(weighted_mean(&speedups, &weights)));
+    Ok(doc)
+}
+
+fn main() -> std::process::ExitCode {
+    fac_bench::conclude(sweep())
+}

@@ -37,13 +37,20 @@ fn main() {
         cfg = cfg.with_fac();
     }
     let machine = Machine::new(cfg).with_max_insts(1_000_000_000);
-    if flag("--trace") {
-        let (report, trace) = machine.run_traced(&program).expect("runs");
-        println!("{}", render_diagram(&trace[trace.len().saturating_sub(24)..]));
-        print_summary(&report);
+    let outcome = if flag("--trace") {
+        machine.run_traced(&program).map(|(report, trace)| {
+            println!("{}", render_diagram(&trace[trace.len().saturating_sub(24)..]));
+            report
+        })
     } else {
-        let report = machine.run(&program).expect("runs");
-        print_summary(&report);
+        machine.run(&program)
+    };
+    match outcome {
+        Ok(report) => print_summary(&report),
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

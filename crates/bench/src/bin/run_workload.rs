@@ -4,34 +4,40 @@
 //! ```sh
 //! cargo run --release -p fac-bench --bin run_workload -- compress --fac --sw
 //! cargo run --release -p fac-bench --bin run_workload -- tomcatv --ltb 512 --smoke
+//! cargo run --release -p fac-bench --bin run_workload -- \
+//!     compress --fac --sw --json out.json --events out.jsonl --top-sites 10
 //! ```
+//!
+//! `--json <path>` exports every statistic as a machine-readable metrics
+//! document (`-` writes to stdout and suppresses the human report);
+//! `--events <path>` streams the cycle-stamped event log as JSON Lines;
+//! `--top-sites N` sizes the per-PC replay attribution table; `--sample K`
+//! sets the interval-sampler window (cycles, default 10000).
 
 use fac_asm::SoftwareSupport;
-use fac_core::{FaultPlan, PredictorConfig};
-use fac_sim::{Machine, MachineConfig, RefClass};
-use fac_workloads::{find, Scale};
+use fac_core::{FailureCause, FaultPlan, PredictorConfig};
+use fac_sim::obs::{Json, MetricsRegistry, Recorder, RegisterMetrics as _};
+use fac_sim::{Machine, MachineConfig, RefClass, SimError, SimReport};
+use fac_workloads::{find, Scale, Workload};
 
-fn main() {
+fn usage() -> ! {
+    eprintln!("usage: run_workload <name> [--fac] [--ltb N] [--agi] [--sw] [--smoke]");
+    eprintln!("       [--block N] [--no-rr] [--no-store-spec] [--one-cycle] [--perfect]");
+    eprintln!("       [--fault-plan <plan>] [--checks]");
+    eprintln!("       [--json <path|->] [--events <path>] [--top-sites N] [--sample K]");
+    eprintln!("fault plans: always-wrong, random-flip[:per1024], flip-index-bit:<bit>,");
+    eprintln!("             suppress-signals, silent-wrong  (each optionally @<seed>)");
+    eprintln!(
+        "names: {}",
+        fac_workloads::suite().iter().map(|w| w.name).collect::<Vec<_>>().join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().map(String::as_str).unwrap_or("");
-    let Some(wl) = find(name) else {
-        eprintln!("usage: run_workload <name> [--fac] [--ltb N] [--agi] [--sw] [--smoke]");
-        eprintln!("       [--block N] [--no-rr] [--no-store-spec] [--one-cycle] [--perfect]");
-        eprintln!("       [--fault-plan <plan>] [--checks]");
-        eprintln!(
-            "fault plans: always-wrong, random-flip[:per1024], flip-index-bit:<bit>,"
-        );
-        eprintln!("             suppress-signals, silent-wrong  (each optionally @<seed>)");
-        eprintln!(
-            "names: {}",
-            fac_workloads::suite()
-                .iter()
-                .map(|w| w.name)
-                .collect::<Vec<_>>()
-                .join(" ")
-        );
-        std::process::exit(2);
-    };
+    let Some(wl) = find(name) else { usage() };
     let flag = |f: &str| args.iter().any(|a| a == f);
     let value = |f: &str| {
         args.iter()
@@ -72,7 +78,7 @@ fn main() {
             Ok(plan) => cfg = cfg.with_fault_plan(plan),
             Err(e) => {
                 eprintln!("--fault-plan: {e}");
-                std::process::exit(2);
+                return std::process::ExitCode::from(2);
             }
         }
     }
@@ -81,17 +87,69 @@ fn main() {
     }
     cfg = cfg.with_tlb();
 
+    let json_path = fac_bench::arg_value("--json");
+    let events_path = fac_bench::arg_value("--events");
+    let top_sites = value("--top-sites").unwrap_or(10) as usize;
+    let sample = value("--sample").unwrap_or(10_000) as u64;
+    let observe = json_path.is_some() || events_path.is_some();
+    // `--json -` keeps stdout pure JSON.
+    let human = json_path.as_deref() != Some("-");
+
     let program = wl.build(&sw, scale);
-    let r = match Machine::new(cfg).run(&program) {
+    let machine = Machine::new(cfg);
+    let mut recorder = None;
+    let run = if observe {
+        let mut rec = Recorder::new().with_sampler(sample);
+        if let Some(path) = &events_path {
+            match std::fs::File::create(path) {
+                Ok(f) => rec = rec.with_sink(Box::new(std::io::BufWriter::new(f))),
+                Err(e) => {
+                    eprintln!("error: {}", SimError::io(path, e));
+                    return std::process::ExitCode::FAILURE;
+                }
+            }
+        }
+        let run = machine.run_observed(&program, &mut rec);
+        recorder = Some(rec);
+        run
+    } else {
+        machine.run(&program)
+    };
+    let r = match run {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("{}: {e}", wl.name);
-            std::process::exit(1);
+            eprintln!("error: {}: {e}", wl.name);
+            return std::process::ExitCode::FAILURE;
         }
     };
-    let s = &r.stats;
+    if let Some(rec) = &mut recorder {
+        if let Err(msg) = rec.finish_sink() {
+            let path = events_path.as_deref().unwrap_or("--events");
+            eprintln!("error: i/o error on {path}: {msg}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
 
-    println!("{} ({}, sw support {})", wl.name, if wl.fp { "fp" } else { "int" }, flag("--sw"));
+    if human {
+        print_report(&wl, &r, &cfg, flag("--sw"));
+        if let Some(rec) = &recorder {
+            print_top_sites(rec, top_sites);
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let doc = json_document(&wl, &r, &cfg, &args, recorder.as_ref(), top_sites);
+        if let Err(e) = fac_bench::write_json(path, &doc) {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+fn print_report(wl: &Workload, r: &SimReport, cfg: &MachineConfig, sw: bool) {
+    let s = &r.stats;
+    println!("{} ({}, sw support {})", wl.name, if wl.fp { "fp" } else { "int" }, sw);
     println!("  instructions      {:>12}", s.insts);
     println!("  cycles            {:>12}   (IPC {:.3})", s.cycles, s.ipc());
     println!("  loads / stores    {:>12} / {}", s.loads, s.stores);
@@ -144,4 +202,75 @@ fn main() {
     }
     println!("  sb full stalls    {:>12}", s.store_buffer_stalls);
     println!("  memory footprint  {:>12} KB", s.mem_footprint / 1024);
+}
+
+/// The per-PC replay attribution table, human-readable.
+fn print_top_sites(rec: &Recorder, n: usize) {
+    let mut sites = rec.attribution.top_sites(n);
+    sites.retain(|s| s.replays > 0);
+    if sites.is_empty() {
+        println!("  top replay sites  none ({} speculating PCs, zero replays)", rec.attribution.len());
+        return;
+    }
+    println!("  top replay sites  (of {} speculating PCs)", rec.attribution.len());
+    println!(
+        "    {:>10} {:>7} {:>6} {:>10} {:>8}  dominant cause",
+        "pc", "class", "kind", "replays", "fail%"
+    );
+    for site in &sites {
+        let cause = FailureCause::ALL
+            .iter()
+            .max_by_key(|c| site.causes[c.index()])
+            .filter(|c| site.causes[c.index()] > 0)
+            .map(|c| c.label())
+            .unwrap_or("-");
+        println!(
+            "    {:>#10x} {:>7} {:>6} {:>10} {:>8.2}  {}",
+            site.pc,
+            site.class.label(),
+            if site.is_store { "store" } else { "load" },
+            site.replays,
+            site.fail_rate() * 100.0,
+            cause
+        );
+    }
+}
+
+/// The full machine-readable run document.
+fn json_document(
+    wl: &Workload,
+    r: &SimReport,
+    cfg: &MachineConfig,
+    args: &[String],
+    rec: Option<&Recorder>,
+    top_sites: usize,
+) -> Json {
+    let mut doc = Json::obj();
+    let mut workload = Json::obj();
+    workload.set("name", Json::Str(wl.name.to_string()));
+    workload.set("kind", Json::Str(if wl.fp { "fp" } else { "int" }.to_string()));
+    workload.set("args", Json::Arr(args.iter().map(|a| Json::Str(a.clone())).collect()));
+    doc.set("workload", workload);
+
+    let mut config = Json::obj();
+    config.set("fac", Json::Bool(cfg.fac.is_some()));
+    config.set("ltb", Json::Bool(cfg.ltb_entries.is_some()));
+    config.set("block_bytes", Json::U64(cfg.dcache.block_bytes as u64));
+    config.set(
+        "fault_plan",
+        match cfg.fault_plan {
+            Some(p) => Json::Str(p.to_string()),
+            None => Json::Null,
+        },
+    );
+    doc.set("config", config);
+
+    let mut reg = MetricsRegistry::new();
+    r.stats.register_metrics(&mut reg, "sim");
+    doc.set("metrics", reg.to_json());
+
+    if let Some(rec) = rec {
+        doc.set("observability", rec.to_json(top_sites));
+    }
+    doc
 }

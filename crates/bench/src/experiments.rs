@@ -1,13 +1,34 @@
 //! The experiment implementations, one function per paper table/figure.
+//!
+//! Every experiment prints its human-readable table **and** returns the
+//! same data as a [`Json`] document, so each binary can honour a
+//! `--json <path>` flag (see [`crate::conclude`]) and `all_experiments`
+//! can bundle the whole evaluation into one machine-readable file.
+//! Simulation failures propagate as typed [`SimError`]s instead of
+//! panicking.
 
 use crate::{build_suite, pct, pct_change, profile, rule, run, weighted_mean};
 use fac_core::{IndexCompose, PredictorConfig};
-use fac_sim::{MachineConfig, RefClass};
+use fac_sim::obs::Json;
+use fac_sim::{MachineConfig, RefClass, SimError};
 use fac_workloads::Scale;
+
+fn doc(experiment: &str, rows: Vec<Json>) -> Json {
+    let mut d = Json::obj();
+    d.set("experiment", Json::Str(experiment.to_string()));
+    d.set("rows", Json::Arr(rows));
+    d
+}
+
+fn row(program: &str) -> Json {
+    let mut r = Json::obj();
+    r.set("program", Json::Str(program.to_string()));
+    r
+}
 
 /// Figure 2: IPC with 2-cycle loads (baseline), 1-cycle loads, perfect
 /// cache, and 1-cycle + perfect.
-pub fn fig2(scale: Scale) {
+pub fn fig2(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Figure 2: Impact of Load Latency on IPC ==");
     println!(
         "{:10} {:>9} {:>13} {:>13} {:>15}",
@@ -21,12 +42,14 @@ pub fn fig2(scale: Scale) {
         MachineConfig::paper_baseline().with_perfect_dcache(),
         MachineConfig::paper_baseline().with_one_cycle_loads().with_perfect_dcache(),
     ];
+    const COLS: [&str; 4] = ["baseline", "one_cycle", "perfect", "one_cycle_perfect"];
     let mut rows: Vec<(bool, [f64; 4], u64)> = Vec::new();
+    let mut out = Vec::new();
     for b in &benches {
         let mut ipc = [0.0; 4];
         let mut weight = 0;
         for (i, cfg) in configs.iter().enumerate() {
-            let r = run(&b.plain, *cfg);
+            let r = run(&b.plain, *cfg)?;
             ipc[i] = r.stats.ipc();
             if i == 0 {
                 weight = r.stats.cycles;
@@ -36,10 +59,16 @@ pub fn fig2(scale: Scale) {
             "{:10} {:>9.2} {:>13.2} {:>13.2} {:>15.2}",
             b.workload.name, ipc[0], ipc[1], ipc[2], ipc[3]
         );
+        let mut j = row(b.workload.name);
+        for (name, v) in COLS.iter().zip(ipc) {
+            j.set(&format!("ipc.{name}"), Json::F64(v));
+        }
+        out.push(j);
         rows.push((b.workload.fp, ipc, weight));
     }
     rule(64);
-    for (label, fp) in [("Int-Avg", false), ("FP-Avg", true)] {
+    let mut d = doc("fig2", out);
+    for (label, key, fp) in [("Int-Avg", "int_avg", false), ("FP-Avg", "fp_avg", true)] {
         let group: Vec<&(bool, [f64; 4], u64)> = rows.iter().filter(|r| r.0 == fp).collect();
         let weights: Vec<u64> = group.iter().map(|r| r.2).collect();
         let avg: Vec<f64> = (0..4)
@@ -52,19 +81,26 @@ pub fn fig2(scale: Scale) {
             "{:10} {:>9.2} {:>13.2} {:>13.2} {:>15.2}",
             label, avg[0], avg[1], avg[2], avg[3]
         );
+        let mut j = Json::obj();
+        for (name, v) in COLS.iter().zip(&avg) {
+            j.set(&format!("ipc.{name}"), Json::F64(*v));
+        }
+        d.set(key, j);
     }
+    Ok(d)
 }
 
 /// Table 1: program reference behavior (without software support).
-pub fn table1(scale: Scale) {
+pub fn table1(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Table 1: Program Reference Behavior ==");
     println!(
         "{:10} {:>8} {:>9} {:>7} {:>7} | {:>7} {:>7} {:>8}",
         "program", "insts", "refs", "%loads", "%store", "%global", "%stack", "%general"
     );
     rule(76);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let p = profile(&b.plain, 32, PredictorConfig::default());
+        let p = profile(&b.plain, 32, PredictorConfig::default())?;
         let refs = p.refs();
         println!(
             "{:10} {:>8} {:>9} {:>7} {:>7} | {:>7} {:>7} {:>8}",
@@ -77,15 +113,29 @@ pub fn table1(scale: Scale) {
             pct(p.loads_by_class[1] as f64 / p.loads.max(1) as f64),
             pct(p.loads_by_class[2] as f64 / p.loads.max(1) as f64),
         );
+        let mut j = row(b.workload.name);
+        j.set("insts", Json::U64(p.insts));
+        j.set("refs", Json::U64(refs));
+        j.set("loads", Json::U64(p.loads));
+        j.set("stores", Json::U64(p.stores));
+        for class in RefClass::ALL {
+            j.set(
+                &format!("load_fraction.{}", class.label()),
+                Json::F64(p.load_class_fraction(class)),
+            );
+        }
+        out.push(j);
     }
+    Ok(doc("table1", out))
 }
 
 /// Figure 3: cumulative load-offset size distributions for gcc, sc, doduc
 /// and spice.
-pub fn fig3(scale: Scale) {
+pub fn fig3(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Figure 3: Load Offset Cumulative Distributions ==");
     let names = ["gcc", "sc", "doduc", "spice"];
     let benches = build_suite(scale);
+    let mut out = Vec::new();
     for class in RefClass::ALL {
         println!("\n-- {} pointer offsets (cumulative % by bits) --", class.label());
         print!("{:8}", "bits");
@@ -95,7 +145,7 @@ pub fn fig3(scale: Scale) {
         println!("{:>6} {:>6}", ">15", "neg");
         for name in names {
             let b = benches.iter().find(|b| b.workload.name == name).expect("known program");
-            let p = profile(&b.plain, 32, PredictorConfig::default());
+            let p = profile(&b.plain, 32, PredictorConfig::default())?;
             let h = &p.load_offsets[class.index()];
             print!("{name:8}");
             for bits in 0..=15u32 {
@@ -107,16 +157,27 @@ pub fn fig3(scale: Scale) {
                 (h.more as f64 / total) * 100.0,
                 h.neg_fraction() * 100.0
             );
+            let mut j = row(name);
+            j.set("class", Json::Str(class.label().to_string()));
+            j.set(
+                "cumulative",
+                Json::Arr((0..=15u32).map(|b| Json::F64(h.cumulative_at(b))).collect()),
+            );
+            j.set("more", Json::U64(h.more));
+            j.set("neg_fraction", Json::F64(h.neg_fraction()));
+            out.push(j);
         }
     }
+    Ok(doc("fig3", out))
 }
 
 /// Table 2: the benchmark programs and their inputs (our scaled analogue
 /// of the paper's table).
-pub fn table2() {
+pub fn table2() -> Result<Json, SimError> {
     println!("\n== Table 2: Benchmark Programs and Inputs (scaled) ==");
     println!("{:10} {:>4}  input / model", "program", "kind");
     rule(86);
+    let mut out = Vec::new();
     for wl in fac_workloads::suite() {
         println!(
             "{:10} {:>4}  {}",
@@ -124,12 +185,17 @@ pub fn table2() {
             if wl.fp { "fp" } else { "int" },
             wl.description
         );
+        let mut j = row(wl.name);
+        j.set("kind", Json::Str(if wl.fp { "fp" } else { "int" }.to_string()));
+        j.set("description", Json::Str(wl.description.to_string()));
+        out.push(j);
     }
+    Ok(doc("table2", out))
 }
 
 /// Table 3: program statistics without software support, including the
 /// prediction failure rates for 16- and 32-byte blocks.
-pub fn table3(scale: Scale) {
+pub fn table3(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Table 3: Program Statistics Without Software Support ==");
     println!(
         "{:10} {:>9} {:>10} {:>9} {:>8} {:>6} {:>6} {:>8} | {:>6} {:>6} {:>6} {:>6}",
@@ -137,10 +203,11 @@ pub fn table3(scale: Scale) {
         "L16%", "S16%", "L32%", "S32%"
     );
     rule(110);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let r = run(&b.plain, MachineConfig::paper_baseline());
-        let p16 = profile(&b.plain, 16, PredictorConfig::default());
-        let p32 = profile(&b.plain, 32, PredictorConfig::default());
+        let r = run(&b.plain, MachineConfig::paper_baseline())?;
+        let p16 = profile(&b.plain, 16, PredictorConfig::default())?;
+        let p32 = profile(&b.plain, 32, PredictorConfig::default())?;
         println!(
             "{:10} {:>9} {:>10} {:>9} {:>8} {:>6} {:>6} {:>8} | {:>6} {:>6} {:>6} {:>6}",
             b.workload.name,
@@ -156,12 +223,26 @@ pub fn table3(scale: Scale) {
             pct(p32.pred_loads.fail_rate_all()),
             pct(p32.pred_stores.fail_rate_all()),
         );
+        let mut j = row(b.workload.name);
+        j.set("insts", Json::U64(r.stats.insts));
+        j.set("cycles", Json::U64(r.stats.cycles));
+        j.set("loads", Json::U64(r.stats.loads));
+        j.set("stores", Json::U64(r.stats.stores));
+        j.set("icache_miss_ratio", Json::F64(r.stats.icache.miss_ratio()));
+        j.set("dcache_miss_ratio", Json::F64(r.stats.dcache.miss_ratio()));
+        j.set("mem_footprint", Json::U64(r.stats.mem_footprint));
+        j.set("load_fail_rate.b16", Json::F64(p16.pred_loads.fail_rate_all()));
+        j.set("store_fail_rate.b16", Json::F64(p16.pred_stores.fail_rate_all()));
+        j.set("load_fail_rate.b32", Json::F64(p32.pred_loads.fail_rate_all()));
+        j.set("store_fail_rate.b32", Json::F64(p32.pred_stores.fail_rate_all()));
+        out.push(j);
     }
+    Ok(doc("table3", out))
 }
 
 /// Table 4: program statistics with software support — percentage changes
 /// against the unoptimized build, and failure rates All / No-R+R.
-pub fn table4(scale: Scale) {
+pub fn table4(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Table 4: Program Statistics With Software Support (32-byte blocks) ==");
     println!(
         "{:10} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} | {:>6} {:>6} {:>6} {:>6}",
@@ -169,10 +250,11 @@ pub fn table4(scale: Scale) {
         "L-all", "L-nRR", "S-all", "S-nRR"
     );
     rule(108);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let base = run(&b.plain, MachineConfig::paper_baseline());
-        let opt = run(&b.tuned, MachineConfig::paper_baseline());
-        let p = profile(&b.tuned, 32, PredictorConfig::default());
+        let base = run(&b.plain, MachineConfig::paper_baseline())?;
+        let opt = run(&b.tuned, MachineConfig::paper_baseline())?;
+        let p = profile(&b.tuned, 32, PredictorConfig::default())?;
         println!(
             "{:10} {:>7} {:>7} {:>7} {:>7} {:>7.2} {:>7.2} {:>7} | {:>6} {:>6} {:>6} {:>6}",
             b.workload.name,
@@ -188,11 +270,22 @@ pub fn table4(scale: Scale) {
             pct(p.pred_stores.fail_rate_all()),
             pct(p.pred_stores.fail_rate_no_rr()),
         );
+        let mut j = row(b.workload.name);
+        j.set("insts.base", Json::U64(base.stats.insts));
+        j.set("insts.sw", Json::U64(opt.stats.insts));
+        j.set("cycles.base", Json::U64(base.stats.cycles));
+        j.set("cycles.sw", Json::U64(opt.stats.cycles));
+        j.set("load_fail_rate.all", Json::F64(p.pred_loads.fail_rate_all()));
+        j.set("load_fail_rate.no_rr", Json::F64(p.pred_loads.fail_rate_no_rr()));
+        j.set("store_fail_rate.all", Json::F64(p.pred_stores.fail_rate_all()));
+        j.set("store_fail_rate.no_rr", Json::F64(p.pred_stores.fail_rate_no_rr()));
+        out.push(j);
     }
+    Ok(doc("table4", out))
 }
 
 /// Table 5: the baseline machine model.
-pub fn table5() {
+pub fn table5() -> Result<Json, SimError> {
     println!("\n== Table 5: Baseline Simulation Model ==");
     let c = MachineConfig::paper_baseline();
     println!("fetch width            {} instructions (any contiguous, one I-cache block)", c.fetch_width);
@@ -230,19 +323,34 @@ pub fn table5() {
         c.dcache_write_ports
     );
     println!("store buffer           {} entries, non-merging", c.store_buffer_entries);
+
+    let mut j = Json::obj();
+    j.set("experiment", Json::Str("table5".to_string()));
+    j.set("fetch_width", Json::U64(c.fetch_width as u64));
+    j.set("issue_width", Json::U64(c.issue_width as u64));
+    j.set("icache_bytes", Json::U64(c.icache.size_bytes as u64));
+    j.set("dcache_bytes", Json::U64(c.dcache.size_bytes as u64));
+    j.set("block_bytes", Json::U64(c.dcache.block_bytes as u64));
+    j.set("miss_latency", Json::U64(c.miss_latency));
+    j.set("btb_entries", Json::U64(c.btb_entries as u64));
+    j.set("store_buffer_entries", Json::U64(c.store_buffer_entries as u64));
+    Ok(j)
 }
 
 /// Figure 6: speedups over the baseline, with and without software support,
 /// for 16- and 32-byte blocks, with and without reg+reg speculation.
-pub fn fig6(scale: Scale) {
+pub fn fig6(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Figure 6: Speedups over baseline (same block size) ==");
     println!(
         "{:10} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9}",
         "program", "HW,16", "HW+SW,16", "HW,32", "HW+SW,32", "HW32,nRR", "HWSW32,nRR"
     );
     rule(78);
+    const COLS: [&str; 6] =
+        ["hw16", "hwsw16", "hw32", "hwsw32", "hw32_no_rr", "hwsw32_no_rr"];
     let benches = build_suite(scale);
     let mut rows: Vec<(bool, [f64; 6], u64)> = Vec::new();
+    let mut out = Vec::new();
     for b in &benches {
         let mut vals = [0.0f64; 6];
         let mut weight = 0u64;
@@ -257,12 +365,12 @@ pub fn fig6(scale: Scale) {
         .iter()
         .enumerate()
         {
-            let base = run(&b.plain, MachineConfig::paper_baseline().with_block_size(*block));
+            let base = run(&b.plain, MachineConfig::paper_baseline().with_block_size(*block))?;
             let pred = PredictorConfig { speculate_reg_reg: *rr, ..PredictorConfig::default() };
             let cfg = MachineConfig::paper_baseline()
                 .with_block_size(*block)
                 .with_fac_config(pred);
-            let fac = run(if *tuned { &b.tuned } else { &b.plain }, cfg);
+            let fac = run(if *tuned { &b.tuned } else { &b.plain }, cfg)?;
             vals[i] = base.stats.cycles as f64 / fac.stats.cycles as f64;
             if *block == 32 && !*tuned && *rr {
                 weight = base.stats.cycles;
@@ -272,10 +380,16 @@ pub fn fig6(scale: Scale) {
             "{:10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>9.3} {:>9.3}",
             b.workload.name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
         );
+        let mut j = row(b.workload.name);
+        for (name, v) in COLS.iter().zip(vals) {
+            j.set(&format!("speedup.{name}"), Json::F64(v));
+        }
+        out.push(j);
         rows.push((b.workload.fp, vals, weight));
     }
     rule(78);
-    for (label, fp) in [("Int-Avg", false), ("FP-Avg", true)] {
+    let mut d = doc("fig6", out);
+    for (label, key, fp) in [("Int-Avg", "int_avg", false), ("FP-Avg", "fp_avg", true)] {
         let group: Vec<&(bool, [f64; 6], u64)> = rows.iter().filter(|r| r.0 == fp).collect();
         let weights: Vec<u64> = group.iter().map(|r| r.2).collect();
         let avg: Vec<f64> = (0..6)
@@ -288,18 +402,26 @@ pub fn fig6(scale: Scale) {
             "{:10} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>9.3} {:>9.3}",
             label, avg[0], avg[1], avg[2], avg[3], avg[4], avg[5]
         );
+        let mut j = Json::obj();
+        for (name, v) in COLS.iter().zip(&avg) {
+            j.set(&format!("speedup.{name}"), Json::F64(*v));
+        }
+        d.set(key, j);
     }
+    Ok(d)
 }
 
 /// Table 6: memory bandwidth overhead — failed speculative accesses as a
 /// percentage of total references.
-pub fn table6(scale: Scale) {
+pub fn table6(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Table 6: Memory Bandwidth Overhead (failed speculative accesses, % of refs) ==");
     println!(
         "{:10} {:>9} {:>9} | {:>9} {:>9}",
         "program", "HW,R+R", "SW,R+R", "HW,noRR", "SW,noRR"
     );
     rule(56);
+    const COLS: [&str; 4] = ["hw_rr", "sw_rr", "hw_no_rr", "sw_no_rr"];
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
         let mut vals = [0.0f64; 4];
         for (i, (tuned, rr)) in
@@ -307,7 +429,7 @@ pub fn table6(scale: Scale) {
         {
             let pred = PredictorConfig { speculate_reg_reg: *rr, ..PredictorConfig::default() };
             let cfg = MachineConfig::paper_baseline().with_fac_config(pred);
-            let r = run(if *tuned { &b.tuned } else { &b.plain }, cfg);
+            let r = run(if *tuned { &b.tuned } else { &b.plain }, cfg)?;
             vals[i] = r.stats.bandwidth_overhead();
         }
         println!(
@@ -318,77 +440,101 @@ pub fn table6(scale: Scale) {
             pct(vals[2]),
             pct(vals[3])
         );
+        let mut j = row(b.workload.name);
+        for (name, v) in COLS.iter().zip(vals) {
+            j.set(&format!("bandwidth_overhead.{name}"), Json::F64(v));
+        }
+        out.push(j);
     }
+    Ok(doc("table6", out))
 }
 
 /// Ablation: OR vs XOR carry-free composition (paper footnote 1).
-pub fn ablate_or_xor(scale: Scale) {
+pub fn ablate_or_xor(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Ablation: OR vs XOR index composition ==");
     println!("{:10} {:>10} {:>10}", "program", "OR fail%", "XOR fail%");
     rule(34);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let or = profile(&b.plain, 32, PredictorConfig::default());
+        let or = profile(&b.plain, 32, PredictorConfig::default())?;
         let xor = profile(
             &b.plain,
             32,
             PredictorConfig { compose: IndexCompose::Xor, ..PredictorConfig::default() },
-        );
+        )?;
         println!(
             "{:10} {:>10} {:>10}",
             b.workload.name,
             pct(or.pred_loads.fail_rate_all()),
             pct(xor.pred_loads.fail_rate_all())
         );
+        let mut j = row(b.workload.name);
+        j.set("load_fail_rate.or", Json::F64(or.pred_loads.fail_rate_all()));
+        j.set("load_fail_rate.xor", Json::F64(xor.pred_loads.fail_rate_all()));
+        out.push(j);
     }
+    Ok(doc("ablate_or_xor", out))
 }
 
 /// Ablation: full tag adder vs carry-free tag (§3.1).
-pub fn ablate_full_tag(scale: Scale) {
+pub fn ablate_full_tag(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Ablation: full tag addition vs carry-free tag ==");
     println!("{:10} {:>12} {:>12}", "program", "full-tag f%", "or-tag f%");
     rule(38);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let full = profile(&b.tuned, 32, PredictorConfig::default());
+        let full = profile(&b.tuned, 32, PredictorConfig::default())?;
         let ortag = profile(
             &b.tuned,
             32,
             PredictorConfig { full_tag_add: false, ..PredictorConfig::default() },
-        );
+        )?;
         println!(
             "{:10} {:>12} {:>12}",
             b.workload.name,
             pct(full.pred_loads.fail_rate_all()),
             pct(ortag.pred_loads.fail_rate_all())
         );
+        let mut j = row(b.workload.name);
+        j.set("load_fail_rate.full_tag", Json::F64(full.pred_loads.fail_rate_all()));
+        j.set("load_fail_rate.or_tag", Json::F64(ortag.pred_loads.fail_rate_all()));
+        out.push(j);
     }
+    Ok(doc("ablate_full_tag", out))
 }
 
 /// Ablation: store speculation on/off (§3.1's store discussion).
-pub fn ablate_store_spec(scale: Scale) {
+pub fn ablate_store_spec(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Ablation: store speculation on/off (speedup over baseline) ==");
     println!("{:10} {:>10} {:>10}", "program", "spec", "no-spec");
     rule(34);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let base = run(&b.tuned, MachineConfig::paper_baseline());
-        let on = run(&b.tuned, MachineConfig::paper_baseline().with_fac());
+        let base = run(&b.tuned, MachineConfig::paper_baseline())?;
+        let on = run(&b.tuned, MachineConfig::paper_baseline().with_fac())?;
         let off_cfg = MachineConfig::paper_baseline().with_fac_config(PredictorConfig {
             speculate_stores: false,
             ..PredictorConfig::default()
         });
-        let off = run(&b.tuned, off_cfg);
+        let off = run(&b.tuned, off_cfg)?;
         println!(
             "{:10} {:>10.3} {:>10.3}",
             b.workload.name,
             base.stats.cycles as f64 / on.stats.cycles as f64,
             base.stats.cycles as f64 / off.stats.cycles as f64
         );
+        let mut j = row(b.workload.name);
+        j.set("speedup.spec", Json::F64(base.stats.cycles as f64 / on.stats.cycles as f64));
+        j.set("speedup.no_spec", Json::F64(base.stats.cycles as f64 / off.stats.cycles as f64));
+        out.push(j);
     }
+    Ok(doc("ablate_store_spec", out))
 }
 
 /// Related work (§6): fast address calculation vs a load target buffer
 /// (Golden & Mudge). FAC predicts from the operands, the LTB from the load
 /// PC — and needs a real table to do it.
-pub fn compare_ltb(scale: Scale) {
+pub fn compare_ltb(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Related work: FAC vs load target buffer (speedup over baseline) ==");
     println!(
         "{:10} {:>8} {:>8} {:>8} {:>9} {:>10}",
@@ -396,11 +542,12 @@ pub fn compare_ltb(scale: Scale) {
     );
     rule(60);
     let mut rows: Vec<(bool, [f64; 3], u64)> = Vec::new();
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let base = run(&b.tuned, MachineConfig::paper_baseline());
-        let fac = run(&b.tuned, MachineConfig::paper_baseline().with_fac());
-        let ltb_s = run(&b.tuned, MachineConfig::paper_baseline().with_ltb(512));
-        let ltb_l = run(&b.tuned, MachineConfig::paper_baseline().with_ltb(4096));
+        let base = run(&b.tuned, MachineConfig::paper_baseline())?;
+        let fac = run(&b.tuned, MachineConfig::paper_baseline().with_fac())?;
+        let ltb_s = run(&b.tuned, MachineConfig::paper_baseline().with_ltb(512))?;
+        let ltb_l = run(&b.tuned, MachineConfig::paper_baseline().with_ltb(4096))?;
         let s = ltb_l.stats.ltb.expect("ltb stats");
         let cover = s.predictions as f64 / (s.predictions + s.no_prediction).max(1) as f64;
         let vals = [
@@ -417,32 +564,47 @@ pub fn compare_ltb(scale: Scale) {
             s.accuracy() * 100.0,
             cover * 100.0
         );
+        let mut j = row(b.workload.name);
+        j.set("speedup.fac", Json::F64(vals[0]));
+        j.set("speedup.ltb512", Json::F64(vals[1]));
+        j.set("speedup.ltb4096", Json::F64(vals[2]));
+        j.set("ltb_accuracy", Json::F64(s.accuracy()));
+        j.set("ltb_coverage", Json::F64(cover));
+        out.push(j);
         rows.push((b.workload.fp, vals, base.stats.cycles));
     }
     rule(60);
-    for (label, fp) in [("Int-Avg", false), ("FP-Avg", true)] {
+    let mut d = doc("compare_ltb", out);
+    for (label, key, fp) in [("Int-Avg", "int_avg", false), ("FP-Avg", "fp_avg", true)] {
         let group: Vec<_> = rows.iter().filter(|r| r.0 == fp).collect();
         let weights: Vec<u64> = group.iter().map(|r| r.2).collect();
         let avg: Vec<f64> = (0..3)
             .map(|i| weighted_mean(&group.iter().map(|r| r.1[i]).collect::<Vec<_>>(), &weights))
             .collect();
         println!("{:10} {:>8.3} {:>8.3} {:>8.3}", label, avg[0], avg[1], avg[2]);
+        let mut j = Json::obj();
+        j.set("speedup.fac", Json::F64(avg[0]));
+        j.set("speedup.ltb512", Json::F64(avg[1]));
+        j.set("speedup.ltb4096", Json::F64(avg[2]));
+        d.set(key, j);
     }
+    Ok(d)
 }
 
 /// Related work (§6): LUI vs AGI pipeline organizations (Golden & Mudge),
 /// each compared with fast address calculation on the LUI pipe.
-pub fn compare_pipelines(scale: Scale) {
+pub fn compare_pipelines(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Related work: pipeline organizations (cycles, lower is better) ==");
     println!(
         "{:10} {:>10} {:>10} {:>10} {:>11}",
         "program", "LUI", "AGI", "LUI+FAC", "AGI-vs-LUI"
     );
     rule(56);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let lui = run(&b.plain, MachineConfig::paper_baseline());
-        let agi = run(&b.plain, MachineConfig::paper_baseline().with_agi_pipeline());
-        let fac = run(&b.plain, MachineConfig::paper_baseline().with_fac());
+        let lui = run(&b.plain, MachineConfig::paper_baseline())?;
+        let agi = run(&b.plain, MachineConfig::paper_baseline().with_agi_pipeline())?;
+        let fac = run(&b.plain, MachineConfig::paper_baseline().with_fac())?;
         println!(
             "{:10} {:>10} {:>10} {:>10} {:>10.3}x",
             b.workload.name,
@@ -451,17 +613,24 @@ pub fn compare_pipelines(scale: Scale) {
             fac.stats.cycles,
             lui.stats.cycles as f64 / agi.stats.cycles as f64
         );
+        let mut j = row(b.workload.name);
+        j.set("cycles.lui", Json::U64(lui.stats.cycles));
+        j.set("cycles.agi", Json::U64(agi.stats.cycles));
+        j.set("cycles.lui_fac", Json::U64(fac.stats.cycles));
+        out.push(j);
     }
+    Ok(doc("compare_pipelines", out))
 }
 
 /// Ablation: data-cache associativity. Associativity shrinks the set index
 /// (fewer bits to compose carry-free), shifting which accesses fail.
-pub fn ablate_associativity(scale: Scale) {
+pub fn ablate_associativity(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Ablation: D-cache associativity (profile failure rates, 32B blocks) ==");
     println!("{:10} {:>8} {:>8} {:>8}", "program", "1-way", "2-way", "4-way");
     rule(40);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let mut row = Vec::new();
+        let mut rates = Vec::new();
         for ways in [1u32, 2, 4] {
             let fields = fac_core::AddrFields::for_set_associative(16 * 1024, 32, ways);
             let rep = fac_sim::profile_predictions(
@@ -469,79 +638,109 @@ pub fn ablate_associativity(scale: Scale) {
                 fields,
                 PredictorConfig::default(),
                 crate::MAX_INSTS,
-            )
-            .expect("profile");
-            row.push(rep.pred_loads.fail_rate_all());
+            )?;
+            rates.push(rep.pred_loads.fail_rate_all());
         }
         println!(
             "{:10} {:>8} {:>8} {:>8}",
             b.workload.name,
-            pct(row[0]),
-            pct(row[1]),
-            pct(row[2])
+            pct(rates[0]),
+            pct(rates[1]),
+            pct(rates[2])
         );
+        let mut j = row(b.workload.name);
+        for (ways, rate) in [1u32, 2, 4].iter().zip(&rates) {
+            j.set(&format!("load_fail_rate.ways{ways}"), Json::F64(*rate));
+        }
+        out.push(j);
     }
+    Ok(doc("ablate_associativity", out))
 }
 
 /// Extension (§5.4 footnote 3): the large-array placement strategy the
 /// paper proposes to eliminate array-index failures.
-pub fn ablate_array_align(scale: Scale) {
+pub fn ablate_array_align(scale: Scale) -> Result<Json, SimError> {
     use fac_asm::SoftwareSupport;
     println!("\n== Extension: §5.4 large-array alignment (load failure %, profile) ==");
     println!("{:10} {:>8} {:>10} {:>10}", "program", "no sw", "sw (§4)", "sw+arrays");
     rule(42);
+    const COLS: [&str; 3] = ["none", "sw", "sw_arrays"];
+    let mut out = Vec::new();
     for wl in fac_workloads::suite() {
-        let mut row = Vec::new();
+        let mut rates = Vec::new();
         for sw in [
             SoftwareSupport::off(),
             SoftwareSupport::on(),
             SoftwareSupport::on_with_array_alignment(),
         ] {
             let p = wl.build(&sw, scale);
-            let rep = profile(&p, 32, PredictorConfig::default());
-            row.push(rep.pred_loads.fail_rate_all());
+            let rep = profile(&p, 32, PredictorConfig::default())?;
+            rates.push(rep.pred_loads.fail_rate_all());
         }
         println!(
             "{:10} {:>8} {:>10} {:>10}",
             wl.name,
-            pct(row[0]),
-            pct(row[1]),
-            pct(row[2])
+            pct(rates[0]),
+            pct(rates[1]),
+            pct(rates[2])
         );
+        let mut j = row(wl.name);
+        for (name, rate) in COLS.iter().zip(&rates) {
+            j.set(&format!("load_fail_rate.{name}"), Json::F64(*rate));
+        }
+        out.push(j);
     }
+    Ok(doc("ablate_array_align", out))
 }
 
 /// Ablation: miss-status-holding-register count (non-blocking depth).
-pub fn ablate_mshr(scale: Scale) {
+pub fn ablate_mshr(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Ablation: MSHR count (cycles, FAC machine) ==");
     println!("{:10} {:>10} {:>10} {:>10}", "program", "mshr=1", "mshr=8", "mshr=32");
     rule(44);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let mut row = Vec::new();
+        let mut cycles = Vec::new();
         for mshrs in [1u32, 8, 32] {
             let mut cfg = MachineConfig::paper_baseline().with_fac();
             cfg.mshr_entries = mshrs;
-            row.push(run(&b.tuned, cfg).stats.cycles);
+            cycles.push(run(&b.tuned, cfg)?.stats.cycles);
         }
-        println!("{:10} {:>10} {:>10} {:>10}", b.workload.name, row[0], row[1], row[2]);
+        println!(
+            "{:10} {:>10} {:>10} {:>10}",
+            b.workload.name, cycles[0], cycles[1], cycles[2]
+        );
+        let mut j = row(b.workload.name);
+        for (mshrs, c) in [1u32, 8, 32].iter().zip(&cycles) {
+            j.set(&format!("cycles.mshr{mshrs}"), Json::U64(*c));
+        }
+        out.push(j);
     }
+    Ok(doc("ablate_mshr", out))
 }
 
 /// Ablation: store-buffer depth sensitivity.
-pub fn ablate_store_buffer(scale: Scale) {
+pub fn ablate_store_buffer(scale: Scale) -> Result<Json, SimError> {
     println!("\n== Ablation: store buffer depth (cycles, FAC machine) ==");
     println!("{:10} {:>10} {:>10} {:>10} {:>10}", "program", "sb=2", "sb=4", "sb=16", "sb=64");
     rule(56);
+    let mut out = Vec::new();
     for b in &build_suite(scale) {
-        let mut row = Vec::new();
+        let mut cycles = Vec::new();
         for depth in [2usize, 4, 16, 64] {
             let mut cfg = MachineConfig::paper_baseline().with_fac();
             cfg.store_buffer_entries = depth;
-            row.push(run(&b.tuned, cfg).stats.cycles);
+            cycles.push(run(&b.tuned, cfg)?.stats.cycles);
         }
         println!(
             "{:10} {:>10} {:>10} {:>10} {:>10}",
-            b.workload.name, row[0], row[1], row[2], row[3]
+            b.workload.name, cycles[0], cycles[1], cycles[2], cycles[3]
         );
+        let mut j = row(b.workload.name);
+        for (depth, c) in [2usize, 4, 16, 64].iter().zip(&cycles) {
+            j.set(&format!("cycles.sb{depth}"), Json::U64(*c));
+        }
+        out.push(j);
     }
+    Ok(doc("ablate_store_buffer", out))
 }

@@ -22,8 +22,10 @@
 
 use fac_asm::{Program, SoftwareSupport};
 use fac_core::{AddrFields, PredictorConfig};
-use fac_sim::{profile_predictions, Machine, MachineConfig, ProfileReport, SimReport};
+use fac_sim::obs::Json;
+use fac_sim::{profile_predictions, Machine, MachineConfig, ProfileReport, SimError, SimReport};
 use fac_workloads::{suite, Scale, Workload};
+use std::io::Write as _;
 
 /// Instruction budget per simulation (well above any Paper-scale kernel).
 pub const MAX_INSTS: u64 = 400_000_000;
@@ -51,23 +53,31 @@ pub fn build_suite(scale: Scale) -> Vec<Bench> {
 }
 
 /// Runs a program on a machine configuration.
-pub fn run(program: &Program, cfg: MachineConfig) -> SimReport {
-    Machine::new(cfg)
-        .with_max_insts(MAX_INSTS)
-        .run(program)
-        .unwrap_or_else(|e| panic!("{}: {e}", program.name))
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn run(program: &Program, cfg: MachineConfig) -> Result<SimReport, SimError> {
+    Machine::new(cfg).with_max_insts(MAX_INSTS).run(program)
 }
 
 /// Profiles every reference of a program against the prediction circuit
 /// with the given data-cache block size (§5.3 methodology).
-pub fn profile(program: &Program, block_bytes: u32, config: PredictorConfig) -> ProfileReport {
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the functional run.
+pub fn profile(
+    program: &Program,
+    block_bytes: u32,
+    config: PredictorConfig,
+) -> Result<ProfileReport, SimError> {
     profile_predictions(
         program,
         AddrFields::for_direct_mapped(16 * 1024, block_bytes),
         config,
         MAX_INSTS,
     )
-    .unwrap_or_else(|e| panic!("{}: {e}", program.name))
 }
 
 /// Weighted average of per-program `values`, weighted by `weights`
@@ -112,6 +122,46 @@ pub fn scale_from_args() -> Scale {
     }
 }
 
+/// The value of a `--flag <value>` pair in argv, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Writes a JSON document to `path`, or to stdout when `path` is `"-"`.
+///
+/// # Errors
+///
+/// Returns [`SimError::Io`] carrying the path and the OS error.
+pub fn write_json(path: &str, doc: &Json) -> Result<(), SimError> {
+    let text = doc.to_pretty(2);
+    if path == "-" {
+        let mut out = std::io::stdout().lock();
+        writeln!(out, "{text}").map_err(|e| SimError::io(path, e))
+    } else {
+        std::fs::write(path, text + "\n").map_err(|e| SimError::io(path, e))
+    }
+}
+
+/// Standard tail for every bench binary: on success, honour an optional
+/// `--json <path>` flag (`-` for stdout); on failure, print the typed
+/// [`SimError`] and exit nonzero.
+pub fn conclude(result: Result<Json, SimError>) -> std::process::ExitCode {
+    let finish = result.and_then(|doc| {
+        if let Some(path) = arg_value("--json") {
+            write_json(&path, &doc)?;
+        }
+        Ok(())
+    });
+    match finish {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,10 +185,17 @@ mod tests {
         let benches = build_suite(Scale::Smoke);
         assert_eq!(benches.len(), 19);
         let b = &benches[0];
-        let r = run(&b.plain, MachineConfig::paper_baseline());
+        let r = run(&b.plain, MachineConfig::paper_baseline()).unwrap();
         assert!(r.stats.cycles > 0);
-        let p = profile(&b.tuned, 32, PredictorConfig::default());
+        let p = profile(&b.tuned, 32, PredictorConfig::default()).unwrap();
         assert!(p.refs() > 0);
+    }
+
+    #[test]
+    fn write_json_reports_typed_io_errors() {
+        let doc = Json::obj();
+        let err = write_json("/nonexistent-dir/x.json", &doc).unwrap_err();
+        assert!(matches!(err, fac_sim::SimError::Io { .. }), "got {err}");
     }
 }
 pub mod experiments;

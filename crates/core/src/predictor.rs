@@ -180,6 +180,52 @@ pub enum FailureCause {
     TagOverlap,
 }
 
+impl FailureCause {
+    /// All causes, in [`FailureCause::index`] order (the paper's numbering,
+    /// tag overlap last).
+    pub const ALL: [FailureCause; 5] = [
+        FailureCause::Overflow,
+        FailureCause::GenCarry,
+        FailureCause::LargeNegConst,
+        FailureCause::NegIndexReg,
+        FailureCause::TagOverlap,
+    ];
+
+    /// Dense index for per-cause counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FailureCause::Overflow => 0,
+            FailureCause::GenCarry => 1,
+            FailureCause::LargeNegConst => 2,
+            FailureCause::NegIndexReg => 3,
+            FailureCause::TagOverlap => 4,
+        }
+    }
+
+    /// Stable machine-readable name, used as-is in metric names and JSON
+    /// event streams.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureCause::Overflow => "overflow",
+            FailureCause::GenCarry => "gen_carry",
+            FailureCause::LargeNegConst => "large_neg_const",
+            FailureCause::NegIndexReg => "neg_index_reg",
+            FailureCause::TagOverlap => "tag_overlap",
+        }
+    }
+
+    /// Inverse of [`FailureCause::label`].
+    pub fn from_label(label: &str) -> Option<FailureCause> {
+        FailureCause::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// The outcome of one effective-address prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prediction {

@@ -186,6 +186,15 @@ impl MemRef {
     pub fn is_reg_reg(&self) -> bool {
         matches!(self.offset, Offset::Reg(_))
     }
+
+    /// The offset operand's signed value, whatever its addressing mode —
+    /// the quantity the offset histograms bucket.
+    pub fn offset_value(&self) -> i32 {
+        match self.offset {
+            Offset::Const(c) => c as i32,
+            Offset::Reg(v) => v as i32,
+        }
+    }
 }
 
 /// The architectural outcome of one instruction.

@@ -40,6 +40,7 @@ mod checker;
 mod config;
 mod exec;
 mod machine;
+pub mod obs;
 mod pipeline;
 mod profiler;
 mod stats;
@@ -54,5 +55,5 @@ pub use exec::{dst_regs, src_regs, ArchState, ExecError, Executed, MemRef, RegLi
 pub use machine::{Machine, SimError, SimReport};
 pub use pipeline::{IssueInfo, Pipeline};
 pub use profiler::{profile_predictions, ProfileReport};
-pub use trace::{render_diagram, TracedInsn};
+pub use trace::{chrome_trace, render_diagram, TracedInsn};
 pub use stats::{OffsetHistogram, PredCounters, RefClass, SimStats};

@@ -3,10 +3,10 @@
 use crate::checker::{InvariantChecker, InvariantViolation};
 use crate::config::{ConfigError, MachineConfig};
 use crate::exec::{ArchState, ExecError};
+use crate::obs::{NullObserver, Observer};
 use crate::pipeline::Pipeline;
 use crate::stats::{RefClass, SimStats};
 use fac_asm::Program;
-use fac_core::Offset;
 
 /// Outcome of one simulation run.
 #[derive(Debug, Clone)]
@@ -40,6 +40,22 @@ pub enum SimError {
     /// [`InvariantChecker`], active in debug builds and under
     /// [`MachineConfig::with_checks`]).
     Invariant(InvariantViolation),
+    /// An I/O operation on behalf of the simulator failed (writing a
+    /// `--json` / `--events` export, for example). Carries the path (`"-"`
+    /// for stdout) and the OS error message.
+    Io {
+        /// The file being written (or `"-"` for stdout).
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
+}
+
+impl SimError {
+    /// Wraps an [`std::io::Error`] with the path it occurred on.
+    pub fn io(path: &str, err: std::io::Error) -> SimError {
+        SimError::Io { path: path.to_string(), message: err.to_string() }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -49,6 +65,7 @@ impl std::fmt::Display for SimError {
             SimError::Runaway(n) => write!(f, "no halt within {n} instructions"),
             SimError::InvalidConfig(e) => write!(f, "invalid machine configuration: {e}"),
             SimError::Invariant(v) => write!(f, "timing invariant violated: {v}"),
+            SimError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
         }
     }
 }
@@ -113,11 +130,7 @@ fn record_ref(stats: &mut SimStats, ex: &crate::Executed) {
         if mref.is_reg_reg() {
             stats.loads_reg_reg += 1;
         }
-        let off = match mref.offset {
-            Offset::Const(c) => c as i32,
-            Offset::Reg(v) => v as i32,
-        };
-        stats.load_offsets[class.index()].record(off);
+        stats.load_offsets[class.index()].record(mref.offset_value());
     }
 }
 
@@ -154,6 +167,23 @@ impl Machine {
     /// budget, a strict-memory trap fires, or (with checking enabled) the
     /// timing model breaks one of its invariants.
     pub fn run(&self, program: &Program) -> Result<SimReport, SimError> {
+        self.run_observed(program, &mut NullObserver)
+    }
+
+    /// Runs `program` with a live [`Observer`] receiving every pipeline
+    /// event. [`Machine::run`] is this with the [`NullObserver`], whose
+    /// emission sites monomorphize away — timing and statistics are
+    /// bit-identical whatever observer is attached (pinned down by
+    /// `crates/sim/tests/obs.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_observed<O: Observer>(
+        &self,
+        program: &Program,
+        obs: &mut O,
+    ) -> Result<SimReport, SimError> {
         self.config.validate()?;
         let mut state = ArchState::new(program);
         state.strict_mem = self.config.strict_mem;
@@ -169,10 +199,10 @@ impl Machine {
             stats.insts += 1;
             record_ref(&mut stats, &ex);
             if let Some(chk) = &mut checker {
-                let info = pipe.advance_traced(&ex, &mut stats);
+                let info = pipe.advance_obs(&ex, &mut stats, obs);
                 chk.check_insn(&ex, &info)?;
             } else {
-                pipe.advance(&ex, &mut stats);
+                pipe.advance_obs(&ex, &mut stats, obs);
             }
         }
 

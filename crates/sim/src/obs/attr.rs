@@ -1,0 +1,248 @@
+//! Per-PC speculation attribution: the per-site analogue of the paper's
+//! Tables 3–4.
+//!
+//! The paper reports failure rates aggregated over whole programs; this
+//! observer attributes them to individual static references, so "which
+//! loads mispredict" has a first-class answer: for every PC that ever
+//! speculated, its attempt/replay counts, failure-cause breakdown, and the
+//! offset histogram of its replays.
+
+use super::events::{Event, Observer};
+use super::json::Json;
+use crate::stats::{OffsetHistogram, RefClass};
+use fac_core::FailureCause;
+use std::collections::HashMap;
+
+/// Everything attributed to one static memory reference (one PC).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiteStats {
+    /// PC of the reference.
+    pub pc: u32,
+    /// Reference class (from the base register).
+    pub class: RefClass,
+    /// `true` when the site is a store.
+    pub is_store: bool,
+    /// Speculative accesses issued from this PC.
+    pub speculations: u64,
+    /// Replays (mispredictions) at this PC.
+    pub replays: u64,
+    /// Replays whose bad speculation only the decoupled verify compare
+    /// caught (fault injection).
+    pub compare_caught: u64,
+    /// Replay counts per [`FailureCause::index`].
+    pub causes: [u64; 5],
+    /// Offset distribution of the replayed accesses.
+    pub offsets: OffsetHistogram,
+}
+
+impl SiteStats {
+    fn new(pc: u32, class: RefClass, is_store: bool) -> SiteStats {
+        SiteStats {
+            pc,
+            class,
+            is_store,
+            speculations: 0,
+            replays: 0,
+            compare_caught: 0,
+            causes: [0; 5],
+            offsets: OffsetHistogram::default(),
+        }
+    }
+
+    /// Fraction of this site's speculations that replayed; 0.0 when the
+    /// site never speculated (it can still replay under an LTB, whose
+    /// guesses are not counted as speculations here).
+    pub fn fail_rate(&self) -> f64 {
+        if self.speculations == 0 {
+            0.0
+        } else {
+            self.replays as f64 / self.speculations as f64
+        }
+    }
+
+    /// The site as a JSON object (one entry of the `--json` attribution
+    /// table).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("pc", Json::U64(self.pc as u64));
+        o.set("class", Json::Str(self.class.label().to_string()));
+        o.set("store", Json::Bool(self.is_store));
+        o.set("speculations", Json::U64(self.speculations));
+        o.set("replays", Json::U64(self.replays));
+        o.set("fail_rate", Json::F64(self.fail_rate()));
+        o.set("compare_caught", Json::U64(self.compare_caught));
+        let mut causes = Json::obj();
+        for cause in FailureCause::ALL {
+            causes.set(cause.label(), Json::U64(self.causes[cause.index()]));
+        }
+        o.set("causes", causes);
+        let mut offsets = Json::obj();
+        offsets.set("neg", Json::U64(self.offsets.neg));
+        offsets.set(
+            "by_bits",
+            Json::Arr(self.offsets.by_bits.iter().map(|&c| Json::U64(c)).collect()),
+        );
+        offsets.set("more", Json::U64(self.offsets.more));
+        o.set("replay_offsets", offsets);
+        o
+    }
+}
+
+/// The attribution observer: a map from PC to [`SiteStats`].
+#[derive(Debug, Clone, Default)]
+pub struct PcAttribution {
+    sites: HashMap<u32, SiteStats>,
+}
+
+impl PcAttribution {
+    /// An empty table.
+    pub fn new() -> PcAttribution {
+        PcAttribution::default()
+    }
+
+    /// Number of distinct PCs observed.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when no site was observed.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Stats for one PC.
+    pub fn site(&self, pc: u32) -> Option<&SiteStats> {
+        self.sites.get(&pc)
+    }
+
+    /// The `n` sites with the most replays, ties broken toward more
+    /// speculations then lower PC (deterministic output ordering).
+    pub fn top_sites(&self, n: usize) -> Vec<SiteStats> {
+        let mut all: Vec<SiteStats> = self.sites.values().copied().collect();
+        all.sort_by(|a, b| {
+            b.replays
+                .cmp(&a.replays)
+                .then(b.speculations.cmp(&a.speculations))
+                .then(a.pc.cmp(&b.pc))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Total replays across all sites.
+    pub fn total_replays(&self) -> u64 {
+        self.sites.values().map(|s| s.replays).sum()
+    }
+
+    /// The attribution table as JSON: summary plus the top-`n` sites.
+    pub fn to_json(&self, n: usize) -> Json {
+        let mut o = Json::obj();
+        o.set("sites", Json::U64(self.len() as u64));
+        o.set("total_replays", Json::U64(self.total_replays()));
+        o.set("top_sites", Json::Arr(self.top_sites(n).iter().map(|s| s.to_json()).collect()));
+        o
+    }
+
+    fn entry(&mut self, pc: u32, class: RefClass, is_store: bool) -> &mut SiteStats {
+        self.sites.entry(pc).or_insert_with(|| SiteStats::new(pc, class, is_store))
+    }
+}
+
+impl Observer for PcAttribution {
+    fn on_event(&mut self, event: &Event) {
+        match *event {
+            Event::Speculate { pc, class, is_store, .. } => {
+                self.entry(pc, class, is_store).speculations += 1;
+            }
+            Event::Replay { pc, class, is_store, cause, offset, .. } => {
+                let site = self.entry(pc, class, is_store);
+                site.replays += 1;
+                if let Some(c) = cause {
+                    site.causes[c.index()] += 1;
+                }
+                site.offsets.record(offset);
+            }
+            Event::FaultInjected { pc, .. } => {
+                if let Some(site) = self.sites.get_mut(&pc) {
+                    site.compare_caught += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replay(pc: u32, cause: Option<FailureCause>, offset: i32) -> Event {
+        Event::Replay {
+            cycle: 1,
+            pc,
+            class: RefClass::General,
+            is_store: false,
+            cause,
+            offset,
+        }
+    }
+
+    fn speculate(pc: u32) -> Event {
+        Event::Speculate {
+            cycle: 1,
+            pc,
+            class: RefClass::General,
+            is_store: false,
+            predicted: 0,
+        }
+    }
+
+    #[test]
+    fn sites_accumulate_and_rank() {
+        let mut attr = PcAttribution::new();
+        for _ in 0..10 {
+            attr.on_event(&speculate(0x100));
+        }
+        attr.on_event(&speculate(0x200));
+        for _ in 0..3 {
+            attr.on_event(&replay(0x100, Some(FailureCause::Overflow), 36));
+        }
+        attr.on_event(&replay(0x200, Some(FailureCause::NegIndexReg), -4));
+
+        assert_eq!(attr.len(), 2);
+        assert_eq!(attr.total_replays(), 4);
+        let top = attr.top_sites(10);
+        assert_eq!(top[0].pc, 0x100);
+        assert_eq!(top[0].replays, 3);
+        assert_eq!(top[0].causes[FailureCause::Overflow.index()], 3);
+        assert!((top[0].fail_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(top[1].pc, 0x200);
+        assert_eq!(top[1].offsets.neg, 1);
+        assert_eq!(attr.top_sites(1).len(), 1);
+    }
+
+    #[test]
+    fn fail_rate_with_zero_speculations_is_zero() {
+        let mut attr = PcAttribution::new();
+        attr.on_event(&replay(0x300, None, 0));
+        let site = *attr.site(0x300).unwrap();
+        assert_eq!(site.fail_rate(), 0.0, "no NaN for replay-only sites");
+        let json = site.to_json().to_string();
+        assert!(json.contains("\"fail_rate\":0.0"), "{json}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut attr = PcAttribution::new();
+        attr.on_event(&speculate(0x10));
+        attr.on_event(&replay(0x10, Some(FailureCause::GenCarry), 4));
+        let doc = attr.to_json(5);
+        assert_eq!(doc.get("sites").and_then(Json::as_u64), Some(1));
+        let sites = doc.get("top_sites").and_then(Json::as_arr).unwrap();
+        assert_eq!(sites.len(), 1);
+        assert_eq!(
+            sites[0].get("causes").and_then(|c| c.get("gen_carry")).and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

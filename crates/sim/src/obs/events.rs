@@ -1,0 +1,388 @@
+//! The cycle-stamped structured event stream.
+//!
+//! The pipeline emits one [`Event`] per interesting micro-architectural
+//! occurrence through an [`Observer`]. Observers are threaded through the
+//! timing model as a generic parameter, so the no-op [`NullObserver`]
+//! monomorphizes every emission site away: a run without observability is
+//! instruction-for-instruction the code that ran before the layer existed.
+
+use super::json::Json;
+use crate::stats::RefClass;
+use fac_core::FailureCause;
+use std::io::Write;
+
+/// Which cache an event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheKind {
+    /// Instruction cache.
+    ICache,
+    /// Data cache.
+    DCache,
+}
+
+impl CacheKind {
+    /// Short label used in event streams (`"i"` / `"d"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheKind::ICache => "i",
+            CacheKind::DCache => "d",
+        }
+    }
+}
+
+/// What stalled the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// The store buffer was full; the pipeline stalled while the oldest
+    /// entry retired (§5.5).
+    StoreBuffer,
+}
+
+impl StallKind {
+    /// Stable machine-readable name.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallKind::StoreBuffer => "store_buffer",
+        }
+    }
+}
+
+/// One cycle-stamped micro-architectural event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A load or store issued a speculative cache access in EX (fast
+    /// address calculation or LTB prediction).
+    Speculate {
+        /// Cycle the speculative access went to the cache.
+        cycle: u64,
+        /// PC of the access.
+        pc: u32,
+        /// Reference class of the base register.
+        class: RefClass,
+        /// `true` for stores.
+        is_store: bool,
+        /// The address the speculative access used.
+        predicted: u32,
+    },
+    /// The verification circuit checked a speculation.
+    Verify {
+        /// Cycle of the check (same cycle as the speculation).
+        cycle: u64,
+        /// PC of the access.
+        pc: u32,
+        /// `true` when the speculation was consumed (no failure signal and
+        /// the decoupled compare agreed).
+        ok: bool,
+        /// `true` when only the decoupled full-adder compare caught a bad
+        /// speculation whose failure signals claimed success — always
+        /// `false` for the exact circuit, nonzero under fault injection.
+        compare_caught: bool,
+    },
+    /// A mispredicted access replayed in MEM with the true address.
+    Replay {
+        /// Cycle of the replayed cache access.
+        cycle: u64,
+        /// PC of the access.
+        pc: u32,
+        /// Reference class of the base register.
+        class: RefClass,
+        /// `true` for stores.
+        is_store: bool,
+        /// Dominant failure cause; `None` when no signal fired (LTB wrong
+        /// guess, or a fault caught by the compare backstop).
+        cause: Option<FailureCause>,
+        /// The offset operand's value (feeds the per-site offset
+        /// histograms of the attribution table).
+        offset: i32,
+    },
+    /// The pipeline stalled.
+    Stall {
+        /// Cycle the stall began.
+        cycle: u64,
+        /// What stalled.
+        kind: StallKind,
+        /// Cycles lost.
+        penalty: u64,
+    },
+    /// A cache access missed.
+    CacheMiss {
+        /// Cycle of the access.
+        cycle: u64,
+        /// Which cache.
+        cache: CacheKind,
+        /// PC of the instruction (fetch PC for I-cache misses).
+        pc: u32,
+        /// The missing address.
+        addr: u32,
+        /// `true` for stores (D-cache only).
+        is_store: bool,
+    },
+    /// An injected fault corrupted a prediction whose failure signals
+    /// claimed success — the decoupled verify compare intercepted it.
+    FaultInjected {
+        /// Cycle of the corrupted speculation.
+        cycle: u64,
+        /// PC of the access.
+        pc: u32,
+        /// The corrupted predicted address.
+        predicted: u32,
+        /// The true effective address.
+        actual: u32,
+    },
+}
+
+impl Event {
+    /// The cycle the event is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::Speculate { cycle, .. }
+            | Event::Verify { cycle, .. }
+            | Event::Replay { cycle, .. }
+            | Event::Stall { cycle, .. }
+            | Event::CacheMiss { cycle, .. }
+            | Event::FaultInjected { cycle, .. } => cycle,
+        }
+    }
+
+    /// Stable machine-readable event-type tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::Speculate { .. } => "speculate",
+            Event::Verify { .. } => "verify",
+            Event::Replay { .. } => "replay",
+            Event::Stall { .. } => "stall",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::FaultInjected { .. } => "fault_injected",
+        }
+    }
+
+    /// The event as a JSON object (one JSONL line of the `--events`
+    /// stream).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("t", Json::Str(self.tag().to_string()));
+        o.set("cycle", Json::U64(self.cycle()));
+        match *self {
+            Event::Speculate { pc, class, is_store, predicted, .. } => {
+                o.set("pc", Json::U64(pc as u64));
+                o.set("class", Json::Str(class.label().to_string()));
+                o.set("store", Json::Bool(is_store));
+                o.set("predicted", Json::U64(predicted as u64));
+            }
+            Event::Verify { pc, ok, compare_caught, .. } => {
+                o.set("pc", Json::U64(pc as u64));
+                o.set("ok", Json::Bool(ok));
+                o.set("compare_caught", Json::Bool(compare_caught));
+            }
+            Event::Replay { pc, class, is_store, cause, offset, .. } => {
+                o.set("pc", Json::U64(pc as u64));
+                o.set("class", Json::Str(class.label().to_string()));
+                o.set("store", Json::Bool(is_store));
+                match cause {
+                    Some(c) => o.set("cause", Json::Str(c.label().to_string())),
+                    None => o.set("cause", Json::Null),
+                };
+                o.set("offset", Json::I64(offset as i64));
+            }
+            Event::Stall { kind, penalty, .. } => {
+                o.set("kind", Json::Str(kind.label().to_string()));
+                o.set("penalty", Json::U64(penalty));
+            }
+            Event::CacheMiss { cache, pc, addr, is_store, .. } => {
+                o.set("cache", Json::Str(cache.label().to_string()));
+                o.set("pc", Json::U64(pc as u64));
+                o.set("addr", Json::U64(addr as u64));
+                o.set("store", Json::Bool(is_store));
+            }
+            Event::FaultInjected { pc, predicted, actual, .. } => {
+                o.set("pc", Json::U64(pc as u64));
+                o.set("predicted", Json::U64(predicted as u64));
+                o.set("actual", Json::U64(actual as u64));
+            }
+        }
+        o
+    }
+}
+
+/// A sink for pipeline events.
+///
+/// Implementations must be side-effect-only: the timing model behaves
+/// identically whatever the observer does (the disabled-observer test in
+/// `crates/sim/tests/obs.rs` pins this down).
+pub trait Observer {
+    /// `false` lets emission sites skip even constructing the [`Event`];
+    /// the default is enabled.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// Forwarding impl so observers can be passed around by mutable reference
+/// (and composed into tuples without giving up ownership).
+impl<O: Observer + ?Sized> Observer for &mut O {
+    #[inline]
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event)
+    }
+}
+
+/// The disabled observer: every emission site compiles away.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// An observer that appends every event to a vector — handy in tests and
+/// for short programs.
+#[derive(Debug, Clone, Default)]
+pub struct VecObserver {
+    /// The collected events, in emission order.
+    pub events: Vec<Event>,
+}
+
+impl Observer for VecObserver {
+    fn on_event(&mut self, event: &Event) {
+        self.events.push(*event);
+    }
+}
+
+/// Streams events as JSON Lines to any writer.
+///
+/// I/O errors do not disturb the simulation: the first one is latched and
+/// reported by [`JsonlWriter::finish`].
+pub struct JsonlWriter<W: Write> {
+    sink: W,
+    /// Events written so far.
+    pub written: u64,
+    error: Option<String>,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a writer.
+    pub fn new(sink: W) -> JsonlWriter<W> {
+        JsonlWriter { sink, written: 0, error: None }
+    }
+
+    /// Flushes and returns the number of events written, or the first I/O
+    /// error message encountered.
+    pub fn finish(mut self) -> Result<u64, String> {
+        if let Err(e) = self.sink.flush() {
+            self.error.get_or_insert_with(|| e.to_string());
+        }
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.written),
+        }
+    }
+}
+
+impl<W: Write> Observer for JsonlWriter<W> {
+    fn on_event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.sink, "{}", event.to_json()) {
+            self.error = Some(e.to_string());
+        } else {
+            self.written += 1;
+        }
+    }
+}
+
+/// Fans one event stream out to two observers (compose as `(a, (b, c))`
+/// for more).
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if self.0.enabled() {
+            self.0.on_event(event);
+        }
+        if self.1.enabled() {
+            self.1.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_lines_are_tagged_and_stamped() {
+        let ev = Event::Replay {
+            cycle: 42,
+            pc: 0x1000,
+            class: RefClass::General,
+            is_store: false,
+            cause: Some(FailureCause::Overflow),
+            offset: -8,
+        };
+        assert_eq!(
+            ev.to_json().to_string(),
+            r#"{"t":"replay","cycle":42,"pc":4096,"class":"general","store":false,"cause":"overflow","offset":-8}"#
+        );
+        assert_eq!(ev.cycle(), 42);
+        assert_eq!(ev.tag(), "replay");
+    }
+
+    #[test]
+    fn jsonl_writer_latches_errors() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = JsonlWriter::new(Broken);
+        w.on_event(&Event::Stall { cycle: 1, kind: StallKind::StoreBuffer, penalty: 2 });
+        w.on_event(&Event::Stall { cycle: 2, kind: StallKind::StoreBuffer, penalty: 2 });
+        assert!(w.finish().unwrap_err().contains("disk on fire"));
+    }
+
+    #[test]
+    fn jsonl_writer_counts_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut w = JsonlWriter::new(&mut buf);
+            for cycle in 0..3 {
+                w.on_event(&Event::Stall { cycle, kind: StallKind::StoreBuffer, penalty: 2 });
+            }
+            assert_eq!(w.finish().unwrap(), 3);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            super::super::json::parse(line).expect("each line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        assert!(!NullObserver.enabled());
+        let pair = (NullObserver, VecObserver::default());
+        assert!(pair.enabled(), "a live member keeps the pair enabled");
+    }
+}

@@ -1,0 +1,173 @@
+//! Interval time-series sampling: event counts bucketed every K cycles.
+//!
+//! Aggregate rates hide dynamics — a replay storm in a loop prologue and a
+//! steady trickle average to the same number. Bucketing the event stream
+//! into fixed cycle windows makes warm-up, storms and phase changes
+//! visible, and exports as an array ready for plotting or `jq`.
+
+use super::events::{Event, Observer};
+use super::json::Json;
+
+/// Event counts within one cycle window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sample {
+    /// Speculative accesses issued.
+    pub speculations: u64,
+    /// Misprediction replays.
+    pub replays: u64,
+    /// Data-cache misses.
+    pub dcache_misses: u64,
+    /// Instruction-cache misses.
+    pub icache_misses: u64,
+    /// Pipeline stalls (store-buffer full).
+    pub stalls: u64,
+    /// Injected faults caught by the verify compare.
+    pub faults: u64,
+}
+
+impl Sample {
+    fn is_zero(&self) -> bool {
+        *self == Sample::default()
+    }
+}
+
+/// Buckets the event stream into windows of `interval` cycles.
+#[derive(Debug, Clone)]
+pub struct IntervalSampler {
+    interval: u64,
+    buckets: Vec<Sample>,
+}
+
+impl IntervalSampler {
+    /// A sampler with the given window size (clamped to ≥ 1 cycle).
+    pub fn new(interval: u64) -> IntervalSampler {
+        IntervalSampler { interval: interval.max(1), buckets: Vec::new() }
+    }
+
+    /// The configured window size in cycles.
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// All windows from cycle 0, in order (windows with no events are
+    /// present and zero).
+    pub fn samples(&self) -> &[Sample] {
+        &self.buckets
+    }
+
+    fn bucket(&mut self, cycle: u64) -> &mut Sample {
+        let idx = (cycle / self.interval) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, Sample::default());
+        }
+        &mut self.buckets[idx]
+    }
+
+    /// The time series as JSON. Zero windows are elided from `points` (the
+    /// `cycle` field of each point anchors it absolutely).
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("interval", Json::U64(self.interval));
+        o.set("windows", Json::U64(self.buckets.len() as u64));
+        let mut points = Vec::new();
+        for (i, s) in self.buckets.iter().enumerate() {
+            if s.is_zero() {
+                continue;
+            }
+            let mut p = Json::obj();
+            p.set("cycle", Json::U64(i as u64 * self.interval));
+            p.set("speculations", Json::U64(s.speculations));
+            p.set("replays", Json::U64(s.replays));
+            p.set("dcache_misses", Json::U64(s.dcache_misses));
+            p.set("icache_misses", Json::U64(s.icache_misses));
+            p.set("stalls", Json::U64(s.stalls));
+            p.set("faults", Json::U64(s.faults));
+            points.push(p);
+        }
+        o.set("points", Json::Arr(points));
+        o
+    }
+}
+
+impl Observer for IntervalSampler {
+    fn on_event(&mut self, event: &Event) {
+        let cycle = event.cycle();
+        match event {
+            Event::Speculate { .. } => self.bucket(cycle).speculations += 1,
+            Event::Replay { .. } => self.bucket(cycle).replays += 1,
+            Event::CacheMiss { cache, .. } => match cache {
+                super::events::CacheKind::DCache => self.bucket(cycle).dcache_misses += 1,
+                super::events::CacheKind::ICache => self.bucket(cycle).icache_misses += 1,
+            },
+            Event::Stall { .. } => self.bucket(cycle).stalls += 1,
+            Event::FaultInjected { .. } => self.bucket(cycle).faults += 1,
+            Event::Verify { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::events::{CacheKind, StallKind};
+    use super::*;
+    use crate::stats::RefClass;
+
+    #[test]
+    fn events_land_in_their_windows() {
+        let mut s = IntervalSampler::new(100);
+        for cycle in [0, 99, 100, 250] {
+            s.on_event(&Event::Replay {
+                cycle,
+                pc: 0,
+                class: RefClass::Global,
+                is_store: false,
+                cause: None,
+                offset: 0,
+            });
+        }
+        s.on_event(&Event::CacheMiss {
+            cycle: 250,
+            cache: CacheKind::DCache,
+            pc: 0,
+            addr: 0,
+            is_store: false,
+        });
+        s.on_event(&Event::Stall { cycle: 5, kind: StallKind::StoreBuffer, penalty: 2 });
+        let windows = s.samples();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].replays, 2);
+        assert_eq!(windows[0].stalls, 1);
+        assert_eq!(windows[1].replays, 1);
+        assert_eq!(windows[2].replays, 1);
+        assert_eq!(windows[2].dcache_misses, 1);
+    }
+
+    #[test]
+    fn interval_is_clamped_and_json_elides_zero_windows() {
+        let mut s = IntervalSampler::new(0);
+        assert_eq!(s.interval(), 1);
+        s.on_event(&Event::Stall { cycle: 4, kind: StallKind::StoreBuffer, penalty: 2 });
+        let doc = s.to_json();
+        assert_eq!(doc.get("windows").and_then(Json::as_u64), Some(5));
+        let points = doc.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 1, "only the non-zero window is emitted");
+        assert_eq!(points[0].get("cycle").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn out_of_order_cycles_are_fine() {
+        let mut s = IntervalSampler::new(10);
+        for cycle in [55, 5, 25] {
+            s.on_event(&Event::Speculate {
+                cycle,
+                pc: 0,
+                class: RefClass::Stack,
+                is_store: true,
+                predicted: 0,
+            });
+        }
+        assert_eq!(s.samples()[0].speculations, 1);
+        assert_eq!(s.samples()[2].speculations, 1);
+        assert_eq!(s.samples()[5].speculations, 1);
+    }
+}

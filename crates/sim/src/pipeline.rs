@@ -16,7 +16,8 @@
 use crate::btb::Btb;
 use crate::config::{FuTiming, LoadLatencyMode, MachineConfig, PipelineOrg};
 use crate::exec::{dst_regs, src_regs, Executed, MemRef, SB_REGS};
-use crate::stats::SimStats;
+use crate::obs::{CacheKind, Event, NullObserver, Observer, StallKind};
+use crate::stats::{RefClass, SimStats};
 use fac_core::{AddrFields, AnyPredictor, Ltb, Predictor};
 use fac_mem::{Cache, Tlb};
 use std::collections::VecDeque;
@@ -268,13 +269,22 @@ impl Pipeline {
     /// per cycle (Table 5), so a fetch group may span an I-cache block
     /// boundary; each block the group touches costs an I-cache access, and
     /// a miss on either delays the group.
-    fn fetch_cycle(&mut self, pc: u32, stats: &mut SimStats) -> u64 {
+    fn fetch_cycle<O: Observer>(&mut self, pc: u32, stats: &mut SimStats, obs: &mut O) -> u64 {
         let block = pc / self.cfg.icache.block_bytes;
         if self.group_left == 0 {
             // New fetch group: bounded run-ahead of the issue stage (small
             // fetch buffer), plus the I-cache access for the group.
             let mut f = self.next_fetch.max(self.last_issue.saturating_sub(4));
             if !self.icache.access(pc, false).hit {
+                if obs.enabled() {
+                    obs.on_event(&Event::CacheMiss {
+                        cycle: f,
+                        cache: CacheKind::ICache,
+                        pc,
+                        addr: pc,
+                        is_store: false,
+                    });
+                }
                 f += self.cfg.miss_latency;
             }
             stats.icache = *self.icache.stats();
@@ -287,6 +297,15 @@ impl Pipeline {
             // stalling the group if it misses.
             self.group_block = block;
             if !self.icache.access(pc, false).hit {
+                if obs.enabled() {
+                    obs.on_event(&Event::CacheMiss {
+                        cycle: self.group_fetch,
+                        cache: CacheKind::ICache,
+                        pc,
+                        addr: pc,
+                        is_store: false,
+                    });
+                }
                 self.group_fetch += self.cfg.miss_latency;
                 self.next_fetch = self.group_fetch + 1;
             }
@@ -351,9 +370,12 @@ impl Pipeline {
     /// pipeline while the oldest entry is forcibly retired to the cache
     /// (§5.5: "the entire pipeline is stalled and the oldest entry in the
     /// store buffer is retired").
-    fn sb_admit(&mut self, mut c: u64, stats: &mut SimStats) -> u64 {
+    fn sb_admit<O: Observer>(&mut self, mut c: u64, stats: &mut SimStats, obs: &mut O) -> u64 {
         if self.sb_queue.len() >= self.cfg.store_buffer_entries {
             stats.store_buffer_stalls += 2;
+            if obs.enabled() {
+                obs.on_event(&Event::Stall { cycle: c, kind: StallKind::StoreBuffer, penalty: 2 });
+            }
             self.sb_queue.pop_front();
             self.ports.add_write(c + 1);
             c += 2;
@@ -368,7 +390,14 @@ impl Pipeline {
 
     /// Times one memory access issued at `c`. Returns `(result_latency,
     /// mispredicted)`. Cache/TLB state is updated with the *true* address.
-    fn mem_timing(&mut self, c: u64, pc: u32, mref: &MemRef, stats: &mut SimStats) -> (u64, bool) {
+    fn mem_timing<O: Observer>(
+        &mut self,
+        c: u64,
+        pc: u32,
+        mref: &MemRef,
+        stats: &mut SimStats,
+        obs: &mut O,
+    ) -> (u64, bool) {
         if let Some(tlb) = &mut self.tlb {
             tlb.access(mref.addr);
         }
@@ -378,7 +407,7 @@ impl Pipeline {
             // pipeline as free — and so there is no "ltb configured" expect
             // to trip.
             if let Some(mut ltb) = self.ltb.take() {
-                let r = self.mem_timing_ltb(c, pc, mref, stats, &mut ltb);
+                let r = self.mem_timing_ltb(c, pc, mref, stats, &mut ltb, obs);
                 self.ltb = Some(ltb);
                 return r;
             }
@@ -391,9 +420,18 @@ impl Pipeline {
             counters.not_speculated += 1;
             self.ports.add_read(c);
             let hit = self.dcache.access(mref.addr, mref.is_store).hit;
+            if !hit && obs.enabled() {
+                obs.on_event(&Event::CacheMiss {
+                    cycle: c,
+                    cache: CacheKind::DCache,
+                    pc,
+                    addr: mref.addr,
+                    is_store: mref.is_store,
+                });
+            }
             let pen = if hit { 0 } else { self.miss_fill_latency(c, mref.addr) };
             if mref.is_store {
-                let enter = self.sb_admit(c, stats).max(c);
+                let enter = self.sb_admit(c, stats, obs).max(c);
                 self.sb_book_retire(enter);
                 return (1, false);
             }
@@ -431,9 +469,18 @@ impl Pipeline {
                 }
                 self.ports.add_read(access);
                 let hit = self.dcache.access(mref.addr, mref.is_store).hit;
+                if !hit && obs.enabled() {
+                    obs.on_event(&Event::CacheMiss {
+                        cycle: access,
+                        cache: CacheKind::DCache,
+                        pc,
+                        addr: mref.addr,
+                        is_store: mref.is_store,
+                    });
+                }
                 let pen = if hit { 0 } else { self.miss_fill_latency(access, mref.addr) };
                 if mref.is_store {
-                    let enter = self.sb_admit(access, stats).max(access);
+                    let enter = self.sb_admit(access, stats, obs).max(access);
                     self.sb_book_retire(enter);
                     (2, false)
                 } else {
@@ -459,11 +506,44 @@ impl Pipeline {
                 // backstop that keeps bad speculations out of the
                 // architectural path.
                 let consumed = pred.is_correct() && pred.predicted == pred.actual;
+                if obs.enabled() {
+                    let class = RefClass::of(mref.base_reg);
+                    obs.on_event(&Event::Speculate {
+                        cycle: c,
+                        pc,
+                        class,
+                        is_store: mref.is_store,
+                        predicted: pred.predicted,
+                    });
+                    obs.on_event(&Event::Verify {
+                        cycle: c,
+                        pc,
+                        ok: consumed,
+                        compare_caught: pred.is_correct() && !consumed,
+                    });
+                    if pred.is_correct() && !consumed {
+                        obs.on_event(&Event::FaultInjected {
+                            cycle: c,
+                            pc,
+                            predicted: pred.predicted,
+                            actual: pred.actual,
+                        });
+                    }
+                }
                 if consumed {
                     let hit = self.dcache.access(mref.addr, mref.is_store).hit;
+                    if !hit && obs.enabled() {
+                        obs.on_event(&Event::CacheMiss {
+                            cycle: c,
+                            cache: CacheKind::DCache,
+                            pc,
+                            addr: mref.addr,
+                            is_store: mref.is_store,
+                        });
+                    }
                     let pen = if hit { 0 } else { self.miss_fill_latency(c, mref.addr) };
                     if mref.is_store {
-                        let enter = self.sb_admit(c, stats).max(c);
+                        let enter = self.sb_admit(c, stats, obs).max(c);
                         self.sb_book_retire(enter);
                         (1, false)
                     } else {
@@ -487,15 +567,34 @@ impl Pipeline {
                         stats.record_cause(cause);
                     }
                     let replay = c + 1;
+                    if obs.enabled() {
+                        obs.on_event(&Event::Replay {
+                            cycle: replay,
+                            pc,
+                            class: RefClass::of(mref.base_reg),
+                            is_store: mref.is_store,
+                            cause: pred.cause(),
+                            offset: mref.offset_value(),
+                        });
+                    }
                     if mref.is_store {
                         self.last_store_access = self.last_store_access.max(replay);
                     }
                     self.ports.add_read(replay);
                     let hit = self.dcache.access(mref.addr, mref.is_store).hit;
+                    if !hit && obs.enabled() {
+                        obs.on_event(&Event::CacheMiss {
+                            cycle: replay,
+                            cache: CacheKind::DCache,
+                            pc,
+                            addr: mref.addr,
+                            is_store: mref.is_store,
+                        });
+                    }
                     let pen = if hit { 0 } else { self.miss_fill_latency(replay, mref.addr) };
                     self.mispredict_block = Some((c, !mref.is_store));
                     if mref.is_store {
-                        let enter = self.sb_admit(replay, stats).max(replay);
+                        let enter = self.sb_admit(replay, stats, obs).max(replay);
                         self.sb_book_retire(enter);
                         (2, false)
                     } else {
@@ -511,13 +610,14 @@ impl Pipeline {
     /// a confident, correct guess lets the access start in EX like FAC; a
     /// wrong guess costs a replay, and a cold/unconfident entry takes the
     /// normal 2-cycle path.
-    fn mem_timing_ltb(
+    fn mem_timing_ltb<O: Observer>(
         &mut self,
         c: u64,
         pc: u32,
         mref: &MemRef,
         stats: &mut SimStats,
         ltb: &mut Ltb,
+        obs: &mut O,
     ) -> (u64, bool) {
         let blocked = match self.mispredict_block {
             Some((bc, was_load)) if bc + 1 == c => !was_load || mref.is_store,
@@ -534,19 +634,67 @@ impl Pipeline {
         match guess {
             Some(addr) if addr == mref.addr => {
                 counters.attempts_const += 1;
+                if obs.enabled() {
+                    let class = RefClass::of(mref.base_reg);
+                    obs.on_event(&Event::Speculate {
+                        cycle: c,
+                        pc,
+                        class,
+                        is_store: mref.is_store,
+                        predicted: addr,
+                    });
+                    obs.on_event(&Event::Verify { cycle: c, pc, ok: true, compare_caught: false });
+                }
                 self.ports.add_read(c);
                 let hit = self.dcache.access(mref.addr, mref.is_store).hit;
                 let pen = if hit { 0 } else { self.miss_fill_latency(c, mref.addr) };
+                if obs.enabled() && !hit {
+                    obs.on_event(&Event::CacheMiss {
+                        cycle: c,
+                        cache: CacheKind::DCache,
+                        pc,
+                        addr: mref.addr,
+                        is_store: mref.is_store,
+                    });
+                }
                 (1 + pen, false)
             }
-            Some(_) => {
+            Some(addr) => {
                 counters.attempts_const += 1;
                 counters.fails_const += 1;
                 stats.extra_accesses += 1;
+                if obs.enabled() {
+                    let class = RefClass::of(mref.base_reg);
+                    obs.on_event(&Event::Speculate {
+                        cycle: c,
+                        pc,
+                        class,
+                        is_store: mref.is_store,
+                        predicted: addr,
+                    });
+                    obs.on_event(&Event::Verify { cycle: c, pc, ok: false, compare_caught: false });
+                    obs.on_event(&Event::Replay {
+                        cycle: c + 1,
+                        pc,
+                        class,
+                        is_store: mref.is_store,
+                        cause: None,
+                        offset: mref.offset_value(),
+                    });
+                }
                 self.ports.add_read(c);
                 self.ports.add_read(c + 1);
                 let hit = self.dcache.access(mref.addr, mref.is_store).hit;
                 let pen = if hit { 0 } else { self.miss_fill_latency(c + 1, mref.addr) };
+                if obs.enabled() && !hit {
+                    obs.on_event(&Event::CacheMiss {
+                        cycle: c + 1,
+                        cache: CacheKind::DCache,
+                        pc,
+                        addr: mref.addr,
+                        is_store: mref.is_store,
+                    });
+                }
                 self.mispredict_block = Some((c, !mref.is_store));
                 (2 + pen, true)
             }
@@ -558,8 +706,17 @@ impl Pipeline {
                 self.ports.add_read(c + 1);
                 let hit = self.dcache.access(mref.addr, mref.is_store).hit;
                 let pen = if hit { 0 } else { self.miss_fill_latency(c + 1, mref.addr) };
+                if obs.enabled() && !hit {
+                    obs.on_event(&Event::CacheMiss {
+                        cycle: c + 1,
+                        cache: CacheKind::DCache,
+                        pc,
+                        addr: mref.addr,
+                        is_store: mref.is_store,
+                    });
+                }
                 if mref.is_store {
-                    let enter = self.sb_admit(c + 1, stats).max(c + 1);
+                    let enter = self.sb_admit(c + 1, stats, obs).max(c + 1);
                     self.sb_book_retire(enter);
                     (2, false)
                 } else {
@@ -572,13 +729,25 @@ impl Pipeline {
     /// Advances the pipeline by one committed instruction; returns the
     /// cycle at which it issued.
     pub fn advance(&mut self, ex: &Executed, stats: &mut SimStats) -> u64 {
-        self.advance_traced(ex, stats).issue
+        self.advance_obs(ex, stats, &mut NullObserver).issue
     }
 
     /// Like [`Pipeline::advance`] but returns the full per-instruction
     /// timing — used by the tracing facilities ([`crate::Machine::run_traced`]).
     pub fn advance_traced(&mut self, ex: &Executed, stats: &mut SimStats) -> IssueInfo {
-        let fetch = self.fetch_cycle(ex.pc, stats);
+        self.advance_obs(ex, stats, &mut NullObserver)
+    }
+
+    /// Like [`Pipeline::advance_traced`] but also emits cycle-stamped
+    /// [`Event`]s into `obs`. With [`NullObserver`] every emission site
+    /// monomorphizes away, so the plain entry points cost nothing.
+    pub fn advance_obs<O: Observer>(
+        &mut self,
+        ex: &Executed,
+        stats: &mut SimStats,
+        obs: &mut O,
+    ) -> IssueInfo {
+        let fetch = self.fetch_cycle(ex.pc, stats, obs);
         let class = classify_fu(&ex.insn);
         let timing = self.fu_timing(class);
 
@@ -664,7 +833,7 @@ impl Pipeline {
 
         // Result latency.
         let (latency, replayed) = if let Some(mref) = &ex.mem {
-            self.mem_timing(c, ex.pc, mref, stats)
+            self.mem_timing(c, ex.pc, mref, stats, obs)
         } else {
             (timing.latency + agi_late as u64, false)
         };

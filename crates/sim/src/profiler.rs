@@ -9,7 +9,7 @@
 use crate::exec::ArchState;
 use crate::stats::{OffsetHistogram, PredCounters, RefClass};
 use fac_asm::Program;
-use fac_core::{AddrFields, Offset, Predictor, PredictorConfig};
+use fac_core::{AddrFields, Predictor, PredictorConfig};
 
 /// Result of a profiling run.
 #[derive(Debug, Clone, Default)]
@@ -40,6 +40,35 @@ impl ProfileReport {
     /// Total references.
     pub fn refs(&self) -> u64 {
         self.loads + self.stores
+    }
+
+    /// Fraction of loads in `class`; 0.0 when no load committed.
+    pub fn load_class_fraction(&self, class: RefClass) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.loads_by_class[class.index()] as f64 / self.loads as f64
+        }
+    }
+
+    /// Prediction failure rate of the loads in `class`; 0.0 when the class
+    /// saw no load (never NaN).
+    pub fn load_fail_rate(&self, class: RefClass) -> f64 {
+        let n = self.loads_by_class[class.index()];
+        if n == 0 {
+            0.0
+        } else {
+            self.load_fails_by_class[class.index()] as f64 / n as f64
+        }
+    }
+
+    /// Overall load prediction failure rate; 0.0 when no load committed.
+    pub fn load_fail_rate_all(&self) -> f64 {
+        if self.loads == 0 {
+            0.0
+        } else {
+            self.load_fails_by_class.iter().sum::<u64>() as f64 / self.loads as f64
+        }
     }
 }
 
@@ -90,11 +119,7 @@ pub fn profile_predictions(
             if !correct {
                 rep.load_fails_by_class[class.index()] += 1;
             }
-            let off = match mref.offset {
-                Offset::Const(c) => c as i32,
-                Offset::Reg(v) => v as i32,
-            };
-            rep.load_offsets[class.index()].record(off);
+            rep.load_offsets[class.index()].record(mref.offset_value());
         }
     }
     rep.mem_footprint = state.mem.footprint();

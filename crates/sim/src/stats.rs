@@ -159,7 +159,7 @@ impl PredCounters {
 }
 
 /// Everything measured during one simulation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Committed instructions.
     pub insts: u64,
@@ -246,14 +246,7 @@ impl SimStats {
 
     /// Records a misprediction cause.
     pub fn record_cause(&mut self, cause: FailureCause) {
-        let idx = match cause {
-            FailureCause::Overflow => 0,
-            FailureCause::GenCarry => 1,
-            FailureCause::LargeNegConst => 2,
-            FailureCause::NegIndexReg => 3,
-            FailureCause::TagOverlap => 4,
-        };
-        self.fail_causes[idx] += 1;
+        self.fail_causes[cause.index()] += 1;
     }
 }
 

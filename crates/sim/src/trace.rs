@@ -5,6 +5,7 @@
 //! chart like the paper's Figure 1, making the load-use stall — and its
 //! disappearance under fast address calculation — visible directly.
 
+use crate::obs::json::Json;
 use crate::pipeline::IssueInfo;
 use fac_isa::Insn;
 use std::fmt::Write as _;
@@ -90,6 +91,51 @@ pub fn render_diagram(trace: &[TracedInsn]) -> String {
     out
 }
 
+/// Exports a pipeline trace in the Chrome trace-event format, loadable by
+/// `chrome://tracing` and Perfetto.
+///
+/// Each instruction becomes one complete (`"ph":"X"`) slice from fetch to
+/// write-back, with 1 cycle = 1 µs of trace time. Overlapping instructions
+/// are spread across lanes (`tid`s) greedily — a lane is reused as soon as
+/// its previous occupant has completed — so a wide issue group renders as
+/// stacked parallel slices. Per-slice `args` carry the pc and the
+/// fetch/issue/complete cycles, plus `replayed` for mispredicted accesses.
+pub fn chrome_trace(trace: &[TracedInsn]) -> String {
+    let mut lanes: Vec<u64> = Vec::new(); // completion cycle per lane
+    let mut events = Vec::new();
+    for t in trace {
+        let lane = match lanes.iter().position(|&busy| busy <= t.timing.fetch) {
+            Some(i) => i,
+            None => {
+                lanes.push(0);
+                lanes.len() - 1
+            }
+        };
+        lanes[lane] = t.timing.complete + 1;
+
+        let mut e = Json::obj();
+        e.set("name", Json::Str(t.insn.to_string()));
+        e.set("cat", Json::Str(if t.insn.is_mem() { "mem" } else { "cpu" }.to_string()));
+        e.set("ph", Json::Str("X".to_string()));
+        e.set("ts", Json::U64(t.timing.fetch));
+        e.set("dur", Json::U64(t.timing.complete + 1 - t.timing.fetch));
+        e.set("pid", Json::U64(1));
+        e.set("tid", Json::U64(lane as u64 + 1));
+        let mut args = Json::obj();
+        args.set("pc", Json::U64(t.pc as u64));
+        args.set("fetch", Json::U64(t.timing.fetch));
+        args.set("issue", Json::U64(t.timing.issue));
+        args.set("complete", Json::U64(t.timing.complete));
+        args.set("replayed", Json::Bool(t.timing.replayed));
+        e.set("args", args);
+        events.push(e);
+    }
+    let mut doc = Json::obj();
+    doc.set("traceEvents", Json::Arr(events));
+    doc.set("displayTimeUnit", Json::Str("ns".to_string()));
+    doc.to_pretty(2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +196,54 @@ mod tests {
     #[test]
     fn empty_trace_renders_empty() {
         assert_eq!(render_diagram(&[]), "");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_slice_per_insn() {
+        let p = figure1_program();
+        let (_, tr) = Machine::new(MachineConfig::paper_baseline().with_perfect_dcache())
+            .run_traced(&p)
+            .unwrap();
+        let doc = crate::obs::json::parse(&chrome_trace(&tr)).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        assert_eq!(events.len(), tr.len());
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            assert!(e.get("dur").and_then(Json::as_u64).unwrap() >= 1);
+            assert!(e.get("args").and_then(|a| a.get("pc")).is_some());
+        }
+    }
+
+    #[test]
+    fn chrome_trace_lanes_stack_overlapping_insns() {
+        let p = figure1_program();
+        let (_, tr) = Machine::new(MachineConfig::paper_baseline().with_perfect_dcache())
+            .run_traced(&p)
+            .unwrap();
+        let doc = crate::obs::json::parse(&chrome_trace(&tr)).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let lanes: std::collections::HashSet<u64> =
+            events.iter().filter_map(|e| e.get("tid").and_then(Json::as_u64)).collect();
+        assert!(lanes.len() > 1, "a 4-wide machine overlaps instructions: {lanes:?}");
+    }
+
+    /// Golden-file pin of the Chrome-trace output for the Figure-1 program.
+    /// Regenerate with `UPDATE_GOLDEN=1 cargo test -p fac-sim golden`.
+    #[test]
+    fn chrome_trace_matches_golden_file() {
+        let p = figure1_program();
+        let (_, tr) = Machine::new(MachineConfig::paper_baseline().with_perfect_dcache())
+            .run_traced(&p)
+            .unwrap();
+        let got = chrome_trace(&tr);
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fig1_chrome.json");
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::write(&path, &got).unwrap();
+            return;
+        }
+        let want = std::fs::read_to_string(&path)
+            .expect("golden file missing — run with UPDATE_GOLDEN=1 to create it");
+        assert_eq!(got, want, "chrome_trace output drifted from {}", path.display());
     }
 }

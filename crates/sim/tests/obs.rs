@@ -1,0 +1,224 @@
+//! Observability-layer guarantees:
+//!
+//! 1. the metrics JSON export round-trips exactly (counters bit-for-bit,
+//!    gauges by shortest-round-trip float formatting) on arbitrary
+//!    registries, including escaping-hostile metric names;
+//! 2. attaching an observer never perturbs the simulation — `Stats` and
+//!    the cycle count are bit-identical with and without one.
+
+use fac_asm::{Asm, SoftwareSupport};
+use fac_isa::Reg;
+use fac_sim::obs::{
+    Event, Json, JsonlWriter, MetricsRegistry, Recorder, RegisterMetrics, VecObserver,
+};
+use fac_sim::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// Metric-name characters, deliberately including JSON-hostile ones.
+fn name_char(b: u8) -> char {
+    const SET: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', '.', '_', '-', '/', ' ', '"', '\\', '\n', '\t',
+        '\u{8}', 'µ', '✓', '\u{1f}',
+    ];
+    SET[b as usize % SET.len()]
+}
+
+fn arb_metrics() -> impl Strategy<Value = Vec<(Vec<u8>, Result<u64, f64>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(any::<u8>(), 1..12),
+            prop_oneof![any::<u64>().prop_map(Ok), any::<f64>().prop_map(Err)],
+        ),
+        0..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `from_json(to_json(reg)) == reg` for arbitrary registries.
+    #[test]
+    fn metrics_json_round_trips(entries in arb_metrics()) {
+        let mut reg = MetricsRegistry::new();
+        for (name_bytes, value) in &entries {
+            let name: String = name_bytes.iter().map(|&b| name_char(b)).collect();
+            match value {
+                Ok(c) => reg.counter(&name, *c),
+                Err(g) => reg.gauge(&name, *g),
+            }
+        }
+        let text = reg.to_json().to_string();
+        let back = MetricsRegistry::from_json(&text).unwrap();
+        prop_assert_eq!(back, reg, "export was: {}", text);
+    }
+
+    /// Every event's JSONL line parses back as a JSON object carrying the
+    /// event's tag and cycle.
+    #[test]
+    fn event_lines_parse(cycle in any::<u64>(), pc in any::<u32>()) {
+        let ev = Event::FaultInjected { cycle, pc, predicted: 1, actual: 2 };
+        let doc = fac_sim::obs::json::parse(&ev.to_json().to_string()).unwrap();
+        prop_assert_eq!(doc.get("t").and_then(Json::as_str), Some("fault_injected"));
+        prop_assert_eq!(doc.get("cycle").and_then(Json::as_u64), Some(cycle));
+    }
+}
+
+/// A workload with global, stack and general references, block-crossing
+/// offsets (replays under FAC) and enough iterations to fill caches.
+fn workload() -> fac_asm::Program {
+    let mut a = Asm::new();
+    a.gp_word("g", 7);
+    a.gp_array("buf", 4096, 4);
+    a.far_array("far", 8192, 4);
+    a.gp_addr(Reg::S0, "buf", 0);
+    a.la(Reg::S2, "far", 28);
+    a.li(Reg::S1, 200);
+    a.label("loop");
+    a.lw_gp(Reg::T0, "g", 0);
+    a.lw(Reg::T1, 8, Reg::S2); // 28+8 crosses a block boundary: replays
+    a.sw_pi(Reg::T0, Reg::S0, 4);
+    a.lw(Reg::T2, -4, Reg::SP);
+    a.sw(Reg::T2, -8, Reg::SP);
+    a.addiu(Reg::S2, Reg::S2, 36);
+    a.addiu(Reg::S1, Reg::S1, -1);
+    a.bgtz(Reg::S1, "loop");
+    a.halt();
+    a.link("obs-workload", &SoftwareSupport::on()).unwrap()
+}
+
+fn configs() -> Vec<MachineConfig> {
+    vec![
+        MachineConfig::paper_baseline(),
+        MachineConfig::paper_baseline().with_fac(),
+        MachineConfig::paper_baseline().with_fac().with_tlb(),
+        MachineConfig::paper_baseline().with_ltb(512),
+    ]
+}
+
+/// The tentpole guarantee: an attached observer changes nothing — the
+/// statistics (including the cycle count) are bit-identical to a plain run.
+#[test]
+fn observed_run_is_bit_identical() {
+    let p = workload();
+    for cfg in configs() {
+        let plain = Machine::new(cfg).run(&p).unwrap();
+        let mut vec_obs = VecObserver::default();
+        let observed = Machine::new(cfg).run_observed(&p, &mut vec_obs).unwrap();
+        assert_eq!(plain.stats, observed.stats, "VecObserver perturbed the run");
+
+        let mut rec = Recorder::new().with_sampler(64).with_sink(Box::new(Vec::new()));
+        let recorded = Machine::new(cfg).run_observed(&p, &mut rec).unwrap();
+        assert_eq!(plain.stats, recorded.stats, "Recorder perturbed the run");
+        assert_eq!(plain.stats.cycles, recorded.stats.cycles);
+        rec.finish_sink().unwrap();
+    }
+}
+
+/// The event stream agrees with the aggregate counters it refines.
+#[test]
+fn event_stream_matches_counters() {
+    let p = workload();
+    let cfg = MachineConfig::paper_baseline().with_fac();
+    let mut obs = VecObserver::default();
+    let report = Machine::new(cfg).run_observed(&p, &mut obs).unwrap();
+    let s = &report.stats;
+
+    let count = |f: &dyn Fn(&Event) -> bool| obs.events.iter().filter(|e| f(e)).count() as u64;
+    let speculations = count(&|e| matches!(e, Event::Speculate { .. }));
+    let replays = count(&|e| matches!(e, Event::Replay { .. }));
+    let dmisses = count(&|e| {
+        matches!(e, Event::CacheMiss { cache: fac_sim::obs::CacheKind::DCache, .. })
+    });
+    let imisses = count(&|e| {
+        matches!(e, Event::CacheMiss { cache: fac_sim::obs::CacheKind::ICache, .. })
+    });
+
+    assert_eq!(speculations, s.pred_loads.attempts() + s.pred_stores.attempts());
+    assert_eq!(replays, s.pred_loads.fails() + s.pred_stores.fails());
+    assert_eq!(replays, s.extra_accesses);
+    assert_eq!(dmisses, s.dcache.misses);
+    assert_eq!(imisses, s.icache.misses);
+    let cause_total: u64 = obs
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            Event::Replay { cause: Some(_), .. } => Some(1),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(cause_total, s.fail_causes.iter().sum::<u64>());
+}
+
+/// The recorder's attribution table and its JSONL sink agree with the run.
+#[test]
+fn recorder_attributes_and_streams() {
+    let p = workload();
+    let mut sink = Vec::new();
+    let mut rec = Recorder::new().with_sampler(128);
+    let report = {
+        let mut pair = (&mut rec, JsonlWriter::new(&mut sink));
+        let r = Machine::new(MachineConfig::paper_baseline().with_fac())
+            .run_observed(&p, &mut pair)
+            .unwrap();
+        pair.1.finish().unwrap();
+        r
+    };
+    let s = &report.stats;
+
+    assert_eq!(
+        rec.attribution.total_replays(),
+        s.pred_loads.fails() + s.pred_stores.fails()
+    );
+    let top = rec.attribution.top_sites(3);
+    assert!(!top.is_empty());
+    assert!(top[0].replays >= top.last().unwrap().replays, "ranked by replays");
+
+    // Every line of the sink parses; the stream is as long as the recorder
+    // says it is.
+    let text = String::from_utf8(sink).unwrap();
+    assert_eq!(text.lines().count() as u64, rec.events_seen);
+    for line in text.lines() {
+        fac_sim::obs::json::parse(line).expect("JSONL line parses");
+    }
+
+    // Sampled windows sum to the aggregate replay count.
+    let sampled: u64 =
+        rec.sampler.as_ref().unwrap().samples().iter().map(|w| w.replays).sum();
+    assert_eq!(sampled, rec.attribution.total_replays());
+
+    // The whole run document is one valid JSON object.
+    let doc = rec.to_json(5).to_pretty(2);
+    fac_sim::obs::json::parse(&doc).expect("run document parses");
+}
+
+/// A full `SimStats` registration exports to JSON and reconstructs.
+#[test]
+fn simstats_metrics_round_trip() {
+    let p = workload();
+    let report =
+        Machine::new(MachineConfig::paper_baseline().with_fac().with_tlb()).run(&p).unwrap();
+    let mut reg = MetricsRegistry::new();
+    report.stats.register_metrics(&mut reg, "sim");
+    assert!(reg.len() > 80, "got {}", reg.len());
+    let back = MetricsRegistry::from_json(&reg.to_json().to_string()).unwrap();
+    assert_eq!(back, reg);
+    assert_eq!(
+        back.get("sim.cycles"),
+        Some(fac_sim::obs::Metric::Counter(report.stats.cycles))
+    );
+}
+
+/// Observers also ride along under `--ltb`: wrong LTB guesses replay with
+/// `cause: None` and are attributed per PC.
+#[test]
+fn ltb_replays_have_no_cause() {
+    let p = workload();
+    let mut obs = VecObserver::default();
+    Machine::new(MachineConfig::paper_baseline().with_ltb(512)).run_observed(&p, &mut obs).unwrap();
+    let ltb_replays: Vec<&Event> =
+        obs.events.iter().filter(|e| matches!(e, Event::Replay { .. })).collect();
+    assert!(
+        ltb_replays.iter().all(|e| matches!(e, Event::Replay { cause: None, .. })),
+        "LTB misses fire no failure-cause signal"
+    );
+}
