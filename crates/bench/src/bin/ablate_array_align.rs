@@ -1,4 +1,4 @@
 //! Runs the §5.4 large-array alignment extension study.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::ablate_array_align(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::ablate_array_align)
 }

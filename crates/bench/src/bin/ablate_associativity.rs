@@ -1,4 +1,4 @@
 //! Runs the ablate_associativity experiment.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::ablate_associativity(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::ablate_associativity)
 }

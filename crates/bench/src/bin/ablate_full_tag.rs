@@ -1,4 +1,4 @@
 //! Regenerates ablate_full_tag of the paper's evaluation.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::ablate_full_tag(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::ablate_full_tag)
 }

@@ -1,4 +1,4 @@
 //! Runs the MSHR-count ablation.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::ablate_mshr(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::ablate_mshr)
 }

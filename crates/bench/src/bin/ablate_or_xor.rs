@@ -1,4 +1,4 @@
 //! Regenerates ablate_or_xor of the paper's evaluation.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::ablate_or_xor(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::ablate_or_xor)
 }

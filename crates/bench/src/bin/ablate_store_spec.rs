@@ -1,4 +1,4 @@
 //! Regenerates ablate_store_spec of the paper's evaluation.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::ablate_store_spec(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::ablate_store_spec)
 }

@@ -1,35 +1,10 @@
-//! Runs every experiment in paper order.
+//! Runs every experiment in paper order, fanned out over one parallel
+//! job pool (`--jobs N`; results and output are bit-identical at any
+//! worker count).
 //!
 //! With `--json <path>` (or `--json -` for stdout) the individual experiment
 //! documents are bundled into one object keyed by experiment name.
 
-use fac_bench::experiments as ex;
-use fac_sim::obs::Json;
-use fac_sim::SimError;
-
-fn collect(scale: fac_workloads::Scale) -> Result<Json, SimError> {
-    let mut doc = Json::obj();
-    doc.set("fig2", ex::fig2(scale)?);
-    doc.set("table1", ex::table1(scale)?);
-    doc.set("table2", ex::table2()?);
-    doc.set("fig3", ex::fig3(scale)?);
-    doc.set("table3", ex::table3(scale)?);
-    doc.set("table4", ex::table4(scale)?);
-    doc.set("table5", ex::table5()?);
-    doc.set("fig6", ex::fig6(scale)?);
-    doc.set("table6", ex::table6(scale)?);
-    doc.set("ablate_or_xor", ex::ablate_or_xor(scale)?);
-    doc.set("ablate_full_tag", ex::ablate_full_tag(scale)?);
-    doc.set("ablate_store_spec", ex::ablate_store_spec(scale)?);
-    doc.set("ablate_store_buffer", ex::ablate_store_buffer(scale)?);
-    doc.set("ablate_mshr", ex::ablate_mshr(scale)?);
-    doc.set("ablate_array_align", ex::ablate_array_align(scale)?);
-    doc.set("ablate_associativity", ex::ablate_associativity(scale)?);
-    doc.set("compare_ltb", ex::compare_ltb(scale)?);
-    doc.set("compare_pipelines", ex::compare_pipelines(scale)?);
-    Ok(doc)
-}
-
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(collect(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::run_all)
 }

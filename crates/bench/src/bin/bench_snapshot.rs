@@ -1,55 +1,75 @@
 //! Emits a machine-readable benchmark snapshot of the paper-baseline
 //! workload sweep: every workload run on the baseline machine and on the
 //! fast-address-calculation machine (both with §4 software support), with
-//! cycles, IPC, speedup and prediction quality per program.
+//! cycles, IPC, speedup and prediction quality per program. The sweep
+//! fans out over the `fac_bench::par` pool (`--jobs N`) with output
+//! bit-identical at any worker count.
 //!
 //! ```sh
 //! cargo run --release -p fac-bench --bin bench_snapshot -- --json BENCH_pr2.json
 //! ```
 
-use fac_bench::{build_suite, run, scale_from_args, weighted_mean};
+use fac_bench::par::JobSet;
+use fac_bench::{build_suite, run, weighted_mean, Cx, Exp};
 use fac_sim::obs::Json;
 use fac_sim::{MachineConfig, SimError};
+use std::fmt::Write as _;
 
-fn sweep() -> Result<Json, SimError> {
+fn sweep(cx: &Cx) -> Result<Exp, SimError> {
+    let suite = build_suite(cx.scale);
+    let mut jobs = JobSet::new();
+    for b in &suite {
+        jobs.push(format!("snapshot:{}", b.workload.name), move || {
+            let base = run(&b.tuned, MachineConfig::paper_baseline())?;
+            let fac = run(&b.tuned, MachineConfig::paper_baseline().with_fac())?;
+            let speedup = base.stats.cycles as f64 / fac.stats.cycles as f64;
+            let human = format!(
+                "{:10} {:>10} -> {:>10} cycles  ({:.3}x, load fail {:.2}%)",
+                b.workload.name,
+                base.stats.cycles,
+                fac.stats.cycles,
+                speedup,
+                fac.stats.pred_loads.fail_rate_all() * 100.0
+            );
+            let mut j = Json::obj();
+            j.set("program", Json::Str(b.workload.name.to_string()));
+            j.set("kind", Json::Str(if b.workload.fp { "fp" } else { "int" }.to_string()));
+            j.set("cycles.baseline", Json::U64(base.stats.cycles));
+            j.set("cycles.fac", Json::U64(fac.stats.cycles));
+            j.set("ipc.baseline", Json::F64(base.stats.ipc()));
+            j.set("ipc.fac", Json::F64(fac.stats.ipc()));
+            j.set("speedup", Json::F64(speedup));
+            j.set("load_fail_rate", Json::F64(fac.stats.pred_loads.fail_rate_all()));
+            j.set("store_fail_rate", Json::F64(fac.stats.pred_stores.fail_rate_all()));
+            j.set("bandwidth_overhead", Json::F64(fac.stats.bandwidth_overhead()));
+            let mut c = Json::obj();
+            c.set("human", Json::Str(human));
+            c.set("row", j);
+            c.set("speedup", Json::F64(speedup));
+            c.set("weight", Json::U64(base.stats.cycles));
+            Ok(c)
+        });
+    }
+    let mut human = String::new();
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     let mut weights = Vec::new();
-    for b in &build_suite(scale_from_args()) {
-        let base = run(&b.tuned, MachineConfig::paper_baseline())?;
-        let fac = run(&b.tuned, MachineConfig::paper_baseline().with_fac())?;
-        let speedup = base.stats.cycles as f64 / fac.stats.cycles as f64;
-        println!(
-            "{:10} {:>10} -> {:>10} cycles  ({:.3}x, load fail {:.2}%)",
-            b.workload.name,
-            base.stats.cycles,
-            fac.stats.cycles,
-            speedup,
-            fac.stats.pred_loads.fail_rate_all() * 100.0
-        );
-        let mut j = Json::obj();
-        j.set("program", Json::Str(b.workload.name.to_string()));
-        j.set("kind", Json::Str(if b.workload.fp { "fp" } else { "int" }.to_string()));
-        j.set("cycles.baseline", Json::U64(base.stats.cycles));
-        j.set("cycles.fac", Json::U64(fac.stats.cycles));
-        j.set("ipc.baseline", Json::F64(base.stats.ipc()));
-        j.set("ipc.fac", Json::F64(fac.stats.ipc()));
-        j.set("speedup", Json::F64(speedup));
-        j.set("load_fail_rate", Json::F64(fac.stats.pred_loads.fail_rate_all()));
-        j.set("store_fail_rate", Json::F64(fac.stats.pred_stores.fail_rate_all()));
-        j.set("bandwidth_overhead", Json::F64(fac.stats.bandwidth_overhead()));
-        rows.push(j);
-        speedups.push(speedup);
-        weights.push(base.stats.cycles);
+    for mut c in jobs.run(cx.jobs)? {
+        if let Some(Json::Str(line)) = c.take("human") {
+            let _ = writeln!(human, "{line}");
+        }
+        speedups.push(c.get("speedup").and_then(Json::as_f64).unwrap_or(0.0));
+        weights.push(c.get("weight").and_then(Json::as_u64).unwrap_or(0));
+        rows.push(c.take("row").unwrap_or_else(Json::obj));
     }
     let mut doc = Json::obj();
     doc.set("benchmark", Json::Str("paper_baseline_sweep".to_string()));
     doc.set("config", Json::Str("paper_baseline vs paper_baseline+fac, sw support on".to_string()));
     doc.set("rows", Json::Arr(rows));
     doc.set("speedup.weighted_mean", Json::F64(weighted_mean(&speedups, &weights)));
-    Ok(doc)
+    Ok(Exp { human, json: doc })
 }
 
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(sweep())
+    fac_bench::conclude(sweep)
 }

@@ -1,4 +1,4 @@
 //! Runs the compare_ltb experiment.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::compare_ltb(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::compare_ltb)
 }

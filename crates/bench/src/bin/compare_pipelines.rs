@@ -1,4 +1,4 @@
 //! Runs the compare_pipelines experiment.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::compare_pipelines(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::compare_pipelines)
 }

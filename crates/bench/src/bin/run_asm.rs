@@ -7,13 +7,24 @@
 use fac_asm::{assemble_and_link, SoftwareSupport};
 use fac_sim::{render_diagram, Machine, MachineConfig};
 
+fn usage() -> ! {
+    eprintln!("usage: run_asm <file.s> [--fac] [--no-sw] [--trace] [--disasm]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first() else {
-        eprintln!("usage: run_asm <file.s> [--fac] [--no-sw] [--trace] [--disasm]");
-        std::process::exit(2);
+    let args = match fac_bench::Args::parse(&["--fac", "--no-sw", "--trace", "--disasm"], &[]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
     };
-    let flag = |f: &str| args.iter().any(|a| a == f);
+    let path = match args.positionals() {
+        [one] => one.as_str(),
+        _ => usage(),
+    };
+    let flag = |f: &str| args.flag(f);
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {

@@ -34,46 +34,61 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn main() -> std::process::ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let name = args.first().map(String::as_str).unwrap_or("");
-    let Some(wl) = find(name) else { usage() };
-    let flag = |f: &str| args.iter().any(|a| a == f);
-    let value = |f: &str| {
-        args.iter()
-            .position(|a| a == f)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse::<u32>().ok())
-    };
+/// Boolean flags this binary accepts.
+const BOOL_FLAGS: &[&str] = &[
+    "--fac", "--agi", "--sw", "--smoke", "--no-rr", "--no-store-spec", "--one-cycle",
+    "--perfect", "--checks",
+];
+/// Value-taking flags this binary accepts.
+const VALUE_FLAGS: &[&str] =
+    &["--ltb", "--block", "--fault-plan", "--json", "--events", "--top-sites", "--sample"];
 
-    let sw = if flag("--sw") { SoftwareSupport::on() } else { SoftwareSupport::off() };
-    let scale = if flag("--smoke") { Scale::Smoke } else { Scale::Paper };
+/// Unwraps a parse result or exits with the typed error and the usage.
+fn or_usage<T>(result: Result<T, SimError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let args = or_usage(fac_bench::Args::parse(BOOL_FLAGS, VALUE_FLAGS));
+    let name = match args.positionals() {
+        [one] => one.as_str(),
+        _ => usage(),
+    };
+    let Some(wl) = find(name) else { usage() };
+
+    let sw = if args.flag("--sw") { SoftwareSupport::on() } else { SoftwareSupport::off() };
+    let scale = if args.flag("--smoke") { Scale::Smoke } else { Scale::Paper };
     let mut cfg = MachineConfig::paper_baseline();
-    if let Some(block) = value("--block") {
+    if let Some(block) = or_usage(args.parse_value::<u32>("--block", "a block size in bytes")) {
         cfg = cfg.with_block_size(block);
     }
-    if flag("--fac") {
+    if args.flag("--fac") {
         let pred = PredictorConfig {
-            speculate_reg_reg: !flag("--no-rr"),
-            speculate_stores: !flag("--no-store-spec"),
+            speculate_reg_reg: !args.flag("--no-rr"),
+            speculate_stores: !args.flag("--no-store-spec"),
             ..PredictorConfig::default()
         };
         cfg = cfg.with_fac_config(pred);
     }
-    if let Some(entries) = value("--ltb") {
+    if let Some(entries) = or_usage(args.parse_value::<u32>("--ltb", "an entry count")) {
         cfg = cfg.with_ltb(entries);
     }
-    if flag("--agi") {
+    if args.flag("--agi") {
         cfg = cfg.with_agi_pipeline();
     }
-    if flag("--one-cycle") {
+    if args.flag("--one-cycle") {
         cfg = cfg.with_one_cycle_loads();
     }
-    if flag("--perfect") {
+    if args.flag("--perfect") {
         cfg = cfg.with_perfect_dcache();
     }
-    if let Some(i) = args.iter().position(|a| a == "--fault-plan") {
-        let spec = args.get(i + 1).map(String::as_str).unwrap_or("");
+    if let Some(spec) = args.value("--fault-plan") {
         match FaultPlan::parse(spec) {
             Ok(plan) => cfg = cfg.with_fault_plan(plan),
             Err(e) => {
@@ -82,15 +97,17 @@ fn main() -> std::process::ExitCode {
             }
         }
     }
-    if flag("--checks") {
+    if args.flag("--checks") {
         cfg = cfg.with_checks();
     }
     cfg = cfg.with_tlb();
 
-    let json_path = fac_bench::arg_value("--json");
-    let events_path = fac_bench::arg_value("--events");
-    let top_sites = value("--top-sites").unwrap_or(10) as usize;
-    let sample = value("--sample").unwrap_or(10_000) as u64;
+    let json_path = args.value("--json").map(String::from);
+    let events_path = args.value("--events").map(String::from);
+    let top_sites =
+        or_usage(args.parse_value::<u32>("--top-sites", "a site count")).unwrap_or(10) as usize;
+    let sample =
+        or_usage(args.parse_value::<u32>("--sample", "a cycle window")).unwrap_or(10_000) as u64;
     let observe = json_path.is_some() || events_path.is_some();
     // `--json -` keeps stdout pure JSON.
     let human = json_path.as_deref() != Some("-");
@@ -131,14 +148,15 @@ fn main() -> std::process::ExitCode {
     }
 
     if human {
-        print_report(&wl, &r, &cfg, flag("--sw"));
+        print_report(&wl, &r, &cfg, args.flag("--sw"));
         if let Some(rec) = &recorder {
             print_top_sites(rec, top_sites);
         }
     }
 
     if let Some(path) = &json_path {
-        let doc = json_document(&wl, &r, &cfg, &args, recorder.as_ref(), top_sites);
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let doc = json_document(&wl, &r, &cfg, &argv, recorder.as_ref(), top_sites);
         if let Err(e) = fac_bench::write_json(path, &doc) {
             eprintln!("error: {e}");
             return std::process::ExitCode::FAILURE;

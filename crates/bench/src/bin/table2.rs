@@ -1,4 +1,4 @@
 //! Regenerates Table 2: the benchmark programs and their (scaled) inputs.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::table2())
+    fac_bench::conclude(fac_bench::experiments::table2)
 }

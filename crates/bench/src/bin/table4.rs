@@ -1,4 +1,4 @@
 //! Regenerates table4 of the paper's evaluation.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::table4(fac_bench::scale_from_args()))
+    fac_bench::conclude(fac_bench::experiments::table4)
 }

@@ -1,4 +1,4 @@
 //! Prints the Table 5 baseline machine model.
 fn main() -> std::process::ExitCode {
-    fac_bench::conclude(fac_bench::experiments::table5())
+    fac_bench::conclude(fac_bench::experiments::table5)
 }

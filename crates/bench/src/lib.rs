@@ -19,13 +19,25 @@
 //! | `all_experiments` | everything above, in order |
 //!
 //! Run with `cargo run --release -p fac-bench --bin <name>`.
+//!
+//! Every binary takes `--smoke` (tiny workloads), `--json <path|->`
+//! (machine-readable output) and `--jobs N` (worker threads for the
+//! [`par`] harness; default: all hardware threads). Argv is validated
+//! strictly — an unrecognized or malformed flag is a typed
+//! [`SimError::InvalidConfig`] and a nonzero exit, never a silently
+//! ignored typo that runs the wrong sweep.
 
 use fac_asm::{Program, SoftwareSupport};
 use fac_core::{AddrFields, PredictorConfig};
 use fac_sim::obs::Json;
-use fac_sim::{profile_predictions, Machine, MachineConfig, ProfileReport, SimError, SimReport};
+use fac_sim::{
+    profile_predictions, ConfigError, Machine, MachineConfig, ProfileReport, SimError, SimReport,
+};
 use fac_workloads::{suite, Scale, Workload};
 use std::io::Write as _;
+
+pub mod experiments;
+pub mod par;
 
 /// Instruction budget per simulation (well above any Paper-scale kernel).
 pub const MAX_INSTS: u64 = 400_000_000;
@@ -100,7 +112,8 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
 }
 
-/// Formats a signed percentage change.
+/// Formats a signed percentage change; `"-"` when the baseline is zero
+/// (undefined, not 0%).
 pub fn pct_change(new: f64, old: f64) -> String {
     if old == 0.0 {
         return "-".to_string();
@@ -108,24 +121,194 @@ pub fn pct_change(new: f64, old: f64) -> String {
     format!("{:+.1}", (new - old) / old * 100.0)
 }
 
-/// Prints a rule line of the given width.
-pub fn rule(width: usize) {
-    println!("{}", "-".repeat(width));
-}
-
-/// Scale selection from argv: `--smoke` uses the tiny configuration.
-pub fn scale_from_args() -> Scale {
-    if std::env::args().any(|a| a == "--smoke") {
-        Scale::Smoke
+/// The JSON lane of [`pct_change`]: the same cell the human table renders
+/// as `"-"` is `null` — undefined, not a raw quotient or a fabricated
+/// number.
+pub fn pct_change_json(new: f64, old: f64) -> Json {
+    if old == 0.0 {
+        Json::Null
     } else {
-        Scale::Paper
+        Json::F64((new - old) / old * 100.0)
     }
 }
 
-/// The value of a `--flag <value>` pair in argv, if present.
-pub fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+/// A rule line of the given width (append with the table builders).
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+/// A rendered experiment: the human-readable table plus the same data as
+/// a machine-readable JSON document.
+pub struct Exp {
+    /// The complete table text, as the serial harness printed it.
+    pub human: String,
+    /// The experiment's JSON document.
+    pub json: Json,
+}
+
+/// Shared run context every experiment receives: workload scale and the
+/// worker count for the [`par`] harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Cx {
+    /// Workload scale (`--smoke` or Paper).
+    pub scale: Scale,
+    /// Worker threads (`--jobs N`, default: available parallelism).
+    pub jobs: usize,
+}
+
+/// Strictly parsed command-line arguments.
+///
+/// Every argument must be a declared boolean flag, a declared value flag
+/// followed by its value, or a positional; anything else is a typed
+/// [`SimError::InvalidConfig`]. This replaces the seed harness's
+/// scan-for-a-flag helpers, where `--smokee` silently ran the full
+/// Paper-scale sweep and `--json` as the last argument silently exported
+/// nothing.
+#[derive(Debug)]
+pub struct Args {
+    positionals: Vec<String>,
+    bools: Vec<String>,
+    values: Vec<(String, String)>,
+}
+
+/// Boolean flags every experiment binary accepts.
+pub const STD_BOOL_FLAGS: &[&str] = &["--smoke"];
+/// Value-taking flags every experiment binary accepts.
+pub const STD_VALUE_FLAGS: &[&str] = &["--json", "--jobs"];
+
+impl Args {
+    /// Parses the process argv (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for an undeclared flag, a value flag
+    /// with no value, or a malformed value.
+    pub fn parse(bool_flags: &[&str], value_flags: &[&str]) -> Result<Args, SimError> {
+        Args::parse_from(std::env::args().skip(1), bool_flags, value_flags)
+    }
+
+    /// [`Args::parse`] over an explicit argument list (for tests).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Args::parse`].
+    pub fn parse_from(
+        argv: impl IntoIterator<Item = String>,
+        bool_flags: &[&str],
+        value_flags: &[&str],
+    ) -> Result<Args, SimError> {
+        let expected = || {
+            bool_flags
+                .iter()
+                .copied()
+                .chain(value_flags.iter().copied())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let mut args = Args { positionals: Vec::new(), bools: Vec::new(), values: Vec::new() };
+        let mut argv = argv.into_iter();
+        while let Some(arg) = argv.next() {
+            if bool_flags.contains(&arg.as_str()) {
+                args.bools.push(arg);
+            } else if value_flags.contains(&arg.as_str()) {
+                match argv.next() {
+                    // Another flag in the value slot means the value is
+                    // missing, not that the flag's value is "--whatever".
+                    Some(v) if !v.starts_with("--") => args.values.push((arg, v)),
+                    _ => {
+                        return Err(ConfigError::MissingFlagValue { flag: arg }.into());
+                    }
+                }
+            } else if arg.starts_with('-') && arg != "-" {
+                return Err(ConfigError::UnknownFlag { flag: arg, expected: expected() }.into());
+            } else {
+                args.positionals.push(arg);
+            }
+        }
+        Ok(args)
+    }
+
+    /// `true` when the boolean flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.bools.iter().any(|f| f == name)
+    }
+
+    /// The value of a value flag, if passed (first occurrence wins).
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(f, _)| f == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a flag parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the value does not parse;
+    /// `expected` describes a valid value in the message.
+    pub fn parse_value<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, SimError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| {
+                SimError::from(ConfigError::BadFlagValue {
+                    flag: name.to_string(),
+                    value: v.to_string(),
+                    expected,
+                })
+            }),
+        }
+    }
+
+    /// Positional (non-flag) arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Rejects stray positional arguments (for binaries that take none).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] naming the first stray argument.
+    pub fn no_positionals(&self, expected_flags: &str) -> Result<(), SimError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(arg) => Err(ConfigError::UnknownFlag {
+                flag: arg.clone(),
+                expected: expected_flags.to_string(),
+            }
+            .into()),
+        }
+    }
+
+    /// The workload scale: `--smoke` or the Paper scale.
+    pub fn scale(&self) -> Scale {
+        if self.flag("--smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Paper
+        }
+    }
+
+    /// The `--jobs` worker count (default: available parallelism).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for a non-numeric or zero count.
+    pub fn jobs(&self) -> Result<usize, SimError> {
+        const EXPECTED: &str = "a worker count of at least 1";
+        match self.parse_value::<usize>("--jobs", EXPECTED)? {
+            Some(0) => Err(ConfigError::BadFlagValue {
+                flag: "--jobs".to_string(),
+                value: "0".to_string(),
+                expected: EXPECTED,
+            }
+            .into()),
+            Some(n) => Ok(n),
+            None => Ok(par::default_jobs()),
+        }
+    }
 }
 
 /// Writes a JSON document to `path`, or to stdout when `path` is `"-"`.
@@ -143,17 +326,14 @@ pub fn write_json(path: &str, doc: &Json) -> Result<(), SimError> {
     }
 }
 
-/// Standard tail for every bench binary: on success, honour an optional
-/// `--json <path>` flag (`-` for stdout); on failure, print the typed
-/// [`SimError`] and exit nonzero.
-pub fn conclude(result: Result<Json, SimError>) -> std::process::ExitCode {
-    let finish = result.and_then(|doc| {
-        if let Some(path) = arg_value("--json") {
-            write_json(&path, &doc)?;
-        }
-        Ok(())
-    });
-    match finish {
+/// Standard entry path for every experiment binary: **strictly validate
+/// argv first** (a typo exits nonzero before any simulation starts), run
+/// the experiment with the parsed [`Cx`], print its human table, honour
+/// `--json <path|->`, and map any [`SimError`] to a nonzero exit.
+pub fn conclude(
+    experiment: impl FnOnce(&Cx) -> Result<Exp, SimError>,
+) -> std::process::ExitCode {
+    match conclude_inner(experiment) {
         Ok(()) => std::process::ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -162,9 +342,31 @@ pub fn conclude(result: Result<Json, SimError>) -> std::process::ExitCode {
     }
 }
 
+fn conclude_inner(
+    experiment: impl FnOnce(&Cx) -> Result<Exp, SimError>,
+) -> Result<(), SimError> {
+    let args = Args::parse(STD_BOOL_FLAGS, STD_VALUE_FLAGS)?;
+    args.no_positionals("--smoke, --json, --jobs")?;
+    let cx = Cx { scale: args.scale(), jobs: args.jobs()? };
+    let exp = experiment(&cx)?;
+    print!("{}", exp.human);
+    if let Some(path) = args.value("--json") {
+        write_json(path, &exp.json)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn std_args(argv: &[&str]) -> Result<Args, SimError> {
+        Args::parse_from(
+            argv.iter().map(|s| s.to_string()),
+            STD_BOOL_FLAGS,
+            STD_VALUE_FLAGS,
+        )
+    }
 
     #[test]
     fn weighted_mean_behaves() {
@@ -178,6 +380,75 @@ mod tests {
         assert_eq!(pct(0.1234), "12.3");
         assert_eq!(pct_change(1.1, 1.0), "+10.0");
         assert_eq!(pct_change(1.0, 0.0), "-");
+    }
+
+    /// The JSON lane agrees with the human lane: an undefined
+    /// percent-change is `null`, not a raw quotient and not `0.0`.
+    #[test]
+    fn pct_change_json_matches_human_lane() {
+        assert_eq!(pct_change_json(1.1, 1.0), Json::F64(10.000000000000009));
+        assert_eq!(pct_change_json(1.0, 0.0), Json::Null);
+        assert_eq!(pct_change_json(1.0, 0.0).to_string(), "null");
+        assert_eq!(pct_change_json(0.0, 0.0), Json::Null);
+        // Human says "-" exactly when JSON says null.
+        for (new, old) in [(1.0, 0.0), (2.5, 1.0), (0.0, 3.0), (0.0, 0.0)] {
+            assert_eq!(
+                pct_change(new, old) == "-",
+                pct_change_json(new, old) == Json::Null,
+                "lanes disagree for ({new}, {old})"
+            );
+        }
+    }
+
+    #[test]
+    fn strict_args_accept_declared_flags() {
+        let args = std_args(&["--smoke", "--jobs", "4", "--json", "-"]).unwrap();
+        assert!(args.flag("--smoke"));
+        assert_eq!(args.jobs().unwrap(), 4);
+        assert_eq!(args.value("--json"), Some("-"));
+        assert_eq!(args.scale(), fac_workloads::Scale::Smoke);
+    }
+
+    #[test]
+    fn strict_args_reject_typos() {
+        let err = std_args(&["--smokee"]).unwrap_err();
+        assert!(
+            matches!(&err, SimError::InvalidConfig(ConfigError::UnknownFlag { flag, .. }) if flag == "--smokee"),
+            "got {err}"
+        );
+        assert!(err.to_string().contains("--smokee"), "message must name the flag: {err}");
+    }
+
+    #[test]
+    fn strict_args_reject_missing_and_bad_values() {
+        let err = std_args(&["--json"]).unwrap_err();
+        assert!(
+            matches!(&err, SimError::InvalidConfig(ConfigError::MissingFlagValue { flag }) if flag == "--json"),
+            "got {err}"
+        );
+        // A flag in the value slot is a missing value, not a value.
+        let err = std_args(&["--json", "--smoke"]).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(ConfigError::MissingFlagValue { .. })));
+
+        let err = std_args(&["--jobs", "zero"]).unwrap().jobs().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(ConfigError::BadFlagValue { .. })));
+        let err = std_args(&["--jobs", "0"]).unwrap().jobs().unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(ConfigError::BadFlagValue { .. })));
+    }
+
+    #[test]
+    fn strict_args_reject_stray_positionals() {
+        let args = std_args(&["smoke"]).unwrap();
+        assert!(args.no_positionals("--smoke").is_err());
+        // But binaries that declare positionals read them in order.
+        let args = Args::parse_from(
+            ["compress", "--fac"].iter().map(|s| s.to_string()),
+            &["--fac"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(args.positionals(), ["compress".to_string()]);
+        assert!(args.flag("--fac"));
     }
 
     #[test]
@@ -198,4 +469,3 @@ mod tests {
         assert!(matches!(err, fac_sim::SimError::Io { .. }), "got {err}");
     }
 }
-pub mod experiments;

@@ -1,0 +1,321 @@
+//! A deterministic parallel job harness for the experiment sweeps.
+//!
+//! The paper's evaluation is an embarrassingly parallel grid — (machine
+//! config × workload) cells that never share mutable state — yet the seed
+//! harness ran every cell on one core. [`JobSet`] fans a set of named
+//! closures out over `std::thread::scope` workers (std only, no new
+//! dependencies) while keeping the three properties a reproducible
+//! artifact pipeline needs:
+//!
+//! 1. **Submission-order results.** `run` returns job results indexed by
+//!    submission order no matter which worker finished first, so a JSON
+//!    document assembled from them is **bit-identical at any worker
+//!    count** (pinned by `crates/bench/tests/parallel.rs`).
+//! 2. **Deterministic error precedence.** Every job runs to completion —
+//!    a failure never cancels in-flight or pending work mid-simulation —
+//!    and the error from the *lowest job index* wins, which is exactly
+//!    the error a serial run would have reported first.
+//! 3. **Panic containment.** A panicking job is caught at the job
+//!    boundary and surfaces as [`SimError::Panic`] carrying the job's
+//!    name; the pool is not poisoned and every other job still runs.
+//!
+//! The `Send` bounds this module leans on are audited at compile time in
+//! [`send_audit`]: programs, workloads, machines, observers and reports
+//! all cross (or are shared across) the worker threads.
+
+use fac_sim::SimError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: every hardware thread the host offers.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+/// One named unit of work.
+struct Job<'env, T> {
+    name: String,
+    work: Box<dyn FnOnce() -> Result<T, SimError> + Send + 'env>,
+}
+
+/// An ordered set of named jobs, executed across a scoped worker pool.
+///
+/// ```
+/// use fac_bench::par::JobSet;
+///
+/// let mut jobs = JobSet::new();
+/// for i in 0..8u64 {
+///     jobs.push(format!("square:{i}"), move || Ok(i * i));
+/// }
+/// let squares = jobs.run(4).unwrap();
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub struct JobSet<'env, T> {
+    jobs: Vec<Job<'env, T>>,
+}
+
+impl<'env, T: Send> Default for JobSet<'env, T> {
+    fn default() -> Self {
+        JobSet::new()
+    }
+}
+
+impl<'env, T: Send> JobSet<'env, T> {
+    /// An empty job set.
+    pub fn new() -> Self {
+        JobSet { jobs: Vec::new() }
+    }
+
+    /// Appends a job. The name identifies the job in panic reports.
+    pub fn push(
+        &mut self,
+        name: impl Into<String>,
+        work: impl FnOnce() -> Result<T, SimError> + Send + 'env,
+    ) {
+        self.jobs.push(Job { name: name.into(), work: Box::new(work) });
+    }
+
+    /// Moves every job of `other` to the back of this set, preserving
+    /// submission order (used to drain many experiments into one pool).
+    pub fn append(&mut self, mut other: JobSet<'env, T>) {
+        self.jobs.append(&mut other.jobs);
+    }
+
+    /// Number of jobs submitted so far.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when no job has been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every job across `workers` threads and returns the results in
+    /// submission order.
+    ///
+    /// All jobs run to completion even when one fails — a simulation is
+    /// never dropped mid-flight — and with `workers == 1` the jobs run on
+    /// the calling thread in submission order, byte-for-byte the old
+    /// serial harness.
+    ///
+    /// # Errors
+    ///
+    /// If any jobs failed, returns the error of the lowest-indexed one
+    /// (the same error a serial run reports first, whatever the worker
+    /// count or finish order). A panicking job yields [`SimError::Panic`].
+    pub fn run(self, workers: usize) -> Result<Vec<T>, SimError> {
+        let n = self.jobs.len();
+        let workers = workers.max(1).min(n.max(1));
+        let results = if workers == 1 {
+            self.jobs.into_iter().map(run_one).collect()
+        } else {
+            run_pooled(self.jobs, workers)
+        };
+        let mut out = Vec::with_capacity(n);
+        for result in results {
+            out.push(result?);
+        }
+        Ok(out)
+    }
+}
+
+/// Executes one job, converting a panic into a typed error.
+fn run_one<T>(job: Job<'_, T>) -> Result<T, SimError> {
+    let Job { name, work } = job;
+    catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Err(SimError::Panic { job: name, message })
+    })
+}
+
+/// The scoped worker pool: a shared claim cursor hands out jobs in index
+/// order; each worker writes its result into the slot matching the job's
+/// index, so collection order is submission order by construction.
+fn run_pooled<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize) -> Vec<Result<T, SimError>> {
+    let n = jobs.len();
+    let jobs: Vec<Mutex<Option<Job<'_, T>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<Result<T, SimError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Claim the job, run it unlocked (a slow simulation must
+                // never serialize the pool on a mutex), file the result
+                // under the job's own index.
+                let job = jobs[i].lock().expect("job slot").take().expect("unclaimed job");
+                let result = run_one(job);
+                *results[i].lock().expect("result slot") = Some(result);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot").expect("worker pool completed every job")
+        })
+        .collect()
+}
+
+/// Compile-time inventory of the `Send`/`Sync` bounds the harness relies
+/// on. Jobs *share* built programs and workload descriptors by reference
+/// (`Sync`) and *move* machines, reports and errors between threads
+/// (`Send`); an accidental `Rc` or thread-bound sink anywhere in those
+/// types would stop this module compiling rather than deadlocking a sweep.
+#[allow(dead_code)]
+mod send_audit {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    fn audit() {
+        // Shared across workers by reference.
+        assert_sync::<fac_asm::Program>();
+        assert_sync::<fac_workloads::Workload>();
+        assert_sync::<crate::Bench>();
+        // Created inside (or returned from) jobs and moved to the collector.
+        assert_send::<fac_sim::Machine>();
+        assert_send::<fac_sim::MachineConfig>();
+        assert_send::<fac_sim::SimReport>();
+        assert_send::<fac_sim::ProfileReport>();
+        assert_send::<fac_sim::SimError>();
+        assert_send::<fac_sim::obs::Json>();
+        // Observers ride along with observed runs (`Observer: Send` is a
+        // supertrait); the Recorder's JSONL sink is `Box<dyn Write + Send>`.
+        assert_send::<fac_sim::obs::NullObserver>();
+        assert_send::<fac_sim::obs::VecObserver>();
+        assert_send::<fac_sim::obs::Recorder>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fac_sim::obs::Json;
+    use std::sync::atomic::AtomicU64;
+
+    /// Results come back in submission order whatever the worker count,
+    /// even when later jobs finish first.
+    #[test]
+    fn results_follow_submission_order() {
+        for workers in [1, 2, 3, 8, 64] {
+            let mut jobs = JobSet::new();
+            for i in 0..37u64 {
+                jobs.push(format!("cell:{i}"), move || {
+                    // Early jobs sleep longest: finish order inverts
+                    // submission order under real parallelism.
+                    std::thread::sleep(std::time::Duration::from_micros(2 * (37 - i)));
+                    Ok(Json::U64(i))
+                });
+            }
+            let out = jobs.run(workers).unwrap();
+            let expect: Vec<Json> = (0..37).map(Json::U64).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    /// The lowest-indexed failure wins, not the first to finish — and
+    /// every other job still runs (nothing is dropped mid-simulation).
+    #[test]
+    fn lowest_index_error_wins_and_all_jobs_drain() {
+        for workers in [1, 2, 8] {
+            let ran = AtomicU64::new(0);
+            let mut jobs = JobSet::new();
+            for i in 0..16u64 {
+                let ran = &ran;
+                jobs.push(format!("job:{i}"), move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i == 3 || i == 11 {
+                        Err(SimError::Runaway(i))
+                    } else {
+                        Ok(i)
+                    }
+                });
+            }
+            let err = jobs.run(workers).unwrap_err();
+            assert_eq!(err, SimError::Runaway(3), "workers={workers}");
+            assert_eq!(ran.load(Ordering::Relaxed), 16, "workers={workers}: jobs were dropped");
+        }
+    }
+
+    /// A panicking job becomes a typed `SimError::Panic` naming the job;
+    /// the pool is not poisoned — the remaining jobs all complete.
+    #[test]
+    fn panic_surfaces_as_typed_error_not_poison() {
+        for workers in [1, 4] {
+            let ran = AtomicU64::new(0);
+            let mut jobs = JobSet::new();
+            for i in 0..8u64 {
+                let ran = &ran;
+                jobs.push(format!("job:{i}"), move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i == 2 {
+                        panic!("cell exploded");
+                    }
+                    Ok(i)
+                });
+            }
+            match jobs.run(workers) {
+                Err(SimError::Panic { job, message }) => {
+                    assert_eq!(job, "job:2");
+                    assert!(message.contains("cell exploded"), "got: {message}");
+                }
+                other => panic!("expected SimError::Panic, got {other:?}"),
+            }
+            assert_eq!(ran.load(Ordering::Relaxed), 8, "workers={workers}: pool was poisoned");
+        }
+    }
+
+    /// An erroring job beats a panicking one at a higher index, and vice
+    /// versa — precedence is by index, not failure kind.
+    #[test]
+    fn error_precedence_ignores_failure_kind() {
+        let mut jobs: JobSet<'_, u64> = JobSet::new();
+        jobs.push("ok", || Ok(0));
+        jobs.push("errs", || Err(SimError::Runaway(1)));
+        jobs.push("panics", || panic!("later panic"));
+        assert_eq!(jobs.run(8).unwrap_err(), SimError::Runaway(1));
+
+        let mut jobs: JobSet<'_, u64> = JobSet::new();
+        jobs.push("panics", || panic!("first panic"));
+        jobs.push("errs", || Err(SimError::Runaway(1)));
+        assert!(matches!(jobs.run(8).unwrap_err(), SimError::Panic { .. }));
+    }
+
+    /// Worker counts above the job count are harmless, as is an empty set.
+    #[test]
+    fn degenerate_shapes() {
+        let empty: JobSet<'_, u64> = JobSet::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.run(8).unwrap(), Vec::<u64>::new());
+
+        let mut one = JobSet::new();
+        one.push("only", || Ok(7u64));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.run(64).unwrap(), vec![7]);
+    }
+
+    /// `append` preserves submission order across merged sets.
+    #[test]
+    fn append_preserves_order() {
+        let mut a = JobSet::new();
+        a.push("a0", || Ok(0u64));
+        a.push("a1", || Ok(1u64));
+        let mut b = JobSet::new();
+        b.push("b0", || Ok(10u64));
+        a.append(b);
+        assert_eq!(a.run(2).unwrap(), vec![0, 1, 10]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Binary-level pins for the parallel experiment harness and the strict
+//! CLI: the sweeps must produce **byte-identical** stdout and JSON at any
+//! `--jobs` count, exported JSON must never contain non-finite float
+//! tokens, and a malformed command line must be rejected with a typed
+//! error before any simulation starts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_bin(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe).args(args).output().expect("spawn benchmark binary")
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fac-par-{}-{name}", std::process::id()))
+}
+
+fn assert_no_nonfinite_tokens(json: &str, what: &str) {
+    for token in ["NaN", "nan", "Infinity", "inf"] {
+        // Word-boundary scan: a token must not appear as a bare JSON value
+        // (descriptions legitimately contain words like "information").
+        for (i, _) in json.match_indices(token) {
+            let before = json[..i].chars().next_back().unwrap_or(' ');
+            let after = json[i + token.len()..].chars().next().unwrap_or(' ');
+            assert!(
+                before.is_ascii_alphanumeric() || after.is_ascii_alphanumeric(),
+                "{what} contains a bare non-finite token {token:?} at byte {i}"
+            );
+        }
+    }
+}
+
+/// The full smoke sweep is bit-identical between a serial run and a
+/// maximally parallel run — stdout and the exported JSON document both.
+#[test]
+fn all_experiments_output_is_jobs_invariant() {
+    let j1 = tmp_path("all-j1.json");
+    let j8 = tmp_path("all-j8.json");
+    let serial = run_bin(
+        env!("CARGO_BIN_EXE_all_experiments"),
+        &["--smoke", "--jobs", "1", "--json", j1.to_str().unwrap()],
+    );
+    assert!(serial.status.success(), "serial run failed: {serial:?}");
+    let parallel = run_bin(
+        env!("CARGO_BIN_EXE_all_experiments"),
+        &["--smoke", "--jobs", "8", "--json", j8.to_str().unwrap()],
+    );
+    assert!(parallel.status.success(), "parallel run failed: {parallel:?}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "stdout differs between --jobs 1 and --jobs 8"
+    );
+    let doc1 = std::fs::read(&j1).expect("serial JSON written");
+    let doc8 = std::fs::read(&j8).expect("parallel JSON written");
+    assert_eq!(doc1, doc8, "JSON artifact differs between --jobs 1 and --jobs 8");
+    assert_no_nonfinite_tokens(&String::from_utf8_lossy(&doc1), "all_experiments JSON");
+    let _ = std::fs::remove_file(j1);
+    let _ = std::fs::remove_file(j8);
+}
+
+/// The snapshot sweep (the committed BENCH artifact's generator) is also
+/// jobs-invariant.
+#[test]
+fn bench_snapshot_output_is_jobs_invariant() {
+    let j1 = tmp_path("snap-j1.json");
+    let j8 = tmp_path("snap-j8.json");
+    let serial = run_bin(
+        env!("CARGO_BIN_EXE_bench_snapshot"),
+        &["--smoke", "--jobs", "1", "--json", j1.to_str().unwrap()],
+    );
+    assert!(serial.status.success(), "serial run failed: {serial:?}");
+    let parallel = run_bin(
+        env!("CARGO_BIN_EXE_bench_snapshot"),
+        &["--smoke", "--jobs", "8", "--json", j8.to_str().unwrap()],
+    );
+    assert!(parallel.status.success(), "parallel run failed: {parallel:?}");
+
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "stdout differs between --jobs 1 and --jobs 8"
+    );
+    let doc1 = std::fs::read(&j1).expect("serial JSON written");
+    let doc8 = std::fs::read(&j8).expect("parallel JSON written");
+    assert_eq!(doc1, doc8, "JSON artifact differs between --jobs 1 and --jobs 8");
+    assert_no_nonfinite_tokens(&String::from_utf8_lossy(&doc1), "bench_snapshot JSON");
+    let _ = std::fs::remove_file(j1);
+    let _ = std::fs::remove_file(j8);
+}
+
+/// A typo'd flag exits nonzero naming the flag — before any simulation
+/// runs (the seed harness silently ignored it and ran the wrong sweep).
+#[test]
+fn unknown_flag_is_rejected_with_a_typed_error() {
+    let out = run_bin(env!("CARGO_BIN_EXE_all_experiments"), &["--smokee"]);
+    assert!(!out.status.success(), "typo'd flag must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--smokee"), "stderr must name the flag: {stderr}");
+    assert!(stderr.contains("unrecognized"), "stderr must say why: {stderr}");
+    assert!(out.stdout.is_empty(), "nothing may run before validation");
+}
+
+/// `--json` as the last argument is a missing value, not a silent no-op.
+#[test]
+fn missing_json_value_is_rejected() {
+    let out = run_bin(env!("CARGO_BIN_EXE_all_experiments"), &["--smoke", "--json"]);
+    assert!(!out.status.success(), "--json with no value must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--json") && stderr.contains("value"), "got: {stderr}");
+    assert!(out.stdout.is_empty(), "nothing may run before validation");
+}
+
+/// `--jobs 0` and a non-numeric count are configuration errors.
+#[test]
+fn bad_jobs_count_is_rejected() {
+    for bad in ["0", "many"] {
+        let out = run_bin(env!("CARGO_BIN_EXE_all_experiments"), &["--smoke", "--jobs", bad]);
+        assert!(!out.status.success(), "--jobs {bad} must exit nonzero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--jobs"), "stderr must name the flag: {stderr}");
+        assert!(out.stdout.is_empty(), "nothing may run before validation");
+    }
+}
+
+/// The strict parser also guards the non-experiment CLIs.
+#[test]
+fn run_workload_rejects_unknown_flags() {
+    let out = run_bin(env!("CARGO_BIN_EXE_run_workload"), &["compress", "--facc"]);
+    assert!(!out.status.success(), "typo'd flag must exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--facc"), "stderr must name the flag: {stderr}");
+}

@@ -38,6 +38,30 @@ pub enum ConfigError {
     FaultPlanWithoutFac,
     /// An LTB was requested with zero entries.
     EmptyLtb,
+    /// A command-line flag no binary flag table recognizes. Produced by
+    /// the strict argv validation in `fac-bench` — a typo like `--smokee`
+    /// must not silently fall through to a Paper-scale sweep.
+    UnknownFlag {
+        /// The offending argument, verbatim.
+        flag: String,
+        /// The flags the binary does accept, for the error message.
+        expected: String,
+    },
+    /// A flag that requires a value was the last argument (or its value
+    /// slot held another flag).
+    MissingFlagValue {
+        /// The flag missing its value.
+        flag: String,
+    },
+    /// A flag value that did not parse (e.g. `--jobs zero`).
+    BadFlagValue {
+        /// The flag.
+        flag: String,
+        /// The unparseable value, verbatim.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -57,6 +81,15 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "a fault plan needs fast address calculation enabled (no circuit to corrupt)")
             }
             ConfigError::EmptyLtb => write!(f, "ltb_entries must be nonzero when the LTB is enabled"),
+            ConfigError::UnknownFlag { flag, expected } => {
+                write!(f, "unrecognized flag '{flag}' (accepted: {expected})")
+            }
+            ConfigError::MissingFlagValue { flag } => {
+                write!(f, "flag '{flag}' requires a value")
+            }
+            ConfigError::BadFlagValue { flag, value, expected } => {
+                write!(f, "bad value '{value}' for flag '{flag}' (expected {expected})")
+            }
         }
     }
 }

@@ -49,6 +49,15 @@ pub enum SimError {
         /// The underlying I/O error, rendered.
         message: String,
     },
+    /// A benchmark job panicked. The parallel harness in `fac-bench`
+    /// catches the unwind at the job boundary so one bad cell surfaces as
+    /// a typed error instead of poisoning the worker pool.
+    Panic {
+        /// The name of the job that panicked.
+        job: String,
+        /// The rendered panic payload.
+        message: String,
+    },
 }
 
 impl SimError {
@@ -66,6 +75,7 @@ impl std::fmt::Display for SimError {
             SimError::InvalidConfig(e) => write!(f, "invalid machine configuration: {e}"),
             SimError::Invariant(v) => write!(f, "timing invariant violated: {v}"),
             SimError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
+            SimError::Panic { job, message } => write!(f, "job '{job}' panicked: {message}"),
         }
     }
 }

@@ -209,7 +209,12 @@ impl Event {
 /// Implementations must be side-effect-only: the timing model behaves
 /// identically whatever the observer does (the disabled-observer test in
 /// `crates/sim/tests/obs.rs` pins this down).
-pub trait Observer {
+///
+/// `Send` is a supertrait so an observed run can move across the
+/// `fac-bench` parallel job harness like an unobserved one — an observer
+/// holding a thread-bound sink would otherwise quietly serialize every
+/// sweep that wants events.
+pub trait Observer: Send {
     /// `false` lets emission sites skip even constructing the [`Event`];
     /// the default is enabled.
     #[inline]
@@ -292,7 +297,7 @@ impl<W: Write> JsonlWriter<W> {
     }
 }
 
-impl<W: Write> Observer for JsonlWriter<W> {
+impl<W: Write + Send> Observer for JsonlWriter<W> {
     fn on_event(&mut self, event: &Event) {
         if self.error.is_some() {
             return;

@@ -9,7 +9,8 @@
 //! Numbers are kept in three exact lanes — `U64`, `I64`, `F64` — so counter
 //! values survive a round trip bit-for-bit instead of being squeezed
 //! through a double. Non-finite floats (which JSON cannot represent) are
-//! written as `0.0`, keeping every emitted document valid.
+//! written as `null`: an absent measurement, not a fabricated `0.0` that
+//! would silently mask a bad-rate bug in whatever produced it.
 
 use std::fmt::Write as _;
 
@@ -24,7 +25,8 @@ pub enum Json {
     U64(u64),
     /// A negative integer (signed lane; exact).
     I64(i64),
-    /// A floating-point number. Non-finite values serialize as `0.0`.
+    /// A floating-point number. Non-finite values serialize as `null`
+    /// (and [`Json::as_f64`] refuses to read them back as numbers).
     F64(f64),
     /// A string.
     Str(String),
@@ -58,6 +60,16 @@ impl Json {
         }
     }
 
+    /// Removes a key from an object and returns its value.
+    pub fn take(&mut self, key: &str) -> Option<Json> {
+        match self {
+            Json::Obj(fields) => {
+                fields.iter().position(|(k, _)| k == key).map(|i| fields.remove(i).1)
+            }
+            _ => None,
+        }
+    }
+
     /// The value as a u64 if it is an exact non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match *self {
@@ -67,12 +79,13 @@ impl Json {
         }
     }
 
-    /// The value as an f64 (any numeric lane).
+    /// The value as an f64 (any numeric lane). Non-finite `F64`s read as
+    /// `None`, matching their `null` serialization.
     pub fn as_f64(&self) -> Option<f64> {
         match *self {
             Json::U64(v) => Some(v as f64),
             Json::I64(v) => Some(v as f64),
-            Json::F64(v) => Some(v),
+            Json::F64(v) if v.is_finite() => Some(v),
             _ => None,
         }
     }
@@ -170,7 +183,7 @@ fn write_seq(
 
 fn write_f64(out: &mut String, v: f64) {
     if !v.is_finite() {
-        out.push_str("0.0");
+        out.push_str("null");
         return;
     }
     // `{:?}` is Rust's shortest round-trip representation; guarantee a
@@ -492,12 +505,30 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_floats_stay_valid_json() {
-        assert_eq!(Json::F64(f64::NAN).to_string(), "0.0");
-        assert_eq!(Json::F64(f64::INFINITY).to_string(), "0.0");
+    fn non_finite_floats_serialize_as_null() {
+        // Not `0.0`: a fabricated zero silently masks a bad-rate bug; an
+        // absent value is honest and still valid JSON.
+        assert_eq!(Json::F64(f64::NAN).to_string(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::F64(f64::NEG_INFINITY).to_string(), "null");
+        // The reader agrees: non-finite values are not numbers.
+        assert_eq!(Json::F64(f64::NAN).as_f64(), None);
+        assert_eq!(Json::F64(f64::INFINITY).as_f64(), None);
+        assert_eq!(Json::F64(1.5).as_f64(), Some(1.5));
         // And whole floats keep their decimal point.
         assert_eq!(Json::F64(3.0).to_string(), "3.0");
         assert_eq!(parse("3.0").unwrap(), Json::F64(3.0));
+    }
+
+    #[test]
+    fn take_removes_object_fields() {
+        let mut doc = Json::obj();
+        doc.set("a", Json::U64(1));
+        doc.set("b", Json::U64(2));
+        assert_eq!(doc.take("a"), Some(Json::U64(1)));
+        assert_eq!(doc.take("a"), None);
+        assert_eq!(doc.to_string(), r#"{"b":2}"#);
+        assert_eq!(Json::U64(3).take("a"), None);
     }
 
     #[test]

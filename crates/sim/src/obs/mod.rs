@@ -63,7 +63,7 @@ pub struct Recorder {
     pub attribution: PcAttribution,
     /// Interval time series, when sampling was requested.
     pub sampler: Option<IntervalSampler>,
-    sink: Option<JsonlWriter<Box<dyn Write>>>,
+    sink: Option<JsonlWriter<Box<dyn Write + Send>>>,
     /// Total events observed (whether or not a sink is attached).
     pub events_seen: u64,
 }
@@ -81,7 +81,7 @@ impl Recorder {
     }
 
     /// Streams events as JSONL into `sink`.
-    pub fn with_sink(mut self, sink: Box<dyn Write>) -> Recorder {
+    pub fn with_sink(mut self, sink: Box<dyn Write + Send>) -> Recorder {
         self.sink = Some(JsonlWriter::new(sink));
         self
     }
