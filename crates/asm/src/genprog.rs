@@ -1,0 +1,413 @@
+//! Deterministic random program generation for the differential fuzzer.
+//!
+//! [`fuzz_source`] turns a 64-bit seed into a random-but-valid `.fasm`
+//! source listing (the [`crate::assemble`] syntax) built to stress the four
+//! failure classes of the paper's fast-address-calculation circuit:
+//!
+//! 1. **block-boundary straddles** — constant offsets just around a 32-byte
+//!    block edge, where the block-offset adder's carry-out matters;
+//! 2. **set-index carries** — offsets large enough that the carry-free OR
+//!    composition of the set index is wrong;
+//! 3. **large negative constants** — offsets beyond the one-set
+//!    wrap-around the inverted-index trick can absorb;
+//! 4. **negative register offsets** — register+register addressing with
+//!    negative index values, which the circuit must always replay;
+//!
+//! plus mixed stack/global/far-region alignment (the `.gparray`/`.fararray`
+//! `align` argument) and post-increment drift. The program shape guarantees
+//! termination: the only backward edge is a counted loop whose counter no
+//! body instruction may touch, so a differential run needs no generous
+//! watchdog budget.
+//!
+//! Generation is a pure function of the seed — same seed, byte-identical
+//! source, at any time, on any host (pinned by `fac-bench`'s determinism
+//! tests). One statement per line, labels on their own lines, so the
+//! failure shrinker can delete lines without breaking branch targets.
+
+use fac_core::rng::SplitMix64;
+use fac_isa::{
+    AddrMode, AluImmOp, AluOp, FpFmt, FpOp, Insn, LoadOp, MulDivOp, Reg, ShiftOp, StoreOp,
+};
+use std::fmt::Write as _;
+
+/// Registers the generator may overwrite inside the loop body.
+const SCRATCH: [Reg; 14] = [
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::T3,
+    Reg::T4,
+    Reg::T5,
+    Reg::T6,
+    Reg::T7,
+    Reg::V0,
+    Reg::V1,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+];
+
+/// Stable base registers (set up in the prologue, read-only in the body).
+const BASES: [Reg; 5] = [Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S5];
+
+/// Constant offsets biased at the four FAC failure classes (32-byte blocks,
+/// 9 index bits at the paper geometry), plus benign in-block offsets so
+/// correct speculations occur too.
+const OFFSETS: [i16; 28] = [
+    // benign in-block
+    0, 4, 8, 12, 24, // block-boundary straddles
+    28, 29, 30, 31, 32, 33, 36, 60, 63, 64, 65, // set-index carries
+    480, 992, 4064, 8160, 16352, // negative, small through large
+    -1, -4, -28, -33, -4097, -16384, -32768,
+];
+
+/// Values the index registers cycle through (negative register offsets are
+/// failure class 4).
+const INDEX_VALUES: [i32; 10] = [0, 4, 8, 16, 28, 60, -4, -12, -32, -128];
+
+/// Post-increment steps (negative = post-decrement).
+const STEPS: [i16; 6] = [4, 8, 16, 32, -4, -8];
+
+/// Immediates for ALU-immediate instructions.
+const IMMS: [i16; 12] = [0, 1, 3, 7, 31, 32, 255, 4095, -1, -2, -31, -256];
+
+struct Gen {
+    rng: SplitMix64,
+    out: String,
+    /// Forward-branch labels not yet placed: `(name, statements_left)`.
+    pending: Vec<(String, u32)>,
+    next_label: u32,
+}
+
+impl Gen {
+    fn line(&mut self, text: impl AsRef<str>) {
+        self.out.push_str("    ");
+        self.out.push_str(text.as_ref());
+        self.out.push('\n');
+    }
+
+    fn insn(&mut self, insn: Insn) {
+        self.line(insn.to_string());
+    }
+
+    fn label_line(&mut self, name: &str) {
+        let _ = writeln!(self.out, "{name}:");
+    }
+
+    fn scratch(&mut self) -> Reg {
+        *self.rng.pick(&SCRATCH)
+    }
+
+    fn base(&mut self) -> Reg {
+        *self.rng.pick(&BASES)
+    }
+
+    fn offset(&mut self) -> i16 {
+        *self.rng.pick(&OFFSETS)
+    }
+
+    /// A random addressing mode over the stable bases, the drifting
+    /// post-increment base `$s4`, or an index register.
+    fn ea(&mut self) -> AddrMode {
+        match self.rng.below(8) {
+            0 => AddrMode::BaseIndex {
+                base: self.base(),
+                index: *self.rng.pick(&[Reg::T8, Reg::T9]),
+            },
+            1 => AddrMode::PostInc { base: Reg::S4, step: *self.rng.pick(&STEPS) },
+            _ => AddrMode::BaseDisp { base: self.base(), disp: self.offset() },
+        }
+    }
+
+    /// Emits one random body statement (and places any due forward label).
+    fn body_statement(&mut self) {
+        for slot in &mut self.pending {
+            slot.1 = slot.1.saturating_sub(1);
+        }
+        while let Some(pos) = self.pending.iter().position(|(_, left)| *left == 0) {
+            let (name, _) = self.pending.remove(pos);
+            self.label_line(&name);
+        }
+
+        match self.rng.below(20) {
+            // Loads: the instructions under test.
+            0..=4 => {
+                let op = *self.rng.pick(&[
+                    LoadOp::Lw,
+                    LoadOp::Lw,
+                    LoadOp::Lw,
+                    LoadOp::Lh,
+                    LoadOp::Lhu,
+                    LoadOp::Lb,
+                    LoadOp::Lbu,
+                ]);
+                let insn = Insn::Load { op, rt: self.scratch(), ea: self.ea() };
+                self.insn(insn);
+            }
+            // Stores.
+            5..=7 => {
+                let op = *self.rng.pick(&[StoreOp::Sw, StoreOp::Sw, StoreOp::Sh, StoreOp::Sb]);
+                let insn = Insn::Store { op, rt: self.scratch(), ea: self.ea() };
+                self.insn(insn);
+            }
+            // Re-aim an index register (negative values are failure class 4).
+            8 => {
+                let rt = *self.rng.pick(&[Reg::T8, Reg::T9]);
+                let v = *self.rng.pick(&INDEX_VALUES);
+                self.line(format!("li      {rt}, {v}"));
+            }
+            // Three-register ALU.
+            9..=11 => {
+                let op = *self.rng.pick(&[
+                    AluOp::Addu,
+                    AluOp::Subu,
+                    AluOp::And,
+                    AluOp::Or,
+                    AluOp::Xor,
+                    AluOp::Nor,
+                    AluOp::Slt,
+                    AluOp::Sltu,
+                    AluOp::Sllv,
+                    AluOp::Srlv,
+                    AluOp::Srav,
+                ]);
+                let insn =
+                    Insn::Alu { op, rd: self.scratch(), rs: self.scratch(), rt: self.scratch() };
+                self.insn(insn);
+            }
+            // Immediate ALU.
+            12..=13 => {
+                let op = *self.rng.pick(&[
+                    AluImmOp::Addiu,
+                    AluImmOp::Addiu,
+                    AluImmOp::Andi,
+                    AluImmOp::Ori,
+                    AluImmOp::Xori,
+                    AluImmOp::Slti,
+                    AluImmOp::Sltiu,
+                ]);
+                let insn = Insn::AluImm {
+                    op,
+                    rt: self.scratch(),
+                    rs: self.scratch(),
+                    imm: *self.rng.pick(&IMMS),
+                };
+                self.insn(insn);
+            }
+            // Constant shifts.
+            14 => {
+                let op = *self.rng.pick(&[ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra]);
+                let insn = Insn::Shift {
+                    op,
+                    rd: self.scratch(),
+                    rt: self.scratch(),
+                    shamt: self.rng.below(32) as u8,
+                };
+                self.insn(insn);
+            }
+            // Multiply/divide and HI/LO reads.
+            15 => {
+                let op = *self.rng.pick(&[
+                    MulDivOp::Mult,
+                    MulDivOp::Multu,
+                    MulDivOp::Div,
+                    MulDivOp::Divu,
+                ]);
+                let (rs, rt) = (self.scratch(), self.scratch());
+                self.insn(Insn::MulDiv { op, rs, rt });
+                let rd = self.scratch();
+                self.insn(Insn::Mflo { rd });
+                let rd = self.scratch();
+                self.insn(Insn::Mfhi { rd });
+            }
+            // FP traffic (doubles and singles over the fp scratch file).
+            16..=17 => {
+                let fd = fac_isa::FReg::new(2 * (1 + self.rng.below(4) as u8));
+                let fs = fac_isa::FReg::new(2 * (1 + self.rng.below(4) as u8));
+                let ft = fac_isa::FReg::new(2 * (1 + self.rng.below(4) as u8));
+                match self.rng.below(4) {
+                    0 => {
+                        let ea = self.ea();
+                        self.insn(Insn::LoadFp { fmt: FpFmt::D, ft: fd, ea });
+                    }
+                    1 => {
+                        let ea = self.ea();
+                        self.insn(Insn::StoreFp { fmt: FpFmt::D, ft: fd, ea });
+                    }
+                    _ => {
+                        let op = *self.rng.pick(&[
+                            FpOp::Add,
+                            FpOp::Sub,
+                            FpOp::Mul,
+                            FpOp::Mov,
+                            FpOp::Neg,
+                            FpOp::Abs,
+                        ]);
+                        self.insn(Insn::Fp { op, fmt: FpFmt::D, fd, fs, ft });
+                    }
+                }
+            }
+            // A forward skip branch over the next few statements.
+            18 => {
+                let name = format!("skip{}", self.next_label);
+                self.next_label += 1;
+                let (a, b) = (self.scratch(), self.scratch());
+                let cond = self.rng.below(4);
+                match cond {
+                    0 => self.line(format!("beq     {a}, {b}, {name}")),
+                    1 => self.line(format!("bne     {a}, {b}, {name}")),
+                    2 => self.line(format!("bgtz    {a}, {name}")),
+                    _ => self.line(format!("blez    {a}, {name}")),
+                }
+                let distance = 1 + self.rng.below(4) as u32;
+                self.pending.push((name, distance));
+            }
+            // Register moves through the FP file.
+            _ => {
+                let f = fac_isa::FReg::new(2 * (1 + self.rng.below(4) as u8));
+                let r = self.scratch();
+                if self.rng.chance(1, 2) {
+                    self.insn(Insn::Mtc1 { rt: r, fs: f });
+                    self.insn(Insn::CvtFromW { fmt: FpFmt::D, fd: f, fs: f });
+                } else {
+                    self.insn(Insn::Mfc1 { rt: r, fs: f });
+                }
+            }
+        }
+    }
+}
+
+/// Generates the `.fasm` source of one fuzz program from its seed.
+///
+/// The result always assembles, always halts (a counted loop is the only
+/// backward edge) and leaves a fold of every scratch register at the
+/// `checksum` global.
+///
+/// ```
+/// use fac_asm::{assemble_and_link, fuzz_source, SoftwareSupport};
+///
+/// let src = fuzz_source(42);
+/// assert_eq!(src, fuzz_source(42)); // pure function of the seed
+/// let program = assemble_and_link(&src, "fuzz42", &SoftwareSupport::on()).unwrap();
+/// assert!(program.text.len() > 10);
+/// ```
+pub fn fuzz_source(seed: u64) -> String {
+    let mut g = Gen {
+        rng: SplitMix64::new(seed ^ 0xfacf_0022_9e1d_0bad),
+        out: String::new(),
+        pending: Vec::new(),
+        next_label: 0,
+    };
+    let _ = writeln!(g.out, "; fuzz program, seed {seed}");
+    let _ = writeln!(g.out, "; generated by fac_asm::fuzz_source — do not edit");
+
+    // Data regions with deliberately mixed alignment (32/8/4-byte, plus an
+    // odd base offset below) and an initialized table so loads see nonzero
+    // bytes.
+    g.out.push_str(".gpword   checksum 0\n");
+    g.out.push_str(".gparray  glob_a 512 32\n");
+    g.out.push_str(".gparray  glob_b 384 4\n");
+    g.out.push_str(".fararray heap_a 8192 32\n");
+    g.out.push_str(".fararray heap_b 1024 8\n");
+    let mut words = String::from(".farwords lut");
+    let mut wrng = SplitMix64::new(seed ^ 0x1f70_c0de_0000_00f1);
+    for _ in 0..32 {
+        let _ = write!(words, " {}", wrng.next_u64() as u32);
+    }
+    g.out.push_str(&words);
+    g.out.push('\n');
+    g.label_line("start");
+
+    // Stable bases: two globals, one far region, the stack, the table.
+    let in_region = |g: &mut Gen, size: u32| g.rng.below(u64::from(size)) as u32 & !3;
+    let off_a = in_region(&mut g, 256);
+    let off_b = in_region(&mut g, 256) + 1; // odd base: worst-case alignment
+    let off_h = in_region(&mut g, 4096);
+    g.line(format!("la      $s0, glob_a+{off_a}"));
+    g.line(format!("la      $s1, glob_b+{off_b}"));
+    g.line(format!("la      $s2, heap_a+{off_h}"));
+    g.line("addiu   $s3, $sp, -256");
+    g.line("la      $s5, lut");
+    // The drifting post-increment base.
+    g.line("la      $s4, heap_b+512");
+    // Seed the scratch registers with interesting values.
+    for (i, r) in SCRATCH.iter().enumerate() {
+        let v = match g.rng.below(4) {
+            0 => g.rng.next_u64() as u32 as i32,
+            1 => *g.rng.pick(&INDEX_VALUES),
+            2 => (g.rng.below(65536) as i32) - 32768,
+            _ => i as i32,
+        };
+        g.line(format!("li      {r}, {v}"));
+    }
+    g.line("li      $t8, 8");
+    g.line("li      $t9, -16");
+
+    // The counted loop: `$s7` belongs to the loop alone.
+    let iters = 4 + g.rng.below(12);
+    g.line(format!("li      $s7, {iters}"));
+    g.label_line("loop");
+    let body = 20 + g.rng.below(40);
+    for _ in 0..body {
+        g.body_statement();
+    }
+    // Flush any forward labels still pending before the loop tail.
+    let pending: Vec<(String, u32)> = g.pending.drain(..).collect();
+    for (name, _) in pending {
+        g.label_line(&name);
+    }
+    g.line("addiu   $s7, $s7, -1");
+    g.line("bgtz    $s7, loop");
+
+    // Fold every scratch register (and the drift base) into the checksum.
+    g.label_line("done");
+    g.line("xor     $v0, $t0, $t1");
+    for r in ["$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8", "$t9", "$v1", "$a0", "$a1",
+        "$a2", "$a3", "$s4", "$s6"]
+    {
+        g.line(format!("xor     $v0, $v0, {r}"));
+    }
+    g.line("mfc1    $v1, $f6");
+    g.line("xor     $v0, $v0, $v1");
+    g.line("sw      $v0, checksum($gp)");
+    g.line("halt");
+    g.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{assemble_and_link, SoftwareSupport};
+
+    #[test]
+    fn same_seed_same_source() {
+        for seed in [0u64, 1, 42, 0xdead_beef] {
+            assert_eq!(fuzz_source(seed), fuzz_source(seed));
+        }
+        assert_ne!(fuzz_source(1), fuzz_source(2));
+    }
+
+    #[test]
+    fn every_early_seed_assembles_and_links() {
+        for seed in 0..64u64 {
+            let src = fuzz_source(seed);
+            for sw in [SoftwareSupport::on(), SoftwareSupport::off()] {
+                assemble_and_link(&src, &format!("fuzz{seed}"), &sw)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_stress_every_failure_class() {
+        // Across a handful of seeds the generator must emit block-straddling
+        // offsets, carry-provoking offsets, large negative constants and
+        // negative index values.
+        let all: String = (0..16).map(fuzz_source).collect();
+        assert!(OFFSETS.iter().any(|o| (28..=33).contains(o)));
+        for marker in ["31(", "4064(", "-16384(", "li      $t9, -16"] {
+            assert!(all.contains(marker), "no `{marker}` in 16 seeds");
+        }
+    }
+}

@@ -36,6 +36,7 @@
 
 mod asm;
 mod frame;
+mod genprog;
 mod program;
 mod source;
 mod support;
@@ -44,6 +45,7 @@ pub use asm::{
     Asm, LinkError, HEAP_BASE, HEAP_PTR_SYMBOL, STACK_TOP_ALIGNED, STACK_TOP_STOCK, TEXT_BASE,
 };
 pub use frame::{Frame, FrameBuilder};
+pub use genprog::fuzz_source;
 pub use source::{assemble, assemble_and_link, AssembleError};
 pub use program::{DataBlob, Program};
 pub use support::{round_up, SoftwareSupport};

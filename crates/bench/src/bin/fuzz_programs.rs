@@ -1,0 +1,153 @@
+//! CLI: the differential fuzzing campaign.
+//!
+//! ```sh
+//! # 1000 random programs through the lockstep oracle, all fault plans:
+//! cargo run --release -p fac-bench --bin fuzz_programs -- --seeds 1000
+//!
+//! # Self-test: arm the escaped-speculation saboteur; the campaign must
+//! # diverge, and each divergence is shrunk to a minimal repro:
+//! cargo run --release -p fac-bench --bin fuzz_programs -- \
+//!     --seeds 10 --escape silent-wrong --repro-dir repros/
+//! ```
+//!
+//! Exit status: nonzero when the campaign found a failure (normal mode) or
+//! when no seed diverged at all (escape mode — an oracle that cannot see
+//! the saboteur is broken). The `--json` artifact is byte-identical at any
+//! `--jobs` count.
+
+use fac_bench::fuzz::{run_campaign, CampaignConfig};
+use fac_bench::Args;
+use fac_core::FaultPlan;
+use fac_sim::SimError;
+
+fn usage() -> ! {
+    eprintln!("usage: fuzz_programs [--seeds N] [--start N] [--jobs N] [--json <path|->]");
+    eprintln!("       [--max-steps N] [--repro-dir <dir>] [--escape <plan>]");
+    eprintln!("fault plans: always-wrong, random-flip[:per1024], flip-index-bit:<bit>,");
+    eprintln!("             suppress-signals, silent-wrong  (each optionally @<seed>)");
+    std::process::exit(2);
+}
+
+const BOOL_FLAGS: &[&str] = &[];
+const VALUE_FLAGS: &[&str] =
+    &["--seeds", "--start", "--jobs", "--json", "--max-steps", "--repro-dir", "--escape"];
+
+fn or_usage<T>(result: Result<T, SimError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+/// Turns a config label into a filename fragment (`fac+flip-index-bit:3`
+/// becomes `fac+flip-index-bit-3`).
+fn sanitize(label: &str) -> String {
+    label.chars().map(|c| if c == ':' || c == '@' || c == '/' { '-' } else { c }).collect()
+}
+
+fn main() -> std::process::ExitCode {
+    let args = or_usage(Args::parse(BOOL_FLAGS, VALUE_FLAGS));
+    if !args.positionals().is_empty() {
+        usage();
+    }
+    let mut cc = CampaignConfig::default();
+    if let Some(n) = or_usage(args.parse_value::<u64>("--seeds", "a seed count")) {
+        cc.count = n;
+    }
+    if let Some(n) = or_usage(args.parse_value::<u64>("--start", "a first seed")) {
+        cc.start = n;
+    }
+    if let Some(n) = or_usage(args.parse_value::<u64>("--max-steps", "an instruction budget")) {
+        cc.max_steps = n;
+    }
+    if let Some(spec) = args.value("--escape") {
+        match FaultPlan::parse(spec) {
+            Ok(plan) => cc.escape = Some(plan),
+            Err(e) => {
+                eprintln!("--escape: {e}");
+                return std::process::ExitCode::from(2);
+            }
+        }
+    }
+    let jobs = or_usage(args.jobs());
+    let json_path = args.value("--json").map(String::from);
+    let repro_dir = args.value("--repro-dir").map(String::from);
+    // `--json -` keeps stdout pure JSON.
+    let human = json_path.as_deref() != Some("-");
+
+    let report = match run_campaign(&cc, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+
+    let failures: Vec<_> = report.failures().collect();
+    let clean: Vec<u64> = report.clean_seeds().collect();
+    if human {
+        let mode = match cc.escape {
+            Some(plan) => format!("escape self-test ({plan})"),
+            None => "differential".to_string(),
+        };
+        println!(
+            "fuzz: {} {} programs (seeds {}..{}), {} failures",
+            cc.count,
+            mode,
+            cc.start,
+            cc.start + cc.count,
+            failures.len()
+        );
+        for (seed, f) in &failures {
+            println!(
+                "  seed {seed} [{}]: {} (shrunk {} -> {} lines)",
+                f.config, f.error, f.original_lines, f.shrunk_lines
+            );
+        }
+    }
+
+    if let Some(dir) = &repro_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: {}", SimError::io(dir, e));
+            return std::process::ExitCode::FAILURE;
+        }
+        for (seed, f) in &failures {
+            let path = format!("{dir}/seed{seed:06}-{}.fasm", sanitize(&f.config));
+            if let Err(e) = std::fs::write(&path, &f.shrunk) {
+                eprintln!("error: {}", SimError::io(&path, e));
+                return std::process::ExitCode::FAILURE;
+            }
+            if human {
+                println!("  wrote {path}");
+            }
+        }
+    }
+
+    if let Some(path) = &json_path {
+        if let Err(e) = fac_bench::write_json(path, &report.to_json()) {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+
+    let bad = if cc.escape.is_some() {
+        // Self-test: the campaign must catch the saboteur. Individual
+        // seeds may legitimately stay clean (the wrongly-read location can
+        // coincidentally hold the right value), but a campaign with zero
+        // divergences means the oracle is blind.
+        if !clean.is_empty() && human {
+            println!("  no divergence for seeds: {clean:?}");
+        }
+        failures.is_empty()
+    } else {
+        !failures.is_empty()
+    };
+    if bad {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
+}

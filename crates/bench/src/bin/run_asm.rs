@@ -2,18 +2,28 @@
 //!
 //! ```sh
 //! cargo run --release -p fac-bench --bin run_asm -- examples/programs/dotprod.s --fac
+//! # Verify the run against the golden reference interpreter:
+//! cargo run --release -p fac-bench --bin run_asm -- repro.fasm --fac --oracle
 //! ```
+//!
+//! `--oracle` runs the program in lockstep with the golden reference and
+//! fails with a typed divergence on the first architectural mismatch;
+//! `--max-steps N` bounds the instruction budget of both executors.
 
 use fac_asm::{assemble_and_link, SoftwareSupport};
-use fac_sim::{render_diagram, Machine, MachineConfig};
+use fac_sim::{render_diagram, Lockstep, Machine, MachineConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: run_asm <file.s> [--fac] [--no-sw] [--trace] [--disasm]");
+    eprintln!("usage: run_asm <file.s> [--fac] [--no-sw] [--trace] [--disasm] [--oracle]");
+    eprintln!("       [--max-steps N]");
     std::process::exit(2);
 }
 
 fn main() {
-    let args = match fac_bench::Args::parse(&["--fac", "--no-sw", "--trace", "--disasm"], &[]) {
+    let args = match fac_bench::Args::parse(
+        &["--fac", "--no-sw", "--trace", "--disasm", "--oracle"],
+        &["--max-steps"],
+    ) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -47,8 +57,17 @@ fn main() {
     if flag("--fac") {
         cfg = cfg.with_fac();
     }
-    let machine = Machine::new(cfg).with_max_insts(1_000_000_000);
-    let outcome = if flag("--trace") {
+    let max_steps = match args.parse_value::<u64>("--max-steps", "an instruction budget") {
+        Ok(v) => v.unwrap_or(1_000_000_000),
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+    let machine = Machine::new(cfg).with_max_insts(max_steps);
+    let outcome = if flag("--oracle") {
+        Lockstep::new(cfg).with_max_insts(max_steps).run(&program)
+    } else if flag("--trace") {
         machine.run_traced(&program).map(|(report, trace)| {
             println!("{}", render_diagram(&trace[trace.len().saturating_sub(24)..]));
             report
@@ -57,7 +76,12 @@ fn main() {
         machine.run(&program)
     };
     match outcome {
-        Ok(report) => print_summary(&report),
+        Ok(report) => {
+            print_summary(&report);
+            if flag("--oracle") {
+                println!("  oracle: every retired instruction matched the golden reference");
+            }
+        }
         Err(e) => {
             eprintln!("error: {path}: {e}");
             std::process::exit(1);

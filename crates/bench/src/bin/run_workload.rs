@@ -13,17 +13,23 @@
 //! `--events <path>` streams the cycle-stamped event log as JSON Lines;
 //! `--top-sites N` sizes the per-PC replay attribution table; `--sample K`
 //! sets the interval-sampler window (cycles, default 10000).
+//!
+//! `--oracle` runs the whole simulation in lockstep with the golden
+//! reference interpreter and fails with a typed divergence error on the
+//! first architectural mismatch; `--max-steps N` bounds the instruction
+//! budget of both executors (the watchdog reports a runaway instead of
+//! hanging).
 
 use fac_asm::SoftwareSupport;
 use fac_core::{FailureCause, FaultPlan, PredictorConfig};
 use fac_sim::obs::{Json, MetricsRegistry, Recorder, RegisterMetrics as _};
-use fac_sim::{Machine, MachineConfig, RefClass, SimError, SimReport};
+use fac_sim::{Lockstep, Machine, MachineConfig, RefClass, SimError, SimReport};
 use fac_workloads::{find, Scale, Workload};
 
 fn usage() -> ! {
     eprintln!("usage: run_workload <name> [--fac] [--ltb N] [--agi] [--sw] [--smoke]");
     eprintln!("       [--block N] [--no-rr] [--no-store-spec] [--one-cycle] [--perfect]");
-    eprintln!("       [--fault-plan <plan>] [--checks]");
+    eprintln!("       [--fault-plan <plan>] [--checks] [--oracle] [--max-steps N]");
     eprintln!("       [--json <path|->] [--events <path>] [--top-sites N] [--sample K]");
     eprintln!("fault plans: always-wrong, random-flip[:per1024], flip-index-bit:<bit>,");
     eprintln!("             suppress-signals, silent-wrong  (each optionally @<seed>)");
@@ -37,11 +43,13 @@ fn usage() -> ! {
 /// Boolean flags this binary accepts.
 const BOOL_FLAGS: &[&str] = &[
     "--fac", "--agi", "--sw", "--smoke", "--no-rr", "--no-store-spec", "--one-cycle",
-    "--perfect", "--checks",
+    "--perfect", "--checks", "--oracle",
 ];
 /// Value-taking flags this binary accepts.
-const VALUE_FLAGS: &[&str] =
-    &["--ltb", "--block", "--fault-plan", "--json", "--events", "--top-sites", "--sample"];
+const VALUE_FLAGS: &[&str] = &[
+    "--ltb", "--block", "--fault-plan", "--json", "--events", "--top-sites", "--sample",
+    "--max-steps",
+];
 
 /// Unwraps a parse result or exits with the typed error and the usage.
 fn or_usage<T>(result: Result<T, SimError>) -> T {
@@ -112,8 +120,17 @@ fn main() -> std::process::ExitCode {
     // `--json -` keeps stdout pure JSON.
     let human = json_path.as_deref() != Some("-");
 
+    let oracle = args.flag("--oracle");
+    let max_steps =
+        or_usage(args.parse_value::<u64>("--max-steps", "an instruction budget of at least 1"));
+
     let program = wl.build(&sw, scale);
-    let machine = Machine::new(cfg);
+    let mut machine = Machine::new(cfg);
+    let mut lockstep = Lockstep::new(cfg);
+    if let Some(m) = max_steps {
+        machine = machine.with_max_insts(m);
+        lockstep = lockstep.with_max_insts(m);
+    }
     let mut recorder = None;
     let run = if observe {
         let mut rec = Recorder::new().with_sampler(sample);
@@ -126,9 +143,15 @@ fn main() -> std::process::ExitCode {
                 }
             }
         }
-        let run = machine.run_observed(&program, &mut rec);
+        let run = if oracle {
+            lockstep.run_observed(&program, &mut rec)
+        } else {
+            machine.run_observed(&program, &mut rec)
+        };
         recorder = Some(rec);
         run
+    } else if oracle {
+        lockstep.run(&program)
     } else {
         machine.run(&program)
     };
@@ -149,6 +172,11 @@ fn main() -> std::process::ExitCode {
 
     if human {
         print_report(&wl, &r, &cfg, args.flag("--sw"));
+        if oracle {
+            println!(
+                "  oracle            every retired instruction matched the golden reference"
+            );
+        }
         if let Some(rec) = &recorder {
             print_top_sites(rec, top_sites);
         }

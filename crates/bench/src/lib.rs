@@ -37,6 +37,7 @@ use fac_workloads::{suite, Scale, Workload};
 use std::io::Write as _;
 
 pub mod experiments;
+pub mod fuzz;
 pub mod par;
 
 /// Instruction budget per simulation (well above any Paper-scale kernel).

@@ -14,6 +14,7 @@
 //! costing cycles. The fault-injection harness in the simulator asserts
 //! exactly that, for every workload and every plan.
 
+use crate::rng::SplitMix64;
 use crate::{FailureSignals, Offset, Prediction, Predictor};
 
 /// What the injected fault does to each speculated prediction.
@@ -170,13 +171,13 @@ impl core::fmt::Display for FaultPlan {
 pub struct FaultyPredictor {
     inner: Predictor,
     plan: FaultPlan,
-    rng_state: u64,
+    rng: SplitMix64,
 }
 
 impl FaultyPredictor {
     /// Wraps `inner` with the fault described by `plan`.
     pub fn new(inner: Predictor, plan: FaultPlan) -> FaultyPredictor {
-        FaultyPredictor { inner, plan, rng_state: splitmix(plan.seed ^ 0x5eed_f417) }
+        FaultyPredictor { inner, plan, rng: SplitMix64::new(plan.seed ^ 0x5eed_f417) }
     }
 
     /// The active fault plan.
@@ -201,8 +202,7 @@ impl FaultyPredictor {
     }
 
     fn next_random(&mut self) -> u64 {
-        self.rng_state = splitmix(self.rng_state);
-        self.rng_state
+        self.rng.next_u64()
     }
 
     /// A non-zero XOR mask confined (geometry permitting) to the set-index
@@ -297,13 +297,6 @@ impl AnyPredictor {
             AnyPredictor::Faulty(p) => p.predict(base, offset),
         }
     }
-}
-
-fn splitmix(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

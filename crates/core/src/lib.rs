@@ -48,6 +48,7 @@ mod fault;
 mod fields;
 mod ltb;
 mod predictor;
+pub mod rng;
 
 pub use circuit::{
     cla_adder_depth, fac_block_offset_depth, fac_index_depth, fac_verify_depth,

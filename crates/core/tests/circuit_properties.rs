@@ -158,4 +158,94 @@ proptest! {
             prop_assert!(pr.is_correct(), "{} base {:#x} ofs {}", pr.signals, base, ofs);
         }
     }
+
+    /// Field-boundary offsets: displacements of exactly ± one block and
+    /// ± one index-field span (`1 << index_bits` blocks' worth of bytes,
+    /// clamped into i16 range) are the values that flip exactly one field
+    /// at a time. For every one of them:
+    ///
+    /// * split/compose round-trips both the base and the true effective
+    ///   address through `AddrFields` exactly;
+    /// * the verification path (`Prediction::actual`) is the full-adder
+    ///   sum, whatever combination of failure signals fired;
+    /// * the signals stay sound — `is_correct()` (no signal) implies
+    ///   `predicted == actual`, so the only escape from a wrong
+    ///   speculation is a raised signal. (The converse does not hold:
+    ///   the signals are conservative and may fire on a coincidentally
+    ///   correct address, which merely costs a replay.)
+    #[test]
+    fn field_boundary_offsets_round_trip_and_agree_with_the_full_adder(
+        fields in arb_fields(),
+        config in arb_config(),
+        base in any::<u32>(),
+        negate in any::<bool>(),
+        span_not_block in any::<bool>(),
+    ) {
+        let block = 1i32 << fields.block_offset_bits();
+        let span = 1i64 << (fields.block_offset_bits() + fields.index_bits());
+        let magnitude = if span_not_block {
+            span.clamp(i16::MIN as i64, i16::MAX as i64) as i32
+        } else {
+            block
+        };
+        let ofs = (if negate { -magnitude } else { magnitude })
+            .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+
+        // Split/compose is exact on both ends of the access.
+        let actual = base.wrapping_add(ofs as i32 as u32);
+        for addr in [base, actual] {
+            prop_assert_eq!(
+                fields.compose(fields.tag(addr), fields.index(addr), fields.block_offset(addr)),
+                addr,
+                "fields {} do not round-trip {:#x}", fields, addr
+            );
+        }
+
+        let p = Predictor::new(fields, config);
+        let pr = p.predict(base, Offset::Const(ofs));
+        // The verification circuit is a full adder: its result is the
+        // architectural effective address no matter what the prediction
+        // circuit signalled.
+        prop_assert_eq!(
+            pr.actual, actual,
+            "verification adder wrong: fields {} base {:#x} ofs {}", fields, base, ofs
+        );
+        // Soundness under every signal combination this corner generates:
+        // silence means the speculative address is the architectural one.
+        if pr.is_correct() {
+            prop_assert_eq!(
+                pr.predicted, pr.actual,
+                "no signal but wrong address: fields {} base {:#x} ofs {}", fields, base, ofs
+            );
+        }
+    }
+
+    /// The same boundary offsets through the *register* lane: an index
+    /// register holding exactly ± a block or ± a set span. The negative
+    /// cases must always raise a signal (the OR wipes the borrow), the
+    /// verification adder must stay exact either way.
+    #[test]
+    fn field_boundary_register_offsets(
+        fields in arb_fields(),
+        base in any::<u32>(),
+        negate in any::<bool>(),
+        span_not_block in any::<bool>(),
+    ) {
+        let magnitude: u32 = if span_not_block {
+            1u32 << (fields.block_offset_bits() + fields.index_bits()).min(31)
+        } else {
+            1u32 << fields.block_offset_bits()
+        };
+        let v = if negate { magnitude.wrapping_neg() } else { magnitude };
+        let p = Predictor::new(fields, PredictorConfig::default());
+        let pr = p.predict(base, Offset::Reg(v));
+        prop_assert_eq!(pr.actual, base.wrapping_add(v));
+        if pr.is_correct() {
+            prop_assert_eq!(pr.predicted, pr.actual, "no signal but wrong address");
+        }
+        if negate {
+            prop_assert!(!pr.is_correct(), "negative register offset must replay");
+            prop_assert!(pr.signals.neg_index_reg, "{}", pr.signals);
+        }
+    }
 }

@@ -41,6 +41,7 @@ mod config;
 mod exec;
 mod machine;
 pub mod obs;
+pub mod oracle;
 mod pipeline;
 mod profiler;
 mod stats;
@@ -53,6 +54,7 @@ pub use config::{
 };
 pub use exec::{dst_regs, src_regs, ArchState, ExecError, Executed, MemRef, RegList};
 pub use machine::{Machine, SimError, SimReport};
+pub use oracle::{GoldenMem, GoldenStep, GoldenStore, Lockstep, Oracle};
 pub use pipeline::{IssueInfo, Pipeline};
 pub use profiler::{profile_predictions, ProfileReport};
 pub use trace::{chrome_trace, render_diagram, TracedInsn};

@@ -58,6 +58,19 @@ pub enum SimError {
         /// The rendered panic payload.
         message: String,
     },
+    /// The machine and the golden reference oracle disagreed — the lockstep
+    /// differential checker ([`crate::Lockstep`]) found the first retired
+    /// instruction after which the architectural states differ.
+    Divergence {
+        /// Zero-based retirement index of the diverging instruction.
+        step: u64,
+        /// PC of the diverging instruction.
+        pc: u32,
+        /// What the oracle holds, rendered (`"$t3 = 0x0000002a"`).
+        expected: String,
+        /// What the machine holds, rendered.
+        actual: String,
+    },
 }
 
 impl SimError {
@@ -76,6 +89,11 @@ impl std::fmt::Display for SimError {
             SimError::Invariant(v) => write!(f, "timing invariant violated: {v}"),
             SimError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
             SimError::Panic { job, message } => write!(f, "job '{job}' panicked: {message}"),
+            SimError::Divergence { step, pc, expected, actual } => write!(
+                f,
+                "architectural divergence from the golden oracle at step {step}, \
+                 pc {pc:#010x}: oracle has {expected}, machine has {actual}"
+            ),
         }
     }
 }
@@ -127,8 +145,9 @@ pub struct Machine {
     max_insts: u64,
 }
 
-/// Records the reference-classification statistics for one instruction.
-fn record_ref(stats: &mut SimStats, ex: &crate::Executed) {
+/// Records the reference-classification statistics for one instruction
+/// (shared with the lockstep runner in [`crate::oracle`]).
+pub(crate) fn record_ref(stats: &mut SimStats, ex: &crate::Executed) {
     let Some(mref) = &ex.mem else { return };
     let class = RefClass::of(mref.base_reg);
     if mref.is_store {

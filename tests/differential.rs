@@ -1,0 +1,179 @@
+//! The differential-oracle suite: every workload and every corpus program,
+//! run in lockstep with the golden reference interpreter across the full
+//! configuration matrix — baseline, FAC, and FAC under every built-in
+//! fault plan — with zero tolerated divergences.
+//!
+//! The flip side is proven too: a deliberately broken machine (the
+//! escaped-speculation saboteur, modelling a silent-wrong fault whose
+//! verification circuit never repairs the damage) **must** be reported as
+//! [`SimError::Divergence`], including on the committed auto-shrunk repro
+//! in `crates/sim/tests/corpus/escaped/`.
+
+use fac::asm::{assemble_and_link, Program, SoftwareSupport};
+use fac::core::{FaultKind, FaultPlan};
+use fac::sim::{Lockstep, MachineConfig, SimError};
+use fac::workloads::{suite, Scale};
+use fac_bench::fuzz::config_matrix;
+use fac_bench::par::{default_jobs, JobSet};
+
+/// The committed regression corpus, one file per FAC failure class.
+const CORPUS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/sim/tests/corpus");
+
+/// Instruction budget: corpus programs and smoke workloads are all tiny.
+const MAX_STEPS: u64 = 100_000_000;
+
+/// Loads and links every `.fasm` in the corpus directory (sorted by name;
+/// the `escaped/` subdirectory is the saboteur's repro shelf, not part of
+/// the clean sweep).
+fn corpus() -> Vec<(String, Program)> {
+    let mut names: Vec<String> = std::fs::read_dir(CORPUS_DIR)
+        .expect("corpus directory")
+        .filter_map(|e| {
+            let name = e.expect("corpus entry").file_name().into_string().unwrap();
+            name.ends_with(".fasm").then_some(name)
+        })
+        .collect();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let path = format!("{CORPUS_DIR}/{name}");
+            let source = std::fs::read_to_string(&path).expect("corpus file");
+            let program = assemble_and_link(&source, &name, &SoftwareSupport::on())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            (name, program)
+        })
+        .collect()
+}
+
+/// One file per documented FAC failure class, plus mixed alignment.
+#[test]
+fn corpus_covers_every_failure_class() {
+    let names: Vec<String> = corpus().into_iter().map(|(name, _)| name).collect();
+    for class in [
+        "block_straddle.fasm",
+        "index_carry.fasm",
+        "large_neg_const.fasm",
+        "neg_reg_offset.fasm",
+        "mixed_alignment.fasm",
+    ] {
+        assert!(names.iter().any(|n| n == class), "missing corpus file {class}: {names:?}");
+    }
+}
+
+/// Every corpus program × the full config matrix: the lockstep checker
+/// must retire every instruction in agreement with the golden oracle.
+#[test]
+fn corpus_runs_clean_under_the_full_matrix() {
+    let programs = corpus();
+    let mut jobs = JobSet::new();
+    for (name, program) in &programs {
+        for (label, cfg) in config_matrix(None) {
+            let name = name.clone();
+            jobs.push(format!("{name}/{label}"), move || {
+                match Lockstep::new(cfg).with_max_insts(MAX_STEPS).run(program) {
+                    Ok(r) => Ok((name, label, r.stats.insts)),
+                    Err(e) => panic!("{name} under {label}: {e}"),
+                }
+            });
+        }
+    }
+    let results = jobs.run(default_jobs()).unwrap();
+    assert_eq!(results.len(), programs.len() * config_matrix(None).len());
+    for (name, label, insts) in results {
+        assert!(insts > 0, "{name} under {label} retired nothing");
+    }
+}
+
+/// The headline sweep: all 19 workloads × baseline/FAC/every fault plan,
+/// in lockstep, zero divergences. This is the acceptance gate for the
+/// oracle itself — the whole benchmark suite is architecturally correct
+/// under speculation and under every injected (but verified) fault.
+#[test]
+fn every_workload_agrees_with_the_oracle_under_every_config() {
+    let programs: Vec<(String, Program)> = suite()
+        .into_iter()
+        .map(|wl| (wl.name.to_string(), wl.build(&SoftwareSupport::on(), Scale::Smoke)))
+        .collect();
+    assert_eq!(programs.len(), 19);
+    let mut jobs = JobSet::new();
+    for (name, program) in &programs {
+        for (label, cfg) in config_matrix(None) {
+            let name = name.clone();
+            jobs.push(format!("{name}/{label}"), move || {
+                match Lockstep::new(cfg).with_max_insts(MAX_STEPS).run(program) {
+                    Ok(r) => Ok(r.stats.insts),
+                    Err(e) => panic!("{name} under {label}: {e}"),
+                }
+            });
+        }
+    }
+    let results = jobs.run(default_jobs()).unwrap();
+    assert_eq!(results.len(), 19 * config_matrix(None).len());
+    assert!(results.iter().all(|&insts| insts > 0));
+}
+
+/// The oracle must also *see*: a silent-wrong fault with the verification
+/// circuit disconnected (so the bad speculation escapes into architectural
+/// state) is reported as a typed divergence, not silently absorbed.
+#[test]
+fn escaped_speculation_on_a_workload_is_a_typed_divergence() {
+    let wl = suite().into_iter().find(|w| w.name == "compress").expect("compress workload");
+    let program = wl.build(&SoftwareSupport::on(), Scale::Smoke);
+    let err = Lockstep::new(MachineConfig::paper_baseline().with_fac())
+        .with_max_insts(MAX_STEPS)
+        .with_escaped_speculation(FaultPlan::new(FaultKind::SilentWrong))
+        .run(&program)
+        .expect_err("escaped silent-wrong speculation must diverge");
+    match err {
+        SimError::Divergence { step, pc, expected, actual } => {
+            assert_ne!(expected, actual);
+            assert!(pc >= 0x0040_0000, "diverging pc {pc:#x} outside text");
+            // The report is actionable: it renders the first diverging
+            // architectural fact on both sides.
+            let msg = format!(
+                "{}",
+                SimError::Divergence { step, pc, expected: expected.clone(), actual }
+            );
+            assert!(msg.contains("divergence") && msg.contains(&expected), "{msg}");
+        }
+        other => panic!("expected a divergence, got {other}"),
+    }
+}
+
+/// The committed auto-shrunk repro keeps reproducing: three lines that
+/// diverge at the very first retired load under the saboteur, and that
+/// stay silent when the verification circuit is connected (the same fault
+/// plan run through the *real* pipeline is caught and repaired).
+#[test]
+fn committed_escape_repro_still_diverges() {
+    let path = format!("{CORPUS_DIR}/escaped/silent_wrong_escape.fasm");
+    let source = std::fs::read_to_string(&path).expect("committed repro");
+    let program =
+        assemble_and_link(&source, "silent_wrong_escape", &SoftwareSupport::on()).unwrap();
+    let err = Lockstep::new(MachineConfig::paper_baseline().with_fac())
+        .with_max_insts(10_000)
+        .with_escaped_speculation(FaultPlan::new(FaultKind::SilentWrong))
+        .run(&program)
+        .expect_err("the repro must diverge under the saboteur");
+    assert!(matches!(err, SimError::Divergence { .. }), "got {err}");
+
+    // With the verification circuit connected, the same silent-wrong fault
+    // is repaired in the pipeline: the shrunk repro still fails — it has no
+    // halt, so the PC runs off the end of text — but *never* with a
+    // divergence. The corruption stays microarchitectural.
+    let connected = Lockstep::new(
+        MachineConfig::paper_baseline()
+            .with_fac()
+            .with_fault_plan(FaultPlan::new(FaultKind::SilentWrong)),
+    )
+    .with_max_insts(10_000)
+    .run(&program);
+    match connected {
+        Err(SimError::Divergence { .. }) => {
+            panic!("verified fault reached architectural state")
+        }
+        Ok(_) => panic!("a halt-less repro cannot complete"),
+        Err(_) => {} // off-the-end-of-text or runaway: expected
+    }
+}
