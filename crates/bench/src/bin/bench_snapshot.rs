@@ -5,11 +5,18 @@
 //! fans out over the `fac_bench::par` pool (`--jobs N`) with output
 //! bit-identical at any worker count.
 //!
+//! Crash safety: `--resume <dir>` journals every finished cell to a
+//! durable manifest and skips it on the next invocation, so a killed
+//! sweep resumes where it stopped with a byte-identical final artifact;
+//! `--keep-going` renders failed cells as `null` row lanes plus an
+//! `errors` block instead of aborting; `--timeout-secs` / `--retries`
+//! bound and retry individual cells.
+//!
 //! ```sh
 //! cargo run --release -p fac-bench --bin bench_snapshot -- --json BENCH_pr2.json
 //! ```
 
-use fac_bench::par::JobSet;
+use fac_bench::par::{degrade, errors_json, strict, JobSet};
 use fac_bench::{build_suite, run, weighted_mean, Cx, Exp};
 use fac_sim::obs::Json;
 use fac_sim::{MachineConfig, SimError};
@@ -50,11 +57,24 @@ fn sweep(cx: &Cx) -> Result<Exp, SimError> {
             Ok(c)
         });
     }
+    let results = jobs.run_cached(cx.jobs, &cx.opts, cx.manifest);
+    let (cells, errors) = if cx.opts.keep_going {
+        degrade(results)
+    } else {
+        (strict(results)?, Vec::new())
+    };
+
     let mut human = String::new();
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     let mut weights = Vec::new();
-    for mut c in jobs.run(cx.jobs)? {
+    for mut c in cells {
+        // A degraded (`null`) cell keeps its row lane — positions stay
+        // stable for diffing — but contributes nothing to the averages.
+        if c == Json::Null {
+            rows.push(Json::Null);
+            continue;
+        }
         if let Some(Json::Str(line)) = c.take("human") {
             let _ = writeln!(human, "{line}");
         }
@@ -62,11 +82,17 @@ fn sweep(cx: &Cx) -> Result<Exp, SimError> {
         weights.push(c.get("weight").and_then(Json::as_u64).unwrap_or(0));
         rows.push(c.take("row").unwrap_or_else(Json::obj));
     }
+    for (job, e) in &errors {
+        let _ = writeln!(human, "[degraded] {job}: {e}");
+    }
     let mut doc = Json::obj();
     doc.set("benchmark", Json::Str("paper_baseline_sweep".to_string()));
     doc.set("config", Json::Str("paper_baseline vs paper_baseline+fac, sw support on".to_string()));
     doc.set("rows", Json::Arr(rows));
     doc.set("speedup.weighted_mean", Json::F64(weighted_mean(&speedups, &weights)));
+    if !errors.is_empty() {
+        doc.set("errors", errors_json(&errors));
+    }
     Ok(Exp { human, json: doc })
 }
 

@@ -10,27 +10,47 @@
 //!     --seeds 10 --escape silent-wrong --repro-dir repros/
 //! ```
 //!
-//! Exit status: nonzero when the campaign found a failure (normal mode) or
+//! Exit status: nonzero when the campaign found a failure (normal mode),
 //! when no seed diverged at all (escape mode — an oracle that cannot see
-//! the saboteur is broken). The `--json` artifact is byte-identical at any
-//! `--jobs` count.
+//! the saboteur is broken), or when `--keep-going` had to degrade any seed
+//! (like `make -k`: finish everything, then report the run incomplete).
+//! The `--json` artifact is byte-identical at any `--jobs` count.
+//!
+//! Crash safety: `--resume <dir>` journals every finished seed so a killed
+//! campaign picks up where it stopped with a byte-identical artifact;
+//! `--timeout-secs` / `--retries` bound and retry individual seeds;
+//! `--keep-going` turns failed seed jobs into `null` artifact lanes plus
+//! an `errors` block instead of aborting.
 
-use fac_bench::fuzz::{run_campaign, CampaignConfig};
+use fac_bench::fuzz::{run_campaign_with, CampaignConfig};
+use fac_bench::manifest::Manifest;
 use fac_bench::Args;
 use fac_core::FaultPlan;
 use fac_sim::SimError;
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!("usage: fuzz_programs [--seeds N] [--start N] [--jobs N] [--json <path|->]");
     eprintln!("       [--max-steps N] [--repro-dir <dir>] [--escape <plan>]");
+    eprintln!("       [--resume <dir>] [--timeout-secs N] [--retries N] [--keep-going]");
     eprintln!("fault plans: always-wrong, random-flip[:per1024], flip-index-bit:<bit>,");
     eprintln!("             suppress-signals, silent-wrong  (each optionally @<seed>)");
     std::process::exit(2);
 }
 
-const BOOL_FLAGS: &[&str] = &[];
-const VALUE_FLAGS: &[&str] =
-    &["--seeds", "--start", "--jobs", "--json", "--max-steps", "--repro-dir", "--escape"];
+const BOOL_FLAGS: &[&str] = &["--keep-going"];
+const VALUE_FLAGS: &[&str] = &[
+    "--seeds",
+    "--start",
+    "--jobs",
+    "--json",
+    "--max-steps",
+    "--repro-dir",
+    "--escape",
+    "--resume",
+    "--timeout-secs",
+    "--retries",
+];
 
 fn or_usage<T>(result: Result<T, SimError>) -> T {
     match result {
@@ -73,12 +93,30 @@ fn main() -> std::process::ExitCode {
         }
     }
     let jobs = or_usage(args.jobs());
+    let opts = or_usage(args.run_options());
+    let manifest = match args.resume_dir() {
+        None => None,
+        Some(dir) => match Manifest::open(Path::new(dir)) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return std::process::ExitCode::FAILURE;
+            }
+        },
+    };
     let json_path = args.value("--json").map(String::from);
     let repro_dir = args.value("--repro-dir").map(String::from);
     // `--json -` keeps stdout pure JSON.
     let human = json_path.as_deref() != Some("-");
 
-    let report = match run_campaign(&cc, jobs) {
+    let campaign = match run_campaign_with(&cc, jobs, &opts, manifest.as_ref()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    let report = match campaign.report() {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -107,6 +145,9 @@ fn main() -> std::process::ExitCode {
                 f.config, f.error, f.original_lines, f.shrunk_lines
             );
         }
+        for (job, e) in &campaign.errors {
+            println!("  [degraded] {job}: {e}");
+        }
     }
 
     if let Some(dir) = &repro_dir {
@@ -116,8 +157,8 @@ fn main() -> std::process::ExitCode {
         }
         for (seed, f) in &failures {
             let path = format!("{dir}/seed{seed:06}-{}.fasm", sanitize(&f.config));
-            if let Err(e) = std::fs::write(&path, &f.shrunk) {
-                eprintln!("error: {}", SimError::io(&path, e));
+            if let Err(e) = fac_bench::io::write_atomic(Path::new(&path), f.shrunk.as_bytes()) {
+                eprintln!("error: {e}");
                 return std::process::ExitCode::FAILURE;
             }
             if human {
@@ -127,10 +168,16 @@ fn main() -> std::process::ExitCode {
     }
 
     if let Some(path) = &json_path {
-        if let Err(e) = fac_bench::write_json(path, &report.to_json()) {
+        if let Err(e) = fac_bench::write_json(path, &campaign.to_json()) {
             eprintln!("error: {e}");
             return std::process::ExitCode::FAILURE;
         }
+    }
+
+    // A broken resume journal means the run cannot claim durable success.
+    if let Some(e) = manifest.as_ref().and_then(Manifest::take_error) {
+        eprintln!("error: {e}");
+        return std::process::ExitCode::FAILURE;
     }
 
     let bad = if cc.escape.is_some() {
@@ -143,7 +190,9 @@ fn main() -> std::process::ExitCode {
         }
         failures.is_empty()
     } else {
-        !failures.is_empty()
+        // Degraded seeds make the exit nonzero too (as `make -k` does):
+        // the artifact is usable, but the campaign did not fully run.
+        !failures.is_empty() || !campaign.errors.is_empty()
     };
     if bad {
         std::process::ExitCode::FAILURE

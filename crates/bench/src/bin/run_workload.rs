@@ -163,9 +163,9 @@ fn main() -> std::process::ExitCode {
         }
     };
     if let Some(rec) = &mut recorder {
-        if let Err(msg) = rec.finish_sink() {
-            let path = events_path.as_deref().unwrap_or("--events");
-            eprintln!("error: i/o error on {path}: {msg}");
+        if let Err(message) = rec.finish_sink() {
+            let path = events_path.as_deref().unwrap_or("--events").to_string();
+            eprintln!("error: {}", SimError::Io { path, message });
             return std::process::ExitCode::FAILURE;
         }
     }

@@ -126,13 +126,14 @@ impl<'a> Spec<'a> {
         Spec { name, jobs, render: Box::new(render) }
     }
 
-    /// Runs the experiment's grid over `workers` threads and renders.
+    /// Runs the experiment's grid under the context's worker count and
+    /// robustness policy (resume manifest included) and renders.
     ///
     /// # Errors
     ///
-    /// The lowest-indexed job failure, per [`JobSet::run`].
-    pub fn run(self, workers: usize) -> Result<Exp, SimError> {
-        let cells = self.jobs.run(workers)?;
+    /// The lowest-indexed job failure, per [`crate::par::strict`].
+    pub fn run(self, cx: &Cx) -> Result<Exp, SimError> {
+        let cells = crate::par::strict(self.jobs.run_cached(cx.jobs, &cx.opts, cx.manifest))?;
         Ok((self.render)(cells))
     }
 }
@@ -170,14 +171,15 @@ pub const ALL: &[SpecFn] = &[
 /// # Errors
 ///
 /// The lowest-indexed job failure across the merged pool.
-pub fn run_specs(specs: Vec<Spec<'_>>, workers: usize) -> Result<Vec<Exp>, SimError> {
+pub fn run_specs(specs: Vec<Spec<'_>>, cx: &Cx) -> Result<Vec<Exp>, SimError> {
     let mut pool = JobSet::new();
     let mut tails = Vec::new();
     for spec in specs {
         tails.push((spec.render, spec.jobs.len()));
         pool.append(spec.jobs);
     }
-    let mut results = pool.run(workers)?.into_iter();
+    let results = crate::par::strict(pool.run_cached(cx.jobs, &cx.opts, cx.manifest))?;
+    let mut results = results.into_iter();
     Ok(tails.into_iter().map(|(render, n)| render(results.by_ref().take(n).collect())).collect())
 }
 
@@ -185,26 +187,91 @@ pub fn run_specs(specs: Vec<Spec<'_>>, workers: usize) -> Result<Vec<Exp>, SimEr
 /// bundled into one table stream and one JSON object keyed by experiment
 /// name.
 ///
+/// Under `--keep-going` a failed experiment degrades instead of sinking
+/// the sweep: its key carries `null`, its table slot a one-line notice,
+/// and the bundle gains an `errors` block naming every failed job —
+/// experiments whose cells all succeeded render exactly as they would
+/// have in a clean run.
+///
 /// # Errors
 ///
-/// The lowest-indexed job failure across the merged pool.
+/// The lowest-indexed job failure across the merged pool (strict mode
+/// only; `--keep-going` reports failures in the artifact instead).
 pub fn run_all(cx: &Cx) -> Result<Exp, SimError> {
     let suite = build_suite(cx.scale);
     let specs: Vec<Spec<'_>> = ALL.iter().map(|f| f(&suite, cx.scale)).collect();
-    let names: Vec<&'static str> = specs.iter().map(|s| s.name).collect();
-    let exps = run_specs(specs, cx.jobs)?;
+    let mut pool = JobSet::new();
+    let mut tails = Vec::new();
+    for spec in specs {
+        tails.push((spec.name, spec.render, spec.jobs.len()));
+        pool.append(spec.jobs);
+    }
+    let results = pool.run_cached(cx.jobs, &cx.opts, cx.manifest);
+
+    if !cx.opts.keep_going {
+        let mut cells = crate::par::strict(results)?.into_iter();
+        let mut human = String::new();
+        let mut json = Json::obj();
+        for (name, render, n) in tails {
+            let exp = render(cells.by_ref().take(n).collect());
+            human.push_str(&exp.human);
+            json.set(name, exp.json);
+        }
+        return Ok(Exp { human, json });
+    }
+
+    // Keep-going: degrade at whole-experiment granularity. Render steps
+    // index into their cell grids, so one failed cell voids its
+    // experiment's document — never the other experiments'.
+    let mut results = results.into_iter();
     let mut human = String::new();
     let mut json = Json::obj();
-    for (name, exp) in names.into_iter().zip(exps) {
-        human.push_str(&exp.human);
-        json.set(name, exp.json);
+    let mut all_errors = Vec::new();
+    for (name, render, n) in tails {
+        let chunk: Vec<_> = results.by_ref().take(n).collect();
+        let (lanes, errors) = crate::par::degrade(chunk);
+        if errors.is_empty() {
+            let exp = render(lanes);
+            human.push_str(&exp.human);
+            json.set(name, exp.json);
+        } else {
+            human.push_str(&degraded_note(name, &errors, n));
+            json.set(name, Json::Null);
+            all_errors.extend(errors);
+        }
+    }
+    if !all_errors.is_empty() {
+        json.set("errors", crate::par::errors_json(&all_errors));
     }
     Ok(Exp { human, json })
 }
 
+/// The one-line table notice for a degraded experiment.
+fn degraded_note(name: &str, errors: &[(String, SimError)], cells: usize) -> String {
+    let (job, first) = &errors[0];
+    format!(
+        "[{name}] degraded: {} of {cells} cells failed; first: {job}: {first}\n\n",
+        errors.len()
+    )
+}
+
 fn single(spec: SpecFn, cx: &Cx) -> Result<Exp, SimError> {
     let suite = build_suite(cx.scale);
-    spec(&suite, cx.scale).run(cx.jobs)
+    let s = spec(&suite, cx.scale);
+    let name = s.name;
+    let n = s.jobs.len();
+    let results = s.jobs.run_cached(cx.jobs, &cx.opts, cx.manifest);
+    if !cx.opts.keep_going {
+        return Ok((s.render)(crate::par::strict(results)?));
+    }
+    let (lanes, errors) = crate::par::degrade(results);
+    if errors.is_empty() {
+        return Ok((s.render)(lanes));
+    }
+    let mut json = Json::obj();
+    json.set(name, Json::Null);
+    json.set("errors", crate::par::errors_json(&errors));
+    Ok(Exp { human: degraded_note(name, &errors, n), json })
 }
 
 /// Figure 2: IPC with 2-cycle loads (baseline), 1-cycle loads, perfect
@@ -1328,7 +1395,7 @@ mod tests {
         for workers in workers_variants {
             let spec = spec_table2(&suite, Scale::Smoke);
             assert_eq!(spec.name, "table2");
-            let exp = spec.run(workers).unwrap();
+            let exp = spec.run(&crate::Cx::simple(Scale::Smoke, workers)).unwrap();
             outputs.push((exp.human, exp.json.to_string()));
         }
         assert_eq!(outputs[0], outputs[1], "table2 must not depend on worker count");

@@ -20,8 +20,16 @@
 //! circuit that silently fails to repair bad speculations. In that mode a
 //! seed that does *not* diverge is the failure — the oracle would have
 //! missed real architectural corruption.
+//!
+//! Campaigns are crash-safe: each seed's work is journaled to a durable
+//! [`Manifest`] the moment it finishes (see [`run_campaign_with`]), so a
+//! killed campaign resumed with the same parameters skips finished seeds
+//! and still produces a byte-identical artifact. Under the keep-going
+//! policy a seed whose *job* fails (panic, deadline) degrades to a `null`
+//! lane in the artifact instead of aborting the campaign.
 
-use crate::par::JobSet;
+use crate::manifest::Manifest;
+use crate::par::{self, JobSet, RunOptions};
 use fac_asm::{assemble_and_link, fuzz_source, SoftwareSupport};
 use fac_core::FaultPlan;
 use fac_sim::obs::Json;
@@ -113,45 +121,132 @@ impl CampaignReport {
     /// The machine-readable campaign artifact. Deterministic: identical
     /// for identical campaign parameters at any worker count.
     pub fn to_json(&self) -> Json {
-        let mut doc = Json::obj();
-        doc.set("start", Json::U64(self.config.start));
-        doc.set("count", Json::U64(self.config.count));
-        doc.set("max_steps", Json::U64(self.config.max_steps));
-        doc.set(
-            "escape",
-            match self.config.escape {
-                Some(p) => Json::Str(p.to_string()),
-                None => Json::Null,
-            },
-        );
-        doc.set("configs", Json::Arr(
-            config_matrix(self.config.escape)
-                .into_iter()
-                .map(|(label, _)| Json::Str(label))
-                .collect(),
-        ));
-        let failure_count = self.failures().count() as u64;
-        doc.set("failure_count", Json::U64(failure_count));
-        let mut seeds = Vec::new();
-        for o in &self.outcomes {
-            let mut s = Json::obj();
-            s.set("seed", Json::U64(o.seed));
-            s.set("insts", Json::U64(o.insts));
-            let mut fails = Vec::new();
-            for f in &o.failures {
-                let mut j = Json::obj();
-                j.set("config", Json::Str(f.config.clone()));
-                j.set("error", Json::Str(f.error.clone()));
-                j.set("original_lines", Json::U64(f.original_lines as u64));
-                j.set("shrunk_lines", Json::U64(f.shrunk_lines as u64));
-                j.set("shrunk", Json::Str(f.shrunk.clone()));
-                fails.push(j);
+        campaign_doc(&self.config, self.outcomes.iter().map(seed_json).collect(), &[])
+    }
+}
+
+/// The per-seed artifact cell — exactly the object that appears in the
+/// campaign document's `seeds` array, and exactly what the resume
+/// manifest journals per finished seed.
+fn seed_json(o: &SeedOutcome) -> Json {
+    let mut s = Json::obj();
+    s.set("seed", Json::U64(o.seed));
+    s.set("insts", Json::U64(o.insts));
+    let mut fails = Vec::new();
+    for f in &o.failures {
+        let mut j = Json::obj();
+        j.set("config", Json::Str(f.config.clone()));
+        j.set("error", Json::Str(f.error.clone()));
+        j.set("original_lines", Json::U64(f.original_lines as u64));
+        j.set("shrunk_lines", Json::U64(f.shrunk_lines as u64));
+        j.set("shrunk", Json::Str(f.shrunk.clone()));
+        fails.push(j);
+    }
+    s.set("failures", Json::Arr(fails));
+    s
+}
+
+/// Inverse of [`seed_json`]; the only way malformed cells arrive here is
+/// through a tampered resume manifest, so failures are typed
+/// [`SimError::Checkpoint`].
+fn parse_seed(cell: &Json) -> Result<SeedOutcome, SimError> {
+    let bad = |what: &str| SimError::Checkpoint {
+        path: "campaign cell".to_string(),
+        reason: format!("missing or malformed '{what}'"),
+    };
+    let seed = cell.get("seed").and_then(Json::as_u64).ok_or_else(|| bad("seed"))?;
+    let insts = cell.get("insts").and_then(Json::as_u64).ok_or_else(|| bad("insts"))?;
+    let Some(Json::Arr(fails)) = cell.get("failures") else {
+        return Err(bad("failures"));
+    };
+    let mut failures = Vec::new();
+    for f in fails {
+        let s = |k: &'static str| {
+            f.get(k).and_then(Json::as_str).map(str::to_string).ok_or_else(|| bad(k))
+        };
+        let n = |k: &'static str| f.get(k).and_then(Json::as_u64).ok_or_else(|| bad(k));
+        failures.push(Failure {
+            config: s("config")?,
+            error: s("error")?,
+            original_lines: n("original_lines")? as usize,
+            shrunk_lines: n("shrunk_lines")? as usize,
+            shrunk: s("shrunk")?,
+        });
+    }
+    Ok(SeedOutcome { seed, insts, failures })
+}
+
+/// Assembles the campaign document from per-seed cells (possibly with
+/// `null` lanes for degraded seeds) and the errors behind those lanes.
+fn campaign_doc(cc: &CampaignConfig, seeds: Vec<Json>, errors: &[(String, SimError)]) -> Json {
+    let mut doc = Json::obj();
+    doc.set("start", Json::U64(cc.start));
+    doc.set("count", Json::U64(cc.count));
+    doc.set("max_steps", Json::U64(cc.max_steps));
+    doc.set(
+        "escape",
+        match cc.escape {
+            Some(p) => Json::Str(p.to_string()),
+            None => Json::Null,
+        },
+    );
+    doc.set("configs", Json::Arr(
+        config_matrix(cc.escape).into_iter().map(|(label, _)| Json::Str(label)).collect(),
+    ));
+    let failure_count: u64 = seeds
+        .iter()
+        .map(|s| match s.get("failures") {
+            Some(Json::Arr(v)) => v.len() as u64,
+            _ => 0,
+        })
+        .sum();
+    doc.set("failure_count", Json::U64(failure_count));
+    doc.set("seeds", Json::Arr(seeds));
+    if !errors.is_empty() {
+        doc.set("errors", par::errors_json(errors));
+    }
+    doc
+}
+
+/// One campaign run through the crash-safety harness.
+#[derive(Debug)]
+pub struct Campaign {
+    /// The campaign parameters.
+    pub config: CampaignConfig,
+    /// One artifact cell per seed, in seed order; [`Json::Null`] where the
+    /// seed's job failed under the keep-going policy (the lane is kept so
+    /// seed positions stay stable across runs).
+    pub cells: Vec<Json>,
+    /// The job failures behind the `null` lanes — always empty in strict
+    /// mode, where the first failure aborts the campaign instead.
+    pub errors: Vec<(String, SimError)>,
+}
+
+impl Campaign {
+    /// The machine-readable campaign artifact, with `null` lanes for
+    /// degraded seeds and an `errors` block when any seed degraded.
+    /// Byte-identical at any worker count, and byte-identical whether the
+    /// campaign ran straight through or was killed and resumed.
+    pub fn to_json(&self) -> Json {
+        campaign_doc(&self.config, self.cells.clone(), &self.errors)
+    }
+
+    /// The structured report over the seeds that did run (degraded lanes
+    /// are skipped).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Checkpoint`] when a cell restored from a resume
+    /// manifest does not have the campaign cell shape.
+    pub fn report(&self) -> Result<CampaignReport, SimError> {
+        let mut outcomes = Vec::new();
+        for cell in &self.cells {
+            if *cell == Json::Null {
+                continue;
             }
-            s.set("failures", Json::Arr(fails));
-            seeds.push(s);
+            outcomes.push(parse_seed(cell)?);
         }
-        doc.set("seeds", Json::Arr(seeds));
-        doc
+        Ok(CampaignReport { config: self.config, outcomes })
     }
 }
 
@@ -188,7 +283,8 @@ fn lockstep(cfg: MachineConfig, cc: &CampaignConfig) -> Lockstep {
     ls
 }
 
-/// Runs the whole campaign across `jobs` worker threads.
+/// Runs the whole campaign across `jobs` worker threads with the default
+/// robustness policy and no resume manifest.
 ///
 /// Check failures do **not** abort the campaign — they are shrunk and
 /// reported in the [`CampaignReport`]; only infrastructure failures (a
@@ -198,11 +294,36 @@ fn lockstep(cfg: MachineConfig, cc: &CampaignConfig) -> Lockstep {
 ///
 /// [`SimError::Panic`] if a seed's job panicked.
 pub fn run_campaign(cc: &CampaignConfig, jobs: usize) -> Result<CampaignReport, SimError> {
+    run_campaign_with(cc, jobs, &RunOptions::default(), None)?.report()
+}
+
+/// Runs the campaign under an explicit robustness policy, journaling each
+/// finished seed to `manifest` (when resuming) and skipping seeds it
+/// already holds. Under `opts.keep_going`, failed seed jobs become `null`
+/// lanes in [`Campaign::cells`] instead of aborting.
+///
+/// # Errors
+///
+/// In strict mode (no `keep_going`), the lowest-seed job failure —
+/// [`SimError::Panic`], [`SimError::Timeout`], or whatever the job
+/// returned after its retries were exhausted.
+pub fn run_campaign_with(
+    cc: &CampaignConfig,
+    jobs: usize,
+    opts: &RunOptions,
+    manifest: Option<&Manifest>,
+) -> Result<Campaign, SimError> {
     let mut set = JobSet::new();
     for seed in cc.start..cc.start.saturating_add(cc.count) {
-        set.push(format!("fuzz:{seed}"), move || Ok(run_seed(seed, cc)));
+        set.push(format!("fuzz:{seed}"), move || Ok(seed_json(&run_seed(seed, cc))));
     }
-    Ok(CampaignReport { config: *cc, outcomes: set.run(jobs)? })
+    let results = set.run_cached(jobs, opts, manifest);
+    let (cells, errors) = if opts.keep_going {
+        par::degrade(results)
+    } else {
+        (par::strict(results)?, Vec::new())
+    };
+    Ok(Campaign { config: *cc, cells, errors })
 }
 
 /// Generates, checks and (on failure) shrinks one seed.

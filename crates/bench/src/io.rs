@@ -1,0 +1,92 @@
+//! Atomic artifact writes.
+//!
+//! Every durable artifact the benchmark layer produces — `--json`
+//! documents, fuzz repros, chrome traces — goes through [`write_atomic`]:
+//! the bytes land in a hidden temporary file in the same directory, are
+//! fsynced, and only then renamed over the destination. A crash (or a
+//! plain I/O failure) at any point leaves the previous artifact intact;
+//! readers never observe a half-written file.
+
+use fac_sim::SimError;
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `bytes` to `path` atomically (temporary file + fsync + rename).
+///
+/// # Errors
+///
+/// [`SimError::Io`] carrying the destination path when any step fails; on
+/// failure the destination is untouched (the temporary file may remain
+/// and is overwritten by the next attempt).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SimError> {
+    commit(path, bytes, false)
+}
+
+/// The implementation behind [`write_atomic`], with a test hook:
+/// `interrupt_before_rename` simulates a crash after the temporary file
+/// is fully written but before it is published.
+fn commit(path: &Path, bytes: &[u8], interrupt_before_rename: bool) -> Result<(), SimError> {
+    let label = path.display().to_string();
+    let err = |e: std::io::Error| SimError::io(&label, e);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| err(std::io::Error::other("path has no file name")))?
+        .to_string_lossy();
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+
+    let mut f = std::fs::File::create(&tmp).map_err(err)?;
+    f.write_all(bytes).map_err(err)?;
+    f.sync_all().map_err(err)?;
+    drop(f);
+    if interrupt_before_rename {
+        return Err(err(std::io::Error::other("simulated crash before rename")));
+    }
+    std::fs::rename(&tmp, path).map_err(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fac_io_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = temp_dir("rw");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":2}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A write interrupted after the data is staged but before the rename
+    /// publishes it leaves the previous artifact byte-identical — the
+    /// crash-safety property the whole module exists for.
+    #[test]
+    fn interrupted_write_leaves_old_artifact_intact() {
+        let dir = temp_dir("torn");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"old contents").unwrap();
+
+        let err = commit(&path, b"new contents", true).unwrap_err();
+        assert!(matches!(err, SimError::Io { .. }), "got {err}");
+        assert_eq!(std::fs::read(&path).unwrap(), b"old contents", "artifact was torn");
+
+        // The next attempt recovers without manual cleanup.
+        write_atomic(&path, b"new contents").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new contents");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_destination_is_a_typed_error() {
+        let missing = std::path::Path::new("/nonexistent-dir-for-fac/artifact.json");
+        assert!(matches!(write_atomic(missing, b"x"), Err(SimError::Io { .. })));
+    }
+}

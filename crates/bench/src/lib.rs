@@ -38,6 +38,8 @@ use std::io::Write as _;
 
 pub mod experiments;
 pub mod fuzz;
+pub mod io;
+pub mod manifest;
 pub mod par;
 
 /// Instruction budget per simulation (well above any Paper-scale kernel).
@@ -147,14 +149,29 @@ pub struct Exp {
     pub json: Json,
 }
 
-/// Shared run context every experiment receives: workload scale and the
-/// worker count for the [`par`] harness.
+/// Shared run context every experiment receives: workload scale, the
+/// worker count for the [`par`] harness, the robustness policy, and the
+/// resume manifest (when `--resume` is active).
 #[derive(Debug, Clone, Copy)]
-pub struct Cx {
+pub struct Cx<'m> {
     /// Workload scale (`--smoke` or Paper).
     pub scale: Scale,
     /// Worker threads (`--jobs N`, default: available parallelism).
     pub jobs: usize,
+    /// Watchdog / retry / keep-going policy (`--timeout-secs`,
+    /// `--retries`, `--keep-going`).
+    pub opts: par::RunOptions,
+    /// Durable campaign manifest (`--resume <dir>`): completed jobs are
+    /// skipped and their journaled results re-merged.
+    pub manifest: Option<&'m manifest::Manifest>,
+}
+
+impl Cx<'static> {
+    /// A context with default robustness policy and no manifest (for
+    /// tests and library callers).
+    pub fn simple(scale: Scale, jobs: usize) -> Cx<'static> {
+        Cx { scale, jobs, opts: par::RunOptions::default(), manifest: None }
+    }
 }
 
 /// Strictly parsed command-line arguments.
@@ -173,9 +190,10 @@ pub struct Args {
 }
 
 /// Boolean flags every experiment binary accepts.
-pub const STD_BOOL_FLAGS: &[&str] = &["--smoke"];
+pub const STD_BOOL_FLAGS: &[&str] = &["--smoke", "--keep-going"];
 /// Value-taking flags every experiment binary accepts.
-pub const STD_VALUE_FLAGS: &[&str] = &["--json", "--jobs"];
+pub const STD_VALUE_FLAGS: &[&str] =
+    &["--json", "--jobs", "--resume", "--timeout-secs", "--retries"];
 
 impl Args {
     /// Parses the process argv (excluding the program name).
@@ -310,9 +328,41 @@ impl Args {
             None => Ok(par::default_jobs()),
         }
     }
+
+    /// The robustness policy from `--timeout-secs`, `--retries` and
+    /// `--keep-going`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for non-numeric or zero values.
+    pub fn run_options(&self) -> Result<par::RunOptions, SimError> {
+        const TIMEOUT: &str = "a per-job deadline in whole seconds, at least 1";
+        let timeout_secs = match self.parse_value::<u64>("--timeout-secs", TIMEOUT)? {
+            Some(0) => {
+                return Err(ConfigError::BadFlagValue {
+                    flag: "--timeout-secs".to_string(),
+                    value: "0".to_string(),
+                    expected: TIMEOUT,
+                }
+                .into())
+            }
+            other => other,
+        };
+        let retries = self
+            .parse_value::<u32>("--retries", "a retry count (0 disables retries)")?
+            .unwrap_or(0);
+        Ok(par::RunOptions { timeout_secs, retries, keep_going: self.flag("--keep-going") })
+    }
+
+    /// The `--resume` campaign directory, if passed.
+    pub fn resume_dir(&self) -> Option<&str> {
+        self.value("--resume")
+    }
 }
 
-/// Writes a JSON document to `path`, or to stdout when `path` is `"-"`.
+/// Writes a JSON document to `path` atomically (via [`io::write_atomic`]),
+/// or to stdout when `path` is `"-"` — an interrupted export never leaves
+/// a torn artifact where a previous good one stood.
 ///
 /// # Errors
 ///
@@ -323,14 +373,17 @@ pub fn write_json(path: &str, doc: &Json) -> Result<(), SimError> {
         let mut out = std::io::stdout().lock();
         writeln!(out, "{text}").map_err(|e| SimError::io(path, e))
     } else {
-        std::fs::write(path, text + "\n").map_err(|e| SimError::io(path, e))
+        io::write_atomic(std::path::Path::new(path), (text + "\n").as_bytes())
     }
 }
 
 /// Standard entry path for every experiment binary: **strictly validate
-/// argv first** (a typo exits nonzero before any simulation starts), run
-/// the experiment with the parsed [`Cx`], print its human table, honour
-/// `--json <path|->`, and map any [`SimError`] to a nonzero exit.
+/// argv first** (a typo exits nonzero before any simulation starts), open
+/// the `--resume` manifest if requested, run the experiment with the
+/// parsed [`Cx`], print its human table, honour `--json <path|->`, and
+/// map any [`SimError`] to a nonzero exit. A broken manifest journal also
+/// fails the run — a campaign must not claim durable success it cannot
+/// deliver.
 pub fn conclude(
     experiment: impl FnOnce(&Cx) -> Result<Exp, SimError>,
 ) -> std::process::ExitCode {
@@ -347,12 +400,26 @@ fn conclude_inner(
     experiment: impl FnOnce(&Cx) -> Result<Exp, SimError>,
 ) -> Result<(), SimError> {
     let args = Args::parse(STD_BOOL_FLAGS, STD_VALUE_FLAGS)?;
-    args.no_positionals("--smoke, --json, --jobs")?;
-    let cx = Cx { scale: args.scale(), jobs: args.jobs()? };
+    args.no_positionals(
+        "--smoke, --json, --jobs, --resume, --timeout-secs, --retries, --keep-going",
+    )?;
+    let manifest = match args.resume_dir() {
+        Some(dir) => Some(manifest::Manifest::open(std::path::Path::new(dir))?),
+        None => None,
+    };
+    let cx = Cx {
+        scale: args.scale(),
+        jobs: args.jobs()?,
+        opts: args.run_options()?,
+        manifest: manifest.as_ref(),
+    };
     let exp = experiment(&cx)?;
     print!("{}", exp.human);
     if let Some(path) = args.value("--json") {
         write_json(path, &exp.json)?;
+    }
+    if let Some(e) = manifest.as_ref().and_then(manifest::Manifest::take_error) {
+        return Err(e);
     }
     Ok(())
 }

@@ -19,24 +19,84 @@
 //!    boundary and surfaces as [`SimError::Panic`] carrying the job's
 //!    name; the pool is not poisoned and every other job still runs.
 //!
+//! On top of those, [`RunOptions`] adds the crash-safety policies of a
+//! long campaign:
+//!
+//! - **Watchdog.** With a deadline set, a job whose wall-clock time
+//!   exceeds it is deadlined to [`SimError::Timeout`]. The watchdog is
+//!   cooperative — a worker thread cannot be preempted, so the deadline
+//!   is enforced when the job returns; a job that never returns at all is
+//!   bounded by the simulator's own instruction budget.
+//! - **Retry.** Transient failures (timeouts, I/O) are retried up to a
+//!   bound with deterministic exponential backoff — no clocks or RNG in
+//!   the schedule, so retried runs stay reproducible. Deterministic
+//!   failures (panics, simulation errors) are never retried: they would
+//!   fail identically again.
+//! - **Graceful degradation.** [`JobSet::run_each`] reports every job's
+//!   individual outcome; [`strict`] collapses them with the classic
+//!   lowest-index error precedence, while [`degrade`] renders failures as
+//!   `null` lanes plus an error summary so one bad cell no longer sinks a
+//!   whole campaign (`--keep-going`).
+//! - **Resume.** [`JobSet::run_cached`] consults a durable
+//!   [`crate::manifest::Manifest`]: finished jobs are skipped and their
+//!   journaled results re-merged in submission order, so an interrupted
+//!   campaign resumes byte-identically.
+//!
 //! The `Send` bounds this module leans on are audited at compile time in
 //! [`send_audit`]: programs, workloads, machines, observers and reports
 //! all cross (or are shared across) the worker threads.
 
+use crate::manifest::Manifest;
+use fac_sim::obs::Json;
 use fac_sim::SimError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Robustness policy for one [`JobSet`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Per-job wall-clock deadline in seconds. A job that takes longer is
+    /// deadlined to [`SimError::Timeout`] (its result, if any, is
+    /// discarded — a cell that blew its budget must not be silently
+    /// accepted). `None` disables the watchdog.
+    pub timeout_secs: Option<u64>,
+    /// How many times a transiently-failed job (timeout or I/O error) is
+    /// re-run before its error stands. Zero retries nothing.
+    pub retries: u32,
+    /// Render failed cells as degraded artifact lanes instead of aborting
+    /// the campaign on the first error (`--keep-going`).
+    pub keep_going: bool,
+}
+
+/// Whether an error class is worth retrying: only failures that can
+/// plausibly differ on a second attempt. Panics, simulation errors and
+/// checkpoint rejections are deterministic and would fail identically.
+fn transient(e: &SimError) -> bool {
+    matches!(e, SimError::Timeout { .. } | SimError::Io { .. })
+}
+
+/// Deterministic exponential backoff: 50 ms doubling per attempt, capped
+/// at 1.6 s. No jitter — retried campaigns must stay reproducible.
+fn backoff_delay(attempt: u32) -> Duration {
+    Duration::from_millis(50u64 << attempt.min(5))
+}
+
+/// One job's labelled outcome: `(name, result)` as returned by
+/// [`JobSet::run_each`] and consumed by [`strict`] / [`degrade`].
+pub type Outcome<T> = (String, Result<T, SimError>);
 
 /// The default worker count: every hardware thread the host offers.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
-/// One named unit of work.
+/// One named unit of work. `Fn` rather than `FnOnce`: the retry policy
+/// must be able to run a job again after a transient failure.
 struct Job<'env, T> {
     name: String,
-    work: Box<dyn FnOnce() -> Result<T, SimError> + Send + 'env>,
+    work: Box<dyn Fn() -> Result<T, SimError> + Send + 'env>,
 }
 
 /// An ordered set of named jobs, executed across a scoped worker pool.
@@ -67,11 +127,12 @@ impl<'env, T: Send> JobSet<'env, T> {
         JobSet { jobs: Vec::new() }
     }
 
-    /// Appends a job. The name identifies the job in panic reports.
+    /// Appends a job. The name identifies the job in panic and timeout
+    /// reports and keys the resume manifest.
     pub fn push(
         &mut self,
         name: impl Into<String>,
-        work: impl FnOnce() -> Result<T, SimError> + Send + 'env,
+        work: impl Fn() -> Result<T, SimError> + Send + 'env,
     ) {
         self.jobs.push(Job { name: name.into(), work: Box::new(work) });
     }
@@ -106,45 +167,130 @@ impl<'env, T: Send> JobSet<'env, T> {
     /// (the same error a serial run reports first, whatever the worker
     /// count or finish order). A panicking job yields [`SimError::Panic`].
     pub fn run(self, workers: usize) -> Result<Vec<T>, SimError> {
-        let n = self.jobs.len();
-        let workers = workers.max(1).min(n.max(1));
-        let results = if workers == 1 {
-            self.jobs.into_iter().map(run_one).collect()
-        } else {
-            run_pooled(self.jobs, workers)
-        };
-        let mut out = Vec::with_capacity(n);
-        for result in results {
-            out.push(result?);
-        }
-        Ok(out)
+        strict(self.run_each(workers, &RunOptions::default()))
+    }
+
+    /// Runs every job under `opts` and returns each job's individual
+    /// `(name, outcome)` in submission order — nothing is collapsed, so
+    /// the caller chooses between [`strict`] failure and [`degrade`]d
+    /// artifacts.
+    pub fn run_each(self, workers: usize, opts: &RunOptions) -> Vec<Outcome<T>> {
+        run_engine(self.jobs, workers, opts, &|_, _| {})
     }
 }
 
-/// Executes one job, converting a panic into a typed error.
-fn run_one<T>(job: Job<'_, T>) -> Result<T, SimError> {
-    let Job { name, work } = job;
-    catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|payload| {
-        let message = if let Some(s) = payload.downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "non-string panic payload".to_string()
+impl<'env> JobSet<'env, Json> {
+    /// [`JobSet::run_each`] backed by a durable campaign [`Manifest`]:
+    /// jobs already journaled are skipped and their cached results merged
+    /// back in submission order; fresh successes are journaled the moment
+    /// they complete. With `manifest == None` this is `run_each`.
+    pub fn run_cached(
+        self,
+        workers: usize,
+        opts: &RunOptions,
+        manifest: Option<&Manifest>,
+    ) -> Vec<Outcome<Json>> {
+        let n = self.jobs.len();
+        let mut out: Vec<Option<Outcome<Json>>> = (0..n).map(|_| None).collect();
+        let mut live = Vec::new();
+        let mut live_slots = Vec::new();
+        for (i, job) in self.jobs.into_iter().enumerate() {
+            match manifest.and_then(|m| m.lookup(&job.name)) {
+                Some(cached) => out[i] = Some((job.name, Ok(cached))),
+                None => {
+                    live_slots.push(i);
+                    live.push(job);
+                }
+            }
+        }
+        let journal = |name: &str, result: &Result<Json, SimError>| {
+            if let (Some(m), Ok(value)) = (manifest, result) {
+                m.record(name, value);
+            }
         };
-        Err(SimError::Panic { job: name, message })
-    })
+        let fresh = run_engine(live, workers, opts, &journal);
+        for (slot, result) in live_slots.into_iter().zip(fresh) {
+            out[slot] = Some(result);
+        }
+        out.into_iter().map(|slot| slot.expect("every slot filled")).collect()
+    }
 }
 
-/// The scoped worker pool: a shared claim cursor hands out jobs in index
-/// order; each worker writes its result into the slot matching the job's
-/// index, so collection order is submission order by construction.
-fn run_pooled<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize) -> Vec<Result<T, SimError>> {
+/// Collapses per-job outcomes with the classic precedence: the error of
+/// the lowest-indexed failed job wins (exactly what a serial run would
+/// have reported first), otherwise all results in submission order.
+///
+/// # Errors
+///
+/// The lowest-indexed job failure, verbatim.
+pub fn strict<T>(results: Vec<Outcome<T>>) -> Result<Vec<T>, SimError> {
+    let mut out = Vec::with_capacity(results.len());
+    for (_, result) in results {
+        out.push(result?);
+    }
+    Ok(out)
+}
+
+/// Renders per-job outcomes as degraded artifact lanes: a failed job
+/// becomes a `null` lane plus a `(job, error)` entry for the artifact's
+/// error summary block. The lane vector keeps submission order and
+/// length, so downstream table/figure assembly is position-stable.
+pub fn degrade(results: Vec<Outcome<Json>>) -> (Vec<Json>, Vec<(String, SimError)>) {
+    let mut lanes = Vec::with_capacity(results.len());
+    let mut errors = Vec::new();
+    for (name, result) in results {
+        match result {
+            Ok(value) => lanes.push(value),
+            Err(e) => {
+                lanes.push(Json::Null);
+                errors.push((name, e));
+            }
+        }
+    }
+    (lanes, errors)
+}
+
+/// Renders an error summary block for a degraded artifact: an array of
+/// `{"job": ..., "error": ...}` objects in submission order.
+pub fn errors_json(errors: &[(String, SimError)]) -> Json {
+    Json::Arr(
+        errors
+            .iter()
+            .map(|(job, e)| {
+                let mut entry = Json::obj();
+                entry.set("job", Json::Str(job.clone()));
+                entry.set("error", Json::Str(e.to_string()));
+                entry
+            })
+            .collect(),
+    )
+}
+
+/// The engine: serial fast path or scoped worker pool, with the watchdog
+/// and retry policy applied per job and `on_done` invoked (from the
+/// executing worker, the moment the outcome is known) for journaling.
+fn run_engine<'env, T: Send>(
+    jobs: Vec<Job<'env, T>>,
+    workers: usize,
+    opts: &RunOptions,
+    on_done: &(dyn Fn(&str, &Result<T, SimError>) + Sync),
+) -> Vec<Outcome<T>> {
     let n = jobs.len();
-    let jobs: Vec<Mutex<Option<Job<'_, T>>>> =
+    let workers = workers.max(1).min(n.max(1));
+    if workers == 1 {
+        return jobs
+            .into_iter()
+            .map(|job| {
+                let result = run_with_policy(&job, opts);
+                on_done(&job.name, &result);
+                (job.name, result)
+            })
+            .collect();
+    }
+
+    let jobs: Vec<Mutex<Option<Job<'env, T>>>> =
         jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<Result<T, SimError>>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Outcome<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -157,17 +303,57 @@ fn run_pooled<T: Send>(jobs: Vec<Job<'_, T>>, workers: usize) -> Vec<Result<T, S
                 // never serialize the pool on a mutex), file the result
                 // under the job's own index.
                 let job = jobs[i].lock().expect("job slot").take().expect("unclaimed job");
-                let result = run_one(job);
-                *results[i].lock().expect("result slot") = Some(result);
+                let result = run_with_policy(&job, opts);
+                on_done(&job.name, &result);
+                *results[i].lock().expect("result slot") = Some((job.name, result));
             });
         }
     });
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner().expect("result slot").expect("worker pool completed every job")
-        })
+        .map(|slot| slot.into_inner().expect("result slot").expect("pool completed every job"))
         .collect()
+}
+
+/// Runs one job under the watchdog + retry policy.
+fn run_with_policy<T>(job: &Job<'_, T>, opts: &RunOptions) -> Result<T, SimError> {
+    let mut attempt = 0u32;
+    loop {
+        let result = run_once(job, opts);
+        match result {
+            Err(e) if transient(&e) && attempt < opts.retries => {
+                std::thread::sleep(backoff_delay(attempt));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// Executes one job attempt: panic containment plus the wall-clock
+/// deadline check.
+fn run_once<T>(job: &Job<'_, T>, opts: &RunOptions) -> Result<T, SimError> {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(&job.work)).unwrap_or_else(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        Err(SimError::Panic { job: job.name.clone(), message })
+    });
+    if let Some(secs) = opts.timeout_secs {
+        // An overrun with a successful result is still deadlined: a cell
+        // that blew its wall-clock budget must be flagged (and retried),
+        // never silently accepted. A failed result keeps its own, more
+        // specific error.
+        if result.is_ok() && start.elapsed() >= Duration::from_secs(secs) {
+            return Err(SimError::Timeout { job: job.name.clone(), secs });
+        }
+    }
+    result
 }
 
 /// Compile-time inventory of the `Send`/`Sync` bounds the harness relies
@@ -317,5 +503,161 @@ mod tests {
         b.push("b0", || Ok(10u64));
         a.append(b);
         assert_eq!(a.run(2).unwrap(), vec![0, 1, 10]);
+    }
+
+    /// The watchdog deadlines a job that returns Ok past its budget — the
+    /// result is discarded, not silently accepted.
+    #[test]
+    fn watchdog_deadlines_overrunning_jobs() {
+        let mut jobs = JobSet::new();
+        jobs.push("fast", || Ok(1u64));
+        jobs.push("slow", || {
+            std::thread::sleep(Duration::from_millis(1100));
+            Ok(2u64)
+        });
+        let opts = RunOptions { timeout_secs: Some(1), ..RunOptions::default() };
+        let out = jobs.run_each(1, &opts);
+        assert_eq!(out[0].1, Ok(1));
+        match &out[1].1 {
+            Err(SimError::Timeout { job, secs }) => {
+                assert_eq!(job, "slow");
+                assert_eq!(*secs, 1);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    /// A transient failure is retried up to the bound and the eventual
+    /// success stands; with too few retries the transient error stands.
+    #[test]
+    fn transient_failures_are_retried() {
+        let attempts = AtomicU64::new(0);
+        let mut jobs = JobSet::new();
+        jobs.push("flaky", || {
+            if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(SimError::Io { path: "net".to_string(), message: "transient".to_string() })
+            } else {
+                Ok(7u64)
+            }
+        });
+        let opts = RunOptions { retries: 2, ..RunOptions::default() };
+        assert_eq!(jobs.run_each(1, &opts)[0].1, Ok(7));
+        assert_eq!(attempts.load(Ordering::Relaxed), 3);
+
+        let attempts = AtomicU64::new(0);
+        let mut jobs = JobSet::new();
+        jobs.push("flaky", || {
+            if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+                Err(SimError::Io { path: "net".to_string(), message: "transient".to_string() })
+            } else {
+                Ok(7u64)
+            }
+        });
+        let opts = RunOptions { retries: 1, ..RunOptions::default() };
+        assert!(matches!(jobs.run_each(1, &opts)[0].1, Err(SimError::Io { .. })));
+        assert_eq!(attempts.load(Ordering::Relaxed), 2, "retries must stop at the bound");
+    }
+
+    /// Deterministic failures (simulation errors, panics) are never
+    /// retried — they would fail identically again.
+    #[test]
+    fn deterministic_failures_are_not_retried() {
+        let attempts = AtomicU64::new(0);
+        let mut jobs: JobSet<'_, u64> = JobSet::new();
+        jobs.push("doomed", || {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            Err(SimError::Runaway(9))
+        });
+        let opts = RunOptions { retries: 5, ..RunOptions::default() };
+        assert_eq!(jobs.run_each(1, &opts)[0].1, Err(SimError::Runaway(9)));
+        assert_eq!(attempts.load(Ordering::Relaxed), 1);
+    }
+
+    /// The backoff schedule is a pure function of the attempt number:
+    /// doubling from 50 ms, capped at 1.6 s.
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        assert_eq!(backoff_delay(0), Duration::from_millis(50));
+        assert_eq!(backoff_delay(1), Duration::from_millis(100));
+        assert_eq!(backoff_delay(4), Duration::from_millis(800));
+        assert_eq!(backoff_delay(5), Duration::from_millis(1600));
+        for attempt in 6..100 {
+            assert_eq!(backoff_delay(attempt), Duration::from_millis(1600));
+        }
+    }
+
+    /// `degrade` keeps lanes position-stable (`null` where a job failed)
+    /// and collects the errors for the artifact summary block.
+    #[test]
+    fn degrade_keeps_lanes_and_collects_errors() {
+        for workers in [1, 4] {
+            let mut jobs = JobSet::new();
+            for i in 0..6u64 {
+                jobs.push(format!("cell:{i}"), move || {
+                    if i % 2 == 1 {
+                        Err(SimError::Runaway(i))
+                    } else {
+                        Ok(Json::U64(i))
+                    }
+                });
+            }
+            let (lanes, errors) = degrade(jobs.run_each(workers, &RunOptions::default()));
+            assert_eq!(lanes, vec![
+                Json::U64(0),
+                Json::Null,
+                Json::U64(2),
+                Json::Null,
+                Json::U64(4),
+                Json::Null,
+            ]);
+            let summary = errors_json(&errors).to_string();
+            assert_eq!(
+                summary,
+                r#"[{"job":"cell:1","error":"no halt within 1 instructions"},{"job":"cell:3","error":"no halt within 3 instructions"},{"job":"cell:5","error":"no halt within 5 instructions"}]"#,
+                "workers={workers}"
+            );
+        }
+    }
+
+    /// `run_cached` journals fresh results, skips journaled jobs on the
+    /// next run, and merges cached and live results in submission order.
+    #[test]
+    fn run_cached_skips_journaled_jobs_and_merges_in_order() {
+        let dir = std::env::temp_dir()
+            .join(format!("fac_par_cached_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let executed = AtomicU64::new(0);
+        let build = |upto: u64| {
+            let mut jobs = JobSet::new();
+            for i in 0..upto {
+                let executed = &executed;
+                jobs.push(format!("cell:{i}"), move || {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    Ok(Json::U64(i * i))
+                });
+            }
+            jobs
+        };
+
+        // First run: half the campaign, all executed, all journaled.
+        let m = Manifest::open(&dir).unwrap();
+        let first = strict(build(3).run_cached(2, &RunOptions::default(), Some(&m))).unwrap();
+        assert_eq!(first, vec![Json::U64(0), Json::U64(1), Json::U64(4)]);
+        assert_eq!(executed.load(Ordering::Relaxed), 3);
+        assert!(m.take_error().is_none());
+        drop(m);
+
+        // Resumed run: the full campaign. Journaled cells are not re-run,
+        // yet the merged results are the complete set in submission order.
+        let m = Manifest::open(&dir).unwrap();
+        assert_eq!(m.len(), 3);
+        let second = strict(build(5).run_cached(2, &RunOptions::default(), Some(&m))).unwrap();
+        assert_eq!(
+            second,
+            (0..5u64).map(|i| Json::U64(i * i)).collect::<Vec<_>>()
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 3 + 2, "cached cells must not re-run");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,157 @@
+//! Crash-safety integration tests: a campaign binary killed mid-run (real
+//! SIGKILL — no destructors, no flushes) and resumed with `--resume` must
+//! produce a final artifact byte-identical to an uninterrupted run, at any
+//! worker count. Also pins the failure mode: a corrupted resume journal is
+//! rejected with a nonzero exit, never silently trusted.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fac_crash_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn manifest_lines(path: &Path) -> usize {
+    std::fs::read_to_string(path).map(|t| t.lines().count()).unwrap_or(0)
+}
+
+/// Kill `bench_snapshot` partway through a sweep, then resume at a
+/// different worker count: the final JSON must be byte-identical to an
+/// uninterrupted run.
+#[test]
+fn killed_sweep_resumes_byte_identically() {
+    let bin = env!("CARGO_BIN_EXE_bench_snapshot");
+    let base = temp_dir("sweep");
+    let straight = base.join("straight.json");
+    let resumed = base.join("resumed.json");
+    let campaign = base.join("campaign");
+
+    // Reference: one uninterrupted run (no manifest involved at all).
+    let status = Command::new(bin)
+        .args(["--smoke", "--jobs", "2", "--json"])
+        .arg(&straight)
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "reference run failed");
+
+    // Interrupted run: serial, so the journal grows one cell at a time.
+    // SIGKILL the child as soon as a couple of cells are journaled — the
+    // process gets no chance to flush or clean up anything.
+    let mut child = Command::new(bin)
+        .args(["--smoke", "--jobs", "1", "--json"])
+        .arg(&resumed)
+        .arg("--resume")
+        .arg(&campaign)
+        .stdout(Stdio::null())
+        .spawn()
+        .unwrap();
+    let manifest = campaign.join("manifest.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if manifest_lines(&manifest) >= 2 {
+            break;
+        }
+        // The child racing to completion before we can kill it still
+        // exercises the resume merge below, just not the kill itself.
+        if child.try_wait().unwrap().is_some() || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().ok();
+    child.wait().unwrap();
+    let journaled = manifest_lines(&manifest);
+
+    // Resume at a different worker count. Journaled cells are re-merged,
+    // the rest run live; the artifact must match the reference exactly.
+    let status = Command::new(bin)
+        .args(["--smoke", "--jobs", "4", "--json"])
+        .arg(&resumed)
+        .arg("--resume")
+        .arg(&campaign)
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "resumed run failed");
+
+    let a = std::fs::read(&straight).unwrap();
+    let b = std::fs::read(&resumed).unwrap();
+    assert_eq!(
+        a, b,
+        "resumed artifact differs from the uninterrupted run \
+         ({journaled} cells were journaled at kill time)"
+    );
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The fuzz campaign resumes byte-identically too — in escape mode, so
+/// the journaled cells carry shrunk multi-line sources and exercise the
+/// render → parse → render round-trip on escaped strings.
+#[test]
+fn fuzz_campaign_resumes_byte_identically() {
+    let bin = env!("CARGO_BIN_EXE_fuzz_programs");
+    let base = temp_dir("fuzz");
+    let straight = base.join("straight.json");
+    let resumed = base.join("resumed.json");
+    let campaign = base.join("campaign");
+    let args = ["--seeds", "2", "--escape", "silent-wrong", "--jobs", "2", "--json"];
+
+    let status = Command::new(bin)
+        .args(args)
+        .arg(&straight)
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "reference campaign failed");
+
+    // First resumed run populates the journal; second re-merges every
+    // cell from the journal without running a single seed.
+    for _ in 0..2 {
+        let status = Command::new(bin)
+            .args(args)
+            .arg(&resumed)
+            .arg("--resume")
+            .arg(&campaign)
+            .stdout(Stdio::null())
+            .status()
+            .unwrap();
+        assert!(status.success(), "resumed campaign failed");
+        let a = std::fs::read(&straight).unwrap();
+        let b = std::fs::read(&resumed).unwrap();
+        assert_eq!(a, b, "resumed fuzz artifact differs from the straight run");
+    }
+    assert_eq!(manifest_lines(&campaign.join("manifest.jsonl")), 2);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A resume journal with a tampered (complete) line must fail the run
+/// with a nonzero exit — a campaign never trusts a journal it cannot
+/// verify.
+#[test]
+fn corrupted_resume_journal_is_rejected() {
+    let bin = env!("CARGO_BIN_EXE_bench_snapshot");
+    let base = temp_dir("corrupt");
+    let campaign = base.join("campaign");
+    std::fs::create_dir_all(&campaign).unwrap();
+    std::fs::write(
+        campaign.join("manifest.jsonl"),
+        "{\"job\":\"snapshot:compress\",\"digest\":\"0x0000000000000000\",\"result\":{}}\n",
+    )
+    .unwrap();
+
+    let output = Command::new(bin)
+        .args(["--smoke", "--jobs", "2"])
+        .arg("--resume")
+        .arg(&campaign)
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "a corrupted journal must fail the run");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("digest mismatch"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -205,6 +205,18 @@ impl FaultyPredictor {
         self.rng.next_u64()
     }
 
+    /// The raw fault-RNG state, for machine checkpoints.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.raw_state()
+    }
+
+    /// Restores the fault-RNG stream from [`FaultyPredictor::rng_state`],
+    /// so a checkpointed run corrupts exactly the same future predictions
+    /// as an uninterrupted one.
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = SplitMix64::from_raw_state(state);
+    }
+
     /// A non-zero XOR mask confined (geometry permitting) to the set-index
     /// field, so the corruption lands in the OR-merged bits the paper's
     /// circuit predicts carry-free.
@@ -295,6 +307,44 @@ impl AnyPredictor {
         match self {
             AnyPredictor::Exact(p) => p.predict(base, offset),
             AnyPredictor::Faulty(p) => p.predict(base, offset),
+        }
+    }
+
+    /// Serializes the mutable predictor state (the fault RNG stream; the
+    /// exact circuit is stateless) for a machine checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        match self {
+            AnyPredictor::Exact(_) => w.u8(0),
+            AnyPredictor::Faulty(p) => {
+                w.u8(1);
+                w.u64(p.rng_state());
+            }
+        }
+    }
+
+    /// Restores [`AnyPredictor::save_state`] into a predictor rebuilt from
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snap::SnapError`] when the snapshot was taken with the
+    /// other variant (a faulted snapshot restored into an exact machine or
+    /// vice versa) or the buffer is corrupt.
+    pub fn load_state(&mut self, r: &mut crate::snap::SnapReader<'_>) -> Result<(), crate::snap::SnapError> {
+        let tag = r.u8("predictor variant")?;
+        match (tag, &mut *self) {
+            (0, AnyPredictor::Exact(_)) => Ok(()),
+            (1, AnyPredictor::Faulty(p)) => {
+                p.set_rng_state(r.u64("fault rng state")?);
+                Ok(())
+            }
+            _ => Err(crate::snap::SnapError::new(format!(
+                "predictor variant mismatch: snapshot has tag {tag}, machine has {}",
+                match self {
+                    AnyPredictor::Exact(_) => "the exact circuit",
+                    AnyPredictor::Faulty(_) => "a faulted circuit",
+                }
+            ))),
         }
     }
 }

@@ -49,6 +49,7 @@ mod fields;
 mod ltb;
 mod predictor;
 pub mod rng;
+pub mod snap;
 
 pub use circuit::{
     cla_adder_depth, fac_block_offset_depth, fac_index_depth, fac_verify_depth,

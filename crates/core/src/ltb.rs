@@ -115,6 +115,49 @@ impl Ltb {
         }
         e.last_addr = actual;
     }
+
+    /// Serializes the full table state (entries and statistics) for a
+    /// machine checkpoint.
+    pub fn save_state(&self, w: &mut crate::snap::SnapWriter) {
+        w.len_of(self.entries.len());
+        for e in &self.entries {
+            w.bool(e.valid);
+            w.u32(e.tag);
+            w.u32(e.last_addr);
+            w.i32(e.stride);
+            w.u8(e.confidence);
+        }
+        w.u64(self.stats.predictions);
+        w.u64(self.stats.correct);
+        w.u64(self.stats.no_prediction);
+    }
+
+    /// Restores [`Ltb::save_state`] into a table of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::snap::SnapError`] when the entry count differs from this
+    /// table's or the buffer is corrupt.
+    pub fn load_state(&mut self, r: &mut crate::snap::SnapReader<'_>) -> Result<(), crate::snap::SnapError> {
+        let n = r.len_of(self.entries.len(), "ltb entries")?;
+        if n != self.entries.len() {
+            return Err(crate::snap::SnapError::new(format!(
+                "ltb geometry mismatch: snapshot has {n} entries, table has {}",
+                self.entries.len()
+            )));
+        }
+        for e in &mut self.entries {
+            e.valid = r.bool("ltb entry valid")?;
+            e.tag = r.u32("ltb entry tag")?;
+            e.last_addr = r.u32("ltb entry last_addr")?;
+            e.stride = r.i32("ltb entry stride")?;
+            e.confidence = r.u8("ltb entry confidence")?;
+        }
+        self.stats.predictions = r.u64("ltb stats predictions")?;
+        self.stats.correct = r.u64("ltb stats correct")?;
+        self.stats.no_prediction = r.u64("ltb stats no_prediction")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,20 @@ impl SplitMix64 {
     pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         &items[self.below(items.len() as u64) as usize]
     }
+
+    /// The raw generator state, for machine checkpoints. Restoring with
+    /// [`SplitMix64::from_raw_state`] resumes the stream exactly where it
+    /// left off.
+    pub fn raw_state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator mid-stream from [`SplitMix64::raw_state`].
+    /// Unlike [`SplitMix64::new`], the value is **not** mixed — it is the
+    /// state itself.
+    pub fn from_raw_state(state: u64) -> SplitMix64 {
+        SplitMix64 { state }
+    }
 }
 
 #[cfg(test)]

@@ -159,6 +159,58 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    /// Serializes the tag array, statistics and LRU clock for a machine
+    /// checkpoint.
+    pub fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
+        w.len_of(self.lines.len());
+        for l in &self.lines {
+            w.bool(l.valid);
+            w.bool(l.dirty);
+            w.u32(l.tag);
+            w.u64(l.stamp);
+        }
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.read_misses);
+        w.u64(self.stats.writebacks);
+        w.u64(self.tick);
+    }
+
+    /// Restores [`Cache::save_state`] into a cache of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`fac_core::snap::SnapError`] when the line count differs from this
+    /// cache's or the buffer is corrupt.
+    pub fn load_state(
+        &mut self,
+        r: &mut fac_core::snap::SnapReader<'_>,
+    ) -> Result<(), fac_core::snap::SnapError> {
+        let n = r.len_of(self.lines.len(), "cache lines")?;
+        if n != self.lines.len() {
+            return Err(fac_core::snap::SnapError::new(format!(
+                "cache geometry mismatch: snapshot has {n} lines, cache has {}",
+                self.lines.len()
+            )));
+        }
+        for l in &mut self.lines {
+            l.valid = r.bool("cache line valid")?;
+            l.dirty = r.bool("cache line dirty")?;
+            l.tag = r.u32("cache line tag")?;
+            l.stamp = r.u64("cache line stamp")?;
+        }
+        self.stats.accesses = r.u64("cache stats accesses")?;
+        self.stats.reads = r.u64("cache stats reads")?;
+        self.stats.writes = r.u64("cache stats writes")?;
+        self.stats.misses = r.u64("cache stats misses")?;
+        self.stats.read_misses = r.u64("cache stats read_misses")?;
+        self.stats.writebacks = r.u64("cache stats writebacks")?;
+        self.tick = r.u64("cache tick")?;
+        Ok(())
+    }
+
     fn set_index(&self, addr: u32) -> u32 {
         (addr / self.config.block_bytes) & (self.config.sets() - 1)
     }

@@ -23,7 +23,7 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// assert_eq!(m.read_u8(0x7fff_5b84), 0xcd); // little-endian
 /// assert_eq!(m.read_u32(0x0), 0);           // untouched ⇒ zero
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Memory {
     pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
 }
@@ -146,6 +146,48 @@ impl Memory {
         (0..len)
             .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
             .collect()
+    }
+
+    /// Serializes every touched page for a machine checkpoint. Pages are
+    /// written in ascending page-index order so the encoding is a pure
+    /// function of memory contents, never of `HashMap` iteration order.
+    pub fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
+        let mut indices: Vec<u32> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        w.len_of(indices.len());
+        for idx in indices {
+            w.u32(idx);
+            w.bytes(&self.pages[&idx][..]);
+        }
+    }
+
+    /// Rebuilds a memory from [`Memory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`fac_core::snap::SnapError`] on truncation, a short/long page, or a
+    /// duplicated page index.
+    pub fn load_state(
+        r: &mut fac_core::snap::SnapReader<'_>,
+    ) -> Result<Memory, fac_core::snap::SnapError> {
+        let n = r.len_of(1 << (32 - PAGE_BITS), "memory page count")?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.u32("memory page index")?;
+            let bytes = r.bytes("memory page contents")?;
+            let page: [u8; PAGE_SIZE] = bytes.try_into().map_err(|_| {
+                fac_core::snap::SnapError::new(format!(
+                    "memory page {idx:#x} has {} bytes, expected {PAGE_SIZE}",
+                    bytes.len()
+                ))
+            })?;
+            if pages.insert(idx, Box::new(page)).is_some() {
+                return Err(fac_core::snap::SnapError::new(format!(
+                    "memory page {idx:#x} appears twice in the snapshot"
+                )));
+            }
+        }
+        Ok(Memory { pages })
     }
 }
 

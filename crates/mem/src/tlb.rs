@@ -95,6 +95,63 @@ impl Tlb {
         }
         false
     }
+
+    /// Serializes the translation array, statistics and the random-victim
+    /// generator state for a machine checkpoint — the RNG stream must
+    /// resume exactly or a restored run would evict different victims.
+    pub fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
+        w.len_of(self.entries.len());
+        for e in &self.entries {
+            match e {
+                None => w.bool(false),
+                Some(vpn) => {
+                    w.bool(true);
+                    w.u32(*vpn);
+                }
+            }
+        }
+        w.u32(self.page_bits);
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.misses);
+        w.u64(self.rng);
+    }
+
+    /// Restores [`Tlb::save_state`] into a TLB of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`fac_core::snap::SnapError`] when the entry count or page size
+    /// differs from this TLB's, or the buffer is corrupt.
+    pub fn load_state(
+        &mut self,
+        r: &mut fac_core::snap::SnapReader<'_>,
+    ) -> Result<(), fac_core::snap::SnapError> {
+        let n = r.len_of(self.entries.len(), "tlb entries")?;
+        if n != self.entries.len() {
+            return Err(fac_core::snap::SnapError::new(format!(
+                "tlb geometry mismatch: snapshot has {n} entries, tlb has {}",
+                self.entries.len()
+            )));
+        }
+        for e in &mut self.entries {
+            *e = if r.bool("tlb entry present")? {
+                Some(r.u32("tlb entry vpn")?)
+            } else {
+                None
+            };
+        }
+        let page_bits = r.u32("tlb page bits")?;
+        if page_bits != self.page_bits {
+            return Err(fac_core::snap::SnapError::new(format!(
+                "tlb page-size mismatch: snapshot has {page_bits} page bits, tlb has {}",
+                self.page_bits
+            )));
+        }
+        self.stats.accesses = r.u64("tlb stats accesses")?;
+        self.stats.misses = r.u64("tlb stats misses")?;
+        self.rng = r.u64("tlb rng state")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,38 @@ impl Btb {
             e.counter = e.counter.saturating_sub(1);
         }
     }
+
+    /// Serializes every entry for a machine checkpoint.
+    pub(crate) fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
+        w.len_of(self.entries.len());
+        for e in &self.entries {
+            w.bool(e.valid);
+            w.u32(e.tag);
+            w.u32(e.target);
+            w.u8(e.counter);
+        }
+    }
+
+    /// Restores [`Btb::save_state`] into a BTB of the same geometry.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut fac_core::snap::SnapReader<'_>,
+    ) -> Result<(), fac_core::snap::SnapError> {
+        let n = r.len_of(self.entries.len(), "btb entries")?;
+        if n != self.entries.len() {
+            return Err(fac_core::snap::SnapError::new(format!(
+                "btb geometry mismatch: snapshot has {n} entries, btb has {}",
+                self.entries.len()
+            )));
+        }
+        for e in &mut self.entries {
+            e.valid = r.bool("btb entry valid")?;
+            e.tag = r.u32("btb entry tag")?;
+            e.target = r.u32("btb entry target")?;
+            e.counter = r.u8("btb entry counter")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

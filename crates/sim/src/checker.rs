@@ -200,6 +200,33 @@ impl InvariantChecker {
         }
     }
 
+    /// Serializes the checker's cursor state for a machine checkpoint, so
+    /// a restored run enforces the same per-group invariants the
+    /// uninterrupted run would have.
+    pub(crate) fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
+        w.u64(self.last_issue);
+        w.u32(self.issued_now);
+        w.u32(self.loads_now);
+        w.u32(self.stores_now);
+        w.bool(self.seen_any);
+    }
+
+    /// Rebuilds [`InvariantChecker::save_state`] for a machine with
+    /// configuration `cfg`.
+    pub(crate) fn load_state(
+        cfg: &MachineConfig,
+        r: &mut fac_core::snap::SnapReader<'_>,
+    ) -> Result<InvariantChecker, fac_core::snap::SnapError> {
+        Ok(InvariantChecker {
+            cfg: *cfg,
+            last_issue: r.u64("checker last_issue")?,
+            issued_now: r.u32("checker issued_now")?,
+            loads_now: r.u32("checker loads_now")?,
+            stores_now: r.u32("checker stores_now")?,
+            seen_any: r.bool("checker seen_any")?,
+        })
+    }
+
     /// Checks one committed instruction against its pipeline timing.
     ///
     /// # Errors

@@ -253,7 +253,7 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 /// Architectural state of the simulated machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ArchState {
     /// Program counter.
     pub pc: u32,
@@ -296,6 +296,46 @@ impl ArchState {
             halted: false,
             strict_mem: false,
         }
+    }
+
+    /// Serializes the complete architectural state for a machine
+    /// checkpoint.
+    pub(crate) fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
+        w.u32(self.pc);
+        for r in self.regs {
+            w.u32(r);
+        }
+        for f in self.fregs {
+            w.u64(f);
+        }
+        w.u32(self.hi);
+        w.u32(self.lo);
+        w.bool(self.fcc);
+        w.bool(self.halted);
+        w.bool(self.strict_mem);
+        self.mem.save_state(w);
+    }
+
+    /// Rebuilds [`ArchState::save_state`].
+    pub(crate) fn load_state(
+        r: &mut fac_core::snap::SnapReader<'_>,
+    ) -> Result<ArchState, fac_core::snap::SnapError> {
+        let pc = r.u32("arch pc")?;
+        let mut regs = [0u32; 32];
+        for v in &mut regs {
+            *v = r.u32("arch reg")?;
+        }
+        let mut fregs = [0u64; 32];
+        for v in &mut fregs {
+            *v = r.u64("arch freg")?;
+        }
+        let hi = r.u32("arch hi")?;
+        let lo = r.u32("arch lo")?;
+        let fcc = r.bool("arch fcc")?;
+        let halted = r.bool("arch halted")?;
+        let strict_mem = r.bool("arch strict_mem")?;
+        let mem = Memory::load_state(r)?;
+        Ok(ArchState { pc, regs, fregs, hi, lo, fcc, mem, halted, strict_mem })
     }
 
     /// Checks a data access against the strict-memory rules: natural

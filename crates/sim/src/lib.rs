@@ -37,6 +37,7 @@
 
 mod btb;
 mod checker;
+mod ckpt;
 mod config;
 mod exec;
 mod machine;
@@ -53,7 +54,7 @@ pub use config::{
     ConfigError, FacConfig, FuConfig, FuTiming, LoadLatencyMode, MachineConfig, PipelineOrg,
 };
 pub use exec::{dst_regs, src_regs, ArchState, ExecError, Executed, MemRef, RegList};
-pub use machine::{Machine, SimError, SimReport};
+pub use machine::{Machine, Session, SimError, SimReport};
 pub use oracle::{GoldenMem, GoldenStep, GoldenStore, Lockstep, Oracle};
 pub use pipeline::{IssueInfo, Pipeline};
 pub use profiler::{profile_predictions, ProfileReport};

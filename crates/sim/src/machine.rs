@@ -9,7 +9,7 @@ use crate::stats::{RefClass, SimStats};
 use fac_asm::Program;
 
 /// Outcome of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Program name.
     pub program: String,
@@ -58,6 +58,25 @@ pub enum SimError {
         /// The rendered panic payload.
         message: String,
     },
+    /// A machine snapshot could not be restored: the file is corrupt,
+    /// truncated, from an unknown format version, or belongs to a
+    /// different (configuration, program) pair. A rejected snapshot is
+    /// never partially applied — restore is all-or-nothing.
+    Checkpoint {
+        /// The snapshot being read (`"<memory>"` for in-memory restores).
+        path: String,
+        /// Why the snapshot was rejected.
+        reason: String,
+    },
+    /// A benchmark job exceeded its wall-clock deadline. Raised by the
+    /// watchdog in `fac-bench`'s parallel harness when `--timeout-secs`
+    /// is set.
+    Timeout {
+        /// The name of the job that overran.
+        job: String,
+        /// The configured deadline, in seconds.
+        secs: u64,
+    },
     /// The machine and the golden reference oracle disagreed — the lockstep
     /// differential checker ([`crate::Lockstep`]) found the first retired
     /// instruction after which the architectural states differ.
@@ -78,6 +97,11 @@ impl SimError {
     pub fn io(path: &str, err: std::io::Error) -> SimError {
         SimError::Io { path: path.to_string(), message: err.to_string() }
     }
+
+    /// Wraps a snapshot decoding failure with the file it came from.
+    pub(crate) fn checkpoint(path: &str, err: fac_core::snap::SnapError) -> SimError {
+        SimError::Checkpoint { path: path.to_string(), reason: err.to_string() }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -89,6 +113,12 @@ impl std::fmt::Display for SimError {
             SimError::Invariant(v) => write!(f, "timing invariant violated: {v}"),
             SimError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
             SimError::Panic { job, message } => write!(f, "job '{job}' panicked: {message}"),
+            SimError::Checkpoint { path, reason } => {
+                write!(f, "cannot restore snapshot {path}: {reason}")
+            }
+            SimError::Timeout { job, secs } => {
+                write!(f, "job '{job}' exceeded its {secs}s deadline")
+            }
             SimError::Divergence { step, pc, expected, actual } => write!(
                 f,
                 "architectural divergence from the golden oracle at step {step}, \
@@ -213,34 +243,133 @@ impl Machine {
         program: &Program,
         obs: &mut O,
     ) -> Result<SimReport, SimError> {
+        self.begin(program)?.run_observed(obs)
+    }
+
+    /// Starts an incremental simulation [`Session`] over `program`.
+    ///
+    /// [`Machine::run`] is `begin(..)?.run()`; a session additionally
+    /// supports stepping a bounded number of instructions and
+    /// [checkpointing](Session::checkpoint) the complete machine state
+    /// mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] when the configuration cannot be
+    /// honoured.
+    pub fn begin<'p>(&self, program: &'p Program) -> Result<Session<'p>, SimError> {
         self.config.validate()?;
         let mut state = ArchState::new(program);
         state.strict_mem = self.config.strict_mem;
+        Ok(Session {
+            config: self.config,
+            max_insts: self.max_insts,
+            program,
+            state,
+            pipe: Pipeline::new(self.config),
+            stats: SimStats::default(),
+            checker: self.checker(),
+        })
+    }
+
+    /// Restores a [`Session`] from snapshot bytes produced by
+    /// [`Session::checkpoint`]. The snapshot must come from this exact
+    /// configuration and program — both are fingerprinted into the
+    /// snapshot and verified before any state is applied.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Checkpoint`] when the snapshot is corrupt, truncated,
+    /// from another format version, or from a different configuration or
+    /// program; [`SimError::InvalidConfig`] when this machine's own
+    /// configuration is invalid.
+    pub fn restore<'p>(
+        &self,
+        program: &'p Program,
+        bytes: &[u8],
+    ) -> Result<Session<'p>, SimError> {
+        self.restore_labelled(program, bytes, "<memory>")
+    }
+
+    /// Restores a [`Session`] from a snapshot file written by
+    /// [`Session::checkpoint_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the file cannot be read; otherwise as
+    /// [`Machine::restore`].
+    pub fn restore_from<'p>(
+        &self,
+        program: &'p Program,
+        path: &std::path::Path,
+    ) -> Result<Session<'p>, SimError> {
+        let label = path.display().to_string();
+        let bytes = std::fs::read(path).map_err(|e| SimError::io(&label, e))?;
+        self.restore_labelled(program, &bytes, &label)
+    }
+
+    fn restore_labelled<'p>(
+        &self,
+        program: &'p Program,
+        bytes: &[u8],
+        label: &str,
+    ) -> Result<Session<'p>, SimError> {
+        use fac_core::snap::{SnapError, SnapReader};
+        self.config.validate()?;
+        let ck = |e: SnapError| SimError::checkpoint(label, e);
+        let payload = crate::ckpt::unframe(bytes).map_err(ck)?;
+        let mut r = SnapReader::new(payload);
+
+        let config_fp = r.u64("config fingerprint").map_err(ck)?;
+        let want = crate::ckpt::config_fingerprint(&self.config);
+        if config_fp != want {
+            return Err(ck(SnapError::new(format!(
+                "snapshot was taken under a different machine configuration \
+                 (fingerprint {config_fp:#018x}, this machine is {want:#018x})"
+            ))));
+        }
+        let program_fp = r.u64("program fingerprint").map_err(ck)?;
+        let want = crate::ckpt::program_fingerprint(program);
+        if program_fp != want {
+            return Err(ck(SnapError::new(format!(
+                "snapshot was taken over a different program \
+                 (fingerprint {program_fp:#018x}, '{}' is {want:#018x})",
+                program.name
+            ))));
+        }
+
+        let state = ArchState::load_state(&mut r).map_err(ck)?;
+        let stats = crate::ckpt::load_stats(&mut r).map_err(ck)?;
         let mut pipe = Pipeline::new(self.config);
-        let mut stats = SimStats::default();
-        let mut checker = self.checker();
-
-        while !state.halted {
-            if stats.insts >= self.max_insts {
-                return Err(SimError::Runaway(self.max_insts));
+        pipe.load_state(&mut r).map_err(ck)?;
+        let snapshot_has_checker = r.bool("checker present").map_err(ck)?;
+        let checker = match (snapshot_has_checker, self.checker()) {
+            (true, Some(_)) => Some(InvariantChecker::load_state(&self.config, &mut r).map_err(ck)?),
+            (true, None) => {
+                // Read past the state so trailing-byte detection still works.
+                let _ = InvariantChecker::load_state(&self.config, &mut r).map_err(ck)?;
+                None
             }
-            let ex = state.step(program)?;
-            stats.insts += 1;
-            record_ref(&mut stats, &ex);
-            if let Some(chk) = &mut checker {
-                let info = pipe.advance_obs(&ex, &mut stats, obs);
-                chk.check_insn(&ex, &info)?;
-            } else {
-                pipe.advance_obs(&ex, &mut stats, obs);
+            (false, Some(_)) => {
+                return Err(ck(SnapError::new(
+                    "snapshot lacks invariant-checker state but this machine \
+                     runs with checking enabled"
+                        .to_string(),
+                )))
             }
-        }
+            (false, None) => None,
+        };
+        r.finish().map_err(ck)?;
 
-        stats.cycles = pipe.finish(&mut stats);
-        stats.mem_footprint = state.mem.footprint();
-        if let Some(chk) = &checker {
-            chk.check_finish(&stats, &pipe)?;
-        }
-        Ok(SimReport { program: program.name.clone(), stats, final_state: state })
+        Ok(Session {
+            config: self.config,
+            max_insts: self.max_insts,
+            program,
+            state,
+            pipe,
+            stats,
+            checker,
+        })
     }
 
     /// Runs `program`, additionally recording the pipeline timing of every
@@ -282,6 +411,167 @@ impl Machine {
             chk.check_finish(&stats, &pipe)?;
         }
         Ok((SimReport { program: program.name.clone(), stats, final_state: state }, trace))
+    }
+}
+
+/// An in-flight simulation: the coupled functional + timing state of one
+/// [`Machine`] running one program.
+///
+/// Obtained from [`Machine::begin`] (fresh) or [`Machine::restore`] /
+/// [`Machine::restore_from`] (from a snapshot). A session can run to
+/// completion, step instruction-by-instruction, or serialize its complete
+/// state with [`Session::checkpoint`] so a later process can resume the
+/// run bit-identically:
+///
+/// ```
+/// use fac_asm::{Asm, SoftwareSupport};
+/// use fac_isa::Reg;
+/// use fac_sim::{Machine, MachineConfig};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::T0, 0);
+/// for _ in 0..8 {
+///     a.addiu(Reg::T0, Reg::T0, 1);
+/// }
+/// a.halt();
+/// let program = a.link("count", &SoftwareSupport::on()).unwrap();
+/// let machine = Machine::new(MachineConfig::paper_baseline().with_fac());
+///
+/// // Run half the program, checkpoint, and abandon the session.
+/// let mut first = machine.begin(&program).unwrap();
+/// for _ in 0..4 {
+///     first.step().unwrap();
+/// }
+/// let snapshot = first.checkpoint();
+///
+/// // A restored session finishes with the same report as a straight run.
+/// let resumed = machine.restore(&program, &snapshot).unwrap().run().unwrap();
+/// let straight = machine.run(&program).unwrap();
+/// assert_eq!(resumed, straight);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session<'p> {
+    config: MachineConfig,
+    max_insts: u64,
+    program: &'p Program,
+    state: ArchState,
+    pipe: Pipeline,
+    stats: SimStats,
+    checker: Option<InvariantChecker>,
+}
+
+impl<'p> Session<'p> {
+    /// Whether the program has executed its `halt`.
+    pub fn halted(&self) -> bool {
+        self.state.halted
+    }
+
+    /// Committed instructions so far.
+    pub fn insts(&self) -> u64 {
+        self.stats.insts
+    }
+
+    /// Executes one instruction (functional + timing). Returns `false`
+    /// when the program had already halted, `true` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        self.step_observed(&mut NullObserver)
+    }
+
+    /// [`Session::step`] with a live [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn step_observed<O: Observer>(&mut self, obs: &mut O) -> Result<bool, SimError> {
+        if self.state.halted {
+            return Ok(false);
+        }
+        if self.stats.insts >= self.max_insts {
+            return Err(SimError::Runaway(self.max_insts));
+        }
+        let ex = self.state.step(self.program)?;
+        self.stats.insts += 1;
+        record_ref(&mut self.stats, &ex);
+        if let Some(chk) = &mut self.checker {
+            let info = self.pipe.advance_obs(&ex, &mut self.stats, obs);
+            chk.check_insn(&ex, &info)?;
+        } else {
+            self.pipe.advance_obs(&ex, &mut self.stats, obs);
+        }
+        Ok(true)
+    }
+
+    /// Runs to completion and produces the report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run(self) -> Result<SimReport, SimError> {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// [`Session::run`] with a live [`Observer`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> Result<SimReport, SimError> {
+        while self.step_observed(obs)? {}
+        self.stats.cycles = self.pipe.finish(&mut self.stats);
+        self.stats.mem_footprint = self.state.mem.footprint();
+        if let Some(chk) = &self.checker {
+            chk.check_finish(&self.stats, &self.pipe)?;
+        }
+        Ok(SimReport {
+            program: self.program.name.clone(),
+            stats: self.stats,
+            final_state: self.state,
+        })
+    }
+
+    /// Serializes the complete machine state — architectural registers and
+    /// memory, every timing structure, statistics, and all deterministic
+    /// random streams — into a self-describing snapshot (format documented
+    /// in `ckpt.rs`). Restoring it with [`Machine::restore`] and running
+    /// to completion yields the same [`SimReport`] as never stopping.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = fac_core::snap::SnapWriter::new();
+        w.u64(crate::ckpt::config_fingerprint(&self.config));
+        w.u64(crate::ckpt::program_fingerprint(self.program));
+        self.state.save_state(&mut w);
+        crate::ckpt::save_stats(&self.stats, &mut w);
+        self.pipe.save_state(&mut w);
+        match &self.checker {
+            None => w.u8(0),
+            Some(chk) => {
+                w.u8(1);
+                chk.save_state(&mut w);
+            }
+        }
+        crate::ckpt::frame(&w.into_bytes())
+    }
+
+    /// Writes [`Session::checkpoint`] to `path` atomically (temporary
+    /// file, fsync, rename) so a crash mid-write never leaves a torn
+    /// snapshot behind.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the write fails.
+    pub fn checkpoint_to(&self, path: &std::path::Path) -> Result<(), SimError> {
+        use std::io::Write;
+        let label = path.display().to_string();
+        let err = |e: std::io::Error| SimError::io(&label, e);
+        let tmp = path.with_extension("tmp");
+        let mut f = std::fs::File::create(&tmp).map_err(err)?;
+        f.write_all(&self.checkpoint()).map_err(err)?;
+        f.sync_all().map_err(err)?;
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(err)
     }
 }
 

@@ -270,7 +270,9 @@ impl Observer for VecObserver {
 /// Streams events as JSON Lines to any writer.
 ///
 /// I/O errors do not disturb the simulation: the first one is latched and
-/// reported by [`JsonlWriter::finish`].
+/// reported by [`JsonlWriter::finish`]. The writer also flushes on drop,
+/// so an event stream abandoned on an early-error path (where nobody calls
+/// `finish`) still reaches the OS instead of dying in a `BufWriter`.
 pub struct JsonlWriter<W: Write> {
     sink: W,
     /// Events written so far.
@@ -290,10 +292,18 @@ impl<W: Write> JsonlWriter<W> {
         if let Err(e) = self.sink.flush() {
             self.error.get_or_insert_with(|| e.to_string());
         }
-        match self.error {
+        match self.error.take() {
             Some(e) => Err(e),
             None => Ok(self.written),
         }
+    }
+}
+
+impl<W: Write> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        // Best-effort: `finish` already flushed on the normal path, and a
+        // drop-time failure has nowhere to be reported anyway.
+        let _ = self.sink.flush();
     }
 }
 
@@ -382,6 +392,30 @@ mod tests {
         for line in text.lines() {
             super::super::json::parse(line).expect("each line is valid JSON");
         }
+    }
+
+    /// Abandoning the writer (early-error paths that never call `finish`)
+    /// still flushes buffered events to the underlying sink.
+    #[test]
+    fn jsonl_writer_flushes_on_drop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        struct FlushProbe(Arc<AtomicBool>);
+        impl Write for FlushProbe {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.0.store(true, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let flushed = Arc::new(AtomicBool::new(false));
+        {
+            let mut w = JsonlWriter::new(FlushProbe(Arc::clone(&flushed)));
+            w.on_event(&Event::Stall { cycle: 1, kind: StallKind::StoreBuffer, penalty: 2 });
+        }
+        assert!(flushed.load(Ordering::SeqCst), "drop must flush the sink");
     }
 
     #[test]

@@ -907,6 +907,210 @@ impl Pipeline {
     pub(crate) fn port_usage(&self) -> impl Iterator<Item = (u64, u32, u32)> + '_ {
         self.ports.slots.iter().copied().filter(|s| s.0 != u64::MAX)
     }
+
+    /// Serializes the complete timing state for a machine checkpoint:
+    /// predictor/LTB/TLB streams, cache tag arrays, BTB, scoreboard,
+    /// port-ring bookings, FU pools, fetch-group cursors, store buffer,
+    /// replay-blocking state and MSHRs. Everything [`Pipeline::new`]
+    /// derives from the configuration alone (geometry, latencies) is not
+    /// written — the restore side rebuilds it from the same configuration.
+    pub(crate) fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
+        match &self.predictor {
+            None => w.u8(0),
+            Some(p) => {
+                w.u8(1);
+                p.save_state(w);
+            }
+        }
+        match &self.ltb {
+            None => w.u8(0),
+            Some(ltb) => {
+                w.u8(1);
+                ltb.save_state(w);
+            }
+        }
+        self.icache.save_state(w);
+        self.dcache.save_state(w);
+        self.btb.save_state(w);
+        match &self.tlb {
+            None => w.u8(0),
+            Some(tlb) => {
+                w.u8(1);
+                tlb.save_state(w);
+            }
+        }
+
+        for c in self.reg_ready {
+            w.u64(c);
+        }
+        w.u64(self.last_issue);
+        w.u32(self.issued_now);
+        w.u32(self.loads_now);
+        w.u32(self.stores_now);
+
+        // Port ring: only live (non-sentinel) slots, as (index, booking).
+        let live: Vec<(usize, (u64, u32, u32))> = self
+            .ports
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.0 != u64::MAX)
+            .map(|(i, s)| (i, *s))
+            .collect();
+        w.len_of(live.len());
+        for (i, (cycle, reads, writes)) in live {
+            w.u32(i as u32);
+            w.u64(cycle);
+            w.u32(reads);
+            w.u32(writes);
+        }
+
+        for pool in [
+            &self.pools_int,
+            &self.pools_ls,
+            &self.pools_fpadd,
+            &self.pools_imul,
+            &self.pools_fpmul,
+        ] {
+            w.len_of(pool.next_free.len());
+            for c in &pool.next_free {
+                w.u64(*c);
+            }
+        }
+
+        w.u64(self.next_fetch);
+        w.u64(self.group_fetch);
+        w.u32(self.group_left);
+        w.u32(self.group_block);
+
+        w.len_of(self.sb_queue.len());
+        for c in &self.sb_queue {
+            w.u64(*c);
+        }
+        w.u64(self.sb_cursor);
+
+        match self.mispredict_block {
+            None => w.u8(0),
+            Some((cycle, was_load)) => {
+                w.u8(1);
+                w.u64(cycle);
+                w.bool(was_load);
+            }
+        }
+        w.u64(self.last_store_access);
+        w.len_of(self.mshrs.len());
+        for (cycle, block) in &self.mshrs {
+            w.u64(*cycle);
+            w.u32(*block);
+        }
+        w.u64(self.max_complete);
+    }
+
+    /// Restores [`Pipeline::save_state`] into a pipeline freshly built
+    /// from the same configuration.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut fac_core::snap::SnapReader<'_>,
+    ) -> Result<(), fac_core::snap::SnapError> {
+        use fac_core::snap::SnapError;
+        let opt = |present: bool, have: bool, what: &str| -> Result<(), SnapError> {
+            if present != have {
+                return Err(SnapError::new(format!(
+                    "{what} mismatch: snapshot {}, machine {}",
+                    if present { "has one" } else { "has none" },
+                    if have { "has one" } else { "has none" }
+                )));
+            }
+            Ok(())
+        };
+
+        let has = r.bool("predictor present")?;
+        opt(has, self.predictor.is_some(), "predictor")?;
+        if let Some(p) = &mut self.predictor {
+            p.load_state(r)?;
+        }
+        let has = r.bool("ltb present")?;
+        opt(has, self.ltb.is_some(), "ltb")?;
+        if let Some(ltb) = &mut self.ltb {
+            ltb.load_state(r)?;
+        }
+        self.icache.load_state(r)?;
+        self.dcache.load_state(r)?;
+        self.btb.load_state(r)?;
+        let has = r.bool("tlb present")?;
+        opt(has, self.tlb.is_some(), "tlb")?;
+        if let Some(tlb) = &mut self.tlb {
+            tlb.load_state(r)?;
+        }
+
+        for c in &mut self.reg_ready {
+            *c = r.u64("reg_ready")?;
+        }
+        self.last_issue = r.u64("last_issue")?;
+        self.issued_now = r.u32("issued_now")?;
+        self.loads_now = r.u32("loads_now")?;
+        self.stores_now = r.u32("stores_now")?;
+
+        self.ports.slots.fill((u64::MAX, 0, 0));
+        let live = r.len_of(PORT_RING, "port ring live slots")?;
+        for _ in 0..live {
+            let i = r.u32("port ring slot index")? as usize;
+            let cycle = r.u64("port ring slot cycle")?;
+            let reads = r.u32("port ring slot reads")?;
+            let writes = r.u32("port ring slot writes")?;
+            if i >= PORT_RING || cycle == u64::MAX {
+                return Err(SnapError::new(format!("bad port ring slot {i}")));
+            }
+            self.ports.slots[i] = (cycle, reads, writes);
+        }
+
+        for pool in [
+            &mut self.pools_int,
+            &mut self.pools_ls,
+            &mut self.pools_fpadd,
+            &mut self.pools_imul,
+            &mut self.pools_fpmul,
+        ] {
+            let n = r.len_of(pool.next_free.len(), "fu pool units")?;
+            if n != pool.next_free.len() {
+                return Err(SnapError::new(format!(
+                    "fu pool mismatch: snapshot has {n} units, machine has {}",
+                    pool.next_free.len()
+                )));
+            }
+            for c in &mut pool.next_free {
+                *c = r.u64("fu pool next_free")?;
+            }
+        }
+
+        self.next_fetch = r.u64("next_fetch")?;
+        self.group_fetch = r.u64("group_fetch")?;
+        self.group_left = r.u32("group_left")?;
+        self.group_block = r.u32("group_block")?;
+
+        let n = r.len_of(self.cfg.store_buffer_entries, "store buffer queue")?;
+        self.sb_queue.clear();
+        for _ in 0..n {
+            self.sb_queue.push_back(r.u64("store buffer entry")?);
+        }
+        self.sb_cursor = r.u64("sb_cursor")?;
+
+        self.mispredict_block = if r.bool("mispredict_block present")? {
+            Some((r.u64("mispredict_block cycle")?, r.bool("mispredict_block was_load")?))
+        } else {
+            None
+        };
+        self.last_store_access = r.u64("last_store_access")?;
+        let n = r.len_of(self.cfg.mshr_entries as usize, "mshrs")?;
+        self.mshrs.clear();
+        for _ in 0..n {
+            let cycle = r.u64("mshr cycle")?;
+            let block = r.u32("mshr block")?;
+            self.mshrs.push((cycle, block));
+        }
+        self.max_complete = r.u64("max_complete")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

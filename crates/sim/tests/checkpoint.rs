@@ -1,0 +1,184 @@
+//! Checkpoint integrity: a restored snapshot replays to the same report
+//! as an uninterrupted run, and every corrupted snapshot is rejected with
+//! a typed error before any state is touched.
+
+use fac_asm::{assemble_and_link, fuzz_source, Program, SoftwareSupport};
+use fac_core::FaultPlan;
+use fac_sim::{Machine, MachineConfig, SimError};
+use proptest::prelude::*;
+
+/// Every machine shape with distinct snapshot content: the paper baseline,
+/// FAC, FAC under each built-in fault plan (exercising the fault RNG
+/// stream), and FAC with the TLB and LTB structures enabled.
+fn config_matrix() -> Vec<MachineConfig> {
+    let mut matrix = vec![
+        MachineConfig::paper_baseline(),
+        MachineConfig::paper_baseline().with_fac(),
+        MachineConfig::paper_baseline().with_fac().with_tlb().with_ltb(64),
+    ];
+    for plan in FaultPlan::builtin() {
+        matrix.push(MachineConfig::paper_baseline().with_fac().with_fault_plan(plan));
+    }
+    matrix
+}
+
+fn program(seed: u64) -> Program {
+    assemble_and_link(&fuzz_source(seed), &format!("fuzz:{seed}"), &SoftwareSupport::on())
+        .expect("generated program assembles")
+}
+
+/// Runs to completion with a checkpoint/restore cycle after `at`
+/// instructions, returning (straight report, resumed report, snapshot).
+fn split_run(cfg: MachineConfig, p: &Program, at: u64) -> (fac_sim::SimReport, fac_sim::SimReport, Vec<u8>) {
+    let machine = Machine::new(cfg);
+    let straight = machine.run(p).expect("straight run succeeds");
+
+    let mut session = machine.begin(p).unwrap();
+    while session.insts() < at && session.step().unwrap() {}
+    let snapshot = session.checkpoint();
+    drop(session); // the interrupted run is abandoned, like a killed process
+
+    let resumed = machine.restore(p, &snapshot).unwrap().run().expect("resumed run succeeds");
+    (straight, resumed, snapshot)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Checkpoint/restore at an arbitrary point of an arbitrary program is
+    /// invisible: the resumed run produces the very same report (cycles,
+    /// every statistic, final architectural state) on every configuration.
+    #[test]
+    fn restore_replays_bit_identically(seed in 0u64..5000, frac in 0u64..100) {
+        let p = program(seed);
+        for cfg in config_matrix() {
+            let total = Machine::new(cfg).run(&p).unwrap().stats.insts;
+            let at = total * frac / 100;
+            let (straight, resumed, _) = split_run(cfg, &p, at);
+            prop_assert_eq!(&straight, &resumed, "config {:?} split at {}", cfg, at);
+        }
+    }
+}
+
+#[test]
+fn restore_at_boundaries_is_identical() {
+    let p = program(7);
+    for cfg in config_matrix() {
+        let total = Machine::new(cfg).run(&p).unwrap().stats.insts;
+        for at in [0, 1, total / 2, total.saturating_sub(1), total] {
+            let (straight, resumed, _) = split_run(cfg, &p, at);
+            assert_eq!(straight, resumed, "config {cfg:?} split at {at}");
+        }
+    }
+}
+
+#[test]
+fn every_byte_flip_is_rejected() {
+    let p = program(11);
+    let cfg = MachineConfig::paper_baseline().with_fac();
+    let machine = Machine::new(cfg);
+    let (_, _, snapshot) = split_run(cfg, &p, 50);
+
+    for i in 0..snapshot.len() {
+        let mut bad = snapshot.clone();
+        bad[i] ^= 0x01;
+        match machine.restore(&p, &bad) {
+            Err(SimError::Checkpoint { .. }) => {}
+            Err(e) => panic!("flip at byte {i}: wrong error kind {e}"),
+            Ok(_) => panic!("flip at byte {i} was accepted"),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    let p = program(11);
+    let cfg = MachineConfig::paper_baseline().with_fac();
+    let machine = Machine::new(cfg);
+    let (_, _, snapshot) = split_run(cfg, &p, 50);
+
+    // Every prefix in the framing region, then sampled prefixes beyond.
+    let cuts = (0..snapshot.len()).filter(|n| *n < 64 || n % 97 == 0 || *n + 16 > snapshot.len());
+    for n in cuts {
+        assert!(
+            matches!(machine.restore(&p, &snapshot[..n]), Err(SimError::Checkpoint { .. })),
+            "prefix of {n} bytes accepted"
+        );
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let p = program(3);
+    let cfg = MachineConfig::paper_baseline();
+    let machine = Machine::new(cfg);
+    let (_, _, mut snapshot) = split_run(cfg, &p, 10);
+    snapshot[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let err = machine.restore(&p, &snapshot).unwrap_err();
+    match err {
+        SimError::Checkpoint { reason, .. } => {
+            assert!(reason.contains("version"), "got: {reason}")
+        }
+        other => panic!("wrong error kind: {other}"),
+    }
+}
+
+#[test]
+fn config_mismatch_is_rejected() {
+    let p = program(3);
+    let fac = MachineConfig::paper_baseline().with_fac();
+    let (_, _, snapshot) = split_run(fac, &p, 10);
+    let err = Machine::new(MachineConfig::paper_baseline()).restore(&p, &snapshot).unwrap_err();
+    match err {
+        SimError::Checkpoint { reason, .. } => {
+            assert!(reason.contains("configuration"), "got: {reason}")
+        }
+        other => panic!("wrong error kind: {other}"),
+    }
+}
+
+#[test]
+fn program_mismatch_is_rejected() {
+    let p = program(3);
+    let other = program(4);
+    let cfg = MachineConfig::paper_baseline();
+    let (_, _, snapshot) = split_run(cfg, &p, 10);
+    let err = Machine::new(cfg).restore(&other, &snapshot).unwrap_err();
+    match err {
+        SimError::Checkpoint { reason, .. } => {
+            assert!(reason.contains("different program"), "got: {reason}")
+        }
+        other => panic!("wrong error kind: {other}"),
+    }
+}
+
+#[test]
+fn file_roundtrip_is_atomic_and_identical() {
+    let dir = std::env::temp_dir().join(format!("fac_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mid.facsnap");
+
+    let p = program(21);
+    let cfg = MachineConfig::paper_baseline().with_fac();
+    let machine = Machine::new(cfg);
+    let straight = machine.run(&p).unwrap();
+
+    let mut session = machine.begin(&p).unwrap();
+    for _ in 0..40 {
+        session.step().unwrap();
+    }
+    session.checkpoint_to(&path).unwrap();
+    drop(session);
+
+    // The temporary staging file must not survive a successful commit.
+    assert!(!path.with_extension("tmp").exists(), "staging file left behind");
+
+    let resumed = machine.restore_from(&p, &path).unwrap().run().unwrap();
+    assert_eq!(straight, resumed);
+
+    // A missing file surfaces as a typed I/O error, not a panic.
+    let missing = dir.join("nope.facsnap");
+    assert!(matches!(machine.restore_from(&p, &missing), Err(SimError::Io { .. })));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -72,7 +72,7 @@ fn corpus_runs_clean_under_the_full_matrix() {
             let name = name.clone();
             jobs.push(format!("{name}/{label}"), move || {
                 match Lockstep::new(cfg).with_max_insts(MAX_STEPS).run(program) {
-                    Ok(r) => Ok((name, label, r.stats.insts)),
+                    Ok(r) => Ok((name.clone(), label.clone(), r.stats.insts)),
                     Err(e) => panic!("{name} under {label}: {e}"),
                 }
             });
