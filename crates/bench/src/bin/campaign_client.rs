@@ -1,0 +1,211 @@
+//! The campaign client: drives a `campaign_server` over TCP or a Unix
+//! socket.
+//!
+//! ```sh
+//! # Full sweep (19 workloads x {baseline, fac}), artifact to a file:
+//! cargo run --release -p fac-bench --bin campaign_client -- \
+//!     --connect unix:/tmp/fac.sock --smoke --json sweep.json
+//! # One cell, liveness, counters:
+//! campaign_client --connect tcp:127.0.0.1:7199 --cell compress --config fac
+//! campaign_client --connect unix:/tmp/fac.sock --ping
+//! campaign_client --connect unix:/tmp/fac.sock --stats
+//! ```
+//!
+//! The sweep computes each cell's configuration and program fingerprints
+//! locally and sends them with the request, so client/server version
+//! skew is a typed refusal instead of silently incomparable numbers. The
+//! `--json` artifact contains only the cell results — whether a cell was
+//! served from the store never changes the bytes, so a cold sweep and a
+//! fully cached re-run produce byte-identical artifacts (cache hits are
+//! reported on stdout for humans).
+//!
+//! Exit codes: 0 success, 1 simulation/transport failure, 2 bad usage or
+//! a `bad-request` refusal, 3 shed by the server's admission bound.
+
+use fac_bench::serve::client::Client;
+use fac_bench::serve::proto::{CellRequest, ErrorKind, Request, Response};
+use fac_bench::serve::{config_by_name, scale_name, sw_support, Endpoint, CONFIG_NAMES};
+use fac_bench::Args;
+use fac_sim::obs::Json;
+use fac_sim::{config_fingerprint, program_fingerprint, SimError};
+use fac_workloads::Scale;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: campaign_client --connect <tcp:host:port|unix:path>");
+    eprintln!("       [--smoke] [--json <path|->] [--timeout-secs N]");
+    eprintln!("       [--cell <workload> [--config <baseline|fac>]] | [--ping] | [--stats]");
+    std::process::exit(2);
+}
+
+/// Boolean flags this binary accepts.
+const BOOL_FLAGS: &[&str] = &["--smoke", "--ping", "--stats"];
+/// Value-taking flags this binary accepts.
+const VALUE_FLAGS: &[&str] = &["--connect", "--json", "--cell", "--config", "--timeout-secs"];
+
+/// Unwraps a parse result or exits with the typed error and the usage.
+fn or_usage<T>(result: Result<T, SimError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+fn fail(e: &SimError) -> std::process::ExitCode {
+    eprintln!("error: {e}");
+    std::process::ExitCode::FAILURE
+}
+
+/// Maps a protocol refusal to the documented exit codes.
+fn refusal(kind: ErrorKind, message: &str) -> std::process::ExitCode {
+    eprintln!("error: server refused ({}): {message}", kind.token());
+    match kind {
+        ErrorKind::BadRequest => std::process::ExitCode::from(2),
+        ErrorKind::Overloaded => std::process::ExitCode::from(3),
+        ErrorKind::Sim => std::process::ExitCode::FAILURE,
+    }
+}
+
+/// Builds a cell request, computing fingerprints locally for real
+/// workloads (test cells have no client-side build to fingerprint).
+fn cell_request(workload: &str, config: &str, scale: Scale) -> CellRequest {
+    let mut req = CellRequest {
+        workload: workload.to_string(),
+        sw: true,
+        scale,
+        config: config.to_string(),
+        config_fp: None,
+        program_fp: None,
+    };
+    if let Some(cfg) = config_by_name(config) {
+        req.config_fp = Some(config_fingerprint(&cfg));
+    }
+    if let Some(wl) = fac_workloads::find(workload) {
+        req.program_fp = Some(program_fingerprint(&wl.build(&sw_support(true), scale)));
+    }
+    req
+}
+
+fn main() -> std::process::ExitCode {
+    let args = or_usage(Args::parse(BOOL_FLAGS, VALUE_FLAGS));
+    or_usage(args.no_positionals(
+        "--connect, --smoke, --json, --cell, --config, --timeout-secs, --ping, --stats",
+    ));
+    let Some(connect) = args.value("--connect") else { usage() };
+    let endpoint = or_usage(Endpoint::parse("--connect", connect));
+    let timeout = or_usage(args.parse_value::<u64>(
+        "--timeout-secs",
+        "a response deadline in whole seconds, at least 1",
+    ))
+    .unwrap_or(600);
+    if timeout == 0 {
+        eprintln!("error: --timeout-secs must be at least 1");
+        usage()
+    }
+    let scale = args.scale();
+
+    let mut client = match Client::connect(&endpoint, Duration::from_secs(timeout)) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+
+    if args.flag("--ping") {
+        return match client.rpc(&Request::Ping) {
+            Ok(Response::Pong) => {
+                println!("pong");
+                std::process::ExitCode::SUCCESS
+            }
+            Ok(other) => fail(&unexpected(&other)),
+            Err(e) => fail(&e),
+        };
+    }
+    if args.flag("--stats") {
+        return match client.rpc(&Request::Stats) {
+            Ok(Response::Stats(doc)) => {
+                println!("{}", doc.to_pretty(2));
+                std::process::ExitCode::SUCCESS
+            }
+            Ok(other) => fail(&unexpected(&other)),
+            Err(e) => fail(&e),
+        };
+    }
+    if let Some(workload) = args.value("--cell") {
+        let config = args.value("--config").unwrap_or("fac");
+        let req = cell_request(workload, config, scale);
+        return match client.rpc(&Request::Cell(req)) {
+            Ok(Response::Cell { cached, coalesced, result, .. }) => {
+                eprintln!(
+                    "{workload} [{config}]: {}",
+                    if cached {
+                        "served from store"
+                    } else if coalesced {
+                        "coalesced with an in-flight simulation"
+                    } else {
+                        "simulated fresh"
+                    }
+                );
+                println!("{}", result.to_pretty(2));
+                std::process::ExitCode::SUCCESS
+            }
+            Ok(Response::Error { kind, message }) => refusal(kind, &message),
+            Ok(other) => fail(&unexpected(&other)),
+            Err(e) => fail(&e),
+        };
+    }
+
+    // Default: the full sweep, every workload under every named config.
+    let mut rows = Vec::new();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for workload in fac_workloads::suite() {
+        for config in CONFIG_NAMES {
+            total += 1;
+            let req = cell_request(workload.name, config, scale);
+            match client.rpc(&Request::Cell(req)) {
+                Ok(Response::Cell { cached, result, .. }) => {
+                    let cycles = result.get("cycles").and_then(Json::as_u64).unwrap_or(0);
+                    println!(
+                        "{:10} {:8} {:>12} cycles{}",
+                        workload.name,
+                        config,
+                        cycles,
+                        if cached { "  (cached)" } else { "" }
+                    );
+                    if cached {
+                        hits += 1;
+                    }
+                    rows.push(result);
+                }
+                Ok(Response::Error { kind, message }) => return refusal(kind, &message),
+                Ok(other) => return fail(&unexpected(&other)),
+                Err(e) => return fail(&e),
+            }
+        }
+    }
+    println!("cache hits: {hits}/{total}");
+
+    if let Some(path) = args.value("--json") {
+        // The artifact deliberately omits hit/coalesce flags: a cold
+        // sweep and a fully cached re-run must be byte-identical.
+        let mut doc = Json::obj();
+        doc.set("campaign", Json::Str("server_sweep".to_string()));
+        doc.set("scale", Json::Str(scale_name(scale).to_string()));
+        doc.set("configs", Json::Arr(CONFIG_NAMES.iter().map(|c| Json::Str(c.to_string())).collect()));
+        doc.set("rows", Json::Arr(rows));
+        if let Err(e) = fac_bench::write_json(path, &doc) {
+            return fail(&e);
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+/// A response that violates the protocol's request/response pairing.
+fn unexpected(resp: &Response) -> SimError {
+    SimError::Io {
+        path: "campaign server".to_string(),
+        message: format!("unexpected response: {resp:?}"),
+    }
+}

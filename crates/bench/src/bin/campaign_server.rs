@@ -1,0 +1,133 @@
+//! The campaign server daemon: simulation-as-a-service with a
+//! content-addressed result cache.
+//!
+//! ```sh
+//! cargo run --release -p fac-bench --bin campaign_server -- \
+//!     --listen unix:/tmp/fac.sock --store-dir /tmp/fac-store
+//! ```
+//!
+//! Listens on a TCP or Unix-domain socket, answers repeated cells from
+//! the on-disk store, coalesces concurrent requests for one cell into a
+//! single simulation, sheds work past `--max-queue` with a typed
+//! overload error, and drains gracefully on SIGTERM/SIGINT: in-flight
+//! requests finish, the store is fsynced, and the process exits 0.
+
+use fac_bench::serve::server::{Server, ServeOptions, Shutdown};
+use fac_bench::serve::Endpoint;
+use fac_bench::Args;
+use fac_sim::{ConfigError, SimError};
+use std::io::Write as _;
+
+fn usage() -> ! {
+    eprintln!("usage: campaign_server --listen <tcp:host:port|unix:path> --store-dir <dir>");
+    eprintln!("       [--max-queue N] [--request-timeout-secs N] [--idle-timeout-secs N]");
+    eprintln!("       [--test-cells]");
+    std::process::exit(2);
+}
+
+/// Boolean flags this binary accepts.
+const BOOL_FLAGS: &[&str] = &["--test-cells"];
+/// Value-taking flags this binary accepts.
+const VALUE_FLAGS: &[&str] =
+    &["--listen", "--store-dir", "--max-queue", "--request-timeout-secs", "--idle-timeout-secs"];
+
+/// Unwraps a parse result or exits with the typed error and the usage.
+fn or_usage<T>(result: Result<T, SimError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}
+
+/// A positive-integer flag: zero is rejected with the flag's own name.
+fn positive(args: &Args, flag: &'static str, expected: &'static str) -> Option<u64> {
+    match or_usage(args.parse_value::<u64>(flag, expected)) {
+        Some(0) => or_usage(Err(ConfigError::BadFlagValue {
+            flag: flag.to_string(),
+            value: "0".to_string(),
+            expected,
+        }
+        .into())),
+        other => other,
+    }
+}
+
+/// Routes SIGTERM and SIGINT to the server's graceful-drain flag. Raw
+/// `signal(2)` FFI — the flag store is a single atomic write, which is
+/// async-signal-safe, and the container has no libc crate to lean on.
+#[cfg(unix)]
+fn install_signal_handlers(shutdown: Shutdown) {
+    use std::sync::OnceLock;
+    static DRAIN: OnceLock<Shutdown> = OnceLock::new();
+    DRAIN.set(shutdown).ok();
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(drain) = DRAIN.get() {
+            drain.trigger();
+        }
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers(_shutdown: Shutdown) {}
+
+fn main() -> std::process::ExitCode {
+    let args = or_usage(Args::parse(BOOL_FLAGS, VALUE_FLAGS));
+    or_usage(args.no_positionals(
+        "--listen, --store-dir, --max-queue, --request-timeout-secs, --idle-timeout-secs, --test-cells",
+    ));
+    let Some(listen) = args.value("--listen") else { usage() };
+    let endpoint = or_usage(Endpoint::parse("--listen", listen));
+    let Some(store_dir) = args.value("--store-dir") else { usage() };
+
+    let mut opts = ServeOptions::new(store_dir);
+    if let Some(n) = positive(&args, "--max-queue", "an admission bound of at least 1") {
+        opts.max_queue = n as usize;
+    }
+    if let Some(n) =
+        positive(&args, "--request-timeout-secs", "a per-request deadline in whole seconds, at least 1")
+    {
+        opts.request_timeout_secs = n;
+    }
+    if let Some(n) =
+        positive(&args, "--idle-timeout-secs", "an idle deadline in whole seconds, at least 1")
+    {
+        opts.idle_timeout_secs = n;
+    }
+    opts.test_cells = args.flag("--test-cells");
+
+    let server = match Server::bind(&endpoint, opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers(server.shutdown_handle());
+    // Announce (and flush) the bound endpoint before serving, so a script
+    // that started us knows when — and where — to connect.
+    println!("campaign server listening on {}", server.endpoint());
+    std::io::stdout().flush().ok();
+
+    match server.run() {
+        Ok(()) => {
+            println!("campaign server drained cleanly");
+            std::process::ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}

@@ -41,6 +41,7 @@ pub mod fuzz;
 pub mod io;
 pub mod manifest;
 pub mod par;
+pub mod serve;
 
 /// Instruction budget per simulation (well above any Paper-scale kernel).
 pub const MAX_INSTS: u64 = 400_000_000;

@@ -72,7 +72,7 @@ impl Manifest {
             reason: format!("line {}: {why}", lineno + 1),
         };
 
-        let mut cached = HashMap::new();
+        let mut cached: HashMap<String, Json> = HashMap::new();
         match std::fs::read_to_string(&path) {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(SimError::io(&label, e)),
@@ -119,6 +119,24 @@ impl Manifest {
                                  (recorded {recorded:#018x}, computed {actual:#018x})"
                             ),
                         ));
+                    }
+                    // Duplicate lines for one job can appear after a
+                    // resume race (two workers journaling the same cell).
+                    // They are idempotent — last writer wins — but only
+                    // when the digests agree; two *different* results for
+                    // one cell mean the journal cannot be trusted.
+                    if let Some(prev) = cached.get(job) {
+                        let prev_digest = digest(&prev.to_string());
+                        if prev_digest != recorded {
+                            return Err(corrupt(
+                                lineno,
+                                format!(
+                                    "conflicting duplicate for job '{job}': earlier line \
+                                     recorded digest {prev_digest:#018x}, this line \
+                                     {recorded:#018x}"
+                                ),
+                            ));
+                        }
                     }
                     cached.insert(job.to_string(), result.clone());
                 }
@@ -265,6 +283,46 @@ mod tests {
         match err {
             SimError::Checkpoint { reason, .. } => {
                 assert!(reason.contains("digest mismatch"), "got: {reason}")
+            }
+            other => panic!("wrong error kind: {other}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Duplicate lines for the same job (the signature of a resume race)
+    /// are idempotent when their digests agree: last writer wins and the
+    /// journal still opens.
+    #[test]
+    fn agreeing_duplicate_lines_are_idempotent() {
+        let dir = temp_dir("dup");
+        let m = Manifest::open(&dir).unwrap();
+        m.record("cell:a", &result(1));
+        m.record("cell:b", &result(2));
+        // The race: the same cell journaled twice with the same result.
+        m.record("cell:a", &result(1));
+        drop(m);
+
+        let m = Manifest::open(&dir).unwrap();
+        assert_eq!(m.len(), 2, "duplicates must collapse to one entry");
+        assert_eq!(m.lookup("cell:a"), Some(result(1)));
+        assert_eq!(m.lookup("cell:b"), Some(result(2)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Two different results journaled for one job is corruption, not a
+    /// race — the journal is rejected, never silently resolved.
+    #[test]
+    fn conflicting_duplicate_lines_are_rejected() {
+        let dir = temp_dir("dupconflict");
+        let m = Manifest::open(&dir).unwrap();
+        m.record("cell:a", &result(1));
+        m.record("cell:a", &result(9));
+        drop(m);
+
+        let err = Manifest::open(&dir).unwrap_err();
+        match err {
+            SimError::Checkpoint { reason, .. } => {
+                assert!(reason.contains("conflicting duplicate"), "got: {reason}")
             }
             other => panic!("wrong error kind: {other}"),
         }

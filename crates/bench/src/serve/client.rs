@@ -1,0 +1,77 @@
+//! A blocking campaign-protocol client: one connection, request/response
+//! RPC with a wall-clock response deadline.
+
+use super::proto::{parse_response, read_line, render_request, LineEvent, Request, Response};
+use super::{Conn, Endpoint};
+use fac_sim::SimError;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// How often a blocked response read wakes to check the deadline.
+const POLL: Duration = Duration::from_millis(100);
+
+/// A connected campaign client.
+pub struct Client {
+    conn: Conn,
+    endpoint: String,
+    /// Partial-line carry between reads (a response split across TCP
+    /// segments must not be lost to a poll timeout).
+    pending: Vec<u8>,
+    deadline: Duration,
+}
+
+impl Client {
+    /// Dials the server and arms the per-request response deadline.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] naming the endpoint when the connection fails.
+    pub fn connect(endpoint: &Endpoint, deadline: Duration) -> Result<Client, SimError> {
+        let conn = Conn::dial(endpoint)?;
+        let label = endpoint.to_string();
+        conn.set_read_timeout(Some(POLL)).map_err(|e| SimError::io(&label, e))?;
+        conn.set_write_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| SimError::io(&label, e))?;
+        Ok(Client { conn, endpoint: label, pending: Vec::new(), deadline })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the connection drops or the peer sends an
+    /// unparseable line; [`SimError::Timeout`] when no response arrives
+    /// within the deadline. A protocol-level refusal (`ok: false`) is a
+    /// successful RPC — it returns [`Response::Error`].
+    pub fn rpc(&mut self, req: &Request) -> Result<Response, SimError> {
+        let io_err = |message: String| SimError::Io { path: self.endpoint.clone(), message };
+        let mut line = render_request(req);
+        line.push('\n');
+        self.conn
+            .write_all(line.as_bytes())
+            .and_then(|()| self.conn.flush())
+            .map_err(|e| SimError::io(&self.endpoint, e))?;
+        let start = Instant::now();
+        loop {
+            match read_line(&mut self.conn, &mut self.pending) {
+                LineEvent::Line(line) => {
+                    return parse_response(&line)
+                        .map_err(|e| io_err(format!("unparseable response: {e}")));
+                }
+                LineEvent::Timeout => {
+                    if start.elapsed() >= self.deadline {
+                        return Err(SimError::Timeout {
+                            job: format!("request to {}", self.endpoint),
+                            secs: self.deadline.as_secs(),
+                        });
+                    }
+                }
+                LineEvent::Eof => {
+                    return Err(io_err("server closed the connection".to_string()));
+                }
+                LineEvent::Poison(e) => return Err(io_err(e.to_string())),
+                LineEvent::Io(e) => return Err(SimError::io(&self.endpoint, e)),
+            }
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! The campaign server: simulation-as-a-service with a content-addressed
+//! result cache.
+//!
+//! ROADMAP item 2 promotes the one-shot sweep machinery — the
+//! [`crate::par::JobSet`] pool, the durable [`crate::manifest::Manifest`]
+//! journal, crash-safe resume — into a long-lived service. Exploring the
+//! design spaces the related work opens means re-running thousands of
+//! (configuration × workload) cells with heavy overlap; a memoizing
+//! server answers repeats from its store in microseconds and only
+//! simulates genuinely new cells.
+//!
+//! The subsystem splits into three modules plus two binaries:
+//!
+//! - [`proto`] — the line-delimited JSON protocol (requests, responses,
+//!   capped line framing) built on the hardened `fac_sim::obs::json`
+//!   parser.
+//! - [`store`] — the content-addressed on-disk result store:
+//!   FNV-1a-checksummed `FACCELL` frames written atomically, corrupted
+//!   entries quarantined and transparently recomputed.
+//! - [`server`] — the std-only thread-per-connection front end:
+//!   in-flight deduplication (N clients asking for one cell trigger one
+//!   simulation), a bounded admission queue with typed
+//!   [`fac_sim::SimError::Overloaded`] backpressure, per-request
+//!   watchdogs via [`crate::par::RunOptions`], idle/slow-client socket
+//!   timeouts, per-connection panic containment, and graceful drain.
+//! - `campaign_server` / `campaign_client` — the CLI front ends.
+//!
+//! A cell is identified by the *fingerprints* of its machine
+//! configuration and its built program (the same FNV-1a identities the
+//! checkpoint frames verify on restore), so the store key changes
+//! whenever either side of the cell changes — a stale entry can never be
+//! served for a different experiment.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+use fac_asm::SoftwareSupport;
+use fac_sim::{ConfigError, MachineConfig, SimError};
+use fac_workloads::Scale;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// Where the server listens (or the client connects): `tcp:<host:port>`
+/// or `unix:<path>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP socket address such as `127.0.0.1:7199` (`:0` asks the OS
+    /// for an ephemeral port; the server prints the bound address).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+impl Endpoint {
+    /// Parses an endpoint string from a `--listen` / `--connect` flag.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] (a [`ConfigError::BadFlagValue`])
+    /// naming the flag when the string is neither `tcp:host:port` nor
+    /// `unix:path`.
+    pub fn parse(flag: &'static str, value: &str) -> Result<Endpoint, SimError> {
+        const EXPECTED: &str = "tcp:<host:port> or unix:<path>";
+        let bad = || {
+            SimError::from(ConfigError::BadFlagValue {
+                flag: flag.to_string(),
+                value: value.to_string(),
+                expected: EXPECTED,
+            })
+        };
+        if let Some(path) = value.strip_prefix("unix:") {
+            #[cfg(unix)]
+            {
+                if path.is_empty() {
+                    return Err(bad());
+                }
+                return Ok(Endpoint::Unix(std::path::PathBuf::from(path)));
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(bad());
+            }
+        }
+        let addr = value.strip_prefix("tcp:").unwrap_or(value);
+        // A TCP endpoint must look like host:port with a numeric port.
+        match addr.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// One accepted (or dialed) connection: a TCP or Unix stream behind a
+/// uniform blocking-I/O surface.
+#[derive(Debug)]
+pub enum Conn {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    /// Dials `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] naming the endpoint when the connection fails.
+    pub fn dial(endpoint: &Endpoint) -> Result<Conn, SimError> {
+        let label = endpoint.to_string();
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                TcpStream::connect(addr).map(Conn::Tcp).map_err(|e| SimError::io(&label, e))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                UnixStream::connect(path).map(Conn::Unix).map_err(|e| SimError::io(&label, e))
+            }
+        }
+    }
+
+    /// Sets the read timeout (used both as the server's shutdown-poll
+    /// granularity and the client's response deadline).
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    /// Sets the write timeout (a slow or stalled client must not pin a
+    /// server thread forever).
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_write_timeout(dur),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_write_timeout(dur),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The bound listening socket behind [`server::Server`].
+#[derive(Debug)]
+pub(crate) enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain listener (plus its socket path, removed on drop).
+    #[cfg(unix)]
+    Unix(UnixListener, std::path::PathBuf),
+}
+
+impl Listener {
+    pub(crate) fn bind(endpoint: &Endpoint) -> Result<Listener, SimError> {
+        let label = endpoint.to_string();
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                TcpListener::bind(addr).map(Listener::Tcp).map_err(|e| SimError::io(&label, e))
+            }
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                // The server owns its socket path: a stale socket left by
+                // a kill -9 would otherwise make every restart fail with
+                // AddrInUse — exactly the restart the crash-recovery
+                // story depends on.
+                if path.exists() {
+                    std::fs::remove_file(path).map_err(|e| SimError::io(&label, e))?;
+                }
+                UnixListener::bind(path)
+                    .map(|l| Listener::Unix(l, path.clone()))
+                    .map_err(|e| SimError::io(&label, e))
+            }
+        }
+    }
+
+    /// The endpoint actually bound (TCP resolves `:0` to the real port).
+    pub(crate) fn endpoint(&self) -> Endpoint {
+        match self {
+            Listener::Tcp(l) => Endpoint::Tcp(
+                l.local_addr().map_or_else(|_| "?".to_string(), |a| a.to_string()),
+            ),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Endpoint::Unix(path.clone()),
+        }
+    }
+
+    pub(crate) fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            std::fs::remove_file(path).ok();
+        }
+    }
+}
+
+/// The named machine configurations a cell request may ask for. Both the
+/// server and the client resolve names through this one catalog, so the
+/// fingerprints they compute agree by construction.
+pub fn config_by_name(name: &str) -> Option<MachineConfig> {
+    match name {
+        "baseline" => Some(MachineConfig::paper_baseline()),
+        "fac" => Some(MachineConfig::paper_baseline().with_fac()),
+        _ => None,
+    }
+}
+
+/// The configuration names [`config_by_name`] accepts, for error messages
+/// and the client sweep.
+pub const CONFIG_NAMES: &[&str] = &["baseline", "fac"];
+
+/// Renders a scale for the wire (`"smoke"` / `"paper"`).
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Paper => "paper",
+    }
+}
+
+/// Parses a wire scale name.
+pub fn scale_by_name(name: &str) -> Option<Scale> {
+    match name {
+        "smoke" => Some(Scale::Smoke),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+/// The canonical identity of a cell: every request field that selects
+/// what is simulated, in one deterministic rendering. The store key is
+/// the FNV-1a digest of this string chained with both fingerprints.
+pub fn cell_identity(workload: &str, sw: bool, scale: Scale, config: &str) -> String {
+    format!(
+        "cell:{workload}:sw={}:scale={}:cfg={config}",
+        u8::from(sw),
+        scale_name(scale)
+    )
+}
+
+/// Builds the §4-software-support flag for a cell request.
+pub fn sw_support(sw: bool) -> SoftwareSupport {
+    if sw {
+        SoftwareSupport::on()
+    } else {
+        SoftwareSupport::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_accepts_tcp_and_unix() {
+        assert_eq!(
+            Endpoint::parse("--listen", "127.0.0.1:7199").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7199".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("--listen", "tcp:127.0.0.1:0").unwrap(),
+            Endpoint::Tcp("127.0.0.1:0".to_string())
+        );
+        #[cfg(unix)]
+        assert_eq!(
+            Endpoint::parse("--connect", "unix:/tmp/fac.sock").unwrap(),
+            Endpoint::Unix(std::path::PathBuf::from("/tmp/fac.sock"))
+        );
+    }
+
+    #[test]
+    fn endpoint_parse_rejects_malformed_values() {
+        for bad in ["", "localhost", "tcp:", "tcp:nohost", ":-1", "127.0.0.1:notaport", "unix:"] {
+            let err = Endpoint::parse("--listen", bad).unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidConfig(ConfigError::BadFlagValue { .. })),
+                "{bad:?} got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_identity_is_canonical() {
+        assert_eq!(
+            cell_identity("compress", true, Scale::Smoke, "fac"),
+            "cell:compress:sw=1:scale=smoke:cfg=fac"
+        );
+        // Every selector changes the identity.
+        let base = cell_identity("compress", true, Scale::Smoke, "fac");
+        for other in [
+            cell_identity("espresso", true, Scale::Smoke, "fac"),
+            cell_identity("compress", false, Scale::Smoke, "fac"),
+            cell_identity("compress", true, Scale::Paper, "fac"),
+            cell_identity("compress", true, Scale::Smoke, "baseline"),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn config_catalog_round_trips() {
+        for name in CONFIG_NAMES {
+            assert!(config_by_name(name).is_some(), "{name}");
+        }
+        assert!(config_by_name("warp-drive").is_none());
+        assert_eq!(scale_by_name("smoke"), Some(Scale::Smoke));
+        assert_eq!(scale_by_name("paper"), Some(Scale::Paper));
+        assert_eq!(scale_by_name("Smoke"), None);
+    }
+}

@@ -1,0 +1,1041 @@
+//! The campaign server: a std-only thread-per-connection front end over
+//! the [`crate::par::JobSet`] pool and the [`super::store::Store`].
+//!
+//! Request flow for a cell:
+//!
+//! 1. **Resolve.** The named configuration and workload are looked up in
+//!    the shared catalogs; the server computes both fingerprints itself
+//!    and cross-checks any the client sent (version skew is a typed
+//!    `bad-request`, never two silently incomparable results).
+//! 2. **Store lookup.** A verified entry is served in microseconds. A
+//!    corrupted entry is quarantined by the store and treated as a miss.
+//! 3. **Coalesce.** If another connection is already simulating the same
+//!    key, this request waits on its result — N clients asking for one
+//!    cell trigger exactly one simulation.
+//! 4. **Admit.** Genuinely new work passes the bounded admission gate;
+//!    past the bound the request is shed with a typed
+//!    [`SimError::Overloaded`] — the server degrades by refusing, never
+//!    by growing without bound.
+//! 5. **Simulate.** The cell runs as a one-job [`crate::par::JobSet`]
+//!    under [`crate::par::RunOptions`], inheriting its panic containment
+//!    (a panicking cell is a typed error, not a poisoned server) and its
+//!    wall-clock watchdog.
+//! 6. **Commit.** The result is written atomically to the store, then
+//!    published to any coalesced waiters.
+//!
+//! Shutdown (SIGTERM/SIGINT, or [`Shutdown::trigger`] in tests) drains:
+//! the accept loop stops, every connection finishes the request it is
+//! writing, worker threads are joined, the store directory is fsynced,
+//! and `run` returns `Ok` — exit code 0.
+
+use super::proto::{
+    parse_request, read_line, render_response, ErrorKind, LineEvent, Request, Response,
+};
+use super::store::{Lookup, Store};
+use super::{
+    cell_identity, config_by_name, scale_name, sw_support, Conn, Endpoint, Listener, CONFIG_NAMES,
+};
+use crate::par::{JobSet, RunOptions};
+use crate::serve::proto::CellRequest;
+use fac_asm::Program;
+use fac_core::snap::{fnv1a, FNV_OFFSET};
+use fac_sim::obs::Json;
+use fac_sim::{config_fingerprint, program_fingerprint, MachineConfig, SimError};
+use fac_workloads::Scale;
+use std::collections::HashMap;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and the accept loop re-check the shutdown
+/// flag. Bounds drain latency, not throughput.
+const POLL: Duration = Duration::from_millis(50);
+/// A stalled client gets this long to absorb a response before the
+/// connection is dropped.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Locks a mutex, recovering the data from a poisoned lock: a panic on
+/// one connection thread must never wedge the whole server (the data the
+/// server guards — counters, the in-flight map, the store handle — stays
+/// consistent because every critical section is a few straight-line
+/// statements).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Server policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Where the content-addressed result store lives.
+    pub store_dir: PathBuf,
+    /// How many simulations may be admitted (queued or running) at once;
+    /// requests beyond the bound are shed with a typed error.
+    pub max_queue: usize,
+    /// Per-request wall-clock deadline in seconds (the
+    /// [`RunOptions::timeout_secs`] watchdog on each cell).
+    pub request_timeout_secs: u64,
+    /// How long a connection may sit idle (no complete request line)
+    /// before the server closes it — slow-loris byte dribbles do not
+    /// reset the clock.
+    pub idle_timeout_secs: u64,
+    /// Enables the `__panic` / `__sleep:<ms>` test cells used by the
+    /// fault-injection suites. Never enabled in production.
+    pub test_cells: bool,
+}
+
+impl ServeOptions {
+    /// Defaults tuned for an interactive campaign: store at `dir`,
+    /// admission bounded at 32, five-minute request and idle deadlines,
+    /// test cells off.
+    pub fn new(dir: impl Into<PathBuf>) -> ServeOptions {
+        ServeOptions {
+            store_dir: dir.into(),
+            max_queue: 32,
+            request_timeout_secs: 300,
+            idle_timeout_secs: 300,
+            test_cells: false,
+        }
+    }
+}
+
+/// A cloneable shutdown flag: signal handlers, tests, and the drain logic
+/// all observe the same bit.
+#[derive(Debug, Clone, Default)]
+pub struct Shutdown(Arc<AtomicBool>);
+
+impl Shutdown {
+    /// A fresh, untriggered flag.
+    pub fn new() -> Shutdown {
+        Shutdown::default()
+    }
+
+    /// Requests a graceful drain (idempotent, async-signal-safe).
+    pub fn trigger(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// `true` once a drain has been requested.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Monotonic service counters, reported by the `stats` request.
+#[derive(Debug, Default)]
+struct Counters {
+    /// Cells answered from the store.
+    hits: AtomicU64,
+    /// Cells simulated fresh.
+    misses: AtomicU64,
+    /// Cells answered by piggybacking on another connection's simulation.
+    coalesced: AtomicU64,
+    /// Requests shed by the admission bound.
+    sheds: AtomicU64,
+    /// Store entries that failed verification and were quarantined.
+    quarantined: AtomicU64,
+    /// Simulations that ended in a typed error (panic, timeout, ...).
+    sim_errors: AtomicU64,
+    /// Connection threads that panicked outside the job boundary.
+    conn_panics: AtomicU64,
+    /// Store writes that failed (the result was still served).
+    store_put_errors: AtomicU64,
+}
+
+/// One in-flight simulation that followers can wait on.
+#[derive(Debug, Default)]
+struct InFlight {
+    done: Mutex<Option<Result<Json, SimError>>>,
+    cv: Condvar,
+}
+
+impl InFlight {
+    /// Blocks until the leader publishes, bounded by `deadline` — a
+    /// follower must not wait forever on a leader that died between
+    /// registering and publishing.
+    fn wait(&self, deadline: Duration, job: &str) -> Result<Json, SimError> {
+        let start = Instant::now();
+        let mut done = lock(&self.done);
+        while done.is_none() {
+            let Some(left) = deadline.checked_sub(start.elapsed()) else {
+                return Err(SimError::Timeout { job: job.to_string(), secs: deadline.as_secs() });
+            };
+            done = self
+                .cv
+                .wait_timeout(done, left)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+        done.clone().expect("loop exits only when published")
+    }
+
+    fn publish(&self, result: Result<Json, SimError>) {
+        *lock(&self.done) = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    opts: ServeOptions,
+    store: Mutex<Store>,
+    inflight: Mutex<HashMap<u64, Arc<InFlight>>>,
+    /// Simulations admitted (queued or running) right now.
+    admitted: AtomicUsize,
+    counters: Counters,
+    /// Built programs, keyed by `workload:sw:scale` — a sweep asks for
+    /// each program many times (two configs × repeat runs) and builds are
+    /// deterministic, so build once and share.
+    programs: Mutex<HashMap<String, Arc<Program>>>,
+}
+
+impl Shared {
+    fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn program(&self, workload: &fac_workloads::Workload, sw: bool, scale: Scale) -> Arc<Program> {
+        let key = format!("{}:{}:{}", workload.name, u8::from(sw), scale_name(scale));
+        lock(&self.programs)
+            .entry(key)
+            .or_insert_with(|| Arc::new(workload.build(&sw_support(sw), scale)))
+            .clone()
+    }
+
+    /// Passes the admission gate or sheds with a typed error.
+    fn admit(&self) -> Result<(), SimError> {
+        let limit = self.opts.max_queue;
+        self.admitted
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < limit).then_some(n + 1))
+            .map(|_| ())
+            .map_err(|pending| SimError::Overloaded { pending, limit })
+    }
+
+    fn release(&self) {
+        self.admitted.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The campaign server: bind, then [`Server::run`] until drained.
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+    shutdown: Shutdown,
+}
+
+impl Server {
+    /// Binds the endpoint and opens (creating if needed) the store.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the socket cannot be bound or the store
+    /// directory cannot be created.
+    pub fn bind(endpoint: &Endpoint, opts: ServeOptions) -> Result<Server, SimError> {
+        let listener = Listener::bind(endpoint)?;
+        let store = Store::open(&opts.store_dir)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                opts,
+                store: Mutex::new(store),
+                inflight: Mutex::new(HashMap::new()),
+                admitted: AtomicUsize::new(0),
+                counters: Counters::default(),
+                programs: Mutex::new(HashMap::new()),
+            }),
+            shutdown: Shutdown::new(),
+        })
+    }
+
+    /// The endpoint actually bound (`:0` resolved to the real port).
+    pub fn endpoint(&self) -> Endpoint {
+        self.listener.endpoint()
+    }
+
+    /// A handle that triggers a graceful drain from any thread or signal
+    /// handler.
+    pub fn shutdown_handle(&self) -> Shutdown {
+        self.shutdown.clone()
+    }
+
+    /// Serves until the shutdown flag is raised, then drains: stops
+    /// accepting, lets every connection finish its in-flight request,
+    /// joins the worker threads, and fsyncs the store directory.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] on a hard listener failure or when the final
+    /// store sync fails (an individual connection's I/O error only drops
+    /// that connection).
+    pub fn run(self) -> Result<(), SimError> {
+        let label = self.endpoint().to_string();
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| SimError::io(&label, e))?;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.is_set() {
+            match self.listener.accept() {
+                Ok(conn) => {
+                    let shared = Arc::clone(&self.shared);
+                    let shutdown = self.shutdown.clone();
+                    workers.push(std::thread::spawn(move || {
+                        // Panic containment at the connection boundary:
+                        // whatever happens on one socket, the server and
+                        // every other connection keep running.
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            handle_conn(&shared, &shutdown, conn);
+                        }));
+                        if caught.is_err() {
+                            shared.bump(&shared.counters.conn_panics);
+                        }
+                    }));
+                    // Reap finished threads so a long campaign does not
+                    // accumulate one handle per past connection.
+                    workers.retain(|w| !w.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(SimError::io(&label, e)),
+            }
+        }
+        // Drain: connections observe the flag after their current request
+        // and return; every in-flight response is finished, not cut.
+        for w in workers {
+            w.join().ok();
+        }
+        lock(&self.shared.store).sync()
+    }
+}
+
+/// One connection's read-dispatch-respond loop.
+fn handle_conn(shared: &Arc<Shared>, shutdown: &Shutdown, mut conn: Conn) {
+    if conn.set_read_timeout(Some(POLL)).is_err()
+        || conn.set_write_timeout(Some(WRITE_TIMEOUT)).is_err()
+    {
+        return;
+    }
+    let idle_limit = Duration::from_secs(shared.opts.idle_timeout_secs);
+    let mut idle = Duration::ZERO;
+    let mut pending = Vec::new();
+    let respond = |conn: &mut Conn, resp: &Response| -> bool {
+        let mut line = render_response(resp);
+        line.push('\n');
+        conn.write_all(line.as_bytes()).and_then(|()| conn.flush()).is_ok()
+    };
+    loop {
+        if shutdown.is_set() {
+            return;
+        }
+        match read_line(&mut conn, &mut pending) {
+            LineEvent::Line(line) => {
+                // Only a complete request resets the idle clock — a
+                // client dribbling single bytes is still idle.
+                idle = Duration::ZERO;
+                let resp = match parse_request(&line) {
+                    Ok(req) => handle_request(shared, &req),
+                    Err(e) => Response::Error { kind: ErrorKind::BadRequest, message: e.message },
+                };
+                if !respond(&mut conn, &resp) {
+                    return;
+                }
+            }
+            LineEvent::Eof => return,
+            LineEvent::Timeout => {
+                idle += POLL;
+                if idle >= idle_limit {
+                    return;
+                }
+            }
+            LineEvent::Poison(e) => {
+                // A flooding or non-UTF-8 peer gets one diagnostic, then
+                // the connection is dropped (its stream is unframeable).
+                let resp =
+                    Response::Error { kind: ErrorKind::BadRequest, message: e.message };
+                respond(&mut conn, &resp);
+                return;
+            }
+            LineEvent::Io(_) => return,
+        }
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(stats_json(shared)),
+        Request::Cell(cell) => handle_cell(shared, cell),
+    }
+}
+
+fn bad_request(message: impl Into<String>) -> Response {
+    Response::Error { kind: ErrorKind::BadRequest, message: message.into() }
+}
+
+fn error_response(e: &SimError) -> Response {
+    let kind = match e {
+        SimError::Overloaded { .. } => ErrorKind::Overloaded,
+        _ => ErrorKind::Sim,
+    };
+    Response::Error { kind, message: e.to_string() }
+}
+
+/// The service counters as a JSON document.
+fn stats_json(shared: &Arc<Shared>) -> Json {
+    let c = &shared.counters;
+    let store = lock(&shared.store);
+    let mut doc = Json::obj();
+    let get = |a: &AtomicU64| Json::U64(a.load(Ordering::Relaxed));
+    doc.set("hits", get(&c.hits));
+    doc.set("misses", get(&c.misses));
+    doc.set("coalesced", get(&c.coalesced));
+    doc.set("sheds", get(&c.sheds));
+    doc.set("quarantined", get(&c.quarantined));
+    doc.set("sim_errors", get(&c.sim_errors));
+    doc.set("conn_panics", get(&c.conn_panics));
+    doc.set("store_put_errors", get(&c.store_put_errors));
+    doc.set("entries", Json::U64(store.len().unwrap_or(0) as u64));
+    doc.set("admitted", Json::U64(shared.admitted.load(Ordering::SeqCst) as u64));
+    doc
+}
+
+/// Everything resolved about a cell before simulation: the plan the
+/// store key is derived from.
+struct CellPlan {
+    identity: String,
+    key: u64,
+    config: MachineConfig,
+    /// `None` for test cells, which run no real program.
+    program: Option<Arc<Program>>,
+}
+
+/// Resolves names to a concrete simulation plan and cross-checks the
+/// client's fingerprints.
+fn resolve(shared: &Arc<Shared>, cell: &CellRequest) -> Result<CellPlan, Response> {
+    let Some(config) = config_by_name(&cell.config) else {
+        return Err(bad_request(format!(
+            "unknown config '{}' (known: {})",
+            cell.config,
+            CONFIG_NAMES.join(", ")
+        )));
+    };
+    let is_test = cell.workload.starts_with("__");
+    let (program, program_fp) = if is_test {
+        if !shared.opts.test_cells {
+            return Err(bad_request(format!("unknown workload '{}'", cell.workload)));
+        }
+        if cell.workload != "__panic" && parse_sleep_ms(&cell.workload).is_none() {
+            return Err(bad_request(format!(
+                "unknown test cell '{}' (known: __panic, __sleep:<ms>)",
+                cell.workload
+            )));
+        }
+        (None, fnv1a(FNV_OFFSET, cell.workload.as_bytes()))
+    } else {
+        let Some(workload) = fac_workloads::find(&cell.workload) else {
+            return Err(bad_request(format!("unknown workload '{}'", cell.workload)));
+        };
+        let program = shared.program(&workload, cell.sw, cell.scale);
+        let fp = program_fingerprint(&program);
+        (Some(program), fp)
+    };
+    let config_fp = config_fingerprint(&config);
+    if let Some(sent) = cell.config_fp {
+        if sent != config_fp {
+            return Err(bad_request(format!(
+                "config fingerprint mismatch: client sent {sent:#018x}, server computes {config_fp:#018x} (version skew between client and server?)"
+            )));
+        }
+    }
+    if let Some(sent) = cell.program_fp {
+        if sent != program_fp {
+            return Err(bad_request(format!(
+                "program fingerprint mismatch: client sent {sent:#018x}, server computes {program_fp:#018x} (version skew between client and server?)"
+            )));
+        }
+    }
+    let identity = cell_identity(&cell.workload, cell.sw, cell.scale, &cell.config);
+    let mut key = fnv1a(FNV_OFFSET, identity.as_bytes());
+    key = fnv1a(key, &config_fp.to_le_bytes());
+    key = fnv1a(key, &program_fp.to_le_bytes());
+    Ok(CellPlan { identity, key, config, program })
+}
+
+/// `__sleep:<ms>` → the milliseconds, if well-formed.
+fn parse_sleep_ms(workload: &str) -> Option<u64> {
+    workload.strip_prefix("__sleep:")?.parse().ok()
+}
+
+/// The cell path: store lookup, coalesce, admit, simulate, commit.
+fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> Response {
+    let plan = match resolve(shared, cell) {
+        Ok(plan) => plan,
+        Err(resp) => return resp,
+    };
+
+    match lock(&shared.store).get(plan.key) {
+        Ok(Lookup::Hit(result)) => {
+            shared.bump(&shared.counters.hits);
+            return Response::Cell { key: plan.key, cached: true, coalesced: false, result };
+        }
+        Ok(Lookup::Quarantined(reason)) => {
+            shared.bump(&shared.counters.quarantined);
+            eprintln!(
+                "campaign server: quarantined store entry {:#018x} ({reason}); recomputing",
+                plan.key
+            );
+        }
+        Ok(Lookup::Miss) => {}
+        Err(e) => return error_response(&e),
+    }
+
+    // Coalesce with an in-flight simulation of the same key, or become
+    // the leader (registering before the admission gate would let shed
+    // requests strand followers on a leader that never ran).
+    enum Role {
+        Leader(Arc<InFlight>),
+        Follower(Arc<InFlight>),
+    }
+    let role = {
+        let mut inflight = lock(&shared.inflight);
+        if let Some(flight) = inflight.get(&plan.key) {
+            Role::Follower(Arc::clone(flight))
+        } else {
+            if let Err(e) = shared.admit() {
+                shared.bump(&shared.counters.sheds);
+                return error_response(&e);
+            }
+            let flight = Arc::new(InFlight::default());
+            inflight.insert(plan.key, Arc::clone(&flight));
+            Role::Leader(flight)
+        }
+    };
+
+    match role {
+        Role::Follower(flight) => {
+            // Generous bound: the leader's own watchdog fires first; the
+            // slack covers publish latency.
+            let deadline = Duration::from_secs(shared.opts.request_timeout_secs * 2 + 30);
+            match flight.wait(deadline, &plan.identity) {
+                Ok(result) => {
+                    shared.bump(&shared.counters.coalesced);
+                    Response::Cell { key: plan.key, cached: false, coalesced: true, result }
+                }
+                Err(e) => error_response(&e),
+            }
+        }
+        Role::Leader(flight) => {
+            let result = simulate(shared, cell, &plan);
+            shared.release();
+            if let Ok(doc) = &result {
+                // A failed store write degrades to a cache miss next
+                // time; the client still gets its result.
+                if let Err(e) = lock(&shared.store).put(plan.key, doc) {
+                    shared.bump(&shared.counters.store_put_errors);
+                    eprintln!("campaign server: store write for {:#018x} failed: {e}", plan.key);
+                }
+            }
+            // Commit to the store *before* deregistering: a new request
+            // sees either the in-flight entry or the stored result,
+            // never a gap that would double-simulate.
+            lock(&shared.inflight).remove(&plan.key);
+            flight.publish(result.clone());
+            match result {
+                Ok(result) => {
+                    shared.bump(&shared.counters.misses);
+                    Response::Cell { key: plan.key, cached: false, coalesced: false, result }
+                }
+                Err(e) => {
+                    shared.bump(&shared.counters.sim_errors);
+                    error_response(&e)
+                }
+            }
+        }
+    }
+}
+
+/// Runs one cell as a single-job [`JobSet`], inheriting the pool's panic
+/// containment and wall-clock watchdog.
+fn simulate(shared: &Arc<Shared>, cell: &CellRequest, plan: &CellPlan) -> Result<Json, SimError> {
+    let opts = RunOptions {
+        timeout_secs: Some(shared.opts.request_timeout_secs),
+        ..RunOptions::default()
+    };
+    let mut jobs = JobSet::new();
+    let workload = cell.workload.clone();
+    let config_name = cell.config.clone();
+    let sw = cell.sw;
+    let scale = cell.scale;
+    let config = plan.config;
+    let program = plan.program.clone();
+    jobs.push(plan.identity.clone(), move || match &program {
+        Some(program) => {
+            let report = crate::run(program, config)?;
+            let s = &report.stats;
+            let mut doc = Json::obj();
+            doc.set("workload", Json::Str(workload.clone()));
+            doc.set("config", Json::Str(config_name.clone()));
+            doc.set("sw", Json::Bool(sw));
+            doc.set("scale", Json::Str(scale_name(scale).to_string()));
+            doc.set("cycles", Json::U64(s.cycles));
+            doc.set("insts", Json::U64(s.insts));
+            doc.set("ipc", Json::F64(s.ipc()));
+            doc.set("load_fail_rate", Json::F64(s.pred_loads.fail_rate_all()));
+            doc.set("store_fail_rate", Json::F64(s.pred_stores.fail_rate_all()));
+            doc.set("bandwidth_overhead", Json::F64(s.bandwidth_overhead()));
+            Ok(doc)
+        }
+        None => {
+            // Test cells, enabled only by the fault-injection suites.
+            if workload == "__panic" {
+                panic!("test cell '__panic' exploded on purpose");
+            }
+            let ms = parse_sleep_ms(&workload).expect("resolve validated the name");
+            std::thread::sleep(Duration::from_millis(ms));
+            let mut doc = Json::obj();
+            doc.set("workload", Json::Str(workload.clone()));
+            doc.set("slept_ms", Json::U64(ms));
+            Ok(doc)
+        }
+    });
+    let mut outcomes = jobs.run_each(1, &opts);
+    outcomes.pop().expect("exactly one job").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::proto::{parse_response, render_request};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fac_serve_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_opts(dir: &std::path::Path) -> ServeOptions {
+        ServeOptions {
+            store_dir: dir.join("store"),
+            max_queue: 8,
+            request_timeout_secs: 30,
+            idle_timeout_secs: 30,
+            test_cells: true,
+        }
+    }
+
+    /// Boots a server on an ephemeral TCP port; returns the endpoint, the
+    /// shutdown handle, and the running thread.
+    fn boot(opts: ServeOptions) -> (Endpoint, Shutdown, std::thread::JoinHandle<Result<(), SimError>>) {
+        let server =
+            Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), opts).unwrap();
+        let endpoint = server.endpoint();
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        (endpoint, shutdown, handle)
+    }
+
+    fn rpc(conn: &mut Conn, req: &Request) -> Response {
+        let mut line = render_request(req);
+        line.push('\n');
+        conn.write_all(line.as_bytes()).unwrap();
+        conn.flush().unwrap();
+        let mut pending = Vec::new();
+        let start = Instant::now();
+        loop {
+            match read_line(conn, &mut pending) {
+                LineEvent::Line(line) => return parse_response(&line).unwrap(),
+                LineEvent::Timeout => {
+                    assert!(start.elapsed() < Duration::from_secs(60), "no response in 60 s");
+                }
+                other => panic!("connection died awaiting response: {other:?}"),
+            }
+        }
+    }
+
+    fn cell_req(workload: &str, config: &str) -> Request {
+        Request::Cell(CellRequest {
+            workload: workload.to_string(),
+            sw: true,
+            scale: Scale::Smoke,
+            config: config.to_string(),
+            config_fp: None,
+            program_fp: None,
+        })
+    }
+
+    fn stat(resp: &Response, key: &str) -> u64 {
+        match resp {
+            Response::Stats(doc) => doc.get(key).and_then(Json::as_u64).unwrap(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ping_miss_then_hit_byte_identical() {
+        let dir = temp_dir("hit");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+
+        assert_eq!(rpc(&mut conn, &Request::Ping), Response::Pong);
+
+        let first = rpc(&mut conn, &cell_req("compress", "fac"));
+        let (key1, doc1) = match &first {
+            Response::Cell { key, cached: false, coalesced: false, result } => {
+                (*key, result.to_string())
+            }
+            other => panic!("{other:?}"),
+        };
+        let second = rpc(&mut conn, &cell_req("compress", "fac"));
+        match &second {
+            Response::Cell { key, cached: true, coalesced: false, result } => {
+                assert_eq!(*key, key1);
+                assert_eq!(result.to_string(), doc1, "cached result must be byte-identical");
+            }
+            other => panic!("{other:?}"),
+        }
+        // A different config is a different key.
+        match rpc(&mut conn, &cell_req("compress", "baseline")) {
+            Response::Cell { key, cached: false, .. } => assert_ne!(key, key1),
+            other => panic!("{other:?}"),
+        }
+
+        let stats = rpc(&mut conn, &Request::Stats);
+        assert_eq!(stat(&stats, "hits"), 1);
+        assert_eq!(stat(&stats, "misses"), 2);
+        assert_eq!(stat(&stats, "entries"), 2);
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_cell_run_one_simulation() {
+        let dir = temp_dir("dedup");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+
+        let results: Vec<Response> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let endpoint = endpoint.clone();
+                    scope.spawn(move || {
+                        let mut conn = Conn::dial(&endpoint).unwrap();
+                        conn.set_read_timeout(Some(POLL)).unwrap();
+                        rpc(&mut conn, &cell_req("__sleep:400", "fac"))
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+
+        let mut leaders = 0;
+        let mut followers = 0u64;
+        let mut docs = Vec::new();
+        for resp in &results {
+            match resp {
+                Response::Cell { cached, coalesced, result, .. } => {
+                    // A straggler that arrives after the leader committed
+                    // legitimately sees a store hit instead.
+                    if *coalesced {
+                        followers += 1;
+                    } else if !cached {
+                        leaders += 1;
+                    }
+                    docs.push(result.to_string());
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // Races allowed: a straggler that connects after the leader
+        // published sees a cache hit instead. But exactly one simulation
+        // ran, and every request was answered one of the three ways.
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+        let stats = rpc(&mut conn, &Request::Stats);
+        assert_eq!(stat(&stats, "misses"), 1, "exactly one simulation must run");
+        assert_eq!(stat(&stats, "misses") + stat(&stats, "hits") + stat(&stats, "coalesced"), 3);
+        assert_eq!(stat(&stats, "coalesced"), followers);
+        assert_eq!(leaders, 1);
+        docs.dedup();
+        assert_eq!(docs.len(), 1, "every waiter gets the same bytes");
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn admission_bound_sheds_with_typed_overload() {
+        let dir = temp_dir("shed");
+        let mut opts = test_opts(&dir);
+        opts.max_queue = 1;
+        let (endpoint, shutdown, handle) = boot(opts);
+
+        let ep = endpoint.clone();
+        let slow = std::thread::spawn(move || {
+            let mut conn = Conn::dial(&ep).unwrap();
+            conn.set_read_timeout(Some(POLL)).unwrap();
+            rpc(&mut conn, &cell_req("__sleep:700", "fac"))
+        });
+        std::thread::sleep(Duration::from_millis(250));
+
+        // A *different* cell cannot be admitted while the slot is taken.
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+        match rpc(&mut conn, &cell_req("__sleep:10", "fac")) {
+            Response::Error { kind: ErrorKind::Overloaded, message } => {
+                assert!(message.contains("overloaded"), "{message}");
+                assert!(message.contains("limit 1"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Once the slot frees, the same request is admitted.
+        assert!(matches!(slow.join().unwrap(), Response::Cell { .. }));
+        assert!(matches!(
+            rpc(&mut conn, &cell_req("__sleep:10", "fac")),
+            Response::Cell { .. }
+        ));
+        let stats = rpc(&mut conn, &Request::Stats);
+        assert_eq!(stat(&stats, "sheds"), 1);
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn panicking_cell_poisons_nothing() {
+        let dir = temp_dir("panic");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+
+        match rpc(&mut conn, &cell_req("__panic", "fac")) {
+            Response::Error { kind: ErrorKind::Sim, message } => {
+                assert!(message.contains("panic"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The same connection and the server both keep working.
+        assert_eq!(rpc(&mut conn, &Request::Ping), Response::Pong);
+        assert!(matches!(rpc(&mut conn, &cell_req("compress", "fac")), Response::Cell { .. }));
+        let stats = rpc(&mut conn, &Request::Stats);
+        assert_eq!(stat(&stats, "sim_errors"), 1);
+        assert_eq!(stat(&stats, "conn_panics"), 0, "panic must be contained at the job");
+        // A failed simulation is not memoized — the next attempt re-runs.
+        match rpc(&mut conn, &cell_req("__panic", "fac")) {
+            Response::Error { kind: ErrorKind::Sim, .. } => {}
+            other => panic!("{other:?}"),
+        }
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_and_recomputed_identically() {
+        let dir = temp_dir("quarantine");
+        let opts = test_opts(&dir);
+        let store_dir = opts.store_dir.clone();
+        let (endpoint, shutdown, handle) = boot(opts);
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+
+        let first = rpc(&mut conn, &cell_req("grep", "fac"));
+        let doc1 = match &first {
+            Response::Cell { result, .. } => result.to_string(),
+            other => panic!("{other:?}"),
+        };
+
+        // Flip one byte of the only stored entry.
+        let entry = std::fs::read_dir(&store_dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|e| e == "cell"))
+            .expect("one committed entry");
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&entry, &bytes).unwrap();
+
+        let again = rpc(&mut conn, &cell_req("grep", "fac"));
+        match &again {
+            Response::Cell { cached, result, .. } => {
+                assert!(!cached, "a corrupt entry must not be served as a hit");
+                assert_eq!(result.to_string(), doc1, "recomputed cell must be byte-identical");
+            }
+            other => panic!("{other:?}"),
+        }
+        let stats = rpc(&mut conn, &Request::Stats);
+        assert_eq!(stat(&stats, "quarantined"), 1);
+        assert!(store_dir.join("quarantine").exists());
+        // And the recomputed entry serves as a hit from then on.
+        assert!(matches!(
+            rpc(&mut conn, &cell_req("grep", "fac")),
+            Response::Cell { cached: true, .. }
+        ));
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drain_finishes_inflight_requests_then_exits_cleanly() {
+        let dir = temp_dir("drain");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+
+        let ep = endpoint.clone();
+        let inflight = std::thread::spawn(move || {
+            let mut conn = Conn::dial(&ep).unwrap();
+            conn.set_read_timeout(Some(POLL)).unwrap();
+            rpc(&mut conn, &cell_req("__sleep:500", "fac"))
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        shutdown.trigger();
+
+        // The in-flight request is answered, not cut...
+        match inflight.join().unwrap() {
+            Response::Cell { result, .. } => {
+                assert_eq!(result.get("slept_ms").and_then(Json::as_u64), Some(500));
+            }
+            other => panic!("{other:?}"),
+        }
+        // ...and the server exits 0 (Ok) promptly.
+        handle.join().unwrap().unwrap();
+        // The drained store is durable and intact.
+        let store = Store::open(&dir.join("store")).unwrap();
+        assert_eq!(store.len().unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_survivable_and_floods_are_dropped() {
+        let dir = temp_dir("junk");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+        conn.write_all(b"this is not json\n").unwrap();
+        let mut pending = Vec::new();
+        let start = Instant::now();
+        loop {
+            match read_line(&mut conn, &mut pending) {
+                LineEvent::Line(line) => {
+                    match parse_response(&line).unwrap() {
+                        Response::Error { kind: ErrorKind::BadRequest, .. } => {}
+                        other => panic!("{other:?}"),
+                    }
+                    break;
+                }
+                LineEvent::Timeout => {
+                    assert!(start.elapsed() < Duration::from_secs(30), "no reply to junk line");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        // The connection survives a malformed request...
+        assert_eq!(rpc(&mut conn, &Request::Ping), Response::Pong);
+
+        // ...but an unterminated flood is shed with the connection.
+        let mut flood = Conn::dial(&endpoint).unwrap();
+        flood.set_read_timeout(Some(POLL)).unwrap();
+        let chunk = vec![b'x'; 64 * 1024];
+        let mut dropped = false;
+        for _ in 0..64 {
+            if flood.write_all(&chunk).is_err() {
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            // The server's diagnostic-then-close also shows up as EOF.
+            let mut pending = Vec::new();
+            let start = Instant::now();
+            loop {
+                match read_line(&mut flood, &mut pending) {
+                    LineEvent::Eof | LineEvent::Io(_) => break,
+                    LineEvent::Line(_) | LineEvent::Timeout => {
+                        assert!(
+                            start.elapsed() < Duration::from_secs(30),
+                            "flooding connection was not dropped"
+                        );
+                    }
+                    LineEvent::Poison(e) => panic!("{e}"),
+                }
+            }
+        }
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn idle_connections_are_closed() {
+        let dir = temp_dir("idle");
+        let mut opts = test_opts(&dir);
+        opts.idle_timeout_secs = 1;
+        let (endpoint, shutdown, handle) = boot(opts);
+
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let start = Instant::now();
+        let mut pending = Vec::new();
+        loop {
+            match read_line(&mut conn, &mut pending) {
+                LineEvent::Eof | LineEvent::Io(_) => break,
+                LineEvent::Timeout => {
+                    assert!(start.elapsed() < Duration::from_secs(10), "idle conn never closed");
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(start.elapsed() >= Duration::from_millis(900), "closed too eagerly");
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_skew_is_a_typed_bad_request() {
+        let dir = temp_dir("skew");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+
+        let mut cell = CellRequest {
+            workload: "compress".to_string(),
+            sw: true,
+            scale: Scale::Smoke,
+            config: "fac".to_string(),
+            config_fp: Some(0x1234),
+            program_fp: None,
+        };
+        match rpc(&mut conn, &Request::Cell(cell.clone())) {
+            Response::Error { kind: ErrorKind::BadRequest, message } => {
+                assert!(message.contains("fingerprint mismatch"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // With the *correct* fingerprints the request is served.
+        cell.config_fp = Some(config_fingerprint(&MachineConfig::paper_baseline().with_fac()));
+        let workload = fac_workloads::find("compress").unwrap();
+        cell.program_fp =
+            Some(program_fingerprint(&workload.build(&sw_support(true), Scale::Smoke)));
+        assert!(matches!(rpc(&mut conn, &Request::Cell(cell)), Response::Cell { .. }));
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

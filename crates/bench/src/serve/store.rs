@@ -1,0 +1,337 @@
+//! The content-addressed on-disk result store.
+//!
+//! One file per finished cell, named by the cell's content address
+//! (`{key:016x}.cell`). Each file is a self-describing, tamper-evident
+//! frame mirroring the `FACSNAP` checkpoint container:
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 8    | magic `"FACCELL\0"` |
+//! | 8      | 4    | format version (little-endian u32, currently 1) |
+//! | 12     | 8    | payload length (little-endian u64) |
+//! | 20     | n    | payload: key `u64` + length-prefixed JSON result |
+//! | 20 + n | 8    | FNV-1a checksum of the payload (little-endian u64) |
+//!
+//! The payload embeds the key so a file renamed over another cell's slot
+//! (or a collision in a copy script) is caught, not served. Writes go
+//! through [`crate::io::write_atomic`], so a crash mid-`put` leaves
+//! either the old entry or no entry — never a torn frame.
+//!
+//! Corruption is a first-class outcome, not an error: a frame that fails
+//! any check is *quarantined* (renamed into a `quarantine/` subdirectory
+//! with a reason note alongside) and reported as such, so the server
+//! recomputes the cell transparently and the damaged bytes stay
+//! available for post-mortem.
+
+use crate::io::write_atomic;
+use fac_core::snap::{fnv1a, SnapError, SnapReader, SnapWriter, FNV_OFFSET};
+use fac_sim::obs::{json, Json};
+use fac_sim::SimError;
+use std::path::{Path, PathBuf};
+
+/// File magic: identifies a campaign-server cell result.
+const MAGIC: &[u8; 8] = b"FACCELL\0";
+/// Current cell frame format version.
+const VERSION: u32 = 1;
+/// Bytes of framing around the payload (magic + version + length + checksum).
+const OVERHEAD: usize = 8 + 4 + 8 + 8;
+/// The largest payload a frame may claim. A result document is a few KiB;
+/// anything bigger is corruption and must not drive an allocation.
+const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+/// What [`Store::get`] found.
+#[derive(Debug)]
+pub enum Lookup {
+    /// A verified entry: checksum, embedded key, and JSON all check out.
+    Hit(Json),
+    /// No entry on disk for this key.
+    Miss,
+    /// An entry existed but failed verification; it has been moved into
+    /// the quarantine directory and the cell must be recomputed.
+    Quarantined(SnapError),
+}
+
+/// The content-addressed cell store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<Store, SimError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| SimError::io(&dir.display().to_string(), e))?;
+        Ok(Store { dir: dir.to_path_buf() })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path of a cell.
+    pub fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.cell"))
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("quarantine")
+    }
+
+    /// Serializes a cell result into a framed entry.
+    fn encode(key: u64, result: &Json) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(key);
+        w.bytes(result.to_string().as_bytes());
+        let payload = w.into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + OVERHEAD);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&fnv1a(FNV_OFFSET, &payload).to_le_bytes());
+        out
+    }
+
+    /// Verifies a framed entry and returns the result document.
+    fn decode(key: u64, bytes: &[u8]) -> Result<Json, SnapError> {
+        if bytes.len() < OVERHEAD {
+            return Err(SnapError::new(format!(
+                "truncated cell entry: {} bytes, need at least {OVERHEAD}",
+                bytes.len()
+            )));
+        }
+        if &bytes[..8] != MAGIC {
+            return Err(SnapError::new("not a FACCELL entry (bad magic)"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(SnapError::new(format!(
+                "unsupported cell entry version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+        let held = (bytes.len() - OVERHEAD) as u64;
+        if len != held {
+            return Err(SnapError::new(format!(
+                "cell entry length mismatch: header claims {len} payload bytes, file holds {held}"
+            )));
+        }
+        if len > MAX_PAYLOAD as u64 {
+            return Err(SnapError::new(format!(
+                "implausible cell payload of {len} bytes (limit {MAX_PAYLOAD})"
+            )));
+        }
+        let payload = &bytes[20..bytes.len() - 8];
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
+        let computed = fnv1a(FNV_OFFSET, payload);
+        if stored != computed {
+            return Err(SnapError::new(format!(
+                "cell checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let mut r = SnapReader::new(payload);
+        let embedded = r.u64("cell key")?;
+        if embedded != key {
+            return Err(SnapError::new(format!(
+                "cell key mismatch: file embeds {embedded:#018x}, path names {key:#018x}"
+            )));
+        }
+        let doc = r.bytes("cell result")?;
+        r.finish()?;
+        let text = std::str::from_utf8(doc)
+            .map_err(|_| SnapError::new("cell result is not valid UTF-8"))?;
+        json::parse(text).map_err(|e| SnapError::new(format!("cell result is not valid JSON: {e}")))
+    }
+
+    /// Looks up a cell. A verified entry is a [`Lookup::Hit`]; a missing
+    /// file is a [`Lookup::Miss`]; anything that fails verification is
+    /// moved into `quarantine/` and returned as [`Lookup::Quarantined`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] only for real I/O failures (permissions, disk) —
+    /// never for corruption, which is handled, not raised.
+    pub fn get(&self, key: u64) -> Result<Lookup, SimError> {
+        let path = self.entry_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Lookup::Miss),
+            Err(e) => return Err(SimError::io(&path.display().to_string(), e)),
+        };
+        match Store::decode(key, &bytes) {
+            Ok(doc) => Ok(Lookup::Hit(doc)),
+            Err(reason) => {
+                self.quarantine(key, &path, &reason)?;
+                Ok(Lookup::Quarantined(reason))
+            }
+        }
+    }
+
+    /// Moves a failed entry into the quarantine directory and writes a
+    /// `.reason` note beside it for post-mortem.
+    fn quarantine(&self, key: u64, path: &Path, reason: &SnapError) -> Result<(), SimError> {
+        let qdir = self.quarantine_dir();
+        std::fs::create_dir_all(&qdir)
+            .map_err(|e| SimError::io(&qdir.display().to_string(), e))?;
+        let dest = qdir.join(format!("{key:016x}.cell"));
+        std::fs::rename(path, &dest)
+            .map_err(|e| SimError::io(&path.display().to_string(), e))?;
+        // Best-effort: the note is diagnostics, not integrity.
+        std::fs::write(qdir.join(format!("{key:016x}.reason")), reason.to_string()).ok();
+        Ok(())
+    }
+
+    /// Writes a cell atomically (temporary file + fsync + rename).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the write fails; the store is unchanged.
+    pub fn put(&self, key: u64, result: &Json) -> Result<(), SimError> {
+        write_atomic(&self.entry_path(key), &Store::encode(key, result))
+    }
+
+    /// Counts the committed entries (quarantined files excluded).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the directory cannot be read.
+    pub fn len(&self) -> Result<usize, SimError> {
+        let mut n = 0;
+        let iter = std::fs::read_dir(&self.dir)
+            .map_err(|e| SimError::io(&self.dir.display().to_string(), e))?;
+        for entry in iter.flatten() {
+            if entry.path().extension().is_some_and(|e| e == "cell") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// `true` when the store holds no committed entries.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the directory cannot be read.
+    pub fn is_empty(&self) -> Result<bool, SimError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Counts the quarantined entries.
+    pub fn quarantined(&self) -> usize {
+        std::fs::read_dir(self.quarantine_dir())
+            .map(|iter| {
+                iter.flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "cell"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Fsyncs the store directory itself, making the directory entries of
+    /// every committed cell durable (the graceful-drain final step).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the directory cannot be opened or synced.
+    pub fn sync(&self) -> Result<(), SimError> {
+        let err = |e: std::io::Error| SimError::io(&self.dir.display().to_string(), e);
+        let dir = std::fs::File::open(&self.dir).map_err(err)?;
+        dir.sync_all().map_err(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (PathBuf, Store) {
+        let dir = std::env::temp_dir().join(format!("fac_store_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Store::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn doc(cycles: u64) -> Json {
+        let mut d = Json::obj();
+        d.set("cycles", Json::U64(cycles));
+        d
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let (dir, store) = temp_store("rt");
+        assert!(matches!(store.get(7).unwrap(), Lookup::Miss));
+        store.put(7, &doc(1234)).unwrap();
+        match store.get(7).unwrap() {
+            Lookup::Hit(d) => assert_eq!(d.to_string(), doc(1234).to_string()),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(store.len().unwrap(), 1);
+        store.sync().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_byte_flip_is_quarantined() {
+        let (dir, store) = temp_store("flip");
+        store.put(42, &doc(99)).unwrap();
+        let path = store.entry_path(42);
+        let good = std::fs::read(&path).unwrap();
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            match store.get(42).unwrap() {
+                Lookup::Quarantined(_) => {}
+                other => panic!("flip at byte {i} survived: {other:?}"),
+            }
+            // The entry is gone from the main directory...
+            assert!(matches!(store.get(42).unwrap(), Lookup::Miss), "flip at byte {i}");
+            // ...and preserved in quarantine.
+            assert_eq!(store.quarantined(), 1, "flip at byte {i}");
+            std::fs::remove_dir_all(dir.join("quarantine")).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncations_and_key_swaps_are_quarantined() {
+        let (dir, store) = temp_store("trunc");
+        store.put(1, &doc(5)).unwrap();
+        let good = std::fs::read(store.entry_path(1)).unwrap();
+
+        // Truncated frame.
+        std::fs::write(store.entry_path(1), &good[..good.len() - 3]).unwrap();
+        assert!(matches!(store.get(1).unwrap(), Lookup::Quarantined(_)));
+
+        // A valid frame copied under the wrong key.
+        std::fs::write(store.entry_path(2), &good).unwrap();
+        match store.get(2).unwrap() {
+            Lookup::Quarantined(e) => assert!(e.to_string().contains("key mismatch"), "{e}"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(store.quarantined(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recompute_after_quarantine_restores_the_entry() {
+        let (dir, store) = temp_store("requick");
+        store.put(3, &doc(7)).unwrap();
+        let path = store.entry_path(3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(store.get(3).unwrap(), Lookup::Quarantined(_)));
+        store.put(3, &doc(7)).unwrap();
+        assert!(matches!(store.get(3).unwrap(), Lookup::Hit(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,271 @@
+//! Campaign-server fault-matrix integration tests, driving the real
+//! `campaign_server` / `campaign_client` binaries over Unix sockets:
+//!
+//! - CLI validation: malformed `--listen` / `--connect` / numeric flags
+//!   exit nonzero with a typed message, before any socket is bound.
+//! - SIGKILL mid-campaign (no destructors, no flushes): the surviving
+//!   store entries verify after restart, and a re-run completes the sweep
+//!   with a byte-identical artifact.
+//! - A flipped byte in a store entry is detected, quarantined, and the
+//!   cell recomputed — again byte-identical.
+//! - SIGTERM drains: exit 0 within the drain deadline.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fac_server_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns a server on `sock` with its store at `store`, and waits until
+/// the socket accepts connections. The probe is a real connect, not a
+/// file-existence check: a kill -9'd predecessor leaves its stale socket
+/// file behind, and connecting to that inode is refused until the new
+/// process unlinks it and rebinds.
+fn spawn_server(sock: &Path, store: &Path, extra: &[&str]) -> Child {
+    let child = Command::new(env!("CARGO_BIN_EXE_campaign_server"))
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .arg("--store-dir")
+        .arg(store)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while std::os::unix::net::UnixStream::connect(sock).is_err() {
+        assert!(Instant::now() < deadline, "server never bound {}", sock.display());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+/// A client sweep against `sock`, smoke scale, artifact to `json`.
+fn sweep(sock: &Path, json: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+        .arg("--connect")
+        .arg(format!("unix:{}", sock.display()))
+        .args(["--smoke", "--json"])
+        .arg(json)
+        .output()
+        .unwrap()
+}
+
+fn cell_files(store: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(store)
+        .map(|iter| {
+            iter.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "cell"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Sends `signal` to a child by PID (std has no kill API).
+fn send_signal(child: &Child, signal: &str) {
+    let status = Command::new("kill")
+        .arg(format!("-{signal}"))
+        .arg(child.id().to_string())
+        .status()
+        .unwrap();
+    assert!(status.success(), "kill -{signal} failed");
+}
+
+/// Malformed server and client flags exit nonzero with a typed message —
+/// never a default silently substituted for a typo.
+#[test]
+fn malformed_cli_flags_are_rejected_nonzero() {
+    let server = env!("CARGO_BIN_EXE_campaign_server");
+    let client = env!("CARGO_BIN_EXE_campaign_client");
+    let cases: &[(&str, &[&str], &str)] = &[
+        // Missing required flags.
+        (server, &[], "usage"),
+        (server, &["--listen", "unix:/tmp/x.sock"], "usage"),
+        // Malformed endpoints.
+        (server, &["--listen", "localhost", "--store-dir", "/tmp/s"], "--listen"),
+        (server, &["--listen", "tcp:", "--store-dir", "/tmp/s"], "--listen"),
+        (client, &["--connect", "127.0.0.1:notaport", "--ping"], "--connect"),
+        (client, &["--connect", "unix:", "--ping"], "--connect"),
+        // Malformed / out-of-range numerics.
+        (
+            server,
+            &["--listen", "unix:/tmp/x.sock", "--store-dir", "/tmp/s", "--max-queue", "0"],
+            "--max-queue",
+        ),
+        (
+            server,
+            &["--listen", "unix:/tmp/x.sock", "--store-dir", "/tmp/s", "--max-queue", "many"],
+            "--max-queue",
+        ),
+        (
+            server,
+            &[
+                "--listen",
+                "unix:/tmp/x.sock",
+                "--store-dir",
+                "/tmp/s",
+                "--request-timeout-secs",
+                "0",
+            ],
+            "--request-timeout-secs",
+        ),
+        // Unknown flags.
+        (server, &["--listen", "unix:/tmp/x.sock", "--store-dir", "/tmp/s", "--lisen", "x"], "--lisen"),
+        (client, &["--connect", "unix:/tmp/x.sock", "--pingg"], "--pingg"),
+    ];
+    for (bin, args, needle) in cases {
+        let output = Command::new(bin).args(*args).output().unwrap();
+        assert!(!output.status.success(), "{bin} {args:?} must exit nonzero");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains(needle),
+            "{bin} {args:?}: stderr should mention {needle:?}, got: {stderr}"
+        );
+    }
+}
+
+/// SIGKILL the server mid-campaign, restart on the same store, re-run the
+/// sweep: every surviving entry verifies and is served from the store,
+/// and the completed artifact is byte-identical to an uninterrupted run.
+#[test]
+fn sigkill_mid_campaign_recovers_byte_identically() {
+    let base = temp_dir("kill9");
+    let store = base.join("store");
+    let sock = base.join("s.sock");
+
+    // Reference: an uninterrupted sweep against a throwaway store.
+    let ref_store = base.join("ref-store");
+    let server = spawn_server(&sock, &ref_store, &[]);
+    let reference = base.join("reference.json");
+    let out = sweep(&sock, &reference);
+    assert!(out.status.success(), "reference sweep failed: {out:?}");
+    send_signal(&server, "TERM");
+    let mut server = server;
+    server.wait().unwrap();
+
+    // Interrupted campaign: kill -9 once a few cells are committed. The
+    // process gets no chance to flush, fsync, or remove its socket file.
+    let server = spawn_server(&sock, &store, &[]);
+    let partial = base.join("partial.json");
+    let sock_for_client = sock.clone();
+    let client = std::thread::spawn(move || {
+        let _ = sweep(&sock_for_client, &partial);
+    });
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while cell_files(&store).len() < 3 {
+        assert!(Instant::now() < deadline, "no cells committed before deadline");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    send_signal(&server, "KILL");
+    let mut server = server;
+    server.wait().unwrap();
+    client.join().unwrap();
+    let survivors = cell_files(&store).len();
+    assert!(survivors >= 3, "committed cells vanished after kill -9");
+
+    // Restart on the same store (the stale socket file must not block the
+    // rebind) and finish the campaign.
+    let server = spawn_server(&sock, &store, &[]);
+    let resumed = base.join("resumed.json");
+    let out = sweep(&sock, &resumed);
+    assert!(out.status.success(), "resumed sweep failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Every cell the killed run committed is answered from the store.
+    let hits: usize = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("cache hits: "))
+        .and_then(|l| l.split('/').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    assert!(hits >= survivors, "expected at least {survivors} store hits, saw {hits}");
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "artifact after kill -9 + restart differs from the uninterrupted run"
+    );
+    // And no entry was quarantined: everything the atomic writes
+    // committed verified after the crash.
+    assert!(!store.join("quarantine").exists(), "crash recovery quarantined entries");
+
+    send_signal(&server, "TERM");
+    let mut server = server;
+    server.wait().unwrap();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A flipped byte in a committed store entry is detected by checksum,
+/// quarantined, and the cell transparently recomputed — with the re-run
+/// artifact byte-identical to the original.
+#[test]
+fn flipped_store_byte_is_quarantined_and_recomputed() {
+    let base = temp_dir("flip");
+    let store = base.join("store");
+    let sock = base.join("s.sock");
+
+    let server = spawn_server(&sock, &store, &[]);
+    let first = base.join("first.json");
+    let out = sweep(&sock, &first);
+    assert!(out.status.success(), "first sweep failed: {out:?}");
+
+    // Corrupt one committed entry on disk, mid-file.
+    let victim = cell_files(&store).into_iter().next().expect("at least one entry");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let second = base.join("second.json");
+    let out = sweep(&sock, &second);
+    assert!(out.status.success(), "re-sweep over corrupt entry failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("cache hits: 37/38"),
+        "exactly the corrupted cell should re-simulate, got: {stdout}"
+    );
+    assert_eq!(
+        std::fs::read(&first).unwrap(),
+        std::fs::read(&second).unwrap(),
+        "recomputed artifact differs from the original"
+    );
+    // The damaged bytes are preserved for post-mortem, and the slot holds
+    // a fresh verified entry.
+    assert_eq!(cell_files(&store.join("quarantine")).len(), 1);
+    assert_eq!(cell_files(&store).len(), 38);
+
+    send_signal(&server, "TERM");
+    let mut server = server;
+    server.wait().unwrap();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// SIGTERM drains gracefully: the server stops accepting, finishes
+/// in-flight work, and exits 0 within the drain deadline.
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let base = temp_dir("drain");
+    let store = base.join("store");
+    let sock = base.join("s.sock");
+
+    let mut server = spawn_server(&sock, &store, &[]);
+    send_signal(&server, "TERM");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not drain within the deadline");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "drained server must exit 0");
+    // The drained server removed its socket file.
+    assert!(!sock.exists(), "socket file left behind after drain");
+    std::fs::remove_dir_all(&base).ok();
+}

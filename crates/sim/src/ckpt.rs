@@ -83,7 +83,11 @@ pub(crate) fn unframe(bytes: &[u8]) -> Result<&[u8], SnapError> {
 /// FNV-1a digest of the machine configuration's canonical rendering. The
 /// configuration is plain `Copy` data (no maps), so its `Debug` output is
 /// deterministic and captures every timing-relevant knob.
-pub(crate) fn config_fingerprint(config: &crate::MachineConfig) -> u64 {
+///
+/// Public because the campaign server keys its content-addressed result
+/// cache on (configuration fingerprint × program fingerprint) — the same
+/// identities the checkpoint frames verify on restore.
+pub fn config_fingerprint(config: &crate::MachineConfig) -> u64 {
     fnv1a(FNV_OFFSET, format!("{config:?}").as_bytes())
 }
 
@@ -91,7 +95,7 @@ pub(crate) fn config_fingerprint(config: &crate::MachineConfig) -> u64 {
 /// instruction and every data blob. Symbol tables are deliberately
 /// excluded (their map order is not canonical, and they do not affect
 /// execution).
-pub(crate) fn program_fingerprint(program: &Program) -> u64 {
+pub fn program_fingerprint(program: &Program) -> u64 {
     let mut h = FNV_OFFSET;
     h = fnv1a(h, program.name.as_bytes());
     for word in [

@@ -50,6 +50,7 @@ mod trace;
 
 pub use btb::Btb;
 pub use checker::{InvariantChecker, InvariantViolation};
+pub use ckpt::{config_fingerprint, program_fingerprint};
 pub use config::{
     ConfigError, FacConfig, FuConfig, FuTiming, LoadLatencyMode, MachineConfig, PipelineOrg,
 };

@@ -77,6 +77,16 @@ pub enum SimError {
         /// The configured deadline, in seconds.
         secs: u64,
     },
+    /// A request was shed by the campaign server's bounded admission
+    /// queue: accepting it would have grown the backlog past the
+    /// configured limit. Overload is answered with this typed error —
+    /// load is shed, memory is never allowed to grow without bound.
+    Overloaded {
+        /// Simulations already admitted (queued or running).
+        pending: usize,
+        /// The admission limit in force.
+        limit: usize,
+    },
     /// The machine and the golden reference oracle disagreed — the lockstep
     /// differential checker ([`crate::Lockstep`]) found the first retired
     /// instruction after which the architectural states differ.
@@ -119,6 +129,10 @@ impl std::fmt::Display for SimError {
             SimError::Timeout { job, secs } => {
                 write!(f, "job '{job}' exceeded its {secs}s deadline")
             }
+            SimError::Overloaded { pending, limit } => write!(
+                f,
+                "server overloaded: {pending} simulations pending (admission limit {limit})"
+            ),
             SimError::Divergence { step, pc, expected, actual } => write!(
                 f,
                 "architectural divergence from the golden oracle at step {step}, \

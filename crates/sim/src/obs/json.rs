@@ -231,10 +231,34 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// The deepest container nesting [`parse`] accepts. The parser recurses
+/// once per nesting level, so without this bound an adversarial payload of
+/// a few kilobytes of `[` could exhaust the stack of whatever thread is
+/// parsing it — fatal for a remote-facing consumer like the campaign
+/// server. Every artifact this workspace emits nests a handful of levels.
+pub const MAX_DEPTH: usize = 128;
+
+/// The largest input [`parse`] accepts, in bytes (16 MiB). A bound on
+/// attacker-controlled allocation; far above any artifact we produce.
+pub const MAX_INPUT_BYTES: usize = 16 * 1024 * 1024;
+
 /// Parses a complete JSON document (trailing whitespace allowed, trailing
 /// garbage rejected).
+///
+/// Adversarial-input bounds: documents nested deeper than [`MAX_DEPTH`]
+/// or larger than [`MAX_INPUT_BYTES`] are rejected with a typed
+/// [`JsonError`] — never a stack overflow or an unbounded allocation.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    if input.len() > MAX_INPUT_BYTES {
+        return Err(JsonError {
+            message: format!(
+                "input too large: {} bytes (limit {MAX_INPUT_BYTES})",
+                input.len()
+            ),
+            at: 0,
+        });
+    }
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -247,6 +271,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -295,7 +320,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the container nesting depth, rejecting pathological payloads
+    /// before the recursion can threaten the stack.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        let v = self.array_body()?;
+        self.depth -= 1;
+        Ok(v)
+    }
+
+    fn array_body(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -319,6 +361,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        let v = self.object_body()?;
+        self.depth -= 1;
+        Ok(v)
+    }
+
+    fn object_body(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -536,5 +585,43 @@ mod tests {
         for bad in ["", "{", "[1,", "\"", "{\"a\"}", "nul", "1 2", "{\"a\":1,}"] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    /// Adversarial nesting must come back as a typed error, not a stack
+    /// overflow — this parser faces the network in the campaign server.
+    #[test]
+    fn pathological_nesting_is_rejected_not_fatal() {
+        // Far past the limit: would overflow the stack without the bound.
+        for (open, close) in [("[", "]"), (r#"{"k":"#, "}")] {
+            let deep = open.repeat(200_000) + &close.repeat(200_000);
+            let err = parse(&deep).unwrap_err();
+            assert!(err.message.contains("nesting"), "got: {err}");
+        }
+        // Unclosed nesting (the payload a slow-loris client would send).
+        let unclosed = "[".repeat(1_000_000);
+        assert!(parse(&unclosed).is_err());
+    }
+
+    /// Nesting exactly at the limit parses; one level past it does not.
+    #[test]
+    fn nesting_limit_is_exact() {
+        let ok = "[".repeat(MAX_DEPTH) + "1" + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+        let bad = "[".repeat(MAX_DEPTH + 1) + "1" + &"]".repeat(MAX_DEPTH + 1);
+        let err = parse(&bad).unwrap_err();
+        assert!(err.message.contains("nesting"), "got: {err}");
+        // Sibling containers do not accumulate depth: a wide flat array of
+        // shallow objects is fine at any length.
+        let wide = format!("[{}]", vec!["{\"a\":[1]}"; 4096].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    /// Inputs past the size cap are refused before any work is done.
+    #[test]
+    fn oversized_input_is_rejected() {
+        let huge = " ".repeat(MAX_INPUT_BYTES + 1);
+        let err = parse(&huge).unwrap_err();
+        assert!(err.message.contains("input too large"), "got: {err}");
+        assert_eq!(err.at, 0);
     }
 }
