@@ -57,7 +57,7 @@ fn sweep(cx: &Cx) -> Result<Exp, SimError> {
             Ok(c)
         });
     }
-    let results = jobs.run_cached(cx.jobs, &cx.opts, cx.manifest);
+    let (results, wall) = jobs.run_cached_timed(cx.jobs, &cx.opts, cx.manifest);
     let (cells, errors) = if cx.opts.keep_going {
         degrade(results)
     } else {
@@ -92,6 +92,19 @@ fn sweep(cx: &Cx) -> Result<Exp, SimError> {
     doc.set("speedup.weighted_mean", Json::F64(weighted_mean(&speedups, &weights)));
     if !errors.is_empty() {
         doc.set("errors", errors_json(&errors));
+    }
+    // Wall-clock lanes are opt-in: default artifacts must stay
+    // byte-identical cold vs. resumed and at any --jobs count, and timing
+    // is exactly the lane that can't be.
+    if cx.timings {
+        let _ = writeln!(
+            human,
+            "cell wall-clock: p50 {:.0} ms, p99 {:.0} ms over {} simulated cells",
+            wall.p(0.50),
+            wall.p(0.99),
+            wall.count()
+        );
+        doc.set("bench.cell_wall_ms", wall.to_json());
     }
     Ok(Exp { human, json: doc })
 }

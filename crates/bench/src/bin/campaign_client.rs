@@ -19,27 +19,36 @@
 //! fully cached re-run produce byte-identical artifacts (cache hits are
 //! reported on stdout for humans).
 //!
+//! Every request carries a trace id derived from the cell's identity
+//! (`sweep.<workload>.<config>.<scale>`), so a line in the server's
+//! access log joins to a row of the client artifact without any shared
+//! clock. Ids are deterministic on purpose: they land in the artifact's
+//! `trace_ids` lane and must not break byte-identity. Wall-clock lanes
+//! are different — `client_latency` (an rpc-latency histogram) appears
+//! in the artifact only under `--timings`.
+//!
 //! Exit codes: 0 success, 1 simulation/transport failure, 2 bad usage or
 //! a `bad-request` refusal, 3 shed by the server's admission bound.
 
 use fac_bench::serve::client::Client;
 use fac_bench::serve::proto::{CellRequest, ErrorKind, Request, Response};
 use fac_bench::serve::{config_by_name, scale_name, sw_support, Endpoint, CONFIG_NAMES};
+use fac_bench::telemetry::Hist;
 use fac_bench::Args;
 use fac_sim::obs::Json;
 use fac_sim::{config_fingerprint, program_fingerprint, SimError};
 use fac_workloads::Scale;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!("usage: campaign_client --connect <tcp:host:port|unix:path>");
-    eprintln!("       [--smoke] [--json <path|->] [--timeout-secs N]");
+    eprintln!("       [--smoke] [--json <path|->] [--timeout-secs N] [--timings]");
     eprintln!("       [--cell <workload> [--config <baseline|fac>]] | [--ping] | [--stats]");
     std::process::exit(2);
 }
 
 /// Boolean flags this binary accepts.
-const BOOL_FLAGS: &[&str] = &["--smoke", "--ping", "--stats"];
+const BOOL_FLAGS: &[&str] = &["--smoke", "--ping", "--stats", "--timings"];
 /// Value-taking flags this binary accepts.
 const VALUE_FLAGS: &[&str] = &["--connect", "--json", "--cell", "--config", "--timeout-secs"];
 
@@ -70,7 +79,9 @@ fn refusal(kind: ErrorKind, message: &str) -> std::process::ExitCode {
 }
 
 /// Builds a cell request, computing fingerprints locally for real
-/// workloads (test cells have no client-side build to fingerprint).
+/// workloads (test cells have no client-side build to fingerprint). The
+/// trace id is derived from the cell's identity, not a clock or counter:
+/// the ids land in the `--json` artifact and must not vary run to run.
 fn cell_request(workload: &str, config: &str, scale: Scale) -> CellRequest {
     let mut req = CellRequest {
         workload: workload.to_string(),
@@ -79,6 +90,7 @@ fn cell_request(workload: &str, config: &str, scale: Scale) -> CellRequest {
         config: config.to_string(),
         config_fp: None,
         program_fp: None,
+        trace_id: Some(format!("sweep.{workload}.{config}.{}", scale_name(scale))),
     };
     if let Some(cfg) = config_by_name(config) {
         req.config_fp = Some(config_fingerprint(&cfg));
@@ -136,16 +148,17 @@ fn main() -> std::process::ExitCode {
         let config = args.value("--config").unwrap_or("fac");
         let req = cell_request(workload, config, scale);
         return match client.rpc(&Request::Cell(req)) {
-            Ok(Response::Cell { cached, coalesced, result, .. }) => {
+            Ok(Response::Cell { cached, coalesced, trace_id, result, .. }) => {
                 eprintln!(
-                    "{workload} [{config}]: {}",
+                    "{workload} [{config}]: {} (trace {})",
                     if cached {
                         "served from store"
                     } else if coalesced {
                         "coalesced with an in-flight simulation"
                     } else {
                         "simulated fresh"
-                    }
+                    },
+                    trace_id.as_deref().unwrap_or("-")
                 );
                 println!("{}", result.to_pretty(2));
                 std::process::ExitCode::SUCCESS
@@ -158,14 +171,22 @@ fn main() -> std::process::ExitCode {
 
     // Default: the full sweep, every workload under every named config.
     let mut rows = Vec::new();
+    let mut trace_ids = Vec::new();
+    let mut latency = Hist::new();
     let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut coalesces = 0usize;
     let mut total = 0usize;
     for workload in fac_workloads::suite() {
         for config in CONFIG_NAMES {
             total += 1;
             let req = cell_request(workload.name, config, scale);
-            match client.rpc(&Request::Cell(req)) {
-                Ok(Response::Cell { cached, result, .. }) => {
+            let sent_id = req.trace_id.clone().unwrap_or_default();
+            let start = Instant::now();
+            let resp = client.rpc(&Request::Cell(req));
+            latency.record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+            match resp {
+                Ok(Response::Cell { cached, coalesced, trace_id, result, .. }) => {
                     let cycles = result.get("cycles").and_then(Json::as_u64).unwrap_or(0);
                     println!(
                         "{:10} {:8} {:>12} cycles{}",
@@ -176,7 +197,15 @@ fn main() -> std::process::ExitCode {
                     );
                     if cached {
                         hits += 1;
+                    } else if coalesced {
+                        coalesces += 1;
+                    } else {
+                        misses += 1;
                     }
+                    // The artifact records the id the server actually
+                    // served under; for a stamped request that is the
+                    // echo of our own deterministic id.
+                    trace_ids.push(Json::Str(trace_id.unwrap_or(sent_id)));
                     rows.push(result);
                 }
                 Ok(Response::Error { kind, message }) => return refusal(kind, &message),
@@ -186,15 +215,27 @@ fn main() -> std::process::ExitCode {
         }
     }
     println!("cache hits: {hits}/{total}");
+    println!(
+        "sweep summary: {total} cells — {hits} hit, {misses} miss, {coalesces} coalesced; \
+         rpc p50 {:.0} us, p99 {:.0} us",
+        latency.p(0.50),
+        latency.p(0.99)
+    );
 
     if let Some(path) = args.value("--json") {
         // The artifact deliberately omits hit/coalesce flags: a cold
-        // sweep and a fully cached re-run must be byte-identical.
+        // sweep and a fully cached re-run must be byte-identical. Trace
+        // ids are deterministic, so they are safe to include; rpc
+        // latency is not, so it rides behind --timings only.
         let mut doc = Json::obj();
         doc.set("campaign", Json::Str("server_sweep".to_string()));
         doc.set("scale", Json::Str(scale_name(scale).to_string()));
         doc.set("configs", Json::Arr(CONFIG_NAMES.iter().map(|c| Json::Str(c.to_string())).collect()));
+        doc.set("trace_ids", Json::Arr(trace_ids));
         doc.set("rows", Json::Arr(rows));
+        if args.flag("--timings") {
+            doc.set("client_latency", latency.to_json());
+        }
         if let Err(e) = fac_bench::write_json(path, &doc) {
             return fail(&e);
         }

@@ -11,6 +11,12 @@
 //! single simulation, sheds work past `--max-queue` with a typed
 //! overload error, and drains gracefully on SIGTERM/SIGINT: in-flight
 //! requests finish, the store is fsynced, and the process exits 0.
+//!
+//! Telemetry (DESIGN.md §12): `--metrics tcp-addr` serves Prometheus
+//! text exposition on a read-only HTTP listener that keeps answering
+//! while cell traffic is shed; `--access-log path` appends one JSONL
+//! line per request (trace id, peer, phase timings, outcome); requests
+//! slower than `--slow-ms` are flagged `"slow": true` in that log.
 
 use fac_bench::serve::server::{Server, ServeOptions, Shutdown};
 use fac_bench::serve::Endpoint;
@@ -21,6 +27,7 @@ use std::io::Write as _;
 fn usage() -> ! {
     eprintln!("usage: campaign_server --listen <tcp:host:port|unix:path> --store-dir <dir>");
     eprintln!("       [--max-queue N] [--request-timeout-secs N] [--idle-timeout-secs N]");
+    eprintln!("       [--metrics host:port] [--access-log <path>] [--slow-ms N]");
     eprintln!("       [--test-cells]");
     std::process::exit(2);
 }
@@ -28,8 +35,16 @@ fn usage() -> ! {
 /// Boolean flags this binary accepts.
 const BOOL_FLAGS: &[&str] = &["--test-cells"];
 /// Value-taking flags this binary accepts.
-const VALUE_FLAGS: &[&str] =
-    &["--listen", "--store-dir", "--max-queue", "--request-timeout-secs", "--idle-timeout-secs"];
+const VALUE_FLAGS: &[&str] = &[
+    "--listen",
+    "--store-dir",
+    "--max-queue",
+    "--request-timeout-secs",
+    "--idle-timeout-secs",
+    "--metrics",
+    "--access-log",
+    "--slow-ms",
+];
 
 /// Unwraps a parse result or exits with the typed error and the usage.
 fn or_usage<T>(result: Result<T, SimError>) -> T {
@@ -85,7 +100,7 @@ fn install_signal_handlers(_shutdown: Shutdown) {}
 fn main() -> std::process::ExitCode {
     let args = or_usage(Args::parse(BOOL_FLAGS, VALUE_FLAGS));
     or_usage(args.no_positionals(
-        "--listen, --store-dir, --max-queue, --request-timeout-secs, --idle-timeout-secs, --test-cells",
+        "--listen, --store-dir, --max-queue, --request-timeout-secs, --idle-timeout-secs, --metrics, --access-log, --slow-ms, --test-cells",
     ));
     let Some(listen) = args.value("--listen") else { usage() };
     let endpoint = or_usage(Endpoint::parse("--listen", listen));
@@ -106,6 +121,13 @@ fn main() -> std::process::ExitCode {
         opts.idle_timeout_secs = n;
     }
     opts.test_cells = args.flag("--test-cells");
+    opts.metrics_addr = args.value("--metrics").map(str::to_string);
+    opts.access_log = args.value("--access-log").map(std::path::PathBuf::from);
+    if let Some(n) =
+        positive(&args, "--slow-ms", "a slow-request threshold in whole milliseconds, at least 1")
+    {
+        opts.slow_ms = n;
+    }
 
     let server = match Server::bind(&endpoint, opts) {
         Ok(server) => server,
@@ -116,8 +138,12 @@ fn main() -> std::process::ExitCode {
     };
     install_signal_handlers(server.shutdown_handle());
     // Announce (and flush) the bound endpoint before serving, so a script
-    // that started us knows when — and where — to connect.
+    // that started us knows when — and where — to connect. The metrics
+    // address is announced the same way (`:0` resolved to a real port).
     println!("campaign server listening on {}", server.endpoint());
+    if let Some(addr) = server.metrics_addr() {
+        println!("campaign server metrics on tcp:{addr}");
+    }
     std::io::stdout().flush().ok();
 
     match server.run() {

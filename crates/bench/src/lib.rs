@@ -42,6 +42,7 @@ pub mod io;
 pub mod manifest;
 pub mod par;
 pub mod serve;
+pub mod telemetry;
 
 /// Instruction budget per simulation (well above any Paper-scale kernel).
 pub const MAX_INSTS: u64 = 400_000_000;
@@ -165,13 +166,17 @@ pub struct Cx<'m> {
     /// Durable campaign manifest (`--resume <dir>`): completed jobs are
     /// skipped and their journaled results re-merged.
     pub manifest: Option<&'m manifest::Manifest>,
+    /// Emit wall-clock timing lanes (`--timings`). Off by default so
+    /// artifacts stay byte-identical across runs and `--jobs` counts;
+    /// opting in adds `bench.*` latency percentiles to `--json` output.
+    pub timings: bool,
 }
 
 impl Cx<'static> {
     /// A context with default robustness policy and no manifest (for
     /// tests and library callers).
     pub fn simple(scale: Scale, jobs: usize) -> Cx<'static> {
-        Cx { scale, jobs, opts: par::RunOptions::default(), manifest: None }
+        Cx { scale, jobs, opts: par::RunOptions::default(), manifest: None, timings: false }
     }
 }
 
@@ -191,7 +196,7 @@ pub struct Args {
 }
 
 /// Boolean flags every experiment binary accepts.
-pub const STD_BOOL_FLAGS: &[&str] = &["--smoke", "--keep-going"];
+pub const STD_BOOL_FLAGS: &[&str] = &["--smoke", "--keep-going", "--timings"];
 /// Value-taking flags every experiment binary accepts.
 pub const STD_VALUE_FLAGS: &[&str] =
     &["--json", "--jobs", "--resume", "--timeout-secs", "--retries"];
@@ -402,7 +407,7 @@ fn conclude_inner(
 ) -> Result<(), SimError> {
     let args = Args::parse(STD_BOOL_FLAGS, STD_VALUE_FLAGS)?;
     args.no_positionals(
-        "--smoke, --json, --jobs, --resume, --timeout-secs, --retries, --keep-going",
+        "--smoke, --json, --jobs, --resume, --timeout-secs, --retries, --keep-going, --timings",
     )?;
     let manifest = match args.resume_dir() {
         Some(dir) => Some(manifest::Manifest::open(std::path::Path::new(dir))?),
@@ -413,6 +418,7 @@ fn conclude_inner(
         jobs: args.jobs()?,
         opts: args.run_options()?,
         manifest: manifest.as_ref(),
+        timings: args.flag("--timings"),
     };
     let exp = experiment(&cx)?;
     print!("{}", exp.human);

@@ -47,6 +47,7 @@
 //! all cross (or are shared across) the worker threads.
 
 use crate::manifest::Manifest;
+use crate::telemetry::Hist;
 use fac_sim::obs::Json;
 use fac_sim::SimError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -175,7 +176,23 @@ impl<'env, T: Send> JobSet<'env, T> {
     /// the caller chooses between [`strict`] failure and [`degrade`]d
     /// artifacts.
     pub fn run_each(self, workers: usize, opts: &RunOptions) -> Vec<Outcome<T>> {
-        run_engine(self.jobs, workers, opts, &|_, _| {})
+        run_engine(self.jobs, workers, opts, &|_, _, _| {})
+    }
+
+    /// [`JobSet::run_each`] plus a latency histogram: each job's
+    /// wall-clock milliseconds (including any retries and backoff) land in
+    /// a merged [`Hist`], so a sweep can report `cell_wall_ms` percentiles
+    /// without threading timing through every result type. The histogram
+    /// is a side channel — the outcomes themselves are byte-identical to
+    /// `run_each`, so timing stays out of deterministic artifacts unless a
+    /// caller explicitly exports it (`--timings`).
+    pub fn run_each_timed(self, workers: usize, opts: &RunOptions) -> (Vec<Outcome<T>>, Hist) {
+        let hist = Mutex::new(Hist::new());
+        let record = |_: &str, _: &Result<T, SimError>, elapsed: Duration| {
+            hist.lock().expect("timing hist").record(elapsed.as_millis() as u64);
+        };
+        let out = run_engine(self.jobs, workers, opts, &record);
+        (out, hist.into_inner().expect("timing hist"))
     }
 }
 
@@ -190,6 +207,19 @@ impl<'env> JobSet<'env, Json> {
         opts: &RunOptions,
         manifest: Option<&Manifest>,
     ) -> Vec<Outcome<Json>> {
+        self.run_cached_timed(workers, opts, manifest).0
+    }
+
+    /// [`JobSet::run_cached`] plus the wall-clock [`Hist`] of
+    /// [`JobSet::run_each_timed`]. Only cells that actually executed are
+    /// timed — manifest-cached cells cost no simulation and would drown
+    /// the distribution in near-zero samples.
+    pub fn run_cached_timed(
+        self,
+        workers: usize,
+        opts: &RunOptions,
+        manifest: Option<&Manifest>,
+    ) -> (Vec<Outcome<Json>>, Hist) {
         let n = self.jobs.len();
         let mut out: Vec<Option<Outcome<Json>>> = (0..n).map(|_| None).collect();
         let mut live = Vec::new();
@@ -203,16 +233,20 @@ impl<'env> JobSet<'env, Json> {
                 }
             }
         }
-        let journal = |name: &str, result: &Result<Json, SimError>| {
+        let hist = Mutex::new(Hist::new());
+        let journal = |name: &str, result: &Result<Json, SimError>, elapsed: Duration| {
             if let (Some(m), Ok(value)) = (manifest, result) {
                 m.record(name, value);
             }
+            hist.lock().expect("timing hist").record(elapsed.as_millis() as u64);
         };
         let fresh = run_engine(live, workers, opts, &journal);
         for (slot, result) in live_slots.into_iter().zip(fresh) {
             out[slot] = Some(result);
         }
-        out.into_iter().map(|slot| slot.expect("every slot filled")).collect()
+        let out =
+            out.into_iter().map(|slot| slot.expect("every slot filled")).collect::<Vec<_>>();
+        (out, hist.into_inner().expect("timing hist"))
     }
 }
 
@@ -266,6 +300,9 @@ pub fn errors_json(errors: &[(String, SimError)]) -> Json {
     )
 }
 
+/// Per-job completion callback: job name, outcome, wall-clock spent.
+type OnDone<'a, T> = &'a (dyn Fn(&str, &Result<T, SimError>, Duration) + Sync);
+
 /// The engine: serial fast path or scoped worker pool, with the watchdog
 /// and retry policy applied per job and `on_done` invoked (from the
 /// executing worker, the moment the outcome is known) for journaling.
@@ -273,7 +310,7 @@ fn run_engine<'env, T: Send>(
     jobs: Vec<Job<'env, T>>,
     workers: usize,
     opts: &RunOptions,
-    on_done: &(dyn Fn(&str, &Result<T, SimError>) + Sync),
+    on_done: OnDone<'_, T>,
 ) -> Vec<Outcome<T>> {
     let n = jobs.len();
     let workers = workers.max(1).min(n.max(1));
@@ -281,8 +318,9 @@ fn run_engine<'env, T: Send>(
         return jobs
             .into_iter()
             .map(|job| {
+                let start = Instant::now();
                 let result = run_with_policy(&job, opts);
-                on_done(&job.name, &result);
+                on_done(&job.name, &result, start.elapsed());
                 (job.name, result)
             })
             .collect();
@@ -303,8 +341,9 @@ fn run_engine<'env, T: Send>(
                 // never serialize the pool on a mutex), file the result
                 // under the job's own index.
                 let job = jobs[i].lock().expect("job slot").take().expect("unclaimed job");
+                let start = Instant::now();
                 let result = run_with_policy(&job, opts);
-                on_done(&job.name, &result);
+                on_done(&job.name, &result, start.elapsed());
                 *results[i].lock().expect("result slot") = Some((job.name, result));
             });
         }
@@ -617,6 +656,46 @@ mod tests {
                 "workers={workers}"
             );
         }
+    }
+
+    /// Timed runs record one wall-clock sample per executed job — and the
+    /// outcomes themselves are identical to the untimed path, so timing
+    /// can never leak into a deterministic artifact.
+    #[test]
+    fn timed_runs_sample_every_executed_job() {
+        for workers in [1, 4] {
+            let mut jobs = JobSet::new();
+            for i in 0..9u64 {
+                jobs.push(format!("cell:{i}"), move || {
+                    std::thread::sleep(Duration::from_millis(2));
+                    Ok(Json::U64(i))
+                });
+            }
+            let (out, hist) = jobs.run_each_timed(workers, &RunOptions::default());
+            assert_eq!(strict(out).unwrap(), (0..9).map(Json::U64).collect::<Vec<_>>());
+            assert_eq!(hist.count(), 9, "workers={workers}");
+            assert!(hist.min().unwrap() >= 1, "jobs slept 2ms, min {:?}", hist.min());
+        }
+
+        // Manifest-cached cells are not timed: only live execution counts.
+        let dir = std::env::temp_dir().join(format!("fac_par_timed_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let build = || {
+            let mut jobs = JobSet::new();
+            for i in 0..4u64 {
+                jobs.push(format!("cell:{i}"), move || Ok(Json::U64(i)));
+            }
+            jobs
+        };
+        let m = Manifest::open(&dir).unwrap();
+        let (_, first) = build().run_cached_timed(2, &RunOptions::default(), Some(&m));
+        assert_eq!(first.count(), 4);
+        drop(m);
+        let m = Manifest::open(&dir).unwrap();
+        let (out, second) = build().run_cached_timed(2, &RunOptions::default(), Some(&m));
+        assert_eq!(strict(out).unwrap().len(), 4);
+        assert_eq!(second.count(), 0, "cached cells must not be timed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// `run_cached` journals fresh results, skips journaled jobs on the

@@ -157,6 +157,18 @@ impl Conn {
             Conn::Unix(s) => s.set_write_timeout(dur),
         }
     }
+
+    /// The peer's address for the access log: `host:port` for TCP,
+    /// `"unix"` for Unix-domain peers (which are usually unnamed).
+    pub fn peer(&self) -> String {
+        match self {
+            Conn::Tcp(s) => {
+                s.peer_addr().map_or_else(|_| "tcp:?".to_string(), |a| a.to_string())
+            }
+            #[cfg(unix)]
+            Conn::Unix(_) => "unix".to_string(),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -271,6 +283,22 @@ pub fn config_by_name(name: &str) -> Option<MachineConfig> {
 /// The configuration names [`config_by_name`] accepts, for error messages
 /// and the client sweep.
 pub const CONFIG_NAMES: &[&str] = &["baseline", "fac"];
+
+/// The fingerprint of the whole configuration catalog: the FNV-1a chain
+/// of every named configuration's fingerprint, in catalog order. Two
+/// builds that would store incomparable cells have different catalog
+/// fingerprints, so the `build_version` the stats report advertises
+/// changes with them.
+pub fn catalog_fingerprint() -> u64 {
+    use fac_core::snap::{fnv1a, FNV_OFFSET};
+    let mut fp = FNV_OFFSET;
+    for name in CONFIG_NAMES {
+        let config = config_by_name(name).expect("catalog names resolve");
+        fp = fnv1a(fp, name.as_bytes());
+        fp = fnv1a(fp, &fac_sim::config_fingerprint(&config).to_le_bytes());
+    }
+    fp
+}
 
 /// Renders a scale for the wire (`"smoke"` / `"paper"`).
 pub fn scale_name(scale: Scale) -> &'static str {

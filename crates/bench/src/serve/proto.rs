@@ -8,12 +8,13 @@
 //! stats    = {"cmd":"stats"}
 //! cell     = {"cmd":"cell","workload":<name>,"sw":<bool>,
 //!             "scale":"smoke"|"paper","config":"baseline"|"fac"
-//!             [,"config_fp":"0x<16 hex>"][,"program_fp":"0x<16 hex>"]}
+//!             [,"config_fp":"0x<16 hex>"][,"program_fp":"0x<16 hex>"]
+//!             [,"trace_id":<id>]}
 //!
 //! response = {"ok":true,"pong":true}
 //!          | {"ok":true,"stats":{...}}
 //!          | {"ok":true,"key":"0x<16 hex>","cached":<bool>,
-//!             "coalesced":<bool>,"result":{...}}
+//!             "coalesced":<bool>[,"trace_id":<id>],"result":{...}}
 //!          | {"ok":false,"kind":"bad-request"|"overloaded"|"sim",
 //!             "error":<message>}
 //! ```
@@ -22,6 +23,13 @@
 //! assert that the server's build agrees — version skew between client
 //! and server surfaces as a typed `bad-request`, never as silently
 //! incomparable results.
+//!
+//! `trace_id` is the telemetry correlation key (DESIGN.md §12): a client
+//! may stamp each cell request with one; the server echoes it in the
+//! response and in the structured access log, and mints its own for
+//! unstamped requests. Ids are constrained to 1–64 characters of
+//! `[A-Za-z0-9._:-]` so a hostile client cannot inject structure into
+//! log lines or exposition labels.
 //!
 //! Everything on the wire is parsed with the hardened
 //! [`fac_sim::obs::json`] parser (nesting-depth and input-size bounded)
@@ -64,6 +72,9 @@ pub struct CellRequest {
     pub config_fp: Option<u64>,
     /// Client-computed program fingerprint, if it built one.
     pub program_fp: Option<u64>,
+    /// Client-supplied telemetry correlation id, echoed in the response
+    /// and the server's access log. `None` lets the server mint one.
+    pub trace_id: Option<String>,
 }
 
 /// Why a request was refused.
@@ -115,6 +126,9 @@ pub enum Response {
         /// `true` when this request piggybacked on an in-flight
         /// simulation started by another connection.
         coalesced: bool,
+        /// The telemetry correlation id this request was served under:
+        /// the client's own id echoed back, or the server-minted one.
+        trace_id: Option<String>,
         /// The cell's result document.
         result: Json,
     },
@@ -179,6 +193,27 @@ fn hex_field(doc: &Json, key: &str) -> Result<Option<u64>, ProtoError> {
     }
 }
 
+/// `true` when `id` is an acceptable trace id: 1–64 characters drawn
+/// from `[A-Za-z0-9._:-]`. Everything the server later interpolates into
+/// an access-log line is constrained here, at the trust boundary.
+pub fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'))
+}
+
+fn trace_id_field(doc: &Json) -> Result<Option<String>, ProtoError> {
+    match doc.get("trace_id") {
+        None => Ok(None),
+        Some(v) => match v.as_str() {
+            Some(id) if valid_trace_id(id) => Ok(Some(id.to_string())),
+            _ => Err(ProtoError::new(
+                "malformed 'trace_id' field (want 1-64 chars of [A-Za-z0-9._:-])",
+            )),
+        },
+    }
+}
+
 /// Parses one request line.
 ///
 /// # Errors
@@ -203,6 +238,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 config,
                 config_fp: hex_field(&doc, "config_fp")?,
                 program_fp: hex_field(&doc, "program_fp")?,
+                trace_id: trace_id_field(&doc)?,
             }))
         }
         other => Err(ProtoError::new(format!("unknown cmd '{other}'"))),
@@ -231,6 +267,9 @@ pub fn render_request(req: &Request) -> String {
             if let Some(fp) = cell.program_fp {
                 doc.set("program_fp", Json::Str(hex(fp)));
             }
+            if let Some(id) = &cell.trace_id {
+                doc.set("trace_id", Json::Str(id.clone()));
+            }
         }
     }
     doc.to_string()
@@ -248,11 +287,14 @@ pub fn render_response(resp: &Response) -> String {
             doc.set("ok", Json::Bool(true));
             doc.set("stats", stats.clone());
         }
-        Response::Cell { key, cached, coalesced, result } => {
+        Response::Cell { key, cached, coalesced, trace_id, result } => {
             doc.set("ok", Json::Bool(true));
             doc.set("key", Json::Str(hex(*key)));
             doc.set("cached", Json::Bool(*cached));
             doc.set("coalesced", Json::Bool(*coalesced));
+            if let Some(id) = trace_id {
+                doc.set("trace_id", Json::Str(id.clone()));
+            }
             doc.set("result", result.clone());
         }
         Response::Error { kind, message } => {
@@ -289,6 +331,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                 key,
                 cached: bool_field(&doc, "cached")?,
                 coalesced: bool_field(&doc, "coalesced")?,
+                trace_id: trace_id_field(&doc)?,
                 result,
             })
         }
@@ -370,6 +413,7 @@ mod tests {
             config: "fac".to_string(),
             config_fp: Some(0xdead_beef),
             program_fp: None,
+            trace_id: Some("sweep-1.cell:3".to_string()),
         }
     }
 
@@ -388,7 +432,14 @@ mod tests {
         for resp in [
             Response::Pong,
             Response::Stats(Json::obj()),
-            Response::Cell { key: 7, cached: true, coalesced: false, result },
+            Response::Cell {
+                key: 7,
+                cached: true,
+                coalesced: false,
+                trace_id: Some("abc123".to_string()),
+                result: result.clone(),
+            },
+            Response::Cell { key: 7, cached: false, coalesced: true, trace_id: None, result },
             Response::Error { kind: ErrorKind::Overloaded, message: "shed".to_string() },
         ] {
             let line = render_response(&resp);
@@ -407,9 +458,25 @@ mod tests {
             r#"{"cmd":"cell","workload":"compress","sw":"yes","scale":"smoke","config":"fac"}"#,
             r#"{"cmd":"cell","workload":"compress","sw":true,"scale":"galaxy","config":"fac"}"#,
             r#"{"cmd":"cell","workload":"compress","sw":true,"scale":"smoke","config":"fac","config_fp":"feed"}"#,
+            // Trace ids that could smuggle structure into log lines.
+            r#"{"cmd":"cell","workload":"compress","sw":true,"scale":"smoke","config":"fac","trace_id":""}"#,
+            r#"{"cmd":"cell","workload":"compress","sw":true,"scale":"smoke","config":"fac","trace_id":"a b"}"#,
+            r#"{"cmd":"cell","workload":"compress","sw":true,"scale":"smoke","config":"fac","trace_id":7}"#,
         ] {
             assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
         }
+    }
+
+    #[test]
+    fn trace_id_grammar() {
+        assert!(valid_trace_id("client-1234.7:0xdeadbeef"));
+        assert!(valid_trace_id("a"));
+        assert!(valid_trace_id(&"x".repeat(64)));
+        assert!(!valid_trace_id(""));
+        assert!(!valid_trace_id(&"x".repeat(65)));
+        assert!(!valid_trace_id("has space"));
+        assert!(!valid_trace_id("quote\"inject"));
+        assert!(!valid_trace_id("new\nline"));
     }
 
     #[test]

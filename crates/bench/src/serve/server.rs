@@ -27,23 +27,36 @@
 //! the accept loop stops, every connection finishes the request it is
 //! writing, worker threads are joined, the store directory is fsynced,
 //! and `run` returns `Ok` — exit code 0.
+//!
+//! **Telemetry** (DESIGN.md §12): every request is timed as a span split
+//! into queue / coalesce / simulate / commit / serialize phases and keyed
+//! by a trace id (client-supplied or server-minted). The phase and total
+//! latencies land in mergeable [`Hist`]ograms served three ways: the
+//! `stats` response grows a `latency` object, `--metrics <addr>` serves
+//! Prometheus text exposition over a read-only HTTP/1.0 listener that
+//! bypasses the admission gate (scrapes keep working while cell traffic
+//! is being shed), and `--access-log <path>` writes one structured JSONL
+//! line per request through the same latched-error
+//! [`fac_sim::obs::JsonlWriter`] the event streams use.
 
 use super::proto::{
     parse_request, read_line, render_response, ErrorKind, LineEvent, Request, Response,
 };
 use super::store::{Lookup, Store};
 use super::{
-    cell_identity, config_by_name, scale_name, sw_support, Conn, Endpoint, Listener, CONFIG_NAMES,
+    catalog_fingerprint, cell_identity, config_by_name, scale_name, sw_support, Conn, Endpoint,
+    Listener, CONFIG_NAMES,
 };
 use crate::par::{JobSet, RunOptions};
 use crate::serve::proto::CellRequest;
+use crate::telemetry::{Exposition, Hist};
 use fac_asm::Program;
 use fac_core::snap::{fnv1a, FNV_OFFSET};
-use fac_sim::obs::Json;
+use fac_sim::obs::{Json, JsonlWriter};
 use fac_sim::{config_fingerprint, program_fingerprint, MachineConfig, SimError};
 use fac_workloads::Scale;
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -84,6 +97,18 @@ pub struct ServeOptions {
     /// Enables the `__panic` / `__sleep:<ms>` test cells used by the
     /// fault-injection suites. Never enabled in production.
     pub test_cells: bool,
+    /// TCP address (`host:port`) to serve Prometheus text exposition on
+    /// (`--metrics`). The listener is read-only and outside the admission
+    /// gate: scrapes keep answering while cell traffic is shed. `None`
+    /// disables it.
+    pub metrics_addr: Option<String>,
+    /// Structured JSONL access log path (`--access-log`): one line per
+    /// request with trace id, peer, phase timings and outcome. `None`
+    /// disables it.
+    pub access_log: Option<PathBuf>,
+    /// Requests whose total latency exceeds this many milliseconds get
+    /// `"slow": true` in their access-log line (`--slow-ms`).
+    pub slow_ms: u64,
 }
 
 impl ServeOptions {
@@ -97,6 +122,9 @@ impl ServeOptions {
             request_timeout_secs: 300,
             idle_timeout_secs: 300,
             test_cells: false,
+            metrics_addr: None,
+            access_log: None,
+            slow_ms: 1000,
         }
     }
 }
@@ -144,6 +172,127 @@ struct Counters {
     store_put_errors: AtomicU64,
 }
 
+/// Span phases, in request order. `queue` is everything before a role is
+/// decided (parse, resolve, store lookup, admission), `coalesce` is a
+/// follower's wait on the leader, `simulate` is the leader's run,
+/// `commit` is the store write + publish, `serialize` is rendering and
+/// writing the response line.
+const PHASE_NAMES: [&str; 5] = ["queue", "coalesce", "simulate", "commit", "serialize"];
+const QUEUE: usize = 0;
+const COALESCE: usize = 1;
+const SIMULATE: usize = 2;
+const COMMIT: usize = 3;
+const SERIALIZE: usize = 4;
+
+/// One request's telemetry: trace id, outcome, and per-phase wall clock.
+/// Phases that did not happen (a store hit never simulates) stay zero and
+/// are skipped by the phase histograms.
+struct Span {
+    trace_id: String,
+    outcome: &'static str,
+    phases: [Duration; PHASE_NAMES.len()],
+    workload: Option<String>,
+    config: Option<String>,
+}
+
+impl Span {
+    fn new(trace_id: String, outcome: &'static str) -> Span {
+        Span {
+            trace_id,
+            outcome,
+            phases: [Duration::ZERO; PHASE_NAMES.len()],
+            workload: None,
+            config: None,
+        }
+    }
+}
+
+/// Aggregated serving telemetry (DESIGN.md §12): latency histograms, the
+/// access log sink, and the mint for server-side trace ids.
+struct Telemetry {
+    started: Instant,
+    /// Total request latency (all phases), microseconds.
+    request_us: Mutex<Hist>,
+    /// Per-phase latency, microseconds, indexed like [`PHASE_NAMES`].
+    phase_us: [Mutex<Hist>; PHASE_NAMES.len()],
+    /// Structured access log, when `--access-log` is set.
+    access: Option<Mutex<JsonlWriter<std::io::BufWriter<std::fs::File>>>>,
+    trace_seq: AtomicU64,
+}
+
+impl Telemetry {
+    fn new(opts: &ServeOptions) -> Result<Telemetry, SimError> {
+        let access = match &opts.access_log {
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| SimError::io(&path.display().to_string(), e))?;
+                Some(Mutex::new(JsonlWriter::new(std::io::BufWriter::new(file))))
+            }
+            None => None,
+        };
+        Ok(Telemetry {
+            started: Instant::now(),
+            request_us: Mutex::new(Hist::new()),
+            phase_us: std::array::from_fn(|_| Mutex::new(Hist::new())),
+            access,
+            trace_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// Mints a trace id for requests that carried none. The format obeys
+    /// the wire grammar, so minted ids round-trip through responses and
+    /// logs exactly like client-supplied ones.
+    fn mint(&self) -> String {
+        format!(
+            "srv-{:x}.{:x}",
+            std::process::id(),
+            self.trace_seq.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    /// Folds a finished span into the histograms and, when enabled,
+    /// appends its access-log line. Called for every request, successful
+    /// or not — observability must not depend on the happy path.
+    fn observe(&self, span: &Span, peer: &str, slow_ms: u64) {
+        let total: Duration = span.phases.iter().sum();
+        let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        lock(&self.request_us).record(us(total));
+        for (hist, d) in self.phase_us.iter().zip(span.phases.iter()) {
+            if !d.is_zero() {
+                lock(hist).record(us(*d));
+            }
+        }
+        let Some(log) = &self.access else { return };
+        let mut doc = Json::obj();
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        doc.set("ts", Json::U64(ts));
+        doc.set("trace_id", Json::Str(span.trace_id.clone()));
+        doc.set("peer", Json::Str(peer.to_string()));
+        doc.set("outcome", Json::Str(span.outcome.to_string()));
+        if let Some(w) = &span.workload {
+            doc.set("workload", Json::Str(w.clone()));
+        }
+        if let Some(c) = &span.config {
+            doc.set("config", Json::Str(c.clone()));
+        }
+        for (name, d) in PHASE_NAMES.iter().zip(span.phases.iter()) {
+            doc.set(&format!("{name}_us"), Json::U64(us(*d)));
+        }
+        doc.set("total_us", Json::U64(us(total)));
+        doc.set("slow", Json::Bool(total > Duration::from_millis(slow_ms)));
+        let mut w = lock(log);
+        w.write_value(&doc);
+        // Flush per line: the log exists to be tailed while the campaign
+        // runs, and request rate is far below any flush cost that matters.
+        w.flush();
+    }
+}
+
 /// One in-flight simulation that followers can wait on.
 #[derive(Debug, Default)]
 struct InFlight {
@@ -189,6 +338,7 @@ struct Shared {
     /// each program many times (two configs × repeat runs) and builds are
     /// deterministic, so build once and share.
     programs: Mutex<HashMap<String, Arc<Program>>>,
+    telemetry: Telemetry,
 }
 
 impl Shared {
@@ -221,6 +371,9 @@ impl Shared {
 /// The campaign server: bind, then [`Server::run`] until drained.
 pub struct Server {
     listener: Listener,
+    /// Bound eagerly in [`Server::bind`] so the caller can report the
+    /// resolved address (`:0` → real port) before serving starts.
+    metrics: Option<std::net::TcpListener>,
     shared: Arc<Shared>,
     shutdown: Shutdown,
 }
@@ -235,8 +388,16 @@ impl Server {
     pub fn bind(endpoint: &Endpoint, opts: ServeOptions) -> Result<Server, SimError> {
         let listener = Listener::bind(endpoint)?;
         let store = Store::open(&opts.store_dir)?;
+        let metrics = match &opts.metrics_addr {
+            Some(addr) => Some(
+                std::net::TcpListener::bind(addr).map_err(|e| SimError::io(addr, e))?,
+            ),
+            None => None,
+        };
+        let telemetry = Telemetry::new(&opts)?;
         Ok(Server {
             listener,
+            metrics,
             shared: Arc::new(Shared {
                 opts,
                 store: Mutex::new(store),
@@ -244,6 +405,7 @@ impl Server {
                 admitted: AtomicUsize::new(0),
                 counters: Counters::default(),
                 programs: Mutex::new(HashMap::new()),
+                telemetry,
             }),
             shutdown: Shutdown::new(),
         })
@@ -252,6 +414,11 @@ impl Server {
     /// The endpoint actually bound (`:0` resolved to the real port).
     pub fn endpoint(&self) -> Endpoint {
         self.listener.endpoint()
+    }
+
+    /// The metrics listener's resolved address, when `--metrics` is set.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.metrics.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// A handle that triggers a graceful drain from any thread or signal
@@ -269,11 +436,19 @@ impl Server {
     /// [`SimError::Io`] on a hard listener failure or when the final
     /// store sync fails (an individual connection's I/O error only drops
     /// that connection).
-    pub fn run(self) -> Result<(), SimError> {
+    pub fn run(mut self) -> Result<(), SimError> {
         let label = self.endpoint().to_string();
         self.listener
             .set_nonblocking(true)
             .map_err(|e| SimError::io(&label, e))?;
+        // The metrics listener runs on its own thread, outside the
+        // admission gate: a scrape is read-only and must keep answering
+        // while cell traffic is being shed.
+        let metrics_thread = self.metrics.take().map(|listener| {
+            let shared = Arc::clone(&self.shared);
+            let shutdown = self.shutdown.clone();
+            std::thread::spawn(move || serve_metrics(&listener, &shared, &shutdown))
+        });
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shutdown.is_set() {
             match self.listener.accept() {
@@ -307,6 +482,12 @@ impl Server {
         for w in workers {
             w.join().ok();
         }
+        if let Some(m) = metrics_thread {
+            m.join().ok();
+        }
+        if let Some(log) = &self.shared.telemetry.access {
+            lock(log).flush();
+        }
         lock(&self.shared.store).sync()
     }
 }
@@ -321,10 +502,21 @@ fn handle_conn(shared: &Arc<Shared>, shutdown: &Shutdown, mut conn: Conn) {
     let idle_limit = Duration::from_secs(shared.opts.idle_timeout_secs);
     let mut idle = Duration::ZERO;
     let mut pending = Vec::new();
+    let peer = conn.peer();
     let respond = |conn: &mut Conn, resp: &Response| -> bool {
         let mut line = render_response(resp);
         line.push('\n');
         conn.write_all(line.as_bytes()).and_then(|()| conn.flush()).is_ok()
+    };
+    // Renders, writes, and times the serialize phase, then folds the
+    // finished span into the histograms and access log — every response
+    // path goes through here, so every request leaves a span.
+    let conclude = |conn: &mut Conn, resp: &Response, mut span: Span| -> bool {
+        let start = Instant::now();
+        let ok = respond(conn, resp);
+        span.phases[SERIALIZE] = start.elapsed();
+        shared.telemetry.observe(&span, &peer, shared.opts.slow_ms);
+        ok
     };
     loop {
         if shutdown.is_set() {
@@ -335,11 +527,14 @@ fn handle_conn(shared: &Arc<Shared>, shutdown: &Shutdown, mut conn: Conn) {
                 // Only a complete request resets the idle clock — a
                 // client dribbling single bytes is still idle.
                 idle = Duration::ZERO;
-                let resp = match parse_request(&line) {
+                let (resp, span) = match parse_request(&line) {
                     Ok(req) => handle_request(shared, &req),
-                    Err(e) => Response::Error { kind: ErrorKind::BadRequest, message: e.message },
+                    Err(e) => (
+                        Response::Error { kind: ErrorKind::BadRequest, message: e.message },
+                        Span::new(shared.telemetry.mint(), "bad_request"),
+                    ),
                 };
-                if !respond(&mut conn, &resp) {
+                if !conclude(&mut conn, &resp, span) {
                     return;
                 }
             }
@@ -355,7 +550,7 @@ fn handle_conn(shared: &Arc<Shared>, shutdown: &Shutdown, mut conn: Conn) {
                 // the connection is dropped (its stream is unframeable).
                 let resp =
                     Response::Error { kind: ErrorKind::BadRequest, message: e.message };
-                respond(&mut conn, &resp);
+                conclude(&mut conn, &resp, Span::new(shared.telemetry.mint(), "bad_request"));
                 return;
             }
             LineEvent::Io(_) => return,
@@ -363,10 +558,12 @@ fn handle_conn(shared: &Arc<Shared>, shutdown: &Shutdown, mut conn: Conn) {
     }
 }
 
-fn handle_request(shared: &Arc<Shared>, req: &Request) -> Response {
+fn handle_request(shared: &Arc<Shared>, req: &Request) -> (Response, Span) {
     match req {
-        Request::Ping => Response::Pong,
-        Request::Stats => Response::Stats(stats_json(shared)),
+        Request::Ping => (Response::Pong, Span::new(shared.telemetry.mint(), "ping")),
+        Request::Stats => {
+            (Response::Stats(stats_json(shared)), Span::new(shared.telemetry.mint(), "stats"))
+        }
         Request::Cell(cell) => handle_cell(shared, cell),
     }
 }
@@ -399,7 +596,159 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
     doc.set("store_put_errors", get(&c.store_put_errors));
     doc.set("entries", Json::U64(store.len().unwrap_or(0) as u64));
     doc.set("admitted", Json::U64(shared.admitted.load(Ordering::SeqCst) as u64));
+    let t = &shared.telemetry;
+    doc.set("uptime_secs", Json::U64(t.started.elapsed().as_secs()));
+    doc.set("build_version", Json::Str(build_version()));
+    doc.set("inflight", Json::U64(lock(&shared.inflight).len() as u64));
+    doc.set("max_queue", Json::U64(shared.opts.max_queue as u64));
+    let mut latency = Json::obj();
+    latency.set("request_us", lock(&t.request_us).to_json());
+    for (name, hist) in PHASE_NAMES.iter().zip(t.phase_us.iter()) {
+        latency.set(&format!("{name}_us"), lock(hist).to_json());
+    }
+    doc.set("latency", latency);
     doc
+}
+
+/// The crate version plus the catalog fingerprint: two servers report the
+/// same string exactly when they would produce comparable artifacts.
+fn build_version() -> String {
+    format!("fac-bench {} cfg:{:#018x}", env!("CARGO_PKG_VERSION"), catalog_fingerprint())
+}
+
+/// Renders the whole service as Prometheus text exposition. Counter names
+/// mirror the `stats` response: `faccell_requests_total{outcome=...}`
+/// sums to the same totals the counters report.
+fn exposition(shared: &Arc<Shared>) -> String {
+    let c = &shared.counters;
+    let t = &shared.telemetry;
+    let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let mut exp = Exposition::new();
+    for (outcome, counter) in [
+        ("hit", &c.hits),
+        ("miss", &c.misses),
+        ("coalesced", &c.coalesced),
+        ("shed", &c.sheds),
+        ("sim_error", &c.sim_errors),
+    ] {
+        exp.counter(
+            "faccell_requests_total",
+            "Cell requests by outcome.",
+            &[("outcome", outcome)],
+            get(counter),
+        );
+    }
+    exp.counter(
+        "faccell_quarantined_total",
+        "Store entries quarantined after failing verification.",
+        &[],
+        get(&c.quarantined),
+    );
+    exp.counter(
+        "faccell_conn_panics_total",
+        "Connection threads that panicked outside the job boundary.",
+        &[],
+        get(&c.conn_panics),
+    );
+    exp.counter(
+        "faccell_store_put_errors_total",
+        "Store writes that failed (the result was still served).",
+        &[],
+        get(&c.store_put_errors),
+    );
+    exp.gauge(
+        "faccell_inflight",
+        "Simulations registered for coalescing right now.",
+        &[],
+        lock(&shared.inflight).len() as f64,
+    );
+    exp.gauge(
+        "faccell_admitted",
+        "Simulations past the admission gate right now.",
+        &[],
+        shared.admitted.load(Ordering::SeqCst) as f64,
+    );
+    exp.gauge(
+        "faccell_queue_limit",
+        "Admission bound (--max-queue).",
+        &[],
+        shared.opts.max_queue as f64,
+    );
+    exp.gauge(
+        "faccell_store_entries",
+        "Committed cells in the content-addressed store.",
+        &[],
+        lock(&shared.store).len().unwrap_or(0) as f64,
+    );
+    exp.gauge(
+        "faccell_uptime_seconds",
+        "Seconds since the server started.",
+        &[],
+        t.started.elapsed().as_secs_f64(),
+    );
+    exp.histogram(
+        "faccell_request_us",
+        "Request latency across all phases, microseconds.",
+        &[],
+        &lock(&t.request_us).clone(),
+    );
+    for (name, hist) in PHASE_NAMES.iter().zip(t.phase_us.iter()) {
+        exp.histogram(
+            "faccell_phase_us",
+            "Per-phase request latency, microseconds.",
+            &[("phase", name)],
+            &lock(hist).clone(),
+        );
+    }
+    exp.finish()
+}
+
+/// The metrics accept loop: one scrape at a time, read-only, polling the
+/// same shutdown flag as the main listener so a drain stops both.
+fn serve_metrics(listener: &std::net::TcpListener, shared: &Arc<Shared>, shutdown: &Shutdown) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !shutdown.is_set() {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(stream, shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answers one HTTP scrape. Minimal HTTP/1.0: the request head is drained
+/// (bounded, never parsed beyond its end) and the exposition body is
+/// written with `Connection: close`. Nothing a scraper sends can mutate
+/// server state — the listener has no write path.
+fn serve_scrape(mut stream: std::net::TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut head = [0u8; 4096];
+    let mut len = 0;
+    while len < head.len() {
+        match stream.read(&mut head[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if head[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            // Timeout or error: answer anyway — a scraper that sent a
+            // bare request line still deserves its metrics.
+            Err(_) => break,
+        }
+    }
+    let body = exposition(shared);
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
 }
 
 /// Everything resolved about a cell before simulation: the plan the
@@ -469,17 +818,41 @@ fn parse_sleep_ms(workload: &str) -> Option<u64> {
     workload.strip_prefix("__sleep:")?.parse().ok()
 }
 
-/// The cell path: store lookup, coalesce, admit, simulate, commit.
-fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> Response {
+/// The cell path: store lookup, coalesce, admit, simulate, commit. Every
+/// exit fills the span's phase clocks and outcome; the `queue` phase is
+/// everything up to the point a role (hit / leader / follower / shed) is
+/// decided.
+fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> (Response, Span) {
+    let trace_id = cell.trace_id.clone().unwrap_or_else(|| shared.telemetry.mint());
+    let echo = Some(trace_id.clone());
+    let mut span = Span::new(trace_id, "bad_request");
+    span.workload = Some(cell.workload.clone());
+    span.config = Some(cell.config.clone());
+    let queued = Instant::now();
+
     let plan = match resolve(shared, cell) {
         Ok(plan) => plan,
-        Err(resp) => return resp,
+        Err(resp) => {
+            span.phases[QUEUE] = queued.elapsed();
+            return (resp, span);
+        }
     };
 
     match lock(&shared.store).get(plan.key) {
         Ok(Lookup::Hit(result)) => {
             shared.bump(&shared.counters.hits);
-            return Response::Cell { key: plan.key, cached: true, coalesced: false, result };
+            span.phases[QUEUE] = queued.elapsed();
+            span.outcome = "hit";
+            return (
+                Response::Cell {
+                    key: plan.key,
+                    cached: true,
+                    coalesced: false,
+                    trace_id: echo,
+                    result,
+                },
+                span,
+            );
         }
         Ok(Lookup::Quarantined(reason)) => {
             shared.bump(&shared.counters.quarantined);
@@ -489,7 +862,11 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> Response {
             );
         }
         Ok(Lookup::Miss) => {}
-        Err(e) => return error_response(&e),
+        Err(e) => {
+            span.phases[QUEUE] = queued.elapsed();
+            span.outcome = "store_error";
+            return (error_response(&e), span);
+        }
     }
 
     // Coalesce with an in-flight simulation of the same key, or become
@@ -506,30 +883,52 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> Response {
         } else {
             if let Err(e) = shared.admit() {
                 shared.bump(&shared.counters.sheds);
-                return error_response(&e);
+                span.phases[QUEUE] = queued.elapsed();
+                span.outcome = "shed";
+                return (error_response(&e), span);
             }
             let flight = Arc::new(InFlight::default());
             inflight.insert(plan.key, Arc::clone(&flight));
             Role::Leader(flight)
         }
     };
+    span.phases[QUEUE] = queued.elapsed();
 
     match role {
         Role::Follower(flight) => {
             // Generous bound: the leader's own watchdog fires first; the
             // slack covers publish latency.
             let deadline = Duration::from_secs(shared.opts.request_timeout_secs * 2 + 30);
-            match flight.wait(deadline, &plan.identity) {
+            let waiting = Instant::now();
+            let waited = flight.wait(deadline, &plan.identity);
+            span.phases[COALESCE] = waiting.elapsed();
+            match waited {
                 Ok(result) => {
                     shared.bump(&shared.counters.coalesced);
-                    Response::Cell { key: plan.key, cached: false, coalesced: true, result }
+                    span.outcome = "coalesced";
+                    (
+                        Response::Cell {
+                            key: plan.key,
+                            cached: false,
+                            coalesced: true,
+                            trace_id: echo,
+                            result,
+                        },
+                        span,
+                    )
                 }
-                Err(e) => error_response(&e),
+                Err(e) => {
+                    span.outcome = "sim_error";
+                    (error_response(&e), span)
+                }
             }
         }
         Role::Leader(flight) => {
+            let simulating = Instant::now();
             let result = simulate(shared, cell, &plan);
+            span.phases[SIMULATE] = simulating.elapsed();
             shared.release();
+            let committing = Instant::now();
             if let Ok(doc) = &result {
                 // A failed store write degrades to a cache miss next
                 // time; the client still gets its result.
@@ -543,14 +942,26 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> Response {
             // never a gap that would double-simulate.
             lock(&shared.inflight).remove(&plan.key);
             flight.publish(result.clone());
+            span.phases[COMMIT] = committing.elapsed();
             match result {
                 Ok(result) => {
                     shared.bump(&shared.counters.misses);
-                    Response::Cell { key: plan.key, cached: false, coalesced: false, result }
+                    span.outcome = "miss";
+                    (
+                        Response::Cell {
+                            key: plan.key,
+                            cached: false,
+                            coalesced: false,
+                            trace_id: echo,
+                            result,
+                        },
+                        span,
+                    )
                 }
                 Err(e) => {
                     shared.bump(&shared.counters.sim_errors);
-                    error_response(&e)
+                    span.outcome = "sim_error";
+                    (error_response(&e), span)
                 }
             }
         }
@@ -609,6 +1020,7 @@ fn simulate(shared: &Arc<Shared>, cell: &CellRequest, plan: &CellPlan) -> Result
 mod tests {
     use super::*;
     use crate::serve::proto::{parse_response, render_request};
+    use fac_sim::obs::json;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("fac_serve_{tag}_{}", std::process::id()));
@@ -624,6 +1036,9 @@ mod tests {
             request_timeout_secs: 30,
             idle_timeout_secs: 30,
             test_cells: true,
+            metrics_addr: None,
+            access_log: None,
+            slow_ms: 1000,
         }
     }
 
@@ -664,6 +1079,7 @@ mod tests {
             config: config.to_string(),
             config_fp: None,
             program_fp: None,
+            trace_id: None,
         })
     }
 
@@ -685,14 +1101,14 @@ mod tests {
 
         let first = rpc(&mut conn, &cell_req("compress", "fac"));
         let (key1, doc1) = match &first {
-            Response::Cell { key, cached: false, coalesced: false, result } => {
+            Response::Cell { key, cached: false, coalesced: false, result, .. } => {
                 (*key, result.to_string())
             }
             other => panic!("{other:?}"),
         };
         let second = rpc(&mut conn, &cell_req("compress", "fac"));
         match &second {
-            Response::Cell { key, cached: true, coalesced: false, result } => {
+            Response::Cell { key, cached: true, coalesced: false, result, .. } => {
                 assert_eq!(*key, key1);
                 assert_eq!(result.to_string(), doc1, "cached result must be byte-identical");
             }
@@ -1020,6 +1436,7 @@ mod tests {
             config: "fac".to_string(),
             config_fp: Some(0x1234),
             program_fp: None,
+            trace_id: None,
         };
         match rpc(&mut conn, &Request::Cell(cell.clone())) {
             Response::Error { kind: ErrorKind::BadRequest, message } => {
@@ -1037,5 +1454,176 @@ mod tests {
         shutdown.trigger();
         handle.join().unwrap().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_report_uptime_version_inflight_and_latency() {
+        let dir = temp_dir("telemetry_stats");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+
+        assert!(matches!(rpc(&mut conn, &cell_req("__sleep:5", "fac")), Response::Cell { .. }));
+        let stats = rpc(&mut conn, &Request::Stats);
+        let doc = match &stats {
+            Response::Stats(doc) => doc,
+            other => panic!("{other:?}"),
+        };
+        assert!(doc.get("uptime_secs").and_then(Json::as_u64).is_some());
+        assert_eq!(stat(&stats, "inflight"), 0);
+        assert_eq!(stat(&stats, "max_queue"), 8);
+        let version = match doc.get("build_version") {
+            Some(Json::Str(v)) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(version, &build_version());
+        assert!(version.contains("cfg:0x"), "{version}");
+        // The latency object carries the request histogram and all five
+        // phase lanes; the cell + this stats request both recorded.
+        let latency = doc.get("latency").expect("latency object");
+        let count = latency
+            .get("request_us")
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(count >= 1, "request histogram must have samples, got {count}");
+        for name in PHASE_NAMES {
+            assert!(latency.get(&format!("{name}_us")).is_some(), "missing phase {name}");
+        }
+        // The sleeping cell must have landed in the simulate lane.
+        let sim = latency.get("simulate_us").and_then(|h| h.get("count")).and_then(Json::as_u64);
+        assert_eq!(sim, Some(1));
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_ids_are_echoed_or_minted() {
+        let dir = temp_dir("trace");
+        let (endpoint, shutdown, handle) = boot(test_opts(&dir));
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+
+        let mut req = CellRequest {
+            workload: "__sleep:1".to_string(),
+            sw: true,
+            scale: Scale::Smoke,
+            config: "fac".to_string(),
+            config_fp: None,
+            program_fp: None,
+            trace_id: Some("sweep-7.cell:3".to_string()),
+        };
+        match rpc(&mut conn, &Request::Cell(req.clone())) {
+            Response::Cell { trace_id, .. } => {
+                assert_eq!(trace_id.as_deref(), Some("sweep-7.cell:3"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // An unstamped request gets a server-minted id that obeys the
+        // wire grammar (it just round-tripped through the response).
+        req.trace_id = None;
+        match rpc(&mut conn, &Request::Cell(req)) {
+            Response::Cell { trace_id: Some(id), .. } => {
+                assert!(id.starts_with("srv-"), "{id}");
+                assert!(crate::serve::proto::valid_trace_id(&id), "{id}");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_and_access_log_cover_every_request() {
+        let dir = temp_dir("telemetry_e2e");
+        let mut opts = test_opts(&dir);
+        opts.metrics_addr = Some("127.0.0.1:0".to_string());
+        opts.access_log = Some(dir.join("access.jsonl"));
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), opts).unwrap();
+        let endpoint = server.endpoint();
+        let metrics = server.metrics_addr().expect("metrics listener bound");
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+        assert_eq!(rpc(&mut conn, &Request::Ping), Response::Pong);
+        assert!(matches!(rpc(&mut conn, &cell_req("__sleep:5", "fac")), Response::Cell { .. }));
+        assert!(matches!(
+            rpc(&mut conn, &cell_req("__sleep:5", "fac")),
+            Response::Cell { cached: true, .. }
+        ));
+
+        let body = scrape(metrics);
+        assert!(body.starts_with("# HELP"), "{body}");
+        assert!(body.contains("# TYPE faccell_requests_total counter"), "{body}");
+        assert!(body.contains("faccell_requests_total{outcome=\"miss\"} 1"), "{body}");
+        assert!(body.contains("faccell_requests_total{outcome=\"hit\"} 1"), "{body}");
+        assert!(body.contains("# TYPE faccell_request_us histogram"), "{body}");
+        assert!(body.contains("faccell_request_us_bucket{le=\"+Inf\"}"), "{body}");
+        assert!(body.contains("faccell_phase_us_bucket{phase=\"simulate\","), "{body}");
+        assert!(body.contains("faccell_uptime_seconds"), "{body}");
+        // Cumulative buckets are monotone and end at _count.
+        let buckets: Vec<u64> = body
+            .lines()
+            .filter(|l| l.starts_with("faccell_request_us_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!buckets.is_empty());
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+        let count: u64 = body
+            .lines()
+            .find(|l| l.starts_with("faccell_request_us_count"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .unwrap();
+        assert_eq!(*buckets.last().unwrap(), count);
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+
+        // Every request left exactly one access-log line, each parseable
+        // by the hardened JSON parser, with trace id, outcome, phases.
+        let log = std::fs::read_to_string(dir.join("access.jsonl")).unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 3, "ping + two cells: {log}");
+        for line in &lines {
+            let doc = json::parse(line).unwrap();
+            let id = match doc.get("trace_id") {
+                Some(Json::Str(id)) => id.clone(),
+                other => panic!("{other:?}"),
+            };
+            assert!(crate::serve::proto::valid_trace_id(&id), "{id}");
+            assert!(doc.get("outcome").is_some());
+            assert!(doc.get("peer").is_some());
+            assert!(doc.get("total_us").and_then(Json::as_u64).is_some());
+            assert!(doc.get("serialize_us").and_then(Json::as_u64).is_some());
+            assert!(matches!(doc.get("slow"), Some(Json::Bool(_))));
+        }
+        let outcomes: Vec<String> = lines
+            .iter()
+            .map(|l| match json::parse(l).unwrap().get("outcome") {
+                Some(Json::Str(o)) => o.clone(),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(outcomes, ["ping", "miss", "hit"]);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Fetches the exposition body over plain HTTP/1.0.
+    fn scrape(addr: std::net::SocketAddr) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").expect("complete HTTP response");
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        body.to_string()
     }
 }

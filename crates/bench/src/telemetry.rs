@@ -1,0 +1,556 @@
+//! Serving-stack telemetry: mergeable latency histograms and Prometheus
+//! text exposition.
+//!
+//! The campaign server (DESIGN.md §11) was a black box in production:
+//! its `stats` request returned a handful of monotonic counters with no
+//! latency distribution and no way for a scraper to watch a live
+//! campaign. This module is the measurement layer every serving-side
+//! consumer shares:
+//!
+//! - [`Hist`] — a log2-bucketed latency histogram with **exact** `u64`
+//!   counts, min/max/sum, and deterministic p50/p90/p99 estimates.
+//!   Histograms merge losslessly (`merge(a, b)` equals recording the
+//!   union of both sample sets — pinned by a property test), so
+//!   per-worker or per-phase histograms can be combined without a shared
+//!   lock on the hot path.
+//! - [`Exposition`] — a Prometheus *text exposition format* builder
+//!   (`# HELP`/`# TYPE` lines, counters, gauges, and cumulative
+//!   `_bucket`/`_sum`/`_count` histogram series) for the server's
+//!   `--metrics` endpoint. The grammar is documented in DESIGN.md §12.
+//!
+//! Units are the caller's choice: the serving layer records
+//! microseconds (`*_us` metrics — store hits answer in microseconds and
+//! must not all collapse into one bucket), the sweep harness records
+//! milliseconds (`bench.cell_wall_ms`). A histogram's buckets are the
+//! powers of two, so the relative error of a percentile estimate is
+//! bounded by 2× at any scale — the right trade for latency, where the
+//! interesting signal is the order of magnitude of the tail.
+
+use fac_sim::obs::{Json, MetricsRegistry, RegisterMetrics};
+
+/// Number of log2 buckets: bucket 0 holds values in `[0, 1]`, bucket
+/// `i >= 1` holds `(2^(i-1), 2^i]`, and bucket 64 holds everything above
+/// `2^63` (its exposition label is `+Inf`).
+pub const BUCKETS: usize = 65;
+
+/// A mergeable log2-bucketed histogram of `u64` samples.
+///
+/// ```
+/// use fac_bench::telemetry::Hist;
+///
+/// let mut h = Hist::new();
+/// for v in [1, 2, 3, 100, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), 1106);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(1000));
+/// assert!(h.p(0.50) >= 2.0 && h.p(0.50) <= 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Hist {
+        Hist::new()
+    }
+}
+
+/// The bucket index a value lands in: 0 for `v <= 1`, otherwise the
+/// number of bits in `v - 1` (so bucket `i` covers `(2^(i-1), 2^i]`).
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        (64 - (v - 1).leading_zeros()) as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`None` for the overflow
+/// bucket, whose exposition label is `+Inf`).
+fn bucket_bound(i: usize) -> Option<u64> {
+    if i < BUCKETS - 1 {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist { counts: [0; BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges another histogram in. Exact: the result is
+    /// indistinguishable from recording both sample sets into one
+    /// histogram (the property test in this module pins it).
+    pub fn merge(&mut self, other: &Hist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating — a campaign that wraps a u64 of
+    /// microseconds has bigger problems than a clipped mean).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any was recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any was recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the bucket holding the target rank, clamped
+    /// to the exact observed `[min, max]`. Deterministic — a pure
+    /// function of the recorded multiset — and 0.0 when empty.
+    pub fn p(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate the rank's position inside this bucket.
+                let lo = if i == 0 { 0 } else { (1u64 << (i - 1)) + 1 };
+                let hi = bucket_bound(i).unwrap_or(self.max.max(lo));
+                let into = (rank - seen - 1) as f64 / c as f64;
+                let est = lo as f64 + (hi.saturating_sub(lo)) as f64 * into;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
+    /// Iterates `(inclusive upper bound, cumulative count)` over every
+    /// bucket up to and including the one holding `max`, ending with the
+    /// `(None, count)` `+Inf` lane. Cumulative counts are monotone by
+    /// construction — the shape Prometheus histogram series require.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::new();
+        if self.count > 0 {
+            let mut seen = 0u64;
+            for i in 0..=bucket_index(self.max).min(BUCKETS - 2) {
+                seen += self.counts[i];
+                out.push((bucket_bound(i), seen));
+            }
+        }
+        out.push((None, self.count));
+        out
+    }
+
+    /// The histogram's summary document: exact count/sum/min/max plus
+    /// percentile estimates. The JSON shape the `stats` response and the
+    /// `--json` artifacts embed.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::obj();
+        o.set("count", Json::U64(self.count));
+        o.set("sum", Json::U64(self.sum));
+        match self.min() {
+            Some(v) => o.set("min", Json::U64(v)),
+            None => o.set("min", Json::Null),
+        };
+        match self.max() {
+            Some(v) => o.set("max", Json::U64(v)),
+            None => o.set("max", Json::Null),
+        };
+        o.set("p50", Json::F64(self.p(0.50)));
+        o.set("p90", Json::F64(self.p(0.90)));
+        o.set("p99", Json::F64(self.p(0.99)));
+        o
+    }
+}
+
+impl RegisterMetrics for Hist {
+    fn register_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        reg.counter(&format!("{prefix}.count"), self.count);
+        reg.counter(&format!("{prefix}.sum"), self.sum);
+        reg.gauge(&format!("{prefix}.p50"), self.p(0.50));
+        reg.gauge(&format!("{prefix}.p90"), self.p(0.90));
+        reg.gauge(&format!("{prefix}.p99"), self.p(0.99));
+    }
+}
+
+/// A Prometheus *text exposition format* builder.
+///
+/// Series names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`; label values are
+/// escaped per the format spec (`\\`, `\"`, `\n`). Every series gets its
+/// `# HELP` and `# TYPE` header exactly once, on first touch.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    headered: Vec<String>,
+}
+
+/// Renders a `{k="v",...}` label set (empty string for no labels).
+fn label_set(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+impl Exposition {
+    /// An empty exposition document.
+    pub fn new() -> Exposition {
+        Exposition::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.headered.iter().any(|h| h == name) {
+            return;
+        }
+        self.headered.push(name.to_string());
+        self.out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    }
+
+    /// Appends one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        self.out.push_str(&format!("{name}{} {value}\n", label_set(labels)));
+    }
+
+    /// Appends one gauge sample. Non-finite values are rendered as 0 —
+    /// the same policy as [`MetricsRegistry::gauge`].
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.header(name, help, "gauge");
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.out.push_str(&format!("{name}{} {v}\n", label_set(labels)));
+    }
+
+    /// Appends one histogram: cumulative `_bucket` series (ending with
+    /// the mandatory `le="+Inf"` lane equal to `_count`), then `_sum`
+    /// and `_count`.
+    pub fn histogram(&mut self, name: &str, help: &str, labels: &[(&str, &str)], hist: &Hist) {
+        self.header(name, help, "histogram");
+        for (bound, cumulative) in hist.cumulative() {
+            let le = match bound {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.out.push_str(&format!("{name}_bucket{} {cumulative}\n", label_set(&with_le)));
+        }
+        self.out.push_str(&format!("{name}_sum{} {}\n", label_set(labels), hist.sum()));
+        self.out.push_str(&format!("{name}_count{} {}\n", label_set(labels), hist.count()));
+    }
+
+    /// The rendered exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_hist_is_inert() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!(h.is_empty());
+        assert_eq!(h.p(0.5), 0.0);
+        assert_eq!(h.p(0.99), 0.0);
+        // The +Inf lane alone, at zero.
+        assert_eq!(h.cumulative(), vec![(None, 0)]);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(1025), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's bound contains exactly its range end.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_bound(i).unwrap()), i);
+        }
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let mut h = Hist::new();
+        h.record(777);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.p(q), 777.0, "q={q}");
+        }
+        assert_eq!(h.min(), Some(777));
+        assert_eq!(h.max(), Some(777));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Hist::new();
+        for v in 0..1000u64 {
+            h.record(v * 7);
+        }
+        let (p50, p90, p99) = (h.p(0.50), h.p(0.90), h.p(0.99));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p50 >= h.min().unwrap() as f64);
+        assert!(p99 <= h.max().unwrap() as f64);
+        // log2 buckets bound the relative error by 2x.
+        assert!((0.5 * 3500.0..=2.0 * 3500.0).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn saturating_sum_never_wraps() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        let mut other = Hist::new();
+        other.record(u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 3);
+    }
+
+    proptest! {
+        /// The module's headline property: merging two histograms is
+        /// exactly recording the union of their sample sets.
+        #[test]
+        fn merge_equals_record_of_union(
+            a in proptest::collection::vec(any::<u64>(), 0..200),
+            b in proptest::collection::vec(any::<u64>(), 0..200),
+        ) {
+            let mut ha = Hist::new();
+            for &v in &a {
+                ha.record(v);
+            }
+            let mut hb = Hist::new();
+            for &v in &b {
+                hb.record(v);
+            }
+            let mut merged = ha.clone();
+            merged.merge(&hb);
+
+            let mut union = Hist::new();
+            for &v in a.iter().chain(b.iter()) {
+                union.record(v);
+            }
+            prop_assert_eq!(&merged, &union);
+            // And the derived views agree too.
+            prop_assert_eq!(merged.to_json().to_string(), union.to_json().to_string());
+            prop_assert_eq!(merged.cumulative(), union.cumulative());
+        }
+
+        /// Cumulative bucket counts are monotone and the +Inf lane equals
+        /// the total count — the invariants Prometheus requires of a
+        /// histogram.
+        #[test]
+        fn cumulative_is_monotone_and_ends_at_count(
+            vs in proptest::collection::vec(0u64..1_000_000, 0..300),
+        ) {
+            let mut h = Hist::new();
+            for &v in &vs {
+                h.record(v);
+            }
+            let cum = h.cumulative();
+            let mut last = 0u64;
+            let mut last_bound = None::<u64>;
+            for (bound, c) in &cum {
+                prop_assert!(*c >= last, "cumulative counts must be monotone");
+                if let (Some(b), Some(lb)) = (bound, last_bound) {
+                    prop_assert!(*b > lb, "bounds must strictly increase");
+                }
+                last = *c;
+                last_bound = *bound;
+            }
+            let (inf_bound, inf_count) = cum.last().unwrap();
+            prop_assert_eq!(*inf_bound, None, "last lane must be +Inf");
+            prop_assert_eq!(*inf_count, h.count());
+        }
+
+        /// Percentile estimates are deterministic, ordered, and bounded by
+        /// the exact observed min/max for arbitrary sample sets.
+        #[test]
+        fn percentiles_ordered_and_bounded(
+            vs in proptest::collection::vec(any::<u64>(), 1..300),
+        ) {
+            let mut h = Hist::new();
+            for &v in &vs {
+                h.record(v);
+            }
+            let (p50, p90, p99) = (h.p(0.50), h.p(0.90), h.p(0.99));
+            prop_assert!(p50 <= p90 && p90 <= p99, "{} {} {}", p50, p90, p99);
+            prop_assert!(p50 >= h.min().unwrap() as f64);
+            prop_assert!(p99 <= h.max().unwrap() as f64);
+        }
+    }
+
+    #[test]
+    fn to_json_shape() {
+        let mut h = Hist::new();
+        h.record(10);
+        h.record(20);
+        let doc = h.to_json();
+        assert_eq!(doc.get("count").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("sum").and_then(Json::as_u64), Some(30));
+        assert_eq!(doc.get("min").and_then(Json::as_u64), Some(10));
+        assert_eq!(doc.get("max").and_then(Json::as_u64), Some(20));
+        assert!(doc.get("p50").and_then(Json::as_f64).is_some());
+        // Empty histograms export null min/max, not fabricated zeros.
+        let empty = Hist::new().to_json();
+        assert_eq!(empty.get("min"), Some(&Json::Null));
+        assert_eq!(empty.get("max"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn register_metrics_exports_summary_lanes() {
+        let mut h = Hist::new();
+        for v in [5u64, 9, 1000] {
+            h.record(v);
+        }
+        let mut reg = MetricsRegistry::new();
+        h.register_metrics(&mut reg, "bench.cell_wall_ms");
+        assert_eq!(
+            reg.get("bench.cell_wall_ms.count"),
+            Some(fac_sim::obs::Metric::Counter(3))
+        );
+        assert!(reg.get("bench.cell_wall_ms.p99").is_some());
+    }
+
+    /// Golden test for the exposition grammar: `# TYPE` lines, valid
+    /// sample lines, cumulative buckets, and `+Inf == _count`.
+    #[test]
+    fn exposition_golden() {
+        let mut h = Hist::new();
+        for v in [1u64, 2, 3, 3, 7] {
+            h.record(v);
+        }
+        let mut e = Exposition::new();
+        e.counter("faccell_requests_total", "Requests by outcome.", &[("outcome", "hit")], 41);
+        e.counter("faccell_requests_total", "Requests by outcome.", &[("outcome", "miss")], 1);
+        e.gauge("faccell_inflight", "Cells simulating now.", &[], 2.0);
+        e.histogram("faccell_request_us", "Request latency.", &[], &h);
+        let text = e.finish();
+        assert_eq!(
+            text,
+            "# HELP faccell_requests_total Requests by outcome.\n\
+             # TYPE faccell_requests_total counter\n\
+             faccell_requests_total{outcome=\"hit\"} 41\n\
+             faccell_requests_total{outcome=\"miss\"} 1\n\
+             # HELP faccell_inflight Cells simulating now.\n\
+             # TYPE faccell_inflight gauge\n\
+             faccell_inflight 2\n\
+             # HELP faccell_request_us Request latency.\n\
+             # TYPE faccell_request_us histogram\n\
+             faccell_request_us_bucket{le=\"1\"} 1\n\
+             faccell_request_us_bucket{le=\"2\"} 2\n\
+             faccell_request_us_bucket{le=\"4\"} 4\n\
+             faccell_request_us_bucket{le=\"8\"} 5\n\
+             faccell_request_us_bucket{le=\"+Inf\"} 5\n\
+             faccell_request_us_sum 16\n\
+             faccell_request_us_count 5\n"
+        );
+    }
+
+    /// Structural validity of arbitrary expositions: every non-comment
+    /// line is `name[{labels}] value`, every series has exactly one
+    /// `# TYPE`, bucket series are monotone, `+Inf` equals `_count`.
+    #[test]
+    fn exposition_is_structurally_valid() {
+        let mut h = Hist::new();
+        for v in 0..100u64 {
+            h.record(v * v);
+        }
+        let mut e = Exposition::new();
+        e.counter("a_total", "A.", &[], 7);
+        e.gauge("b", "B with \"quotes\" and \\slashes\\.", &[("k", "v\"w\\x\ny")], 1.5);
+        e.histogram("lat_us", "Latency.", &[("phase", "simulate")], &h);
+        let text = e.finish();
+
+        let mut type_lines = 0;
+        let mut buckets: Vec<u64> = Vec::new();
+        let mut count_value = None;
+        for line in text.lines() {
+            if line.starts_with("# TYPE ") {
+                type_lines += 1;
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!series.is_empty() && value.parse::<f64>().is_ok(), "bad line: {line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in: {line}"
+            );
+            if name == "lat_us_bucket" {
+                buckets.push(value.parse().unwrap());
+                assert!(series.contains("phase=\"simulate\""), "{line}");
+                assert!(series.contains("le="), "{line}");
+            }
+            if name == "lat_us_count" {
+                count_value = Some(value.parse::<u64>().unwrap());
+            }
+        }
+        assert_eq!(type_lines, 3, "one TYPE header per series");
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "buckets must be monotone");
+        assert_eq!(buckets.last().copied(), count_value, "+Inf bucket must equal _count");
+    }
+}

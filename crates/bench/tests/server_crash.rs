@@ -9,9 +9,13 @@
 //! - A flipped byte in a store entry is detected, quarantined, and the
 //!   cell recomputed — again byte-identical.
 //! - SIGTERM drains: exit 0 within the drain deadline.
+//! - Telemetry under overload: the `--metrics` listener keeps answering
+//!   (read-only) while cell traffic is shed, stops with the drain, and
+//!   the `--access-log` holds one valid JSONL line per request.
 
 #![cfg(unix)]
 
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
@@ -243,6 +247,181 @@ fn flipped_store_byte_is_quarantined_and_recomputed() {
     send_signal(&server, "TERM");
     let mut server = server;
     server.wait().unwrap();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Like [`spawn_server`], but with stdout captured to `log` so the test
+/// can learn the resolved `--metrics` port from the announcement line.
+fn spawn_server_logged(sock: &Path, store: &Path, extra: &[&str], log: &Path) -> Child {
+    let out = std::fs::File::create(log).unwrap();
+    let child = Command::new(env!("CARGO_BIN_EXE_campaign_server"))
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .arg("--store-dir")
+        .arg(store)
+        .args(extra)
+        .stdout(Stdio::from(out))
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while std::os::unix::net::UnixStream::connect(sock).is_err() {
+        assert!(Instant::now() < deadline, "server never bound {}", sock.display());
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+/// Polls the server's log for the metrics announcement and returns the
+/// resolved address.
+fn metrics_addr(log: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let text = std::fs::read_to_string(log).unwrap_or_default();
+        if let Some(line) = text.lines().find(|l| l.contains("metrics on tcp:")) {
+            return line.rsplit("tcp:").next().unwrap().trim().to_string();
+        }
+        assert!(Instant::now() < deadline, "metrics address never announced: {text}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// One HTTP scrape of the exposition endpoint; returns the body. The
+/// request method is caller-chosen so the test can prove writes are
+/// inert.
+fn scrape(addr: &str, request_head: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(request_head.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete HTTP response");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+    body.to_string()
+}
+
+/// The value of a single-sample Prometheus line, e.g.
+/// `faccell_requests_total{outcome="shed"} 3` → 3.
+fn metric(body: &str, prefix: &str) -> u64 {
+    body.lines()
+        .find(|l| l.starts_with(prefix))
+        .unwrap_or_else(|| panic!("metric {prefix} missing from: {body}"))
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+/// The metrics listener answers scrapes while the admission gate is
+/// shedding cell traffic, ignores scrape "writes", stops with the
+/// SIGTERM drain, and the access log holds one valid JSONL line per
+/// request with a trace id and outcome on every line.
+#[test]
+fn metrics_stay_readable_under_overload_and_drain_with_sigterm() {
+    let base = temp_dir("telemetry");
+    let store = base.join("store");
+    let sock = base.join("s.sock");
+    let log = base.join("server.log");
+    let access = base.join("access.jsonl");
+    let access_flag = access.display().to_string();
+    let mut server = spawn_server_logged(
+        &sock,
+        &store,
+        &[
+            "--test-cells",
+            "--max-queue",
+            "1",
+            "--metrics",
+            "127.0.0.1:0",
+            "--access-log",
+            &access_flag,
+            "--slow-ms",
+            "100",
+        ],
+        &log,
+    );
+    let addr = metrics_addr(&log);
+
+    // Occupy the single admission slot with a slow cell...
+    let sock_str = format!("unix:{}", sock.display());
+    let slow = {
+        let sock_str = sock_str.clone();
+        std::thread::spawn(move || {
+            Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+                .args(["--connect", &sock_str, "--cell", "__sleep:1500", "--config", "fac"])
+                .output()
+                .unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(400));
+    // ...so a different cell is shed with the documented exit code 3.
+    let shed = Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+        .args(["--connect", &sock_str, "--cell", "__sleep:1", "--config", "fac"])
+        .output()
+        .unwrap();
+    assert_eq!(shed.status.code(), Some(3), "expected overload exit: {shed:?}");
+
+    // Mid-overload, the metrics listener still answers — it sits outside
+    // the admission gate — and reports the shed.
+    let body = scrape(&addr, "GET /metrics HTTP/1.0\r\n\r\n");
+    assert_eq!(metric(&body, "faccell_requests_total{outcome=\"shed\"}"), 1);
+    assert_eq!(metric(&body, "faccell_queue_limit"), 1);
+    // A scraper that tries to write gets the same read-only answer, and
+    // nothing it sends perturbs the counters.
+    let body = scrape(&addr, "POST /metrics HTTP/1.0\r\n\r\nhits=999");
+    assert_eq!(metric(&body, "faccell_requests_total{outcome=\"shed\"}"), 1);
+
+    assert!(slow.join().unwrap().status.success(), "slow cell must finish");
+    let body = scrape(&addr, "GET /metrics HTTP/1.0\r\n\r\n");
+    assert_eq!(metric(&body, "faccell_requests_total{outcome=\"miss\"}"), 1);
+    // The 1500 ms cell crossed the --slow-ms 100 threshold; its access
+    // line must be flagged.
+    let text = std::fs::read_to_string(&access).unwrap();
+    assert!(
+        text.lines().any(|l| l.contains("\"slow\":true") && l.contains("__sleep:1500")),
+        "slow request not flagged: {text}"
+    );
+
+    // SIGTERM: the server exits 0 and the metrics listener dies with it.
+    send_signal(&server, "TERM");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = server.try_wait().unwrap() {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server did not drain within the deadline");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(0), "drained server must exit 0");
+    assert!(
+        std::net::TcpStream::connect(&addr).is_err(),
+        "metrics listener survived the drain"
+    );
+
+    // Every request — cells, the shed, nothing missing — left exactly one
+    // line of well-formed JSON with a trace id and an outcome.
+    let text = std::fs::read_to_string(&access).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "one miss + one shed expected: {text}");
+    let mut outcomes = Vec::new();
+    for line in &lines {
+        let doc = fac_sim::obs::json::parse(line)
+            .unwrap_or_else(|e| panic!("unparseable access line {line}: {e:?}"));
+        let id = match doc.get("trace_id") {
+            Some(fac_sim::obs::Json::Str(id)) => id.clone(),
+            other => panic!("bad trace_id in {line}: {other:?}"),
+        };
+        assert!(!id.is_empty());
+        match doc.get("outcome") {
+            Some(fac_sim::obs::Json::Str(o)) => outcomes.push(o.clone()),
+            other => panic!("bad outcome in {line}: {other:?}"),
+        }
+        assert!(doc.get("total_us").is_some(), "{line}");
+    }
+    outcomes.sort();
+    assert_eq!(outcomes, ["miss", "shed"]);
+
     std::fs::remove_dir_all(&base).ok();
 }
 

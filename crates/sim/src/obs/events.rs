@@ -286,6 +286,38 @@ impl<W: Write> JsonlWriter<W> {
         JsonlWriter { sink, written: 0, error: None }
     }
 
+    /// Writes one arbitrary JSON document as a JSONL line — the access-log
+    /// path of the campaign server, which shares this sink's error
+    /// latching and flush-on-drop discipline with the event stream.
+    ///
+    /// The line is rendered to one buffer and issued as a single `write`,
+    /// so concurrent writers interleave at line granularity, never
+    /// mid-record.
+    pub fn write_value(&mut self, doc: &Json) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = doc.to_string();
+        line.push('\n');
+        if let Err(e) = self.sink.write_all(line.as_bytes()) {
+            self.error = Some(e.to_string());
+        } else {
+            self.written += 1;
+        }
+    }
+
+    /// Flushes without consuming the writer; an error is latched exactly
+    /// like a write error (long-running sinks — access logs — flush
+    /// periodically but only `finish` at shutdown).
+    pub fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.sink.flush() {
+            self.error = Some(e.to_string());
+        }
+    }
+
     /// Flushes and returns the number of events written, or the first I/O
     /// error message encountered.
     pub fn finish(mut self) -> Result<u64, String> {
@@ -392,6 +424,41 @@ mod tests {
         for line in text.lines() {
             super::super::json::parse(line).expect("each line is valid JSON");
         }
+    }
+
+    /// `write_value` lines parse back through the hardened JSON parser,
+    /// count toward `written`, and share the latched-error discipline.
+    #[test]
+    fn write_value_round_trips_and_latches() {
+        let mut buf = Vec::new();
+        {
+            let mut w = JsonlWriter::new(&mut buf);
+            let mut doc = Json::obj();
+            doc.set("trace_id", Json::Str("c0ffee".to_string()));
+            doc.set("outcome", Json::Str("hit".to_string()));
+            doc.set("total_us", Json::U64(1234));
+            w.write_value(&doc);
+            w.on_event(&Event::Stall { cycle: 1, kind: StallKind::StoreBuffer, penalty: 2 });
+            assert_eq!(w.finish().unwrap(), 2, "write_value counts toward written");
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let first = super::super::json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("trace_id").and_then(Json::as_str), Some("c0ffee"));
+        assert_eq!(first.get("total_us").and_then(Json::as_u64), Some(1234));
+
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = JsonlWriter::new(Broken);
+        w.write_value(&Json::obj());
+        w.write_value(&Json::obj());
+        assert!(w.finish().unwrap_err().contains("disk on fire"));
     }
 
     /// Abandoning the writer (early-error paths that never call `finish`)
