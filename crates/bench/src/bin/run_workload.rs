@@ -19,10 +19,22 @@
 //! first architectural mismatch; `--max-steps N` bounds the instruction
 //! budget of both executors (the watchdog reports a runaway instead of
 //! hanging).
+//!
+//! `--tier fast` runs the fast functional tier only (architectural
+//! results, no timing; combine with `--oracle` for per-instruction
+//! lockstep against the golden reference). `--tier sampled` alternates
+//! functional fast-forward with detailed measurement windows —
+//! `--sample-every N` instructions per period, `--sample-window W`
+//! detailed instructions at the start of each — and reports an
+//! extrapolated CPI with its sampling error. `--tier detail` runs the
+//! ordinary detailed machine but reports in the tiered format, so the
+//! in-process wall-clock/throughput lines the fast and detail tiers print
+//! (human lane only — never the JSON artifact) are directly comparable.
 
-use fac_asm::SoftwareSupport;
+use fac_asm::{Program, SoftwareSupport};
 use fac_core::{FailureCause, FaultPlan, PredictorConfig};
 use fac_sim::obs::{Json, MetricsRegistry, Recorder, RegisterMetrics as _};
+use fac_sim::tier::{run_fast, run_fast_verified, run_sampled, SampleSpec};
 use fac_sim::{Lockstep, Machine, MachineConfig, RefClass, SimError, SimReport};
 use fac_workloads::{find, Scale, Workload};
 
@@ -31,6 +43,7 @@ fn usage() -> ! {
     eprintln!("       [--block N] [--no-rr] [--no-store-spec] [--one-cycle] [--perfect]");
     eprintln!("       [--fault-plan <plan>] [--checks] [--oracle] [--max-steps N]");
     eprintln!("       [--json <path|->] [--events <path>] [--top-sites N] [--sample K]");
+    eprintln!("       [--tier fast|sampled|detail] [--sample-every N] [--sample-window W]");
     eprintln!("fault plans: always-wrong, random-flip[:per1024], flip-index-bit:<bit>,");
     eprintln!("             suppress-signals, silent-wrong  (each optionally @<seed>)");
     eprintln!(
@@ -48,7 +61,7 @@ const BOOL_FLAGS: &[&str] = &[
 /// Value-taking flags this binary accepts.
 const VALUE_FLAGS: &[&str] = &[
     "--ltb", "--block", "--fault-plan", "--json", "--events", "--top-sites", "--sample",
-    "--max-steps",
+    "--max-steps", "--tier", "--sample-every", "--sample-window",
 ];
 
 /// Unwraps a parse result or exits with the typed error and the usage.
@@ -124,7 +137,34 @@ fn main() -> std::process::ExitCode {
     let max_steps =
         or_usage(args.parse_value::<u64>("--max-steps", "an instruction budget of at least 1"));
 
+    let tier = args.value("--tier").map(String::from);
+    let sample_every =
+        or_usage(args.parse_value::<u64>("--sample-every", "an instruction count"));
+    let sample_window =
+        or_usage(args.parse_value::<u64>("--sample-window", "an instruction count"));
+    if tier.as_deref() != Some("sampled") && (sample_every.is_some() || sample_window.is_some()) {
+        eprintln!("error: --sample-every/--sample-window require --tier sampled");
+        usage()
+    }
+
     let program = wl.build(&sw, scale);
+
+    if let Some(tier) = tier.as_deref() {
+        return run_tiered(
+            tier,
+            &wl,
+            &program,
+            cfg,
+            oracle,
+            max_steps.unwrap_or(2_000_000_000),
+            SampleSpec {
+                every: sample_every.unwrap_or(100_000),
+                window: sample_window.unwrap_or(10_000),
+            },
+            json_path.as_deref(),
+            human,
+        );
+    }
     let mut machine = Machine::new(cfg);
     let mut lockstep = Lockstep::new(cfg);
     if let Some(m) = max_steps {
@@ -191,6 +231,226 @@ fn main() -> std::process::ExitCode {
         }
     }
     std::process::ExitCode::SUCCESS
+}
+
+/// Minimum untimed work before the timed throughput run: long enough for
+/// CPU frequency scaling to settle even on kernels that finish in a few
+/// milliseconds.
+const WARMUP: std::time::Duration = std::time::Duration::from_millis(300);
+
+/// Timed repetitions per throughput line; the fastest is reported. The
+/// minimum (not the mean) is the standard estimator for intrinsic runtime
+/// on shared machines — external interference only ever adds time.
+const TIMED_REPS: u32 = 3;
+
+/// Runs the fast or sampled tier and renders its report.
+#[allow(clippy::too_many_arguments)]
+fn run_tiered(
+    tier: &str,
+    wl: &Workload,
+    program: &Program,
+    cfg: MachineConfig,
+    oracle: bool,
+    max_insts: u64,
+    spec: SampleSpec,
+    json_path: Option<&str>,
+    human: bool,
+) -> std::process::ExitCode {
+    let mut doc = tier_document_header(wl, &cfg, tier);
+    match tier {
+        "fast" => {
+            // Steady-state throughput: untimed warm-up runs absorb the cold
+            // block decode, first-touch page allocation and CPU clock ramp
+            // (short kernels need several runs before the clock settles),
+            // then the timed run (identical, deterministic result) is the
+            // one reported — the regime a campaign actually sees. Lockstep
+            // verification is decode-bound either way, so the `--oracle`
+            // form times its single run as-is.
+            let (r, wall) = if oracle {
+                let started = std::time::Instant::now();
+                match run_fast_verified(&cfg, program, max_insts) {
+                    Ok(r) => (r, started.elapsed()),
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", wl.name);
+                        return std::process::ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                let warm = std::time::Instant::now();
+                loop {
+                    if let Err(e) = run_fast(&cfg, program, max_insts) {
+                        eprintln!("error: {}: {e}", wl.name);
+                        return std::process::ExitCode::FAILURE;
+                    }
+                    if warm.elapsed() >= WARMUP {
+                        break;
+                    }
+                }
+                let mut best: Option<(fac_sim::tier::FastReport, std::time::Duration)> = None;
+                for _ in 0..TIMED_REPS {
+                    let started = std::time::Instant::now();
+                    match run_fast(&cfg, program, max_insts) {
+                        Ok(r) => {
+                            let dt = started.elapsed();
+                            if best.as_ref().is_none_or(|(_, b)| dt < *b) {
+                                best = Some((r, dt));
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("error: {}: {e}", wl.name);
+                            return std::process::ExitCode::FAILURE;
+                        }
+                    }
+                }
+                best.expect("TIMED_REPS >= 1")
+            };
+            if human {
+                println!("{} (fast functional tier, no timing)", wl.name);
+                println!("  instructions      {:>12}", r.insts);
+                println!("  memory footprint  {:>12} KB", r.final_state.mem.footprint() / 1024);
+                print_throughput(r.insts, wall);
+                if oracle {
+                    println!(
+                        "  oracle            every retired instruction matched the golden reference"
+                    );
+                }
+            }
+            let mut m = Json::obj();
+            m.set("insts", Json::U64(r.insts));
+            m.set("mem_footprint", Json::U64(r.final_state.mem.footprint()));
+            m.set("verified", Json::Bool(oracle));
+            doc.set("fast", m);
+        }
+        "sampled" => {
+            let r = match run_sampled(&cfg, program, spec, max_insts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", wl.name);
+                    return std::process::ExitCode::FAILURE;
+                }
+            };
+            if human {
+                println!(
+                    "{} (sampled: {} detailed of every {} insts)",
+                    wl.name, spec.window, spec.every
+                );
+                println!("  instructions      {:>12}", r.insts);
+                println!("  est. cycles       {:>12}   (CPI {:.4} ± {:.4})", r.est_cycles, r.cpi, r.cpi_stderr);
+                println!(
+                    "  measured          {:>12} insts / {} cycles in {} windows",
+                    r.measured_insts,
+                    r.measured_cycles,
+                    r.windows.len()
+                );
+                println!("  memory footprint  {:>12} KB", r.final_state.mem.footprint() / 1024);
+            }
+            let mut m = Json::obj();
+            m.set("insts", Json::U64(r.insts));
+            m.set("est_cycles", Json::U64(r.est_cycles));
+            m.set("cpi", Json::F64(r.cpi));
+            m.set("cpi_stderr", Json::F64(r.cpi_stderr));
+            m.set("windows", Json::U64(r.windows.len() as u64));
+            m.set("measured_insts", Json::U64(r.measured_insts));
+            m.set("measured_cycles", Json::U64(r.measured_cycles));
+            m.set("sample_every", Json::U64(spec.every));
+            m.set("sample_window", Json::U64(spec.window));
+            m.set("mem_footprint", Json::U64(r.final_state.mem.footprint()));
+            doc.set("sampled", m);
+        }
+        "detail" => {
+            if oracle {
+                eprintln!("error: --tier detail does not take --oracle (drop --tier for the lockstep run)");
+                usage()
+            }
+            // Same warm-up and best-of-reps discipline as the fast tier so
+            // the two throughput lines compare steady state fairly.
+            let warm = std::time::Instant::now();
+            loop {
+                if let Err(e) = Machine::new(cfg).with_max_insts(max_insts).run(program) {
+                    eprintln!("error: {}: {e}", wl.name);
+                    return std::process::ExitCode::FAILURE;
+                }
+                if warm.elapsed() >= WARMUP {
+                    break;
+                }
+            }
+            let mut best = None;
+            for _ in 0..TIMED_REPS {
+                let started = std::time::Instant::now();
+                match Machine::new(cfg).with_max_insts(max_insts).run(program) {
+                    Ok(r) => {
+                        let dt = started.elapsed();
+                        if best.as_ref().is_none_or(|(_, b)| dt < *b) {
+                            best = Some((r, dt));
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", wl.name);
+                        return std::process::ExitCode::FAILURE;
+                    }
+                }
+            }
+            let (r, wall) = best.expect("TIMED_REPS >= 1");
+            if human {
+                println!("{} (detailed tier)", wl.name);
+                println!("  instructions      {:>12}", r.stats.insts);
+                println!(
+                    "  cycles            {:>12}   (IPC {:.3})",
+                    r.stats.cycles,
+                    r.stats.ipc()
+                );
+                println!("  memory footprint  {:>12} KB", r.stats.mem_footprint / 1024);
+                print_throughput(r.stats.insts, wall);
+            }
+            let mut m = Json::obj();
+            m.set("insts", Json::U64(r.stats.insts));
+            m.set("cycles", Json::U64(r.stats.cycles));
+            m.set("mem_footprint", Json::U64(r.stats.mem_footprint));
+            doc.set("detail", m);
+        }
+        other => {
+            eprintln!("error: unknown tier '{other}' (expected fast, sampled or detail)");
+            usage()
+        }
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = fac_bench::write_json(path, &doc) {
+            eprintln!("error: {e}");
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    std::process::ExitCode::SUCCESS
+}
+
+/// In-process simulation throughput, human lane only — wall-clock never
+/// enters the JSON artifact, which must stay byte-identical across runs.
+fn print_throughput(insts: u64, wall: std::time::Duration) {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        println!(
+            "  sim wall-clock    {:>12.1} ms   ({:.1} Minst/s)",
+            secs * 1e3,
+            insts as f64 / secs / 1e6
+        );
+    }
+}
+
+/// The workload/config/tier preamble of a tiered-run JSON document.
+fn tier_document_header(wl: &Workload, cfg: &MachineConfig, tier: &str) -> Json {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut doc = Json::obj();
+    let mut workload = Json::obj();
+    workload.set("name", Json::Str(wl.name.to_string()));
+    workload.set("kind", Json::Str(if wl.fp { "fp" } else { "int" }.to_string()));
+    workload.set("args", Json::Arr(argv.into_iter().map(Json::Str).collect()));
+    doc.set("workload", workload);
+    let mut config = Json::obj();
+    config.set("fac", Json::Bool(cfg.fac.is_some()));
+    config.set("ltb", Json::Bool(cfg.ltb_entries.is_some()));
+    config.set("block_bytes", Json::U64(cfg.dcache.block_bytes as u64));
+    doc.set("config", config);
+    doc.set("tier", Json::Str(tier.to_string()));
+    doc
 }
 
 fn print_report(wl: &Workload, r: &SimReport, cfg: &MachineConfig, sw: bool) {

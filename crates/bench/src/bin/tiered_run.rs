@@ -1,0 +1,5 @@
+//! Tiered execution: fast-tier differential check plus sampled timing
+//! accuracy against full detail, per workload.
+fn main() -> std::process::ExitCode {
+    fac_bench::conclude(fac_bench::experiments::tiered_run)
+}

@@ -162,6 +162,7 @@ pub const ALL: &[SpecFn] = &[
     spec_ablate_associativity,
     spec_compare_ltb,
     spec_compare_pipelines,
+    spec_tiered_run,
 ];
 
 /// Runs many specs over **one** merged job pool and renders each, in
@@ -1381,6 +1382,104 @@ fn spec_ablate_store_buffer<'a>(suite: &'a [Bench], _scale: Scale) -> Spec<'a> {
     })
 }
 
+/// Tiered execution: the fast functional tier differentially checked
+/// against the detailed machine, plus the SMARTS-style sampled timing
+/// estimate and its error against full detail (DESIGN.md §13).
+pub fn tiered_run(cx: &Cx) -> Result<Exp, SimError> {
+    single(spec_tiered_run, cx)
+}
+
+/// The sampling plan `tiered_run` uses at each scale. Windows must be
+/// long enough that pipeline fill and drain do not dominate the measured
+/// CPI (the cold-start bias of DESIGN.md §13); the Paper plan measures
+/// ~10% of instructions in detail, the Smoke plan 50% because smoke
+/// kernels only retire a few thousand instructions.
+pub fn tiered_sample_spec(scale: Scale) -> fac_sim::tier::SampleSpec {
+    match scale {
+        Scale::Smoke => fac_sim::tier::SampleSpec { every: 4_000, window: 2_000 },
+        _ => fac_sim::tier::SampleSpec { every: 100_000, window: 10_000 },
+    }
+}
+
+fn spec_tiered_run<'a>(suite: &'a [Bench], scale: Scale) -> Spec<'a> {
+    let mut jobs = JobSet::new();
+    for b in suite {
+        jobs.push(format!("tiered_run:{}", b.workload.name), move || {
+            let cfg = MachineConfig::paper_baseline().with_fac();
+            let full = run(&b.tuned, cfg)?;
+            let fast = fac_sim::tier::run_fast(&cfg, &b.tuned, crate::MAX_INSTS)?;
+            // The fast tier must reproduce the detailed machine's
+            // architectural outcome exactly; a mismatch fails the cell
+            // with a typed divergence, never a silently wrong row.
+            if fast.insts != full.stats.insts
+                || fast.final_state.regs != full.final_state.regs
+                || fast.final_state.mem != full.final_state.mem
+            {
+                return Err(SimError::Divergence {
+                    step: fast.insts.min(full.stats.insts),
+                    pc: fast.final_state.pc,
+                    expected: format!("detailed machine retired {} insts", full.stats.insts),
+                    actual: format!("fast tier retired {} insts", fast.insts),
+                });
+            }
+            let spec = tiered_sample_spec(scale);
+            let s = fac_sim::tier::run_sampled(&cfg, &b.tuned, spec, crate::MAX_INSTS)?;
+            let full_cpi = full.stats.cycles as f64 / full.stats.insts.max(1) as f64;
+            let rel_err = (s.cpi - full_cpi) / full_cpi;
+            let human = format!(
+                "{:10} {:>9} {:>10} {:>7.3} {:>10} {:>7.3} {:>7.4} {:>7} {:>5}",
+                b.workload.name,
+                full.stats.insts,
+                full.stats.cycles,
+                full_cpi,
+                s.est_cycles,
+                s.cpi,
+                s.cpi_stderr,
+                pct_change(s.cpi, full_cpi),
+                s.windows.len(),
+            );
+            let mut j = row(b.workload.name);
+            j.set("insts", Json::U64(full.stats.insts));
+            j.set("cycles.detail", Json::U64(full.stats.cycles));
+            j.set("cpi.detail", Json::F64(full_cpi));
+            j.set("est_cycles.sampled", Json::U64(s.est_cycles));
+            j.set("cpi.sampled", Json::F64(s.cpi));
+            j.set("cpi_stderr.sampled", Json::F64(s.cpi_stderr));
+            j.set("cpi_rel_err", Json::F64(rel_err));
+            j.set("windows", Json::U64(s.windows.len() as u64));
+            j.set("measured_insts", Json::U64(s.measured_insts));
+            j.set("sample_every", Json::U64(spec.every));
+            j.set("sample_window", Json::U64(spec.window));
+            j.set("fast_verified", Json::Bool(true));
+            Ok(cell(human, j))
+        });
+    }
+    Spec::new("tiered_run", jobs, |mut cells| {
+        let mut out = String::new();
+        say!(out, "\n== Tiered execution: sampled timing vs full detail (FAC machine) ==");
+        say!(
+            out,
+            "{:10} {:>9} {:>10} {:>7} {:>10} {:>7} {:>7} {:>7} {:>5}",
+            "program",
+            "insts",
+            "cycles",
+            "CPI",
+            "est.cyc",
+            "sCPI",
+            "stderr",
+            "err%",
+            "win"
+        );
+        say!(out, "{}", rule(80));
+        let mut rows = Vec::new();
+        for c in &mut cells {
+            say!(out, "{}", take_human(c));
+            rows.push(take_row(c));
+        }
+        Exp { human: out, json: doc("tiered_run", rows) }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1428,6 +1527,7 @@ mod tests {
                 "ablate_associativity",
                 "compare_ltb",
                 "compare_pipelines",
+                "tiered_run",
             ]
         );
     }

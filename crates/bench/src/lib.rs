@@ -16,6 +16,7 @@
 //! | `fig6` | Figure 6 — speedups (hw / hw+sw × block size × reg+reg) |
 //! | `table6` | Table 6 — cache-bandwidth overhead of misspeculation |
 //! | `ablate_*` | design-choice ablations called out in DESIGN.md |
+//! | `tiered_run` | tiered execution — fast-tier check + sampled CPI accuracy |
 //! | `all_experiments` | everything above, in order |
 //!
 //! Run with `cargo run --release -p fac-bench --bin <name>`.
@@ -393,7 +394,18 @@ pub fn write_json(path: &str, doc: &Json) -> Result<(), SimError> {
 pub fn conclude(
     experiment: impl FnOnce(&Cx) -> Result<Exp, SimError>,
 ) -> std::process::ExitCode {
-    match conclude_inner(experiment) {
+    conclude_with(&[], &[], |cx, _| experiment(cx))
+}
+
+/// [`conclude`] for binaries with extra flags of their own: the declared
+/// extras parse alongside the standard set and the experiment receives
+/// the full [`Args`] to read them back.
+pub fn conclude_with(
+    extra_bool_flags: &[&str],
+    extra_value_flags: &[&str],
+    experiment: impl FnOnce(&Cx, &Args) -> Result<Exp, SimError>,
+) -> std::process::ExitCode {
+    match conclude_inner(extra_bool_flags, extra_value_flags, experiment) {
         Ok(()) => std::process::ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -403,12 +415,14 @@ pub fn conclude(
 }
 
 fn conclude_inner(
-    experiment: impl FnOnce(&Cx) -> Result<Exp, SimError>,
+    extra_bool_flags: &[&str],
+    extra_value_flags: &[&str],
+    experiment: impl FnOnce(&Cx, &Args) -> Result<Exp, SimError>,
 ) -> Result<(), SimError> {
-    let args = Args::parse(STD_BOOL_FLAGS, STD_VALUE_FLAGS)?;
-    args.no_positionals(
-        "--smoke, --json, --jobs, --resume, --timeout-secs, --retries, --keep-going, --timings",
-    )?;
+    let bools: Vec<&str> = STD_BOOL_FLAGS.iter().chain(extra_bool_flags).copied().collect();
+    let values: Vec<&str> = STD_VALUE_FLAGS.iter().chain(extra_value_flags).copied().collect();
+    let args = Args::parse(&bools, &values)?;
+    args.no_positionals(&bools.iter().chain(&values).copied().collect::<Vec<_>>().join(", "))?;
     let manifest = match args.resume_dir() {
         Some(dir) => Some(manifest::Manifest::open(std::path::Path::new(dir))?),
         None => None,
@@ -420,7 +434,7 @@ fn conclude_inner(
         manifest: manifest.as_ref(),
         timings: args.flag("--timings"),
     };
-    let exp = experiment(&cx)?;
+    let exp = experiment(&cx, &args)?;
     print!("{}", exp.human);
     if let Some(path) = args.value("--json") {
         write_json(path, &exp.json)?;

@@ -140,12 +140,17 @@ impl Hist {
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
     /// interpolation inside the bucket holding the target rank, clamped
     /// to the exact observed `[min, max]`. Deterministic — a pure
-    /// function of the recorded multiset — and 0.0 when empty.
+    /// function of the recorded multiset — and total: an empty histogram
+    /// answers 0.0, `q` outside `[0, 1]` is clamped (so `q = NaN` behaves
+    /// as `q = 0`), and samples in the `+Inf` overflow bucket interpolate
+    /// toward the exact observed `max` instead of a fabricated bound —
+    /// the result is always finite and within `[min, max]`.
     pub fn p(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        // clamp() propagates NaN; pin it to 0 so the result stays finite.
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         // Rank of the target sample, 1-based: ceil(q * count), at least 1.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -438,6 +443,77 @@ mod tests {
             prop_assert!(p50 >= h.min().unwrap() as f64);
             prop_assert!(p99 <= h.max().unwrap() as f64);
         }
+
+        /// `p()` is total: finite, within `[min, max]`, and monotone in
+        /// `q` — including out-of-range and NaN quantiles, merged
+        /// histograms, and samples confined to the `+Inf` overflow bucket
+        /// (`> 2^63`, exercised by the `any::<u64>()` generator above and
+        /// pinned directly in `p_handles_overflow_bucket`).
+        #[test]
+        fn p_is_finite_and_monotone_in_q(
+            a in proptest::collection::vec(any::<u64>(), 0..200),
+            b in proptest::collection::vec(any::<u64>(), 0..200),
+        ) {
+            let mut h = Hist::new();
+            for &v in &a {
+                h.record(v);
+            }
+            let mut other = Hist::new();
+            for &v in &b {
+                other.record(v);
+            }
+            h.merge(&other);
+
+            let qs = [f64::NEG_INFINITY, -1.0, 0.0, 0.01, 0.25, 0.5,
+                      0.75, 0.9, 0.99, 1.0, 2.0, f64::INFINITY];
+            let mut last = f64::NEG_INFINITY;
+            for q in qs {
+                let p = h.p(q);
+                prop_assert!(p.is_finite(), "p({q}) = {p} not finite");
+                if let (Some(min), Some(max)) = (h.min(), h.max()) {
+                    prop_assert!(p >= min as f64 && p <= max as f64,
+                        "p({q}) = {p} outside [{min}, {max}]");
+                } else {
+                    prop_assert_eq!(p, 0.0, "empty histogram must answer 0.0");
+                }
+                prop_assert!(p >= last, "p({q}) = {p} < previous {last}: not monotone");
+                last = p;
+            }
+            // NaN behaves as q = 0 — total, finite, documented.
+            let pn = h.p(f64::NAN);
+            prop_assert!(pn.is_finite(), "p(NaN) = {pn}");
+            prop_assert_eq!(pn, h.p(0.0));
+        }
+    }
+
+    /// Every sample above 2^63 lands in the `+Inf` bucket; percentiles
+    /// must still interpolate to finite values inside `[min, max]`.
+    #[test]
+    fn p_handles_overflow_bucket() {
+        let mut h = Hist::new();
+        let lo = (1u64 << 63) + 5;
+        h.record(lo);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let p = h.p(q);
+            assert!(p.is_finite(), "p({q}) = {p}");
+            assert!(p >= lo as f64 && p <= u64::MAX as f64, "p({q}) = {p}");
+        }
+    }
+
+    /// The empty histogram and out-of-range quantiles are well-defined.
+    #[test]
+    fn p_edge_cases_are_total() {
+        let empty = Hist::new();
+        for q in [f64::NAN, f64::NEG_INFINITY, -3.0, 0.0, 0.5, 1.0, 7.0, f64::INFINITY] {
+            assert_eq!(empty.p(q), 0.0, "empty.p({q})");
+        }
+        let mut one = Hist::new();
+        one.record(42);
+        assert_eq!(one.p(f64::NAN), 42.0);
+        assert_eq!(one.p(-1.0), 42.0);
+        assert_eq!(one.p(2.0), 42.0);
     }
 
     #[test]

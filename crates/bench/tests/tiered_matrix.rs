@@ -1,0 +1,78 @@
+//! The tiered-execution differential matrix at suite scale: all 19
+//! workloads, under both software policies and a grid of machine
+//! configurations, executed by the fast functional tier (with per-step
+//! oracle lockstep) and by the detailed pipeline — every architectural
+//! outcome must be bit-identical. Plus the sampled tier's determinism
+//! contract: the whole `tiered_run` experiment renders byte-identical
+//! tables and JSON at any worker count.
+
+use fac_bench::experiments::tiered_run;
+use fac_bench::{build_suite, Cx};
+use fac_sim::tier::run_fast_verified;
+use fac_sim::{Machine, MachineConfig};
+use fac_workloads::Scale;
+
+/// Every workload × {plain, tuned} × {baseline, fac, fac+tlb, strict}:
+/// the fast tier lockstep-verifies against the oracle, and its final
+/// architectural state matches the detailed pipeline's bit for bit.
+#[test]
+fn suite_matrix_three_way_differential() {
+    let suite = build_suite(Scale::Smoke);
+    assert_eq!(suite.len(), 19);
+    let configs = [
+        ("baseline", MachineConfig::paper_baseline()),
+        ("fac", MachineConfig::paper_baseline().with_fac()),
+        ("fac+tlb", MachineConfig::paper_baseline().with_fac().with_tlb()),
+        ("strict", MachineConfig::paper_baseline().with_strict_memory()),
+    ];
+    for b in &suite {
+        for (policy, program) in [("plain", &b.plain), ("tuned", &b.tuned)] {
+            for (cname, cfg) in configs {
+                let label = format!("{}:{policy}:{cname}", b.workload.name);
+                let fast = run_fast_verified(&cfg, program, fac_bench::MAX_INSTS);
+                let full = Machine::new(cfg).run(program);
+                match (fast, full) {
+                    (Ok(fast), Ok(full)) => {
+                        assert_eq!(fast.insts, full.stats.insts, "{label}: insts differ");
+                        let (f, d) = (&fast.final_state, &full.final_state);
+                        assert_eq!(f.regs, d.regs, "{label}: regs differ");
+                        assert_eq!(f.fregs, d.fregs, "{label}: fregs differ");
+                        assert_eq!(f.hi, d.hi, "{label}: HI differs");
+                        assert_eq!(f.lo, d.lo, "{label}: LO differs");
+                        assert_eq!(f.fcc, d.fcc, "{label}: fcc differs");
+                        assert_eq!(f.pc, d.pc, "{label}: PC differs");
+                        assert_eq!(f.mem, d.mem, "{label}: memory differs");
+                    }
+                    // A legitimate architectural trap (strict memory) must
+                    // fire identically on both tiers.
+                    (Err(fe), Err(de)) => {
+                        assert_eq!(fe.to_string(), de.to_string(), "{label}: traps differ");
+                    }
+                    (Ok(_), Err(de)) => panic!("{label}: only the detailed machine trapped: {de}"),
+                    (Err(fe), Ok(_)) => panic!("{label}: only the fast tier trapped: {fe}"),
+                }
+            }
+        }
+    }
+}
+
+/// The sampled tier's sweep artifact is a pure function of its inputs:
+/// the `tiered_run` experiment — fast check, detailed reference and
+/// sampled estimate per workload — renders byte-identical human and JSON
+/// lanes at any `--jobs` count.
+#[test]
+fn tiered_run_experiment_is_byte_identical_at_any_job_count() {
+    let serial = tiered_run(&Cx::simple(Scale::Smoke, 1)).unwrap();
+    for jobs in [2usize, 8] {
+        let parallel = tiered_run(&Cx::simple(Scale::Smoke, jobs)).unwrap();
+        assert_eq!(serial.human, parallel.human, "human table differs at jobs={jobs}");
+        assert_eq!(
+            serial.json.to_pretty(2),
+            parallel.json.to_pretty(2),
+            "JSON artifact differs at jobs={jobs}"
+        );
+    }
+    // The sweep actually covered the suite and verified every fast run.
+    assert!(serial.human.contains("compress"));
+    assert!(serial.json.to_pretty(2).contains("\"fast_verified\": true"));
+}

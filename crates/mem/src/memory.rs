@@ -1,9 +1,28 @@
 //! Sparse paged byte-addressable memory.
 
-use std::collections::HashMap;
-
 const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Second-level fan-out: pages per chunk. With 12-bit pages a 32-bit
+/// address splits into 10 chunk bits, 10 page bits and 12 offset bits.
+const L2_BITS: u32 = 10;
+const L2_LEN: usize = 1 << L2_BITS;
+/// First-level fan-out: chunks in the root table.
+const L1_LEN: usize = 1 << (32 - PAGE_BITS - L2_BITS);
+
+type Page = Box<[u8; PAGE_SIZE]>;
+
+/// One first-level entry: up to [`L2_LEN`] lazily allocated pages.
+#[derive(Clone, PartialEq, Eq)]
+struct Chunk {
+    pages: [Option<Page>; L2_LEN],
+}
+
+impl Chunk {
+    fn boxed() -> Box<Chunk> {
+        Box::new(Chunk { pages: std::array::from_fn(|_| None) })
+    }
+}
 
 /// A sparse 32-bit byte-addressable little-endian memory.
 ///
@@ -23,9 +42,34 @@ const PAGE_SIZE: usize = 1 << PAGE_BITS;
 /// assert_eq!(m.read_u8(0x7fff_5b84), 0xcd); // little-endian
 /// assert_eq!(m.read_u32(0x0), 0);           // untouched ⇒ zero
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Memory {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// Two-level direct-indexed page table: the page-table walk on the
+    /// hottest executor path is two dependent indexed loads — no hashing,
+    /// no probe loop. The root is 8 KB of pointers; chunks and pages are
+    /// allocated on first touch.
+    chunks: Box<[Option<Box<Chunk>>; L1_LEN]>,
+    /// Distinct pages touched, maintained at allocation time.
+    touched: usize,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory { chunks: Box::new(std::array::from_fn(|_| None)), touched: 0 }
+    }
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory").field("pages_touched", &self.touched).finish_non_exhaustive()
+    }
+}
+
+/// Splits an address into root-table and chunk-local page indices.
+#[inline]
+fn split(addr: u32) -> (usize, usize) {
+    let idx = addr >> PAGE_BITS;
+    (((idx >> L2_BITS) as usize) & (L1_LEN - 1), (idx as usize) & (L2_LEN - 1))
 }
 
 impl Memory {
@@ -36,82 +80,143 @@ impl Memory {
 
     /// Total bytes of touched memory (page granularity).
     pub fn footprint(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE as u64
+        self.touched as u64 * PAGE_SIZE as u64
     }
 
     /// Number of distinct pages touched.
     pub fn pages_touched(&self) -> usize {
-        self.pages.len()
+        self.touched
     }
 
     /// `true` when the page containing `addr` has been touched (written or
     /// loaded from a program image). Reads of unmapped pages return zero;
     /// strict execution modes use this to trap them instead.
     pub fn is_mapped(&self, addr: u32) -> bool {
-        self.pages.contains_key(&(addr >> PAGE_BITS))
+        self.page(addr).is_some()
     }
 
+    #[inline]
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_BITS)).map(|p| &**p)
+        let (ci, pi) = split(addr);
+        self.chunks[ci].as_ref()?.pages[pi].as_deref()
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_BITS)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        let (ci, pi) = split(addr);
+        let chunk = self.chunks[ci].get_or_insert_with(Chunk::boxed);
+        let slot = &mut chunk.pages[pi];
+        if slot.is_none() {
+            *slot = Some(Box::new([0u8; PAGE_SIZE]));
+            self.touched += 1;
+        }
+        slot.as_mut().expect("filled above")
+    }
+
+    /// The in-page offset of `addr` when all `size` bytes land on one
+    /// page — the fast path: one page lookup, one slice copy. `None` for
+    /// a page-crossing access, which takes the byte-wise slow path.
+    #[inline]
+    fn intra(addr: u32, size: usize) -> Option<usize> {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        (off + size <= PAGE_SIZE).then_some(off)
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
         self.page(addr)
             .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, value: u8) {
         let idx = (addr as usize) & (PAGE_SIZE - 1);
         self.page_mut(addr)[idx] = value;
     }
 
+    /// Reads `N` little-endian bytes from one page (untouched ⇒ zeros).
+    #[inline]
+    fn read_within<const N: usize>(&self, addr: u32, off: usize) -> [u8; N] {
+        match self.page(addr) {
+            Some(p) => p[off..off + N].try_into().expect("intra-page slice"),
+            None => [0u8; N],
+        }
+    }
+
     /// Reads a little-endian halfword. The address may be unaligned.
+    #[inline]
     pub fn read_u16(&self, addr: u32) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        match Memory::intra(addr, 2) {
+            Some(off) => u16::from_le_bytes(self.read_within(addr, off)),
+            None => u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))]),
+        }
     }
 
     /// Writes a little-endian halfword.
+    #[inline]
     pub fn write_u16(&mut self, addr: u32, value: u16) {
-        let [b0, b1] = value.to_le_bytes();
-        self.write_u8(addr, b0);
-        self.write_u8(addr.wrapping_add(1), b1);
+        match Memory::intra(addr, 2) {
+            Some(off) => self.page_mut(addr)[off..off + 2].copy_from_slice(&value.to_le_bytes()),
+            None => {
+                let [b0, b1] = value.to_le_bytes();
+                self.write_u8(addr, b0);
+                self.write_u8(addr.wrapping_add(1), b1);
+            }
+        }
     }
 
     /// Reads a little-endian word.
+    #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
-        let mut bytes = [0u8; 4];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr.wrapping_add(i as u32));
+        match Memory::intra(addr, 4) {
+            Some(off) => u32::from_le_bytes(self.read_within(addr, off)),
+            None => {
+                let mut bytes = [0u8; 4];
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    *b = self.read_u8(addr.wrapping_add(i as u32));
+                }
+                u32::from_le_bytes(bytes)
+            }
         }
-        u32::from_le_bytes(bytes)
     }
 
     /// Writes a little-endian word.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        match Memory::intra(addr, 4) {
+            Some(off) => self.page_mut(addr)[off..off + 4].copy_from_slice(&value.to_le_bytes()),
+            None => {
+                for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+                    self.write_u8(addr.wrapping_add(i as u32), b);
+                }
+            }
         }
     }
 
     /// Reads a little-endian doubleword.
+    #[inline]
     pub fn read_u64(&self, addr: u32) -> u64 {
-        let lo = self.read_u32(addr) as u64;
-        let hi = self.read_u32(addr.wrapping_add(4)) as u64;
-        lo | (hi << 32)
+        match Memory::intra(addr, 8) {
+            Some(off) => u64::from_le_bytes(self.read_within(addr, off)),
+            None => {
+                let lo = self.read_u32(addr) as u64;
+                let hi = self.read_u32(addr.wrapping_add(4)) as u64;
+                lo | (hi << 32)
+            }
+        }
     }
 
     /// Writes a little-endian doubleword.
+    #[inline]
     pub fn write_u64(&mut self, addr: u32, value: u64) {
-        self.write_u32(addr, value as u32);
-        self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
+        match Memory::intra(addr, 8) {
+            Some(off) => self.page_mut(addr)[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+            None => {
+                self.write_u32(addr, value as u32);
+                self.write_u32(addr.wrapping_add(4), (value >> 32) as u32);
+            }
+        }
     }
 
     /// Reads an IEEE-754 single.
@@ -148,16 +253,18 @@ impl Memory {
             .collect()
     }
 
-    /// Serializes every touched page for a machine checkpoint. Pages are
-    /// written in ascending page-index order so the encoding is a pure
-    /// function of memory contents, never of `HashMap` iteration order.
+    /// Serializes every touched page for a machine checkpoint. The table
+    /// walk visits pages in ascending page-index order, so the encoding is
+    /// a pure function of memory contents.
     pub fn save_state(&self, w: &mut fac_core::snap::SnapWriter) {
-        let mut indices: Vec<u32> = self.pages.keys().copied().collect();
-        indices.sort_unstable();
-        w.len_of(indices.len());
-        for idx in indices {
-            w.u32(idx);
-            w.bytes(&self.pages[&idx][..]);
+        w.len_of(self.touched);
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let Some(chunk) = chunk else { continue };
+            for (pi, page) in chunk.pages.iter().enumerate() {
+                let Some(page) = page else { continue };
+                w.u32(((ci as u32) << L2_BITS) | pi as u32);
+                w.bytes(&page[..]);
+            }
         }
     }
 
@@ -171,7 +278,7 @@ impl Memory {
         r: &mut fac_core::snap::SnapReader<'_>,
     ) -> Result<Memory, fac_core::snap::SnapError> {
         let n = r.len_of(1 << (32 - PAGE_BITS), "memory page count")?;
-        let mut pages = HashMap::with_capacity(n);
+        let mut mem = Memory::new();
         for _ in 0..n {
             let idx = r.u32("memory page index")?;
             let bytes = r.bytes("memory page contents")?;
@@ -181,13 +288,15 @@ impl Memory {
                     bytes.len()
                 ))
             })?;
-            if pages.insert(idx, Box::new(page)).is_some() {
+            let addr = idx << PAGE_BITS;
+            if mem.is_mapped(addr) {
                 return Err(fac_core::snap::SnapError::new(format!(
                     "memory page {idx:#x} appears twice in the snapshot"
                 )));
             }
+            *mem.page_mut(addr) = page;
         }
-        Ok(Memory { pages })
+        Ok(mem)
     }
 }
 

@@ -21,7 +21,11 @@
 //! while decoding — is rejected with a typed error before any simulation
 //! state is touched.
 
+use crate::checker::InvariantChecker;
+use crate::exec::ArchState;
+use crate::pipeline::Pipeline;
 use crate::stats::SimStats;
+use crate::MachineConfig;
 use fac_asm::Program;
 use fac_core::snap::{fnv1a, SnapError, SnapReader, SnapWriter, FNV_OFFSET};
 use fac_mem::{CacheStats, TlbStats};
@@ -117,6 +121,38 @@ pub fn program_fingerprint(program: &Program) -> u64 {
         h = fnv1a(h, format!("{blob:?}").as_bytes());
     }
     h
+}
+
+/// Wraps a purely architectural state in a full machine snapshot — the
+/// hand-off from the fast functional tier ([`crate::tier`]) to the
+/// detailed pipeline. The payload is byte-compatible with
+/// [`crate::Session::checkpoint`]: the architectural registers and memory
+/// come from `state`, while every timing structure (pipeline, statistics,
+/// invariant checker) is written *fresh*, exactly as [`crate::Machine::begin`]
+/// would build it. Restoring the result with [`crate::Machine::restore`]
+/// therefore yields a detailed session that starts timing from a cold
+/// pipeline at `state`'s program point, with zeroed statistics — so a
+/// measurement window's CPI is purely the window's own work.
+///
+/// The caller is responsible for `state.strict_mem` matching
+/// `config.strict_mem` (the fast tier guarantees this by construction);
+/// the fingerprints guard config/program identity as for any snapshot.
+pub fn functional_snapshot(
+    config: &MachineConfig,
+    program: &Program,
+    state: &ArchState,
+) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.u64(config_fingerprint(config));
+    w.u64(program_fingerprint(program));
+    state.save_state(&mut w);
+    save_stats(&SimStats::default(), &mut w);
+    Pipeline::new(*config).save_state(&mut w);
+    // Always carry fresh checker state: a checking machine (debug builds,
+    // --checks) requires it, and a non-checking machine skips past it.
+    w.u8(1);
+    InvariantChecker::new(config).save_state(&mut w);
+    frame(&w.into_bytes())
 }
 
 fn save_cache_stats(s: &CacheStats, w: &mut SnapWriter) {

@@ -62,6 +62,15 @@ pub enum ConfigError {
         /// What a valid value looks like.
         expected: &'static str,
     },
+    /// A sampling specification the tiered engine cannot honour: the
+    /// measurement window must be nonzero and no longer than the sampling
+    /// period (see [`crate::tier::SampleSpec`]).
+    BadSampleSpec {
+        /// The sampling period (instructions per period).
+        every: u64,
+        /// The measurement window (detailed instructions per period).
+        window: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -89,6 +98,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadFlagValue { flag, value, expected } => {
                 write!(f, "bad value '{value}' for flag '{flag}' (expected {expected})")
+            }
+            ConfigError::BadSampleSpec { every, window } => {
+                write!(
+                    f,
+                    "sample window must satisfy 1 <= window <= every, \
+                     got window {window} with period {every}"
+                )
             }
         }
     }

@@ -341,7 +341,15 @@ impl ArchState {
     /// Checks a data access against the strict-memory rules: natural
     /// alignment, and (for loads) that the page has been mapped by the
     /// program image or an earlier store. A no-op in the lenient default.
-    fn check_mem(&self, pc: u32, addr: u32, size: u32, is_store: bool) -> Result<(), ExecError> {
+    /// Shared with the fast functional tier so both executors trap at the
+    /// same accesses.
+    pub(crate) fn check_mem(
+        &self,
+        pc: u32,
+        addr: u32,
+        size: u32,
+        is_store: bool,
+    ) -> Result<(), ExecError> {
         if !self.strict_mem {
             return Ok(());
         }

@@ -46,11 +46,12 @@ pub mod oracle;
 mod pipeline;
 mod profiler;
 mod stats;
+pub mod tier;
 mod trace;
 
 pub use btb::Btb;
 pub use checker::{InvariantChecker, InvariantViolation};
-pub use ckpt::{config_fingerprint, program_fingerprint};
+pub use ckpt::{config_fingerprint, functional_snapshot, program_fingerprint};
 pub use config::{
     ConfigError, FacConfig, FuConfig, FuTiming, LoadLatencyMode, MachineConfig, PipelineOrg,
 };

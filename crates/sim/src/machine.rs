@@ -189,6 +189,22 @@ pub struct Machine {
     max_insts: u64,
 }
 
+/// The single step-budget rule every executor shares — the detailed
+/// [`Session`], [`Machine::run_traced`], the [`crate::Oracle`], the
+/// [`crate::Lockstep`] checker, the profiler, and the fast functional tier
+/// in [`crate::tier`]. Called with the number of instructions already
+/// retired *before* attempting the next one: a program that halts at
+/// exactly `max` retired instructions succeeds, and the watchdog fires as
+/// [`SimError::Runaway`] only when instruction `max + 1` would be needed.
+/// Keeping this in one place pins every tier to the identical boundary, so
+/// lockstep comparisons never desynchronize at budget exhaustion.
+pub(crate) fn check_budget(insts: u64, max: u64) -> Result<(), SimError> {
+    if insts >= max {
+        return Err(SimError::Runaway(max));
+    }
+    Ok(())
+}
+
 /// Records the reference-classification statistics for one instruction
 /// (shared with the lockstep runner in [`crate::oracle`]).
 pub(crate) fn record_ref(stats: &mut SimStats, ex: &crate::Executed) {
@@ -406,9 +422,7 @@ impl Machine {
         let mut trace = Vec::new();
 
         while !state.halted {
-            if stats.insts >= self.max_insts {
-                return Err(SimError::Runaway(self.max_insts));
-            }
+            check_budget(stats.insts, self.max_insts)?;
             let ex = state.step(program)?;
             stats.insts += 1;
             record_ref(&mut stats, &ex);
@@ -504,9 +518,7 @@ impl<'p> Session<'p> {
         if self.state.halted {
             return Ok(false);
         }
-        if self.stats.insts >= self.max_insts {
-            return Err(SimError::Runaway(self.max_insts));
-        }
+        check_budget(self.stats.insts, self.max_insts)?;
         let ex = self.state.step(self.program)?;
         self.stats.insts += 1;
         record_ref(&mut self.stats, &ex);
@@ -535,16 +547,40 @@ impl<'p> Session<'p> {
     /// Same as [`Machine::run`].
     pub fn run_observed<O: Observer>(mut self, obs: &mut O) -> Result<SimReport, SimError> {
         while self.step_observed(obs)? {}
+        self.finish()
+    }
+
+    /// Drains the pipeline and closes the books on this session, whether or
+    /// not the program has halted, producing the report for the
+    /// instructions committed so far. This is how the sampled tier in
+    /// [`crate::tier`] ends a measurement window mid-program: the window's
+    /// cycles include the full drain of in-flight work, exactly as a run
+    /// that halted there would count them. The whole-run invariant check
+    /// only applies to sessions that actually reached `halt` — a partial
+    /// window legitimately ends with work the checker would flag.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Invariant`] when the program has halted and the final
+    /// invariant check fails.
+    pub fn finish(mut self) -> Result<SimReport, SimError> {
         self.stats.cycles = self.pipe.finish(&mut self.stats);
         self.stats.mem_footprint = self.state.mem.footprint();
         if let Some(chk) = &self.checker {
-            chk.check_finish(&self.stats, &self.pipe)?;
+            if self.state.halted {
+                chk.check_finish(&self.stats, &self.pipe)?;
+            }
         }
         Ok(SimReport {
             program: self.program.name.clone(),
             stats: self.stats,
             final_state: self.state,
         })
+    }
+
+    /// The current architectural state (registers, memory, PC).
+    pub fn state(&self) -> &ArchState {
+        &self.state
     }
 
     /// Serializes the complete machine state — architectural registers and

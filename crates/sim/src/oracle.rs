@@ -22,16 +22,16 @@
 //! property the fuzz harness in `fac-bench` depends on.
 
 use crate::config::MachineConfig;
-use crate::exec::ArchState;
-use crate::machine::{record_ref, SimError, SimReport};
+use crate::exec::{ArchState, ExecError};
+use crate::machine::{check_budget, record_ref, SimError, SimReport};
 use crate::obs::{NullObserver, Observer};
 use crate::pipeline::Pipeline;
 use crate::stats::SimStats;
 use fac_asm::Program;
 use fac_core::{AddrFields, FaultPlan, FaultyPredictor, Predictor};
 use fac_isa::{
-    AddrMode, AluImmOp, AluOp, BranchCond, FpCond, FpFmt, FpOp, Insn, LoadOp, MulDivOp, Reg,
-    ShiftOp,
+    AddrMode, AluImmOp, AluOp, BranchCond, FReg, FpCond, FpFmt, FpOp, Insn, LoadOp, MulDivOp,
+    Reg, ShiftOp,
 };
 use std::collections::HashMap;
 
@@ -171,35 +171,6 @@ impl Oracle {
         }
     }
 
-    fn get(&self, r: Reg) -> u32 {
-        self.regs[r.index()]
-    }
-
-    fn put(&mut self, r: Reg, v: u32) {
-        if r.index() != 0 {
-            self.regs[r.index()] = v;
-        }
-    }
-
-    /// Effective address and optional post-update of an addressing mode.
-    fn address(&self, ea: AddrMode) -> (u32, Option<(Reg, u32)>) {
-        match ea {
-            AddrMode::BaseDisp { base, disp } => {
-                let a = (i64::from(self.get(base)) + i64::from(disp)) as u32;
-                (a, None)
-            }
-            AddrMode::BaseIndex { base, index } => {
-                let a = (i64::from(self.get(base)) + i64::from(self.get(index))) as u32;
-                (a, None)
-            }
-            AddrMode::PostInc { base, step } => {
-                let b = self.get(base);
-                let updated = (i64::from(b) + i64::from(step)) as u32;
-                (b, Some((base, updated)))
-            }
-        }
-    }
-
     /// Retires one instruction.
     ///
     /// # Errors
@@ -208,216 +179,12 @@ impl Oracle {
     pub fn step(&mut self, program: &Program) -> Result<GoldenStep, SimError> {
         let insn = match program.insn_index(self.pc) {
             Some(idx) => program.text[idx],
-            None => return Err(SimError::Exec(crate::ExecError::BadPc(self.pc))),
+            None => return Err(SimError::Exec(ExecError::BadPc(self.pc))),
         };
         let pc = self.pc;
-        let fall = pc.wrapping_add(4);
-        let mut next = fall;
-        let mut store = None;
-        let branch_target = |off: i16| fall.wrapping_add((i32::from(off) as u32) << 2);
-
-        match insn {
-            Insn::Nop => {}
-            Insn::Halt => self.halted = true,
-            Insn::Alu { op, rd, rs, rt } => {
-                let (a, b) = (self.get(rs), self.get(rt));
-                let v = match op {
-                    AluOp::Add | AluOp::Addu => (i64::from(a) + i64::from(b)) as u32,
-                    AluOp::Sub | AluOp::Subu => (i64::from(a) - i64::from(b)) as u32,
-                    AluOp::And => a & b,
-                    AluOp::Or => a | b,
-                    AluOp::Xor => a ^ b,
-                    AluOp::Nor => !(a | b),
-                    AluOp::Slt => u32::from((a as i32) < (b as i32)),
-                    AluOp::Sltu => u32::from(a < b),
-                    AluOp::Sllv => b << (a & 31),
-                    AluOp::Srlv => b >> (a & 31),
-                    AluOp::Srav => ((b as i32) >> (a & 31)) as u32,
-                };
-                self.put(rd, v);
-            }
-            Insn::AluImm { op, rt, rs, imm } => {
-                let a = self.get(rs);
-                let v = match op {
-                    AluImmOp::Addi | AluImmOp::Addiu => (i64::from(a) + i64::from(imm)) as u32,
-                    AluImmOp::Slti => u32::from((a as i32) < i32::from(imm)),
-                    AluImmOp::Sltiu => u32::from(a < (i32::from(imm) as u32)),
-                    AluImmOp::Andi => a & u32::from(imm as u16),
-                    AluImmOp::Ori => a | u32::from(imm as u16),
-                    AluImmOp::Xori => a ^ u32::from(imm as u16),
-                };
-                self.put(rt, v);
-            }
-            Insn::Shift { op, rd, rt, shamt } => {
-                let b = self.get(rt);
-                let s = u32::from(shamt) & 31;
-                let v = match op {
-                    ShiftOp::Sll => b << s,
-                    ShiftOp::Srl => b >> s,
-                    ShiftOp::Sra => ((b as i32) >> s) as u32,
-                };
-                self.put(rd, v);
-            }
-            Insn::Lui { rt, imm } => self.put(rt, u32::from(imm) << 16),
-            Insn::MulDiv { op, rs, rt } => {
-                let (a, b) = (self.get(rs), self.get(rt));
-                let (hi, lo) = match op {
-                    MulDivOp::Mult => {
-                        let p = i64::from(a as i32) * i64::from(b as i32);
-                        (((p as u64) >> 32) as u32, p as u32)
-                    }
-                    MulDivOp::Multu => {
-                        let p = u64::from(a) * u64::from(b);
-                        ((p >> 32) as u32, p as u32)
-                    }
-                    MulDivOp::Div => {
-                        if b == 0 {
-                            (0, 0)
-                        } else {
-                            let (sa, sb) = (a as i32, b as i32);
-                            (sa.wrapping_rem(sb) as u32, sa.wrapping_div(sb) as u32)
-                        }
-                    }
-                    MulDivOp::Divu => {
-                        if b == 0 {
-                            (0, 0)
-                        } else {
-                            (a % b, a / b)
-                        }
-                    }
-                };
-                self.hi = hi;
-                self.lo = lo;
-            }
-            Insn::Mfhi { rd } => self.put(rd, self.hi),
-            Insn::Mflo { rd } => self.put(rd, self.lo),
-            Insn::Load { op, rt, ea } => {
-                let (addr, post) = self.address(ea);
-                let raw = self.mem.read(addr, op.size());
-                let v = match op {
-                    LoadOp::Lb => i32::from(raw as u8 as i8) as u32,
-                    LoadOp::Lbu => raw as u32,
-                    LoadOp::Lh => i32::from(raw as u16 as i16) as u32,
-                    LoadOp::Lhu => raw as u32,
-                    LoadOp::Lw => raw as u32,
-                };
-                self.put(rt, v);
-                if let Some((base, updated)) = post {
-                    self.put(base, updated);
-                }
-            }
-            Insn::Store { op, rt, ea } => {
-                let (addr, post) = self.address(ea);
-                let size = op.size();
-                let value = u64::from(self.get(rt)) & (u64::MAX >> (64 - 8 * size));
-                self.mem.write(addr, size, value);
-                if let Some((base, updated)) = post {
-                    self.put(base, updated);
-                }
-                store = Some(GoldenStore { addr, size, value });
-            }
-            Insn::LoadFp { fmt, ft, ea } => {
-                let (addr, post) = self.address(ea);
-                self.fregs[ft.index()] = self.mem.read(addr, fmt.size());
-                if let Some((base, updated)) = post {
-                    self.put(base, updated);
-                }
-            }
-            Insn::StoreFp { fmt, ft, ea } => {
-                let (addr, post) = self.address(ea);
-                let size = fmt.size();
-                let value = match fmt {
-                    FpFmt::S => u64::from(self.fregs[ft.index()] as u32),
-                    FpFmt::D => self.fregs[ft.index()],
-                };
-                self.mem.write(addr, size, value);
-                if let Some((base, updated)) = post {
-                    self.put(base, updated);
-                }
-                store = Some(GoldenStore { addr, size, value });
-            }
-            Insn::Fp { op, fmt, fd, fs, ft } => match fmt {
-                FpFmt::D => {
-                    let a = f64::from_bits(self.fregs[fs.index()]);
-                    let b = f64::from_bits(self.fregs[ft.index()]);
-                    self.fregs[fd.index()] = fp_op(op, a, b).to_bits();
-                }
-                FpFmt::S => {
-                    let a = f32::from_bits(self.fregs[fs.index()] as u32);
-                    let b = f32::from_bits(self.fregs[ft.index()] as u32);
-                    self.fregs[fd.index()] = u64::from(fp_op32(op, a, b).to_bits());
-                }
-            },
-            Insn::FpCmp { cond, fmt, fs, ft } => {
-                let (a, b) = match fmt {
-                    FpFmt::D => (
-                        f64::from_bits(self.fregs[fs.index()]),
-                        f64::from_bits(self.fregs[ft.index()]),
-                    ),
-                    FpFmt::S => (
-                        f64::from(f32::from_bits(self.fregs[fs.index()] as u32)),
-                        f64::from(f32::from_bits(self.fregs[ft.index()] as u32)),
-                    ),
-                };
-                self.fcc = match cond {
-                    FpCond::Eq => a == b,
-                    FpCond::Lt => a < b,
-                    FpCond::Le => a <= b,
-                };
-            }
-            Insn::Bc1 { on_true, off } => {
-                if self.fcc == on_true {
-                    next = branch_target(off);
-                }
-            }
-            Insn::Mtc1 { rt, fs } => self.fregs[fs.index()] = u64::from(self.get(rt)),
-            Insn::Mfc1 { rt, fs } => {
-                let bits = self.fregs[fs.index()] as u32;
-                self.put(rt, bits);
-            }
-            Insn::CvtFromW { fmt, fd, fs } => {
-                let w = self.fregs[fs.index()] as u32 as i32;
-                self.fregs[fd.index()] = match fmt {
-                    FpFmt::D => f64::from(w).to_bits(),
-                    FpFmt::S => u64::from((w as f32).to_bits()),
-                };
-            }
-            Insn::TruncToW { fmt, fd, fs } => {
-                let v = match fmt {
-                    FpFmt::D => f64::from_bits(self.fregs[fs.index()]),
-                    FpFmt::S => f64::from(f32::from_bits(self.fregs[fs.index()] as u32)),
-                };
-                self.fregs[fd.index()] = u64::from((v as i32) as u32);
-            }
-            Insn::Branch { cond, rs, rt, off } => {
-                let (a, b) = (self.get(rs), self.get(rt));
-                let taken = match cond {
-                    BranchCond::Eq => a == b,
-                    BranchCond::Ne => a != b,
-                    BranchCond::Lez => (a as i32) <= 0,
-                    BranchCond::Gtz => (a as i32) > 0,
-                    BranchCond::Ltz => (a as i32) < 0,
-                    BranchCond::Gez => (a as i32) >= 0,
-                };
-                if taken {
-                    next = branch_target(off);
-                }
-            }
-            Insn::J { target } => next = target << 2,
-            Insn::Jal { target } => {
-                self.put(Reg::RA, fall);
-                next = target << 2;
-            }
-            Insn::Jr { rs } => next = self.get(rs),
-            Insn::Jalr { rd, rs } => {
-                let t = self.get(rs);
-                self.put(rd, fall);
-                next = t;
-            }
-        }
-
-        self.pc = next;
-        Ok(GoldenStep { pc, insn, next_pc: next, store })
+        let eff = exec_insn(self, pc, insn).map_err(SimError::Exec)?;
+        self.pc = eff.next_pc;
+        Ok(GoldenStep { pc, insn, next_pc: eff.next_pc, store: eff.store })
     }
 
     /// Runs `program` to halt under a watchdog budget, returning the number
@@ -430,13 +197,378 @@ impl Oracle {
     pub fn run(&mut self, program: &Program, max_steps: u64) -> Result<u64, SimError> {
         let mut steps = 0u64;
         while !self.halted {
-            if steps >= max_steps {
-                return Err(SimError::Runaway(max_steps));
-            }
+            check_budget(steps, max_steps)?;
             self.step(program)?;
             steps += 1;
         }
         Ok(steps)
+    }
+}
+
+/// The architectural register file and memory an [`exec_insn`] call reads
+/// and writes — everything instruction semantics need, nothing an executor
+/// is free to represent its own way.
+///
+/// Two independent cores implement this: the [`Oracle`] over its private
+/// [`GoldenMem`], and the fast functional tier in [`crate::tier`] over the
+/// main simulator's [`ArchState`]. Both therefore retire every instruction
+/// through the *same* semantics function, so "the fast tier computes what
+/// the oracle computes" holds by construction, while the detailed
+/// pipeline's executor (`exec.rs`) remains fully independent code for the
+/// differential checks to bite on.
+pub trait ExecCore {
+    /// Reads an integer register (`$zero` reads 0).
+    fn reg(&self, r: Reg) -> u32;
+    /// Writes an integer register (writes to `$zero` are dropped).
+    fn set_reg(&mut self, r: Reg, v: u32);
+    /// Reads an FP register's raw bits.
+    fn freg(&self, f: FReg) -> u64;
+    /// Writes an FP register's raw bits.
+    fn set_freg(&mut self, f: FReg, v: u64);
+    /// Reads HI.
+    fn hi(&self) -> u32;
+    /// Writes HI.
+    fn set_hi(&mut self, v: u32);
+    /// Reads LO.
+    fn lo(&self) -> u32;
+    /// Writes LO.
+    fn set_lo(&mut self, v: u32);
+    /// Reads the FP condition flag.
+    fn fcc(&self) -> bool;
+    /// Writes the FP condition flag.
+    fn set_fcc(&mut self, v: bool);
+    /// Marks the core halted (the `halt` instruction).
+    fn halt(&mut self);
+    /// Loads `size` bytes (1, 2, 4 or 8) at `addr`, zero-extended and
+    /// little-endian. `pc` is the faulting instruction for strict-memory
+    /// traps; the lenient oracle never fails.
+    ///
+    /// # Errors
+    ///
+    /// A strict-memory core returns [`ExecError::Misaligned`] or
+    /// [`ExecError::Unmapped`].
+    fn load(&mut self, pc: u32, addr: u32, size: u32) -> Result<u64, ExecError>;
+    /// Stores the low `size` bytes of `value` at `addr`, little-endian.
+    ///
+    /// # Errors
+    ///
+    /// A strict-memory core returns [`ExecError::Misaligned`].
+    fn store(&mut self, pc: u32, addr: u32, size: u32, value: u64) -> Result<(), ExecError>;
+}
+
+/// What [`exec_insn`] tells its caller beyond the state updates it already
+/// applied: where control goes next, and the store effect (for lockstep
+/// memory comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecEffect {
+    /// PC after the instruction (fall-through or taken target).
+    pub next_pc: u32,
+    /// The memory write, if the instruction was a store.
+    pub store: Option<GoldenStore>,
+}
+
+/// Effective address and optional post-update of an addressing mode.
+fn address<C: ExecCore>(core: &C, ea: AddrMode) -> (u32, Option<(Reg, u32)>) {
+    match ea {
+        AddrMode::BaseDisp { base, disp } => {
+            let a = (i64::from(core.reg(base)) + i64::from(disp)) as u32;
+            (a, None)
+        }
+        AddrMode::BaseIndex { base, index } => {
+            let a = (i64::from(core.reg(base)) + i64::from(core.reg(index))) as u32;
+            (a, None)
+        }
+        AddrMode::PostInc { base, step } => {
+            let b = core.reg(base);
+            let updated = (i64::from(b) + i64::from(step)) as u32;
+            (b, Some((base, updated)))
+        }
+    }
+}
+
+/// Executes one instruction against `core`: the single architectural
+/// semantics shared by the [`Oracle`] and the fast functional tier
+/// ([`crate::tier`]). The caller owns instruction fetch (it knows where
+/// `insn` came from) and the PC update (it knows how it tracks control
+/// flow); this function applies every register, flag, and memory effect
+/// and reports the successor PC.
+///
+/// # Errors
+///
+/// Whatever the core's [`ExecCore::load`] / [`ExecCore::store`] return —
+/// strict-memory traps surface here, before any architectural update from
+/// the faulting instruction is applied.
+pub fn exec_insn<C: ExecCore>(core: &mut C, pc: u32, insn: Insn) -> Result<ExecEffect, ExecError> {
+    let fall = pc.wrapping_add(4);
+    let mut next = fall;
+    let mut store = None;
+    let branch_target = |off: i16| fall.wrapping_add((i32::from(off) as u32) << 2);
+
+    match insn {
+        Insn::Nop => {}
+        Insn::Halt => core.halt(),
+        Insn::Alu { op, rd, rs, rt } => {
+            let (a, b) = (core.reg(rs), core.reg(rt));
+            let v = match op {
+                AluOp::Add | AluOp::Addu => (i64::from(a) + i64::from(b)) as u32,
+                AluOp::Sub | AluOp::Subu => (i64::from(a) - i64::from(b)) as u32,
+                AluOp::And => a & b,
+                AluOp::Or => a | b,
+                AluOp::Xor => a ^ b,
+                AluOp::Nor => !(a | b),
+                AluOp::Slt => u32::from((a as i32) < (b as i32)),
+                AluOp::Sltu => u32::from(a < b),
+                AluOp::Sllv => b << (a & 31),
+                AluOp::Srlv => b >> (a & 31),
+                AluOp::Srav => ((b as i32) >> (a & 31)) as u32,
+            };
+            core.set_reg(rd, v);
+        }
+        Insn::AluImm { op, rt, rs, imm } => {
+            let a = core.reg(rs);
+            let v = match op {
+                AluImmOp::Addi | AluImmOp::Addiu => (i64::from(a) + i64::from(imm)) as u32,
+                AluImmOp::Slti => u32::from((a as i32) < i32::from(imm)),
+                AluImmOp::Sltiu => u32::from(a < (i32::from(imm) as u32)),
+                AluImmOp::Andi => a & u32::from(imm as u16),
+                AluImmOp::Ori => a | u32::from(imm as u16),
+                AluImmOp::Xori => a ^ u32::from(imm as u16),
+            };
+            core.set_reg(rt, v);
+        }
+        Insn::Shift { op, rd, rt, shamt } => {
+            let b = core.reg(rt);
+            let s = u32::from(shamt) & 31;
+            let v = match op {
+                ShiftOp::Sll => b << s,
+                ShiftOp::Srl => b >> s,
+                ShiftOp::Sra => ((b as i32) >> s) as u32,
+            };
+            core.set_reg(rd, v);
+        }
+        Insn::Lui { rt, imm } => core.set_reg(rt, u32::from(imm) << 16),
+        Insn::MulDiv { op, rs, rt } => {
+            let (a, b) = (core.reg(rs), core.reg(rt));
+            let (hi, lo) = match op {
+                MulDivOp::Mult => {
+                    let p = i64::from(a as i32) * i64::from(b as i32);
+                    (((p as u64) >> 32) as u32, p as u32)
+                }
+                MulDivOp::Multu => {
+                    let p = u64::from(a) * u64::from(b);
+                    ((p >> 32) as u32, p as u32)
+                }
+                MulDivOp::Div => {
+                    if b == 0 {
+                        (0, 0)
+                    } else {
+                        let (sa, sb) = (a as i32, b as i32);
+                        (sa.wrapping_rem(sb) as u32, sa.wrapping_div(sb) as u32)
+                    }
+                }
+                MulDivOp::Divu => {
+                    if b == 0 {
+                        (0, 0)
+                    } else {
+                        (a % b, a / b)
+                    }
+                }
+            };
+            core.set_hi(hi);
+            core.set_lo(lo);
+        }
+        Insn::Mfhi { rd } => {
+            let v = core.hi();
+            core.set_reg(rd, v);
+        }
+        Insn::Mflo { rd } => {
+            let v = core.lo();
+            core.set_reg(rd, v);
+        }
+        Insn::Load { op, rt, ea } => {
+            let (addr, post) = address(core, ea);
+            let raw = core.load(pc, addr, op.size())?;
+            let v = match op {
+                LoadOp::Lb => i32::from(raw as u8 as i8) as u32,
+                LoadOp::Lbu => raw as u32,
+                LoadOp::Lh => i32::from(raw as u16 as i16) as u32,
+                LoadOp::Lhu => raw as u32,
+                LoadOp::Lw => raw as u32,
+            };
+            core.set_reg(rt, v);
+            if let Some((base, updated)) = post {
+                core.set_reg(base, updated);
+            }
+        }
+        Insn::Store { op, rt, ea } => {
+            let (addr, post) = address(core, ea);
+            let size = op.size();
+            let value = u64::from(core.reg(rt)) & (u64::MAX >> (64 - 8 * size));
+            core.store(pc, addr, size, value)?;
+            if let Some((base, updated)) = post {
+                core.set_reg(base, updated);
+            }
+            store = Some(GoldenStore { addr, size, value });
+        }
+        Insn::LoadFp { fmt, ft, ea } => {
+            let (addr, post) = address(core, ea);
+            let raw = core.load(pc, addr, fmt.size())?;
+            core.set_freg(ft, raw);
+            if let Some((base, updated)) = post {
+                core.set_reg(base, updated);
+            }
+        }
+        Insn::StoreFp { fmt, ft, ea } => {
+            let (addr, post) = address(core, ea);
+            let size = fmt.size();
+            let value = match fmt {
+                FpFmt::S => u64::from(core.freg(ft) as u32),
+                FpFmt::D => core.freg(ft),
+            };
+            core.store(pc, addr, size, value)?;
+            if let Some((base, updated)) = post {
+                core.set_reg(base, updated);
+            }
+            store = Some(GoldenStore { addr, size, value });
+        }
+        Insn::Fp { op, fmt, fd, fs, ft } => match fmt {
+            FpFmt::D => {
+                let a = f64::from_bits(core.freg(fs));
+                let b = f64::from_bits(core.freg(ft));
+                core.set_freg(fd, fp_op(op, a, b).to_bits());
+            }
+            FpFmt::S => {
+                let a = f32::from_bits(core.freg(fs) as u32);
+                let b = f32::from_bits(core.freg(ft) as u32);
+                core.set_freg(fd, u64::from(fp_op32(op, a, b).to_bits()));
+            }
+        },
+        Insn::FpCmp { cond, fmt, fs, ft } => {
+            let (a, b) = match fmt {
+                FpFmt::D => (f64::from_bits(core.freg(fs)), f64::from_bits(core.freg(ft))),
+                FpFmt::S => (
+                    f64::from(f32::from_bits(core.freg(fs) as u32)),
+                    f64::from(f32::from_bits(core.freg(ft) as u32)),
+                ),
+            };
+            core.set_fcc(match cond {
+                FpCond::Eq => a == b,
+                FpCond::Lt => a < b,
+                FpCond::Le => a <= b,
+            });
+        }
+        Insn::Bc1 { on_true, off } => {
+            if core.fcc() == on_true {
+                next = branch_target(off);
+            }
+        }
+        Insn::Mtc1 { rt, fs } => {
+            let v = u64::from(core.reg(rt));
+            core.set_freg(fs, v);
+        }
+        Insn::Mfc1 { rt, fs } => {
+            let bits = core.freg(fs) as u32;
+            core.set_reg(rt, bits);
+        }
+        Insn::CvtFromW { fmt, fd, fs } => {
+            let w = core.freg(fs) as u32 as i32;
+            let v = match fmt {
+                FpFmt::D => f64::from(w).to_bits(),
+                FpFmt::S => u64::from((w as f32).to_bits()),
+            };
+            core.set_freg(fd, v);
+        }
+        Insn::TruncToW { fmt, fd, fs } => {
+            let v = match fmt {
+                FpFmt::D => f64::from_bits(core.freg(fs)),
+                FpFmt::S => f64::from(f32::from_bits(core.freg(fs) as u32)),
+            };
+            core.set_freg(fd, u64::from((v as i32) as u32));
+        }
+        Insn::Branch { cond, rs, rt, off } => {
+            let (a, b) = (core.reg(rs), core.reg(rt));
+            let taken = match cond {
+                BranchCond::Eq => a == b,
+                BranchCond::Ne => a != b,
+                BranchCond::Lez => (a as i32) <= 0,
+                BranchCond::Gtz => (a as i32) > 0,
+                BranchCond::Ltz => (a as i32) < 0,
+                BranchCond::Gez => (a as i32) >= 0,
+            };
+            if taken {
+                next = branch_target(off);
+            }
+        }
+        Insn::J { target } => next = target << 2,
+        Insn::Jal { target } => {
+            core.set_reg(Reg::RA, fall);
+            next = target << 2;
+        }
+        Insn::Jr { rs } => next = core.reg(rs),
+        Insn::Jalr { rd, rs } => {
+            let t = core.reg(rs);
+            core.set_reg(rd, fall);
+            next = t;
+        }
+    }
+
+    Ok(ExecEffect { next_pc: next, store })
+}
+
+impl ExecCore for Oracle {
+    fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if r.index() != 0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn freg(&self, f: FReg) -> u64 {
+        self.fregs[f.index()]
+    }
+
+    fn set_freg(&mut self, f: FReg, v: u64) {
+        self.fregs[f.index()] = v;
+    }
+
+    fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    fn set_hi(&mut self, v: u32) {
+        self.hi = v;
+    }
+
+    fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    fn set_lo(&mut self, v: u32) {
+        self.lo = v;
+    }
+
+    fn fcc(&self) -> bool {
+        self.fcc
+    }
+
+    fn set_fcc(&mut self, v: bool) {
+        self.fcc = v;
+    }
+
+    fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    fn load(&mut self, _pc: u32, addr: u32, size: u32) -> Result<u64, ExecError> {
+        Ok(self.mem.read(addr, size))
+    }
+
+    fn store(&mut self, _pc: u32, addr: u32, size: u32, value: u64) -> Result<(), ExecError> {
+        self.mem.write(addr, size, value);
+        Ok(())
     }
 }
 
@@ -566,9 +698,7 @@ impl Lockstep {
         });
 
         while !state.halted {
-            if stats.insts >= self.max_insts {
-                return Err(SimError::Runaway(self.max_insts));
-            }
+            check_budget(stats.insts, self.max_insts)?;
             let step = stats.insts;
             let ex = state.step(program)?;
             if let Some(fp) = &mut saboteur {
@@ -629,7 +759,7 @@ fn escape_speculation(fp: &mut FaultyPredictor, state: &mut ArchState, ex: &crat
 }
 
 /// Builds the divergence error for one mismatched quantity.
-fn diverged<T: std::fmt::LowerHex>(
+pub(crate) fn diverged<T: std::fmt::LowerHex>(
     step: u64,
     pc: u32,
     what: impl std::fmt::Display,
@@ -732,7 +862,7 @@ fn compare_step(
 /// identically from the machine's memory. (The converse needs no sweep —
 /// every machine store was already matched against the oracle's at
 /// retirement.)
-fn compare_memory(step: u64, state: &ArchState, oracle: &Oracle) -> Result<(), SimError> {
+pub(crate) fn compare_memory(step: u64, state: &ArchState, oracle: &Oracle) -> Result<(), SimError> {
     for (base, page) in oracle.mem.pages() {
         for (i, &want) in page.iter().enumerate() {
             let addr = base.wrapping_add(i as u32);

@@ -90,9 +90,7 @@ pub fn profile_predictions(
     let mut rep = ProfileReport::default();
 
     while !state.halted {
-        if rep.insts >= max_insts {
-            return Err(crate::SimError::Runaway(max_insts));
-        }
+        crate::machine::check_budget(rep.insts, max_insts)?;
         let ex = state.step(program)?;
         rep.insts += 1;
         let Some(mref) = ex.mem else { continue };

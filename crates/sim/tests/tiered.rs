@@ -1,0 +1,302 @@
+//! Differential verification of the tiered execution engine.
+//!
+//! Three independent executors retire every program here: the fast
+//! functional tier (`fac_sim::tier`), the golden oracle, and the detailed
+//! pipeline. The fast tier is checked against the oracle *per instruction*
+//! (full register file, HI/LO/fcc, PC) and against the pipeline's final
+//! architectural state and memory image, over hand-written kernels and a
+//! fuzz-seed sweep. The step-budget boundary (`SimError::Runaway`) is
+//! pinned to the identical instruction count across every tier.
+
+use fac_asm::{assemble_and_link, fuzz_source, Asm, Program, SoftwareSupport};
+use fac_isa::Reg;
+use fac_sim::tier::{run_fast, run_fast_verified, run_sampled, Functional, SampleSpec};
+use fac_sim::{functional_snapshot, Machine, MachineConfig, Oracle, SimError};
+
+fn sum_program() -> Program {
+    let mut a = Asm::new();
+    a.gp_array("data", 256, 4);
+    a.gp_word("checksum", 0);
+    a.gp_addr(Reg::S0, "data", 0);
+    a.li(Reg::T0, 64);
+    a.li(Reg::T1, 3);
+    a.label("fill");
+    a.sw_pi(Reg::T1, Reg::S0, 4);
+    a.addiu(Reg::T1, Reg::T1, 7);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fill");
+    a.gp_addr(Reg::S0, "data", 0);
+    a.li(Reg::T0, 64);
+    a.li(Reg::V0, 0);
+    a.label("sum");
+    a.lw_pi(Reg::T2, Reg::S0, 4);
+    a.addu(Reg::V0, Reg::V0, Reg::T2);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "sum");
+    a.sw_gp(Reg::V0, "checksum", 0);
+    a.halt();
+    a.link("sum", &SoftwareSupport::on()).unwrap()
+}
+
+/// Asserts the fast tier and a detailed pipeline run agree on the complete
+/// architectural outcome.
+fn assert_three_way(program: &Program, cfg: MachineConfig, label: &str) {
+    // Fast vs oracle: per-step lockstep inside run_fast_verified.
+    let fast = run_fast_verified(&cfg, program, 10_000_000)
+        .unwrap_or_else(|e| panic!("{label}: fast tier diverged from oracle: {e}"));
+    // Fast vs pipeline: final architectural state, bit for bit.
+    let full = Machine::new(cfg)
+        .run(program)
+        .unwrap_or_else(|e| panic!("{label}: detailed run failed: {e}"));
+    assert_eq!(fast.insts, full.stats.insts, "{label}: retired instruction counts differ");
+    assert_eq!(fast.final_state.regs, full.final_state.regs, "{label}: integer registers differ");
+    assert_eq!(fast.final_state.fregs, full.final_state.fregs, "{label}: FP registers differ");
+    assert_eq!(fast.final_state.hi, full.final_state.hi, "{label}: HI differs");
+    assert_eq!(fast.final_state.lo, full.final_state.lo, "{label}: LO differs");
+    assert_eq!(fast.final_state.fcc, full.final_state.fcc, "{label}: fcc differs");
+    assert_eq!(fast.final_state.pc, full.final_state.pc, "{label}: final PC differs");
+    assert_eq!(fast.final_state.mem, full.final_state.mem, "{label}: memory images differ");
+}
+
+/// 200 fuzz seeds through all three executors. The per-step fast-vs-oracle
+/// lockstep runs for every seed; the (much slower) detailed pipeline
+/// cross-check runs on a fixed subsample so the suite stays fast in debug
+/// builds — the full 19-workload × config pipeline matrix lives in
+/// `crates/bench/tests/tiered_matrix.rs`.
+#[test]
+fn fuzz_seeds_three_way_differential() {
+    for seed in 0..200u64 {
+        let source = fuzz_source(seed);
+        let program = assemble_and_link(&source, &format!("fuzz-{seed}"), &SoftwareSupport::on())
+            .unwrap_or_else(|e| panic!("seed {seed} does not assemble: {e}"));
+        let cfg = MachineConfig::paper_baseline().with_fac();
+        let fast = run_fast_verified(&cfg, &program, 2_000_000)
+            .unwrap_or_else(|e| panic!("seed {seed}: fast tier diverged from oracle: {e}"));
+        assert!(fast.final_state.halted, "seed {seed} did not halt");
+        if seed % 8 == 0 {
+            assert_three_way(&program, cfg, &format!("seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn hand_kernels_three_way_differential() {
+    let program = sum_program();
+    for (label, cfg) in [
+        ("baseline", MachineConfig::paper_baseline()),
+        ("fac", MachineConfig::paper_baseline().with_fac()),
+        ("fac+tlb", MachineConfig::paper_baseline().with_fac().with_tlb()),
+        ("strict", MachineConfig::paper_baseline().with_strict_memory()),
+    ] {
+        assert_three_way(&program, cfg, label);
+    }
+}
+
+/// The shared budget rule: a program retiring exactly N instructions
+/// succeeds with budget N, and fails with `Runaway` at budget N−1 — on
+/// every tier, at the same count.
+#[test]
+fn runaway_boundary_is_identical_across_tiers() {
+    let program = sum_program();
+    let cfg = MachineConfig::paper_baseline();
+
+    // Discover N from the oracle.
+    let mut o = Oracle::new(&program);
+    let n = o.run(&program, u64::MAX).unwrap();
+    assert!(n > 10);
+
+    let expect_runaway = |r: Result<u64, SimError>, tier: &str, budget: u64| match r {
+        Err(SimError::Runaway(max)) => {
+            assert_eq!(max, budget, "{tier}: Runaway reports wrong budget")
+        }
+        other => panic!("{tier}: budget {budget} should be Runaway, got {other:?}"),
+    };
+
+    for budget in [n, n + 1] {
+        let mut o = Oracle::new(&program);
+        assert_eq!(o.run(&program, budget).unwrap(), n, "oracle at budget {budget}");
+
+        let full = Machine::new(cfg).with_max_insts(budget).run(&program).unwrap();
+        assert_eq!(full.stats.insts, n, "machine at budget {budget}");
+
+        let ls = fac_sim::Lockstep::new(cfg).with_max_insts(budget).run(&program).unwrap();
+        assert_eq!(ls.stats.insts, n, "lockstep at budget {budget}");
+
+        let fast = run_fast(&cfg, &program, budget).unwrap();
+        assert_eq!(fast.insts, n, "fast tier at budget {budget}");
+
+        let sampled =
+            run_sampled(&cfg, &program, SampleSpec { every: 40, window: 10 }, budget).unwrap();
+        assert_eq!(sampled.insts, n, "sampled tier at budget {budget}");
+    }
+
+    let budget = n - 1;
+    let mut o = Oracle::new(&program);
+    expect_runaway(o.run(&program, budget), "oracle", budget);
+    expect_runaway(
+        Machine::new(cfg).with_max_insts(budget).run(&program).map(|r| r.stats.insts),
+        "machine",
+        budget,
+    );
+    expect_runaway(
+        fac_sim::Lockstep::new(cfg).with_max_insts(budget).run(&program).map(|r| r.stats.insts),
+        "lockstep",
+        budget,
+    );
+    expect_runaway(run_fast(&cfg, &program, budget).map(|r| r.insts), "fast tier", budget);
+    expect_runaway(
+        run_sampled(&cfg, &program, SampleSpec { every: 40, window: 10 }, budget)
+            .map(|r| r.insts),
+        "sampled tier",
+        budget,
+    );
+}
+
+/// The functional → detailed hand-off: fast-forward half the program
+/// functionally, snapshot, restore into a detailed machine, run to halt.
+/// The final architectural state must equal a straight detailed run's.
+#[test]
+fn functional_snapshot_hands_off_to_detailed_machine() {
+    let program = sum_program();
+    let cfg = MachineConfig::paper_baseline().with_fac();
+    let machine = Machine::new(cfg);
+    let straight = machine.run(&program).unwrap();
+
+    let mut fun = Functional::new(&program).with_strict_mem(cfg.strict_mem);
+    let skipped = fun.run(straight.stats.insts / 2).unwrap();
+    assert!(skipped > 0 && !fun.halted());
+
+    let snap = functional_snapshot(&cfg, &program, fun.state());
+    let resumed = machine.restore(&program, &snap).unwrap().run().unwrap();
+    assert_eq!(resumed.stats.insts + skipped, straight.stats.insts);
+    assert_eq!(resumed.final_state, straight.final_state);
+}
+
+/// A functional snapshot refuses to restore under a different
+/// configuration or program, exactly like a detailed checkpoint.
+#[test]
+fn functional_snapshot_is_fingerprint_guarded() {
+    let program = sum_program();
+    let cfg = MachineConfig::paper_baseline();
+    let mut fun = Functional::new(&program);
+    fun.run(5).unwrap();
+    let snap = functional_snapshot(&cfg, &program, fun.state());
+
+    let other_cfg = MachineConfig::paper_baseline().with_fac();
+    assert!(matches!(
+        Machine::new(other_cfg).restore(&program, &snap),
+        Err(SimError::Checkpoint { .. })
+    ));
+
+    let mut a = Asm::new();
+    a.li(Reg::T0, 1);
+    a.halt();
+    let other = a.link("other", &SoftwareSupport::on()).unwrap();
+    assert!(matches!(
+        Machine::new(cfg).restore(&other, &snap),
+        Err(SimError::Checkpoint { .. })
+    ));
+}
+
+/// Strict-memory traps fire identically on the fast tier and the detailed
+/// machine: same error variant, same faulting PC and address.
+#[test]
+fn strict_memory_traps_match_the_detailed_machine() {
+    let mut a = Asm::new();
+    a.gp_array("data", 64, 4);
+    a.gp_addr(Reg::S0, "data", 0);
+    a.addiu(Reg::S0, Reg::S0, 2);
+    a.lw(Reg::T0, 0, Reg::S0); // misaligned word load
+    a.halt();
+    let program = a.link("misaligned", &SoftwareSupport::on()).unwrap();
+    let cfg = MachineConfig::paper_baseline().with_strict_memory();
+
+    let detailed = Machine::new(cfg).run(&program).unwrap_err();
+    let fast = run_fast(&cfg, &program, 1_000).unwrap_err();
+    assert_eq!(format!("{fast}"), format!("{detailed}"), "trap mismatch");
+    assert!(matches!(fast, SimError::Exec(_)));
+}
+
+/// Sampling parameters are validated up front.
+#[test]
+fn bad_sample_spec_is_a_typed_config_error() {
+    let program = sum_program();
+    let cfg = MachineConfig::paper_baseline();
+    let err =
+        run_sampled(&cfg, &program, SampleSpec { every: 10, window: 0 }, 1_000_000).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "got {err:?}");
+    let err =
+        run_sampled(&cfg, &program, SampleSpec { every: 10, window: 11 }, 1_000_000).unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "got {err:?}");
+}
+
+/// A long repetitive kernel for CPI-convergence checks: windows must be
+/// long enough to amortize the per-window pipeline fill/drain (the
+/// cold-start bias DESIGN.md §13 documents — short windows overstate CPI).
+fn long_loop_program(iters: u32) -> Program {
+    let mut a = Asm::new();
+    a.gp_array("data", 4096, 4);
+    a.gp_addr(Reg::S0, "data", 0);
+    a.li(Reg::T0, iters as i32);
+    a.li(Reg::T1, 3);
+    a.label("fill");
+    a.sw_pi(Reg::T1, Reg::S0, 4);
+    a.addiu(Reg::T1, Reg::T1, 7);
+    a.andi(Reg::T2, Reg::T1, 0xfff);
+    a.addu(Reg::T3, Reg::T2, Reg::T1);
+    a.addiu(Reg::T0, Reg::T0, -1);
+    a.bgtz(Reg::T0, "fill");
+    a.halt();
+    a.link("longloop", &SoftwareSupport::on()).unwrap()
+}
+
+/// The sampled estimate converges on the exact cycle count when windows
+/// amortize the drain, and its reported error bound is finite.
+#[test]
+fn sampled_cpi_tracks_full_detail() {
+    let program = long_loop_program(1000);
+    let cfg = MachineConfig::paper_baseline().with_fac();
+    let full = Machine::new(cfg).run(&program).unwrap();
+    let full_cpi = full.stats.cycles as f64 / full.stats.insts as f64;
+
+    let sampled =
+        run_sampled(&cfg, &program, SampleSpec { every: 1024, window: 512 }, 1_000_000).unwrap();
+    assert_eq!(sampled.insts, full.stats.insts);
+    assert!(sampled.cpi.is_finite() && sampled.cpi > 0.0);
+    assert!(sampled.cpi_stderr.is_finite() && sampled.cpi_stderr >= 0.0);
+    // Half of every period measured in 512-inst windows: the estimate must
+    // land close. 15% is deliberately loose — this pins "sane", not
+    // "exact"; the exactness case (window == every) is pinned below.
+    let rel = (sampled.cpi - full_cpi).abs() / full_cpi;
+    assert!(
+        rel < 0.15,
+        "sampled CPI {:.4} vs full {:.4} (rel err {:.3})",
+        sampled.cpi,
+        full_cpi,
+        rel
+    );
+
+    // window == every measures everything: exact by construction.
+    let program = sum_program();
+    let full = Machine::new(cfg).run(&program).unwrap();
+    let exact =
+        run_sampled(&cfg, &program, SampleSpec { every: 64, window: 64 }, 1_000_000).unwrap();
+    assert_eq!(exact.measured_insts, full.stats.insts);
+    assert_eq!(exact.final_state, full.final_state);
+}
+
+/// Sampled runs are pure functions of (config, program, spec): two
+/// invocations agree field for field, including the floating-point
+/// estimates — the determinism the byte-identical `--json` artifacts in
+/// the bench suite build on.
+#[test]
+fn sampled_run_is_deterministic() {
+    let program = sum_program();
+    let cfg = MachineConfig::paper_baseline().with_fac();
+    let spec = SampleSpec { every: 50, window: 13 };
+    let a = run_sampled(&cfg, &program, spec, 1_000_000).unwrap();
+    let b = run_sampled(&cfg, &program, spec, 1_000_000).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.cpi.to_bits(), b.cpi.to_bits());
+    assert_eq!(a.cpi_stderr.to_bits(), b.cpi_stderr.to_bits());
+}

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates the committed Paper-scale sweep transcript that CI compares
+# fresh runs against. Run from the repository root after any intentional
+# change to experiment output; stdout only — cargo's progress chatter goes
+# to stderr and must never end up in the reference.
+set -eu
+cargo run --release -p fac-bench --bin all_experiments -- "$@" \
+    > bench_output_reference.txt
+echo "wrote bench_output_reference.txt" >&2
