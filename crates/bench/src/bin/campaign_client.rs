@@ -27,30 +27,47 @@
 //! are different — `client_latency` (an rpc-latency histogram) appears
 //! in the artifact only under `--timings`.
 //!
+//! All RPCs ride the resilient client: dead connections are redialed
+//! with jittered exponential backoff (`--attempts`, `--backoff-ms`,
+//! `--seed`) and requests resent idempotently, so a killed connection
+//! costs one RPC, not the campaign. Per-cell results are buffered: even
+//! a sweep that aborts early writes its partial `--json` artifact, with
+//! an `errors` block naming what failed (`--keep-going` records failures
+//! and finishes the grid instead of aborting).
+//!
 //! Exit codes: 0 success, 1 simulation/transport failure, 2 bad usage or
 //! a `bad-request` refusal, 3 shed by the server's admission bound.
 
-use fac_bench::serve::client::Client;
-use fac_bench::serve::proto::{CellRequest, ErrorKind, Request, Response};
-use fac_bench::serve::{config_by_name, scale_name, sw_support, Endpoint, CONFIG_NAMES};
-use fac_bench::telemetry::Hist;
+use fac_bench::serve::client::{
+    cell_request, run_sweep, sweep_artifact, CellError, ResilientClient, RetryPolicy,
+};
+use fac_bench::serve::proto::{ErrorKind, Request, Response};
+use fac_bench::serve::Endpoint;
 use fac_bench::Args;
-use fac_sim::obs::Json;
-use fac_sim::{config_fingerprint, program_fingerprint, SimError};
-use fac_workloads::Scale;
-use std::time::{Duration, Instant};
+use fac_sim::SimError;
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!("usage: campaign_client --connect <tcp:host:port|unix:path>");
     eprintln!("       [--smoke] [--json <path|->] [--timeout-secs N] [--timings]");
+    eprintln!("       [--attempts N] [--backoff-ms N] [--seed N] [--keep-going]");
     eprintln!("       [--cell <workload> [--config <baseline|fac>]] | [--ping] | [--stats]");
     std::process::exit(2);
 }
 
 /// Boolean flags this binary accepts.
-const BOOL_FLAGS: &[&str] = &["--smoke", "--ping", "--stats", "--timings"];
+const BOOL_FLAGS: &[&str] = &["--smoke", "--ping", "--stats", "--timings", "--keep-going"];
 /// Value-taking flags this binary accepts.
-const VALUE_FLAGS: &[&str] = &["--connect", "--json", "--cell", "--config", "--timeout-secs"];
+const VALUE_FLAGS: &[&str] = &[
+    "--connect",
+    "--json",
+    "--cell",
+    "--config",
+    "--timeout-secs",
+    "--attempts",
+    "--backoff-ms",
+    "--seed",
+];
 
 /// Unwraps a parse result or exits with the typed error and the usage.
 fn or_usage<T>(result: Result<T, SimError>) -> T {
@@ -71,6 +88,10 @@ fn fail(e: &SimError) -> std::process::ExitCode {
 /// Maps a protocol refusal to the documented exit codes.
 fn refusal(kind: ErrorKind, message: &str) -> std::process::ExitCode {
     eprintln!("error: server refused ({}): {message}", kind.token());
+    refusal_code(kind)
+}
+
+fn refusal_code(kind: ErrorKind) -> std::process::ExitCode {
     match kind {
         ErrorKind::BadRequest => std::process::ExitCode::from(2),
         ErrorKind::Overloaded => std::process::ExitCode::from(3),
@@ -78,33 +99,11 @@ fn refusal(kind: ErrorKind, message: &str) -> std::process::ExitCode {
     }
 }
 
-/// Builds a cell request, computing fingerprints locally for real
-/// workloads (test cells have no client-side build to fingerprint). The
-/// trace id is derived from the cell's identity, not a clock or counter:
-/// the ids land in the `--json` artifact and must not vary run to run.
-fn cell_request(workload: &str, config: &str, scale: Scale) -> CellRequest {
-    let mut req = CellRequest {
-        workload: workload.to_string(),
-        sw: true,
-        scale,
-        config: config.to_string(),
-        config_fp: None,
-        program_fp: None,
-        trace_id: Some(format!("sweep.{workload}.{config}.{}", scale_name(scale))),
-    };
-    if let Some(cfg) = config_by_name(config) {
-        req.config_fp = Some(config_fingerprint(&cfg));
-    }
-    if let Some(wl) = fac_workloads::find(workload) {
-        req.program_fp = Some(program_fingerprint(&wl.build(&sw_support(true), scale)));
-    }
-    req
-}
-
 fn main() -> std::process::ExitCode {
     let args = or_usage(Args::parse(BOOL_FLAGS, VALUE_FLAGS));
     or_usage(args.no_positionals(
-        "--connect, --smoke, --json, --cell, --config, --timeout-secs, --ping, --stats",
+        "--connect, --smoke, --json, --cell, --config, --timeout-secs, --attempts, \
+         --backoff-ms, --seed, --keep-going, --ping, --stats",
     ));
     let Some(connect) = args.value("--connect") else { usage() };
     let endpoint = or_usage(Endpoint::parse("--connect", connect));
@@ -118,11 +117,26 @@ fn main() -> std::process::ExitCode {
         usage()
     }
     let scale = args.scale();
+    let mut policy = RetryPolicy::default();
+    if let Some(attempts) =
+        or_usage(args.parse_value::<u32>("--attempts", "a transport retry budget, at least 1"))
+    {
+        if attempts == 0 {
+            eprintln!("error: --attempts must be at least 1");
+            usage()
+        }
+        policy.attempts = attempts;
+    }
+    if let Some(base) =
+        or_usage(args.parse_value::<u64>("--backoff-ms", "a backoff base in milliseconds"))
+    {
+        policy.base_ms = base.max(1);
+    }
+    if let Some(seed) = or_usage(args.parse_value::<u64>("--seed", "a backoff jitter seed")) {
+        policy.seed = seed;
+    }
 
-    let mut client = match Client::connect(&endpoint, Duration::from_secs(timeout)) {
-        Ok(c) => c,
-        Err(e) => return fail(&e),
-    };
+    let mut client = ResilientClient::new(endpoint, Duration::from_secs(timeout), policy);
 
     if args.flag("--ping") {
         return match client.rpc(&Request::Ping) {
@@ -163,84 +177,54 @@ fn main() -> std::process::ExitCode {
                 println!("{}", result.to_pretty(2));
                 std::process::ExitCode::SUCCESS
             }
-            Ok(Response::Error { kind, message }) => refusal(kind, &message),
+            Ok(Response::Error { kind, message, .. }) => refusal(kind, &message),
             Ok(other) => fail(&unexpected(&other)),
             Err(e) => fail(&e),
         };
     }
 
     // Default: the full sweep, every workload under every named config.
-    let mut rows = Vec::new();
-    let mut trace_ids = Vec::new();
-    let mut latency = Hist::new();
-    let mut hits = 0usize;
-    let mut misses = 0usize;
-    let mut coalesces = 0usize;
-    let mut total = 0usize;
-    for workload in fac_workloads::suite() {
-        for config in CONFIG_NAMES {
-            total += 1;
-            let req = cell_request(workload.name, config, scale);
-            let sent_id = req.trace_id.clone().unwrap_or_default();
-            let start = Instant::now();
-            let resp = client.rpc(&Request::Cell(req));
-            latency.record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
-            match resp {
-                Ok(Response::Cell { cached, coalesced, trace_id, result, .. }) => {
-                    let cycles = result.get("cycles").and_then(Json::as_u64).unwrap_or(0);
-                    println!(
-                        "{:10} {:8} {:>12} cycles{}",
-                        workload.name,
-                        config,
-                        cycles,
-                        if cached { "  (cached)" } else { "" }
-                    );
-                    if cached {
-                        hits += 1;
-                    } else if coalesced {
-                        coalesces += 1;
-                    } else {
-                        misses += 1;
-                    }
-                    // The artifact records the id the server actually
-                    // served under; for a stamped request that is the
-                    // echo of our own deterministic id.
-                    trace_ids.push(Json::Str(trace_id.unwrap_or(sent_id)));
-                    rows.push(result);
-                }
-                Ok(Response::Error { kind, message }) => return refusal(kind, &message),
-                Ok(other) => return fail(&unexpected(&other)),
-                Err(e) => return fail(&e),
-            }
-        }
-    }
-    println!("cache hits: {hits}/{total}");
+    // Results are buffered per cell, so the artifact below is written
+    // even when the sweep stops early.
+    let keep_going = args.flag("--keep-going");
+    let report = run_sweep(&mut client, scale, keep_going, |line| println!("{line}"));
+    println!("cache hits: {}/{}", report.hits, report.total);
     println!(
-        "sweep summary: {total} cells — {hits} hit, {misses} miss, {coalesces} coalesced; \
+        "sweep summary: {} cells — {} hit, {} miss, {} coalesced; \
          rpc p50 {:.0} us, p99 {:.0} us",
-        latency.p(0.50),
-        latency.p(0.99)
+        report.total,
+        report.hits,
+        report.misses,
+        report.coalesces,
+        report.latency.p(0.50),
+        report.latency.p(0.99)
     );
+    let s = client.stats;
+    if s.reconnects + s.retries + s.breaker_trips + s.stale_discards > 0 {
+        println!(
+            "resilience: {} reconnects, {} retries, {} breaker trips, {} stale responses discarded",
+            s.reconnects, s.retries, s.breaker_trips, s.stale_discards
+        );
+    }
+    for (job, err) in &report.errors {
+        eprintln!("error: {job}: {err}");
+    }
 
     if let Some(path) = args.value("--json") {
         // The artifact deliberately omits hit/coalesce flags: a cold
         // sweep and a fully cached re-run must be byte-identical. Trace
         // ids are deterministic, so they are safe to include; rpc
         // latency is not, so it rides behind --timings only.
-        let mut doc = Json::obj();
-        doc.set("campaign", Json::Str("server_sweep".to_string()));
-        doc.set("scale", Json::Str(scale_name(scale).to_string()));
-        doc.set("configs", Json::Arr(CONFIG_NAMES.iter().map(|c| Json::Str(c.to_string())).collect()));
-        doc.set("trace_ids", Json::Arr(trace_ids));
-        doc.set("rows", Json::Arr(rows));
-        if args.flag("--timings") {
-            doc.set("client_latency", latency.to_json());
-        }
+        let doc = sweep_artifact(&report, scale, args.flag("--timings"));
         if let Err(e) = fac_bench::write_json(path, &doc) {
             return fail(&e);
         }
     }
-    std::process::ExitCode::SUCCESS
+    match report.errors.first() {
+        None => std::process::ExitCode::SUCCESS,
+        Some((_, CellError::Refused { kind, .. })) => refusal_code(*kind),
+        Some((_, CellError::Transport(_))) => std::process::ExitCode::FAILURE,
+    }
 }
 
 /// A response that violates the protocol's request/response pairing.

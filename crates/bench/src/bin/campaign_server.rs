@@ -28,7 +28,8 @@ fn usage() -> ! {
     eprintln!("usage: campaign_server --listen <tcp:host:port|unix:path> --store-dir <dir>");
     eprintln!("       [--max-queue N] [--request-timeout-secs N] [--idle-timeout-secs N]");
     eprintln!("       [--metrics host:port] [--access-log <path>] [--slow-ms N]");
-    eprintln!("       [--test-cells]");
+    eprintln!("       [--test-cells] [--chaos-store <spec>] [--degrade-after N] [--store-probe-ms N]");
+    eprintln!("       (chaos spec: seed=N,enospc=PCT,burst=N,short=PCT,fsync=PCT,rename=PCT,read=PCT)");
     std::process::exit(2);
 }
 
@@ -44,6 +45,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--metrics",
     "--access-log",
     "--slow-ms",
+    "--chaos-store",
+    "--degrade-after",
+    "--store-probe-ms",
 ];
 
 /// Unwraps a parse result or exits with the typed error and the usage.
@@ -100,7 +104,9 @@ fn install_signal_handlers(_shutdown: Shutdown) {}
 fn main() -> std::process::ExitCode {
     let args = or_usage(Args::parse(BOOL_FLAGS, VALUE_FLAGS));
     or_usage(args.no_positionals(
-        "--listen, --store-dir, --max-queue, --request-timeout-secs, --idle-timeout-secs, --metrics, --access-log, --slow-ms, --test-cells",
+        "--listen, --store-dir, --max-queue, --request-timeout-secs, --idle-timeout-secs, \
+         --metrics, --access-log, --slow-ms, --test-cells, --chaos-store, --degrade-after, \
+         --store-probe-ms",
     ));
     let Some(listen) = args.value("--listen") else { usage() };
     let endpoint = or_usage(Endpoint::parse("--listen", listen));
@@ -127,6 +133,28 @@ fn main() -> std::process::ExitCode {
         positive(&args, "--slow-ms", "a slow-request threshold in whole milliseconds, at least 1")
     {
         opts.slow_ms = n;
+    }
+    // Fault injection for soak testing: the store's filesystem lies per
+    // the spec's seeded schedule. Never useful in production — which is
+    // the point.
+    if let Some(spec) = args.value("--chaos-store") {
+        match fac_bench::chaos::ChaosPlan::parse(spec) {
+            Ok(plan) => opts.chaos_store = Some(plan),
+            Err(e) => {
+                eprintln!("error: --chaos-store: {e}");
+                usage()
+            }
+        }
+    }
+    if let Some(n) =
+        positive(&args, "--degrade-after", "consecutive store-write failures before degrading, at least 1")
+    {
+        opts.degrade_after = n as u32;
+    }
+    if let Some(n) =
+        positive(&args, "--store-probe-ms", "a degraded-store probe interval in whole milliseconds, at least 1")
+    {
+        opts.store_probe_ms = n;
     }
 
     let server = match Server::bind(&endpoint, opts) {

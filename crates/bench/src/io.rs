@@ -1,4 +1,4 @@
-//! Atomic artifact writes.
+//! Atomic artifact writes and the filesystem seam for fault injection.
 //!
 //! Every durable artifact the benchmark layer produces — `--json`
 //! documents, fuzz repros, chrome traces — goes through [`write_atomic`]:
@@ -6,10 +6,66 @@
 //! fsynced, and only then renamed over the destination. A crash (or a
 //! plain I/O failure) at any point leaves the previous artifact intact;
 //! readers never observe a half-written file.
+//!
+//! The primitive operations behind that sequence (and behind the
+//! content-addressed store in `serve::store`) are factored into the small
+//! [`Fs`] trait so the chaos harness ([`crate::chaos::ChaosFs`]) can
+//! inject ENOSPC, short writes, fsync failures, and rename loss without
+//! touching any production code path. [`RealFs`] is the pass-through
+//! implementation used everywhere by default.
 
 use fac_sim::SimError;
 use std::io::Write;
 use std::path::Path;
+
+/// The filesystem operations the durability layer depends on.
+///
+/// This is the seam chaos testing hooks into: the store and the atomic
+/// writer only ever touch disk through these five methods, so a fault
+/// plan wrapped around them exercises exactly the failure surface a real
+/// flaky disk would. Implementations must be usable from multiple threads
+/// (`&self` receivers; the store serializes calls behind its own lock).
+pub trait Fs: Send {
+    /// Reads the entire contents of `path`.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+    /// Creates (or truncates) `path` and writes `bytes` to it. A chaotic
+    /// implementation may persist only a prefix — that is precisely the
+    /// torn-write scenario the store's checksums exist to catch.
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+    /// Flushes `path`'s contents to stable storage (`fsync`).
+    fn sync(&self, path: &Path) -> std::io::Result<()>;
+    /// Atomically renames `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+    /// Creates `path` and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()>;
+}
+
+/// The real filesystem: every [`Fs`] method maps 1:1 onto `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl Fs for RealFs {
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::OpenOptions::new().read(true).open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
 
 /// Writes `bytes` to `path` atomically (temporary file + fsync + rename).
 ///
@@ -19,13 +75,16 @@ use std::path::Path;
 /// failure the destination is untouched (the temporary file may remain
 /// and is overwritten by the next attempt).
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SimError> {
-    commit(path, bytes, false)
+    write_atomic_via(&RealFs, path, bytes)
 }
 
-/// The implementation behind [`write_atomic`], with a test hook:
-/// `interrupt_before_rename` simulates a crash after the temporary file
-/// is fully written but before it is published.
-fn commit(path: &Path, bytes: &[u8], interrupt_before_rename: bool) -> Result<(), SimError> {
+/// [`write_atomic`] routed through an explicit [`Fs`] — the store uses
+/// this so an injected [`crate::chaos::ChaosFs`] covers its commit path.
+///
+/// # Errors
+///
+/// [`SimError::Io`] carrying the destination path when any step fails.
+pub fn write_atomic_via(fs: &dyn Fs, path: &Path, bytes: &[u8]) -> Result<(), SimError> {
     let label = path.display().to_string();
     let err = |e: std::io::Error| SimError::io(&label, e);
     let file_name = path
@@ -34,14 +93,9 @@ fn commit(path: &Path, bytes: &[u8], interrupt_before_rename: bool) -> Result<()
         .to_string_lossy();
     let tmp = path.with_file_name(format!(".{file_name}.tmp"));
 
-    let mut f = std::fs::File::create(&tmp).map_err(err)?;
-    f.write_all(bytes).map_err(err)?;
-    f.sync_all().map_err(err)?;
-    drop(f);
-    if interrupt_before_rename {
-        return Err(err(std::io::Error::other("simulated crash before rename")));
-    }
-    std::fs::rename(&tmp, path).map_err(err)
+    fs.write(&tmp, bytes).map_err(err)?;
+    fs.sync(&tmp).map_err(err)?;
+    fs.rename(&tmp, path).map_err(err)
 }
 
 #[cfg(test)]
@@ -52,6 +106,28 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("fac_io_{tag}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    /// An [`Fs`] that stages data faithfully but fails the publishing
+    /// rename — the "crash between fsync and rename" window.
+    struct FailRename;
+
+    impl Fs for FailRename {
+        fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+            RealFs.read(path)
+        }
+        fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+            RealFs.write(path, bytes)
+        }
+        fn sync(&self, path: &Path) -> std::io::Result<()> {
+            RealFs.sync(path)
+        }
+        fn rename(&self, _from: &Path, _to: &Path) -> std::io::Result<()> {
+            Err(std::io::Error::other("simulated crash before rename"))
+        }
+        fn create_dir_all(&self, path: &Path) -> std::io::Result<()> {
+            RealFs.create_dir_all(path)
+        }
     }
 
     #[test]
@@ -74,7 +150,7 @@ mod tests {
         let path = dir.join("artifact.json");
         write_atomic(&path, b"old contents").unwrap();
 
-        let err = commit(&path, b"new contents", true).unwrap_err();
+        let err = write_atomic_via(&FailRename, &path, b"new contents").unwrap_err();
         assert!(matches!(err, SimError::Io { .. }), "got {err}");
         assert_eq!(std::fs::read(&path).unwrap(), b"old contents", "artifact was torn");
 

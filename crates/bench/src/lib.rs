@@ -37,6 +37,7 @@ use fac_sim::{
 use fac_workloads::{suite, Scale, Workload};
 use std::io::Write as _;
 
+pub mod chaos;
 pub mod experiments;
 pub mod fuzz;
 pub mod io;

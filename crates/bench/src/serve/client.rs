@@ -1,9 +1,27 @@
-//! A blocking campaign-protocol client: one connection, request/response
-//! RPC with a wall-clock response deadline.
+//! Campaign-protocol clients: a blocking single-connection [`Client`]
+//! and a fault-tolerant [`ResilientClient`] that layers reconnection,
+//! jittered exponential backoff, idempotent resend, and a per-endpoint
+//! circuit breaker on top of it.
+//!
+//! The resend story leans on the protocol being idempotent by
+//! construction: a cell request names a pure function of its fingerprints,
+//! so sending it twice costs at most one coalesced wait on the server.
+//! Responses carry the request's trace id back, which lets the resilient
+//! client discard stale responses (e.g. the answer to a duplicated
+//! request line) instead of mis-pairing them with the RPC in flight.
 
-use super::proto::{parse_response, read_line, render_request, LineEvent, Request, Response};
-use super::{Conn, Endpoint};
-use fac_sim::SimError;
+use super::proto::{
+    parse_response, read_line, render_request, CellRequest, ErrorKind, LineEvent, Request,
+    Response,
+};
+use super::{
+    config_by_name, scale_name, sw_support, Conn, Endpoint, CONFIG_NAMES,
+};
+use crate::chaos::Backoff;
+use crate::telemetry::Hist;
+use fac_sim::obs::Json;
+use fac_sim::{config_fingerprint, program_fingerprint, SimError};
+use fac_workloads::Scale;
 use std::io::Write;
 use std::time::{Duration, Instant};
 
@@ -25,7 +43,8 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`SimError::Io`] naming the endpoint when the connection fails.
+    /// [`SimError::Unreachable`] when nothing answers at the endpoint,
+    /// [`SimError::Io`] for any other connection failure.
     pub fn connect(endpoint: &Endpoint, deadline: Duration) -> Result<Client, SimError> {
         let conn = Conn::dial(endpoint)?;
         let label = endpoint.to_string();
@@ -44,13 +63,24 @@ impl Client {
     /// within the deadline. A protocol-level refusal (`ok: false`) is a
     /// successful RPC — it returns [`Response::Error`].
     pub fn rpc(&mut self, req: &Request) -> Result<Response, SimError> {
-        let io_err = |message: String| SimError::Io { path: self.endpoint.clone(), message };
         let mut line = render_request(req);
         line.push('\n');
         self.conn
             .write_all(line.as_bytes())
             .and_then(|()| self.conn.flush())
             .map_err(|e| SimError::io(&self.endpoint, e))?;
+        self.recv()
+    }
+
+    /// Blocks for the next response line without sending anything. Used
+    /// by the resilient layer to skim past a stale response (a duplicate
+    /// in flight) and reach the one that answers the current request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::rpc`], minus the send path.
+    pub fn recv(&mut self) -> Result<Response, SimError> {
+        let io_err = |message: String| SimError::Io { path: self.endpoint.clone(), message };
         let start = Instant::now();
         loop {
             match read_line(&mut self.conn, &mut self.pending) {
@@ -73,5 +103,457 @@ impl Client {
                 LineEvent::Io(e) => return Err(SimError::io(&self.endpoint, e)),
             }
         }
+    }
+}
+
+/// Knobs for [`ResilientClient`]: how hard to retry, how to pace the
+/// retries, and when to stop dialing a dead endpoint altogether.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Transport attempts per RPC before the last error surfaces.
+    pub attempts: u32,
+    /// First backoff delay, milliseconds (doubles per retry).
+    pub base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+    /// Consecutive transport failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker blocks before admitting a probe.
+    pub breaker_cooldown_ms: u64,
+    /// With the breaker open and the cooldown not yet elapsed: `true`
+    /// returns [`SimError::CircuitOpen`] immediately, `false` sleeps out
+    /// the cooldown and probes.
+    pub fail_fast: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 6,
+            base_ms: 50,
+            cap_ms: 2_000,
+            seed: 0,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 500,
+            fail_fast: false,
+        }
+    }
+}
+
+/// What the resilience layer did on the caller's behalf. None of these
+/// lanes belong in a campaign artifact — they depend on fault timing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClientStats {
+    /// Successful dials after the first (each one replaced a dead
+    /// connection).
+    pub reconnects: u64,
+    /// RPC attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Transitions into the breaker's open state.
+    pub breaker_trips: u64,
+    /// Responses discarded because their trace id did not match the
+    /// request in flight.
+    pub stale_discards: u64,
+}
+
+/// Circuit breaker state: closed counts consecutive failures, open
+/// blocks until the cooldown admits a half-open probe, and the probe's
+/// outcome either closes the circuit or snaps it back open.
+#[derive(Debug)]
+enum Breaker {
+    Closed { failures: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// A campaign client that survives a flaky path to the server: dead
+/// connections are redialed with jittered exponential backoff, requests
+/// are resent (idempotently — the protocol keys work by content, not by
+/// connection), stale responses are discarded by trace id, and an
+/// endpoint that keeps failing trips a circuit breaker instead of
+/// absorbing the full retry budget on every call.
+pub struct ResilientClient {
+    endpoint: Endpoint,
+    deadline: Duration,
+    policy: RetryPolicy,
+    backoff: Backoff,
+    breaker: Breaker,
+    conn: Option<Client>,
+    ever_connected: bool,
+    /// Resilience counters, readable at any point between RPCs.
+    pub stats: ClientStats,
+}
+
+impl ResilientClient {
+    /// Wraps an endpoint. The first connection is dialed lazily by the
+    /// first RPC, so construction never fails.
+    pub fn new(endpoint: Endpoint, deadline: Duration, policy: RetryPolicy) -> ResilientClient {
+        let backoff = Backoff::new(policy.seed, policy.base_ms, policy.cap_ms);
+        ResilientClient {
+            endpoint,
+            deadline,
+            policy,
+            backoff,
+            breaker: Breaker::Closed { failures: 0 },
+            conn: None,
+            ever_connected: false,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Sends one request, retrying transport failures within the policy's
+    /// budget. Protocol refusals are returned, not retried — except
+    /// `overloaded`, which is backed off and resent (shedding is the
+    /// server asking exactly for that).
+    ///
+    /// # Errors
+    ///
+    /// The last transport error once attempts are exhausted, or
+    /// [`SimError::CircuitOpen`] under a `fail_fast` policy while the
+    /// breaker's cooldown holds.
+    pub fn rpc(&mut self, req: &Request) -> Result<Response, SimError> {
+        let expected = match req {
+            Request::Cell(cell) => cell.trace_id.clone(),
+            _ => None,
+        };
+        let mut last_err: Option<SimError> = None;
+        let mut last_refusal: Option<Response> = None;
+        for attempt in 0..self.policy.attempts.max(1) {
+            if attempt > 0 {
+                self.stats.retries += 1;
+            }
+            self.admit()?;
+            if let Err(e) = self.ensure_conn() {
+                self.note_failure();
+                last_err = Some(e);
+                self.pause();
+                continue;
+            }
+            let conn = self.conn.as_mut().expect("ensure_conn populated the connection");
+            match exchange(conn, req, &expected, &mut self.stats) {
+                Ok(resp) => {
+                    // Any parsed response proves the transport: the
+                    // breaker closes even if the server said no.
+                    self.breaker = Breaker::Closed { failures: 0 };
+                    if let Response::Error { kind: ErrorKind::Overloaded, .. } = &resp {
+                        last_refusal = Some(resp);
+                        self.pause();
+                        continue;
+                    }
+                    self.backoff.reset();
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.conn = None;
+                    self.note_failure();
+                    last_err = Some(e);
+                    self.pause();
+                }
+            }
+        }
+        if let Some(resp) = last_refusal {
+            // Every attempt was shed: surface the refusal so the caller
+            // can map it to its documented exit path.
+            return Ok(resp);
+        }
+        Err(last_err.unwrap_or_else(|| SimError::Io {
+            path: self.endpoint.to_string(),
+            message: "retry budget exhausted".to_string(),
+        }))
+    }
+
+    /// Gates an attempt on the breaker. Open + cooled down becomes a
+    /// half-open probe; open + hot either fails fast or sleeps the
+    /// cooldown out.
+    fn admit(&mut self) -> Result<(), SimError> {
+        if let Breaker::Open { since } = self.breaker {
+            let cooldown = Duration::from_millis(self.policy.breaker_cooldown_ms);
+            let elapsed = since.elapsed();
+            if elapsed < cooldown {
+                if self.policy.fail_fast {
+                    return Err(SimError::CircuitOpen {
+                        endpoint: self.endpoint.to_string(),
+                        failures: self.policy.breaker_threshold,
+                    });
+                }
+                std::thread::sleep(cooldown - elapsed);
+            }
+            self.breaker = Breaker::HalfOpen;
+        }
+        Ok(())
+    }
+
+    fn ensure_conn(&mut self) -> Result<(), SimError> {
+        if self.conn.is_none() {
+            let client = Client::connect(&self.endpoint, self.deadline)?;
+            if self.ever_connected {
+                self.stats.reconnects += 1;
+            }
+            self.ever_connected = true;
+            self.conn = Some(client);
+        }
+        Ok(())
+    }
+
+    /// Records a transport failure against the breaker. A failed
+    /// half-open probe snaps straight back to open — one bad probe is
+    /// proof enough that the endpoint is still down.
+    fn note_failure(&mut self) {
+        match self.breaker {
+            Breaker::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.policy.breaker_threshold {
+                    self.breaker = Breaker::Open { since: Instant::now() };
+                    self.stats.breaker_trips += 1;
+                } else {
+                    self.breaker = Breaker::Closed { failures };
+                }
+            }
+            Breaker::HalfOpen => {
+                self.breaker = Breaker::Open { since: Instant::now() };
+                self.stats.breaker_trips += 1;
+            }
+            Breaker::Open { .. } => {}
+        }
+    }
+
+    fn pause(&mut self) {
+        std::thread::sleep(self.backoff.next_delay());
+    }
+}
+
+/// One send/receive with trace-id pairing: stale responses (wrong or
+/// missing id relative to the request in flight) are skimmed past or
+/// converted to a retryable transport error.
+fn exchange(
+    client: &mut Client,
+    req: &Request,
+    expected: &Option<String>,
+    stats: &mut ClientStats,
+) -> Result<Response, SimError> {
+    let mut resp = client.rpc(req)?;
+    loop {
+        match (&resp, expected) {
+            // The answer to some other (duplicated, superseded) request.
+            (Response::Cell { trace_id: Some(id), .. }, Some(want)) if id != want => {}
+            (Response::Error { trace_id: Some(id), .. }, Some(want)) if id != want => {}
+            (Response::Pong | Response::Stats(_), Some(_)) => {}
+            (Response::Cell { .. }, None) => {}
+            (Response::Error { trace_id: Some(_), .. }, None) => {}
+            // We stamped a trace id but the refusal carries none: the
+            // server never parsed our request (the line was mangled in
+            // flight). That is a transport fault, not a real refusal —
+            // resending the intact line is safe and correct.
+            (
+                Response::Error { kind: ErrorKind::BadRequest, trace_id: None, .. },
+                Some(want),
+            ) => {
+                return Err(SimError::Io {
+                    path: "campaign server".to_string(),
+                    message: format!("request {want} was refused without a trace id (mangled in flight?)"),
+                });
+            }
+            _ => return Ok(resp),
+        }
+        stats.stale_discards += 1;
+        resp = client.recv()?;
+    }
+}
+
+/// A cell that failed within a sweep: either the server said no, or the
+/// transport gave out after the retry budget.
+#[derive(Debug)]
+pub enum CellError {
+    /// A protocol refusal (`ok: false`).
+    Refused {
+        /// The refusal's machine-readable kind.
+        kind: ErrorKind,
+        /// The refusal's human-readable message.
+        message: String,
+    },
+    /// A transport failure that outlived the retry budget.
+    Transport(SimError),
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Refused { kind, message } => {
+                write!(f, "server refused ({}): {message}", kind.token())
+            }
+            CellError::Transport(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Everything a sweep produced, including what it failed to produce.
+/// Rows and trace ids stay index-aligned with the workload × config
+/// grid; a failed cell holds a `null` row under its deterministic trace
+/// id, so partial artifacts keep their shape.
+pub struct SweepReport {
+    /// One result document per cell (`Json::Null` where the cell failed).
+    pub rows: Vec<Json>,
+    /// The trace id each cell was served (or attempted) under.
+    pub trace_ids: Vec<Json>,
+    /// Failed cells, in sweep order, keyed by trace id.
+    pub errors: Vec<(String, CellError)>,
+    /// The transport error that aborted the sweep, when not keep-going.
+    pub fatal: Option<SimError>,
+    /// Cells served from the store.
+    pub hits: usize,
+    /// Cells simulated fresh.
+    pub misses: usize,
+    /// Cells coalesced with an in-flight simulation.
+    pub coalesces: usize,
+    /// Cells attempted.
+    pub total: usize,
+    /// Client-observed RPC latency, microseconds.
+    pub latency: Hist,
+}
+
+/// Builds a cell request, computing fingerprints locally for real
+/// workloads (test cells have no client-side build to fingerprint). The
+/// trace id is derived from the cell's identity, not a clock or counter:
+/// the ids land in sweep artifacts and must not vary run to run.
+pub fn cell_request(workload: &str, config: &str, scale: Scale) -> CellRequest {
+    let mut req = CellRequest {
+        workload: workload.to_string(),
+        sw: true,
+        scale,
+        config: config.to_string(),
+        config_fp: None,
+        program_fp: None,
+        trace_id: Some(format!("sweep.{workload}.{config}.{}", scale_name(scale))),
+    };
+    if let Some(cfg) = config_by_name(config) {
+        req.config_fp = Some(config_fingerprint(&cfg));
+    }
+    if let Some(wl) = fac_workloads::find(workload) {
+        req.program_fp = Some(program_fingerprint(&wl.build(&sw_support(true), scale)));
+    }
+    req
+}
+
+/// Drives the full sweep — every workload under every named config —
+/// buffering per-cell results as it goes. A transport failure after the
+/// retry budget either aborts (recording `fatal`) or, under
+/// `keep_going`, records the cell's error and moves on. Either way the
+/// report holds everything completed so far: a killed connection costs
+/// one RPC, not the campaign.
+///
+/// `on_line` receives one formatted progress line per completed cell.
+pub fn run_sweep(
+    client: &mut ResilientClient,
+    scale: Scale,
+    keep_going: bool,
+    mut on_line: impl FnMut(&str),
+) -> SweepReport {
+    let mut report = SweepReport {
+        rows: Vec::new(),
+        trace_ids: Vec::new(),
+        errors: Vec::new(),
+        fatal: None,
+        hits: 0,
+        misses: 0,
+        coalesces: 0,
+        total: 0,
+        latency: Hist::new(),
+    };
+    for workload in fac_workloads::suite() {
+        for config in CONFIG_NAMES {
+            report.total += 1;
+            let req = cell_request(workload.name, config, scale);
+            let sent_id = req.trace_id.clone().unwrap_or_default();
+            let start = Instant::now();
+            let resp = client.rpc(&Request::Cell(req));
+            report
+                .latency
+                .record(u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX));
+            let err = match resp {
+                Ok(Response::Cell { cached, coalesced, trace_id, result, .. }) => {
+                    let cycles = result.get("cycles").and_then(Json::as_u64).unwrap_or(0);
+                    on_line(&format!(
+                        "{:10} {:8} {:>12} cycles{}",
+                        workload.name,
+                        config,
+                        cycles,
+                        if cached { "  (cached)" } else { "" }
+                    ));
+                    if cached {
+                        report.hits += 1;
+                    } else if coalesced {
+                        report.coalesces += 1;
+                    } else {
+                        report.misses += 1;
+                    }
+                    // The artifact records the id the server actually
+                    // served under; for a stamped request that is the
+                    // echo of our own deterministic id.
+                    report.trace_ids.push(Json::Str(trace_id.unwrap_or(sent_id)));
+                    report.rows.push(result);
+                    continue;
+                }
+                Ok(Response::Error { kind, message, .. }) => CellError::Refused { kind, message },
+                Ok(other) => CellError::Transport(unexpected(&other)),
+                Err(e) => CellError::Transport(e),
+            };
+            report.trace_ids.push(Json::Str(sent_id.clone()));
+            report.rows.push(Json::Null);
+            let abort = !keep_going;
+            if abort {
+                if let CellError::Transport(e) = &err {
+                    report.fatal = Some(e.clone());
+                }
+            }
+            report.errors.push((sent_id, err));
+            if abort {
+                return report;
+            }
+        }
+    }
+    report
+}
+
+/// Renders a sweep report as the `server_sweep` artifact. The `errors`
+/// key appears only when cells failed, so a clean sweep's artifact is
+/// byte-identical whether it ran through a perfect network or a chaotic
+/// one that the resilience layer papered over. RPC latency is
+/// wall-clock, so it rides behind `timings` only.
+pub fn sweep_artifact(report: &SweepReport, scale: Scale, timings: bool) -> Json {
+    let mut doc = Json::obj();
+    doc.set("campaign", Json::Str("server_sweep".to_string()));
+    doc.set("scale", Json::Str(scale_name(scale).to_string()));
+    doc.set(
+        "configs",
+        Json::Arr(CONFIG_NAMES.iter().map(|c| Json::Str(c.to_string())).collect()),
+    );
+    doc.set("trace_ids", Json::Arr(report.trace_ids.clone()));
+    doc.set("rows", Json::Arr(report.rows.clone()));
+    if !report.errors.is_empty() {
+        let errors = report
+            .errors
+            .iter()
+            .map(|(job, err)| {
+                let mut e = Json::obj();
+                e.set("job", Json::Str(job.clone()));
+                e.set("error", Json::Str(err.to_string()));
+                e
+            })
+            .collect();
+        doc.set("errors", Json::Arr(errors));
+    }
+    if timings {
+        doc.set("client_latency", report.latency.to_json());
+    }
+    doc
+}
+
+/// A response that violates the protocol's request/response pairing.
+fn unexpected(resp: &Response) -> SimError {
+    SimError::Io {
+        path: "campaign server".to_string(),
+        message: format!("unexpected response: {resp:?}"),
     }
 }

@@ -124,17 +124,43 @@ impl Conn {
     ///
     /// # Errors
     ///
-    /// [`SimError::Io`] naming the endpoint when the connection fails.
+    /// [`SimError::Unreachable`] when nothing is listening — the port
+    /// refuses the connection or the Unix socket path is stale/absent
+    /// (`ECONNREFUSED` / `ENOENT`); [`SimError::Io`] naming the endpoint
+    /// for any other failure.
     pub fn dial(endpoint: &Endpoint) -> Result<Conn, SimError> {
         let label = endpoint.to_string();
+        let map = |e: std::io::Error| match e.kind() {
+            std::io::ErrorKind::ConnectionRefused | std::io::ErrorKind::NotFound => {
+                SimError::Unreachable { endpoint: label.clone(), reason: e.to_string() }
+            }
+            _ => SimError::io(&label, e),
+        };
         match endpoint {
-            Endpoint::Tcp(addr) => {
-                TcpStream::connect(addr).map(Conn::Tcp).map_err(|e| SimError::io(&label, e))
-            }
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp).map_err(map),
             #[cfg(unix)]
-            Endpoint::Unix(path) => {
-                UnixStream::connect(path).map(Conn::Unix).map_err(|e| SimError::io(&label, e))
-            }
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix).map_err(map),
+        }
+    }
+
+    /// A second handle to the same socket (independent read/write
+    /// positions; the chaos proxy pumps each direction from its own
+    /// thread).
+    pub(crate) fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    /// Tears the connection down in both directions — the chaos proxy's
+    /// "reset" and "truncate" faults end with this.
+    pub(crate) fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.shutdown(std::net::Shutdown::Both),
         }
     }
 
@@ -384,6 +410,27 @@ mod tests {
             cell_identity("compress", true, Scale::Smoke, "baseline"),
         ] {
             assert_ne!(base, other);
+        }
+    }
+
+    /// Dialing an endpoint nothing listens on is a typed
+    /// [`SimError::Unreachable`], not a raw I/O error — "the server is
+    /// not there" must be actionable for clients and operators.
+    #[test]
+    fn dialing_nothing_is_typed_unreachable() {
+        let parked = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = parked.local_addr().unwrap().to_string();
+        drop(parked);
+        let err = Conn::dial(&Endpoint::Tcp(addr)).unwrap_err();
+        assert!(matches!(err, SimError::Unreachable { .. }), "got {err}");
+
+        #[cfg(unix)]
+        {
+            let stale = std::env::temp_dir()
+                .join(format!("fac_stale_sock_{}.sock", std::process::id()));
+            std::fs::remove_file(&stale).ok();
+            let err = Conn::dial(&Endpoint::Unix(stale)).unwrap_err();
+            assert!(matches!(err, SimError::Unreachable { .. }), "got {err}");
         }
     }
 

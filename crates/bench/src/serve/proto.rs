@@ -16,7 +16,7 @@
 //!          | {"ok":true,"key":"0x<16 hex>","cached":<bool>,
 //!             "coalesced":<bool>[,"trace_id":<id>],"result":{...}}
 //!          | {"ok":false,"kind":"bad-request"|"overloaded"|"sim",
-//!             "error":<message>}
+//!             "error":<message>[,"trace_id":<id>]}
 //! ```
 //!
 //! The optional fingerprints let a client that built the cell itself
@@ -138,6 +138,11 @@ pub enum Response {
         kind: ErrorKind,
         /// Human-readable description.
         message: String,
+        /// The trace id of the request being refused, when the server
+        /// got far enough to know it. A resilient client resending after
+        /// a transport fault uses this to match refusals to the RPC in
+        /// flight and discard stale (duplicate-induced) ones.
+        trace_id: Option<String>,
     },
 }
 
@@ -297,10 +302,13 @@ pub fn render_response(resp: &Response) -> String {
             }
             doc.set("result", result.clone());
         }
-        Response::Error { kind, message } => {
+        Response::Error { kind, message, trace_id } => {
             doc.set("ok", Json::Bool(false));
             doc.set("kind", Json::Str(kind.token().to_string()));
             doc.set("error", Json::Str(message.clone()));
+            if let Some(id) = trace_id {
+                doc.set("trace_id", Json::Str(id.clone()));
+            }
         }
     }
     doc.to_string()
@@ -338,7 +346,11 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
         Some(Json::Bool(false)) => {
             let kind = ErrorKind::from_token(str_field(&doc, "kind")?)
                 .ok_or_else(|| ProtoError::new("unknown error 'kind'"))?;
-            Ok(Response::Error { kind, message: str_field(&doc, "error")?.to_string() })
+            Ok(Response::Error {
+                kind,
+                message: str_field(&doc, "error")?.to_string(),
+                trace_id: trace_id_field(&doc)?,
+            })
         }
         _ => Err(ProtoError::new("missing or non-boolean 'ok' field")),
     }
@@ -440,7 +452,16 @@ mod tests {
                 result: result.clone(),
             },
             Response::Cell { key: 7, cached: false, coalesced: true, trace_id: None, result },
-            Response::Error { kind: ErrorKind::Overloaded, message: "shed".to_string() },
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: "shed".to_string(),
+                trace_id: None,
+            },
+            Response::Error {
+                kind: ErrorKind::Sim,
+                message: "boom".to_string(),
+                trace_id: Some("sweep.x.y".to_string()),
+            },
         ] {
             let line = render_response(&resp);
             assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
@@ -507,6 +528,101 @@ mod tests {
         match read_line(&mut stream, &mut pending) {
             LineEvent::Poison(e) => assert!(e.message.contains("longer than"), "{e}"),
             other => panic!("{other:?}"),
+        }
+    }
+
+    /// A stream that yields its bytes in arbitrary pre-cut chunks, with
+    /// timeouts interleaved — the worst case the chaos proxy (and a slow
+    /// network) can legally produce.
+    struct ChunkedStream {
+        /// `Some(bytes)` is delivered (possibly split across several
+        /// `read` calls); `None` is a read timeout.
+        chunks: Vec<Option<Vec<u8>>>,
+        idx: usize,
+        off: usize,
+    }
+
+    impl Read for ChunkedStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            loop {
+                match self.chunks.get(self.idx) {
+                    None => return Ok(0),
+                    Some(None) => {
+                        self.idx += 1;
+                        return Err(std::io::ErrorKind::WouldBlock.into());
+                    }
+                    Some(Some(bytes)) => {
+                        if self.off >= bytes.len() {
+                            self.idx += 1;
+                            self.off = 0;
+                            continue;
+                        }
+                        let n = buf.len().min(bytes.len() - self.off);
+                        buf[..n].copy_from_slice(&bytes[self.off..self.off + n]);
+                        self.off += n;
+                        return Ok(n);
+                    }
+                }
+            }
+        }
+    }
+
+    use fac_core::rng::SplitMix64;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The framing state machine reassembles exactly the lines that
+        /// were sent, no matter how the byte stream is cut into chunks or
+        /// how many timeouts land between them — and a trailing partial
+        /// line survives in `pending` instead of being lost or invented.
+        #[test]
+        fn framing_survives_arbitrary_chunking(seed in any::<u64>()) {
+            let mut rng = SplitMix64::new(seed);
+            const CHARS: &[u8] = b"abcXYZ019 {}:\",/._-";
+            let text = |rng: &mut SplitMix64, max: u64| -> String {
+                let len = rng.below(max) as usize;
+                (0..len).map(|_| *rng.pick(CHARS) as char).collect()
+            };
+
+            let lines: Vec<String> =
+                (0..rng.below(8)).map(|_| text(&mut rng, 40)).collect();
+            let mut wire = Vec::new();
+            for line in &lines {
+                wire.extend_from_slice(line.as_bytes());
+                wire.extend_from_slice(if rng.chance(1, 4) { b"\r\n".as_slice() } else { b"\n" });
+            }
+            // Sometimes the stream ends mid-line (chaos truncation).
+            let tail = if rng.chance(1, 3) { text(&mut rng, 20) } else { String::new() };
+            wire.extend_from_slice(tail.as_bytes());
+
+            // Cut the wire into chunks of 1..=5 bytes with timeouts between.
+            let mut chunks = Vec::new();
+            let mut at = 0;
+            while at < wire.len() {
+                if rng.chance(1, 5) {
+                    chunks.push(None);
+                }
+                let n = (1 + rng.below(5) as usize).min(wire.len() - at);
+                chunks.push(Some(wire[at..at + n].to_vec()));
+                at += n;
+            }
+            if rng.chance(1, 4) {
+                chunks.push(None);
+            }
+
+            let mut stream = ChunkedStream { chunks, idx: 0, off: 0 };
+            let mut pending = Vec::new();
+            let mut got = Vec::new();
+            loop {
+                match read_line(&mut stream, &mut pending) {
+                    LineEvent::Line(s) => got.push(s),
+                    LineEvent::Timeout => {}
+                    LineEvent::Eof => break,
+                    other => prop_assert!(false, "unexpected event {other:?}"),
+                }
+            }
+            prop_assert_eq!(got, lines);
+            prop_assert_eq!(pending, tail.into_bytes());
         }
     }
 }

@@ -109,6 +109,15 @@ pub struct ServeOptions {
     /// Requests whose total latency exceeds this many milliseconds get
     /// `"slow": true` in their access-log line (`--slow-ms`).
     pub slow_ms: u64,
+    /// Consecutive store-write failures that flip the store into
+    /// degraded (read-only/compute-through) mode.
+    pub degrade_after: u32,
+    /// While degraded, one probe write is attempted at most every this
+    /// many milliseconds; a probe that lands exits degraded mode.
+    pub store_probe_ms: u64,
+    /// Fault-inject the store's filesystem per this plan
+    /// (`--chaos-store`). Testing/ops tooling; `None` in production.
+    pub chaos_store: Option<crate::chaos::ChaosPlan>,
 }
 
 impl ServeOptions {
@@ -125,6 +134,9 @@ impl ServeOptions {
             metrics_addr: None,
             access_log: None,
             slow_ms: 1000,
+            degrade_after: 3,
+            store_probe_ms: 2000,
+            chaos_store: None,
         }
     }
 }
@@ -170,6 +182,13 @@ struct Counters {
     conn_panics: AtomicU64,
     /// Store writes that failed (the result was still served).
     store_put_errors: AtomicU64,
+    /// Store reads that failed with a real I/O error; the cell was
+    /// recomputed (compute-through) instead of refused.
+    store_read_errors: AtomicU64,
+    /// Store writes skipped while the store was degraded.
+    store_put_skipped: AtomicU64,
+    /// Times the store entered degraded (read-only/compute-through) mode.
+    degraded_intervals: AtomicU64,
 }
 
 /// Span phases, in request order. `queue` is everything before a role is
@@ -326,10 +345,28 @@ impl InFlight {
     }
 }
 
+/// The degraded-store state machine (DESIGN.md §14): after
+/// `degrade_after` *consecutive* write failures the store flips to
+/// read-only/compute-through — cells are still answered, hits are still
+/// served, misses are simulated but no longer cached. While degraded,
+/// at most one probe write per `store_probe_ms` touches the disk; the
+/// first probe that lands exits the mode. Persistent ENOSPC therefore
+/// costs throughput, never availability.
+#[derive(Debug, Default)]
+struct Degrade {
+    /// Consecutive write failures (any success resets it).
+    consecutive: u32,
+    /// `true` while the store is read-only/compute-through.
+    degraded: bool,
+    /// When the last probe write was attempted.
+    last_probe: Option<Instant>,
+}
+
 /// State shared by every connection thread.
 struct Shared {
     opts: ServeOptions,
     store: Mutex<Store>,
+    degrade: Mutex<Degrade>,
     inflight: Mutex<HashMap<u64, Arc<InFlight>>>,
     /// Simulations admitted (queued or running) right now.
     admitted: AtomicUsize,
@@ -366,6 +403,63 @@ impl Shared {
     fn release(&self) {
         self.admitted.fetch_sub(1, Ordering::SeqCst);
     }
+
+    /// `true` while the store is in degraded (read-only) mode.
+    fn store_degraded(&self) -> bool {
+        lock(&self.degrade).degraded
+    }
+
+    /// Commits a result through the degraded-store state machine. Never
+    /// fails the request: a write failure is counted, logged, and —
+    /// after `degrade_after` consecutive failures — flips the store to
+    /// compute-through until a throttled probe write lands again.
+    fn store_put(&self, key: u64, doc: &Json) {
+        // Lock order: degrade, then store — matched nowhere else, so no
+        // cycle. Holding `degrade` across the put serializes writes, but
+        // the store mutex already does.
+        let mut d = lock(&self.degrade);
+        if d.degraded {
+            let probe_due = d
+                .last_probe
+                .is_none_or(|t| t.elapsed() >= Duration::from_millis(self.opts.store_probe_ms));
+            if !probe_due {
+                self.bump(&self.counters.store_put_skipped);
+                return;
+            }
+            d.last_probe = Some(Instant::now());
+        }
+        match lock(&self.store).put(key, doc) {
+            Ok(()) => {
+                if d.degraded {
+                    d.degraded = false;
+                    eprintln!(
+                        "campaign server: store writable again after probe for {key:#018x}; \
+                         leaving degraded mode"
+                    );
+                }
+                d.consecutive = 0;
+            }
+            Err(e) => {
+                self.bump(&self.counters.store_put_errors);
+                d.consecutive = d.consecutive.saturating_add(1);
+                if d.degraded {
+                    eprintln!("campaign server: store probe for {key:#018x} failed: {e}");
+                } else {
+                    eprintln!("campaign server: store write for {key:#018x} failed: {e}");
+                    if d.consecutive >= self.opts.degrade_after {
+                        d.degraded = true;
+                        d.last_probe = Some(Instant::now());
+                        self.bump(&self.counters.degraded_intervals);
+                        eprintln!(
+                            "campaign server: {} consecutive store write failures; store is \
+                             now read-only (compute-through) until a probe write lands",
+                            d.consecutive
+                        );
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The campaign server: bind, then [`Server::run`] until drained.
@@ -387,7 +481,13 @@ impl Server {
     /// directory cannot be created.
     pub fn bind(endpoint: &Endpoint, opts: ServeOptions) -> Result<Server, SimError> {
         let listener = Listener::bind(endpoint)?;
-        let store = Store::open(&opts.store_dir)?;
+        let store = match &opts.chaos_store {
+            Some(plan) => Store::open_with(
+                &opts.store_dir,
+                Box::new(crate::chaos::ChaosFs::new(plan.clone())),
+            )?,
+            None => Store::open(&opts.store_dir)?,
+        };
         let metrics = match &opts.metrics_addr {
             Some(addr) => Some(
                 std::net::TcpListener::bind(addr).map_err(|e| SimError::io(addr, e))?,
@@ -401,6 +501,7 @@ impl Server {
             shared: Arc::new(Shared {
                 opts,
                 store: Mutex::new(store),
+                degrade: Mutex::new(Degrade::default()),
                 inflight: Mutex::new(HashMap::new()),
                 admitted: AtomicUsize::new(0),
                 counters: Counters::default(),
@@ -530,7 +631,11 @@ fn handle_conn(shared: &Arc<Shared>, shutdown: &Shutdown, mut conn: Conn) {
                 let (resp, span) = match parse_request(&line) {
                     Ok(req) => handle_request(shared, &req),
                     Err(e) => (
-                        Response::Error { kind: ErrorKind::BadRequest, message: e.message },
+                        Response::Error {
+                            kind: ErrorKind::BadRequest,
+                            message: e.message,
+                            trace_id: None,
+                        },
                         Span::new(shared.telemetry.mint(), "bad_request"),
                     ),
                 };
@@ -548,8 +653,11 @@ fn handle_conn(shared: &Arc<Shared>, shutdown: &Shutdown, mut conn: Conn) {
             LineEvent::Poison(e) => {
                 // A flooding or non-UTF-8 peer gets one diagnostic, then
                 // the connection is dropped (its stream is unframeable).
-                let resp =
-                    Response::Error { kind: ErrorKind::BadRequest, message: e.message };
+                let resp = Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: e.message,
+                    trace_id: None,
+                };
                 conclude(&mut conn, &resp, Span::new(shared.telemetry.mint(), "bad_request"));
                 return;
             }
@@ -569,7 +677,7 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> (Response, Span) {
 }
 
 fn bad_request(message: impl Into<String>) -> Response {
-    Response::Error { kind: ErrorKind::BadRequest, message: message.into() }
+    Response::Error { kind: ErrorKind::BadRequest, message: message.into(), trace_id: None }
 }
 
 fn error_response(e: &SimError) -> Response {
@@ -577,7 +685,17 @@ fn error_response(e: &SimError) -> Response {
         SimError::Overloaded { .. } => ErrorKind::Overloaded,
         _ => ErrorKind::Sim,
     };
-    Response::Error { kind, message: e.to_string() }
+    Response::Error { kind, message: e.to_string(), trace_id: None }
+}
+
+/// Stamps the request's trace id onto a refusal, so a resilient client
+/// resending after a transport fault can match the refusal to the RPC in
+/// flight (and discard stale, duplicate-induced ones).
+fn with_trace(mut resp: Response, echo: &Option<String>) -> Response {
+    if let Response::Error { trace_id, .. } = &mut resp {
+        trace_id.clone_from(echo);
+    }
+    resp
 }
 
 /// The service counters as a JSON document.
@@ -594,6 +712,10 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
     doc.set("sim_errors", get(&c.sim_errors));
     doc.set("conn_panics", get(&c.conn_panics));
     doc.set("store_put_errors", get(&c.store_put_errors));
+    doc.set("store_read_errors", get(&c.store_read_errors));
+    doc.set("store_put_skipped", get(&c.store_put_skipped));
+    doc.set("degraded_intervals", get(&c.degraded_intervals));
+    doc.set("store_degraded", Json::Bool(shared.store_degraded()));
     doc.set("entries", Json::U64(store.len().unwrap_or(0) as u64));
     doc.set("admitted", Json::U64(shared.admitted.load(Ordering::SeqCst) as u64));
     let t = &shared.telemetry;
@@ -655,6 +777,30 @@ fn exposition(shared: &Arc<Shared>) -> String {
         "Store writes that failed (the result was still served).",
         &[],
         get(&c.store_put_errors),
+    );
+    exp.counter(
+        "faccell_store_read_errors_total",
+        "Store reads that failed and fell through to recomputation.",
+        &[],
+        get(&c.store_read_errors),
+    );
+    exp.counter(
+        "faccell_store_put_skipped_total",
+        "Store writes skipped while the store was degraded.",
+        &[],
+        get(&c.store_put_skipped),
+    );
+    exp.counter(
+        "faccell_degraded_intervals_total",
+        "Times the store entered degraded (read-only) mode.",
+        &[],
+        get(&c.degraded_intervals),
+    );
+    exp.gauge(
+        "faccell_store_degraded",
+        "1 while the store is in degraded (read-only) mode.",
+        &[],
+        if shared.store_degraded() { 1.0 } else { 0.0 },
     );
     exp.gauge(
         "faccell_inflight",
@@ -720,9 +866,10 @@ fn serve_metrics(listener: &std::net::TcpListener, shared: &Arc<Shared>, shutdow
 }
 
 /// Answers one HTTP scrape. Minimal HTTP/1.0: the request head is drained
-/// (bounded, never parsed beyond its end) and the exposition body is
-/// written with `Connection: close`. Nothing a scraper sends can mutate
-/// server state — the listener has no write path.
+/// (bounded, never parsed beyond its end), the path is dispatched to
+/// `/healthz`, `/readyz`, or the exposition, and the body is written with
+/// `Connection: close`. Nothing a scraper sends can mutate server state —
+/// the listener has no write path.
 fn serve_scrape(mut stream: std::net::TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
@@ -742,13 +889,51 @@ fn serve_scrape(mut stream: std::net::TcpStream, shared: &Arc<Shared>) {
             Err(_) => break,
         }
     }
-    let body = exposition(shared);
-    let response = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
+    let response = match request_path(&head[..len]).unwrap_or("/metrics") {
+        // Liveness: the process answers, full stop. A degraded store or
+        // a full queue is a reason to stop *routing*, not to restart.
+        "/healthz" => crate::telemetry::http_response("200 OK", "text/plain", "ok\n"),
+        "/readyz" => {
+            let shedding = shared.admitted.load(Ordering::SeqCst) >= shared.opts.max_queue;
+            let degraded = shared.store_degraded();
+            if shedding {
+                crate::telemetry::http_response(
+                    "503 Service Unavailable",
+                    "text/plain",
+                    "shedding: admission queue full\n",
+                )
+            } else if degraded {
+                crate::telemetry::http_response(
+                    "503 Service Unavailable",
+                    "text/plain",
+                    "degraded: store not accepting writes\n",
+                )
+            } else {
+                crate::telemetry::http_response("200 OK", "text/plain", "ready\n")
+            }
+        }
+        // Any other path (including a garbled head) gets the exposition,
+        // as before: a scraper that sent a bare request line still
+        // deserves its metrics.
+        _ => {
+            let body = exposition(shared);
+            crate::telemetry::http_response("200 OK", "text/plain; version=0.0.4", &body)
+        }
+    };
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
+}
+
+/// The path component of an HTTP request head's first line, if one is
+/// present (`GET /readyz HTTP/1.0` → `/readyz`).
+fn request_path(head: &[u8]) -> Option<&str> {
+    let head = std::str::from_utf8(head).ok()?;
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    let target = parts.next()?;
+    // Strip any query string: `/readyz?verbose=1` still means `/readyz`.
+    Some(target.split('?').next().unwrap_or(target))
 }
 
 /// Everything resolved about a cell before simulation: the plan the
@@ -834,7 +1019,7 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> (Response, Span) {
         Ok(plan) => plan,
         Err(resp) => {
             span.phases[QUEUE] = queued.elapsed();
-            return (resp, span);
+            return (with_trace(resp, &echo), span);
         }
     };
 
@@ -863,9 +1048,15 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> (Response, Span) {
         }
         Ok(Lookup::Miss) => {}
         Err(e) => {
-            span.phases[QUEUE] = queued.elapsed();
-            span.outcome = "store_error";
-            return (error_response(&e), span);
+            // Compute-through: a store read failure costs a cache lookup,
+            // never the cell. The same philosophy as degraded-write mode —
+            // the disk's problems are the operator's page, not the
+            // client's error.
+            shared.bump(&shared.counters.store_read_errors);
+            eprintln!(
+                "campaign server: store read for {:#018x} failed ({e}); recomputing",
+                plan.key
+            );
         }
     }
 
@@ -885,7 +1076,7 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> (Response, Span) {
                 shared.bump(&shared.counters.sheds);
                 span.phases[QUEUE] = queued.elapsed();
                 span.outcome = "shed";
-                return (error_response(&e), span);
+                return (with_trace(error_response(&e), &echo), span);
             }
             let flight = Arc::new(InFlight::default());
             inflight.insert(plan.key, Arc::clone(&flight));
@@ -919,7 +1110,7 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> (Response, Span) {
                 }
                 Err(e) => {
                     span.outcome = "sim_error";
-                    (error_response(&e), span)
+                    (with_trace(error_response(&e), &echo), span)
                 }
             }
         }
@@ -930,12 +1121,11 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> (Response, Span) {
             shared.release();
             let committing = Instant::now();
             if let Ok(doc) = &result {
-                // A failed store write degrades to a cache miss next
-                // time; the client still gets its result.
-                if let Err(e) = lock(&shared.store).put(plan.key, doc) {
-                    shared.bump(&shared.counters.store_put_errors);
-                    eprintln!("campaign server: store write for {:#018x} failed: {e}", plan.key);
-                }
+                // Routed through the degraded-store state machine: a
+                // failed write degrades to a cache miss next time (or to
+                // compute-through mode if failures persist); the client
+                // still gets its result.
+                shared.store_put(plan.key, doc);
             }
             // Commit to the store *before* deregistering: a new request
             // sees either the in-flight entry or the stored result,
@@ -961,7 +1151,7 @@ fn handle_cell(shared: &Arc<Shared>, cell: &CellRequest) -> (Response, Span) {
                 Err(e) => {
                     shared.bump(&shared.counters.sim_errors);
                     span.outcome = "sim_error";
-                    (error_response(&e), span)
+                    (with_trace(error_response(&e), &echo), span)
                 }
             }
         }
@@ -1039,6 +1229,9 @@ mod tests {
             metrics_addr: None,
             access_log: None,
             slow_ms: 1000,
+            degrade_after: 3,
+            store_probe_ms: 50,
+            chaos_store: None,
         }
     }
 
@@ -1204,7 +1397,7 @@ mod tests {
         let mut conn = Conn::dial(&endpoint).unwrap();
         conn.set_read_timeout(Some(POLL)).unwrap();
         match rpc(&mut conn, &cell_req("__sleep:10", "fac")) {
-            Response::Error { kind: ErrorKind::Overloaded, message } => {
+            Response::Error { kind: ErrorKind::Overloaded, message, .. } => {
                 assert!(message.contains("overloaded"), "{message}");
                 assert!(message.contains("limit 1"), "{message}");
             }
@@ -1233,7 +1426,7 @@ mod tests {
         conn.set_read_timeout(Some(POLL)).unwrap();
 
         match rpc(&mut conn, &cell_req("__panic", "fac")) {
-            Response::Error { kind: ErrorKind::Sim, message } => {
+            Response::Error { kind: ErrorKind::Sim, message, .. } => {
                 assert!(message.contains("panic"), "{message}");
             }
             other => panic!("{other:?}"),
@@ -1439,7 +1632,7 @@ mod tests {
             trace_id: None,
         };
         match rpc(&mut conn, &Request::Cell(cell.clone())) {
-            Response::Error { kind: ErrorKind::BadRequest, message } => {
+            Response::Error { kind: ErrorKind::BadRequest, message, .. } => {
                 assert!(message.contains("fingerprint mismatch"), "{message}");
             }
             other => panic!("{other:?}"),
@@ -1617,13 +1810,137 @@ mod tests {
 
     /// Fetches the exposition body over plain HTTP/1.0.
     fn scrape(addr: std::net::SocketAddr) -> String {
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
+        assert!(head.contains("text/plain"), "{head}");
+        body
+    }
+
+    /// One HTTP/1.0 GET against the metrics listener: (head, body).
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
-        stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         let (head, body) = raw.split_once("\r\n\r\n").expect("complete HTTP response");
-        assert!(head.starts_with("HTTP/1.0 200 OK"), "{head}");
-        assert!(head.contains("text/plain"), "{head}");
-        body.to_string()
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn request_path_parses_the_target() {
+        assert_eq!(request_path(b"GET /readyz HTTP/1.0\r\n\r\n"), Some("/readyz"));
+        assert_eq!(request_path(b"GET /readyz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n"), Some("/readyz"));
+        assert_eq!(request_path(b"POST /metrics HTTP/1.0\r\n\r\nhits=9"), Some("/metrics"));
+        assert_eq!(request_path(b"GET\r\n\r\n"), None);
+        assert_eq!(request_path(b"\xff\xfe"), None);
+        assert_eq!(request_path(b""), None);
+    }
+
+    /// Persistent write failure flips the store into degraded mode
+    /// (visible in stats, the exposition, and `/readyz`), cells keep
+    /// getting answered throughout, and a successful probe write brings
+    /// the store back.
+    #[test]
+    fn degraded_store_flips_readyz_and_recovers() {
+        let dir = temp_dir("degraded");
+        let mut opts = test_opts(&dir);
+        opts.metrics_addr = Some("127.0.0.1:0".to_string());
+        opts.degrade_after = 2;
+        opts.store_probe_ms = 25;
+        // ENOSPC bursts long enough to trip degrade_after=2, frequent
+        // enough to hit within a few cells, with a 40% chance per probe
+        // of escaping the burst once degraded.
+        opts.chaos_store = Some(crate::chaos::ChaosPlan {
+            seed: 11,
+            enospc_pct: 60,
+            enospc_burst: 4,
+            ..crate::chaos::ChaosPlan::default()
+        });
+        let server = Server::bind(&Endpoint::Tcp("127.0.0.1:0".to_string()), opts).unwrap();
+        let endpoint = server.endpoint();
+        let metrics = server.metrics_addr().expect("metrics listener bound");
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        let mut conn = Conn::dial(&endpoint).unwrap();
+        conn.set_read_timeout(Some(POLL)).unwrap();
+
+        let ready = |addr| http_get(addr, "/readyz").0;
+        assert!(ready(metrics).starts_with("HTTP/1.0 200 OK"), "fresh server must be ready");
+
+        // Drive distinct cells until the store degrades. Every response
+        // must still be a real cell result — degraded mode is invisible
+        // to the client.
+        let degraded_at = (0..400u64).find(|&i| {
+            let req = Request::Cell(CellRequest {
+                workload: format!("__sleep:{}", 1 + i % 3),
+                sw: i.is_multiple_of(2),
+                scale: Scale::Smoke,
+                config: if (i / 2).is_multiple_of(2) { "fac" } else { "baseline" }.to_string(),
+                config_fp: None,
+                program_fp: None,
+                trace_id: None,
+            });
+            assert!(matches!(rpc(&mut conn, &req), Response::Cell { .. }));
+            stat(&rpc(&mut conn, &Request::Stats), "degraded_intervals") >= 1
+        });
+        assert!(degraded_at.is_some(), "store never degraded under 60% ENOSPC bursts");
+
+        // While degraded: liveness holds, readiness refuses, the gauge
+        // shows, and the lanes say why.
+        let (head, body) = http_get(metrics, "/readyz");
+        assert!(head.starts_with("HTTP/1.0 503"), "{head}");
+        assert!(body.contains("degraded"), "{body}");
+        assert!(ready_healthz(metrics), "degraded is not dead: /healthz stays 200");
+        let exposition = scrape(metrics);
+        assert!(exposition.contains("faccell_store_degraded 1"), "{exposition}");
+        let stats = rpc(&mut conn, &Request::Stats);
+        assert!(matches!(
+            stats,
+            Response::Stats(ref doc) if doc.get("store_degraded") == Some(&Json::Bool(true))
+        ));
+
+        // Keep cells flowing so probe writes fire; a successful probe
+        // ends the interval and readiness returns.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut recovered = false;
+        let mut i = 0u64;
+        while Instant::now() < deadline {
+            let req = Request::Cell(CellRequest {
+                workload: format!("__sleep:{}", 1 + i % 3),
+                sw: i.is_multiple_of(2),
+                scale: Scale::Smoke,
+                config: if (i / 2).is_multiple_of(2) { "fac" } else { "baseline" }.to_string(),
+                config_fp: None,
+                program_fp: None,
+                trace_id: None,
+            });
+            i += 1;
+            assert!(matches!(rpc(&mut conn, &req), Response::Cell { .. }));
+            let stats = rpc(&mut conn, &Request::Stats);
+            if matches!(
+                stats,
+                Response::Stats(ref doc) if doc.get("store_degraded") == Some(&Json::Bool(false))
+            ) {
+                recovered = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(recovered, "store never exited degraded mode");
+        assert!(ready(metrics).starts_with("HTTP/1.0 200 OK"), "recovered server must be ready");
+        let stats = rpc(&mut conn, &Request::Stats);
+        assert!(stat(&stats, "store_put_skipped") >= 1, "degraded mode must skip puts");
+        assert!(stat(&stats, "store_put_errors") >= 2, "the failures that tripped it");
+
+        shutdown.trigger();
+        handle.join().unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn ready_healthz(addr: std::net::SocketAddr) -> bool {
+        let (head, body) = http_get(addr, "/healthz");
+        head.starts_with("HTTP/1.0 200 OK") && body == "ok\n"
     }
 }

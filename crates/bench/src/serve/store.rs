@@ -23,7 +23,7 @@
 //! recomputes the cell transparently and the damaged bytes stay
 //! available for post-mortem.
 
-use crate::io::write_atomic;
+use crate::io::{write_atomic_via, Fs, RealFs};
 use fac_core::snap::{fnv1a, SnapError, SnapReader, SnapWriter, FNV_OFFSET};
 use fac_sim::obs::{json, Json};
 use fac_sim::SimError;
@@ -38,6 +38,11 @@ const OVERHEAD: usize = 8 + 4 + 8 + 8;
 /// The largest payload a frame may claim. A result document is a few KiB;
 /// anything bigger is corruption and must not drive an allocation.
 const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+/// The most quarantined entries kept for post-mortem. Under sustained
+/// corruption (a dying disk, a chaos plan) the quarantine directory must
+/// not grow without bound; beyond the cap the oldest entries — and any
+/// orphaned `.reason` notes — are swept.
+pub const QUARANTINE_CAP: usize = 64;
 
 /// What [`Store::get`] found.
 #[derive(Debug)]
@@ -52,9 +57,18 @@ pub enum Lookup {
 }
 
 /// The content-addressed cell store rooted at one directory.
-#[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
+    /// The filesystem the store's durability-critical operations go
+    /// through — [`RealFs`] in production, a
+    /// [`crate::chaos::ChaosFs`] under fault injection.
+    fs: Box<dyn Fs>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").field("dir", &self.dir).finish_non_exhaustive()
+    }
 }
 
 impl Store {
@@ -64,9 +78,21 @@ impl Store {
     ///
     /// [`SimError::Io`] when the directory cannot be created.
     pub fn open(dir: &Path) -> Result<Store, SimError> {
-        std::fs::create_dir_all(dir)
-            .map_err(|e| SimError::io(&dir.display().to_string(), e))?;
-        Ok(Store { dir: dir.to_path_buf() })
+        Store::open_with(dir, Box::new(RealFs))
+    }
+
+    /// Opens the store with an explicit filesystem — the seam fault
+    /// injection hooks into. Also sweeps an over-full quarantine
+    /// directory left by a previous run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the directory cannot be created.
+    pub fn open_with(dir: &Path, fs: Box<dyn Fs>) -> Result<Store, SimError> {
+        fs.create_dir_all(dir).map_err(|e| SimError::io(&dir.display().to_string(), e))?;
+        let store = Store { dir: dir.to_path_buf(), fs };
+        store.sweep_quarantine();
+        Ok(store)
     }
 
     /// The store's root directory.
@@ -159,7 +185,7 @@ impl Store {
     /// never for corruption, which is handled, not raised.
     pub fn get(&self, key: u64) -> Result<Lookup, SimError> {
         let path = self.entry_path(key);
-        let bytes = match std::fs::read(&path) {
+        let bytes = match self.fs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Lookup::Miss),
             Err(e) => return Err(SimError::io(&path.display().to_string(), e)),
@@ -174,17 +200,71 @@ impl Store {
     }
 
     /// Moves a failed entry into the quarantine directory and writes a
-    /// `.reason` note beside it for post-mortem.
+    /// `.reason` note beside it for post-mortem, then enforces the
+    /// quarantine cap so sustained corruption cannot fill the disk.
     fn quarantine(&self, key: u64, path: &Path, reason: &SnapError) -> Result<(), SimError> {
         let qdir = self.quarantine_dir();
-        std::fs::create_dir_all(&qdir)
+        self.fs
+            .create_dir_all(&qdir)
             .map_err(|e| SimError::io(&qdir.display().to_string(), e))?;
         let dest = qdir.join(format!("{key:016x}.cell"));
-        std::fs::rename(path, &dest)
+        self.fs
+            .rename(path, &dest)
             .map_err(|e| SimError::io(&path.display().to_string(), e))?;
         // Best-effort: the note is diagnostics, not integrity.
-        std::fs::write(qdir.join(format!("{key:016x}.reason")), reason.to_string()).ok();
+        self.fs.write(&qdir.join(format!("{key:016x}.reason")), reason.to_string().as_bytes()).ok();
+        self.sweep_quarantine();
         Ok(())
+    }
+
+    /// Bounds the quarantine directory: keeps the newest
+    /// [`QUARANTINE_CAP`] `.cell` entries (plus their `.reason` notes),
+    /// removes everything older, and removes orphaned `.reason` files
+    /// whose entry is gone. Best-effort — a sweep failure only means the
+    /// next sweep has more to do.
+    pub fn sweep_quarantine(&self) {
+        let qdir = self.quarantine_dir();
+        let Ok(iter) = std::fs::read_dir(&qdir) else { return };
+        let mut cells: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+        let mut reasons: Vec<PathBuf> = Vec::new();
+        for entry in iter.flatten() {
+            let path = entry.path();
+            match path.extension() {
+                Some(e) if e == "cell" => {
+                    let mtime = entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    cells.push((mtime, path));
+                }
+                Some(e) if e == "reason" => reasons.push(path),
+                _ => {}
+            }
+        }
+        let mut removed = 0usize;
+        if cells.len() > QUARANTINE_CAP {
+            cells.sort(); // oldest first; path breaks mtime ties deterministically
+            for (_, path) in cells.drain(..cells.len() - QUARANTINE_CAP) {
+                std::fs::remove_file(path.with_extension("reason")).ok();
+                if std::fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+        let kept: std::collections::HashSet<PathBuf> =
+            cells.into_iter().map(|(_, p)| p.with_extension("reason")).collect();
+        for reason in reasons {
+            if !kept.contains(&reason) && std::fs::remove_file(&reason).is_ok() {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            eprintln!(
+                "campaign-store: swept {removed} quarantined file(s) beyond the \
+                 {QUARANTINE_CAP}-entry cap from {}",
+                qdir.display()
+            );
+        }
     }
 
     /// Writes a cell atomically (temporary file + fsync + rename).
@@ -193,7 +273,7 @@ impl Store {
     ///
     /// [`SimError::Io`] when the write fails; the store is unchanged.
     pub fn put(&self, key: u64, result: &Json) -> Result<(), SimError> {
-        write_atomic(&self.entry_path(key), &Store::encode(key, result))
+        write_atomic_via(self.fs.as_ref(), &self.entry_path(key), &Store::encode(key, result))
     }
 
     /// Counts the committed entries (quarantined files excluded).
@@ -317,6 +397,59 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert_eq!(store.quarantined(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Sustained corruption — every lookup quarantining a fresh key —
+    /// must not grow the quarantine directory without bound.
+    #[test]
+    fn quarantine_growth_is_bounded() {
+        let (dir, store) = temp_store("bounded");
+        for key in 0..(QUARANTINE_CAP as u64 + 40) {
+            store.put(key, &doc(key)).unwrap();
+            let path = store.entry_path(key);
+            let mut bytes = std::fs::read(&path).unwrap();
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xff;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(matches!(store.get(key).unwrap(), Lookup::Quarantined(_)), "key {key}");
+        }
+        assert!(
+            store.quarantined() <= QUARANTINE_CAP,
+            "quarantine grew to {} entries (cap {QUARANTINE_CAP})",
+            store.quarantined()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Reopening a store sweeps an over-full quarantine directory left by
+    /// a previous run, including orphaned `.reason` notes.
+    #[test]
+    fn open_sweeps_stale_quarantine() {
+        let dir = std::env::temp_dir().join(format!("fac_store_sweep_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let qdir = dir.join("quarantine");
+        std::fs::create_dir_all(&qdir).unwrap();
+        for i in 0..(QUARANTINE_CAP + 30) {
+            std::fs::write(qdir.join(format!("{i:016x}.cell")), b"junk").unwrap();
+            std::fs::write(qdir.join(format!("{i:016x}.reason")), b"why").unwrap();
+        }
+        // Orphaned notes whose entries are long gone.
+        for i in 0..5 {
+            std::fs::write(qdir.join(format!("orphan{i}.reason")), b"stale").unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        assert!(store.quarantined() <= QUARANTINE_CAP, "{}", store.quarantined());
+        let reasons = std::fs::read_dir(&qdir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "reason"))
+            .count();
+        assert!(reasons <= QUARANTINE_CAP, "{reasons} reason notes survive the sweep");
+        assert!(
+            !qdir.join("orphan0.reason").exists(),
+            "orphaned reason notes must be swept"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -298,10 +298,30 @@ impl Exposition {
     }
 }
 
+/// Renders a complete minimal HTTP/1.0 response (`Connection: close`,
+/// explicit `Content-Length`) for the read-only observability listener —
+/// the metrics exposition and the `/healthz` / `/readyz` probes all
+/// answer through this one shape.
+pub fn http_response(status: &str, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn http_response_shape() {
+        let r = http_response("200 OK", "text/plain", "ok\n");
+        assert!(r.starts_with("HTTP/1.0 200 OK\r\n"), "{r}");
+        assert!(r.contains("Content-Length: 3\r\n"), "{r}");
+        assert!(r.ends_with("\r\n\r\nok\n"), "{r}");
+    }
 
     #[test]
     fn empty_hist_is_inert() {

@@ -205,6 +205,116 @@ fn sigkill_mid_campaign_recovers_byte_identically() {
     std::fs::remove_dir_all(&base).ok();
 }
 
+/// SIGKILL the *client* mid-sweep: the server keeps the cells it already
+/// committed, and a fresh client resumes the campaign — serving those
+/// cells from the store — to an artifact byte-identical to an
+/// uninterrupted fresh-store run. A killed connection costs one RPC, not
+/// the campaign.
+#[test]
+fn sigkilled_client_mid_sweep_resumes_byte_identically() {
+    let base = temp_dir("killclient");
+    let store = base.join("store");
+    let sock = base.join("s.sock");
+
+    // Reference: an uninterrupted sweep against a throwaway store.
+    let ref_store = base.join("ref-store");
+    let mut server = spawn_server(&sock, &ref_store, &[]);
+    let reference = base.join("reference.json");
+    let out = sweep(&sock, &reference);
+    assert!(out.status.success(), "reference sweep failed: {out:?}");
+    send_signal(&server, "TERM");
+    server.wait().unwrap();
+
+    // Cold store; kill -9 the sweeping client once a few cells landed.
+    let mut server = spawn_server(&sock, &store, &[]);
+    let mut client = Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+        .arg("--connect")
+        .arg(format!("unix:{}", sock.display()))
+        .args(["--smoke", "--json"])
+        .arg(base.join("doomed.json"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while cell_files(&store).len() < 3 {
+        assert!(Instant::now() < deadline, "no cells committed before deadline");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    send_signal(&client, "KILL");
+    client.wait().unwrap();
+    let survivors = cell_files(&store).len();
+    assert!(survivors >= 3, "committed cells vanished with the client");
+
+    // A fresh client finishes the campaign against the same server; the
+    // dead client's cells are store hits, and the artifact matches the
+    // uninterrupted run byte for byte.
+    let resumed = base.join("resumed.json");
+    let out = sweep(&sock, &resumed);
+    assert!(out.status.success(), "resumed sweep failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let hits: usize = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("cache hits: "))
+        .and_then(|l| l.split('/').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    assert!(hits >= survivors, "expected at least {survivors} store hits, saw {hits}");
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "artifact after a client kill -9 differs from the uninterrupted run"
+    );
+
+    send_signal(&server, "TERM");
+    server.wait().unwrap();
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A sweep that aborts early still writes its partial `--json` artifact,
+/// with an `errors` block naming the cell that failed — buffered results
+/// are never discarded on the way out.
+#[test]
+fn aborted_sweep_still_writes_partial_artifact() {
+    let base = temp_dir("partial");
+    let store = base.join("store");
+    let sock = base.join("s.sock");
+    let mut server = spawn_server(&sock, &store, &["--test-cells", "--max-queue", "1"]);
+    let sock_str = format!("unix:{}", sock.display());
+
+    // Occupy the single admission slot...
+    let slow = {
+        let sock_str = sock_str.clone();
+        std::thread::spawn(move || {
+            Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+                .args(["--connect", &sock_str, "--cell", "__sleep:3000", "--config", "fac"])
+                .output()
+                .unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(400));
+    // ...so the sweep's first cell is shed; with retries off the sweep
+    // aborts immediately — but the artifact must still appear.
+    let partial = base.join("partial.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+        .arg("--connect")
+        .arg(&sock_str)
+        .args(["--smoke", "--attempts", "1", "--json"])
+        .arg(&partial)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "expected overload exit: {out:?}");
+    let text = std::fs::read_to_string(&partial).expect("partial artifact must be written");
+    assert!(text.contains("\"errors\""), "partial artifact lacks an errors block: {text}");
+    assert!(text.contains("overloaded"), "errors block should name the refusal: {text}");
+    assert!(text.contains("null"), "the failed cell should hold a null row: {text}");
+
+    assert!(slow.join().unwrap().status.success(), "slow cell must finish");
+    send_signal(&server, "TERM");
+    server.wait().unwrap();
+    std::fs::remove_dir_all(&base).ok();
+}
+
 /// A flipped byte in a committed store entry is detected by checksum,
 /// quarantined, and the cell transparently recomputed — with the re-run
 /// artifact byte-identical to the original.
@@ -356,8 +466,19 @@ fn metrics_stay_readable_under_overload_and_drain_with_sigterm() {
     };
     std::thread::sleep(Duration::from_millis(400));
     // ...so a different cell is shed with the documented exit code 3.
+    // `--attempts 1` turns off the overload backoff-and-resend, which
+    // would otherwise wait out the slow cell and succeed.
     let shed = Command::new(env!("CARGO_BIN_EXE_campaign_client"))
-        .args(["--connect", &sock_str, "--cell", "__sleep:1", "--config", "fac"])
+        .args([
+            "--connect",
+            &sock_str,
+            "--cell",
+            "__sleep:1",
+            "--config",
+            "fac",
+            "--attempts",
+            "1",
+        ])
         .output()
         .unwrap();
     assert_eq!(shed.status.code(), Some(3), "expected overload exit: {shed:?}");

@@ -87,6 +87,27 @@ pub enum SimError {
         /// The admission limit in force.
         limit: usize,
     },
+    /// A serving endpoint could not be dialed at all: the socket path is
+    /// stale (`ENOENT`), nothing is listening (`ECONNREFUSED`), or the
+    /// host rejected the connection outright. Distinguished from a plain
+    /// [`SimError::Io`] so clients and operators can tell "the server is
+    /// not there" from "the connection broke mid-flight".
+    Unreachable {
+        /// The endpoint that was dialed, rendered (`unix:/path` / `host:port`).
+        endpoint: String,
+        /// The underlying OS error, rendered.
+        reason: String,
+    },
+    /// The client-side circuit breaker for an endpoint is open: the last
+    /// `failures` consecutive transport attempts failed, and the breaker
+    /// is refusing new attempts until the cooldown elapses and a half-open
+    /// probe succeeds. Fail-fast signal — no connection was attempted.
+    CircuitOpen {
+        /// The endpoint the breaker guards, rendered.
+        endpoint: String,
+        /// Consecutive transport failures observed when the breaker opened.
+        failures: u32,
+    },
     /// The machine and the golden reference oracle disagreed — the lockstep
     /// differential checker ([`crate::Lockstep`]) found the first retired
     /// instruction after which the architectural states differ.
@@ -132,6 +153,14 @@ impl std::fmt::Display for SimError {
             SimError::Overloaded { pending, limit } => write!(
                 f,
                 "server overloaded: {pending} simulations pending (admission limit {limit})"
+            ),
+            SimError::Unreachable { endpoint, reason } => {
+                write!(f, "endpoint {endpoint} unreachable: {reason}")
+            }
+            SimError::CircuitOpen { endpoint, failures } => write!(
+                f,
+                "circuit breaker open for {endpoint} after {failures} consecutive \
+                 transport failures"
             ),
             SimError::Divergence { step, pc, expected, actual } => write!(
                 f,
