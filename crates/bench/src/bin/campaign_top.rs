@@ -1,4 +1,5 @@
-//! A live terminal dashboard for a running `campaign_server`.
+//! A live terminal dashboard for a running `campaign_server` or
+//! `campaign_supervisor` fleet.
 //!
 //! ```sh
 //! campaign_top --connect tcp:127.0.0.1:7199             # refresh loop
@@ -12,9 +13,12 @@
 //! loop clears the screen each frame; `--once` prints a single frame
 //! with no escape codes, which is what scripts and CI want.
 //!
-//! Everything shown comes from one read-only RPC per frame: watching a
-//! campaign adds one `stats` line per interval to the server's access
-//! log and nothing else.
+//! Pointed at a fleet supervisor (DESIGN.md §15), each frame leads with
+//! a per-worker table — pid, state, uptime, restarts, inflight, hit
+//! ratio — from the supervisor's `fleet-stats` RPC. A lone
+//! `campaign_server` refuses `fleet-stats` with a bad-request error;
+//! the viewer takes that refusal as its cue to render the
+//! single-server view.
 
 use fac_bench::serve::client::Client;
 use fac_bench::serve::proto::{Request, Response};
@@ -69,6 +73,44 @@ fn latency_line(out: &mut String, label: &str, hist: Option<&Json>) {
         p("p90"),
         p("p99")
     );
+}
+
+/// The per-worker fleet table from a supervisor's `fleet-stats` reply.
+fn render_fleet(out: &mut String, doc: &Json) {
+    let quorum = matches!(doc.get("quorum"), Some(Json::Bool(true)));
+    let _ = writeln!(
+        out,
+        "fleet      {} workers   {} alive   quorum {}   restarts {}   failovers {}   re-dispatched {}",
+        leaf(doc, "workers"),
+        leaf(doc, "alive"),
+        if quorum { "yes" } else { "NO" },
+        leaf(doc, "restarts"),
+        leaf(doc, "failovers"),
+        leaf(doc, "redispatched")
+    );
+    let Some(Json::Arr(rows)) = doc.get("rows") else { return };
+    let _ = writeln!(
+        out,
+        "  {:<4} {:<12} {:>7} {:>7} {:>8} {:>9} {:>8} {:>6}",
+        "idx", "state", "pid", "up(s)", "restarts", "forwarded", "inflight", "hit%"
+    );
+    for row in rows {
+        let hits = leaf(row, "hits");
+        let answered = hits + leaf(row, "misses") + leaf(row, "coalesced");
+        let ratio = if answered == 0 { 0.0 } else { hits as f64 / answered as f64 * 100.0 };
+        let _ = writeln!(
+            out,
+            "  {:<4} {:<12} {:>7} {:>7} {:>8} {:>9} {:>8} {:>6.1}",
+            leaf(row, "index"),
+            row.get("state").and_then(Json::as_str).unwrap_or("?"),
+            leaf(row, "pid"),
+            leaf(row, "uptime_secs"),
+            leaf(row, "restarts"),
+            leaf(row, "forwarded"),
+            leaf(row, "inflight"),
+            ratio
+        );
+    }
 }
 
 /// The counters every rate is derived from, captured per frame.
@@ -183,12 +225,30 @@ fn main() -> std::process::ExitCode {
     let mut prev: Option<Counts> = None;
     loop {
         // A fresh connection per frame keeps the viewer robust to server
-        // restarts and to the server's own idle-connection reaping.
-        let stats = Client::connect(&endpoint, Duration::from_secs(30))
-            .and_then(|mut c| c.rpc(&Request::Stats));
-        match stats {
-            Ok(Response::Stats(doc)) => {
-                let (frame, counts) = render(&doc, prev, interval);
+        // restarts and to the server's own idle-connection reaping. The
+        // frame is (fleet table if talking to a supervisor, stats doc):
+        // a lone server refuses `fleet-stats` with bad-request, which is
+        // the documented cue to fall back to the single-server view.
+        let frame = Client::connect(&endpoint, Duration::from_secs(30)).and_then(|mut c| {
+            let fleet = match c.rpc(&Request::FleetStats)? {
+                Response::Fleet(doc) => Some(doc),
+                Response::Error { .. } => None,
+                other => return Ok(Err(other)),
+            };
+            match c.rpc(&Request::Stats)? {
+                Response::Stats(stats) => Ok(Ok((fleet, stats))),
+                other => Ok(Err(other)),
+            }
+        });
+        match frame {
+            Ok(Ok((fleet, doc))) => {
+                let (mut frame, counts) = render(&doc, prev, interval);
+                if let Some(fleet) = fleet {
+                    let mut headed = String::new();
+                    render_fleet(&mut headed, &fleet);
+                    headed.push_str(&frame);
+                    frame = headed;
+                }
                 if !once {
                     // Clear and home, then draw — flicker-free enough for
                     // a 2 s cadence without pulling in a TUI dependency.
@@ -197,7 +257,7 @@ fn main() -> std::process::ExitCode {
                 print!("{frame}");
                 prev = Some(counts);
             }
-            Ok(other) => {
+            Ok(Err(other)) => {
                 eprintln!("error: unexpected response: {other:?}");
                 return std::process::ExitCode::FAILURE;
             }

@@ -39,6 +39,8 @@ use std::io::Write as _;
 
 pub mod chaos;
 pub mod experiments;
+#[cfg(unix)]
+pub mod fleet;
 pub mod fuzz;
 pub mod io;
 pub mod manifest;

@@ -36,6 +36,50 @@ fn digest(rendered: &str) -> u64 {
     fnv1a(FNV_OFFSET, rendered.as_bytes())
 }
 
+/// Reads the committed tail of an append-only JSONL journal.
+///
+/// A torn trailing line (no terminating newline — the signature of a
+/// crash mid-append) is truncated away *durably* before parsing, so the
+/// next append cannot extend it into a malformed complete line. Every
+/// committed, non-blank line must parse as JSON. A missing journal is an
+/// empty journal. Shared by [`Manifest::open`] and the fleet
+/// supervisor's dispatch-journal replay.
+///
+/// # Errors
+///
+/// [`SimError::Io`] when the journal cannot be read or truncated;
+/// [`SimError::Checkpoint`] naming the line when a committed line is
+/// malformed.
+pub fn read_journal_tail(path: &Path) -> Result<Vec<Json>, SimError> {
+    let label = path.display().to_string();
+    let text = match std::fs::read_to_string(path) {
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(SimError::io(&label, e)),
+        Ok(text) => text,
+    };
+    let committed_bytes = text.rfind('\n').map_or(0, |end| end + 1);
+    if committed_bytes < text.len() {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| SimError::io(&label, e))?;
+        f.set_len(committed_bytes as u64).map_err(|e| SimError::io(&label, e))?;
+        f.sync_data().map_err(|e| SimError::io(&label, e))?;
+    }
+    let mut entries = Vec::new();
+    for (lineno, line) in text[..committed_bytes].lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = json::parse(line).map_err(|e| SimError::Checkpoint {
+            path: label.clone(),
+            reason: format!("line {}: malformed JSON: {e}", lineno + 1),
+        })?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
 /// A campaign manifest: completed-job journal plus its append handle.
 #[derive(Debug)]
 pub struct Manifest {
@@ -73,74 +117,52 @@ impl Manifest {
         };
 
         let mut cached: HashMap<String, Json> = HashMap::new();
-        match std::fs::read_to_string(&path) {
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-            Err(e) => return Err(SimError::io(&label, e)),
-            Ok(text) => {
-                // Only newline-terminated lines are committed; a torn tail
-                // is the residue of a crash mid-append. It is truncated
-                // away durably — otherwise the next append would extend it
-                // into a malformed *complete* line and poison the journal.
-                let committed_bytes = text.rfind('\n').map_or(0, |end| end + 1);
-                if committed_bytes < text.len() {
-                    let f = std::fs::OpenOptions::new()
-                        .write(true)
-                        .open(&path)
-                        .map_err(|e| SimError::io(&label, e))?;
-                    f.set_len(committed_bytes as u64).map_err(|e| SimError::io(&label, e))?;
-                    f.sync_data().map_err(|e| SimError::io(&label, e))?;
-                }
-                let committed = &text[..committed_bytes];
-                for (lineno, line) in committed.lines().enumerate() {
-                    if line.trim().is_empty() {
-                        continue;
-                    }
-                    let entry = json::parse(line)
-                        .map_err(|e| corrupt(lineno, format!("malformed JSON: {e}")))?;
-                    let job = entry
-                        .get("job")
-                        .and_then(Json::as_str)
-                        .ok_or_else(|| corrupt(lineno, "missing 'job' field".to_string()))?;
-                    let recorded = entry
-                        .get("digest")
-                        .and_then(Json::as_str)
-                        .and_then(|s| s.strip_prefix("0x"))
-                        .and_then(|s| u64::from_str_radix(s, 16).ok())
-                        .ok_or_else(|| corrupt(lineno, "missing or bad 'digest' field".to_string()))?;
-                    let result = entry
-                        .get("result")
-                        .ok_or_else(|| corrupt(lineno, "missing 'result' field".to_string()))?;
-                    let actual = digest(&result.to_string());
-                    if actual != recorded {
-                        return Err(corrupt(
-                            lineno,
-                            format!(
-                                "result digest mismatch for job '{job}' \
-                                 (recorded {recorded:#018x}, computed {actual:#018x})"
-                            ),
-                        ));
-                    }
-                    // Duplicate lines for one job can appear after a
-                    // resume race (two workers journaling the same cell).
-                    // They are idempotent — last writer wins — but only
-                    // when the digests agree; two *different* results for
-                    // one cell mean the journal cannot be trusted.
-                    if let Some(prev) = cached.get(job) {
-                        let prev_digest = digest(&prev.to_string());
-                        if prev_digest != recorded {
-                            return Err(corrupt(
-                                lineno,
-                                format!(
-                                    "conflicting duplicate for job '{job}': earlier line \
-                                     recorded digest {prev_digest:#018x}, this line \
-                                     {recorded:#018x}"
-                                ),
-                            ));
-                        }
-                    }
-                    cached.insert(job.to_string(), result.clone());
+        // The torn-tail truncation and per-line parse live in
+        // `read_journal_tail`; this loop adds the manifest's semantic
+        // checks (digest verification, duplicate handling).
+        for (lineno, entry) in read_journal_tail(&path)?.into_iter().enumerate() {
+            let job = entry
+                .get("job")
+                .and_then(Json::as_str)
+                .ok_or_else(|| corrupt(lineno, "missing 'job' field".to_string()))?;
+            let recorded = entry
+                .get("digest")
+                .and_then(Json::as_str)
+                .and_then(|s| s.strip_prefix("0x"))
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| corrupt(lineno, "missing or bad 'digest' field".to_string()))?;
+            let result = entry
+                .get("result")
+                .ok_or_else(|| corrupt(lineno, "missing 'result' field".to_string()))?;
+            let actual = digest(&result.to_string());
+            if actual != recorded {
+                return Err(corrupt(
+                    lineno,
+                    format!(
+                        "result digest mismatch for job '{job}' \
+                         (recorded {recorded:#018x}, computed {actual:#018x})"
+                    ),
+                ));
+            }
+            // Duplicate lines for one job can appear after a
+            // resume race (two workers journaling the same cell).
+            // They are idempotent — last writer wins — but only
+            // when the digests agree; two *different* results for
+            // one cell mean the journal cannot be trusted.
+            if let Some(prev) = cached.get(job) {
+                let prev_digest = digest(&prev.to_string());
+                if prev_digest != recorded {
+                    return Err(corrupt(
+                        lineno,
+                        format!(
+                            "conflicting duplicate for job '{job}': earlier line \
+                             recorded digest {prev_digest:#018x}, this line \
+                             {recorded:#018x}"
+                        ),
+                    ));
                 }
             }
+            cached.insert(job.to_string(), result.clone());
         }
 
         let file = std::fs::OpenOptions::new()
@@ -326,6 +348,29 @@ mod tests {
             }
             other => panic!("wrong error kind: {other}"),
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The shared tail reader: a missing journal is empty, committed
+    /// lines parse in order, a torn tail is durably truncated, and a
+    /// malformed committed line is a typed rejection.
+    #[test]
+    fn read_journal_tail_truncates_and_parses() {
+        let dir = temp_dir("tail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dispatch.jsonl");
+        assert!(read_journal_tail(&path).unwrap().is_empty(), "missing journal is empty");
+
+        std::fs::write(&path, "{\"event\":\"dispatch\",\"job\":\"a\"}\n\n{\"event\":\"done\",\"job\":\"a\"}\n{\"event\":\"disp").unwrap();
+        let entries = read_journal_tail(&path).unwrap();
+        assert_eq!(entries.len(), 2, "blank lines skipped, torn tail dropped");
+        assert_eq!(entries[0].get("event").and_then(Json::as_str), Some("dispatch"));
+        assert_eq!(entries[1].get("event").and_then(Json::as_str), Some("done"));
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert!(on_disk.ends_with("\"job\":\"a\"}\n"), "torn tail truncated on disk");
+
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(read_journal_tail(&path), Err(SimError::Checkpoint { .. })));
         std::fs::remove_dir_all(&dir).ok();
     }
 

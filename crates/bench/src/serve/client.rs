@@ -23,6 +23,8 @@ use fac_sim::obs::Json;
 use fac_sim::{config_fingerprint, program_fingerprint, SimError};
 use fac_workloads::Scale;
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How often a blocked response read wakes to check the deadline.
@@ -160,12 +162,117 @@ pub struct ClientStats {
 
 /// Circuit breaker state: closed counts consecutive failures, open
 /// blocks until the cooldown admits a half-open probe, and the probe's
-/// outcome either closes the circuit or snaps it back open.
+/// outcome either closes the circuit or snaps it back open. `HalfOpen`
+/// means a probe is in flight — concurrent callers are refused until
+/// its outcome is reported.
 #[derive(Debug)]
-enum Breaker {
+enum BreakerState {
     Closed { failures: u32 },
     Open { since: Instant },
     HalfOpen,
+}
+
+/// What [`CircuitBreaker::admit`] decided for one caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Circuit closed: go ahead.
+    Admitted,
+    /// Circuit was open and the cooldown has elapsed; this caller — and
+    /// only this caller — carries the half-open probe. Its
+    /// success/failure report decides whether the circuit closes.
+    Probe,
+    /// Circuit open, cooldown still running: wait this long and ask
+    /// again (or fail fast, per the caller's policy).
+    Wait(Duration),
+    /// A probe is already in flight; this caller is refused outright.
+    Refused {
+        /// Consecutive failures that opened the circuit.
+        failures: u32,
+    },
+}
+
+/// A thread-safe circuit breaker shared by every caller hitting one
+/// endpoint. Closed counts consecutive failures; at `threshold` the
+/// circuit opens and [`CircuitBreaker::admit`] refuses work for
+/// `cooldown`; the first admit after the cooldown is granted
+/// [`Admission::Probe`] — exactly one, however many threads race for
+/// it — and everyone else is refused until that probe's outcome is
+/// reported via [`CircuitBreaker::note_success`] or
+/// [`CircuitBreaker::note_failure`].
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<BreakerState>,
+    trips: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and admits a probe after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: Mutex::new(BreakerState::Closed { failures: 0 }),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Gates one attempt. See [`Admission`] for the verdicts; the
+    /// `Probe` verdict is handed to exactly one caller per open→half-open
+    /// transition.
+    pub fn admit(&self) -> Admission {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match *state {
+            BreakerState::Closed { .. } => Admission::Admitted,
+            BreakerState::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed < self.cooldown {
+                    Admission::Wait(self.cooldown - elapsed)
+                } else {
+                    *state = BreakerState::HalfOpen;
+                    Admission::Probe
+                }
+            }
+            BreakerState::HalfOpen => Admission::Refused { failures: self.threshold },
+        }
+    }
+
+    /// Records a success: the circuit closes and the failure count
+    /// resets, whatever state it was in.
+    pub fn note_success(&self) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *state = BreakerState::Closed { failures: 0 };
+    }
+
+    /// Records a failure. Closed accumulates toward the threshold; a
+    /// failed half-open probe snaps straight back to open — one bad
+    /// probe is proof enough that the endpoint is still down.
+    pub fn note_failure(&self) {
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match *state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.threshold {
+                    *state = BreakerState::Open { since: Instant::now() };
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    *state = BreakerState::Closed { failures };
+                }
+            }
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open { since: Instant::now() };
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Transitions into the open state since construction.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
 }
 
 /// A campaign client that survives a flaky path to the server: dead
@@ -179,7 +286,7 @@ pub struct ResilientClient {
     deadline: Duration,
     policy: RetryPolicy,
     backoff: Backoff,
-    breaker: Breaker,
+    breaker: CircuitBreaker,
     conn: Option<Client>,
     ever_connected: bool,
     /// Resilience counters, readable at any point between RPCs.
@@ -191,12 +298,16 @@ impl ResilientClient {
     /// first RPC, so construction never fails.
     pub fn new(endpoint: Endpoint, deadline: Duration, policy: RetryPolicy) -> ResilientClient {
         let backoff = Backoff::new(policy.seed, policy.base_ms, policy.cap_ms);
+        let breaker = CircuitBreaker::new(
+            policy.breaker_threshold,
+            Duration::from_millis(policy.breaker_cooldown_ms),
+        );
         ResilientClient {
             endpoint,
             deadline,
             policy,
             backoff,
-            breaker: Breaker::Closed { failures: 0 },
+            breaker,
             conn: None,
             ever_connected: false,
             stats: ClientStats::default(),
@@ -236,7 +347,7 @@ impl ResilientClient {
                 Ok(resp) => {
                     // Any parsed response proves the transport: the
                     // breaker closes even if the server said no.
-                    self.breaker = Breaker::Closed { failures: 0 };
+                    self.breaker.note_success();
                     if let Response::Error { kind: ErrorKind::Overloaded, .. } = &resp {
                         last_refusal = Some(resp);
                         self.pause();
@@ -266,23 +377,34 @@ impl ResilientClient {
 
     /// Gates an attempt on the breaker. Open + cooled down becomes a
     /// half-open probe; open + hot either fails fast or sleeps the
-    /// cooldown out.
+    /// cooldown out and asks again.
     fn admit(&mut self) -> Result<(), SimError> {
-        if let Breaker::Open { since } = self.breaker {
-            let cooldown = Duration::from_millis(self.policy.breaker_cooldown_ms);
-            let elapsed = since.elapsed();
-            if elapsed < cooldown {
-                if self.policy.fail_fast {
-                    return Err(SimError::CircuitOpen {
-                        endpoint: self.endpoint.to_string(),
-                        failures: self.policy.breaker_threshold,
-                    });
+        loop {
+            match self.breaker.admit() {
+                Admission::Admitted | Admission::Probe => return Ok(()),
+                Admission::Wait(remaining) => {
+                    if self.policy.fail_fast {
+                        return Err(SimError::CircuitOpen {
+                            endpoint: self.endpoint.to_string(),
+                            failures: self.policy.breaker_threshold,
+                        });
+                    }
+                    std::thread::sleep(remaining);
                 }
-                std::thread::sleep(cooldown - elapsed);
+                // Single-threaded use never races a probe, but a shared
+                // breaker can: treat an in-flight probe like an open
+                // circuit.
+                Admission::Refused { failures } => {
+                    if self.policy.fail_fast {
+                        return Err(SimError::CircuitOpen {
+                            endpoint: self.endpoint.to_string(),
+                            failures,
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(self.policy.breaker_cooldown_ms));
+                }
             }
-            self.breaker = Breaker::HalfOpen;
         }
-        Ok(())
     }
 
     fn ensure_conn(&mut self) -> Result<(), SimError> {
@@ -297,26 +419,11 @@ impl ResilientClient {
         Ok(())
     }
 
-    /// Records a transport failure against the breaker. A failed
-    /// half-open probe snaps straight back to open — one bad probe is
-    /// proof enough that the endpoint is still down.
+    /// Records a transport failure against the breaker and mirrors its
+    /// trip count into the client's stats.
     fn note_failure(&mut self) {
-        match self.breaker {
-            Breaker::Closed { failures } => {
-                let failures = failures + 1;
-                if failures >= self.policy.breaker_threshold {
-                    self.breaker = Breaker::Open { since: Instant::now() };
-                    self.stats.breaker_trips += 1;
-                } else {
-                    self.breaker = Breaker::Closed { failures };
-                }
-            }
-            Breaker::HalfOpen => {
-                self.breaker = Breaker::Open { since: Instant::now() };
-                self.stats.breaker_trips += 1;
-            }
-            Breaker::Open { .. } => {}
-        }
+        self.breaker.note_failure();
+        self.stats.breaker_trips = self.breaker.trips();
     }
 
     fn pause(&mut self) {
@@ -339,7 +446,7 @@ fn exchange(
             // The answer to some other (duplicated, superseded) request.
             (Response::Cell { trace_id: Some(id), .. }, Some(want)) if id != want => {}
             (Response::Error { trace_id: Some(id), .. }, Some(want)) if id != want => {}
-            (Response::Pong | Response::Stats(_), Some(_)) => {}
+            (Response::Pong | Response::Stats(_) | Response::Fleet(_), Some(_)) => {}
             (Response::Cell { .. }, None) => {}
             (Response::Error { trace_id: Some(_), .. }, None) => {}
             // We stamped a trace id but the refusal carries none: the
@@ -555,5 +662,86 @@ fn unexpected(resp: &Response) -> SimError {
     SimError::Io {
         path: "campaign server".to_string(),
         message: format!("unexpected response: {resp:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Barrier};
+
+    fn trip(breaker: &CircuitBreaker, threshold: u32) {
+        for _ in 0..threshold {
+            breaker.note_failure();
+        }
+    }
+
+    #[test]
+    fn breaker_opens_at_threshold_and_recovers_through_a_probe() {
+        let breaker = CircuitBreaker::new(3, Duration::from_millis(0));
+        assert_eq!(breaker.admit(), Admission::Admitted);
+        breaker.note_failure();
+        breaker.note_failure();
+        assert_eq!(breaker.admit(), Admission::Admitted, "below threshold stays closed");
+        breaker.note_failure();
+        assert_eq!(breaker.trips(), 1);
+        // Zero cooldown: the first admit after the trip is the probe.
+        assert_eq!(breaker.admit(), Admission::Probe);
+        assert_eq!(breaker.admit(), Admission::Refused { failures: 3 });
+        breaker.note_success();
+        assert_eq!(breaker.admit(), Admission::Admitted, "good probe closes the circuit");
+
+        // A failed probe snaps back open and counts a second trip.
+        trip(&breaker, 3);
+        assert_eq!(breaker.admit(), Admission::Probe);
+        breaker.note_failure();
+        assert_eq!(breaker.trips(), 3);
+        assert_eq!(breaker.admit(), Admission::Probe, "re-opened with zero cooldown probes again");
+    }
+
+    #[test]
+    fn breaker_open_and_hot_reports_the_remaining_cooldown() {
+        let breaker = CircuitBreaker::new(1, Duration::from_secs(3600));
+        breaker.note_failure();
+        match breaker.admit() {
+            Admission::Wait(remaining) => {
+                assert!(remaining <= Duration::from_secs(3600));
+                assert!(remaining > Duration::from_secs(3000), "cooldown barely started");
+            }
+            other => panic!("expected Wait, got {other:?}"),
+        }
+    }
+
+    /// The satellite guarantee: however many threads race an open
+    /// breaker whose cooldown has elapsed, exactly one is handed the
+    /// half-open probe; the rest are refused until its outcome lands.
+    #[test]
+    fn breaker_admits_exactly_one_halfopen_probe_under_concurrency() {
+        const THREADS: usize = 16;
+        for round in 0..8 {
+            let breaker = Arc::new(CircuitBreaker::new(2, Duration::from_millis(0)));
+            trip(&breaker, 2);
+            let barrier = Arc::new(Barrier::new(THREADS));
+            let verdicts: Vec<Admission> = (0..THREADS)
+                .map(|_| {
+                    let breaker = Arc::clone(&breaker);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        breaker.admit()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("admit thread panicked"))
+                .collect();
+            let probes = verdicts.iter().filter(|v| **v == Admission::Probe).count();
+            let refused = verdicts
+                .iter()
+                .filter(|v| matches!(v, Admission::Refused { .. }))
+                .count();
+            assert_eq!(probes, 1, "round {round}: probe handed to {probes} callers: {verdicts:?}");
+            assert_eq!(refused, THREADS - 1, "round {round}: {verdicts:?}");
+        }
     }
 }

@@ -3,9 +3,10 @@
 //! Grammar (one object per LF-terminated line, both directions):
 //!
 //! ```text
-//! request  = ping | stats | cell
+//! request  = ping | stats | fleet | cell
 //! ping     = {"cmd":"ping"}
 //! stats    = {"cmd":"stats"}
+//! fleet    = {"cmd":"fleet-stats"}
 //! cell     = {"cmd":"cell","workload":<name>,"sw":<bool>,
 //!             "scale":"smoke"|"paper","config":"baseline"|"fac"
 //!             [,"config_fp":"0x<16 hex>"][,"program_fp":"0x<16 hex>"]
@@ -13,11 +14,17 @@
 //!
 //! response = {"ok":true,"pong":true}
 //!          | {"ok":true,"stats":{...}}
+//!          | {"ok":true,"fleet":{...}}
 //!          | {"ok":true,"key":"0x<16 hex>","cached":<bool>,
 //!             "coalesced":<bool>[,"trace_id":<id>],"result":{...}}
 //!          | {"ok":false,"kind":"bad-request"|"overloaded"|"sim",
 //!             "error":<message>[,"trace_id":<id>]}
 //! ```
+//!
+//! `fleet-stats` is answered by the campaign *supervisor* (per-worker
+//! pid/state/restart rows); a single `campaign_server` refuses it with
+//! `bad-request`, which is how `campaign_top` detects it is watching a
+//! lone server rather than a fleet.
 //!
 //! The optional fingerprints let a client that built the cell itself
 //! assert that the server's build agrees — version skew between client
@@ -52,6 +59,8 @@ pub enum Request {
     Ping,
     /// Server counters (hits, misses, sheds, quarantined, ...).
     Stats,
+    /// Per-worker fleet rows (supervisor only; a lone server refuses).
+    FleetStats,
     /// Run-or-fetch one (configuration × workload) cell.
     Cell(CellRequest),
 }
@@ -117,6 +126,8 @@ pub enum Response {
     Pong,
     /// Server counters.
     Stats(Json),
+    /// Fleet rows from a supervisor (`fleet-stats`).
+    Fleet(Json),
     /// A cell result.
     Cell {
         /// The content-address of the cell in the store.
@@ -230,6 +241,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match str_field(&doc, "cmd")? {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
+        "fleet-stats" => Ok(Request::FleetStats),
         "cell" => {
             let workload = str_field(&doc, "workload")?.to_string();
             let sw = bool_field(&doc, "sw")?;
@@ -259,6 +271,9 @@ pub fn render_request(req: &Request) -> String {
         }
         Request::Stats => {
             doc.set("cmd", Json::Str("stats".to_string()));
+        }
+        Request::FleetStats => {
+            doc.set("cmd", Json::Str("fleet-stats".to_string()));
         }
         Request::Cell(cell) => {
             doc.set("cmd", Json::Str("cell".to_string()));
@@ -291,6 +306,10 @@ pub fn render_response(resp: &Response) -> String {
         Response::Stats(stats) => {
             doc.set("ok", Json::Bool(true));
             doc.set("stats", stats.clone());
+        }
+        Response::Fleet(fleet) => {
+            doc.set("ok", Json::Bool(true));
+            doc.set("fleet", fleet.clone());
         }
         Response::Cell { key, cached, coalesced, trace_id, result } => {
             doc.set("ok", Json::Bool(true));
@@ -328,6 +347,9 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             }
             if let Some(stats) = doc.get("stats") {
                 return Ok(Response::Stats(stats.clone()));
+            }
+            if let Some(fleet) = doc.get("fleet") {
+                return Ok(Response::Fleet(fleet.clone()));
             }
             let key = hex_field(&doc, "key")?
                 .ok_or_else(|| ProtoError::new("missing 'key' field"))?;
@@ -431,7 +453,7 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        for req in [Request::Ping, Request::Stats, Request::Cell(cell())] {
+        for req in [Request::Ping, Request::Stats, Request::FleetStats, Request::Cell(cell())] {
             let line = render_request(&req);
             assert_eq!(parse_request(&line).unwrap(), req, "{line}");
         }
@@ -444,6 +466,7 @@ mod tests {
         for resp in [
             Response::Pong,
             Response::Stats(Json::obj()),
+            Response::Fleet(Json::obj()),
             Response::Cell {
                 key: 7,
                 cached: true,

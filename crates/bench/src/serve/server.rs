@@ -42,7 +42,7 @@
 use super::proto::{
     parse_request, read_line, render_response, ErrorKind, LineEvent, Request, Response,
 };
-use super::store::{Lookup, Store};
+use super::store::{Lookup, Scrub, Store};
 use super::{
     catalog_fingerprint, cell_identity, config_by_name, scale_name, sw_support, Conn, Endpoint,
     Listener, CONFIG_NAMES,
@@ -56,7 +56,7 @@ use fac_sim::obs::{Json, JsonlWriter};
 use fac_sim::{config_fingerprint, program_fingerprint, MachineConfig, SimError};
 use fac_workloads::Scale;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -118,6 +118,12 @@ pub struct ServeOptions {
     /// Fault-inject the store's filesystem per this plan
     /// (`--chaos-store`). Testing/ops tooling; `None` in production.
     pub chaos_store: Option<crate::chaos::ChaosPlan>,
+    /// Seconds between background store-scrub passes
+    /// (`--scrub-interval-secs`). Each pass re-verifies every `FACCELL`
+    /// frame on disk at low priority; corrupt frames are quarantined with
+    /// `component=scrubber` provenance and recomputed on next request.
+    /// `0` disables the scrubber.
+    pub scrub_interval_secs: u64,
 }
 
 impl ServeOptions {
@@ -137,6 +143,7 @@ impl ServeOptions {
             degrade_after: 3,
             store_probe_ms: 2000,
             chaos_store: None,
+            scrub_interval_secs: 0,
         }
     }
 }
@@ -189,6 +196,12 @@ struct Counters {
     store_put_skipped: AtomicU64,
     /// Times the store entered degraded (read-only/compute-through) mode.
     degraded_intervals: AtomicU64,
+    /// Completed background scrub passes over the store.
+    scrub_passes: AtomicU64,
+    /// Frames the scrubber has verified (all passes).
+    scrub_scanned: AtomicU64,
+    /// Frames the scrubber found corrupt and quarantined.
+    scrub_corrupt: AtomicU64,
 }
 
 /// Span phases, in request order. `queue` is everything before a role is
@@ -550,6 +563,14 @@ impl Server {
             let shutdown = self.shutdown.clone();
             std::thread::spawn(move || serve_metrics(&listener, &shared, &shutdown))
         });
+        // The store scrubber is a low-priority anti-entropy walk: it
+        // takes the store lock one frame at a time and yields between
+        // frames, so cell traffic always wins the contention.
+        let scrub_thread = (self.shared.opts.scrub_interval_secs > 0).then(|| {
+            let shared = Arc::clone(&self.shared);
+            let shutdown = self.shutdown.clone();
+            std::thread::spawn(move || run_scrubber(&shared, &shutdown))
+        });
         let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
         while !self.shutdown.is_set() {
             match self.listener.accept() {
@@ -585,6 +606,9 @@ impl Server {
         }
         if let Some(m) = metrics_thread {
             m.join().ok();
+        }
+        if let Some(s) = scrub_thread {
+            s.join().ok();
         }
         if let Some(log) = &self.shared.telemetry.access {
             lock(log).flush();
@@ -672,6 +696,12 @@ fn handle_request(shared: &Arc<Shared>, req: &Request) -> (Response, Span) {
         Request::Stats => {
             (Response::Stats(stats_json(shared)), Span::new(shared.telemetry.mint(), "stats"))
         }
+        // A lone server has no fleet; `campaign_top` uses this refusal
+        // to fall back to single-server stats.
+        Request::FleetStats => (
+            bad_request("fleet-stats is answered by a campaign supervisor, not a worker"),
+            Span::new(shared.telemetry.mint(), "bad_request"),
+        ),
         Request::Cell(cell) => handle_cell(shared, cell),
     }
 }
@@ -715,6 +745,9 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
     doc.set("store_read_errors", get(&c.store_read_errors));
     doc.set("store_put_skipped", get(&c.store_put_skipped));
     doc.set("degraded_intervals", get(&c.degraded_intervals));
+    doc.set("scrub_passes", get(&c.scrub_passes));
+    doc.set("scrub_scanned", get(&c.scrub_scanned));
+    doc.set("scrub_corrupt", get(&c.scrub_corrupt));
     doc.set("store_degraded", Json::Bool(shared.store_degraded()));
     doc.set("entries", Json::U64(store.len().unwrap_or(0) as u64));
     doc.set("admitted", Json::U64(shared.admitted.load(Ordering::SeqCst) as u64));
@@ -796,6 +829,24 @@ fn exposition(shared: &Arc<Shared>) -> String {
         &[],
         get(&c.degraded_intervals),
     );
+    exp.counter(
+        "faccell_scrub_passes_total",
+        "Completed background scrub passes over the store.",
+        &[],
+        get(&c.scrub_passes),
+    );
+    exp.counter(
+        "faccell_scrub_scanned_total",
+        "Frames re-verified by the background scrubber.",
+        &[],
+        get(&c.scrub_scanned),
+    );
+    exp.counter(
+        "faccell_scrub_corrupt_total",
+        "Frames the scrubber found corrupt and quarantined.",
+        &[],
+        get(&c.scrub_corrupt),
+    );
     exp.gauge(
         "faccell_store_degraded",
         "1 while the store is in degraded (read-only) mode.",
@@ -849,6 +900,63 @@ fn exposition(shared: &Arc<Shared>) -> String {
     exp.finish()
 }
 
+/// The background store scrubber: every `scrub_interval_secs` it walks
+/// the store's committed frames in sorted key order, re-verifying each
+/// one in place. A corrupt frame is quarantined (with
+/// `component=scrubber` provenance in its `.reason` note) so the next
+/// request for the cell recomputes it transparently — bit rot is found
+/// and healed without waiting for a cache hit to trip over it.
+///
+/// Low priority by construction: the store lock is taken one frame at a
+/// time and the walk sleeps between frames, so serving traffic always
+/// wins the contention.
+fn run_scrubber(shared: &Arc<Shared>, shutdown: &Shutdown) {
+    let interval = Duration::from_secs(shared.opts.scrub_interval_secs);
+    let mut next_pass = Instant::now() + interval;
+    while !shutdown.is_set() {
+        if Instant::now() < next_pass {
+            std::thread::sleep(POLL.min(interval));
+            continue;
+        }
+        let keys = match lock(&shared.store).keys() {
+            Ok(keys) => keys,
+            Err(e) => {
+                eprintln!("campaign server: scrub pass cannot list the store: {e}");
+                next_pass = Instant::now() + interval;
+                continue;
+            }
+        };
+        for key in keys {
+            if shutdown.is_set() {
+                return;
+            }
+            match lock(&shared.store).scrub_key(key) {
+                Ok(Scrub::Clean | Scrub::Missing) => {
+                    shared.bump(&shared.counters.scrub_scanned);
+                }
+                Ok(Scrub::Corrupt(fault)) => {
+                    shared.bump(&shared.counters.scrub_scanned);
+                    shared.bump(&shared.counters.scrub_corrupt);
+                    shared.bump(&shared.counters.quarantined);
+                    eprintln!(
+                        "campaign server: scrubber quarantined store entry {key:#018x} \
+                         ({fault}); the cell will be recomputed on next request"
+                    );
+                }
+                Err(e) => {
+                    shared.bump(&shared.counters.store_read_errors);
+                    eprintln!("campaign server: scrub probe for {key:#018x} failed: {e}");
+                }
+            }
+            // Yield between frames: the scrubber must never monopolize
+            // the store lock against serving traffic.
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        shared.bump(&shared.counters.scrub_passes);
+        next_pass = Instant::now() + interval;
+    }
+}
+
 /// The metrics accept loop: one scrape at a time, read-only, polling the
 /// same shutdown flag as the main listener so a drain stops both.
 fn serve_metrics(listener: &std::net::TcpListener, shared: &Arc<Shared>, shutdown: &Shutdown) {
@@ -873,23 +981,8 @@ fn serve_metrics(listener: &std::net::TcpListener, shared: &Arc<Shared>, shutdow
 fn serve_scrape(mut stream: std::net::TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut head = [0u8; 4096];
-    let mut len = 0;
-    while len < head.len() {
-        match stream.read(&mut head[len..]) {
-            Ok(0) => break,
-            Ok(n) => {
-                len += n;
-                if head[..len].windows(4).any(|w| w == b"\r\n\r\n") {
-                    break;
-                }
-            }
-            // Timeout or error: answer anyway — a scraper that sent a
-            // bare request line still deserves its metrics.
-            Err(_) => break,
-        }
-    }
-    let response = match request_path(&head[..len]).unwrap_or("/metrics") {
+    let head = crate::telemetry::read_request_head(&mut stream);
+    let response = match crate::telemetry::request_path(&head).unwrap_or("/metrics") {
         // Liveness: the process answers, full stop. A degraded store or
         // a full queue is a reason to stop *routing*, not to restart.
         "/healthz" => crate::telemetry::http_response("200 OK", "text/plain", "ok\n"),
@@ -922,18 +1015,6 @@ fn serve_scrape(mut stream: std::net::TcpStream, shared: &Arc<Shared>) {
     };
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.flush();
-}
-
-/// The path component of an HTTP request head's first line, if one is
-/// present (`GET /readyz HTTP/1.0` → `/readyz`).
-fn request_path(head: &[u8]) -> Option<&str> {
-    let head = std::str::from_utf8(head).ok()?;
-    let line = head.lines().next()?;
-    let mut parts = line.split_whitespace();
-    let _method = parts.next()?;
-    let target = parts.next()?;
-    // Strip any query string: `/readyz?verbose=1` still means `/readyz`.
-    Some(target.split('?').next().unwrap_or(target))
 }
 
 /// Everything resolved about a cell before simulation: the plan the
@@ -1232,6 +1313,7 @@ mod tests {
             degrade_after: 3,
             store_probe_ms: 50,
             chaos_store: None,
+            scrub_interval_secs: 0,
         }
     }
 
@@ -1818,6 +1900,7 @@ mod tests {
 
     /// One HTTP/1.0 GET against the metrics listener: (head, body).
     fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        use std::io::Read;
         let mut stream = std::net::TcpStream::connect(addr).unwrap();
         stream
             .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
@@ -1830,6 +1913,7 @@ mod tests {
 
     #[test]
     fn request_path_parses_the_target() {
+        use crate::telemetry::request_path;
         assert_eq!(request_path(b"GET /readyz HTTP/1.0\r\n\r\n"), Some("/readyz"));
         assert_eq!(request_path(b"GET /readyz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n"), Some("/readyz"));
         assert_eq!(request_path(b"POST /metrics HTTP/1.0\r\n\r\nhits=9"), Some("/metrics"));

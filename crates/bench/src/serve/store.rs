@@ -44,6 +44,32 @@ const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 /// orphaned `.reason` notes — are swept.
 pub const QUARANTINE_CAP: usize = 64;
 
+/// Why a frame failed verification: the specific check that tripped plus
+/// its human-readable detail. The check name lands verbatim in the
+/// quarantine `.reason` note, so corruption triage (is the disk flipping
+/// bits, or did someone copy a frame under the wrong key?) reads straight
+/// off the note instead of requiring a rerun with `--events`.
+#[derive(Debug)]
+pub struct CellFault {
+    /// The failing check: `truncated`, `magic`, `version`, `length`,
+    /// `checksum`, `key`, `payload`, `utf8`, or `json`.
+    pub check: &'static str,
+    /// The detail, as reported by the decoder.
+    pub error: SnapError,
+}
+
+impl CellFault {
+    fn new(check: &'static str, error: SnapError) -> CellFault {
+        CellFault { check, error }
+    }
+}
+
+impl std::fmt::Display for CellFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} check failed: {}", self.check, self.error)
+    }
+}
+
 /// What [`Store::get`] found.
 #[derive(Debug)]
 pub enum Lookup {
@@ -53,7 +79,18 @@ pub enum Lookup {
     Miss,
     /// An entry existed but failed verification; it has been moved into
     /// the quarantine directory and the cell must be recomputed.
-    Quarantined(SnapError),
+    Quarantined(CellFault),
+}
+
+/// What one [`Store::scrub_key`] probe found.
+#[derive(Debug)]
+pub enum Scrub {
+    /// The frame verified end to end.
+    Clean,
+    /// No frame on disk (entry served and evicted, or never written).
+    Missing,
+    /// The frame failed verification and was quarantined.
+    Corrupt(CellFault),
 }
 
 /// The content-addressed cell store rooted at one directory.
@@ -124,55 +161,76 @@ impl Store {
         out
     }
 
-    /// Verifies a framed entry and returns the result document.
-    fn decode(key: u64, bytes: &[u8]) -> Result<Json, SnapError> {
+    /// Verifies a framed entry and returns the result document, or the
+    /// first failing check.
+    fn decode(key: u64, bytes: &[u8]) -> Result<Json, CellFault> {
         if bytes.len() < OVERHEAD {
-            return Err(SnapError::new(format!(
-                "truncated cell entry: {} bytes, need at least {OVERHEAD}",
-                bytes.len()
-            )));
+            return Err(CellFault::new(
+                "truncated",
+                SnapError::new(format!(
+                    "truncated cell entry: {} bytes, need at least {OVERHEAD}",
+                    bytes.len()
+                )),
+            ));
         }
         if &bytes[..8] != MAGIC {
-            return Err(SnapError::new("not a FACCELL entry (bad magic)"));
+            return Err(CellFault::new("magic", SnapError::new("not a FACCELL entry (bad magic)")));
         }
         let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
         if version != VERSION {
-            return Err(SnapError::new(format!(
-                "unsupported cell entry version {version} (this build reads version {VERSION})"
-            )));
+            return Err(CellFault::new(
+                "version",
+                SnapError::new(format!(
+                    "unsupported cell entry version {version} (this build reads version {VERSION})"
+                )),
+            ));
         }
         let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
         let held = (bytes.len() - OVERHEAD) as u64;
         if len != held {
-            return Err(SnapError::new(format!(
-                "cell entry length mismatch: header claims {len} payload bytes, file holds {held}"
-            )));
+            return Err(CellFault::new(
+                "length",
+                SnapError::new(format!(
+                    "cell entry length mismatch: header claims {len} payload bytes, file holds {held}"
+                )),
+            ));
         }
         if len > MAX_PAYLOAD as u64 {
-            return Err(SnapError::new(format!(
-                "implausible cell payload of {len} bytes (limit {MAX_PAYLOAD})"
-            )));
+            return Err(CellFault::new(
+                "length",
+                SnapError::new(format!(
+                    "implausible cell payload of {len} bytes (limit {MAX_PAYLOAD})"
+                )),
+            ));
         }
         let payload = &bytes[20..bytes.len() - 8];
         let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().expect("8 bytes"));
         let computed = fnv1a(FNV_OFFSET, payload);
         if stored != computed {
-            return Err(SnapError::new(format!(
-                "cell checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
-            )));
+            return Err(CellFault::new(
+                "checksum",
+                SnapError::new(format!(
+                    "cell checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )),
+            ));
         }
         let mut r = SnapReader::new(payload);
-        let embedded = r.u64("cell key")?;
+        let embedded = r.u64("cell key").map_err(|e| CellFault::new("payload", e))?;
         if embedded != key {
-            return Err(SnapError::new(format!(
-                "cell key mismatch: file embeds {embedded:#018x}, path names {key:#018x}"
-            )));
+            return Err(CellFault::new(
+                "key",
+                SnapError::new(format!(
+                    "cell key mismatch: file embeds {embedded:#018x}, path names {key:#018x}"
+                )),
+            ));
         }
-        let doc = r.bytes("cell result")?;
-        r.finish()?;
+        let doc = r.bytes("cell result").map_err(|e| CellFault::new("payload", e))?;
+        r.finish().map_err(|e| CellFault::new("payload", e))?;
         let text = std::str::from_utf8(doc)
-            .map_err(|_| SnapError::new("cell result is not valid UTF-8"))?;
-        json::parse(text).map_err(|e| SnapError::new(format!("cell result is not valid JSON: {e}")))
+            .map_err(|_| CellFault::new("utf8", SnapError::new("cell result is not valid UTF-8")))?;
+        json::parse(text).map_err(|e| {
+            CellFault::new("json", SnapError::new(format!("cell result is not valid JSON: {e}")))
+        })
     }
 
     /// Looks up a cell. A verified entry is a [`Lookup::Hit`]; a missing
@@ -192,17 +250,75 @@ impl Store {
         };
         match Store::decode(key, &bytes) {
             Ok(doc) => Ok(Lookup::Hit(doc)),
-            Err(reason) => {
-                self.quarantine(key, &path, &reason)?;
-                Ok(Lookup::Quarantined(reason))
+            Err(fault) => {
+                self.quarantine(key, &path, &fault, "read-path")?;
+                Ok(Lookup::Quarantined(fault))
+            }
+        }
+    }
+
+    /// The keys of every committed entry, sorted — the deterministic walk
+    /// order the scrubber uses. Files whose names are not `{16 hex}.cell`
+    /// are not store entries and are skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the directory cannot be read.
+    pub fn keys(&self) -> Result<Vec<u64>, SimError> {
+        let iter = std::fs::read_dir(&self.dir)
+            .map_err(|e| SimError::io(&self.dir.display().to_string(), e))?;
+        let mut keys: Vec<u64> = iter
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name();
+                let name = name.to_str()?;
+                let hex = name.strip_suffix(".cell")?;
+                (hex.len() == 16).then(|| u64::from_str_radix(hex, 16).ok()).flatten()
+            })
+            .collect();
+        keys.sort_unstable();
+        Ok(keys)
+    }
+
+    /// Re-verifies one frame in place — the scrubber's anti-entropy probe.
+    /// A frame that fails any check is quarantined exactly as a read-path
+    /// failure would be, with `component=scrubber` provenance in its
+    /// `.reason` note; the next request for the cell sees a miss and
+    /// recomputes it transparently.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] only for real I/O failures — corruption is a
+    /// handled [`Scrub::Corrupt`] outcome, never an error.
+    pub fn scrub_key(&self, key: u64) -> Result<Scrub, SimError> {
+        let path = self.entry_path(key);
+        let bytes = match self.fs.read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Scrub::Missing),
+            Err(e) => return Err(SimError::io(&path.display().to_string(), e)),
+        };
+        match Store::decode(key, &bytes) {
+            Ok(_) => Ok(Scrub::Clean),
+            Err(fault) => {
+                self.quarantine(key, &path, &fault, "scrubber")?;
+                Ok(Scrub::Corrupt(fault))
             }
         }
     }
 
     /// Moves a failed entry into the quarantine directory and writes a
     /// `.reason` note beside it for post-mortem, then enforces the
-    /// quarantine cap so sustained corruption cannot fill the disk.
-    fn quarantine(&self, key: u64, path: &Path, reason: &SnapError) -> Result<(), SimError> {
+    /// quarantine cap so sustained corruption cannot fill the disk. The
+    /// note's first line carries machine-readable provenance — detecting
+    /// component, failing check, and store key — and the second the
+    /// decoder's detail.
+    fn quarantine(
+        &self,
+        key: u64,
+        path: &Path,
+        fault: &CellFault,
+        component: &str,
+    ) -> Result<(), SimError> {
         let qdir = self.quarantine_dir();
         self.fs
             .create_dir_all(&qdir)
@@ -212,7 +328,11 @@ impl Store {
             .rename(path, &dest)
             .map_err(|e| SimError::io(&path.display().to_string(), e))?;
         // Best-effort: the note is diagnostics, not integrity.
-        self.fs.write(&qdir.join(format!("{key:016x}.reason")), reason.to_string().as_bytes()).ok();
+        let note = format!(
+            "component={component} check={} key={key:#018x}\n{}\n",
+            fault.check, fault.error
+        );
+        self.fs.write(&qdir.join(format!("{key:016x}.reason")), note.as_bytes()).ok();
         self.sweep_quarantine();
         Ok(())
     }
@@ -450,6 +570,89 @@ mod tests {
             !qdir.join("orphan0.reason").exists(),
             "orphaned reason notes must be swept"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The `.reason` note names the detecting component, the failing
+    /// check, and the store key — triage without `--events`.
+    #[test]
+    fn quarantine_reasons_carry_provenance() {
+        let (dir, store) = temp_store("prov");
+        store.put(0xabcd, &doc(1)).unwrap();
+        let path = store.entry_path(0xabcd);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match store.get(0xabcd).unwrap() {
+            Lookup::Quarantined(fault) => assert_eq!(fault.check, "checksum", "{fault}"),
+            other => panic!("{other:?}"),
+        }
+        let note =
+            std::fs::read_to_string(dir.join("quarantine/000000000000abcd.reason")).unwrap();
+        let header = note.lines().next().unwrap();
+        assert_eq!(header, "component=read-path check=checksum key=0x000000000000abcd");
+        assert!(note.lines().nth(1).unwrap().contains("checksum mismatch"), "{note}");
+
+        // A key swap is a different check, same provenance shape.
+        let good = {
+            store.put(5, &doc(2)).unwrap();
+            std::fs::read(store.entry_path(5)).unwrap()
+        };
+        std::fs::write(store.entry_path(6), &good).unwrap();
+        match store.get(6).unwrap() {
+            Lookup::Quarantined(fault) => assert_eq!(fault.check, "key"),
+            other => panic!("{other:?}"),
+        }
+        let note =
+            std::fs::read_to_string(dir.join("quarantine/0000000000000006.reason")).unwrap();
+        assert!(note.starts_with("component=read-path check=key key=0x0000000000000006"), "{note}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The scrubber walk: sorted keys, in-place verification, corrupt
+    /// frames quarantined with `component=scrubber` provenance, and a
+    /// clean second pass after recompute.
+    #[test]
+    fn scrub_detects_quarantines_and_comes_back_clean() {
+        let (dir, store) = temp_store("scrub");
+        for key in [3u64, 1, 2] {
+            store.put(key, &doc(key * 10)).unwrap();
+        }
+        assert_eq!(store.keys().unwrap(), vec![1, 2, 3]);
+
+        // A fault-free pass is all Clean.
+        for key in store.keys().unwrap() {
+            assert!(matches!(store.scrub_key(key).unwrap(), Scrub::Clean), "key {key}");
+        }
+
+        // Flip one byte in the middle of frame 2 — the scrubber must
+        // catch it, quarantine it, and say who found it.
+        let path = store.entry_path(2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        match store.scrub_key(2).unwrap() {
+            Scrub::Corrupt(fault) => assert_eq!(fault.check, "checksum"),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(store.quarantined(), 1);
+        let note =
+            std::fs::read_to_string(dir.join("quarantine/0000000000000002.reason")).unwrap();
+        assert!(
+            note.starts_with("component=scrubber check=checksum key=0x0000000000000002"),
+            "{note}"
+        );
+
+        // The quarantined frame reads as a miss → transparent recompute —
+        // and the recomputed frame scrubs clean.
+        assert!(matches!(store.get(2).unwrap(), Lookup::Miss));
+        assert!(matches!(store.scrub_key(2).unwrap(), Scrub::Missing));
+        store.put(2, &doc(20)).unwrap();
+        for key in store.keys().unwrap() {
+            assert!(matches!(store.scrub_key(key).unwrap(), Scrub::Clean), "key {key}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

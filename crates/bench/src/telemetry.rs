@@ -310,6 +310,40 @@ pub fn http_response(status: &str, content_type: &str, body: &str) -> String {
     )
 }
 
+/// Drains an HTTP request head from `stream` (bounded at 4 KiB, stopping
+/// at the blank line) and returns the raw bytes read. Never fails: a
+/// scraper that sent only a bare request line — or nothing parseable —
+/// still deserves an answer, so timeouts and errors just end the drain.
+pub fn read_request_head(stream: &mut impl std::io::Read) -> Vec<u8> {
+    let mut head = [0u8; 4096];
+    let mut len = 0;
+    while len < head.len() {
+        match stream.read(&mut head[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if head[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    head[..len].to_vec()
+}
+
+/// The path component of an HTTP request head's first line, if one is
+/// present (`GET /readyz HTTP/1.0` → `/readyz`). Query strings are
+/// stripped: `/readyz?verbose=1` still means `/readyz`.
+pub fn request_path(head: &[u8]) -> Option<&str> {
+    let head = std::str::from_utf8(head).ok()?;
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    let target = parts.next()?;
+    Some(target.split('?').next().unwrap_or(target))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,408 @@
+//! Fleet-supervision integration tests, driving the real
+//! `campaign_supervisor` / `campaign_server` / `campaign_client` /
+//! `store_scrub` binaries over Unix sockets:
+//!
+//! - SIGKILL of one worker mid-sweep loses zero cells: the artifact is
+//!   byte-identical to a fault-free run, the supervisor's `fleet-stats`
+//!   shows the restart and the re-dispatched cells, and the restarted
+//!   worker serves cache hits.
+//! - A worker killed on every respawn trips the crash-loop breaker and
+//!   is quarantined; the remaining workers keep serving.
+//! - A supervisor killed -9 mid-cell replays its dispatch journal on
+//!   restart and re-dispatches the orphaned work.
+//! - SIGTERM drains the fleet one worker at a time to a clean exit 0.
+//! - `store_scrub` detects a flipped byte, quarantines the frame with
+//!   `component=scrubber` provenance, and a second pass after recompute
+//!   is clean.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use fac_sim::obs::Json;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fac_fleet_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns a supervisor with `workers` workers on `sock`, stderr to
+/// `base/sup.err`, and waits until the endpoint accepts connections
+/// (the supervisor announces only after every worker answered a ping).
+fn spawn_fleet(base: &Path, sock: &Path, workers: u32, extra: &[&str]) -> Child {
+    let err = std::fs::File::create(base.join("sup.err")).unwrap();
+    let child = Command::new(env!("CARGO_BIN_EXE_campaign_supervisor"))
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .arg("--store-dir")
+        .arg(base.join("store"))
+        .arg("--run-dir")
+        .arg(base.join("run"))
+        .arg("--workers")
+        .arg(workers.to_string())
+        .arg("--worker-bin")
+        .arg(env!("CARGO_BIN_EXE_campaign_server"))
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::from(err))
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while std::os::unix::net::UnixStream::connect(sock).is_err() {
+        assert!(Instant::now() < deadline, "supervisor never bound {}", sock.display());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+/// One raw `fleet-stats` RPC; returns the `fleet` document.
+fn fleet_stats(sock: &Path) -> Json {
+    let stream = std::os::unix::net::UnixStream::connect(sock).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(b"{\"cmd\":\"fleet-stats\"}\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    let doc = fac_sim::obs::json::parse(&line).unwrap();
+    doc.get("fleet").cloned().expect("fleet-stats reply carries a fleet document")
+}
+
+fn leaf(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// The per-worker rows of a fleet document as (pid, state) pairs.
+fn worker_rows(fleet: &Json) -> Vec<(u64, String)> {
+    let Some(Json::Arr(rows)) = fleet.get("rows") else { return Vec::new() };
+    rows.iter()
+        .map(|r| {
+            (leaf(r, "pid"), r.get("state").and_then(Json::as_str).unwrap_or("?").to_string())
+        })
+        .collect()
+}
+
+/// A client sweep against `sock`, smoke scale, artifact to `json`.
+fn sweep(sock: &Path, json: &Path) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+        .arg("--connect")
+        .arg(format!("unix:{}", sock.display()))
+        .args(["--smoke", "--json"])
+        .arg(json)
+        .output()
+        .unwrap()
+}
+
+fn cell_files(store: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(store)
+        .map(|iter| {
+            iter.flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "cell"))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn send_signal(pid: u64, signal: &str) {
+    let status =
+        Command::new("kill").arg(format!("-{signal}")).arg(pid.to_string()).status().unwrap();
+    assert!(status.success(), "kill -{signal} {pid} failed");
+}
+
+fn pid_alive(pid: u64) -> bool {
+    Command::new("kill").args(["-0", &pid.to_string()]).status().unwrap().success()
+}
+
+fn wait_exit(child: &mut Child, secs: u64) -> std::process::ExitStatus {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "process did not exit within {secs}s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// SIGKILL one worker mid-sweep: the artifact is byte-identical to a
+/// fault-free run, the supervisor restarted the worker and re-dispatched
+/// its cells, and a second sweep is answered entirely from the store —
+/// including by the restarted worker.
+#[test]
+fn sigkill_worker_mid_sweep_loses_no_cells() {
+    let base = temp_dir("kill");
+    let sock = base.join("sup.sock");
+
+    // Reference: a fault-free sweep against a lone server on its own
+    // store. The supervisor is a transparent proxy, so its artifact must
+    // match this byte for byte.
+    let ref_sock = base.join("ref.sock");
+    let mut ref_server = Command::new(env!("CARGO_BIN_EXE_campaign_server"))
+        .arg("--listen")
+        .arg(format!("unix:{}", ref_sock.display()))
+        .arg("--store-dir")
+        .arg(base.join("ref-store"))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while std::os::unix::net::UnixStream::connect(&ref_sock).is_err() {
+        assert!(Instant::now() < deadline, "reference server never bound");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let reference = base.join("reference.json");
+    let out = sweep(&ref_sock, &reference);
+    assert!(out.status.success(), "reference sweep failed: {out:?}");
+    send_signal(u64::from(ref_server.id()), "TERM");
+    ref_server.wait().unwrap();
+
+    // A slow restart backoff keeps the killed worker down long enough
+    // that cells routed to it must fail over — the loss is exercised,
+    // not raced past.
+    let mut sup = spawn_fleet(&base, &sock, 3, &["--backoff-base-ms", "2000"]);
+    let victim = worker_rows(&fleet_stats(&sock))[0].0;
+
+    let sweep_json = base.join("sweep.json");
+    let sweep_sock = sock.clone();
+    let sweeper = std::thread::spawn(move || sweep(&sweep_sock, &sweep_json));
+    // Kill once the sweep is demonstrably mid-flight (some cells
+    // committed, most still to come).
+    let deadline = Instant::now() + Duration::from_secs(300);
+    while cell_files(&base.join("store")).len() < 3 {
+        assert!(Instant::now() < deadline, "no cells committed before deadline");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    send_signal(victim, "KILL");
+    let out = sweeper.join().unwrap();
+    assert!(out.status.success(), "sweep across the kill failed: {out:?}");
+    assert_eq!(
+        std::fs::read(&reference).unwrap(),
+        std::fs::read(base.join("sweep.json")).unwrap(),
+        "artifact across a worker kill -9 differs from the fault-free run"
+    );
+
+    // The supervisor observed the loss and recovered it: the fleet
+    // returns to full strength with the restart and the re-dispatched
+    // cells on the counters.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let fleet = loop {
+        let fleet = fleet_stats(&sock);
+        if leaf(&fleet, "restarts") >= 1
+            && worker_rows(&fleet).iter().all(|(_, state)| state == "up")
+        {
+            break fleet;
+        }
+        assert!(Instant::now() < deadline, "killed worker never restarted: {fleet}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(leaf(&fleet, "redispatched") >= 1, "no cell re-dispatched: {fleet}");
+    assert_eq!(leaf(&fleet, "alive"), 3, "fleet not back to full strength: {fleet}");
+
+    // A second sweep is pure store hits — the restarted worker serves
+    // from the shared store like everyone else.
+    let second = base.join("second.json");
+    let out = sweep(&sock, &second);
+    assert!(out.status.success(), "second sweep failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache hits: 38/38"), "expected an all-hit sweep: {stdout}");
+    assert_eq!(std::fs::read(&reference).unwrap(), std::fs::read(&second).unwrap());
+
+    send_signal(u64::from(sup.id()), "TERM");
+    assert_eq!(wait_exit(&mut sup, 60).code(), Some(0), "drain must exit 0");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// A worker killed on every respawn crosses the crash-loop threshold and
+/// is quarantined — the supervisor stops burning restarts on it, says so
+/// with the typed error, and the surviving workers keep answering.
+#[test]
+fn crash_looping_worker_is_quarantined() {
+    let base = temp_dir("quarantine");
+    let sock = base.join("sup.sock");
+    let mut sup = spawn_fleet(
+        &base,
+        &sock,
+        3,
+        &[
+            "--test-cells",
+            "--backoff-base-ms",
+            "50",
+            "--backoff-cap-ms",
+            "200",
+            "--quarantine-after",
+            "2",
+            "--quarantine-window-secs",
+            "60",
+        ],
+    );
+
+    // Kill worker 0 every time it comes back up. After two restarts
+    // inside the window, the third respawn is refused.
+    let mut last_pid = 0;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let fleet = loop {
+        let fleet = fleet_stats(&sock);
+        let rows = worker_rows(&fleet);
+        let (pid, state) = &rows[0];
+        if state == "quarantined" {
+            break fleet;
+        }
+        if state == "up" && *pid != last_pid && *pid != 0 {
+            last_pid = *pid;
+            send_signal(*pid, "KILL");
+        }
+        assert!(Instant::now() < deadline, "worker never quarantined: {fleet}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(leaf(&fleet, "quarantined"), 1, "{fleet}");
+    assert_eq!(leaf(&fleet, "alive"), 2, "{fleet}");
+    assert_eq!(fleet.get("quorum"), Some(&Json::Bool(true)), "{fleet}");
+
+    // The typed crash-loop error names the worker and the window.
+    let err = std::fs::read_to_string(base.join("sup.err")).unwrap();
+    assert!(err.contains("quarantined:") && err.contains("crash loop"), "{err}");
+
+    // Two survivors still answer cells.
+    let out = Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+        .arg("--connect")
+        .arg(format!("unix:{}", sock.display()))
+        .args(["--cell", "__sleep:1", "--config", "fac"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "quarantined fleet stopped serving: {out:?}");
+
+    send_signal(u64::from(sup.id()), "TERM");
+    assert_eq!(wait_exit(&mut sup, 60).code(), Some(0), "drain must exit 0");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Kill -9 the whole fleet (supervisor and workers) while a cell is in
+/// flight: the restarted supervisor finds the dispatch in its journal
+/// with no completion, replays it, and finishes the orphaned work.
+#[test]
+fn journal_replay_redispatches_orphaned_cells() {
+    let base = temp_dir("journal");
+    let sock = base.join("sup.sock");
+    let mut sup = spawn_fleet(&base, &sock, 2, &["--test-cells"]);
+
+    // Park a slow cell in flight, then murder everything mid-cell.
+    let cell_sock = format!("unix:{}", sock.display());
+    let doomed = std::thread::spawn(move || {
+        Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+            .args(["--connect", &cell_sock, "--cell", "__sleep:5000", "--config", "fac"])
+            .output()
+            .unwrap()
+    });
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let text =
+            std::fs::read_to_string(base.join("run").join("dispatch.jsonl")).unwrap_or_default();
+        if text.contains("\"dispatch\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cell never journaled");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let pids = worker_rows(&fleet_stats(&sock));
+    send_signal(u64::from(sup.id()), "KILL");
+    for (pid, _) in &pids {
+        send_signal(*pid, "KILL");
+    }
+    sup.wait().unwrap();
+    let _ = doomed.join().unwrap(); // the client lost its fleet; that's the point
+
+    // Restart on the same run and store directories. Boot replays the
+    // journal tail: the orphaned cell is re-dispatched (and, being a
+    // sleep cell, recomputed) before the endpoint is announced.
+    let mut sup = spawn_fleet(&base, &sock, 2, &["--test-cells"]);
+    let fleet = fleet_stats(&sock);
+    assert!(leaf(&fleet, "redispatched") >= 1, "orphan not re-dispatched: {fleet}");
+    let err = std::fs::read_to_string(base.join("sup.err")).unwrap();
+    assert!(err.contains("replaying 1 incomplete dispatch"), "{err}");
+
+    send_signal(u64::from(sup.id()), "TERM");
+    assert_eq!(wait_exit(&mut sup, 60).code(), Some(0), "drain must exit 0");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// SIGTERM drains the fleet: exit 0, every worker gone, socket removed.
+#[test]
+fn sigterm_drains_the_whole_fleet() {
+    let base = temp_dir("drain");
+    let sock = base.join("sup.sock");
+    let mut sup = spawn_fleet(&base, &sock, 2, &["--test-cells"]);
+    let pids = worker_rows(&fleet_stats(&sock));
+    assert_eq!(pids.len(), 2);
+
+    send_signal(u64::from(sup.id()), "TERM");
+    assert_eq!(wait_exit(&mut sup, 60).code(), Some(0), "drain must exit 0");
+    for (pid, _) in &pids {
+        assert!(!pid_alive(*pid), "worker {pid} survived the drain");
+    }
+    assert!(!sock.exists(), "supervisor socket left behind after drain");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The offline scrubber detects a flipped byte, quarantines the frame
+/// with scrubber provenance in its `.reason` note, and — after the cell
+/// is transparently recomputed — a second pass is clean.
+#[test]
+fn store_scrub_quarantines_flips_and_passes_clean_after_recompute() {
+    let base = temp_dir("scrub");
+    let sock = base.join("sup.sock");
+    let store = base.join("store");
+    let mut sup = spawn_fleet(&base, &sock, 2, &[]);
+    let first = base.join("first.json");
+    let out = sweep(&sock, &first);
+    assert!(out.status.success(), "sweep failed: {out:?}");
+
+    // Flip one byte mid-frame.
+    let victim = cell_files(&store).into_iter().next().expect("at least one frame");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    // First pass: exit 1, frame quarantined, provenance note written.
+    let out = Command::new(env!("CARGO_BIN_EXE_store_scrub"))
+        .arg("--store-dir")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "scrub must fail on corruption: {out:?}");
+    let qdir = store.join("quarantine");
+    assert_eq!(cell_files(&qdir).len(), 1, "frame not quarantined");
+    let reason = std::fs::read_dir(&qdir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "reason"))
+        .expect("a .reason note beside the quarantined frame");
+    let note = std::fs::read_to_string(&reason).unwrap();
+    assert!(note.starts_with("component=scrubber check="), "provenance missing: {note}");
+    assert!(note.contains("key=0x"), "store key missing from note: {note}");
+
+    // Recompute through the fleet (exactly one miss), then a clean pass.
+    let second = base.join("second.json");
+    let out = sweep(&sock, &second);
+    assert!(out.status.success(), "recompute sweep failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cache hits: 37/38"), "exactly one recompute expected: {stdout}");
+    assert_eq!(std::fs::read(&first).unwrap(), std::fs::read(&second).unwrap());
+    let out = Command::new(env!("CARGO_BIN_EXE_store_scrub"))
+        .arg("--store-dir")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "second scrub pass must be clean: {out:?}");
+
+    send_signal(u64::from(sup.id()), "TERM");
+    assert_eq!(wait_exit(&mut sup, 60).code(), Some(0), "drain must exit 0");
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -108,6 +108,18 @@ pub enum SimError {
         /// Consecutive transport failures observed when the breaker opened.
         failures: u32,
     },
+    /// A supervised campaign worker crash-looped: it was restarted
+    /// `restarts` times within the last `window_secs` seconds and the
+    /// supervisor has stopped respawning it. Work routed to it fails over
+    /// to surviving workers; the quarantine itself is an operator page.
+    WorkerQuarantined {
+        /// The worker, rendered (`"worker-2 (unix:/run/fleet/w2.sock)"`).
+        worker: String,
+        /// Restarts observed inside the window when the breaker tripped.
+        restarts: u32,
+        /// The crash-loop detection window, seconds.
+        window_secs: u64,
+    },
     /// The machine and the golden reference oracle disagreed — the lockstep
     /// differential checker ([`crate::Lockstep`]) found the first retired
     /// instruction after which the architectural states differ.
@@ -161,6 +173,11 @@ impl std::fmt::Display for SimError {
                 f,
                 "circuit breaker open for {endpoint} after {failures} consecutive \
                  transport failures"
+            ),
+            SimError::WorkerQuarantined { worker, restarts, window_secs } => write!(
+                f,
+                "{worker} quarantined: {restarts} restarts within {window_secs}s \
+                 (crash loop); not respawning"
             ),
             SimError::Divergence { step, pc, expected, actual } => write!(
                 f,
