@@ -231,6 +231,15 @@ struct FleetCounters {
     unrouted: AtomicU64,
 }
 
+/// An in-flight dispatch recovered from the journal: the job id, the
+/// raw request line to replay, and the worker it was last forwarded to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Orphan {
+    job: String,
+    line: String,
+    worker: usize,
+}
+
 /// The append-only dispatch journal: `{"event":"dispatch","job":...,
 /// "worker":N,"line":<request line>}` when a cell is forwarded,
 /// `{"event":"done","job":...}` when any response came back. A job with
@@ -279,9 +288,17 @@ impl DispatchJournal {
     }
 
     /// Replays the journal tail: jobs dispatched but never completed,
-    /// with the last request line recorded for each.
-    fn incomplete(&self) -> Result<Vec<(String, String)>, SimError> {
-        let mut open: Vec<(String, String)> = Vec::new();
+    /// each with its last recorded request line and the worker it was
+    /// last forwarded to (so a death replays only *that* worker's
+    /// in-flight cells, not work still live elsewhere).
+    ///
+    /// Holds the append mutex for the whole read: `read_journal_tail`
+    /// durably truncates a torn tail, and doing that while a client
+    /// thread is mid-append would chop off committed lines. With the
+    /// lock held, the only torn tail it can see is crash residue.
+    fn incomplete(&self) -> Result<Vec<Orphan>, SimError> {
+        let _append_guard = lock(&self.file);
+        let mut open: Vec<Orphan> = Vec::new();
         for entry in read_journal_tail(&self.path)? {
             let job = entry.get("job").and_then(Json::as_str).unwrap_or("");
             match entry.get("event").and_then(Json::as_str) {
@@ -290,10 +307,16 @@ impl DispatchJournal {
                     if job.is_empty() || line.is_empty() {
                         continue;
                     }
-                    open.retain(|(j, _)| j != job);
-                    open.push((job.to_string(), line.to_string()));
+                    let worker =
+                        entry.get("worker").and_then(Json::as_u64).unwrap_or(u64::MAX) as usize;
+                    open.retain(|o| o.job != job);
+                    open.push(Orphan {
+                        job: job.to_string(),
+                        line: line.to_string(),
+                        worker,
+                    });
                 }
-                Some("done") => open.retain(|(j, _)| j != job),
+                Some("done") => open.retain(|o| o.job != job),
                 _ => {}
             }
         }
@@ -384,18 +407,32 @@ impl Fleet {
                 ),
                 forwarded: 0,
             };
-            spawn_worker(&opts, &mut worker)?;
+            if let Err(e) = spawn_worker(&opts, &mut worker) {
+                kill_workers(&mut workers);
+                return Err(e);
+            }
             workers.push(worker);
         }
 
-        let listener = Listener::bind(endpoint)?;
+        let listener = match Listener::bind(endpoint) {
+            Ok(l) => l,
+            Err(e) => {
+                kill_workers(&mut workers);
+                return Err(e);
+            }
+        };
         let metrics = match &opts.metrics_addr {
             None => None,
             Some(addr) => {
-                let l = std::net::TcpListener::bind(addr)
-                    .map_err(|e| SimError::io(&format!("tcp:{addr}"), e))?;
-                l.set_nonblocking(true).map_err(|e| SimError::io(&format!("tcp:{addr}"), e))?;
-                Some(l)
+                let bound = std::net::TcpListener::bind(addr)
+                    .and_then(|l| l.set_nonblocking(true).map(|()| l));
+                match bound {
+                    Ok(l) => Some(l),
+                    Err(e) => {
+                        kill_workers(&mut workers);
+                        return Err(SimError::io(&format!("tcp:{addr}"), e));
+                    }
+                }
             }
         };
 
@@ -408,7 +445,10 @@ impl Fleet {
             shutdown: Shutdown::new(),
         });
 
-        wait_for_boot(&shared)?;
+        if let Err(e) = wait_for_boot(&shared) {
+            kill_workers(&mut lock(&shared.workers));
+            return Err(e);
+        }
 
         // Orphans from a previous supervisor incarnation: re-dispatch
         // before serving, so a crashed-and-restarted fleet completes the
@@ -492,42 +532,50 @@ impl Fleet {
         Ok(())
     }
 
-    /// Answers any pending health/metrics HTTP requests (non-blocking).
+    /// Accepts any pending health/metrics HTTP connections (non-blocking)
+    /// and hands each to a short-lived thread. Accepted sockets are
+    /// blocking (they do not inherit the listener's O_NONBLOCK), so an
+    /// idle scraper must never be read on the accept-loop thread — it
+    /// would freeze the whole data plane.
     fn poll_metrics(&self) {
         let Some(listener) = &self.metrics else { return };
         for _ in 0..16 {
             match listener.accept() {
-                Ok((mut stream, _)) => {
-                    let head = read_request_head(&mut stream);
-                    let response = match request_path(&head).unwrap_or("/metrics") {
-                        "/healthz" => http_response("200 OK", "text/plain", "ok\n"),
-                        "/readyz" => {
-                            if self.shared.quorum() {
-                                http_response("200 OK", "text/plain", "ready\n")
-                            } else {
-                                http_response(
-                                    "503 Service Unavailable",
-                                    "text/plain",
-                                    "no fleet quorum\n",
-                                )
-                            }
-                        }
-                        "/metrics" => {
-                            http_response(
-                                "200 OK",
-                                "text/plain; version=0.0.4",
-                                &fleet_exposition(&self.shared),
-                            )
-                        }
-                        _ => http_response("404 Not Found", "text/plain", "not found\n"),
-                    };
-                    let _ = stream.write_all(response.as_bytes());
-                    let _ = stream.flush();
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || serve_metrics_conn(&shared, stream));
                 }
                 Err(_) => break,
             }
         }
     }
+}
+
+/// Serves one health/metrics HTTP connection with hard read/write
+/// timeouts, so a scraper that connects and sends nothing costs one
+/// thread for two seconds, not the fleet.
+fn serve_metrics_conn(shared: &Arc<Shared>, mut stream: std::net::TcpStream) {
+    let timeout = Some(Duration::from_secs(2));
+    if stream.set_read_timeout(timeout).is_err() || stream.set_write_timeout(timeout).is_err() {
+        return;
+    }
+    let head = read_request_head(&mut stream);
+    let response = match request_path(&head).unwrap_or("/metrics") {
+        "/healthz" => http_response("200 OK", "text/plain", "ok\n"),
+        "/readyz" => {
+            if shared.quorum() {
+                http_response("200 OK", "text/plain", "ready\n")
+            } else {
+                http_response("503 Service Unavailable", "text/plain", "no fleet quorum\n")
+            }
+        }
+        "/metrics" => {
+            http_response("200 OK", "text/plain; version=0.0.4", &fleet_exposition(shared))
+        }
+        _ => http_response("404 Not Found", "text/plain", "not found\n"),
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
 }
 
 /// Spawns (or respawns) a worker process onto its socket, stdout/stderr
@@ -561,6 +609,19 @@ fn spawn_worker(opts: &FleetOptions, worker: &mut Worker) -> Result<(), SimError
     worker.state = WorkerState::Starting;
     worker.started_at = Instant::now();
     Ok(())
+}
+
+/// Kills and reaps every spawned child: the bail-out path when
+/// [`Fleet::start`] fails after workers already exist, so a failed boot
+/// never leaks `campaign_server` processes holding the store directory
+/// and stale sockets.
+fn kill_workers(workers: &mut [Worker]) {
+    for w in workers.iter_mut() {
+        if let Some(mut child) = w.child.take() {
+            child.kill().ok();
+            child.wait().ok();
+        }
+    }
 }
 
 /// Blocks until every worker answers a ping or the boot deadline trips.
@@ -722,17 +783,20 @@ fn route_cell(shared: &Arc<Shared>, req: &Request, line: &str) -> String {
 }
 
 /// Re-dispatches journal-recovered cells to the surviving workers.
-fn redispatch(shared: &Arc<Shared>, jobs: &[(String, String)]) {
-    for (job, line) in jobs {
-        let Ok(req @ Request::Cell(_)) = parse_request(line) else {
+fn redispatch(shared: &Arc<Shared>, jobs: &[Orphan]) {
+    for orphan in jobs {
+        if shared.shutdown.is_set() {
+            return;
+        }
+        let Ok(req @ Request::Cell(_)) = parse_request(&orphan.line) else {
             continue;
         };
         shared.bump(&shared.counters.redispatched);
-        let resp = route_cell(shared, &req, line);
+        let resp = route_cell(shared, &req, &orphan.line);
         // The result lands in the shared store; the response line itself
         // has no client anymore.
         drop(resp);
-        shared.journal.done(job);
+        shared.journal.done(&orphan.job);
     }
 }
 
@@ -1036,17 +1100,26 @@ fn reap_and_respawn(shared: &Arc<Shared>) {
         }
     }
     // Every death may have orphaned in-flight cells: replay the journal
-    // tail and re-dispatch what never completed.
+    // tail and re-dispatch what never completed — but only the cells the
+    // *dead* workers were holding (the journal records the worker per
+    // dispatch; cells in flight on live workers will report their own
+    // `done`). Re-forwards can block up to the request timeout each, so
+    // they run off-thread: the supervision loop must keep heartbeating
+    // and reaping while recovery grinds.
     if !deaths.is_empty() {
         match shared.journal.incomplete() {
-            Ok(orphans) if !orphans.is_empty() => {
-                eprintln!(
-                    "campaign supervisor: re-dispatching {} orphaned cell(s)",
-                    orphans.len()
-                );
-                redispatch(shared, &orphans);
+            Ok(orphans) => {
+                let orphans: Vec<Orphan> =
+                    orphans.into_iter().filter(|o| deaths.contains(&o.worker)).collect();
+                if !orphans.is_empty() {
+                    eprintln!(
+                        "campaign supervisor: re-dispatching {} orphaned cell(s)",
+                        orphans.len()
+                    );
+                    let shared = Arc::clone(shared);
+                    std::thread::spawn(move || redispatch(&shared, &orphans));
+                }
             }
-            Ok(_) => {}
             Err(e) => eprintln!("campaign supervisor: journal replay failed: {e}"),
         }
     }
@@ -1072,6 +1145,14 @@ fn heartbeat_pass(shared: &Arc<Shared>) {
             w.state = WorkerState::Up;
             w.backoff.reset();
         } else {
+            // A just-(re)spawned worker gets the same boot deadline the
+            // initial fleet got before misses count: with default knobs
+            // the miss budget trips ~2 s after spawn, which on a loaded
+            // host kill-cycles a healthy-but-slow worker straight into
+            // quarantine.
+            if w.state == WorkerState::Starting && w.started_at.elapsed() < BOOT_DEADLINE {
+                continue;
+            }
             shared.bump(&shared.counters.heartbeat_misses);
             let misses = match w.state {
                 WorkerState::Suspect(n) => n + 1,
@@ -1169,8 +1250,20 @@ mod tests {
         // job-b re-dispatched after a failover, then completed.
         j.dispatch("job-b", 2, "{\"cmd\":\"cell\"}");
         j.done("job-b");
+        // job-d failed over 0 → 1 and is still open: replay must record
+        // worker 1, so only *that* worker's death re-dispatches it.
+        j.dispatch("job-d", 0, "{\"cmd\":\"cell\"}");
+        j.dispatch("job-d", 1, "{\"cmd\":\"cell\"}");
         let open = j.incomplete().unwrap();
-        assert_eq!(open, vec![("job-c".to_string(), "{\"cmd\":\"cell\"}".to_string())]);
+        assert_eq!(
+            open,
+            vec![
+                Orphan { job: "job-c".to_string(), line: "{\"cmd\":\"cell\"}".to_string(), worker: 2 },
+                Orphan { job: "job-d".to_string(), line: "{\"cmd\":\"cell\"}".to_string(), worker: 1 },
+            ]
+        );
+        let dead_only: Vec<&Orphan> = open.iter().filter(|o| o.worker == 2).collect();
+        assert_eq!(dead_only.len(), 1, "a worker-2 death replays job-c alone");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

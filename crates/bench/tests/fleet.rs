@@ -118,6 +118,23 @@ fn pid_alive(pid: u64) -> bool {
     Command::new("kill").args(["-0", &pid.to_string()]).status().unwrap().success()
 }
 
+/// Polls the dispatch journal until the parked `__sleep` cell's
+/// `dispatch` entry appears, and returns the worker index it names.
+fn sleep_dispatch_worker(journal: &Path, secs: u64) -> usize {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        let text = std::fs::read_to_string(journal).unwrap_or_default();
+        for line in text.lines() {
+            if line.contains("\"dispatch\"") && line.contains("__sleep") {
+                let doc = fac_sim::obs::json::parse(line).unwrap();
+                return doc.get("worker").and_then(Json::as_u64).expect("worker index") as usize;
+            }
+        }
+        assert!(Instant::now() < deadline, "sleep cell never journaled");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
 fn wait_exit(child: &mut Child, secs: u64) -> std::process::ExitStatus {
     let deadline = Instant::now() + Duration::from_secs(secs);
     loop {
@@ -163,21 +180,36 @@ fn sigkill_worker_mid_sweep_loses_no_cells() {
     ref_server.wait().unwrap();
 
     // A slow restart backoff keeps the killed worker down long enough
-    // that cells routed to it must fail over — the loss is exercised,
-    // not raced past.
-    let mut sup = spawn_fleet(&base, &sock, 3, &["--backoff-base-ms", "2000"]);
-    let victim = worker_rows(&fleet_stats(&sock))[0].0;
+    // that the sweep must route around it — the loss is exercised, not
+    // raced past. Test cells are enabled so a slow `__sleep` cell can be
+    // parked on the victim.
+    let mut sup =
+        spawn_fleet(&base, &sock, 3, &["--test-cells", "--backoff-base-ms", "2000"]);
 
     let sweep_json = base.join("sweep.json");
     let sweep_sock = sock.clone();
     let sweeper = std::thread::spawn(move || sweep(&sweep_sock, &sweep_json));
-    // Kill once the sweep is demonstrably mid-flight (some cells
+    // Wait until the sweep is demonstrably mid-flight (some cells
     // committed, most still to come).
     let deadline = Instant::now() + Duration::from_secs(300);
     while cell_files(&base.join("store")).len() < 3 {
         assert!(Instant::now() < deadline, "no cells committed before deadline");
         std::thread::sleep(Duration::from_millis(10));
     }
+    // Park a slow test cell; its journal entry names the worker holding
+    // it. Killing *that* worker guarantees the kill orphans a dispatched
+    // cell — the supervisor only replays the dead worker's in-flight
+    // work, so a victim chosen blind could die idle and leave nothing to
+    // re-dispatch.
+    let cell_sock = format!("unix:{}", sock.display());
+    let parked = std::thread::spawn(move || {
+        Command::new(env!("CARGO_BIN_EXE_campaign_client"))
+            .args(["--connect", &cell_sock, "--cell", "__sleep:5000", "--config", "fac"])
+            .output()
+            .unwrap()
+    });
+    let victim_index = sleep_dispatch_worker(&base.join("run").join("dispatch.jsonl"), 60);
+    let victim = worker_rows(&fleet_stats(&sock))[victim_index].0;
     send_signal(victim, "KILL");
     let out = sweeper.join().unwrap();
     assert!(out.status.success(), "sweep across the kill failed: {out:?}");
@@ -203,6 +235,11 @@ fn sigkill_worker_mid_sweep_loses_no_cells() {
     };
     assert!(leaf(&fleet, "redispatched") >= 1, "no cell re-dispatched: {fleet}");
     assert_eq!(leaf(&fleet, "alive"), 3, "fleet not back to full strength: {fleet}");
+
+    // The parked cell was in flight on the killed worker and still got
+    // an answer: the supervisor failed it over to a survivor.
+    let out = parked.join().unwrap();
+    assert!(out.status.success(), "parked cell lost to the kill: {out:?}");
 
     // A second sweep is pure store hits — the restarted worker serves
     // from the shared store like everyone else.
